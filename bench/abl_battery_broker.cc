@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Battery-as-a-resource extension (paper section 6.3's discussion):
+ * two co-located tenants share one physical battery.  Their write
+ * bursts are anti-correlated (tenant 0 bursts while tenant 1 idles
+ * and vice versa), so a broker that reapportions the dirty budget by
+ * demand ("battery ballooning") beats a static half/half split —
+ * the statistical-multiplexing effect the paper predicts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/broker.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+namespace
+{
+
+struct PhaseResult
+{
+    Tick elapsed = 0;
+    std::uint64_t blocked = 0;
+    std::uint64_t faults = 0;
+};
+
+/**
+ * Run alternating burst phases over two managers; returns total
+ * virtual time and blocked-eviction counts.
+ */
+PhaseResult
+runPhases(sim::SimContext &ctx, core::ViyojitManager &t0,
+          core::ViyojitManager &t1, Addr base0, Addr base1,
+          std::uint64_t pages, core::BatteryBudgetBroker *broker)
+{
+    Rng rng(17);
+    const Tick start = ctx.now();
+    constexpr int phases = 8;
+    constexpr int ops_per_phase = 6000;
+    // The burst working set (720 pages) thrashes a static half
+    // budget (512) but fits comfortably when the broker lends the
+    // idle tenant's share.
+    const std::uint64_t burst_set = 720;
+
+    for (int phase = 0; phase < phases; ++phase) {
+        core::ViyojitManager &hot = (phase % 2 == 0) ? t0 : t1;
+        core::ViyojitManager &cold = (phase % 2 == 0) ? t1 : t0;
+        const Addr hot_base = (phase % 2 == 0) ? base0 : base1;
+        const Addr cold_base = (phase % 2 == 0) ? base1 : base0;
+        (void)pages;
+
+        for (int i = 0; i < ops_per_phase; ++i) {
+            // The bursting tenant hammers its working set...
+            const PageNum hp = rng.nextBounded(burst_set);
+            hot.write(hot_base + hp * PaperScale::pageSize, 256);
+            // ...the other trickles within a small one.
+            if (i % 20 == 0) {
+                const PageNum cp = rng.nextBounded(48);
+                cold.write(cold_base + cp * PaperScale::pageSize, 64);
+            }
+            ctx.events().runUntil(ctx.now());
+            // The broker reacts to demand within the phase, like a
+            // balloon driver polling pressure.
+            if (broker && i % 500 == 499)
+                broker->rebalance();
+        }
+    }
+
+    PhaseResult out;
+    out.elapsed = ctx.now() - start;
+    out.blocked = t0.controller().stats().blockedEvictions +
+                  t1.controller().stats().blockedEvictions;
+    out.faults = t0.controller().stats().writeFaults +
+                 t1.controller().stats().writeFaults;
+    return out;
+}
+
+PhaseResult
+runScenario(bool with_broker)
+{
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, ExperimentConfig::defaultSsd());
+
+    constexpr std::uint64_t tenant_pages = 4096;
+    constexpr std::uint64_t machine_budget = 1024;
+
+    core::ViyojitConfig cfg;
+    cfg.pageSize = PaperScale::pageSize;
+    cfg.dirtyBudgetPages = machine_budget / 2; // static split start
+    core::ViyojitManager t0(ctx, ssd, cfg,
+                            ExperimentConfig::defaultMmuCosts(),
+                            tenant_pages, /*region_id=*/0);
+    core::ViyojitManager t1(ctx, ssd, cfg,
+                            ExperimentConfig::defaultMmuCosts(),
+                            tenant_pages, /*region_id=*/1);
+    const Addr base0 = t0.vmmap(tenant_pages * PaperScale::pageSize);
+    const Addr base1 = t1.vmmap(tenant_pages * PaperScale::pageSize);
+    t0.start();
+    t1.start();
+
+    if (with_broker) {
+        core::BatteryBudgetBroker broker(machine_budget);
+        broker.addTenant(t0, core::TenantPolicy{64, 1.0});
+        broker.addTenant(t1, core::TenantPolicy{64, 1.0});
+        return runPhases(ctx, t0, t1, base0, base1, tenant_pages,
+                         &broker);
+    }
+    return runPhases(ctx, t0, t1, base0, base1, tenant_pages, nullptr);
+}
+
+} // namespace
+
+int
+main()
+{
+    const PhaseResult fixed = runScenario(false);
+    const PhaseResult brokered = runScenario(true);
+
+    Table table("Battery ballooning: static split vs demand broker "
+                "(1024-page battery, anti-correlated tenants)");
+    table.setHeader({"Policy", "Virtual time (ms)",
+                     "Blocked evictions", "Write faults"});
+    table.addRow({"static 50/50",
+                  Table::fmt(ticksToSeconds(fixed.elapsed) * 1000.0),
+                  Table::fmt(fixed.blocked),
+                  Table::fmt(fixed.faults)});
+    table.addRow({"demand broker",
+                  Table::fmt(ticksToSeconds(brokered.elapsed) * 1000.0),
+                  Table::fmt(brokered.blocked),
+                  Table::fmt(brokered.faults)});
+    table.print(std::cout);
+
+    const double speedup = ticksToSeconds(fixed.elapsed) /
+                           ticksToSeconds(brokered.elapsed);
+    std::printf("\nBroker speedup on the same work: %.2fx — the "
+                "multiplexing gain the paper's section 6.3 "
+                "anticipates from treating battery as a first-class "
+                "schedulable resource.\n",
+                speedup);
+    return 0;
+}

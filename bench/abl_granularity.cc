@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tracking-granularity ablation (paper section 7: "Viyojit can also
+ * perform dirty tracking and limiting at a finer byte-level
+ * granularity using Mondrian Memory Protection ... This would not
+ * only enable better utilization of provisioned battery capacity but
+ * also reduce the write traffic to secondary storage").
+ *
+ * The core tracks at a configurable page size; this sweep holds the
+ * battery (dirty budget in BYTES) fixed and varies the tracking
+ * granularity, measuring throughput and SSD traffic.  Finer pages
+ * stretch the same joules over more distinct dirty locations and
+ * shrink each eviction's IO; coarser pages amortize trap costs.
+ */
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/manager.hh"
+
+using namespace viyojit;
+
+namespace
+{
+
+struct GranularityResult
+{
+    Tick elapsed = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t ssdBytes = 0;
+};
+
+GranularityResult
+run(std::uint64_t page_size)
+{
+    constexpr std::uint64_t region_bytes = 32 * 1024 * 1024;
+    constexpr std::uint64_t budget_bytes = 2 * 1024 * 1024;
+
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+    core::ViyojitConfig cfg;
+    cfg.pageSize = page_size;
+    cfg.dirtyBudgetPages = budget_bytes / page_size;
+    core::ViyojitManager manager(ctx, ssd, cfg, mmu::MmuCostModel{},
+                                 region_bytes / page_size);
+    const Addr base = manager.vmmap(region_bytes);
+    manager.start();
+
+    // Small skewed writes: the workload where granularity matters
+    // (each write dirties one tracking unit regardless of its size).
+    Rng rng(21);
+    const Tick start = ctx.now();
+    for (int i = 0; i < 40000; ++i) {
+        const double u = rng.nextDouble();
+        const std::uint64_t offset = static_cast<std::uint64_t>(
+            u * u * static_cast<double>(region_bytes - 256));
+        manager.write(base + offset, 64 + rng.nextBounded(128));
+        ctx.clock().advance(20_us);
+        manager.processEvents();
+    }
+
+    GranularityResult result;
+    result.elapsed = ctx.now() - start;
+    result.faults = manager.controller().stats().writeFaults;
+    result.ssdBytes = ssd.bytesWritten();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table("Granularity ablation: fixed 2 MiB battery budget, "
+                "small skewed writes");
+    table.setHeader({"Tracking unit", "Budget (units)",
+                     "Run time (virtual ms)", "Write faults",
+                     "SSD bytes copied"});
+
+    for (std::uint64_t page : {std::uint64_t{512}, std::uint64_t{1024},
+                               std::uint64_t{2048}, std::uint64_t{4096},
+                               std::uint64_t{8192},
+                               std::uint64_t{16384}}) {
+        const GranularityResult result = run(page);
+        table.addRow({Table::fmt(page) + " B",
+                      Table::fmt(std::uint64_t{2097152} / page),
+                      Table::fmt(ticksToSeconds(result.elapsed) *
+                                 1000.0),
+                      Table::fmt(result.faults),
+                      Table::fmt(result.ssdBytes)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFiner tracking copies fewer bytes per eviction"
+                 " (less SSD wear) and spreads the same battery over"
+                 " more locations, at the price of more traps —"
+                 " the Mondrian trade-off of section 7.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Section 5.4 "Offloading to the MMU": compare the software
+ * implementation (write-protection traps on every first write, TLB
+ * flush per epoch scan) against the proposed MMU extension (hardware
+ * dirty counting with a threshold interrupt, write-through shadow
+ * bits, no scan flush).
+ *
+ * Paper's claim: "a hardware implementation ... could eradicate such
+ * tail latency overheads" — the p99 gap between Viyojit and the
+ * baseline should collapse, and throughput overhead shrink, while
+ * the durability guarantee is unchanged.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+namespace
+{
+
+ExperimentResult
+runMode(char workload, double budget_gb, bool hw_assist)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.budgetPaperGb = budget_gb;
+    cfg.hardwareAssist = hw_assist;
+    // Continuous copying in both arms so the comparison isolates the
+    // trap mechanism rather than SSD blocking (which boundary-only
+    // copying adds identically to both).
+    cfg.continuousCopyTrigger = true;
+    return runExperiment(cfg);
+}
+
+const LogHistogram &
+updateHist(const ExperimentResult &result)
+{
+    return result.run.updateLatency;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table("Section 5.4: software traps vs MMU dirty-count "
+                "assist (2 GB budget)");
+    table.setHeader({"Workload", "Metric", "Baseline", "Software",
+                     "MMU assist"});
+
+    for (char workload : {'A', 'C'}) {
+        ExperimentConfig base_cfg;
+        base_cfg.workload = workload;
+        base_cfg.budgetPaperGb = 0.0;
+        const ExperimentResult baseline = runExperiment(base_cfg);
+        const ExperimentResult software =
+            runMode(workload, 2.0, false);
+        const ExperimentResult assisted = runMode(workload, 2.0, true);
+
+        table.addRow(
+            {std::string("YCSB-") + workload, "throughput (K-ops/s)",
+             Table::fmt(baseline.run.throughputOpsPerSec / 1000.0),
+             Table::fmt(software.run.throughputOpsPerSec / 1000.0),
+             Table::fmt(assisted.run.throughputOpsPerSec / 1000.0)});
+        table.addRow(
+            {"", "overhead",
+             "-",
+             Table::pct(throughputOverhead(software, baseline)),
+             Table::pct(throughputOverhead(assisted, baseline))});
+        if (workload == 'A') {
+            table.addRow(
+                {"", "update p99 (us)",
+                 Table::fmt(static_cast<double>(
+                                updateHist(baseline).percentile(99)) /
+                            1000.0),
+                 Table::fmt(static_cast<double>(
+                                updateHist(software).percentile(99)) /
+                            1000.0),
+                 Table::fmt(static_cast<double>(
+                                updateHist(assisted).percentile(99)) /
+                            1000.0)});
+        }
+        table.addRow({"", "durable after failure", "-",
+                      software.durable ? "yes" : "NO",
+                      assisted.durable ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper section 5.4: hardware dirty counting"
+                 " removes the per-first-write trap; only threshold"
+                 " crossings cost OS time, so the tail-latency"
+                 " penalty collapses while durability is unchanged.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 1: DRAM density growth vs. lithium battery density growth,
+ * 1990-2020 (projected past 2015).
+ *
+ * Paper reference points: lithium grew ~3.3x over 25 years while
+ * DRAM (GB per rack unit) grew by more than four orders of
+ * magnitude, so backing up all DRAM with batteries stops scaling.
+ */
+
+#include <iostream>
+
+#include "battery/scaling.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+
+int
+main()
+{
+    battery::ScalingModel model;
+
+    Table table("Fig 1: relative growth since 1990 (log-scale series)");
+    table.setHeader({"Year", "DRAM (GB/RU, rel.)", "Lithium (J/vol, rel.)",
+                     "Gap (DRAM/Li)", "Projected"});
+    for (const battery::GrowthPoint &point : model.series(2020, 5, 2015)) {
+        table.addRow({std::to_string(point.year),
+                      Table::fmt(point.dramRelative, 1),
+                      Table::fmt(point.lithiumRelative, 2),
+                      Table::fmt(point.dramRelative /
+                                     point.lithiumRelative,
+                                 1),
+                      point.projected ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: lithium ~3.3x over 25 years; DRAM >50,000x"
+                 " in the same period.\n"
+              << "Model 2015 endpoints: DRAM "
+              << Table::fmt(model.dramRelative(2015), 0) << "x, lithium "
+              << Table::fmt(model.lithiumRelative(2015), 2) << "x.\n";
+    return 0;
+}

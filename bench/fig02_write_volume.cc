@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: worst-interval data written as a fraction of volume
+ * size, for three interval lengths, across the four applications'
+ * volumes (adversarial unique-page assumption).
+ *
+ * Paper reference: for a majority of volumes the one-hour fraction
+ * stays below ~15%; Cosmos is the outlier with volumes reaching
+ * ~80%.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "trace/analyzer.hh"
+#include "trace/generators.hh"
+
+using namespace viyojit;
+using namespace viyojit::trace;
+
+int
+main()
+{
+    const std::vector<Tick> intervals = {ScaledIntervals::oneMinute,
+                                         ScaledIntervals::tenMinutes,
+                                         ScaledIntervals::oneHour};
+
+    for (const AppParams &app : allApplications()) {
+        Table table("Fig 2: " + app.name +
+                    " — worst-interval write volume (% of volume)");
+        table.setHeader({"Volume", "One Minute", "Ten Minutes",
+                         "One Hour"});
+        for (std::size_t v = 0; v < app.volumes.size(); ++v) {
+            VolumeTraceGenerator gen(app.volumes[v],
+                                     static_cast<std::uint32_t>(v),
+                                     app.duration, 1000 + v);
+            VolumeAnalyzer analyzer(gen.info(), intervals);
+            TraceRecord record;
+            while (gen.next(record))
+                analyzer.observe(record);
+            const auto metrics = analyzer.intervalMetrics();
+            table.addRow({app.volumes[v].name,
+                          Table::pct(metrics[0].worstFractionOfVolume),
+                          Table::pct(metrics[1].worstFractionOfVolume),
+                          Table::pct(metrics[2].worstFractionOfVolume)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper: majority of volumes stay below ~15% per hour;"
+                 " Cosmos reaches ~80% on its heaviest volumes.\n"
+                 "(Interval labels are paper wall-clock at the 60:1"
+                 " time scale.)\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 7: YCSB throughput vs. dirty budget, Viyojit against the
+ * full-battery NV-DRAM baseline, for workloads A, B, C, D, and F.
+ *
+ * Paper reference points (17.5 GB heap, budgets as % of it):
+ *   - 11% battery (2 GB): -25% (A), -8% (B), -7% (C), -10% (D),
+ *     -17% (F);
+ *   - throughput approaches the baseline as the budget approaches
+ *     the heap size (read-heavy workloads converge first).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+int
+main(int argc, char **argv)
+{
+    // --quick trims the budget sweep for CI-style smoke runs.
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+    const std::vector<char> workloads = {'A', 'B', 'C', 'D', 'F'};
+    const std::vector<double> budgets_gb =
+        quick ? std::vector<double>{2.0, 8.0, 18.0}
+              : std::vector<double>{1.0, 2.0, 4.0, 6.0, 8.0, 10.0,
+                                    12.0, 14.0, 16.0, 18.0};
+
+    std::printf("Figure 7: YCSB throughput vs dirty budget "
+                "(scaled 1/1024; 17.5 paper-GB initial heap)\n\n");
+
+    Table summary("Fig 7f summary: throughput overhead vs baseline");
+    summary.setHeader({"Workload", "11% (2 GB)", "23% (4 GB)",
+                       "46% (8 GB)"});
+
+    for (char workload : workloads) {
+        ExperimentConfig base_cfg;
+        base_cfg.workload = workload;
+        base_cfg.budgetPaperGb = 0.0; // baseline
+        const ExperimentResult baseline = runExperiment(base_cfg);
+
+        Table table(std::string("Fig 7: YCSB-") + workload);
+        table.setHeader({"Budget (GB)", "Budget (% heap)",
+                         "Viyojit (K-ops/s)", "NV-DRAM (K-ops/s)",
+                         "Overhead"});
+
+        double over2 = 0.0;
+        double over4 = 0.0;
+        double over8 = 0.0;
+        for (double gb : budgets_gb) {
+            ExperimentConfig cfg;
+            cfg.workload = workload;
+            cfg.budgetPaperGb = gb;
+            const ExperimentResult result = runExperiment(cfg);
+            const double overhead =
+                throughputOverhead(result, baseline);
+            if (gb == 2.0)
+                over2 = overhead;
+            if (gb == 4.0)
+                over4 = overhead;
+            if (gb == 8.0)
+                over8 = overhead;
+            table.addRow(
+                {Table::fmt(gb, 0), Table::pct(gb / 17.5),
+                 Table::fmt(result.run.throughputOpsPerSec / 1000.0),
+                 Table::fmt(baseline.run.throughputOpsPerSec / 1000.0),
+                 Table::pct(overhead)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+        summary.addRow({std::string("YCSB-") + workload,
+                        Table::pct(over2), Table::pct(over4),
+                        Table::pct(over8)});
+    }
+
+    summary.print(std::cout);
+    std::printf("\nPaper: 11%% battery costs 25%% (A), 8%% (B), "
+                "7%% (C), 10%% (D), 17%% (F) of throughput.\n");
+    return 0;
+}

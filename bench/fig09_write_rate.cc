@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9: average SSD write rate during each experiment (run-phase
+ * proactive/blocked copies plus the end-of-experiment flush of the
+ * whole heap, which a baseline system would also pay), per workload,
+ * across dirty budgets.
+ *
+ * Paper reference: the heaviest case (YCSB-A at ~11% battery) stays
+ * around 200 MB/s — easily sustained by a modern SSD, so proactive
+ * copying does not wear the device meaningfully.  Rates fall as the
+ * budget grows (less eviction churn) and write-heavy workloads sit
+ * above read-heavy ones.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const std::vector<char> workloads = {'D', 'A', 'F', 'B', 'C'};
+    const std::vector<double> budgets_gb =
+        quick ? std::vector<double>{2.0, 8.0, 18.0}
+              : std::vector<double>{1.0, 2.0, 4.0, 8.0, 12.0, 16.0,
+                                    18.0};
+
+    Table table("Fig 9: average SSD write rate (MB/s of virtual time,"
+                " scaled system)");
+    std::vector<std::string> header = {"Budget (GB)"};
+    for (char w : workloads)
+        header.push_back(std::string("YCSB-") + w);
+    table.setHeader(header);
+
+    for (double gb : budgets_gb) {
+        std::vector<std::string> row = {Table::fmt(gb, 0)};
+        for (char workload : workloads) {
+            ExperimentConfig cfg;
+            cfg.workload = workload;
+            cfg.budgetPaperGb = gb;
+            const ExperimentResult result = runExperiment(cfg);
+            row.push_back(Table::fmt(result.avgWriteRateMBps, 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: peak ~200 MB/s (YCSB-A at 11% battery);"
+                 " rates fall with budget and write-heavy workloads"
+                 " dominate.  Scaled rates are lower in absolute"
+                 " terms (the dataset is 1/1024 of the paper's); the"
+                 " ordering and budget trend are the comparison"
+                 " points.\n";
+    return 0;
+}

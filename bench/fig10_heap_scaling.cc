@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 10: throughput overhead at equal battery *fractions* for
+ * two initial heap sizes (17.5 GB-equivalent and 52.5 GB-equivalent,
+ * i.e. 3x).  YCSB-D is excluded because its inserts outgrow the
+ * NV-DRAM at the larger heap — the same exclusion as the paper.
+ *
+ * Paper reference: overheads *decrease* with the larger heap at the
+ * same battery fraction, confirming that write skew sharpens as the
+ * dataset grows (the fig-5 effect measured end to end).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const std::vector<char> workloads =
+        quick ? std::vector<char>{'A', 'C'}
+              : std::vector<char>{'A', 'B', 'C', 'F'};
+    const std::vector<double> fractions = {0.114, 0.229, 0.457};
+    const std::vector<double> heaps_gb = {17.5, 52.5};
+
+    Table table("Fig 10: overhead at equal battery fractions, two "
+                "heap sizes");
+    table.setHeader({"Workload", "11% of 17.5", "11% of 52.5",
+                     "23% of 17.5", "23% of 52.5", "46% of 17.5",
+                     "46% of 52.5"});
+
+    for (char workload : workloads) {
+        std::vector<std::string> row = {std::string("YCSB-") +
+                                        workload};
+        std::vector<std::vector<double>> overheads(
+            fractions.size(), std::vector<double>(heaps_gb.size()));
+        for (std::size_t h = 0; h < heaps_gb.size(); ++h) {
+            ExperimentConfig base_cfg;
+            base_cfg.workload = workload;
+            base_cfg.heapPaperGb = heaps_gb[h];
+            base_cfg.budgetPaperGb = 0.0;
+            // Proportionally more ops keep the run:heap ratio fixed.
+            base_cfg.operationCount = static_cast<std::uint64_t>(
+                60000.0 * heaps_gb[h] / 17.5);
+            const ExperimentResult baseline = runExperiment(base_cfg);
+
+            for (std::size_t f = 0; f < fractions.size(); ++f) {
+                ExperimentConfig cfg = base_cfg;
+                cfg.budgetPaperGb = fractions[f] * heaps_gb[h];
+                const ExperimentResult result = runExperiment(cfg);
+                overheads[f][h] = throughputOverhead(result, baseline);
+            }
+        }
+        for (std::size_t f = 0; f < fractions.size(); ++f)
+            for (std::size_t h = 0; h < heaps_gb.size(); ++h)
+                row.push_back(Table::pct(overheads[f][h]));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: at every battery fraction the 52.5 GB heap"
+                 " shows a lower overhead than the 17.5 GB heap —"
+                 " skew grows with dataset size.\n";
+    return 0;
+}

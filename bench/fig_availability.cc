@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Section 8 "Increased availability": bounding the dirty set bounds
+ * shutdown (flush) time, so planned reboots get dramatically faster
+ * — 4 TB at 4 GB/s means ~17 minutes of flushing for a conventional
+ * NV-DRAM server, versus the minutes-to-seconds a dirty budget
+ * allows.
+ *
+ * Two parts: the analytic table for data-center scale DRAM sizes,
+ * and a live measurement on the scaled simulator comparing the
+ * baseline's power-failure flush against Viyojit's across budgets.
+ */
+
+#include <iostream>
+
+#include "battery/battery.hh"
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+
+int
+main()
+{
+    {
+        battery::PowerModel power;
+        power.cpuWatts = 240.0;
+        power.dramWattsPerGib = 0.0;
+        power.ssdWatts = 20.0;
+        power.otherWatts = 40.0;
+        battery::DirtyBudgetCalculator calc(power, 4.0e9, 1.0);
+
+        Table table("Shutdown flush time, 4 GB/s to SSD "
+                    "(analytic, section 8)");
+        table.setHeader({"DRAM", "Full backup", "10% dirty budget",
+                         "1% dirty budget"});
+        for (double tb : {1.0, 2.0, 4.0, 8.0}) {
+            const auto bytes = static_cast<std::uint64_t>(
+                tb * 1024.0 * static_cast<double>(1_GiB));
+            auto fmt_time = [&](std::uint64_t b) {
+                const double s = calc.flushSeconds(b);
+                return s >= 90.0 ? Table::fmt(s / 60.0, 1) + " min"
+                                 : Table::fmt(s, 1) + " s";
+            };
+            table.addRow({Table::fmt(tb, 0) + " TB", fmt_time(bytes),
+                          fmt_time(bytes / 10), fmt_time(bytes / 100)});
+        }
+        table.print(std::cout);
+        std::cout << "\nPaper: 4 TB needs ~17 minutes to shut down"
+                     " cleanly; the dirty budget bounds it.\n\n";
+    }
+
+    {
+        Table table("Live measurement: power-failure flush after a "
+                    "YCSB-A run (scaled system)");
+        table.setHeader({"System", "Dirty pages at failure",
+                         "Flush time (virtual ms)"});
+
+        ExperimentConfig base;
+        base.workload = 'A';
+        base.budgetPaperGb = 0.0;
+        base.operationCount = 30000;
+        const ExperimentResult baseline = runExperiment(base);
+        table.addRow(
+            {"NV-DRAM baseline (full battery)",
+             Table::fmt(baseline.finalFlush.dirtyPagesAtFailure),
+             Table::fmt(
+                 ticksToSeconds(baseline.finalFlush.flushDuration) *
+                 1000.0)});
+
+        for (double gb : {8.0, 4.0, 2.0, 1.0}) {
+            ExperimentConfig cfg = base;
+            cfg.budgetPaperGb = gb;
+            const ExperimentResult result = runExperiment(cfg);
+            table.addRow(
+                {"Viyojit, " + Table::fmt(gb, 0) + " GB budget",
+                 Table::fmt(result.finalFlush.dirtyPagesAtFailure),
+                 Table::fmt(
+                     ticksToSeconds(result.finalFlush.flushDuration) *
+                     1000.0)});
+        }
+        table.print(std::cout);
+        std::cout << "\nThe flush time scales with the dirty set, not"
+                     " the DRAM size: smaller budgets mean faster"
+                     " shutdowns and higher availability.\n";
+    }
+    return 0;
+}

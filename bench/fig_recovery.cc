@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Section 8 startup-side experiment: after a reboot, how quickly can
+ * the server serve requests again under the three restore
+ * strategies?  The paper: "The start up time can be optimized by
+ * fetching pages from SSD to DRAM on demand while sequentially
+ * reading data in the background after the OS boots."
+ *
+ * The image is produced by a real YCSB-A run + power-failure flush;
+ * the boot-time request stream replays the same zipf skew.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/distributions.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/recovery.hh"
+
+using namespace viyojit;
+using namespace viyojit::bench;
+using viyojit::core::RestoreStrategy;
+
+namespace
+{
+
+struct BootResult
+{
+    Tick firstThousandServed = 0;
+    double avgStallUs = 0.0;
+    Tick fullyResident = 0;
+};
+
+BootResult
+boot(RestoreStrategy strategy)
+{
+    // Build the durable image: a run plus its emergency flush.
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, ExperimentConfig::defaultSsd());
+    core::ViyojitConfig cfg;
+    cfg.pageSize = PaperScale::pageSize;
+    cfg.dirtyBudgetPages = PaperScale::paperGbPages(2.0);
+    const std::uint64_t pages = PaperScale::paperGbPages(20.0);
+    core::ViyojitManager manager(
+        ctx, ssd, cfg, ExperimentConfig::defaultMmuCosts(), pages);
+    const Addr base = manager.vmmap(pages * PaperScale::pageSize);
+    manager.start();
+    Rng load_rng(3);
+    ZipfianDistribution dist(pages);
+    for (int i = 0; i < 40000; ++i) {
+        manager.write(base + dist.next(load_rng) * PaperScale::pageSize,
+                      128);
+        manager.processEvents();
+    }
+    manager.powerFailureFlush();
+
+    // Reboot: a fresh clock, the SSD image intact.
+    const Tick boot_time = ctx.now();
+    core::RecoveryManager recovery(ctx, ssd, 0, pages,
+                                   PaperScale::pageSize, strategy);
+    recovery.begin();
+    if (strategy == RestoreStrategy::eager)
+        recovery.waitUntilFullyResident();
+
+    Rng request_rng(3);
+    BootResult result;
+    Tick stall_sum = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const PageNum page = dist.next(request_rng);
+        stall_sum += recovery.access(page);
+        // Requests also take service time.
+        ctx.clock().advance(25_us);
+        ctx.events().runUntil(ctx.now());
+        if (i == 999)
+            result.firstThousandServed = ctx.now() - boot_time;
+    }
+    result.avgStallUs = static_cast<double>(stall_sum) / 4000.0 / 1000.0;
+    if (strategy != RestoreStrategy::demandOnly) {
+        recovery.waitUntilFullyResident();
+        result.fullyResident =
+            recovery.stats().fullyResidentAt - boot_time;
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table("Section 8: restore strategies after a power cycle "
+                "(20 paper-GB image)");
+    table.setHeader({"Strategy", "First 1000 reqs served (ms)",
+                     "Avg request stall (us)",
+                     "Fully resident (ms)"});
+
+    const BootResult eager = boot(RestoreStrategy::eager);
+    table.addRow({"eager preload",
+                  Table::fmt(ticksToSeconds(
+                                 eager.firstThousandServed) *
+                             1000.0),
+                  Table::fmt(eager.avgStallUs),
+                  Table::fmt(ticksToSeconds(eager.fullyResident) *
+                             1000.0)});
+
+    const BootResult demand = boot(RestoreStrategy::demandOnly);
+    table.addRow({"demand only",
+                  Table::fmt(ticksToSeconds(
+                                 demand.firstThousandServed) *
+                             1000.0),
+                  Table::fmt(demand.avgStallUs), "never sweeps"});
+
+    const BootResult both = boot(RestoreStrategy::demandPlusBackground);
+    table.addRow({"demand + background (paper)",
+                  Table::fmt(ticksToSeconds(
+                                 both.firstThousandServed) *
+                             1000.0),
+                  Table::fmt(both.avgStallUs),
+                  Table::fmt(ticksToSeconds(both.fullyResident) *
+                             1000.0)});
+
+    table.print(std::cout);
+    std::cout << "\nDemand + background serves the first requests"
+                 " almost as fast as demand-only while still reaching"
+                 " full residency like the eager preload — the"
+                 " combination section 8 recommends.\n";
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the mechanism's hot paths:
+ * dirty-tracker updates, recency maintenance, victim selection, the
+ * page-table walk, TLB lookups, and the full simulated fault path.
+ * These bound the *host* cost of the bookkeeping the paper's shared
+ * library does in its fault handler and epoch thread.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/distributions.hh"
+#include "common/rng.hh"
+#include "core/controller.hh"
+#include "core/dirty_tracker.hh"
+#include "core/manager.hh"
+#include "core/recency.hh"
+#include "mmu/mmu.hh"
+
+using namespace viyojit;
+
+namespace
+{
+
+void
+BM_DirtyTrackerMarkCycle(benchmark::State &state)
+{
+    core::DirtyPageTracker tracker(1 << 16);
+    Rng rng(1);
+    for (auto _ : state) {
+        const PageNum p = rng.nextBounded(1 << 16);
+        tracker.markDirty(p);
+        tracker.markClean(p);
+    }
+}
+BENCHMARK(BM_DirtyTrackerMarkCycle);
+
+void
+BM_RecencyAdvanceEpoch(benchmark::State &state)
+{
+    const auto pages = static_cast<std::uint64_t>(state.range(0));
+    core::EpochRecencyTracker recency(pages, 64);
+    for (auto _ : state)
+        recency.advanceEpoch();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_RecencyAdvanceEpoch)->Range(1 << 10, 1 << 20);
+
+void
+BM_VictimQueueRebuild(benchmark::State &state)
+{
+    const auto pages = static_cast<std::uint64_t>(state.range(0));
+    core::DirtyPageTracker tracker(pages);
+    core::EpochRecencyTracker recency(pages, 64);
+    Rng rng(2);
+    for (PageNum p = 0; p < pages / 2; ++p)
+        tracker.markDirty(rng.nextBounded(pages));
+    for (auto _ : state)
+        recency.rebuildVictimQueue(tracker);
+}
+BENCHMARK(BM_VictimQueueRebuild)->Range(1 << 10, 1 << 18);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    mmu::PageTable table;
+    for (PageNum p = 0; p < 4096; ++p)
+        table.map(p, mmu::Pte::writableBit);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.find(rng.nextBounded(4096)));
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    mmu::Tlb tlb(mmu::TlbConfig{});
+    for (PageNum p = 0; p < 1024; ++p)
+        tlb.insert(p, true, false);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(rng.nextBounded(1024)));
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_SimulatedFaultPath(benchmark::State &state)
+{
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+    core::ViyojitConfig cfg;
+    cfg.dirtyBudgetPages = 512;
+    core::ViyojitManager manager(ctx, ssd, cfg, mmu::MmuCostModel{},
+                                 1 << 14);
+    const Addr base = manager.vmmap((1ULL << 14) * defaultPageSize);
+    manager.start();
+    Rng rng(5);
+    ZipfianDistribution dist(1 << 14);
+    for (auto _ : state) {
+        manager.write(base + dist.next(rng) * defaultPageSize, 64);
+        manager.processEvents();
+    }
+    state.SetLabel("includes trap+evict bookkeeping on host");
+}
+BENCHMARK(BM_SimulatedFaultPath);
+
+void
+BM_EpochScan(benchmark::State &state)
+{
+    const auto pages = static_cast<std::uint64_t>(state.range(0));
+    sim::SimContext ctx;
+    mmu::Mmu mmu(ctx, mmu::MmuCostModel{});
+    for (PageNum p = 0; p < pages; ++p)
+        mmu.mapPage(p, true);
+    for (auto _ : state) {
+        mmu.scanAndClearDirty(0, pages, true,
+                              [](PageNum, bool) {});
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_EpochScan)->Range(1 << 10, 1 << 18);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A persistent front-end cache, the paper's motivating scenario:
+ * Redis-style store whose whole heap lives in battery-backed DRAM so
+ * a power cycle restarts it *warm* instead of cold.
+ *
+ * The example runs a session of traffic on the simulated substrate,
+ * cuts power mid-flight, verifies durability, then "reboots" by
+ * re-attaching the store to the same heap and keeps serving — no
+ * cache warm-up, tiny battery.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "battery/battery.hh"
+#include "core/failure.hh"
+#include "core/manager.hh"
+#include "kvstore/kvstore.hh"
+#include "pheap/nv_space.hh"
+#include "pheap/pheap.hh"
+
+using namespace viyojit;
+
+int
+main()
+{
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+
+    // 64 MiB of NV-DRAM, but battery for only ~6% of it.
+    core::ViyojitConfig config;
+    config.dirtyBudgetPages = 1024;
+    core::ViyojitManager manager(ctx, ssd, config,
+                                 mmu::MmuCostModel{}, 16384);
+
+    const std::uint64_t region_bytes = 16384 * defaultPageSize;
+    const Addr region = manager.vmmap(region_bytes);
+    pheap::SimNvSpace space(manager, region, region_bytes);
+    auto heap = pheap::PersistentHeap::create(space);
+    auto store = kvstore::KvStore::create(heap, 8192);
+    store.setAllocateOnUpdate(true);
+    manager.start();
+
+    // Serve a session: populate, then a read-mostly mix.
+    std::printf("serving traffic...\n");
+    for (int i = 0; i < 5000; ++i) {
+        store.put("user:" + std::to_string(i),
+                  "profile-data-" + std::to_string(i * 7));
+    }
+    for (int i = 0; i < 20000; ++i) {
+        const std::string key = "user:" + std::to_string(i % 5000);
+        if (i % 10 == 0)
+            store.put(key, "updated-" + std::to_string(i));
+        else
+            store.get(key);
+        manager.processEvents();
+    }
+    std::printf("records: %llu, dirty pages: %llu of %llu budget\n",
+                (unsigned long long)store.size(),
+                (unsigned long long)manager.dirtyPageCount(),
+                (unsigned long long)config.dirtyBudgetPages);
+
+    // Lights out.  The battery only has to cover the dirty budget.
+    battery::BatteryConfig bat_cfg;
+    bat_cfg.nominalJoules = 600.0; // a few phone-battery percent
+    battery::Battery battery(bat_cfg);
+    core::PowerFailureInjector injector(manager, battery,
+                                        battery::PowerModel{});
+    const core::FailureReport report = injector.inject();
+    std::printf("power failure: flushed %llu pages in %.2f ms, "
+                "needed %.1f J of %.1f J available -> %s, content %s\n",
+                (unsigned long long)report.dirtyPages,
+                ticksToSeconds(report.flushDuration) * 1000.0,
+                report.joulesNeeded, report.joulesAvailable,
+                report.survived ? "survived" : "DEAD",
+                report.contentVerified ? "verified" : "CORRUPT");
+
+    // Reboot: attach to the same heap; the cache is already warm.
+    auto heap2 = pheap::PersistentHeap::attach(space);
+    auto warm = kvstore::KvStore::attach(heap2);
+    manager.start();
+    std::printf("after reboot: %llu records already present\n",
+                (unsigned long long)warm.size());
+    const auto sample = warm.get("user:4242");
+    std::printf("user:4242 -> %s\n",
+                sample ? sample->c_str() : "(missing!)");
+    return sample && warm.size() == 5000 ? 0 : 1;
+}

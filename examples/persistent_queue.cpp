@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A crash-proof work queue on real battery-backed memory: the
+ * producer appends jobs to a persistent ring log inside an NvRegion,
+ * the consumer acknowledges them with truncateFront, and a power cut
+ * in the middle loses nothing — the classic write-ahead-log shape
+ * the paper's introduction motivates, where Viyojit shines because
+ * only the log tail is ever hot.
+ *
+ * Run:  ./persistent_queue [backing-file]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "pheap/nv_space.hh"
+#include "plog/plog.hh"
+#include "runtime/region.hh"
+
+using namespace viyojit;
+
+int
+main(int argc, char **argv)
+{
+    const std::string backing =
+        argc > 1 ? argv[1] : "/tmp/viyojit_queue.img";
+
+    runtime::RuntimeConfig config;
+    config.dirtyBudgetPages = 6; // the tail fits in a few pages
+    config.startEpochThread = true;
+
+    {
+        auto region = runtime::NvRegion::create(backing, 1_MiB,
+                                                config);
+        pheap::PlainNvSpace space(
+            static_cast<char *>(region->base()), region->size());
+        auto log = plog::PersistentLog::create(space);
+
+        // Producer: enqueue 2000 jobs; consumer: ack the first 1500.
+        for (int i = 0; i < 2000; ++i)
+            log.append("job{id=" + std::to_string(i) + "}");
+        log.truncateFront(1500);
+
+        const auto stats = log.stats();
+        const auto region_stats = region->stats();
+        std::printf("enqueued 2000, acked 1500 -> %llu pending "
+                    "(seq %llu..%llu)\n",
+                    (unsigned long long)stats.records,
+                    (unsigned long long)stats.headSeq,
+                    (unsigned long long)stats.tailSeq);
+        std::printf("dirty pages never exceeded the %llu-page "
+                    "battery budget (max writes live in the tail); "
+                    "faults=%llu\n",
+                    (unsigned long long)config.dirtyBudgetPages,
+                    (unsigned long long)region_stats.writeFaults);
+
+        // Power cut: flush the dirty tail on battery.
+        region->flushAll();
+        std::printf("power lost; dirty tail flushed\n");
+    }
+
+    // Reboot.
+    auto region = runtime::NvRegion::recover(backing, config);
+    pheap::PlainNvSpace space(static_cast<char *>(region->base()),
+                              region->size());
+    auto log = plog::PersistentLog::attach(space);
+    const bool intact = log.validate();
+    const auto stats = log.stats();
+    std::printf("after reboot: %llu jobs pending, checksums %s\n",
+                (unsigned long long)stats.records,
+                intact ? "clean" : "CORRUPT");
+    const auto first = log.read(stats.headSeq);
+    std::printf("resuming with %s\n",
+                first ? first->c_str() : "(nothing)");
+    return intact && stats.records == 500 ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Capacity-planning tool: run the section-3 trace analysis over a
+ * workload and recommend a battery fraction.
+ *
+ * For each application (or one named on the command line) it
+ * generates the synthetic trace, measures worst-interval write
+ * volume and write skew, and derives the dirty budget — and hence
+ * battery fraction — that would cover the 99th percentile of writes
+ * with headroom.  This is exactly the sizing workflow the paper
+ * suggests operators run on their own traces.
+ *
+ * Run:  ./trace_explorer [azure|cosmos|pagerank|search]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "trace/analyzer.hh"
+#include "trace/generators.hh"
+
+using namespace viyojit;
+using namespace viyojit::trace;
+
+namespace
+{
+
+AppParams
+pickApp(const std::string &name)
+{
+    if (name == "azure")
+        return azureBlobParams();
+    if (name == "cosmos")
+        return cosmosParams();
+    if (name == "pagerank")
+        return pageRankParams();
+    if (name == "search")
+        return searchIndexParams();
+    std::fprintf(stderr,
+                 "unknown app '%s' (azure|cosmos|pagerank|search)\n",
+                 name.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<AppParams> apps;
+    if (argc > 1)
+        apps.push_back(pickApp(argv[1]));
+    else
+        apps = allApplications();
+
+    for (const AppParams &app : apps) {
+        Table table(app.name + " — battery sizing recommendation");
+        table.setHeader({"Volume", "worst hour", "99% write pages",
+                         "recommended battery", "verdict"});
+
+        double machine_total = 0.0;
+        double machine_weighted = 0.0;
+        for (std::size_t v = 0; v < app.volumes.size(); ++v) {
+            VolumeTraceGenerator gen(app.volumes[v],
+                                     static_cast<std::uint32_t>(v),
+                                     app.duration, 1000 + v);
+            VolumeAnalyzer analyzer(gen.info(),
+                                    {ScaledIntervals::oneHour});
+            TraceRecord record;
+            while (gen.next(record))
+                analyzer.observe(record);
+
+            const auto hour = analyzer.intervalMetrics()[0];
+            const SkewMetric skew = analyzer.skewMetrics();
+
+            // Battery to cover the hot write set with 1.5x headroom,
+            // never above full provisioning.
+            const double hot_fraction = skew.coverage99OfTotal;
+            const double recommended = std::min(
+                1.0,
+                std::max(hour.worstFractionOfVolume, hot_fraction) *
+                    1.5);
+            const char *verdict =
+                recommended < 0.25
+                    ? "decouple: big battery saving"
+                    : (recommended < 0.6 ? "decouple: moderate saving"
+                                         : "full battery advisable");
+
+            const auto size =
+                static_cast<double>(app.volumes[v].sizeBytes);
+            machine_total += size;
+            machine_weighted += size * recommended;
+
+            table.addRow({app.volumes[v].name,
+                          Table::pct(hour.worstFractionOfVolume),
+                          Table::pct(hot_fraction),
+                          Table::pct(recommended), verdict});
+        }
+        table.print(std::cout);
+        std::printf("machine-level battery: %s of full provisioning\n\n",
+                    Table::pct(machine_weighted / machine_total)
+                        .c_str());
+    }
+
+    std::printf("Paper: battery for <15%% of NV-DRAM suffices for a"
+                " majority of volumes.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+#include "battery/battery.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace viyojit::battery
+{
+
+Battery::Battery(const BatteryConfig &config)
+    : config_(config)
+{
+    VIYOJIT_ASSERT(config.nominalJoules > 0, "battery with no energy");
+    VIYOJIT_ASSERT(config.depthOfDischarge > 0 &&
+                       config.depthOfDischarge <= 1.0,
+                   "depth of discharge out of range");
+    VIYOJIT_ASSERT(config.chemistryDerate > 0 &&
+                       config.chemistryDerate <= 1.0,
+                   "chemistry derate out of range");
+}
+
+double
+Battery::effectiveJoules() const
+{
+    double fade = config_.fadePerYear * ageYears_;
+    if (ambientCelsius_ > 25.0)
+        fade += config_.fadePerDegreeAbove25 * (ambientCelsius_ - 25.0);
+    const double health =
+        std::max(0.0, (1.0 - fade) * (1.0 - failedCellFraction_));
+    return config_.nominalJoules * config_.chemistryDerate *
+           config_.depthOfDischarge * health;
+}
+
+double
+Battery::flushSeconds(const PowerModel &power) const
+{
+    return effectiveJoules() / power.flushWatts();
+}
+
+void
+Battery::setAgeYears(double years)
+{
+    VIYOJIT_ASSERT(years >= 0, "negative age");
+    ageYears_ = years;
+    notify();
+}
+
+void
+Battery::setAmbientCelsius(double celsius)
+{
+    ambientCelsius_ = celsius;
+    notify();
+}
+
+void
+Battery::setFailedCellFraction(double fraction)
+{
+    VIYOJIT_ASSERT(fraction >= 0 && fraction <= 1.0,
+                   "failed fraction out of range");
+    failedCellFraction_ = fraction;
+    notify();
+}
+
+void
+Battery::addCapacityListener(CapacityListener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+void
+Battery::notify()
+{
+    const double joules = effectiveJoules();
+    for (auto &listener : listeners_)
+        listener(joules);
+}
+
+DirtyBudgetCalculator::DirtyBudgetCalculator(
+    PowerModel power, double ssd_write_bandwidth_bytes_per_sec,
+    double bandwidth_safety_factor)
+    : power_(power),
+      ssdWriteBandwidth_(ssd_write_bandwidth_bytes_per_sec),
+      bandwidthSafetyFactor_(bandwidth_safety_factor)
+{
+    VIYOJIT_ASSERT(ssd_write_bandwidth_bytes_per_sec > 0,
+                   "zero SSD bandwidth");
+    VIYOJIT_ASSERT(bandwidth_safety_factor > 0 &&
+                       bandwidth_safety_factor <= 1.0,
+                   "safety factor out of range");
+}
+
+double
+DirtyBudgetCalculator::conservativeBandwidth() const
+{
+    return ssdWriteBandwidth_ * bandwidthSafetyFactor_;
+}
+
+std::uint64_t
+DirtyBudgetCalculator::budgetBytes(double effective_joules) const
+{
+    const double seconds = effective_joules / power_.flushWatts();
+    return static_cast<std::uint64_t>(seconds * conservativeBandwidth());
+}
+
+std::uint64_t
+DirtyBudgetCalculator::budgetPages(double effective_joules,
+                                   std::uint64_t page_size) const
+{
+    return budgetBytes(effective_joules) / page_size;
+}
+
+double
+DirtyBudgetCalculator::requiredJoules(std::uint64_t bytes) const
+{
+    return flushSeconds(bytes) * power_.flushWatts();
+}
+
+double
+DirtyBudgetCalculator::flushSeconds(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / conservativeBandwidth();
+}
+
+} // namespace viyojit::battery

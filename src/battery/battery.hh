@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Battery pack model.
+ *
+ * Captures the derating chain the paper walks through in section 2.2:
+ * nominal energy -> data-center-grade chemistry derate -> depth-of-
+ * discharge cap -> aging/temperature fade.  The effective energy is
+ * what the dirty-budget conversion may rely on, and capacity-change
+ * listeners let Viyojit retune the budget at runtime (section 8,
+ * "Handling battery cell failures").
+ */
+
+#ifndef VIYOJIT_BATTERY_BATTERY_HH
+#define VIYOJIT_BATTERY_BATTERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "battery/power_model.hh"
+#include "common/types.hh"
+
+namespace viyojit::battery
+{
+
+/** Static battery configuration. */
+struct BatteryConfig
+{
+    /** Nameplate energy in joules. */
+    double nominalJoules = 30000.0;
+
+    /**
+     * Usable fraction per discharge; data-center packs stop at ~50%
+     * depth of discharge to reach a 3-4 year life (paper section 2.2).
+     */
+    double depthOfDischarge = 0.5;
+
+    /**
+     * Data-center cells trade ~30% energy density for higher power
+     * capability (paper section 2.2).
+     */
+    double chemistryDerate = 0.7;
+
+    /** Capacity fade per year of age (linear approximation). */
+    double fadePerYear = 0.05;
+
+    /** Extra fade per degree C above 25C ambient. */
+    double fadePerDegreeAbove25 = 0.005;
+};
+
+/** A battery pack with aging and capacity-change notification. */
+class Battery
+{
+  public:
+    using CapacityListener = std::function<void(double effective_joules)>;
+
+    explicit Battery(const BatteryConfig &config);
+
+    /** Nameplate joules before any derating. */
+    double nominalJoules() const { return config_.nominalJoules; }
+
+    /**
+     * Energy actually available for a single emergency flush after
+     * chemistry derate, DoD cap, and current fade.
+     */
+    double effectiveJoules() const;
+
+    /** Seconds the given power draw can be sustained. */
+    double flushSeconds(const PowerModel &power) const;
+
+    /** Set pack age in years; notifies listeners. */
+    void setAgeYears(double years);
+
+    /** Set ambient temperature in C; notifies listeners. */
+    void setAmbientCelsius(double celsius);
+
+    /** Mark a fraction of cells failed; notifies listeners. */
+    void setFailedCellFraction(double fraction);
+
+    double ageYears() const { return ageYears_; }
+    double ambientCelsius() const { return ambientCelsius_; }
+    double failedCellFraction() const { return failedCellFraction_; }
+
+    /** Register for capacity-change callbacks. */
+    void addCapacityListener(CapacityListener listener);
+
+    const BatteryConfig &config() const { return config_; }
+
+  private:
+    void notify();
+
+    BatteryConfig config_;
+    double ageYears_ = 0.0;
+    double ambientCelsius_ = 25.0;
+    double failedCellFraction_ = 0.0;
+    std::vector<CapacityListener> listeners_;
+};
+
+/**
+ * Conversions between battery energy and the dirty budget
+ * (paper section 5.1).
+ */
+class DirtyBudgetCalculator
+{
+  public:
+    DirtyBudgetCalculator(PowerModel power,
+                          double ssd_write_bandwidth_bytes_per_sec,
+                          double bandwidth_safety_factor = 0.8);
+
+    /** Bytes that can be flushed with the given energy. */
+    std::uint64_t budgetBytes(double effective_joules) const;
+
+    /** Pages (of page_size) flushable with the given energy. */
+    std::uint64_t budgetPages(double effective_joules,
+                              std::uint64_t page_size) const;
+
+    /** Joules needed to flush the given byte count. */
+    double requiredJoules(std::uint64_t bytes) const;
+
+    /** Seconds needed to flush the given byte count. */
+    double flushSeconds(std::uint64_t bytes) const;
+
+    const PowerModel &power() const { return power_; }
+
+    /** Conservative (derated) flush bandwidth in bytes per second. */
+    double conservativeBandwidth() const;
+
+  private:
+    PowerModel power_;
+    double ssdWriteBandwidth_;
+    double bandwidthSafetyFactor_;
+};
+
+} // namespace viyojit::battery
+
+#endif // VIYOJIT_BATTERY_BATTERY_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Server component power model used to convert battery energy into
+ * flush time (paper section 5.1: "Using the peak power usage of
+ * different system components (CPU, DRAM, SSD, etc), we determine the
+ * amount of time the provisioned battery can support the entire
+ * system").
+ */
+
+#ifndef VIYOJIT_BATTERY_POWER_MODEL_HH
+#define VIYOJIT_BATTERY_POWER_MODEL_HH
+
+#include <cstdint>
+
+namespace viyojit::battery
+{
+
+/** Peak power draws during a post-power-loss flush, in watts. */
+struct PowerModel
+{
+    /** CPU package power while orchestrating the flush. */
+    double cpuWatts = 120.0;
+
+    /** DRAM refresh + access power per GiB. */
+    double dramWattsPerGib = 0.375;
+
+    /** DRAM capacity being kept alive, in GiB. */
+    double dramGib = 64.0;
+
+    /** SSD write power. */
+    double ssdWatts = 12.0;
+
+    /** Fans, VRMs, NIC, board. */
+    double otherWatts = 40.0;
+
+    /** Total system draw during the backup flush. */
+    double
+    flushWatts() const
+    {
+        return cpuWatts + dramWattsPerGib * dramGib + ssdWatts +
+               otherWatts;
+    }
+};
+
+} // namespace viyojit::battery
+
+#endif // VIYOJIT_BATTERY_POWER_MODEL_HH

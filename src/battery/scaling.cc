@@ -1,0 +1,45 @@
+#include "battery/scaling.hh"
+
+#include <cmath>
+
+namespace viyojit::battery
+{
+
+ScalingModel::ScalingModel(double dram_growth_25yr,
+                           double lithium_growth_25yr)
+    : dramCagr_(std::pow(dram_growth_25yr, 1.0 / 25.0)),
+      lithiumCagr_(std::pow(lithium_growth_25yr, 1.0 / 25.0))
+{
+}
+
+double
+ScalingModel::dramRelative(int year) const
+{
+    return std::pow(dramCagr_, year - 1990);
+}
+
+double
+ScalingModel::lithiumRelative(int year) const
+{
+    return std::pow(lithiumCagr_, year - 1990);
+}
+
+double
+ScalingModel::gap(int year) const
+{
+    return dramRelative(year) / lithiumRelative(year);
+}
+
+std::vector<GrowthPoint>
+ScalingModel::series(int last_year, int step, int projection_start) const
+{
+    std::vector<GrowthPoint> out;
+    for (int year = 1990; year <= last_year; year += step) {
+        out.push_back(GrowthPoint{year, dramRelative(year),
+                                  lithiumRelative(year),
+                                  year > projection_start});
+    }
+    return out;
+}
+
+} // namespace viyojit::battery

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAM vs. lithium density scaling model behind paper figure 1:
+ * DRAM capacity per rack unit grew >50,000x from 1990 to 2015 while
+ * lithium energy density grew ~3.3x in the same period.
+ */
+
+#ifndef VIYOJIT_BATTERY_SCALING_HH
+#define VIYOJIT_BATTERY_SCALING_HH
+
+#include <vector>
+
+namespace viyojit::battery
+{
+
+/** One sample of the relative-growth series. */
+struct GrowthPoint
+{
+    int year;
+    double dramRelative;    ///< DRAM GB/RU relative to 1990.
+    double lithiumRelative; ///< Li-ion J/volume relative to 1990.
+    bool projected;         ///< True for years beyond the last datum.
+};
+
+/** Exponential growth model fit to the paper's endpoints. */
+class ScalingModel
+{
+  public:
+    /**
+     * @param dram_growth_25yr total DRAM growth over 25 years
+     *        (paper: >50,000x; we use the stated "four orders of
+     *        magnitude plus" midpoint 50,000).
+     * @param lithium_growth_25yr total Li growth over 25 years
+     *        (paper: 3.3x).
+     */
+    ScalingModel(double dram_growth_25yr = 50000.0,
+                 double lithium_growth_25yr = 3.3);
+
+    /** Relative DRAM density at `year` (1990 = 1.0). */
+    double dramRelative(int year) const;
+
+    /** Relative lithium density at `year` (1990 = 1.0). */
+    double lithiumRelative(int year) const;
+
+    /** Ratio of DRAM growth to lithium growth at `year`. */
+    double gap(int year) const;
+
+    /**
+     * Series from 1990 to `last_year` inclusive, stepping by `step`;
+     * years after `projection_start` are flagged projected.
+     */
+    std::vector<GrowthPoint> series(int last_year = 2020, int step = 5,
+                                    int projection_start = 2015) const;
+
+  private:
+    double dramCagr_;
+    double lithiumCagr_;
+};
+
+} // namespace viyojit::battery
+
+#endif // VIYOJIT_BATTERY_SCALING_HH

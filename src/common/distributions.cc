@@ -1,0 +1,260 @@
+#include "common/distributions.hh"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace viyojit
+{
+
+std::uint64_t
+fnv1aHash64(std::uint64_t value)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+// ---------------------------------------------------------------------
+// UniformDistribution
+// ---------------------------------------------------------------------
+
+UniformDistribution::UniformDistribution(std::uint64_t n)
+    : count_(n)
+{
+    VIYOJIT_ASSERT(n > 0, "uniform distribution over empty space");
+}
+
+std::uint64_t
+UniformDistribution::next(Rng &rng)
+{
+    return rng.nextBounded(count_);
+}
+
+void
+UniformDistribution::setItemCount(std::uint64_t n)
+{
+    VIYOJIT_ASSERT(n > 0, "uniform distribution over empty space");
+    count_ = n;
+}
+
+// ---------------------------------------------------------------------
+// ZipfianDistribution
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Process-wide cache of zeta checkpoints per theta.  Experiment
+ * harnesses construct many zipfians over identical (often huge)
+ * populations; reusing the largest checkpoint <= n makes each
+ * construction incremental.  Guarded for safety although the
+ * library's hot paths are single-threaded.
+ */
+std::mutex zetaCacheLock;
+std::map<std::pair<double, std::uint64_t>, double> zetaCache;
+
+} // namespace
+
+ZipfianDistribution::ZipfianDistribution(std::uint64_t n, double theta)
+    : count_(n), theta_(theta)
+{
+    VIYOJIT_ASSERT(n > 0, "zipfian distribution over empty space");
+    VIYOJIT_ASSERT(theta > 0.0 && theta < 1.0,
+                   "zipfian theta must be in (0, 1)");
+    zeta2Theta_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    recompute();
+}
+
+double
+ZipfianDistribution::zeta(std::uint64_t n)
+{
+    if (n < lastZetaN_) {
+        // Shrink: restart from the best cached checkpoint <= n.
+        lastZetaN_ = 0;
+        lastZeta_ = 0.0;
+    }
+    if (lastZetaN_ == 0) {
+        std::lock_guard<std::mutex> guard(zetaCacheLock);
+        auto it = zetaCache.upper_bound({theta_, n});
+        if (it != zetaCache.begin()) {
+            --it;
+            if (it->first.first == theta_) {
+                lastZetaN_ = it->first.second;
+                lastZeta_ = it->second;
+            }
+        }
+    }
+    double sum = lastZeta_;
+    for (std::uint64_t i = lastZetaN_ + 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    lastZetaN_ = n;
+    lastZeta_ = sum;
+    if (n >= 1024) {
+        std::lock_guard<std::mutex> guard(zetaCacheLock);
+        zetaCache[{theta_, n}] = sum;
+        // Bound the cache; keep it from growing per-insert.
+        if (zetaCache.size() > 512)
+            zetaCache.erase(zetaCache.begin());
+    }
+    return sum;
+}
+
+void
+ZipfianDistribution::recompute()
+{
+    zetan_ = zeta(count_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(count_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2Theta_ / zetan_);
+}
+
+std::uint64_t
+ZipfianDistribution::next(Rng &rng)
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double n = static_cast<double>(count_);
+    const auto idx = static_cast<std::uint64_t>(
+        n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= count_ ? count_ - 1 : idx;
+}
+
+void
+ZipfianDistribution::setItemCount(std::uint64_t n)
+{
+    VIYOJIT_ASSERT(n > 0, "zipfian distribution over empty space");
+    if (n == count_)
+        return;
+    count_ = n;
+    recompute();
+}
+
+// ---------------------------------------------------------------------
+// ScrambledZipfianDistribution
+// ---------------------------------------------------------------------
+
+ScrambledZipfianDistribution::ScrambledZipfianDistribution(std::uint64_t n,
+                                                           double theta)
+    : count_(n), inner_(n, theta)
+{
+}
+
+std::uint64_t
+ScrambledZipfianDistribution::next(Rng &rng)
+{
+    return fnv1aHash64(inner_.next(rng)) % count_;
+}
+
+void
+ScrambledZipfianDistribution::setItemCount(std::uint64_t n)
+{
+    count_ = n;
+    inner_.setItemCount(n);
+}
+
+// ---------------------------------------------------------------------
+// ScaledZipfianDistribution
+// ---------------------------------------------------------------------
+
+ScaledZipfianDistribution::ScaledZipfianDistribution(std::uint64_t n,
+                                                     unsigned scale_shift,
+                                                     double theta)
+    : count_(n), scaleShift_(scale_shift),
+      inner_(n << scale_shift, theta)
+{
+    VIYOJIT_ASSERT(scale_shift < 32, "unreasonable scale shift");
+}
+
+std::uint64_t
+ScaledZipfianDistribution::next(Rng &rng)
+{
+    // Fold the virtual-population rank down, then scatter.
+    const std::uint64_t folded = inner_.next(rng) >> scaleShift_;
+    return fnv1aHash64(folded) % count_;
+}
+
+void
+ScaledZipfianDistribution::setItemCount(std::uint64_t n)
+{
+    count_ = n;
+    inner_.setItemCount(n << scaleShift_);
+}
+
+// ---------------------------------------------------------------------
+// LatestDistribution
+// ---------------------------------------------------------------------
+
+LatestDistribution::LatestDistribution(std::uint64_t n, double theta)
+    : count_(n), inner_(n, theta)
+{
+}
+
+std::uint64_t
+LatestDistribution::next(Rng &rng)
+{
+    // Rank 0 in the inner zipfian maps to the newest item.
+    const std::uint64_t rank = inner_.next(rng);
+    return count_ - 1 - rank;
+}
+
+void
+LatestDistribution::setItemCount(std::uint64_t n)
+{
+    count_ = n;
+    inner_.setItemCount(n);
+}
+
+// ---------------------------------------------------------------------
+// HotspotDistribution
+// ---------------------------------------------------------------------
+
+HotspotDistribution::HotspotDistribution(std::uint64_t n,
+                                         double hot_set_fraction,
+                                         double hot_draw_fraction)
+    : count_(n),
+      hotSetFraction_(hot_set_fraction),
+      hotDrawFraction_(hot_draw_fraction)
+{
+    VIYOJIT_ASSERT(n > 0, "hotspot distribution over empty space");
+    VIYOJIT_ASSERT(hot_set_fraction > 0.0 && hot_set_fraction <= 1.0,
+                   "hot set fraction out of range");
+    VIYOJIT_ASSERT(hot_draw_fraction >= 0.0 && hot_draw_fraction <= 1.0,
+                   "hot draw fraction out of range");
+}
+
+std::uint64_t
+HotspotDistribution::next(Rng &rng)
+{
+    auto hot_items = static_cast<std::uint64_t>(
+        hotSetFraction_ * static_cast<double>(count_));
+    if (hot_items == 0)
+        hot_items = 1;
+    if (hot_items >= count_)
+        return rng.nextBounded(count_);
+
+    if (rng.nextBool(hotDrawFraction_))
+        return rng.nextBounded(hot_items);
+    return hot_items + rng.nextBounded(count_ - hot_items);
+}
+
+void
+HotspotDistribution::setItemCount(std::uint64_t n)
+{
+    VIYOJIT_ASSERT(n > 0, "hotspot distribution over empty space");
+    count_ = n;
+}
+
+} // namespace viyojit

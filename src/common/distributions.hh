@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Request-distribution samplers used by the YCSB driver and the
+ * synthetic trace generators.
+ *
+ * The Zipfian sampler follows the incremental method of Gray et al.
+ * ("Quickly generating billion-record synthetic databases"), which is
+ * also what the reference YCSB implementation uses; ScrambledZipfian
+ * hashes the popular items across the key space; Latest skews toward
+ * the most recently inserted item.
+ */
+
+#ifndef VIYOJIT_COMMON_DISTRIBUTIONS_HH
+#define VIYOJIT_COMMON_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+
+namespace viyojit
+{
+
+/** Abstract sampler over a growable integer item space. */
+class IntegerDistribution
+{
+  public:
+    virtual ~IntegerDistribution() = default;
+
+    /** Draw the next item in [0, itemCount). */
+    virtual std::uint64_t next(Rng &rng) = 0;
+
+    /** Grow the item space (after inserts). */
+    virtual void setItemCount(std::uint64_t n) = 0;
+
+    /** Current item-space size. */
+    virtual std::uint64_t itemCount() const = 0;
+};
+
+/** Uniform sampler over [0, n). */
+class UniformDistribution : public IntegerDistribution
+{
+  public:
+    explicit UniformDistribution(std::uint64_t n);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+  private:
+    std::uint64_t count_;
+};
+
+/**
+ * Zipfian sampler over [0, n) with exponent theta (default 0.99, the
+ * YCSB constant).  Item 0 is the most popular.
+ */
+class ZipfianDistribution : public IntegerDistribution
+{
+  public:
+    static constexpr double defaultTheta = 0.99;
+
+    ZipfianDistribution(std::uint64_t n, double theta = defaultTheta);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+    double theta() const { return theta_; }
+
+  private:
+    void recompute();
+
+    /**
+     * Generalized harmonic normalizer sum_{i=1..n} 1/i^theta,
+     * extended incrementally from the last computed point and backed
+     * by a small cache so repeated growth (inserts) and repeated
+     * experiment construction stay cheap even for huge n.
+     */
+    double zeta(std::uint64_t n);
+
+    std::uint64_t count_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2Theta_;
+
+    /** Incremental-zeta state: zeta(lastZetaN_) == lastZeta_. */
+    std::uint64_t lastZetaN_ = 0;
+    double lastZeta_ = 0.0;
+};
+
+/**
+ * Zipfian sampler whose popular items are scattered over the item
+ * space via FNV hashing, as in YCSB's ScrambledZipfianGenerator.
+ */
+class ScrambledZipfianDistribution : public IntegerDistribution
+{
+  public:
+    explicit ScrambledZipfianDistribution(
+        std::uint64_t n, double theta = ZipfianDistribution::defaultTheta);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+  private:
+    std::uint64_t count_;
+    ZipfianDistribution inner_;
+};
+
+/**
+ * Zipfian sampler whose *skew profile* comes from a larger virtual
+ * population: ranks are drawn from Zipf over (n << scale_shift)
+ * items and folded down by the same shift, then scattered by
+ * hashing.
+ *
+ * Purpose: Zipf mass concentrates more as the population grows (the
+ * paper's figure 5), so a downscaled experiment sampling a plain
+ * Zipf over its small population *understates* the skew the paper's
+ * full-size dataset has.  Folding a paper-scale Zipf onto the scaled
+ * population gives each scaled item the aggregate mass of its
+ * full-scale rank block, preserving coverage fractions.
+ */
+class ScaledZipfianDistribution : public IntegerDistribution
+{
+  public:
+    ScaledZipfianDistribution(
+        std::uint64_t n, unsigned scale_shift,
+        double theta = ZipfianDistribution::defaultTheta);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+  private:
+    std::uint64_t count_;
+    unsigned scaleShift_;
+    ZipfianDistribution inner_;
+};
+
+/**
+ * "Latest" sampler: zipfian over recency, so the most recently
+ * inserted item is the most popular (YCSB workload D).
+ */
+class LatestDistribution : public IntegerDistribution
+{
+  public:
+    explicit LatestDistribution(
+        std::uint64_t n, double theta = ZipfianDistribution::defaultTheta);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+  private:
+    std::uint64_t count_;
+    ZipfianDistribution inner_;
+};
+
+/**
+ * Hotspot sampler: hotFraction of draws hit the first hotSetFraction
+ * of the space uniformly; the rest hit the remainder uniformly.  Used
+ * by trace generators to model the "80/20"-style volumes.
+ */
+class HotspotDistribution : public IntegerDistribution
+{
+  public:
+    HotspotDistribution(std::uint64_t n, double hot_set_fraction,
+                        double hot_draw_fraction);
+
+    std::uint64_t next(Rng &rng) override;
+    void setItemCount(std::uint64_t n) override;
+    std::uint64_t itemCount() const override { return count_; }
+
+  private:
+    std::uint64_t count_;
+    double hotSetFraction_;
+    double hotDrawFraction_;
+};
+
+/** 64-bit FNV-1a hash (used for key scrambling). */
+std::uint64_t fnv1aHash64(std::uint64_t value);
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_DISTRIBUTIONS_HH

@@ -1,0 +1,164 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace viyojit
+{
+
+// ---------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------
+
+LogHistogram::LogHistogram(int sub_bucket_bits)
+    : subBucketBits_(sub_bucket_bits)
+{
+    VIYOJIT_ASSERT(sub_bucket_bits >= 0 && sub_bucket_bits <= 16,
+                   "unreasonable sub-bucket resolution");
+    // 64 log2 tiers, each with 2^subBucketBits linear sub-buckets.
+    buckets_.assign(static_cast<std::size_t>(64) << subBucketBits_, 0);
+}
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t value) const
+{
+    // Values below 2^subBucketBits are indexed exactly.
+    if (value < (1ULL << subBucketBits_))
+        return static_cast<std::size_t>(value);
+    const int tier = 63 - std::countl_zero(value);
+    const std::uint64_t sub = (value >> (tier - subBucketBits_)) &
+                              ((1ULL << subBucketBits_) - 1);
+    return (static_cast<std::size_t>(tier) << subBucketBits_) +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LogHistogram::bucketUpperBound(std::size_t index) const
+{
+    const auto tier = static_cast<int>(index >> subBucketBits_);
+    const std::uint64_t sub = index & ((1ULL << subBucketBits_) - 1);
+    if (tier < subBucketBits_)
+        return index; // direct-indexed small values
+    const std::uint64_t base = 1ULL << tier;
+    const std::uint64_t step = 1ULL << (tier - subBucketBits_);
+    return base + (sub + 1) * step - 1;
+}
+
+void
+LogHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LogHistogram::record(std::uint64_t value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    const std::size_t idx = bucketIndex(value);
+    VIYOJIT_ASSERT(idx < buckets_.size(), "bucket index out of range");
+    buckets_[idx] += n;
+    count_ += n;
+    sum_ += value * n;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+LogHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    VIYOJIT_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    const auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    VIYOJIT_ASSERT(other.subBucketBits_ == subBucketBits_,
+                   "merging histograms of different resolution");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// LinearHistogram
+// ---------------------------------------------------------------------
+
+LinearHistogram::LinearHistogram(std::uint64_t lo, std::uint64_t hi,
+                                 std::size_t bucket_count)
+    : lo_(lo), hi_(hi)
+{
+    VIYOJIT_ASSERT(hi > lo, "empty histogram range");
+    VIYOJIT_ASSERT(bucket_count > 0, "zero buckets");
+    buckets_.assign(bucket_count, 0);
+}
+
+void
+LinearHistogram::record(std::uint64_t value)
+{
+    std::size_t idx;
+    if (value < lo_) {
+        idx = 0;
+    } else if (value >= hi_) {
+        idx = buckets_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>(
+            static_cast<double>(value - lo_) /
+            static_cast<double>(hi_ - lo_) *
+            static_cast<double>(buckets_.size()));
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+    }
+    ++buckets_[idx];
+    ++count_;
+}
+
+std::uint64_t
+LinearHistogram::bucketLo(std::size_t i) const
+{
+    VIYOJIT_ASSERT(i < buckets_.size(), "bucket index out of range");
+    return lo_ + (hi_ - lo_) * i / buckets_.size();
+}
+
+void
+LinearHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+}
+
+} // namespace viyojit

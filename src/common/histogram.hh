@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Latency and value histograms.
+ *
+ * LogHistogram buckets values by log2 with linear sub-buckets, giving
+ * bounded relative error on percentile queries (HDR-histogram style)
+ * while staying allocation-free after construction.
+ */
+
+#ifndef VIYOJIT_COMMON_HISTOGRAM_HH
+#define VIYOJIT_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace viyojit
+{
+
+/**
+ * Log-bucketed histogram over uint64 values with percentile queries.
+ */
+class LogHistogram
+{
+  public:
+    /** @param sub_bucket_bits linear sub-buckets per power of two. */
+    explicit LogHistogram(int sub_bucket_bits = 5);
+
+    /** Record one observation. */
+    void record(std::uint64_t value);
+
+    /** Record an observation with a repeat count. */
+    void record(std::uint64_t value, std::uint64_t count);
+
+    /** Number of recorded observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of recorded values (exact). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest recorded value; 0 when empty. */
+    std::uint64_t minValue() const { return count_ ? min_ : 0; }
+
+    /** Largest recorded value; 0 when empty. */
+    std::uint64_t maxValue() const { return count_ ? max_ : 0; }
+
+    /**
+     * Value at the given percentile in [0, 100]; returns an upper
+     * bucket bound, so the result is >= the true percentile and within
+     * one sub-bucket of it.  0 when empty.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LogHistogram &other);
+
+    /** Discard all observations. */
+    void reset();
+
+  private:
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketUpperBound(std::size_t index) const;
+
+    int subBucketBits_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ULL;
+    std::uint64_t max_ = 0;
+};
+
+/** Fixed-width linear histogram for bounded-range values. */
+class LinearHistogram
+{
+  public:
+    LinearHistogram(std::uint64_t lo, std::uint64_t hi,
+                    std::size_t bucket_count);
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t bucketValue(std::size_t i) const { return buckets_[i]; }
+
+    /** Inclusive lower edge of bucket i. */
+    std::uint64_t bucketLo(std::size_t i) const;
+
+    void reset();
+
+  private:
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_HISTOGRAM_HH

@@ -1,0 +1,27 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace viyojit
+{
+
+namespace
+{
+
+std::atomic<int> globalVerbosity{1};
+
+} // namespace
+
+int
+logVerbosity()
+{
+    return globalVerbosity.load(std::memory_order_relaxed);
+}
+
+int
+setLogVerbosity(int level)
+{
+    return globalVerbosity.exchange(level, std::memory_order_relaxed);
+}
+
+} // namespace viyojit

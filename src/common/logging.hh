@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging: panic/fatal/warn/inform.
+ *
+ * panic() is for internal invariant violations (library bugs); it
+ * aborts.  fatal() is for unrecoverable user/configuration errors; it
+ * throws FatalError so tests can assert on misconfiguration.  warn()
+ * and inform() are advisory and never stop execution.
+ */
+
+#ifndef VIYOJIT_COMMON_LOGGING_HH
+#define VIYOJIT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace viyojit
+{
+
+/** Thrown by fatal() so that configuration errors are testable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Global log verbosity: 0 = silent, 1 = warn, 2 = inform. */
+int logVerbosity();
+
+/** Set global log verbosity; returns the previous value. */
+int setLogVerbosity(int level);
+
+/** Abort on an internal invariant violation. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::composeMessage(std::forward<Args>(args)...);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Raise an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Advisory warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logVerbosity() >= 1) {
+        std::string msg =
+            detail::composeMessage(std::forward<Args>(args)...);
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logVerbosity() >= 2) {
+        std::string msg =
+            detail::composeMessage(std::forward<Args>(args)...);
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
+}
+
+/** panic() unless the condition holds. */
+#define VIYOJIT_ASSERT(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::viyojit::panic("assertion '", #cond, "' failed at ",      \
+                             __FILE__, ":", __LINE__, " ",              \
+                             ##__VA_ARGS__);                            \
+        }                                                               \
+    } while (0)
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_LOGGING_HH

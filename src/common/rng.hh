@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components in the library draw from Rng so that every
+ * experiment is reproducible from a single seed.  The generator is
+ * xoshiro256** (Blackman & Vigna) seeded through SplitMix64.
+ */
+
+#ifndef VIYOJIT_COMMON_RNG_HH
+#define VIYOJIT_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace viyojit
+{
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * plugged into <random> distributions where needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound) for bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /** Exponentially distributed double with the given mean. */
+    double nextExponential(double mean);
+
+    /** Gaussian draw (Box-Muller) with given mean and stddev. */
+    double nextGaussian(double mean, double stddev);
+
+    /** Fork an independent stream (for per-thread determinism). */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_RNG_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace viyojit
+{
+
+void
+Gauge::set(std::int64_t v)
+{
+    value_ = v;
+    highWatermark_ = std::max(highWatermark_, v);
+}
+
+void
+Gauge::reset()
+{
+    value_ = 0;
+    highWatermark_ = 0;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Gauge &
+StatsRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+std::uint64_t
+StatsRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t
+StatsRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second.value();
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, g] : gauges_) {
+        os << name << " " << g.value()
+           << " (hwm " << g.highWatermark() << ")\n";
+    }
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, g] : gauges_)
+        g.reset();
+}
+
+} // namespace viyojit

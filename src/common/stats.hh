@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every subsystem registers counters and gauges with a StatsRegistry;
+ * benches and tests read them back by name.  This mirrors the role of
+ * a simulator stats package without pulling in a framework.
+ */
+
+#ifndef VIYOJIT_COMMON_STATS_HH
+#define VIYOJIT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace viyojit
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Instantaneous value with high-watermark tracking. */
+class Gauge
+{
+  public:
+    void set(std::int64_t v);
+    void add(std::int64_t delta) { set(value_ + delta); }
+    std::int64_t value() const { return value_; }
+    std::int64_t highWatermark() const { return highWatermark_; }
+    void reset();
+
+  private:
+    std::int64_t value_ = 0;
+    std::int64_t highWatermark_ = 0;
+};
+
+/**
+ * Name -> stat registry.  Stats are owned by the registry and live as
+ * long as it does; callers hold references.
+ */
+class StatsRegistry
+{
+  public:
+    /** Get or create a counter with the given dotted name. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create a gauge with the given dotted name. */
+    Gauge &gauge(const std::string &name);
+
+    /** Read a counter (0 when absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Read a gauge (0 when absent). */
+    std::int64_t gaugeValue(const std::string &name) const;
+
+    /** Dump all stats, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat to zero. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+};
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_STATS_HH

@@ -1,0 +1,110 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace viyojit
+{
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::fmt(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int from_right = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (from_right > 0 && from_right % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++from_right;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+} // namespace viyojit

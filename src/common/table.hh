@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table and CSV emitters for benchmark output.
+ *
+ * Every bench binary prints its figure/table as a Table so the output
+ * can be compared directly against the paper and also machine-parsed
+ * (the CSV form) by plotting scripts.
+ */
+
+#ifndef VIYOJIT_COMMON_TABLE_HH
+#define VIYOJIT_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace viyojit
+{
+
+/** Column-aligned ASCII table with an optional title and CSV dump. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of pre-formatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format an integer with thousands grouping. */
+    static std::string fmt(std::uint64_t v);
+
+    /** Format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_TABLE_HH

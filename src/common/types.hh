@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental types shared across the Viyojit libraries.
+ */
+
+#ifndef VIYOJIT_COMMON_TYPES_HH
+#define VIYOJIT_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace viyojit
+{
+
+/** Virtual address inside an NV-DRAM region. */
+using Addr = std::uint64_t;
+
+/** Zero-based page number inside an NV-DRAM region. */
+using PageNum = std::uint64_t;
+
+/** Virtual time, in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no page". */
+inline constexpr PageNum invalidPage =
+    std::numeric_limits<PageNum>::max();
+
+/** Sentinel for "never" / "no deadline". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Default page size used throughout (x86-64 base pages). */
+inline constexpr std::uint64_t defaultPageSize = 4096;
+
+/** Byte-size helpers. */
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Time helpers producing Ticks (nanoseconds). */
+inline constexpr Tick operator""_ns(unsigned long long v)
+{
+    return v;
+}
+
+inline constexpr Tick operator""_us(unsigned long long v)
+{
+    return v * 1000;
+}
+
+inline constexpr Tick operator""_ms(unsigned long long v)
+{
+    return v * 1000 * 1000;
+}
+
+inline constexpr Tick operator""_s(unsigned long long v)
+{
+    return v * 1000 * 1000 * 1000;
+}
+
+/** Convert a tick count to (double) seconds. */
+inline constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Convert (double) seconds to ticks, rounding to nearest. */
+inline constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * 1e9 + 0.5);
+}
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_TYPES_HH

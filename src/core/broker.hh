@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Battery-budget broker for co-located tenants.
+ *
+ * The paper's section 6.3 envisions cloud providers treating battery
+ * as a first-class resource: "tenants can buy battery capacity based
+ * on their expected workload ... providers can employ techniques
+ * similar to memory ballooning to reallocate battery/dirty-budget
+ * among co-located tenants to benefit from inherent statistical
+ * multiplexing effects."
+ *
+ * The broker owns one machine-level page budget (from the physical
+ * battery) and periodically reapportions it among tenant managers by
+ * observed demand — a tenant's dirty set plus its predicted burst —
+ * subject to per-tenant guaranteed minimums and weights.  Shrinks
+ * are applied before grows so the machine-level budget is never
+ * oversubscribed, even transiently.
+ */
+
+#ifndef VIYOJIT_CORE_BROKER_HH
+#define VIYOJIT_CORE_BROKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/manager.hh"
+
+namespace viyojit::core
+{
+
+/** Per-tenant contract. */
+struct TenantPolicy
+{
+    /** Pages the tenant is always entitled to (its purchased floor). */
+    std::uint64_t minPages = 1;
+
+    /** Share weight for surplus distribution. */
+    double weight = 1.0;
+};
+
+/** Reapportions one battery's dirty budget among tenant managers. */
+class BatteryBudgetBroker
+{
+  public:
+    /** @param total_pages machine-level budget from the battery. */
+    explicit BatteryBudgetBroker(std::uint64_t total_pages);
+
+    /**
+     * Register a tenant.  Its current budget immediately becomes
+     * broker-managed; the sum of all minimums must fit the total.
+     */
+    void addTenant(ViyojitManager &manager, const TenantPolicy &policy);
+
+    /**
+     * Recompute allocations from current demand and apply them
+     * (shrinks first, then grows).  Call periodically, or after any
+     * setTotalPages().
+     */
+    void rebalance();
+
+    /**
+     * Machine-level budget change (battery fade or recovery);
+     * triggers a rebalance.
+     */
+    void setTotalPages(std::uint64_t total_pages);
+
+    std::uint64_t totalPages() const { return totalPages_; }
+
+    /** Current allocation of tenant `index` (registration order). */
+    std::uint64_t allocationOf(std::size_t index) const;
+
+    std::size_t tenantCount() const { return tenants_.size(); }
+
+  private:
+    struct Tenant
+    {
+        ViyojitManager *manager;
+        TenantPolicy policy;
+        std::uint64_t allocation = 0;
+
+        /** Fault counter at the last rebalance (thrash detection). */
+        std::uint64_t lastWriteFaults = 0;
+    };
+
+    /**
+     * Demand estimate: dirty pages + predicted burst + faults taken
+     * since the last rebalance.  The fault term is what lets a
+     * tenant pinned at its allocation signal unmet demand — dirty
+     * count alone is capacity-capped, so ballooning would never
+     * grow a thrashing tenant without it.
+     */
+    static std::uint64_t demandOf(Tenant &tenant);
+
+    std::vector<Tenant> tenants_;
+    std::uint64_t totalPages_;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_BROKER_HH

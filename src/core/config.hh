@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration for the Viyojit dirty-budget machinery.
+ */
+
+#ifndef VIYOJIT_CORE_CONFIG_HH
+#define VIYOJIT_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace viyojit::core
+{
+
+/** Knobs of the dirty-budget controller (paper sections 4-5). */
+struct ViyojitConfig
+{
+    /** Tracking granularity in bytes. */
+    std::uint64_t pageSize = defaultPageSize;
+
+    /**
+     * Maximum pages allowed dirty at any instant; derived from the
+     * provisioned battery via DirtyBudgetCalculator in deployments.
+     */
+    std::uint64_t dirtyBudgetPages = 0;
+
+    /** Epoch length for dirty-bit scans (paper: 1 ms). */
+    Tick epochLength = 1_ms;
+
+    /** Epochs of update history kept per page (paper: 64). */
+    unsigned historyEpochs = 64;
+
+    /**
+     * EWMA weight of the current epoch's new-dirty count when
+     * predicting dirty page pressure (paper: 0.75).
+     */
+    double pressureWeightCurrent = 0.75;
+
+    /** Cap on outstanding proactive-copy IOs (paper: 16). */
+    unsigned maxOutstandingIos = 16;
+
+    /**
+     * Flush the TLB before each dirty-bit scan so recency is precise
+     * (paper default; `false` reproduces the section 6.3 ablation
+     * where stale dirty bits halve low-budget throughput).
+     */
+    bool flushTlbOnScan = true;
+
+    /**
+     * When true (default), proactive copies launch as soon as the
+     * dirty count crosses the threshold (in the fault path and on IO
+     * completion).  When false, copies launch only at epoch
+     * boundaries — the burst slack must then absorb a whole epoch of
+     * faults, and overflow blocks on the SSD.
+     */
+    bool continuousCopyTrigger = true;
+
+    /**
+     * Order history ties by last-update sequence (default).  False
+     * restores a history-only victim sort, which is what makes the
+     * section-6.3 stale-dirty-bit ablation collapse like the paper's
+     * implementation did.
+     */
+    bool updateTimeTieBreak = true;
+
+    /**
+     * Section-5.4 hardware assist: the MMU counts dirty pages and
+     * raises an interrupt at the budget threshold, so first writes
+     * need no write-protection trap.  Pages stay writable except
+     * while under writeback.  Requires a substrate whose MMU models
+     * the assist (the simulator; real x86-64 cannot, which is the
+     * paper's point).
+     */
+    bool hardwareAssist = false;
+
+    /**
+     * When false, run as the full-battery NV-DRAM baseline: pages map
+     * writable, nothing is tracked or copied, and the battery must
+     * cover the entire capacity.
+     */
+    bool enforceBudget = true;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_CONFIG_HH

@@ -1,0 +1,280 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
+                                             const ViyojitConfig &config)
+    : backend_(backend),
+      config_(config),
+      budget_(config.dirtyBudgetPages),
+      tracker_(backend.pageCount()),
+      recency_(backend.pageCount(), config.historyEpochs),
+      pressure_(config.pressureWeightCurrent),
+      inFlight_(backend.pageCount(), 0)
+{
+    if (budget_ == 0)
+        fatal("dirty budget must be at least one page");
+    if (config.maxOutstandingIos == 0)
+        fatal("need at least one outstanding IO slot");
+    recency_.setUseSeqTieBreak(config.updateTimeTieBreak);
+}
+
+bool
+DirtyBudgetController::isInFlight(PageNum page) const
+{
+    return inFlight_[page] != 0;
+}
+
+void
+DirtyBudgetController::onWriteFault(PageNum page)
+{
+    ++stats_.writeFaults;
+
+    if (inFlight_[page]) {
+        // The page is being copied out; its frame is write-protected
+        // until the copy is durable (the protect-before-copy rule of
+        // section 5.1).  Block until the copy completes, after which
+        // the page is clean and we admit the write below.
+        ++stats_.inFlightWaits;
+        backend_.waitForPersist(page);
+        VIYOJIT_ASSERT(!inFlight_[page], "wait did not complete copy");
+    }
+
+    if (tracker_.isDirty(page)) {
+        // Dirty but protected: the substrate re-protected the page
+        // (the runtime's epoch re-protection does this to sample
+        // recency).  Record the update and allow the write; the page
+        // is already accounted against the budget.
+        recency_.recordUpdate(page);
+        backend_.unprotectPage(page);
+        return;
+    }
+
+    // Admitting a new dirty page; make room first (fig. 6 steps 5-7).
+    while (tracker_.count() >= budget_)
+        evictOneBlocking();
+
+    // Fig. 6 step 8: unprotect, count, and list the faulting page.
+    backend_.unprotectPage(page);
+    tracker_.markDirty(page);
+    recency_.recordUpdate(page);
+
+    // Crossing the threshold triggers background flushes immediately
+    // (section 5.3's trigger is the threshold, not the epoch tick);
+    // the epoch boundary merely refreshes recency and the threshold.
+    // The just-admitted page is exempt so the faulting write always
+    // makes progress; lastAdmitted_ still names the *previous*
+    // admission here, keeping both halves of a page-straddling store
+    // resident (see chooseVictim).
+    if (config_.continuousCopyTrigger)
+        pumpProactiveCopies(page);
+    lastAdmitted_ = page;
+}
+
+void
+DirtyBudgetController::onHardwareDirty(PageNum page)
+{
+    VIYOJIT_ASSERT(config_.hardwareAssist,
+                   "hardware admission without hardware assist");
+    if (inFlight_[page] || tracker_.isDirty(page))
+        return;
+    while (tracker_.count() >= budget_)
+        evictOneBlocking();
+    tracker_.markDirty(page);
+    recency_.recordUpdate(page);
+    if (config_.continuousCopyTrigger)
+        pumpProactiveCopies(page);
+    lastAdmitted_ = page;
+}
+
+PageNum
+DirtyBudgetController::chooseVictim(PageNum skip,
+                                    bool spare_last_admitted)
+{
+    const PageNum spared =
+        spare_last_admitted ? lastAdmitted_ : invalidPage;
+    return recency_.pickVictim(
+        tracker_, [this, skip, spared](PageNum p) {
+            return p == skip || p == spared || inFlight_[p] != 0;
+        });
+}
+
+void
+DirtyBudgetController::evictOneBlocking()
+{
+    PageNum victim = chooseVictim();
+    if (victim == invalidPage && inFlightCount_ == 0) {
+        // Only the guard-window page is left (budget of 1-2 pages):
+        // dropping the guard is the lesser evil; forward progress
+        // then needs a budget of at least two pages for unaligned
+        // writes, which the config documents.
+        victim = chooseVictim(invalidPage,
+                              /*spare_last_admitted=*/false);
+    }
+    if (victim == invalidPage) {
+        // Every dirty page is already under copy; wait for one to
+        // land, which lowers the dirty count.
+        VIYOJIT_ASSERT(inFlightCount_ > 0,
+                       "budget exceeded with no evictable page");
+        ++stats_.inFlightWaits;
+        backend_.waitForAnyPersist();
+        return;
+    }
+    // Write protect before copying so a concurrent update cannot be
+    // lost (section 5.1).
+    backend_.protectPage(victim);
+    backend_.persistPageBlocking(victim);
+    tracker_.markClean(victim);
+    if (config_.hardwareAssist) {
+        // Clean pages stay writable under the assist; the MMU's
+        // dirty counter — not write protection — readmits them.
+        backend_.unprotectPage(victim);
+    }
+    ++stats_.blockedEvictions;
+}
+
+void
+DirtyBudgetController::onEpochBoundary()
+{
+    ++stats_.epochs;
+
+    // Walk the page table, folding this epoch's hardware dirty bits
+    // into the recency histories (section 5.2).
+    // With the section-5.4 assist the MMU writes dirty bits through,
+    // so the scan reads fresh bits without any TLB flush.
+    const bool flush_tlb =
+        config_.flushTlbOnScan && !config_.hardwareAssist;
+    backend_.scanAndClearDirty(
+        flush_tlb, [this](PageNum page, bool was_dirty) {
+            if (was_dirty)
+                recency_.recordUpdate(page);
+        });
+
+    // Update the burst predictor with this epoch's new-dirty count
+    // (section 5.3) and roll the histories.
+    pressure_.observe(tracker_.newDirtyThisEpoch());
+    tracker_.resetEpochCount();
+    recency_.advanceEpoch();
+    recency_.rebuildVictimQueue(tracker_);
+
+    pumpProactiveCopies();
+}
+
+std::uint64_t
+DirtyBudgetController::currentThreshold() const
+{
+    return pressure_.threshold(budget_);
+}
+
+void
+DirtyBudgetController::pumpProactiveCopies(PageNum skip)
+{
+    // Backends that complete copies inline re-enter through
+    // onPersistComplete; the outer loop (which holds the `skip`
+    // exemption) does all the work, so nested pumps bail out.
+    if (pumping_)
+        return;
+    pumping_ = true;
+    const std::uint64_t threshold = currentThreshold();
+    while (backend_.outstandingIos() < config_.maxOutstandingIos &&
+           backend_.canSubmit()) {
+        const std::uint64_t settled = tracker_.count() - inFlightCount_;
+        if (settled <= threshold)
+            break;
+        const PageNum victim = chooseVictim(skip);
+        if (victim == invalidPage)
+            break;
+        startCopy(victim);
+    }
+    pumping_ = false;
+}
+
+void
+DirtyBudgetController::startCopy(PageNum victim, bool proactive)
+{
+    VIYOJIT_ASSERT(!inFlight_[victim], "double copy of one page");
+    VIYOJIT_ASSERT(tracker_.isDirty(victim), "copying a clean page");
+    backend_.protectPage(victim);
+    inFlight_[victim] = 1;
+    ++inFlightCount_;
+    if (proactive)
+        ++stats_.proactiveCopies;
+    backend_.persistPageAsync(
+        victim, [this, victim]() { onPersistComplete(victim); });
+}
+
+void
+DirtyBudgetController::onPersistComplete(PageNum page)
+{
+    VIYOJIT_ASSERT(inFlight_[page], "completion for idle page");
+    inFlight_[page] = 0;
+    --inFlightCount_;
+    tracker_.markClean(page);
+    if (config_.hardwareAssist)
+        backend_.unprotectPage(page);
+    // Keep the pipeline full between epochs.
+    if (config_.continuousCopyTrigger)
+        pumpProactiveCopies();
+}
+
+void
+DirtyBudgetController::setDirtyBudget(std::uint64_t pages)
+{
+    if (pages == 0)
+        fatal("dirty budget must be at least one page");
+    budget_ = pages;
+    // Shrinking below the current dirty count: evict synchronously
+    // until we fit (battery fade handling, section 8).
+    while (tracker_.count() > budget_)
+        evictOneBlocking();
+}
+
+void
+DirtyBudgetController::flushPageBlocking(PageNum page)
+{
+    if (inFlight_[page]) {
+        backend_.waitForPersist(page);
+        return;
+    }
+    if (!tracker_.isDirty(page))
+        return;
+    backend_.protectPage(page);
+    backend_.persistPageBlocking(page);
+    tracker_.markClean(page);
+}
+
+std::uint64_t
+DirtyBudgetController::flushAllDirty()
+{
+    std::uint64_t flushed = 0;
+    while (tracker_.count() > 0) {
+        // Fill the IO queue with cold-first victims, then wait.
+        bool launched = false;
+        while (backend_.outstandingIos() < config_.maxOutstandingIos &&
+               backend_.canSubmit() &&
+               tracker_.count() - inFlightCount_ > 0) {
+            // Power is out: no write can be in progress, so the
+            // straddling-store guard does not apply.
+            const PageNum victim =
+                chooseVictim(invalidPage, /*spare_last_admitted=*/false);
+            if (victim == invalidPage)
+                break;
+            startCopy(victim, /*proactive=*/false);
+            ++flushed;
+            launched = true;
+        }
+        if (tracker_.count() == 0)
+            break;
+        if (!launched && inFlightCount_ == 0)
+            panic("dirty pages remain but nothing can be flushed");
+        backend_.waitForAnyPersist();
+    }
+    return flushed;
+}
+
+} // namespace viyojit::core

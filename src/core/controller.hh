@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The dirty-budget controller: Viyojit's central mechanism
+ * (paper sections 4-5, figure 6).
+ *
+ * Responsibilities:
+ *  - enforce the dirty budget exactly, in the write-fault path;
+ *  - maintain least-recently-updated ordering from epoch dirty-bit
+ *    scans;
+ *  - proactively copy cold dirty pages to the backing store, keeping
+ *    slack equal to the predicted dirty-page pressure;
+ *  - flush every dirty page within the battery window on power
+ *    failure.
+ *
+ * The controller is substrate-independent: it talks only to a
+ * PagingBackend, so the identical code runs over the simulated MMU
+ * and over real memory via mprotect.
+ */
+
+#ifndef VIYOJIT_CORE_CONTROLLER_HH
+#define VIYOJIT_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/dirty_tracker.hh"
+#include "core/paging_backend.hh"
+#include "core/pressure.hh"
+#include "core/recency.hh"
+
+namespace viyojit::core
+{
+
+/** Lifetime statistics exported by the controller. */
+struct ControllerStats
+{
+    std::uint64_t writeFaults = 0;
+    std::uint64_t blockedEvictions = 0;
+    std::uint64_t proactiveCopies = 0;
+    std::uint64_t inFlightWaits = 0;
+    std::uint64_t epochs = 0;
+};
+
+/** Dirty-budget enforcement engine. */
+class DirtyBudgetController
+{
+  public:
+    DirtyBudgetController(PagingBackend &backend,
+                          const ViyojitConfig &config);
+
+    /**
+     * Handle a write-protection fault on `page` (figure 6 steps 3-8).
+     * On return the page is writable and accounted dirty, and the
+     * dirty count is within the budget.
+     */
+    void onWriteFault(PageNum page);
+
+    /**
+     * Hardware-assist admission (section 5.4): the MMU set a dirty
+     * bit for `page` and bumped its dirty counter; account the page,
+     * making room first if the budget is full.  Unlike onWriteFault
+     * there is no trap and the page is already writable.
+     */
+    void onHardwareDirty(PageNum page);
+
+    /**
+     * Epoch boundary (paper: every 1 ms): scan and clear dirty bits,
+     * fold them into the recency histories, update the pressure
+     * estimate, and pump proactive copies down to the threshold.
+     */
+    void onEpochBoundary();
+
+    /** Called by the backend when an async page copy completes. */
+    void onPersistComplete(PageNum page);
+
+    /**
+     * Retune the budget at runtime (battery fade, section 8).  If the
+     * new budget is below the current dirty count, pages are evicted
+     * synchronously until the count fits.
+     */
+    void setDirtyBudget(std::uint64_t pages);
+
+    std::uint64_t dirtyBudget() const { return budget_; }
+
+    /**
+     * Emergency flush: persist every dirty page (power failure).
+     * @return number of pages flushed.
+     */
+    std::uint64_t flushAllDirty();
+
+    /**
+     * Synchronously make one page durable and clean (used by
+     * vmunmap).  Waits out an in-flight copy; no-op when clean.
+     */
+    void flushPageBlocking(PageNum page);
+
+    /** Current proactive-copy threshold. */
+    std::uint64_t currentThreshold() const;
+
+    const DirtyPageTracker &tracker() const { return tracker_; }
+    const EpochRecencyTracker &recency() const { return recency_; }
+    const DirtyPagePressure &pressure() const { return pressure_; }
+    const ControllerStats &stats() const { return stats_; }
+    const ViyojitConfig &config() const { return config_; }
+
+    /** True while an async copy of `page` is outstanding. */
+    bool isInFlight(PageNum page) const;
+
+  private:
+    /**
+     * Pick the least-recently-updated dirty page not under copy.
+     * @param skip a page that must not be chosen (or invalidPage).
+     * @param spare_last_admitted when true (default), also spare the
+     *        most recently admitted page: an unaligned store can
+     *        span two pages, and both must stay resident until it
+     *        completes or admissions livelock (each admit evicting
+     *        the other page of the pair).
+     */
+    PageNum chooseVictim(PageNum skip = invalidPage,
+                         bool spare_last_admitted = true);
+
+    /** Synchronously evict one page (fault path at budget). */
+    void evictOneBlocking();
+
+    /**
+     * Launch async copies until threshold or IO-cap reached.
+     * @param skip page exempt from eviction (the one just admitted,
+     *        so the faulting write is guaranteed to make progress).
+     */
+    void pumpProactiveCopies(PageNum skip = invalidPage);
+
+    /**
+     * Launch an asynchronous copy of `victim`.
+     * @param proactive false for emergency-flush copies, which do
+     *        not count toward the proactive-copy statistic.
+     */
+    void startCopy(PageNum victim, bool proactive = true);
+
+    PagingBackend &backend_;
+    ViyojitConfig config_;
+    std::uint64_t budget_;
+
+    DirtyPageTracker tracker_;
+    EpochRecencyTracker recency_;
+    DirtyPagePressure pressure_;
+
+    std::vector<std::uint8_t> inFlight_;
+    std::uint64_t inFlightCount_ = 0;
+    bool pumping_ = false;
+
+    /** Most recently admitted page (the straddling-store guard). */
+    PageNum lastAdmitted_ = invalidPage;
+
+    ControllerStats stats_;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_CONTROLLER_HH

@@ -1,0 +1,63 @@
+#include "core/dirty_tracker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+DirtyPageTracker::DirtyPageTracker(std::uint64_t page_count)
+{
+    VIYOJIT_ASSERT(page_count < npos,
+                   "page count exceeds tracker index width");
+    position_.assign(page_count, npos);
+}
+
+bool
+DirtyPageTracker::markDirty(PageNum page)
+{
+    VIYOJIT_ASSERT(page < position_.size(), "page out of range");
+    if (position_[page] != npos)
+        return false;
+    position_[page] = static_cast<std::uint32_t>(dirtyList_.size());
+    dirtyList_.push_back(page);
+    highWatermark_ = std::max<std::uint64_t>(highWatermark_,
+                                             dirtyList_.size());
+    ++newThisEpoch_;
+    ++lifetimeEvents_;
+    return true;
+}
+
+bool
+DirtyPageTracker::markClean(PageNum page)
+{
+    VIYOJIT_ASSERT(page < position_.size(), "page out of range");
+    const std::uint32_t pos = position_[page];
+    if (pos == npos)
+        return false;
+    // Swap-remove from the dense list.
+    const PageNum last = dirtyList_.back();
+    dirtyList_[pos] = last;
+    position_[last] = pos;
+    dirtyList_.pop_back();
+    position_[page] = npos;
+    return true;
+}
+
+bool
+DirtyPageTracker::isDirty(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < position_.size(), "page out of range");
+    return position_[page] != npos;
+}
+
+void
+DirtyPageTracker::forEachDirty(
+    const std::function<void(PageNum)> &fn) const
+{
+    for (PageNum page : dirtyList_)
+        fn(page);
+}
+
+} // namespace viyojit::core

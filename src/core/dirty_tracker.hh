@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exact dirty-page accounting (paper section 4.1).
+ *
+ * Viyojit must have a synchronous view of which pages are dirty: a
+ * running count plus the set of dirty page addresses, updated in the
+ * fault path when a page is first written and when a page's copy to
+ * the backing store completes.
+ */
+
+#ifndef VIYOJIT_CORE_DIRTY_TRACKER_HH
+#define VIYOJIT_CORE_DIRTY_TRACKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace viyojit::core
+{
+
+/**
+ * Dirty-page set with O(1) insert, remove, and membership, and dense
+ * iteration for flush-all.
+ */
+class DirtyPageTracker
+{
+  public:
+    explicit DirtyPageTracker(std::uint64_t page_count);
+
+    /**
+     * Record the first write to a page.
+     * @return true if the page was clean (count incremented).
+     */
+    bool markDirty(PageNum page);
+
+    /**
+     * Record that a page's content is durable again.
+     * @return true if the page was dirty (count decremented).
+     */
+    bool markClean(PageNum page);
+
+    /** Membership query. */
+    bool isDirty(PageNum page) const;
+
+    /** Current dirty-page count. */
+    std::uint64_t count() const { return dirtyList_.size(); }
+
+    /** High watermark of the dirty count. */
+    std::uint64_t highWatermark() const { return highWatermark_; }
+
+    /** Pages dirtied since the last resetEpochCount(). */
+    std::uint64_t newDirtyThisEpoch() const { return newThisEpoch_; }
+
+    /** Reset the per-epoch new-dirty counter (at epoch boundaries). */
+    void resetEpochCount() { newThisEpoch_ = 0; }
+
+    /** Visit every dirty page (order unspecified). */
+    void forEachDirty(const std::function<void(PageNum)> &fn) const;
+
+    /** Snapshot of the dirty set. */
+    std::vector<PageNum> dirtyPages() const { return dirtyList_; }
+
+    /** Total pages ever marked dirty (lifetime, with repeats). */
+    std::uint64_t lifetimeDirtyEvents() const { return lifetimeEvents_; }
+
+    std::uint64_t pageCount() const { return position_.size(); }
+
+  private:
+    /** position_[p] == npos when clean, else index into dirtyList_. */
+    static constexpr std::uint32_t npos = ~0u;
+
+    std::vector<std::uint32_t> position_;
+    std::vector<PageNum> dirtyList_;
+    std::uint64_t highWatermark_ = 0;
+    std::uint64_t newThisEpoch_ = 0;
+    std::uint64_t lifetimeEvents_ = 0;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_DIRTY_TRACKER_HH

@@ -1,0 +1,40 @@
+#include "core/failure.hh"
+
+namespace viyojit::core
+{
+
+PowerFailureInjector::PowerFailureInjector(ViyojitManager &manager,
+                                           battery::Battery &battery,
+                                           battery::PowerModel power)
+    : manager_(manager), battery_(battery), power_(power)
+{
+}
+
+FailureReport
+PowerFailureInjector::inject()
+{
+    FailureReport report;
+    report.joulesAvailable = battery_.effectiveJoules();
+
+    const FlushReport flush = manager_.powerFailureFlush();
+    report.dirtyPages = flush.dirtyPagesAtFailure;
+    report.bytesFlushed = flush.bytesFlushed;
+    report.flushDuration = flush.flushDuration;
+    report.joulesNeeded =
+        ticksToSeconds(flush.flushDuration) * power_.flushWatts();
+    report.survived = report.joulesNeeded <= report.joulesAvailable;
+    report.contentVerified = manager_.verifyDurability();
+    return report;
+}
+
+double
+PowerFailureInjector::currentHeadroomJoules() const
+{
+    const double bandwidth = manager_.ssd().config().writeBandwidth;
+    const double flush_seconds =
+        static_cast<double>(manager_.dirtyBytes()) / bandwidth;
+    const double needed = flush_seconds * power_.flushWatts();
+    return battery_.effectiveJoules() - needed;
+}
+
+} // namespace viyojit::core

@@ -1,0 +1,453 @@
+#include "core/manager.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+// ---------------------------------------------------------------------
+// SimBackend
+// ---------------------------------------------------------------------
+
+std::uint64_t
+ViyojitManager::SimBackend::pageCount() const
+{
+    return mgr_.capacityPages_;
+}
+
+std::uint64_t
+ViyojitManager::SimBackend::pageSize() const
+{
+    return mgr_.config_.pageSize;
+}
+
+void
+ViyojitManager::SimBackend::protectPage(PageNum page)
+{
+    mgr_.mmu_.protectPage(page);
+}
+
+void
+ViyojitManager::SimBackend::unprotectPage(PageNum page)
+{
+    mgr_.mmu_.unprotectPage(page);
+}
+
+void
+ViyojitManager::SimBackend::scanAndClearDirty(
+    bool flush_tlb, const std::function<void(PageNum, bool)> &visitor)
+{
+    mgr_.mmu_.scanAndClearDirty(0, mgr_.nextFreePage_, flush_tlb,
+                                visitor);
+}
+
+void
+ViyojitManager::SimBackend::persistPageAsync(
+    PageNum page, std::function<void()> on_complete)
+{
+    const Tick done = mgr_.ssd_.writePage(
+        mgr_.key(page), mgr_.pageContentHash(page),
+        mgr_.config_.pageSize,
+        [this, page, cb = std::move(on_complete)]() {
+            inFlight_.erase(page);
+            if (cb)
+                cb();
+        },
+        mgr_.compressedSizeEstimate(page));
+    inFlight_[page] = done;
+}
+
+void
+ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
+{
+    const Tick done = mgr_.ssd_.writePageSync(
+        mgr_.key(page), mgr_.pageContentHash(page),
+        mgr_.config_.pageSize, mgr_.compressedSizeEstimate(page));
+    mgr_.ctx_.events().runUntil(done);
+}
+
+void
+ViyojitManager::SimBackend::waitForPersist(PageNum page)
+{
+    auto it = inFlight_.find(page);
+    if (it == inFlight_.end())
+        return;
+    const Tick done = it->second;
+    mgr_.ctx_.events().runUntil(done);
+    VIYOJIT_ASSERT(!inFlight_.contains(page),
+                   "persist wait did not complete");
+}
+
+void
+ViyojitManager::SimBackend::waitForAnyPersist()
+{
+    if (inFlight_.empty())
+        return;
+    Tick earliest = maxTick;
+    for (const auto &[page, done] : inFlight_)
+        earliest = std::min(earliest, done);
+    mgr_.ctx_.events().runUntil(earliest);
+}
+
+unsigned
+ViyojitManager::SimBackend::outstandingIos() const
+{
+    return static_cast<unsigned>(inFlight_.size());
+}
+
+bool
+ViyojitManager::SimBackend::canSubmit() const
+{
+    // Leave two device slots for synchronous work (a blocking
+    // eviction in the fault path, or vmunmap flushes) so a copy
+    // pipeline as deep as the device queue cannot starve them.
+    return mgr_.ssd_.outstanding() + 2 <=
+           mgr_.ssd_.config().queueDepth;
+}
+
+// ---------------------------------------------------------------------
+// ViyojitManager
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The section-5.4 assist implies write-through dirty bits. */
+mmu::MmuCostModel
+adjustCosts(const mmu::MmuCostModel &costs, const ViyojitConfig &config)
+{
+    mmu::MmuCostModel adjusted = costs;
+    if (config.hardwareAssist)
+        adjusted.writeThroughDirty = true;
+    return adjusted;
+}
+
+} // namespace
+
+ViyojitManager::ViyojitManager(sim::SimContext &ctx, storage::Ssd &ssd,
+                               const ViyojitConfig &config,
+                               const mmu::MmuCostModel &mmu_costs,
+                               std::uint64_t capacity_pages,
+                               std::uint32_t region_id)
+    : ctx_(ctx),
+      ssd_(ssd),
+      config_(config),
+      capacityPages_(capacity_pages),
+      regionId_(region_id),
+      mmu_(ctx, adjustCosts(mmu_costs, config)),
+      backend_(*this)
+{
+    if (capacity_pages == 0)
+        fatal("NV capacity must be non-zero");
+    if (config.enforceBudget &&
+        config.dirtyBudgetPages > capacity_pages) {
+        warn("dirty budget exceeds capacity; clamping");
+        config_.dirtyBudgetPages = capacity_pages;
+    }
+
+    data_.assign(capacity_pages * config_.pageSize, 0);
+    versions_.assign(capacity_pages, 0);
+
+    if (config_.enforceBudget) {
+        controller_ =
+            std::make_unique<DirtyBudgetController>(backend_, config_);
+        // Even under the hardware assist, writeback-protected pages
+        // fault; the controller waits out the copy and readmits.
+        mmu_.setWriteFaultHandler(
+            [this](PageNum page) { controller_->onWriteFault(page); });
+    } else {
+        baselineDirty_ = std::make_unique<DirtyPageTracker>(
+            capacity_pages);
+    }
+}
+
+ViyojitManager::~ViyojitManager()
+{
+    stop();
+}
+
+storage::StorageKey
+ViyojitManager::key(PageNum page) const
+{
+    return storage::StorageKey{regionId_, page};
+}
+
+Addr
+ViyojitManager::vmmap(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        fatal("vmmap of zero bytes");
+    const std::uint64_t pages =
+        (bytes + config_.pageSize - 1) / config_.pageSize;
+    if (nextFreePage_ + pages > capacityPages_)
+        fatal("NV capacity exhausted: need ", pages, " pages, have ",
+              capacityPages_ - nextFreePage_);
+
+    const PageNum first = nextFreePage_;
+    // Paper fig. 6 step 1: regions come up write-protected so the
+    // first write to every page traps.  The baseline and the
+    // section-5.4 hardware assist map pages writable: the former
+    // pays in battery, the latter tracks via the MMU dirty counter.
+    const bool writable =
+        !config_.enforceBudget || config_.hardwareAssist;
+    for (PageNum p = first; p < first + pages; ++p)
+        mmu_.mapPage(p, writable);
+    nextFreePage_ += pages;
+    return first * config_.pageSize;
+}
+
+void
+ViyojitManager::vmunmap(Addr base, std::uint64_t bytes)
+{
+    const PageNum first = base / config_.pageSize;
+    const std::uint64_t pages =
+        (bytes + config_.pageSize - 1) / config_.pageSize;
+    // Make the region durable before dropping it.
+    for (PageNum p = first; p < first + pages; ++p) {
+        if (config_.enforceBudget) {
+            controller_->flushPageBlocking(p);
+        } else if (baselineDirty_->isDirty(p)) {
+            backend_.persistPageBlocking(p);
+            baselineDirty_->markClean(p);
+        }
+    }
+    for (PageNum p = first; p < first + pages; ++p)
+        mmu_.unmapPage(p);
+}
+
+void
+ViyojitManager::read(Addr addr, std::uint64_t len)
+{
+    mmu_.accessRange(addr, len, /*is_write=*/false, config_.pageSize);
+}
+
+void
+ViyojitManager::write(Addr addr, std::uint64_t len)
+{
+    if (len == 0)
+        return;
+    const PageNum first = addr / config_.pageSize;
+    const PageNum last = (addr + len - 1) / config_.pageSize;
+    for (PageNum p = first; p <= last; ++p) {
+        mmu_.access(p, /*is_write=*/true);
+        ++versions_[p];
+        if (!config_.enforceBudget) {
+            baselineDirty_->markDirty(p);
+        } else if (config_.hardwareAssist &&
+                   !controller_->tracker().isDirty(p) &&
+                   !controller_->isInFlight(p)) {
+            // Section 5.4: the MMU counted a new dirty page.  The
+            // threshold interrupt costs OS time only when room must
+            // be made; mere counting is free.
+            if (controller_->tracker().count() >=
+                controller_->dirtyBudget()) {
+                ctx_.clock().advance(
+                    mmu_.costs().assistInterruptCost);
+            }
+            controller_->onHardwareDirty(p);
+        }
+    }
+}
+
+void
+ViyojitManager::memWrite(Addr addr, const void *src, std::uint64_t len)
+{
+    VIYOJIT_ASSERT(addr + len <= data_.size(), "NV write out of range");
+    write(addr, len);
+    std::memcpy(data_.data() + addr, src, len);
+}
+
+void
+ViyojitManager::memRead(Addr addr, void *dst, std::uint64_t len) const
+{
+    VIYOJIT_ASSERT(addr + len <= data_.size(), "NV read out of range");
+    const_cast<ViyojitManager *>(this)->read(addr, len);
+    std::memcpy(dst, data_.data() + addr, len);
+}
+
+char *
+ViyojitManager::rawData(Addr addr)
+{
+    VIYOJIT_ASSERT(addr < data_.size(), "NV address out of range");
+    return data_.data() + addr;
+}
+
+const char *
+ViyojitManager::rawData(Addr addr) const
+{
+    VIYOJIT_ASSERT(addr < data_.size(), "NV address out of range");
+    return data_.data() + addr;
+}
+
+void
+ViyojitManager::scheduleNextEpoch()
+{
+    const std::uint64_t generation = epochGeneration_;
+    ctx_.events().scheduleAfter(config_.epochLength,
+                                [this, generation]() {
+        if (!running_ || generation != epochGeneration_)
+            return;
+        controller_->onEpochBoundary();
+        scheduleNextEpoch();
+    });
+}
+
+void
+ViyojitManager::start()
+{
+    if (!config_.enforceBudget || running_)
+        return;
+    running_ = true;
+    ++epochGeneration_;
+    scheduleNextEpoch();
+}
+
+void
+ViyojitManager::stop()
+{
+    running_ = false;
+    ++epochGeneration_;
+}
+
+void
+ViyojitManager::processEvents()
+{
+    ctx_.events().runUntil(ctx_.now());
+}
+
+std::uint64_t
+ViyojitManager::dirtyPageCount() const
+{
+    return config_.enforceBudget ? controller_->tracker().count()
+                                 : baselineDirty_->count();
+}
+
+std::uint64_t
+ViyojitManager::dirtyBytes() const
+{
+    return dirtyPageCount() * config_.pageSize;
+}
+
+FlushReport
+ViyojitManager::powerFailureFlush()
+{
+    stop();
+    FlushReport report;
+    report.dirtyPagesAtFailure = dirtyPageCount();
+    const Tick start = ctx_.now();
+
+    if (config_.enforceBudget) {
+        controller_->flushAllDirty();
+    } else {
+        // Baseline: flush the entire dirty set, pipelining IOs up to
+        // the device queue depth.
+        std::vector<PageNum> pages = baselineDirty_->dirtyPages();
+        std::size_t submitted = 0;
+        while (submitted < pages.size() || ssd_.outstanding() > 0) {
+            while (submitted < pages.size() && ssd_.canAccept()) {
+                const PageNum p = pages[submitted++];
+                ssd_.writePage(key(p), pageContentHash(p),
+                               config_.pageSize,
+                               [this, p]() {
+                                   baselineDirty_->markClean(p);
+                               },
+                               compressedSizeEstimate(p));
+            }
+            if (!ctx_.events().runOne())
+                break;
+        }
+    }
+
+    report.bytesFlushed =
+        report.dirtyPagesAtFailure * config_.pageSize;
+    report.flushDuration = ctx_.now() - start;
+    return report;
+}
+
+bool
+ViyojitManager::verifyDurability() const
+{
+    for (PageNum p = 0; p < nextFreePage_; ++p) {
+        if (versions_[p] == 0)
+            continue;
+        if (ssd_.durableHash(key(p)) != pageContentHash(p))
+            return false;
+    }
+    return true;
+}
+
+void
+ViyojitManager::setDirtyBudget(std::uint64_t pages)
+{
+    if (!config_.enforceBudget)
+        fatal("baseline mode has no dirty budget");
+    config_.dirtyBudgetPages = pages;
+    controller_->setDirtyBudget(pages);
+}
+
+DirtyBudgetController &
+ViyojitManager::controller()
+{
+    VIYOJIT_ASSERT(controller_, "baseline mode has no controller");
+    return *controller_;
+}
+
+const DirtyBudgetController &
+ViyojitManager::controller() const
+{
+    VIYOJIT_ASSERT(controller_, "baseline mode has no controller");
+    return *controller_;
+}
+
+std::uint64_t
+ViyojitManager::pageVersion(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < versions_.size(), "page out of range");
+    return versions_[page];
+}
+
+std::uint64_t
+ViyojitManager::writtenPageCount() const
+{
+    std::uint64_t count = 0;
+    for (PageNum p = 0; p < nextFreePage_; ++p)
+        count += versions_[p] > 0;
+    return count;
+}
+
+std::uint64_t
+ViyojitManager::pageContentHash(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < capacityPages_, "page out of range");
+    const char *bytes = data_.data() + page * config_.pageSize;
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::uint64_t i = 0; i < config_.pageSize; ++i) {
+        hash ^= static_cast<unsigned char>(bytes[i]);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+ViyojitManager::compressedSizeEstimate(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < capacityPages_, "page out of range");
+    const char *bytes = data_.data() + page * config_.pageSize;
+    // Run-length proxy: bytes equal to their predecessor compress
+    // away; everything else is copied.  A fixed header covers the
+    // run table.  This tracks real fast compressors (lz4-style)
+    // closely enough for a traffic model.
+    std::uint64_t repeats = 0;
+    for (std::uint64_t i = 1; i < config_.pageSize; ++i)
+        repeats += bytes[i] == bytes[i - 1];
+    const std::uint64_t estimate =
+        64 + (config_.pageSize - 1 - repeats) + repeats / 32;
+    return std::min<std::uint64_t>(std::max<std::uint64_t>(estimate,
+                                                           64),
+                                   config_.pageSize);
+}
+
+} // namespace viyojit::core

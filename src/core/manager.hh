@@ -1,0 +1,197 @@
+/**
+ * @file
+ * ViyojitManager: the mmap-like front end over the simulated
+ * substrate (paper section 4.3's portability goal).
+ *
+ * The manager owns the NV address space (a real byte buffer plus the
+ * modelled MMU state), wires write faults into the dirty-budget
+ * controller, schedules epoch scans on the event queue, and provides
+ * power-failure flush and durability verification.
+ *
+ * With `config.enforceBudget == false` it degrades to the baseline
+ * NV-DRAM system the paper compares against: pages map writable, no
+ * tracking or copying happens, and a power failure must flush every
+ * written page — which is exactly what a full-capacity battery pays
+ * for.
+ */
+
+#ifndef VIYOJIT_CORE_MANAGER_HH
+#define VIYOJIT_CORE_MANAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/controller.hh"
+#include "core/paging_backend.hh"
+#include "mmu/mmu.hh"
+#include "sim/context.hh"
+#include "storage/ssd.hh"
+
+namespace viyojit::core
+{
+
+/** Result of an emergency flush. */
+struct FlushReport
+{
+    std::uint64_t dirtyPagesAtFailure = 0;
+    std::uint64_t bytesFlushed = 0;
+    Tick flushDuration = 0;
+};
+
+/** Simulated NV-DRAM manager with the Viyojit mechanism. */
+class ViyojitManager
+{
+  public:
+    ViyojitManager(sim::SimContext &ctx, storage::Ssd &ssd,
+                   const ViyojitConfig &config,
+                   const mmu::MmuCostModel &mmu_costs,
+                   std::uint64_t capacity_pages,
+                   std::uint32_t region_id = 0);
+
+    ~ViyojitManager();
+
+    ViyojitManager(const ViyojitManager &) = delete;
+    ViyojitManager &operator=(const ViyojitManager &) = delete;
+
+    /**
+     * Allocate a zeroed NV region of at least `bytes` bytes; pages
+     * come up write-protected (fig. 6 step 1) unless running as the
+     * baseline.  Addresses are page-aligned and never reused.
+     */
+    Addr vmmap(std::uint64_t bytes);
+
+    /** Flush and unmap a region previously returned by vmmap. */
+    void vmunmap(Addr base, std::uint64_t bytes);
+
+    /** Model a read of [addr, addr+len). */
+    void read(Addr addr, std::uint64_t len);
+
+    /** Model a write of [addr, addr+len) (content untouched). */
+    void write(Addr addr, std::uint64_t len);
+
+    /** Charged write that also copies bytes into the NV buffer. */
+    void memWrite(Addr addr, const void *src, std::uint64_t len);
+
+    /** Charged read that copies bytes out of the NV buffer. */
+    void memRead(Addr addr, void *dst, std::uint64_t len) const;
+
+    /** Raw pointer into the NV buffer (no cost modelling). */
+    char *rawData(Addr addr);
+    const char *rawData(Addr addr) const;
+
+    /** Begin epoch scans (no-op for the baseline). */
+    void start();
+
+    /** Stop epoch scans. */
+    void stop();
+
+    /** Deliver any due events (epochs, IO completions). */
+    void processEvents();
+
+    /**
+     * Simulate loss of wall power: stop the epoch machinery and flush
+     * every dirty page to the SSD on battery.
+     */
+    FlushReport powerFailureFlush();
+
+    /**
+     * True when the SSD image matches the live content version of
+     * every page ever written (valid right after a flush).
+     */
+    bool verifyDurability() const;
+
+    /** Bytes that would need flushing if power failed now. */
+    std::uint64_t dirtyBytes() const;
+
+    /** Current dirty-page count. */
+    std::uint64_t dirtyPageCount() const;
+
+    /** Retune the dirty budget (battery capacity change). */
+    void setDirtyBudget(std::uint64_t pages);
+
+    bool isBaseline() const { return !config_.enforceBudget; }
+
+    DirtyBudgetController &controller();
+    const DirtyBudgetController &controller() const;
+    mmu::Mmu &mmu() { return mmu_; }
+    sim::SimContext &ctx() { return ctx_; }
+    storage::Ssd &ssd() { return ssd_; }
+    const ViyojitConfig &config() const { return config_; }
+    std::uint64_t capacityPages() const { return capacityPages_; }
+    std::uint64_t mappedPages() const { return nextFreePage_; }
+
+    /** Content version of a page (test/verification hook). */
+    std::uint64_t pageVersion(PageNum page) const;
+
+    /** Pages written at least once over the manager's lifetime. */
+    std::uint64_t writtenPageCount() const;
+
+    /** FNV-1a hash of the page's live content. */
+    std::uint64_t pageContentHash(PageNum page) const;
+
+    /**
+     * Run-length-based compressed-size estimate of a page, used by
+     * the SSD's transparent-compression model (section 7 extension).
+     */
+    std::uint64_t compressedSizeEstimate(PageNum page) const;
+
+  private:
+    /** PagingBackend implementation over the simulated substrate. */
+    class SimBackend : public PagingBackend
+    {
+      public:
+        explicit SimBackend(ViyojitManager &mgr)
+            : mgr_(mgr)
+        {}
+
+        std::uint64_t pageCount() const override;
+        std::uint64_t pageSize() const override;
+        void protectPage(PageNum page) override;
+        void unprotectPage(PageNum page) override;
+        void scanAndClearDirty(
+            bool flush_tlb,
+            const std::function<void(PageNum, bool)> &visitor) override;
+        void persistPageAsync(PageNum page,
+                              std::function<void()> on_complete) override;
+        void persistPageBlocking(PageNum page) override;
+        void waitForPersist(PageNum page) override;
+        void waitForAnyPersist() override;
+        unsigned outstandingIos() const override;
+        bool canSubmit() const override;
+
+      private:
+        ViyojitManager &mgr_;
+        std::unordered_map<PageNum, Tick> inFlight_;
+    };
+
+    void scheduleNextEpoch();
+    storage::StorageKey key(PageNum page) const;
+
+    sim::SimContext &ctx_;
+    storage::Ssd &ssd_;
+    ViyojitConfig config_;
+    std::uint64_t capacityPages_;
+    std::uint32_t regionId_;
+
+    mmu::Mmu mmu_;
+    SimBackend backend_;
+    std::unique_ptr<DirtyBudgetController> controller_;
+
+    /** Baseline-mode dirty set (no faults fire in that mode). */
+    std::unique_ptr<DirtyPageTracker> baselineDirty_;
+
+    std::vector<char> data_;
+    std::vector<std::uint64_t> versions_;
+
+    PageNum nextFreePage_ = 0;
+    bool running_ = false;
+    std::uint64_t epochGeneration_ = 0;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_MANAGER_HH

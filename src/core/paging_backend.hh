@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Abstraction over the paging substrate.
+ *
+ * The dirty-budget controller (the paper's contribution) is written
+ * against this interface only, so the identical policy code runs on
+ * the simulated MMU/SSD (benchmarks) and on real memory via
+ * mprotect/SIGSEGV (the runtime library).  The interface is exactly
+ * the three primitives the paper's mechanism consumes — protect,
+ * unprotect, dirty-bit check-and-clear — plus page persistence.
+ */
+
+#ifndef VIYOJIT_CORE_PAGING_BACKEND_HH
+#define VIYOJIT_CORE_PAGING_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace viyojit::core
+{
+
+/** Paging + persistence primitives consumed by the controller. */
+class PagingBackend
+{
+  public:
+    virtual ~PagingBackend() = default;
+
+    /** Number of pages in the managed NV region. */
+    virtual std::uint64_t pageCount() const = 0;
+
+    /** Bytes per page. */
+    virtual std::uint64_t pageSize() const = 0;
+
+    /** Write-protect one page (and shoot down its translation). */
+    virtual void protectPage(PageNum page) = 0;
+
+    /** Make one page writable (and shoot down its translation). */
+    virtual void unprotectPage(PageNum page) = 0;
+
+    /**
+     * Visit every managed page, reporting and clearing its hardware
+     * dirty bit.  `flush_tlb` requests a full TLB flush first so the
+     * scan observes fresh bits.
+     */
+    virtual void scanAndClearDirty(
+        bool flush_tlb,
+        const std::function<void(PageNum, bool was_dirty)> &visitor) = 0;
+
+    /**
+     * Start persisting a page to the backing store.  `on_complete`
+     * fires when the page is durable.  The caller guarantees the page
+     * is write-protected for the duration.
+     */
+    virtual void persistPageAsync(PageNum page,
+                                  std::function<void()> on_complete) = 0;
+
+    /** Persist a page and wait for durability. */
+    virtual void persistPageBlocking(PageNum page) = 0;
+
+    /**
+     * Block until a previously submitted persistPageAsync for `page`
+     * completes (used when a write faults on a page under writeback).
+     */
+    virtual void waitForPersist(PageNum page) = 0;
+
+    /**
+     * Block until at least one outstanding persistPageAsync
+     * completes.  No-op when none are outstanding.
+     */
+    virtual void waitForAnyPersist() = 0;
+
+    /** IOs submitted via persistPageAsync and not yet complete. */
+    virtual unsigned outstandingIos() const = 0;
+
+    /**
+     * True when the device can take another asynchronous copy while
+     * still leaving room for a synchronous (blocking) eviction.
+     * Substrates without device-side queue limits return true.
+     */
+    virtual bool canSubmit() const { return true; }
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_PAGING_BACKEND_HH

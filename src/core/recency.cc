@@ -1,0 +1,107 @@
+#include "core/recency.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+EpochRecencyTracker::EpochRecencyTracker(std::uint64_t page_count,
+                                         unsigned history_epochs)
+{
+    VIYOJIT_ASSERT(history_epochs >= 1 && history_epochs <= 64,
+                   "history window must be 1..64 epochs");
+    history_.assign(page_count, 0);
+    lastUpdateSeq_.assign(page_count, 0);
+    historyMask_ = history_epochs == 64
+                       ? ~0ULL
+                       : ~((1ULL << (64 - history_epochs)) - 1);
+}
+
+void
+EpochRecencyTracker::recordUpdate(PageNum page)
+{
+    VIYOJIT_ASSERT(page < history_.size(), "page out of range");
+    history_[page] |= 1ULL << 63;
+    lastUpdateSeq_[page] = ++updateSeq_;
+}
+
+std::uint64_t
+EpochRecencyTracker::lastUpdateSeq(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < lastUpdateSeq_.size(), "page out of range");
+    return lastUpdateSeq_[page];
+}
+
+void
+EpochRecencyTracker::advanceEpoch()
+{
+    for (auto &h : history_)
+        h = (h >> 1) & historyMask_;
+    ++epochIndex_;
+}
+
+std::uint64_t
+EpochRecencyTracker::history(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < history_.size(), "page out of range");
+    return history_[page];
+}
+
+bool
+EpochRecencyTracker::coldInWindow(PageNum page) const
+{
+    return history(page) == 0;
+}
+
+void
+EpochRecencyTracker::rebuildVictimQueue(const DirtyPageTracker &tracker)
+{
+    victimQueue_ = tracker.dirtyPages();
+    std::sort(victimQueue_.begin(), victimQueue_.end(),
+              [this](PageNum a, PageNum b) {
+                  if (history_[a] != history_[b])
+                      return history_[a] < history_[b];
+                  if (useSeqTieBreak_ &&
+                      lastUpdateSeq_[a] != lastUpdateSeq_[b]) {
+                      return lastUpdateSeq_[a] < lastUpdateSeq_[b];
+                  }
+                  return a < b;
+              });
+    victimCursor_ = 0;
+}
+
+PageNum
+EpochRecencyTracker::pickVictim(
+    const DirtyPageTracker &tracker,
+    const std::function<bool(PageNum)> &exclude)
+{
+    while (victimCursor_ < victimQueue_.size()) {
+        const PageNum candidate = victimQueue_[victimCursor_++];
+        if (tracker.isDirty(candidate) && !exclude(candidate))
+            return candidate;
+    }
+    // Queue exhausted: fall back to the coldest page in the current
+    // dirty set (pages dirtied since the last rebuild).
+    PageNum best = invalidPage;
+    std::uint64_t best_history = ~0ULL;
+    std::uint64_t best_stamp = ~0ULL;
+    tracker.forEachDirty([&](PageNum page) {
+        if (exclude(page))
+            return;
+        const std::uint64_t h = history_[page];
+        const std::uint64_t s =
+            useSeqTieBreak_ ? lastUpdateSeq_[page] : 0;
+        if (best == invalidPage || h < best_history ||
+            (h == best_history &&
+             (s < best_stamp || (s == best_stamp && page < best)))) {
+            best = page;
+            best_history = h;
+            best_stamp = s;
+        }
+    });
+    return best;
+}
+
+} // namespace viyojit::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Epoch-based least-recently-updated tracking (paper section 5.2).
+ *
+ * Every page carries a 64-bit history bitmap: bit 63 says "updated in
+ * the current epoch", bit 62 the epoch before, and so on.  At each
+ * epoch boundary the dirty bits gathered by the page-table walk are
+ * shifted into the histories.  Interpreted as an unsigned integer the
+ * bitmap is a recency-weighted value — the page with the smallest
+ * history is the least recently updated, which is Viyojit's victim
+ * ordering ("sorts the pages according to update times and chooses
+ * the least recently updated pages as targets").
+ */
+
+#ifndef VIYOJIT_CORE_RECENCY_HH
+#define VIYOJIT_CORE_RECENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dirty_tracker.hh"
+
+namespace viyojit::core
+{
+
+/** Per-page update history and victim selection. */
+class EpochRecencyTracker
+{
+  public:
+    /**
+     * @param page_count pages tracked.
+     * @param history_epochs history window; at most 64.
+     */
+    EpochRecencyTracker(std::uint64_t page_count,
+                        unsigned history_epochs = 64);
+
+    /**
+     * Enable/disable the update-sequence tie-break (default on).
+     * With it off, pages whose 64-epoch bitmaps tie are ordered by
+     * page number — the information a history-only implementation
+     * has.  The stale-dirty-bit ablation uses this to reproduce the
+     * paper's measured collapse: with the tie-break on, fault-path
+     * stamps keep correcting stale histories and the TLB flush stops
+     * mattering (see abl_stale_dirty_bits).
+     */
+    void setUseSeqTieBreak(bool enable) { useSeqTieBreak_ = enable; }
+
+    /**
+     * Record that a page was updated during the current epoch (set
+     * from the fault path for freshly dirtied pages and from the
+     * epoch scan for repeat writers).
+     */
+    void recordUpdate(PageNum page);
+
+    /**
+     * Advance to a new epoch: shift every history right by one.  The
+     * caller feeds this epoch's updates via recordUpdate() *before*
+     * calling advanceEpoch() — i.e. the scan happens at the epoch
+     * boundary, then histories shift.
+     */
+    void advanceEpoch();
+
+    /** Raw history bitmap for a page. */
+    std::uint64_t history(PageNum page) const;
+
+    /** Update-sequence stamp of the page's last update (0 = never). */
+    std::uint64_t lastUpdateSeq(PageNum page) const;
+
+    /** True if the page has no recorded update in the window. */
+    bool coldInWindow(PageNum page) const;
+
+    /**
+     * Rebuild the victim queue: dirty pages ordered least-recently-
+     * updated first.  Call after each epoch's histories settle.
+     */
+    void rebuildVictimQueue(const DirtyPageTracker &tracker);
+
+    /**
+     * Pop the best victim that is still dirty and not excluded.
+     * Falls back to any dirty page when the queue is exhausted (new
+     * pages dirtied since the last rebuild).
+     *
+     * @param tracker current dirty set.
+     * @param exclude predicate for pages that must not be chosen
+     *        (e.g. already under writeback).
+     * @return a victim page, or invalidPage when none qualifies.
+     */
+    PageNum pickVictim(const DirtyPageTracker &tracker,
+                       const std::function<bool(PageNum)> &exclude);
+
+    std::uint64_t epochIndex() const { return epochIndex_; }
+
+  private:
+    std::vector<std::uint64_t> history_;
+
+    /**
+     * Monotone sequence number of each page's most recent recorded
+     * update; orders pages whose 64-epoch bitmaps tie — including
+     * pages updated within the same epoch ("sorts the pages
+     * according to update times", section 5.2).
+     */
+    std::vector<std::uint64_t> lastUpdateSeq_;
+    std::uint64_t updateSeq_ = 0;
+    bool useSeqTieBreak_ = true;
+
+    std::uint64_t historyMask_;
+    std::uint64_t epochIndex_ = 0;
+
+    /** Dirty pages sorted by (history, page); consumed front-first. */
+    std::vector<PageNum> victimQueue_;
+    std::size_t victimCursor_ = 0;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_RECENCY_HH

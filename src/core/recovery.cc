@@ -1,0 +1,128 @@
+#include "core/recovery.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+RecoveryManager::RecoveryManager(sim::SimContext &ctx,
+                                 storage::Ssd &ssd,
+                                 std::uint32_t region_id,
+                                 std::uint64_t page_count,
+                                 std::uint64_t page_size,
+                                 RestoreStrategy strategy,
+                                 unsigned max_outstanding_reads)
+    : ctx_(ctx),
+      ssd_(ssd),
+      regionId_(region_id),
+      pageCount_(page_count),
+      pageSize_(page_size),
+      strategy_(strategy),
+      maxOutstandingReads_(max_outstanding_reads),
+      resident_(page_count, 0)
+{
+    if (page_count == 0)
+        fatal("nothing to recover");
+    if (max_outstanding_reads == 0)
+        fatal("need at least one outstanding read");
+}
+
+void
+RecoveryManager::markResident(PageNum page)
+{
+    if (!resident_[page]) {
+        resident_[page] = 1;
+        ++residentCount_;
+        if (residentCount_ == pageCount_)
+            stats_.fullyResidentAt = ctx_.now();
+    }
+}
+
+Tick
+RecoveryManager::issueRead(PageNum page)
+{
+    const Tick done = ssd_.readPage(
+        storage::StorageKey{regionId_, page}, pageSize_,
+        [this, page]() {
+            inFlight_.erase(page);
+            markResident(page);
+            // A completed slot frees capacity for the sweep.
+            if (strategy_ != RestoreStrategy::demandOnly)
+                pumpBackground();
+        });
+    inFlight_[page] = done;
+    return done;
+}
+
+void
+RecoveryManager::pumpBackground()
+{
+    if (!started_ || strategy_ == RestoreStrategy::demandOnly)
+        return;
+    while (inFlight_.size() < maxOutstandingReads_ &&
+           sweepCursor_ < pageCount_) {
+        // Skip pages already resident (demand-fetched) or queued.
+        if (resident_[sweepCursor_] ||
+            inFlight_.contains(sweepCursor_)) {
+            ++sweepCursor_;
+            continue;
+        }
+        if (!ssd_.canAccept())
+            break;
+        issueRead(sweepCursor_);
+        ++sweepCursor_;
+        ++stats_.backgroundFetches;
+    }
+}
+
+void
+RecoveryManager::begin()
+{
+    started_ = true;
+    pumpBackground();
+}
+
+Tick
+RecoveryManager::access(PageNum page)
+{
+    VIYOJIT_ASSERT(page < pageCount_, "page out of range");
+    VIYOJIT_ASSERT(started_, "access before begin()");
+    if (resident_[page])
+        return 0;
+
+    const Tick start = ctx_.now();
+    auto it = inFlight_.find(page);
+    Tick done;
+    if (it != inFlight_.end()) {
+        done = it->second;
+    } else if (strategy_ == RestoreStrategy::eager) {
+        // No demand path: wait for the sweep to reach the page.
+        while (!resident_[page]) {
+            if (!ctx_.events().runOne())
+                panic("eager restore stalled before page ", page);
+        }
+        return ctx_.now() - start;
+    } else {
+        ++stats_.demandFetches;
+        done = issueRead(page);
+    }
+    ctx_.events().runUntil(done);
+    VIYOJIT_ASSERT(resident_[page], "page-in did not complete");
+    return ctx_.now() - start;
+}
+
+void
+RecoveryManager::waitUntilFullyResident()
+{
+    VIYOJIT_ASSERT(strategy_ != RestoreStrategy::demandOnly,
+                   "demand-only restore never sweeps");
+    while (!fullyResident()) {
+        if (!ctx_.events().runOne())
+            panic("restore stalled with ", pageCount_ - residentCount_,
+                  " pages missing");
+    }
+}
+
+} // namespace viyojit::core

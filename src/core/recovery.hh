@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Post-reboot restore of NV-DRAM contents (paper section 8,
+ * "Increased availability").
+ *
+ * After a power cycle, the NV-DRAM image lives on the SSD.  The
+ * paper: "The start up time can be optimized by fetching pages from
+ * SSD to DRAM on demand while sequentially reading data in the
+ * background after the OS boots."  This module models the three
+ * restore strategies so their availability trade-off is measurable:
+ *
+ *  - eager: sequentially reload everything before serving (the
+ *    conventional approach; time-to-first-request = full reload);
+ *  - demand-only: serve immediately, fault pages in as requests
+ *    touch them (fast first request, long residency tail);
+ *  - demand + background: demand faults for the foreground plus a
+ *    sequential background sweep (the paper's recommendation).
+ */
+
+#ifndef VIYOJIT_CORE_RECOVERY_HH
+#define VIYOJIT_CORE_RECOVERY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/context.hh"
+#include "storage/ssd.hh"
+
+namespace viyojit::core
+{
+
+/** Restore strategies of section 8. */
+enum class RestoreStrategy
+{
+    eager,
+    demandOnly,
+    demandPlusBackground,
+};
+
+/** Restore statistics. */
+struct RecoveryStats
+{
+    std::uint64_t demandFetches = 0;
+    std::uint64_t backgroundFetches = 0;
+
+    /** Virtual time at which every page became resident. */
+    Tick fullyResidentAt = 0;
+};
+
+/** Models the reload of one region's pages from the SSD. */
+class RecoveryManager
+{
+  public:
+    /**
+     * @param ctx simulation context (the boot clock).
+     * @param ssd device holding the image.
+     * @param region_id region within the device.
+     * @param page_count pages to restore.
+     * @param page_size bytes per page.
+     * @param strategy restore strategy.
+     * @param max_outstanding_reads background/eager read queue depth.
+     */
+    RecoveryManager(sim::SimContext &ctx, storage::Ssd &ssd,
+                    std::uint32_t region_id, std::uint64_t page_count,
+                    std::uint64_t page_size, RestoreStrategy strategy,
+                    unsigned max_outstanding_reads = 16);
+
+    /** Start restoring (begins the background/eager sweep). */
+    void begin();
+
+    /**
+     * An application request touches `page`: block until it is
+     * resident (demand-fetching it if the strategy allows).
+     * @return the stall time the request experienced.
+     */
+    Tick access(PageNum page);
+
+    /** True when every page is resident. */
+    bool fullyResident() const
+    {
+        return residentCount_ == pageCount_;
+    }
+
+    /** Drive the sweep to completion (eager boot barrier). */
+    void waitUntilFullyResident();
+
+    const RecoveryStats &stats() const { return stats_; }
+
+    std::uint64_t residentPages() const { return residentCount_; }
+
+  private:
+    /** Launch background reads up to the queue depth. */
+    void pumpBackground();
+
+    /** Issue one read for `page`; returns its completion time. */
+    Tick issueRead(PageNum page);
+
+    void markResident(PageNum page);
+
+    sim::SimContext &ctx_;
+    storage::Ssd &ssd_;
+    std::uint32_t regionId_;
+    std::uint64_t pageCount_;
+    std::uint64_t pageSize_;
+    RestoreStrategy strategy_;
+    unsigned maxOutstandingReads_;
+
+    std::vector<std::uint8_t> resident_;
+    std::uint64_t residentCount_ = 0;
+
+    /** In-flight reads: page -> completion tick. */
+    std::unordered_map<PageNum, Tick> inFlight_;
+
+    /** Next page the sequential sweep will fetch. */
+    PageNum sweepCursor_ = 0;
+    bool started_ = false;
+
+    RecoveryStats stats_;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_RECOVERY_HH

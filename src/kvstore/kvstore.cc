@@ -1,0 +1,325 @@
+#include "kvstore/kvstore.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace viyojit::kvstore
+{
+
+namespace
+{
+
+/** FNV-1a over the key bytes. */
+std::uint64_t
+hashKey(std::string_view key)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+KvStore::KvStore(pheap::PersistentHeap &heap,
+                 pheap::NvOffset desc_offset)
+    : heap_(heap), descOffset_(desc_offset)
+{
+    const auto desc = heap_.load<TableDesc>(descOffset_);
+    bucketCount_ = desc.bucketCount;
+    bucketsOffset_ = desc.bucketsOffset;
+}
+
+KvStore
+KvStore::create(pheap::PersistentHeap &heap, std::uint64_t bucket_count)
+{
+    if (bucket_count == 0)
+        fatal("KV store needs at least one bucket");
+    const pheap::NvOffset desc_off = heap.alloc(sizeof(TableDesc));
+    if (desc_off == pheap::nullOffset)
+        fatal("out of NV space for table descriptor");
+    const pheap::NvOffset buckets_off =
+        heap.alloc(bucket_count * sizeof(pheap::NvOffset));
+    if (buckets_off == pheap::nullOffset)
+        fatal("out of NV space for bucket array");
+
+    // Zero the bucket array.
+    std::vector<pheap::NvOffset> zeros(bucket_count, pheap::nullOffset);
+    heap.writeBytes(buckets_off, zeros.data(),
+                    bucket_count * sizeof(pheap::NvOffset));
+
+    TableDesc desc{bucket_count, 0, buckets_off};
+    heap.store(desc_off, desc);
+    heap.setRoot(desc_off);
+    return KvStore(heap, desc_off);
+}
+
+KvStore
+KvStore::attach(pheap::PersistentHeap &heap)
+{
+    const pheap::NvOffset desc_off = heap.root();
+    if (desc_off == pheap::nullOffset)
+        fatal("heap has no KV store root");
+    return KvStore(heap, desc_off);
+}
+
+std::uint64_t
+KvStore::bucketIndex(std::string_view key) const
+{
+    return hashKey(key) % bucketCount_;
+}
+
+pheap::NvOffset
+KvStore::bucketSlotOffset(std::uint64_t index) const
+{
+    return bucketsOffset_ + index * sizeof(pheap::NvOffset);
+}
+
+bool
+KvStore::keyMatches(pheap::NvOffset meta, const RecordMeta &header,
+                    std::string_view key) const
+{
+    if (header.keyLen != key.size())
+        return false;
+    std::string stored(header.keyLen, '\0');
+    heap_.readBytes(meta + sizeof(RecordMeta), stored.data(),
+                    header.keyLen);
+    return stored == key;
+}
+
+pheap::NvOffset
+KvStore::findRecord(std::string_view key,
+                    pheap::NvOffset *prev_slot_out) const
+{
+    pheap::NvOffset slot = bucketSlotOffset(bucketIndex(key));
+    pheap::NvOffset meta = heap_.load<pheap::NvOffset>(slot);
+    while (meta != pheap::nullOffset) {
+        const auto header = heap_.load<RecordMeta>(meta);
+        if (keyMatches(meta, header, key)) {
+            if (prev_slot_out)
+                *prev_slot_out = slot;
+            return meta;
+        }
+        slot = meta + offsetof(RecordMeta, next);
+        meta = header.next;
+    }
+    if (prev_slot_out)
+        *prev_slot_out = slot;
+    return pheap::nullOffset;
+}
+
+void
+KvStore::bumpMetadata(pheap::NvOffset meta, RecordMeta &header,
+                      bool count_as_update)
+{
+    // Metadata stores on every operation — the Redis robj->lru-style
+    // internal writes the paper calls out for the read-only workload.
+    ++header.accessStamp;
+    if (count_as_update)
+        ++header.version;
+    heap_.store(meta, header);
+}
+
+bool
+KvStore::replaceValue(pheap::NvOffset meta, RecordMeta &header,
+                      std::string_view value)
+{
+    // Allocate before freeing so the new value cannot reuse the old
+    // block: under churn each update hops to the block released by
+    // an earlier update of some other key, like a real allocator.
+    const pheap::NvOffset fresh = heap_.alloc(value.size());
+    if (fresh == pheap::nullOffset)
+        return false;
+    heap_.writeBytes(fresh, value.data(), value.size());
+    const pheap::NvOffset old = header.valueOffset;
+    header.valueOffset = fresh;
+    header.valueLen = static_cast<std::uint32_t>(value.size());
+    bumpMetadata(meta, header, /*count_as_update=*/true);
+    if (old != pheap::nullOffset)
+        heap_.free(old);
+    return true;
+}
+
+bool
+KvStore::insertInternal(std::string_view key, std::string_view value)
+{
+    const pheap::NvOffset meta =
+        heap_.alloc(sizeof(RecordMeta) + key.size());
+    if (meta == pheap::nullOffset)
+        return false;
+    const pheap::NvOffset value_block =
+        value.empty() ? pheap::nullOffset : heap_.alloc(value.size());
+    if (!value.empty() && value_block == pheap::nullOffset) {
+        heap_.free(meta);
+        return false;
+    }
+
+    const pheap::NvOffset slot = bucketSlotOffset(bucketIndex(key));
+    RecordMeta header{};
+    header.next = heap_.load<pheap::NvOffset>(slot);
+    header.valueOffset = value_block;
+    header.keyLen = static_cast<std::uint32_t>(key.size());
+    header.valueLen = static_cast<std::uint32_t>(value.size());
+    header.version = 1;
+    header.accessStamp = 1;
+    heap_.store(meta, header);
+    heap_.writeBytes(meta + sizeof(RecordMeta), key.data(), key.size());
+    if (!value.empty())
+        heap_.writeBytes(value_block, value.data(), value.size());
+    heap_.store<pheap::NvOffset>(slot, meta);
+
+    auto desc = heap_.load<TableDesc>(descOffset_);
+    ++desc.recordCount;
+    heap_.store(descOffset_, desc);
+    return true;
+}
+
+bool
+KvStore::put(std::string_view key, std::string_view value)
+{
+    ++stats_.puts;
+    pheap::NvOffset meta = findRecord(key, nullptr);
+    if (meta != pheap::nullOffset) {
+        auto header = heap_.load<RecordMeta>(meta);
+        if (!allocateOnUpdate_ && header.valueOffset != pheap::nullOffset) {
+            const std::uint64_t capacity =
+                heap_.allocSize(header.valueOffset);
+            if (value.size() <= capacity) {
+                // In-place overwrite.
+                heap_.writeBytes(header.valueOffset, value.data(),
+                                 value.size());
+                header.valueLen =
+                    static_cast<std::uint32_t>(value.size());
+                bumpMetadata(meta, header, /*count_as_update=*/true);
+                ++stats_.updates;
+                return true;
+            }
+        }
+        // Redis SET path (or a grow): fresh value object.
+        if (!replaceValue(meta, header, value))
+            return false;
+        ++stats_.updates;
+        return true;
+    }
+    if (!insertInternal(key, value))
+        return false;
+    ++stats_.updates;
+    return true;
+}
+
+bool
+KvStore::insert(std::string_view key, std::string_view value)
+{
+    if (findRecord(key, nullptr) != pheap::nullOffset)
+        return false;
+    if (!insertInternal(key, value))
+        return false;
+    ++stats_.inserts;
+    return true;
+}
+
+bool
+KvStore::updateInPlace(std::string_view key, std::uint64_t offset,
+                       std::string_view bytes)
+{
+    const pheap::NvOffset meta = findRecord(key, nullptr);
+    if (meta == pheap::nullOffset) {
+        ++stats_.misses;
+        return false;
+    }
+    auto header = heap_.load<RecordMeta>(meta);
+    if (offset + bytes.size() > header.valueLen)
+        return false;
+    heap_.writeBytes(header.valueOffset + offset, bytes.data(),
+                     bytes.size());
+    bumpMetadata(meta, header, /*count_as_update=*/true);
+    ++stats_.updates;
+    return true;
+}
+
+std::optional<std::string>
+KvStore::get(std::string_view key)
+{
+    ++stats_.gets;
+    const pheap::NvOffset meta = findRecord(key, nullptr);
+    if (meta == pheap::nullOffset) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    auto header = heap_.load<RecordMeta>(meta);
+    std::string value(header.valueLen, '\0');
+    if (header.valueLen > 0)
+        heap_.readBytes(header.valueOffset, value.data(),
+                        header.valueLen);
+    bumpMetadata(meta, header, /*count_as_update=*/false);
+    return value;
+}
+
+bool
+KvStore::readModifyWrite(std::string_view key, std::string_view bytes)
+{
+    auto value = get(key);
+    --stats_.gets;
+    if (!value)
+        return false;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(bytes.size(), value->size());
+    if (allocateOnUpdate_) {
+        value->replace(0, len, bytes.substr(0, len));
+        const bool ok = put(key, *value);
+        if (ok)
+            --stats_.puts;
+        return ok;
+    }
+    return updateInPlace(key, 0, bytes.substr(0, len));
+}
+
+bool
+KvStore::removeInternal(std::string_view key)
+{
+    pheap::NvOffset prev_slot = pheap::nullOffset;
+    const pheap::NvOffset meta = findRecord(key, &prev_slot);
+    if (meta == pheap::nullOffset)
+        return false;
+    const auto header = heap_.load<RecordMeta>(meta);
+    heap_.store<pheap::NvOffset>(prev_slot, header.next);
+    if (header.valueOffset != pheap::nullOffset)
+        heap_.free(header.valueOffset);
+    heap_.free(meta);
+
+    auto desc = heap_.load<TableDesc>(descOffset_);
+    VIYOJIT_ASSERT(desc.recordCount > 0, "record count underflow");
+    --desc.recordCount;
+    heap_.store(descOffset_, desc);
+    return true;
+}
+
+bool
+KvStore::remove(std::string_view key)
+{
+    if (!removeInternal(key)) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.removes;
+    return true;
+}
+
+bool
+KvStore::contains(std::string_view key) const
+{
+    return findRecord(key, nullptr) != pheap::nullOffset;
+}
+
+std::uint64_t
+KvStore::size() const
+{
+    return heap_.load<TableDesc>(descOffset_).recordCount;
+}
+
+} // namespace viyojit::kvstore

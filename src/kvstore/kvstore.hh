@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Persistent in-memory key-value store (the role of the paper's
+ * Redis modified to keep keys, values, and metadata in a non-volatile
+ * heap via Intel PMEM).
+ *
+ * Memory layout mirrors Redis's, because the evaluation's shape
+ * depends on it:
+ *
+ *  - per-record *metadata* objects (the dictEntry + robj + key
+ *    equivalent) are small allocations that pack densely into pages,
+ *    so the pages holding them are few and hot;
+ *  - *values* are separate ~1 KiB allocations spread over most of the
+ *    heap;
+ *  - a SET-style update allocates a fresh value object and frees the
+ *    old one (allocator churn lands each update on a different,
+ *    usually cold, page) — that is why update-heavy YCSB workloads
+ *    dirty far more pages than read-heavy ones;
+ *  - GET updates record metadata (access stamp — Redis's robj->lru),
+ *    mirroring "while the application is read-only, internally Redis
+ *    still performs several store instructions" (paper section 6.1),
+ *    which keeps metadata pages dirty and gives even YCSB-C a
+ *    non-zero Viyojit overhead.
+ *
+ * Cross-key transactions (YCSB-E scans) are unsupported, exactly as
+ * in the paper.
+ */
+
+#ifndef VIYOJIT_KVSTORE_KVSTORE_HH
+#define VIYOJIT_KVSTORE_KVSTORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pheap/pheap.hh"
+
+namespace viyojit::kvstore
+{
+
+/** Store-level statistics. */
+struct StoreStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Hash-table KV store in a persistent heap. */
+class KvStore
+{
+  public:
+    /**
+     * Create a fresh store in a freshly created heap.
+     * @param bucket_count hash-table width (use ~1.3x expected keys).
+     */
+    static KvStore create(pheap::PersistentHeap &heap,
+                          std::uint64_t bucket_count);
+
+    /** Re-attach to the store inside a recovered heap. */
+    static KvStore attach(pheap::PersistentHeap &heap);
+
+    /**
+     * Insert or overwrite a full value.
+     * @return false when the heap is out of space.
+     */
+    bool put(std::string_view key, std::string_view value);
+
+    /**
+     * Redis-style updates: when enabled, put() on an existing key
+     * allocates a fresh value object and frees the old one (the way
+     * Redis SET does) instead of overwriting in place.
+     */
+    void setAllocateOnUpdate(bool enable)
+    {
+        allocateOnUpdate_ = enable;
+    }
+
+    bool allocateOnUpdate() const { return allocateOnUpdate_; }
+
+    /** Insert only; fails (returns false) when the key exists. */
+    bool insert(std::string_view key, std::string_view value);
+
+    /**
+     * Overwrite `len` bytes of the value at `offset` in place (a
+     * YCSB field update).  Fails when the key is missing or the
+     * range does not fit the stored value.
+     */
+    bool updateInPlace(std::string_view key, std::uint64_t offset,
+                       std::string_view bytes);
+
+    /** Fetch a value; updates record access metadata. */
+    std::optional<std::string> get(std::string_view key);
+
+    /** Read-modify-write: fetch, then rewrite `len` bytes at 0. */
+    bool readModifyWrite(std::string_view key, std::string_view bytes);
+
+    /** Remove a key. @return true when it existed. */
+    bool remove(std::string_view key);
+
+    /** True when the key exists (no metadata update). */
+    bool contains(std::string_view key) const;
+
+    /** Number of live records. */
+    std::uint64_t size() const;
+
+    const StoreStats &stats() const { return stats_; }
+
+    std::uint64_t bucketCount() const { return bucketCount_; }
+
+  private:
+    /** On-NV table descriptor (the heap root points here). */
+    struct TableDesc
+    {
+        std::uint64_t bucketCount;
+        std::uint64_t recordCount;
+        std::uint64_t bucketsOffset;
+    };
+
+    /**
+     * On-NV record metadata; the key bytes follow.  `bookkeeping`
+     * stands in for the dictEntry/robj fields a real Redis carries,
+     * sizing the metadata object realistically (~128 B with a short
+     * key) so metadata pages pack densely, like jemalloc bins do.
+     */
+    struct RecordMeta
+    {
+        pheap::NvOffset next;
+        pheap::NvOffset valueOffset;
+        std::uint32_t keyLen;
+        std::uint32_t valueLen;
+        std::uint64_t version;
+        std::uint64_t accessStamp;
+        std::uint8_t bookkeeping[64];
+    };
+
+    KvStore(pheap::PersistentHeap &heap, pheap::NvOffset desc_offset);
+
+    std::uint64_t bucketIndex(std::string_view key) const;
+    pheap::NvOffset bucketSlotOffset(std::uint64_t index) const;
+
+    /**
+     * Find a record and its owning slot.
+     * @param key lookup key.
+     * @param prev_slot_out offset of the link pointing at the record.
+     * @return metadata offset or nullOffset.
+     */
+    pheap::NvOffset findRecord(std::string_view key,
+                               pheap::NvOffset *prev_slot_out) const;
+
+    bool keyMatches(pheap::NvOffset meta, const RecordMeta &header,
+                    std::string_view key) const;
+
+    void bumpMetadata(pheap::NvOffset meta, RecordMeta &header,
+                      bool count_as_update);
+
+    /** Insert without stats accounting or existence check. */
+    bool insertInternal(std::string_view key, std::string_view value);
+
+    /** Remove without stats accounting. */
+    bool removeInternal(std::string_view key);
+
+    /** Point a record at a freshly allocated value object. */
+    bool replaceValue(pheap::NvOffset meta, RecordMeta &header,
+                      std::string_view value);
+
+    pheap::PersistentHeap &heap_;
+    pheap::NvOffset descOffset_;
+    std::uint64_t bucketCount_;
+    pheap::NvOffset bucketsOffset_;
+    StoreStats stats_;
+    bool allocateOnUpdate_ = false;
+};
+
+} // namespace viyojit::kvstore
+
+#endif // VIYOJIT_KVSTORE_KVSTORE_HH

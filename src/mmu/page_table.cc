@@ -1,0 +1,120 @@
+#include "mmu/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace viyojit::mmu
+{
+
+PageTable::PageTable() = default;
+
+void
+PageTable::map(PageNum vpn, std::uint64_t flags, PageNum pfn)
+{
+    VIYOJIT_ASSERT(vpn <= maxVpn, "VPN out of addressable range");
+
+    auto &l3_slot = root_.children[index(vpn, 3)];
+    if (!l3_slot)
+        l3_slot = std::make_unique<Level3>();
+    auto &l2_slot = l3_slot->children[index(vpn, 2)];
+    if (!l2_slot)
+        l2_slot = std::make_unique<Level2>();
+    auto &l1_slot = l2_slot->children[index(vpn, 1)];
+    if (!l1_slot)
+        l1_slot = std::make_unique<Level1>();
+
+    Pte &pte = l1_slot->entries[index(vpn, 0)];
+    if (!pte.present())
+        ++mappedCount_;
+    pte = Pte(flags | Pte::presentBit);
+    pte.setPfn(pfn == invalidPage ? vpn : pfn);
+}
+
+void
+PageTable::unmap(PageNum vpn)
+{
+    Pte *pte = find(vpn);
+    if (pte && pte->present()) {
+        *pte = Pte();
+        --mappedCount_;
+    }
+}
+
+bool
+PageTable::isMapped(PageNum vpn) const
+{
+    const Pte *pte = find(vpn);
+    return pte && pte->present();
+}
+
+Pte *
+PageTable::find(PageNum vpn)
+{
+    if (vpn > maxVpn)
+        return nullptr;
+    auto &l3 = root_.children[index(vpn, 3)];
+    if (!l3)
+        return nullptr;
+    auto &l2 = l3->children[index(vpn, 2)];
+    if (!l2)
+        return nullptr;
+    auto &l1 = l2->children[index(vpn, 1)];
+    if (!l1)
+        return nullptr;
+    return &l1->entries[index(vpn, 0)];
+}
+
+const Pte *
+PageTable::find(PageNum vpn) const
+{
+    return const_cast<PageTable *>(this)->find(vpn);
+}
+
+void
+PageTable::forEachPresent(PageNum begin, PageNum end,
+                          const std::function<void(PageNum, Pte &)> &fn)
+{
+    if (begin >= end)
+        return;
+    // Walk the radix tree, pruning absent subtrees.
+    for (unsigned i3 = 0; i3 < levelEntries; ++i3) {
+        auto &l3 = root_.children[i3];
+        if (!l3)
+            continue;
+        const PageNum base3 = static_cast<PageNum>(i3)
+                              << (levelBits * 3);
+        if (base3 >= end || base3 + (1ULL << (levelBits * 3)) <= begin)
+            continue;
+        for (unsigned i2 = 0; i2 < levelEntries; ++i2) {
+            auto &l2 = l3->children[i2];
+            if (!l2)
+                continue;
+            const PageNum base2 =
+                base3 | (static_cast<PageNum>(i2) << (levelBits * 2));
+            if (base2 >= end ||
+                base2 + (1ULL << (levelBits * 2)) <= begin) {
+                continue;
+            }
+            for (unsigned i1 = 0; i1 < levelEntries; ++i1) {
+                auto &l1 = l2->children[i1];
+                if (!l1)
+                    continue;
+                const PageNum base1 =
+                    base2 | (static_cast<PageNum>(i1) << levelBits);
+                if (base1 >= end ||
+                    base1 + (1ULL << levelBits) <= begin) {
+                    continue;
+                }
+                for (unsigned i0 = 0; i0 < levelEntries; ++i0) {
+                    const PageNum vpn = base1 | i0;
+                    if (vpn < begin || vpn >= end)
+                        continue;
+                    Pte &pte = l1->entries[i0];
+                    if (pte.present())
+                        fn(vpn, pte);
+                }
+            }
+        }
+    }
+}
+
+} // namespace viyojit::mmu

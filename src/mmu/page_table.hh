@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Four-level radix page table (x86-64 layout: 512 entries per level,
+ * 36-bit virtual page numbers).
+ */
+
+#ifndef VIYOJIT_MMU_PAGE_TABLE_HH
+#define VIYOJIT_MMU_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+#include "mmu/pte.hh"
+
+namespace viyojit::mmu
+{
+
+/** Radix page table mapping virtual page numbers to PTEs. */
+class PageTable
+{
+  public:
+    static constexpr unsigned levelBits = 9;
+    static constexpr unsigned levelEntries = 1u << levelBits;
+    static constexpr unsigned levels = 4;
+
+    /** Max mappable VPN (36 bits of VPN = 48-bit vaddrs). */
+    static constexpr PageNum maxVpn =
+        (1ULL << (levelBits * levels)) - 1;
+
+    PageTable();
+
+    /** Map a page with the given initial flags; pfn defaults to vpn. */
+    void map(PageNum vpn, std::uint64_t flags,
+             PageNum pfn = invalidPage);
+
+    /** Remove a mapping entirely. */
+    void unmap(PageNum vpn);
+
+    /** True if the VPN is mapped and present. */
+    bool isMapped(PageNum vpn) const;
+
+    /**
+     * Walk to the leaf PTE; nullptr when unmapped.  The returned
+     * pointer stays valid until unmap() for that VPN.
+     */
+    Pte *find(PageNum vpn);
+    const Pte *find(PageNum vpn) const;
+
+    /** Number of present leaf mappings. */
+    std::uint64_t mappedCount() const { return mappedCount_; }
+
+    /**
+     * Visit every present PTE with vpn in [begin, end).  The visitor
+     * may mutate the PTE (used by the epoch dirty-bit scan).
+     */
+    void forEachPresent(PageNum begin, PageNum end,
+                        const std::function<void(PageNum, Pte &)> &fn);
+
+  private:
+    struct Level1
+    {
+        std::array<Pte, levelEntries> entries;
+    };
+
+    struct Level2
+    {
+        std::array<std::unique_ptr<Level1>, levelEntries> children;
+    };
+
+    struct Level3
+    {
+        std::array<std::unique_ptr<Level2>, levelEntries> children;
+    };
+
+    struct Level4
+    {
+        std::array<std::unique_ptr<Level3>, levelEntries> children;
+    };
+
+    static unsigned
+    index(PageNum vpn, unsigned level)
+    {
+        return static_cast<unsigned>(
+            (vpn >> (levelBits * level)) & (levelEntries - 1));
+    }
+
+    Level4 root_;
+    std::uint64_t mappedCount_ = 0;
+};
+
+} // namespace viyojit::mmu
+
+#endif // VIYOJIT_MMU_PAGE_TABLE_HH

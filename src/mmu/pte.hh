@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Page-table entry layout, following the x86-64 bit positions for the
+ * flags Viyojit manipulates (present, writable, accessed, dirty).
+ */
+
+#ifndef VIYOJIT_MMU_PTE_HH
+#define VIYOJIT_MMU_PTE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace viyojit::mmu
+{
+
+/** A 64-bit page-table entry with x86-64 flag positions. */
+class Pte
+{
+  public:
+    static constexpr std::uint64_t presentBit = 1ULL << 0;
+    static constexpr std::uint64_t writableBit = 1ULL << 1;
+    static constexpr std::uint64_t userBit = 1ULL << 2;
+    static constexpr std::uint64_t accessedBit = 1ULL << 5;
+    static constexpr std::uint64_t dirtyBit = 1ULL << 6;
+
+    /**
+     * Shadow dirty bit (ignored by a real MMU; bit 9 is one of the
+     * software-available bits on x86-64).  Models the MMU extension
+     * of paper section 5.4.
+     */
+    static constexpr std::uint64_t shadowDirtyBit = 1ULL << 9;
+
+    static constexpr std::uint64_t pfnShift = 12;
+    static constexpr std::uint64_t pfnMask = 0x000ffffffffff000ULL;
+
+    Pte() = default;
+
+    explicit Pte(std::uint64_t raw)
+        : raw_(raw)
+    {}
+
+    std::uint64_t raw() const { return raw_; }
+
+    bool present() const { return raw_ & presentBit; }
+    bool writable() const { return raw_ & writableBit; }
+    bool accessed() const { return raw_ & accessedBit; }
+    bool dirty() const { return raw_ & dirtyBit; }
+    bool shadowDirty() const { return raw_ & shadowDirtyBit; }
+
+    PageNum pfn() const { return (raw_ & pfnMask) >> pfnShift; }
+
+    void setPresent(bool v) { setBit(presentBit, v); }
+    void setWritable(bool v) { setBit(writableBit, v); }
+    void setAccessed(bool v) { setBit(accessedBit, v); }
+    void setDirty(bool v) { setBit(dirtyBit, v); }
+    void setShadowDirty(bool v) { setBit(shadowDirtyBit, v); }
+
+    void
+    setPfn(PageNum pfn)
+    {
+        raw_ = (raw_ & ~pfnMask) | ((pfn << pfnShift) & pfnMask);
+    }
+
+  private:
+    void
+    setBit(std::uint64_t bit, bool v)
+    {
+        if (v)
+            raw_ |= bit;
+        else
+            raw_ &= ~bit;
+    }
+
+    std::uint64_t raw_ = 0;
+};
+
+} // namespace viyojit::mmu
+
+#endif // VIYOJIT_MMU_PTE_HH

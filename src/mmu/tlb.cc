@@ -1,0 +1,92 @@
+#include "mmu/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace viyojit::mmu
+{
+
+Tlb::Tlb(const TlbConfig &config)
+    : ways_(config.associativity)
+{
+    VIYOJIT_ASSERT(config.entryCount > 0, "empty TLB");
+    VIYOJIT_ASSERT(config.associativity > 0, "zero associativity");
+    VIYOJIT_ASSERT(config.entryCount % config.associativity == 0,
+                   "TLB entries must divide evenly into sets");
+    setCount_ = config.entryCount / config.associativity;
+    entries_.resize(config.entryCount);
+}
+
+Tlb::Entry *
+Tlb::findEntry(PageNum vpn)
+{
+    const unsigned set = static_cast<unsigned>(vpn % setCount_);
+    Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].vpn == vpn)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+TlbEntryView
+Tlb::lookup(PageNum vpn)
+{
+    Entry *e = findEntry(vpn);
+    if (!e) {
+        ++misses_;
+        return {};
+    }
+    ++hits_;
+    e->lastUse = ++useClock_;
+    return {true, e->writable, e->dirtyCached};
+}
+
+void
+Tlb::insert(PageNum vpn, bool writable, bool dirty)
+{
+    Entry *e = findEntry(vpn);
+    if (!e) {
+        const unsigned set = static_cast<unsigned>(vpn % setCount_);
+        Entry *base = &entries_[static_cast<std::size_t>(set) * ways_];
+        e = &base[0];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!base[w].valid) {
+                e = &base[w];
+                break;
+            }
+            if (base[w].lastUse < e->lastUse)
+                e = &base[w];
+        }
+    }
+    e->valid = true;
+    e->vpn = vpn;
+    e->writable = writable;
+    e->dirtyCached = dirty;
+    e->lastUse = ++useClock_;
+}
+
+void
+Tlb::markDirty(PageNum vpn)
+{
+    if (Entry *e = findEntry(vpn))
+        e->dirtyCached = true;
+}
+
+void
+Tlb::flushPage(PageNum vpn)
+{
+    if (Entry *e = findEntry(vpn)) {
+        e->valid = false;
+        ++shootdowns_;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    ++fullFlushes_;
+}
+
+} // namespace viyojit::mmu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Set-associative TLB model.
+ *
+ * Caches the (writable, dirty) state of recently used translations.
+ * Viyojit's correctness rules depend on TLB behaviour: changing a
+ * page's write protection requires shooting down its entry, and the
+ * epoch dirty-bit scan requires a full flush so subsequent first
+ * writes set the in-memory dirty bit again (paper section 5.2).
+ */
+
+#ifndef VIYOJIT_MMU_TLB_HH
+#define VIYOJIT_MMU_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace viyojit::mmu
+{
+
+/** TLB geometry and behaviour knobs. */
+struct TlbConfig
+{
+    unsigned entryCount = 1536;
+    unsigned associativity = 12;
+};
+
+/** Result of a TLB lookup. */
+struct TlbEntryView
+{
+    bool hit = false;
+    bool writable = false;
+    bool dirtyCached = false;
+};
+
+/** Set-associative TLB with LRU replacement within each set. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /** Look up a VPN without modifying state other than recency. */
+    TlbEntryView lookup(PageNum vpn);
+
+    /** Install or refresh an entry after a walk. */
+    void insert(PageNum vpn, bool writable, bool dirty);
+
+    /** Mark the cached dirty flag for a present entry. */
+    void markDirty(PageNum vpn);
+
+    /** Invalidate one page (TLB shootdown). */
+    void flushPage(PageNum vpn);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t flushes() const { return fullFlushes_; }
+    std::uint64_t shootdowns() const { return shootdowns_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        PageNum vpn = invalidPage;
+        bool writable = false;
+        bool dirtyCached = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *findEntry(PageNum vpn);
+
+    unsigned setCount_;
+    unsigned ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t fullFlushes_ = 0;
+    std::uint64_t shootdowns_ = 0;
+};
+
+} // namespace viyojit::mmu
+
+#endif // VIYOJIT_MMU_TLB_HH

@@ -1,0 +1,212 @@
+#include "pheap/pheap.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace viyojit::pheap
+{
+
+namespace
+{
+
+/** Align the first block past the header to 16 bytes. */
+constexpr std::uint64_t
+firstBlockOffset(std::uint64_t header_size)
+{
+    return (header_size + 15) & ~std::uint64_t{15};
+}
+
+} // namespace
+
+PersistentHeap::PersistentHeap(NvSpace &space)
+    : space_(space)
+{
+}
+
+unsigned
+PersistentHeap::classForBytes(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    const std::uint64_t min_size = 1ULL << minClassShift;
+    if (bytes <= min_size)
+        return 0;
+    const unsigned shift =
+        64 - static_cast<unsigned>(std::countl_zero(bytes - 1));
+    VIYOJIT_ASSERT(shift <= maxClassShift,
+                   "allocation too large: ", bytes, " bytes");
+    return shift - minClassShift;
+}
+
+std::uint64_t
+PersistentHeap::classSize(unsigned index)
+{
+    return 1ULL << (index + minClassShift);
+}
+
+PersistentHeap::Header
+PersistentHeap::loadHeader() const
+{
+    return load<Header>(0);
+}
+
+void
+PersistentHeap::storeHeader(const Header &h)
+{
+    store<Header>(0, h);
+}
+
+PersistentHeap
+PersistentHeap::create(NvSpace &space)
+{
+    if (space.size() < sizeof(Header) + 64)
+        fatal("NV region too small for a heap");
+    PersistentHeap heap(space);
+    Header h{};
+    h.magic = magicValue;
+    h.version = 1;
+    h.regionSize = space.size();
+    h.bumpOffset = firstBlockOffset(sizeof(Header));
+    h.rootOffset = nullOffset;
+    heap.storeHeader(h);
+    return heap;
+}
+
+PersistentHeap
+PersistentHeap::attach(NvSpace &space)
+{
+    PersistentHeap heap(space);
+    const Header h = heap.loadHeader();
+    if (h.magic != magicValue)
+        fatal("attach to an unformatted NV region");
+    if (h.regionSize != space.size())
+        fatal("heap was formatted with a different region size");
+    return heap;
+}
+
+NvOffset
+PersistentHeap::alloc(std::uint64_t bytes)
+{
+    const unsigned cls = classForBytes(bytes);
+    Header h = loadHeader();
+    const std::uint64_t block_size =
+        sizeof(BlockHeader) + classSize(cls);
+
+    NvOffset block = h.freeHeads[cls];
+    if (block != nullOffset) {
+        // Pop the class free list; the next link lives in the
+        // payload of the free block.
+        const auto next = load<NvOffset>(block + sizeof(BlockHeader));
+        h.freeHeads[cls] = next;
+        ++freeListHits_;
+    } else {
+        if (h.runRemaining[cls] < block_size) {
+            // Carve a fresh page-aligned run (slab) for this class.
+            const std::uint64_t run_size =
+                std::max<std::uint64_t>(runBytes, block_size);
+            const std::uint64_t run_start =
+                (h.bumpOffset + runAlignment - 1) / runAlignment *
+                runAlignment;
+            if (run_start + run_size > h.regionSize) {
+                // Last resort: squeeze one block from the unaligned
+                // remainder before declaring the region full.
+                if (h.bumpOffset + block_size > h.regionSize)
+                    return nullOffset;
+                h.runCursor[cls] = h.bumpOffset;
+                h.runRemaining[cls] = h.regionSize - h.bumpOffset;
+                h.bumpOffset = h.regionSize;
+            } else {
+                h.runCursor[cls] = run_start;
+                h.runRemaining[cls] = run_size;
+                h.bumpOffset = run_start + run_size;
+            }
+        }
+        block = h.runCursor[cls];
+        h.runCursor[cls] += block_size;
+        h.runRemaining[cls] -= block_size;
+    }
+
+    store<BlockHeader>(block, BlockHeader{cls, 1});
+    ++h.liveAllocations;
+    h.bytesInUse += classSize(cls);
+    storeHeader(h);
+    return block + sizeof(BlockHeader);
+}
+
+void
+PersistentHeap::free(NvOffset payload)
+{
+    VIYOJIT_ASSERT(payload != nullOffset, "freeing null offset");
+    const NvOffset block = payload - sizeof(BlockHeader);
+    BlockHeader bh = load<BlockHeader>(block);
+    VIYOJIT_ASSERT(bh.inUse == 1, "double free or corrupt block");
+    VIYOJIT_ASSERT(bh.classIndex < classCount, "corrupt class index");
+
+    Header h = loadHeader();
+    bh.inUse = 0;
+    store<BlockHeader>(block, bh);
+    store<NvOffset>(payload, h.freeHeads[bh.classIndex]);
+    h.freeHeads[bh.classIndex] = block;
+    VIYOJIT_ASSERT(h.liveAllocations > 0, "free with no live allocs");
+    --h.liveAllocations;
+    h.bytesInUse -= classSize(bh.classIndex);
+    storeHeader(h);
+}
+
+std::uint64_t
+PersistentHeap::allocSize(NvOffset payload) const
+{
+    const NvOffset block = payload - sizeof(BlockHeader);
+    const auto bh = load<BlockHeader>(block);
+    VIYOJIT_ASSERT(bh.classIndex < classCount, "corrupt class index");
+    return classSize(bh.classIndex);
+}
+
+void
+PersistentHeap::setRoot(NvOffset root)
+{
+    Header h = loadHeader();
+    h.rootOffset = root;
+    storeHeader(h);
+}
+
+NvOffset
+PersistentHeap::root() const
+{
+    return loadHeader().rootOffset;
+}
+
+void
+PersistentHeap::writeBytes(NvOffset off, const void *src,
+                           std::uint64_t len)
+{
+    VIYOJIT_ASSERT(off + len <= space_.size(), "heap write out of range");
+    space_.noteWrite(off, len);
+    std::memcpy(space_.base() + off, src, len);
+}
+
+void
+PersistentHeap::readBytes(NvOffset off, void *dst,
+                          std::uint64_t len) const
+{
+    VIYOJIT_ASSERT(off + len <= space_.size(), "heap read out of range");
+    space_.noteRead(off, len);
+    std::memcpy(dst, space_.base() + off, len);
+}
+
+HeapStats
+PersistentHeap::stats() const
+{
+    const Header h = loadHeader();
+    HeapStats s;
+    s.liveAllocations = h.liveAllocations;
+    s.bytesInUse = h.bytesInUse;
+    s.bumpUsed = h.bumpOffset;
+    s.freeListHits = freeListHits_;
+    s.bytesAllocated = h.bytesInUse;
+    return s;
+}
+
+} // namespace viyojit::pheap

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Persistent heap allocator (the role Intel PMEM's pobj heap plays in
+ * the paper's modified Redis).
+ *
+ * Layout properties:
+ *  - all metadata lives inside the NV region;
+ *  - all links are region-relative offsets, never pointers, so the
+ *    heap re-attaches after a crash/reboot at any base address;
+ *  - segregated free lists over power-of-two size classes;
+ *  - allocations are carved from per-class page-aligned *runs*
+ *    (slabs), like jemalloc bins: small objects of one class pack
+ *    densely into shared pages instead of interleaving with large
+ *    ones.  The page-level locality of small metadata objects is
+ *    load-bearing for the Viyojit evaluation (dense metadata pages
+ *    stay hot and dirty; value pages churn).
+ *
+ * Offsets handed out by alloc() point at the payload; offset 0 is
+ * reserved as the null offset.
+ */
+
+#ifndef VIYOJIT_PHEAP_PHEAP_HH
+#define VIYOJIT_PHEAP_PHEAP_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "pheap/nv_space.hh"
+
+namespace viyojit::pheap
+{
+
+/** Region-relative offset; 0 is null. */
+using NvOffset = std::uint64_t;
+
+inline constexpr NvOffset nullOffset = 0;
+
+/** Allocator statistics. */
+struct HeapStats
+{
+    std::uint64_t liveAllocations = 0;
+    std::uint64_t bytesAllocated = 0;
+    std::uint64_t bytesInUse = 0;
+    std::uint64_t bumpUsed = 0;
+    std::uint64_t freeListHits = 0;
+};
+
+/** Persistent heap over an NvSpace. */
+class PersistentHeap
+{
+  public:
+    static constexpr std::uint32_t magicValue = 0x56594f4a; // "VYOJ"
+    static constexpr unsigned minClassShift = 4;  // 16 B
+    static constexpr unsigned maxClassShift = 21; // 2 MiB
+    static constexpr unsigned classCount =
+        maxClassShift - minClassShift + 1;
+
+    /** Create a fresh heap, formatting the region. */
+    static PersistentHeap create(NvSpace &space);
+
+    /** Re-attach to a previously formatted region (recovery path). */
+    static PersistentHeap attach(NvSpace &space);
+
+    /**
+     * Allocate `bytes` of payload.
+     * @return payload offset, or nullOffset when out of space.
+     */
+    NvOffset alloc(std::uint64_t bytes);
+
+    /** Release a payload offset returned by alloc(). */
+    void free(NvOffset payload);
+
+    /** Usable payload size of an allocation. */
+    std::uint64_t allocSize(NvOffset payload) const;
+
+    /** Store the application's root object offset (KV store table). */
+    void setRoot(NvOffset root);
+
+    /** Application root offset (nullOffset when unset). */
+    NvOffset root() const;
+
+    /** Typed write into the region (accounted). */
+    template <typename T>
+    void
+    store(NvOffset off, const T &value)
+    {
+        space_.noteWrite(off, sizeof(T));
+        std::memcpy(space_.base() + off, &value, sizeof(T));
+    }
+
+    /** Typed read from the region (accounted). */
+    template <typename T>
+    T
+    load(NvOffset off) const
+    {
+        space_.noteRead(off, sizeof(T));
+        T value;
+        std::memcpy(&value, space_.base() + off, sizeof(T));
+        return value;
+    }
+
+    /** Bulk write (accounted). */
+    void writeBytes(NvOffset off, const void *src, std::uint64_t len);
+
+    /** Bulk read (accounted). */
+    void readBytes(NvOffset off, void *dst, std::uint64_t len) const;
+
+    HeapStats stats() const;
+
+    std::uint64_t capacity() const { return space_.size(); }
+
+    NvSpace &space() { return space_; }
+
+  private:
+    /** Bytes per freshly carved run (slab) of small classes. */
+    static constexpr std::uint64_t runBytes = 16 * 1024;
+
+    /** Runs start on this alignment so classes segregate by page. */
+    static constexpr std::uint64_t runAlignment = 4096;
+
+    /** On-NV header at offset 0. */
+    struct Header
+    {
+        std::uint32_t magic;
+        std::uint32_t version;
+        std::uint64_t regionSize;
+        std::uint64_t bumpOffset;
+        std::uint64_t rootOffset;
+        std::uint64_t liveAllocations;
+        std::uint64_t bytesInUse;
+        std::uint64_t freeHeads[classCount];
+        std::uint64_t runCursor[classCount];
+        std::uint64_t runRemaining[classCount];
+    };
+
+    /** 8-byte block header preceding each payload. */
+    struct BlockHeader
+    {
+        std::uint32_t classIndex;
+        std::uint32_t inUse;
+    };
+
+    explicit PersistentHeap(NvSpace &space);
+
+    static unsigned classForBytes(std::uint64_t bytes);
+    static std::uint64_t classSize(unsigned index);
+
+    Header loadHeader() const;
+    void storeHeader(const Header &h);
+
+    NvSpace &space_;
+    std::uint64_t freeListHits_ = 0;
+};
+
+} // namespace viyojit::pheap
+
+#endif // VIYOJIT_PHEAP_PHEAP_HH

@@ -1,0 +1,320 @@
+#include "plog/plog.hh"
+
+#include <cstring>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace viyojit::plog
+{
+
+namespace
+{
+
+constexpr std::uint64_t headerReserve = 64;
+
+/** Records are 16-byte aligned inside the ring. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v)
+{
+    return (v + 15) & ~std::uint64_t{15};
+}
+
+} // namespace
+
+PersistentLog::PersistentLog(pheap::NvSpace &space)
+    : space_(space)
+{
+}
+
+std::uint64_t
+PersistentLog::ringBase() const
+{
+    return headerReserve;
+}
+
+PersistentLog::Header
+PersistentLog::loadHeader() const
+{
+    Header h;
+    space_.noteRead(0, sizeof(Header));
+    std::memcpy(&h, space_.base(), sizeof(Header));
+    return h;
+}
+
+void
+PersistentLog::storeHeader(const Header &h)
+{
+    space_.noteWrite(0, sizeof(Header));
+    std::memcpy(space_.base(), &h, sizeof(Header));
+}
+
+std::uint64_t
+PersistentLog::checksumOf(SequenceNum seq, std::string_view payload)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL ^ seq;
+    for (unsigned char c : payload) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+PersistentLog
+PersistentLog::create(pheap::NvSpace &space)
+{
+    if (space.size() < headerReserve + 256)
+        fatal("NV region too small for a log");
+    PersistentLog log(space);
+    Header h{};
+    h.magic = magicValue;
+    h.version = 1;
+    h.capacity = (space.size() - headerReserve) & ~std::uint64_t{15};
+    h.headOff = 0;
+    h.tailOff = 0;
+    h.records = 0;
+    h.headSeq = 0;
+    h.nextSeq = 1;
+    log.storeHeader(h);
+    return log;
+}
+
+PersistentLog
+PersistentLog::attach(pheap::NvSpace &space)
+{
+    PersistentLog log(space);
+    const Header h = log.loadHeader();
+    if (h.magic != magicValue)
+        fatal("attach to an unformatted log region");
+    if (h.capacity !=
+        ((space.size() - headerReserve) & ~std::uint64_t{15}))
+        fatal("log was formatted with a different region size");
+    return log;
+}
+
+std::uint64_t
+PersistentLog::freeBytes(const Header &h) const
+{
+    if (h.records == 0)
+        return h.capacity;
+    if (h.tailOff > h.headOff)
+        return h.capacity - (h.tailOff - h.headOff);
+    if (h.tailOff < h.headOff)
+        return h.headOff - h.tailOff;
+    return 0; // full ring (tail caught up to head with records live)
+}
+
+std::uint64_t
+PersistentLog::maxPayload() const
+{
+    const Header h = loadHeader();
+    // A record must fit before the wrap point in the worst case:
+    // half the ring is a safe, simple bound.
+    return h.capacity / 2 - sizeof(RecordHeader);
+}
+
+SequenceNum
+PersistentLog::append(std::string_view payload)
+{
+    Header h = loadHeader();
+    const std::uint64_t need =
+        alignUp(sizeof(RecordHeader) + payload.size());
+    if (payload.size() > maxPayload())
+        return 0;
+
+    // A record never straddles the ring end: if it does not fit in
+    // the slack, a wrap marker skips to the start.
+    std::uint64_t tail = h.tailOff;
+    std::uint64_t extra = 0;
+    bool wraps = false;
+    if (tail + need > h.capacity) {
+        extra = h.capacity - tail; // the skipped slack
+        wraps = true;
+    }
+    if (freeBytes(h) < need + extra)
+        return 0;
+
+    if (wraps) {
+        if (h.capacity - tail >= sizeof(RecordHeader)) {
+            RecordHeader wrap{};
+            wrap.length = wrapMark;
+            space_.noteWrite(ringBase() + tail, sizeof(RecordHeader));
+            std::memcpy(space_.base() + ringBase() + tail, &wrap,
+                        sizeof(RecordHeader));
+        }
+        tail = 0;
+    }
+
+    RecordHeader rec{};
+    rec.length = static_cast<std::uint32_t>(payload.size());
+    rec.seq = h.nextSeq;
+    rec.checksum = checksumOf(h.nextSeq, payload);
+    space_.noteWrite(ringBase() + tail,
+                     sizeof(RecordHeader) + payload.size());
+    std::memcpy(space_.base() + ringBase() + tail, &rec,
+                sizeof(RecordHeader));
+    std::memcpy(space_.base() + ringBase() + tail +
+                    sizeof(RecordHeader),
+                payload.data(), payload.size());
+
+    if (h.records == 0)
+        h.headSeq = h.nextSeq;
+    h.tailOff = tail + need;
+    if (h.tailOff == h.capacity)
+        h.tailOff = 0;
+    ++h.records;
+    const SequenceNum seq = h.nextSeq;
+    ++h.nextSeq;
+    storeHeader(h);
+    return seq;
+}
+
+std::uint64_t
+PersistentLog::findRecord(const Header &h, SequenceNum seq) const
+{
+    if (h.records == 0 || seq < h.headSeq || seq >= h.nextSeq)
+        return h.capacity;
+    std::uint64_t off = h.headOff;
+    for (std::uint64_t i = 0; i < h.records; ++i) {
+        if (h.capacity - off < sizeof(RecordHeader)) {
+            // Slack too small for even a wrap marker: implicit wrap.
+            off = 0;
+            --i;
+            continue;
+        }
+        RecordHeader rec;
+        space_.noteRead(ringBase() + off, sizeof(RecordHeader));
+        std::memcpy(&rec, space_.base() + ringBase() + off,
+                    sizeof(RecordHeader));
+        if (rec.length == wrapMark) {
+            off = 0;
+            --i; // the marker is not a record
+            continue;
+        }
+        if (rec.seq == seq)
+            return off;
+        off += alignUp(sizeof(RecordHeader) + rec.length);
+        if (off >= h.capacity)
+            off = 0;
+    }
+    return h.capacity;
+}
+
+std::optional<std::string>
+PersistentLog::read(SequenceNum seq) const
+{
+    const Header h = loadHeader();
+    const std::uint64_t off = findRecord(h, seq);
+    if (off == h.capacity)
+        return std::nullopt;
+    RecordHeader rec;
+    std::memcpy(&rec, space_.base() + ringBase() + off,
+                sizeof(RecordHeader));
+    std::string payload(rec.length, '\0');
+    space_.noteRead(ringBase() + off + sizeof(RecordHeader),
+                    rec.length);
+    std::memcpy(payload.data(),
+                space_.base() + ringBase() + off +
+                    sizeof(RecordHeader),
+                rec.length);
+    return payload;
+}
+
+std::uint64_t
+PersistentLog::truncateFront(SequenceNum up_to)
+{
+    Header h = loadHeader();
+    std::uint64_t dropped = 0;
+    std::uint64_t off = h.headOff;
+    while (h.records > 0 && h.headSeq <= up_to) {
+        if (h.capacity - off < sizeof(RecordHeader)) {
+            off = 0;
+            continue;
+        }
+        RecordHeader rec;
+        space_.noteRead(ringBase() + off, sizeof(RecordHeader));
+        std::memcpy(&rec, space_.base() + ringBase() + off,
+                    sizeof(RecordHeader));
+        if (rec.length == wrapMark) {
+            off = 0;
+            continue;
+        }
+        VIYOJIT_ASSERT(rec.seq == h.headSeq, "log chain corrupt");
+        off += alignUp(sizeof(RecordHeader) + rec.length);
+        if (off >= h.capacity)
+            off = 0;
+        ++h.headSeq;
+        --h.records;
+        ++dropped;
+    }
+    h.headOff = off;
+    if (h.records == 0) {
+        // Reset to a compact empty state.
+        h.headOff = 0;
+        h.tailOff = 0;
+        h.headSeq = 0;
+    }
+    storeHeader(h);
+    return dropped;
+}
+
+void
+PersistentLog::forEach(
+    const std::function<void(SequenceNum, std::string_view)> &fn) const
+{
+    const Header h = loadHeader();
+    std::uint64_t off = h.headOff;
+    for (std::uint64_t i = 0; i < h.records; ++i) {
+        if (h.capacity - off < sizeof(RecordHeader)) {
+            off = 0;
+            --i;
+            continue;
+        }
+        RecordHeader rec;
+        space_.noteRead(ringBase() + off, sizeof(RecordHeader));
+        std::memcpy(&rec, space_.base() + ringBase() + off,
+                    sizeof(RecordHeader));
+        if (rec.length == wrapMark) {
+            off = 0;
+            --i;
+            continue;
+        }
+        const char *payload =
+            space_.base() + ringBase() + off + sizeof(RecordHeader);
+        fn(rec.seq, std::string_view(payload, rec.length));
+        off += alignUp(sizeof(RecordHeader) + rec.length);
+        if (off >= h.capacity)
+            off = 0;
+    }
+}
+
+bool
+PersistentLog::validate() const
+{
+    bool ok = true;
+    forEach([&](SequenceNum seq, std::string_view payload) {
+        const Header h = loadHeader();
+        const std::uint64_t off = findRecord(h, seq);
+        RecordHeader rec;
+        std::memcpy(&rec, space_.base() + ringBase() + off,
+                    sizeof(RecordHeader));
+        if (rec.checksum != checksumOf(seq, payload))
+            ok = false;
+    });
+    return ok;
+}
+
+LogStats
+PersistentLog::stats() const
+{
+    const Header h = loadHeader();
+    LogStats s;
+    s.records = h.records;
+    s.bytesCapacity = h.capacity;
+    s.bytesUsed = h.capacity - freeBytes(h);
+    s.headSeq = h.records ? h.headSeq : 0;
+    s.tailSeq = h.records ? h.nextSeq - 1 : 0;
+    return s;
+}
+
+} // namespace viyojit::plog

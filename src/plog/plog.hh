@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Persistent ring log on battery-backed DRAM.
+ *
+ * The paper's introduction motivates NV-DRAM with write-ahead logs
+ * and database logging (Fang et al., Huang et al.): appends are the
+ * access pattern where Viyojit shines, because the freshly written
+ * tail is the only hot region — everything behind it cools
+ * immediately and is proactively copied out, so a tiny battery
+ * covers an arbitrarily large log.
+ *
+ * Layout: a fixed header, then a circular byte region of
+ * length-prefixed, checksummed records.  All state lives in the NV
+ * region (offsets, never pointers), so the log re-attaches after a
+ * power cycle.  A record never straddles the wrap point; a wrap
+ * marker skips the slack at the end.
+ */
+
+#ifndef VIYOJIT_PLOG_PLOG_HH
+#define VIYOJIT_PLOG_PLOG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pheap/nv_space.hh"
+
+namespace viyojit::plog
+{
+
+/** Sequence number of a record; strictly increasing from 1. */
+using SequenceNum = std::uint64_t;
+
+/** Log statistics. */
+struct LogStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t bytesUsed = 0;
+    std::uint64_t bytesCapacity = 0;
+    SequenceNum headSeq = 0; ///< Oldest live record (0 when empty).
+    SequenceNum tailSeq = 0; ///< Newest live record (0 when empty).
+};
+
+/** Append-only circular log in an NvSpace. */
+class PersistentLog
+{
+  public:
+    /** Format a fresh log over the whole space. */
+    static PersistentLog create(pheap::NvSpace &space);
+
+    /** Re-attach after a power cycle (header is authoritative). */
+    static PersistentLog attach(pheap::NvSpace &space);
+
+    /**
+     * Append one record.
+     * @return its sequence number, or 0 when the log is full (free
+     *         space by consuming with truncateFront first).
+     */
+    SequenceNum append(std::string_view payload);
+
+    /**
+     * Read the record with the given sequence number.
+     * @return payload, or nullopt when out of the live range.
+     */
+    std::optional<std::string> read(SequenceNum seq) const;
+
+    /**
+     * Drop records with sequence <= `up_to` (consumer acknowledge),
+     * reclaiming their space.
+     * @return records dropped.
+     */
+    std::uint64_t truncateFront(SequenceNum up_to);
+
+    /** Walk every live record in order. */
+    void forEach(const std::function<void(SequenceNum,
+                                          std::string_view)> &fn) const;
+
+    /**
+     * Integrity scan: verify every live record's checksum (useful
+     * after recovering the backing file of the real runtime).
+     * @return false if any record is corrupt.
+     */
+    bool validate() const;
+
+    LogStats stats() const;
+
+    /** Largest payload a log of this capacity could ever accept. */
+    std::uint64_t maxPayload() const;
+
+  private:
+    /** On-NV header at offset 0. */
+    struct Header
+    {
+        std::uint32_t magic;
+        std::uint32_t version;
+        std::uint64_t capacity;  ///< Ring bytes (excludes header).
+        std::uint64_t headOff;   ///< Ring offset of the oldest record.
+        std::uint64_t tailOff;   ///< Ring offset one past the newest.
+        std::uint64_t records;
+        SequenceNum headSeq;
+        SequenceNum nextSeq;
+    };
+
+    /** Per-record header inside the ring. */
+    struct RecordHeader
+    {
+        std::uint32_t length; ///< Payload bytes; wrapMark = skip.
+        std::uint32_t pad;
+        SequenceNum seq;
+        std::uint64_t checksum;
+    };
+
+    static constexpr std::uint32_t magicValue = 0x564c4f47; // "VLOG"
+    static constexpr std::uint32_t wrapMark = 0xffffffff;
+
+    explicit PersistentLog(pheap::NvSpace &space);
+
+    static std::uint64_t checksumOf(SequenceNum seq,
+                                    std::string_view payload);
+
+    Header loadHeader() const;
+    void storeHeader(const Header &h);
+
+    /** Ring offset -> space offset. */
+    std::uint64_t ringBase() const;
+
+    /** Free bytes available for appending. */
+    std::uint64_t freeBytes(const Header &h) const;
+
+    /**
+     * Locate a live record by walking from the head.
+     * @return ring offset, or capacity when not found.
+     */
+    std::uint64_t findRecord(const Header &h, SequenceNum seq) const;
+
+    pheap::NvSpace &space_;
+};
+
+} // namespace viyojit::plog
+
+#endif // VIYOJIT_PLOG_PLOG_HH

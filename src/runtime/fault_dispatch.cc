@@ -1,0 +1,103 @@
+#include "runtime/fault_dispatch.hh"
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/region.hh"
+
+namespace viyojit::runtime
+{
+
+namespace
+{
+
+struct RegionEntry
+{
+    NvRegion *region;
+    std::uintptr_t begin;
+    std::uintptr_t end;
+};
+
+// The registry is read from a signal handler; mutation happens under
+// the mutex and swaps are kept simple (small vector, no reallocation
+// hazards worth optimizing for the handful of regions a process has).
+std::mutex registryLock;
+std::vector<RegionEntry> registry;
+
+struct sigaction previousAction;
+bool handlerInstalled = false;
+
+void
+segvHandler(int signo, siginfo_t *info, void *ucontext)
+{
+    const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+
+    // Look up without the lock: entries are only appended/erased under
+    // the lock, and a region unregisters before unmapping, so a fault
+    // racing an unregister can only miss (and then crash as default).
+    for (const RegionEntry &entry : registry) {
+        if (addr >= entry.begin && addr < entry.end) {
+            if (entry.region->handleFault(info->si_addr))
+                return;
+        }
+    }
+
+    // Not ours: restore and re-raise so the default disposition (or a
+    // pre-existing handler) runs.
+    if (previousAction.sa_flags & SA_SIGINFO) {
+        if (previousAction.sa_sigaction) {
+            previousAction.sa_sigaction(signo, info, ucontext);
+            return;
+        }
+    } else if (previousAction.sa_handler != SIG_DFL &&
+               previousAction.sa_handler != SIG_IGN &&
+               previousAction.sa_handler != nullptr) {
+        previousAction.sa_handler(signo);
+        return;
+    }
+    signal(SIGSEGV, SIG_DFL);
+    raise(SIGSEGV);
+}
+
+void
+installHandler()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = segvHandler;
+    action.sa_flags = SA_SIGINFO;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGSEGV, &action, &previousAction) != 0)
+        panic("failed to install SIGSEGV handler");
+    handlerInstalled = true;
+}
+
+} // namespace
+
+void
+registerRegion(NvRegion *region, void *base, unsigned long long bytes)
+{
+    std::lock_guard<std::mutex> guard(registryLock);
+    if (!handlerInstalled)
+        installHandler();
+    const auto begin = reinterpret_cast<std::uintptr_t>(base);
+    registry.push_back(RegionEntry{region, begin, begin + bytes});
+}
+
+void
+unregisterRegion(NvRegion *region)
+{
+    std::lock_guard<std::mutex> guard(registryLock);
+    for (auto it = registry.begin(); it != registry.end(); ++it) {
+        if (it->region == region) {
+            registry.erase(it);
+            return;
+        }
+    }
+}
+
+} // namespace viyojit::runtime

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Process-wide SIGSEGV dispatch for NvRegion write faults.
+ *
+ * The handler routes faults whose address falls inside a registered
+ * region to that region; anything else is re-raised with the default
+ * disposition so genuine crashes still crash.
+ */
+
+#ifndef VIYOJIT_RUNTIME_FAULT_DISPATCH_HH
+#define VIYOJIT_RUNTIME_FAULT_DISPATCH_HH
+
+namespace viyojit::runtime
+{
+
+class NvRegion;
+
+/** Install the SIGSEGV handler (idempotent) and add a region. */
+void registerRegion(NvRegion *region, void *base,
+                    unsigned long long bytes);
+
+/** Remove a region from dispatch. */
+void unregisterRegion(NvRegion *region);
+
+} // namespace viyojit::runtime
+
+#endif // VIYOJIT_RUNTIME_FAULT_DISPATCH_HH

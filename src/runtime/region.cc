@@ -1,0 +1,322 @@
+#include "runtime/region.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "runtime/fault_dispatch.hh"
+
+namespace viyojit::runtime
+{
+
+/**
+ * PagingBackend over mprotect and a backing file.
+ *
+ * Page copies are performed inline (pwrite) — the "async" interface
+ * degenerates to immediate completion.  The paper's 16-deep IO queue
+ * is a throughput optimization on its Azure SSD; correctness (the
+ * protect-before-copy rule, exact dirty accounting) is identical, and
+ * the simulated substrate models the queued-IO behaviour for the
+ * performance studies.
+ */
+class NvRegion::FileBackend : public core::PagingBackend
+{
+  public:
+    FileBackend(NvRegion &region)
+        : region_(region), writable_(region.pageCount_, 0)
+    {}
+
+    std::uint64_t pageCount() const override
+    {
+        return region_.pageCount_;
+    }
+
+    std::uint64_t pageSize() const override
+    {
+        return region_.pageSize_;
+    }
+
+    void
+    protectPage(PageNum page) override
+    {
+        mprotectRange(page, 1, PROT_READ);
+        writable_[page] = 0;
+    }
+
+    void
+    unprotectPage(PageNum page) override
+    {
+        mprotectRange(page, 1, PROT_READ | PROT_WRITE);
+        writable_[page] = 1;
+    }
+
+    void
+    scanAndClearDirty(
+        bool flush_tlb,
+        const std::function<void(PageNum, bool)> &visitor) override
+    {
+        // Userspace dirty-bit emulation: every epoch re-protects the
+        // writable (== written-this-epoch) pages, so the next write
+        // faults and refreshes recency.  `flush_tlb` is implicit in
+        // mprotect (the kernel shoots down stale TLB entries).
+        (void)flush_tlb;
+        const std::uint64_t n = region_.pageCount_;
+        PageNum run_start = invalidPage;
+        for (PageNum p = 0; p < n; ++p) {
+            if (writable_[p]) {
+                visitor(p, true);
+                writable_[p] = 0;
+                if (run_start == invalidPage)
+                    run_start = p;
+            } else if (run_start != invalidPage) {
+                mprotectRange(run_start, p - run_start, PROT_READ);
+                run_start = invalidPage;
+            }
+        }
+        if (run_start != invalidPage)
+            mprotectRange(run_start, n - run_start, PROT_READ);
+    }
+
+    void
+    persistPageAsync(PageNum page,
+                     std::function<void()> on_complete) override
+    {
+        persistPageBlocking(page);
+        if (on_complete)
+            on_complete();
+    }
+
+    void
+    persistPageBlocking(PageNum page) override
+    {
+        const std::uint64_t ps = region_.pageSize_;
+        const char *src = region_.mem_ + page * ps;
+        const auto off = static_cast<off_t>(page * ps);
+        std::uint64_t written = 0;
+        while (written < ps) {
+            const ssize_t n =
+                ::pwrite(region_.fd_, src + written, ps - written,
+                         off + static_cast<off_t>(written));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                panic("pwrite to backing file failed: ",
+                      std::strerror(errno));
+            }
+            written += static_cast<std::uint64_t>(n);
+        }
+        region_.bytesPersisted_.fetch_add(ps,
+                                          std::memory_order_relaxed);
+    }
+
+    void waitForPersist(PageNum) override {}
+    void waitForAnyPersist() override {}
+    unsigned outstandingIos() const override { return 0; }
+
+  private:
+    void
+    mprotectRange(PageNum first, std::uint64_t pages, int prot)
+    {
+        if (pages == 0)
+            return;
+        const std::uint64_t ps = region_.pageSize_;
+        if (::mprotect(region_.mem_ + first * ps, pages * ps, prot) !=
+            0) {
+            panic("mprotect failed: ", std::strerror(errno));
+        }
+    }
+
+    NvRegion &region_;
+    std::vector<std::uint8_t> writable_;
+};
+
+NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
+                   const RuntimeConfig &config, bool recover_contents)
+    : config_(config)
+{
+    pageSize_ = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    if (config.dirtyBudgetPages == 0)
+        fatal("runtime requires a dirty budget of at least one page");
+
+    const int flags = recover_contents ? O_RDWR : (O_RDWR | O_CREAT |
+                                                   O_TRUNC);
+    fd_ = ::open(backing_path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        fatal("cannot open backing file '", backing_path,
+              "': ", std::strerror(errno));
+
+    if (recover_contents) {
+        struct stat st;
+        if (::fstat(fd_, &st) != 0)
+            fatal("fstat failed: ", std::strerror(errno));
+        bytes_ = static_cast<std::uint64_t>(st.st_size);
+        if (bytes_ == 0)
+            fatal("backing file is empty; nothing to recover");
+    } else {
+        bytes_ = (bytes + pageSize_ - 1) / pageSize_ * pageSize_;
+        if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0)
+            fatal("ftruncate failed: ", std::strerror(errno));
+    }
+    pageCount_ = bytes_ / pageSize_;
+
+    void *mem = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("mmap failed: ", std::strerror(errno));
+    mem_ = static_cast<char *>(mem);
+
+    if (recover_contents) {
+        std::uint64_t done = 0;
+        while (done < bytes_) {
+            const ssize_t n =
+                ::pread(fd_, mem_ + done, bytes_ - done,
+                        static_cast<off_t>(done));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("pread during recovery failed: ",
+                      std::strerror(errno));
+            }
+            if (n == 0)
+                break;
+            done += static_cast<std::uint64_t>(n);
+        }
+    }
+
+    // Fig. 6 step 1: everything starts write-protected and clean.
+    if (::mprotect(mem_, bytes_, PROT_READ) != 0)
+        fatal("initial mprotect failed: ", std::strerror(errno));
+
+    core::ViyojitConfig core_config;
+    core_config.pageSize = pageSize_;
+    core_config.dirtyBudgetPages = config.dirtyBudgetPages;
+    core_config.historyEpochs = config.historyEpochs;
+    core_config.pressureWeightCurrent = config.pressureWeightCurrent;
+    core_config.maxOutstandingIos = config.maxOutstandingIos;
+
+    backend_ = std::make_unique<FileBackend>(*this);
+    controller_ = std::make_unique<core::DirtyBudgetController>(
+        *backend_, core_config);
+
+    registerRegion(this, mem_, bytes_);
+    if (config.startEpochThread)
+        startEpochThread();
+}
+
+std::unique_ptr<NvRegion>
+NvRegion::create(const std::string &backing_path, std::uint64_t bytes,
+                 const RuntimeConfig &config)
+{
+    return std::unique_ptr<NvRegion>(
+        new NvRegion(backing_path, bytes, config, false));
+}
+
+std::unique_ptr<NvRegion>
+NvRegion::recover(const std::string &backing_path,
+                  const RuntimeConfig &config)
+{
+    return std::unique_ptr<NvRegion>(
+        new NvRegion(backing_path, 0, config, true));
+}
+
+NvRegion::~NvRegion()
+{
+    stopEpochThread();
+    {
+        std::lock_guard<std::recursive_mutex> guard(lock_);
+        controller_->flushAllDirty();
+        ::fdatasync(fd_);
+    }
+    unregisterRegion(this);
+    if (mem_)
+        ::munmap(mem_, bytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+NvRegion::handleFault(void *addr)
+{
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    const auto base = reinterpret_cast<std::uintptr_t>(mem_);
+    if (a < base || a >= base + bytes_)
+        return false;
+    const PageNum page = (a - base) / pageSize_;
+    std::lock_guard<std::recursive_mutex> guard(lock_);
+    controller_->onWriteFault(page);
+    return true;
+}
+
+void
+NvRegion::epochTick()
+{
+    std::lock_guard<std::recursive_mutex> guard(lock_);
+    controller_->onEpochBoundary();
+}
+
+std::uint64_t
+NvRegion::flushAll()
+{
+    std::lock_guard<std::recursive_mutex> guard(lock_);
+    const std::uint64_t flushed = controller_->flushAllDirty();
+    if (::fdatasync(fd_) != 0)
+        panic("fdatasync failed: ", std::strerror(errno));
+    return flushed;
+}
+
+void
+NvRegion::setDirtyBudget(std::uint64_t pages)
+{
+    std::lock_guard<std::recursive_mutex> guard(lock_);
+    controller_->setDirtyBudget(pages);
+}
+
+RegionStats
+NvRegion::stats() const
+{
+    std::lock_guard<std::recursive_mutex> guard(lock_);
+    const core::ControllerStats &cs = controller_->stats();
+    RegionStats out;
+    out.writeFaults = cs.writeFaults;
+    out.blockedEvictions = cs.blockedEvictions;
+    out.proactiveCopies = cs.proactiveCopies;
+    out.epochs = cs.epochs;
+    out.dirtyPages = controller_->tracker().count();
+    out.bytesPersisted =
+        bytesPersisted_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+NvRegion::startEpochThread()
+{
+    if (epochRunning_.exchange(true))
+        return;
+    epochThread_ = std::thread([this]() {
+        while (epochRunning_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config_.epochMicros));
+            std::lock_guard<std::recursive_mutex> guard(lock_);
+            if (!epochRunning_.load(std::memory_order_relaxed))
+                break;
+            controller_->onEpochBoundary();
+        }
+    });
+}
+
+void
+NvRegion::stopEpochThread()
+{
+    if (!epochRunning_.exchange(false))
+        return;
+    if (epochThread_.joinable())
+        epochThread_.join();
+}
+
+} // namespace viyojit::runtime

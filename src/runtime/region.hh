@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Real-memory Viyojit runtime (the paper's 1,500-line shared
+ * library, section 5).
+ *
+ * An NvRegion is an mmap'd area whose pages start write-protected;
+ * SIGSEGV delivers first writes to the same DirtyBudgetController the
+ * simulator uses; a background epoch thread samples update recency;
+ * pages are persisted to a backing file with pwrite/fdatasync.
+ *
+ * Substitution note: the paper reads and clears hardware PTE dirty
+ * bits through a kernel module.  Userspace cannot do that portably,
+ * so the epoch scan re-write-protects dirty pages instead — a page
+ * that faults again before the next scan was "dirty" in that epoch.
+ * This preserves the recency signal exactly, at the cost of one
+ * extra fault per page per epoch of activity, which is the overhead
+ * the paper's MMU discussion (section 5.4) also attributes to
+ * software-only implementations.
+ */
+
+#ifndef VIYOJIT_RUNTIME_REGION_HH
+#define VIYOJIT_RUNTIME_REGION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "core/controller.hh"
+#include "core/paging_backend.hh"
+
+namespace viyojit::runtime
+{
+
+/** Runtime tunables. */
+struct RuntimeConfig
+{
+    /** Dirty budget in pages (required, >= 1). */
+    std::uint64_t dirtyBudgetPages = 0;
+
+    /** Epoch length in host microseconds (paper: 1000). */
+    std::uint64_t epochMicros = 1000;
+
+    unsigned historyEpochs = 64;
+    double pressureWeightCurrent = 0.75;
+    unsigned maxOutstandingIos = 16;
+
+    /** Start the background epoch thread in create()/recover(). */
+    bool startEpochThread = true;
+};
+
+/** Runtime statistics snapshot. */
+struct RegionStats
+{
+    std::uint64_t writeFaults = 0;
+    std::uint64_t blockedEvictions = 0;
+    std::uint64_t proactiveCopies = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t dirtyPages = 0;
+    std::uint64_t bytesPersisted = 0;
+};
+
+/** A battery-bounded non-volatile memory region over real pages. */
+class NvRegion
+{
+  public:
+    /**
+     * Create a region of `bytes` backed by `backing_path` (created or
+     * truncated).  Memory starts zeroed and clean.
+     */
+    static std::unique_ptr<NvRegion> create(
+        const std::string &backing_path, std::uint64_t bytes,
+        const RuntimeConfig &config);
+
+    /**
+     * Recover a region from an existing backing file: contents are
+     * loaded back into memory and every page starts clean.
+     */
+    static std::unique_ptr<NvRegion> recover(
+        const std::string &backing_path, const RuntimeConfig &config);
+
+    ~NvRegion();
+
+    NvRegion(const NvRegion &) = delete;
+    NvRegion &operator=(const NvRegion &) = delete;
+
+    /** Base of the usable memory. */
+    void *base() { return mem_; }
+    const void *base() const { return mem_; }
+
+    std::uint64_t size() const { return bytes_; }
+    std::uint64_t pageCount() const { return pageCount_; }
+    std::uint64_t pageSize() const { return pageSize_; }
+
+    /** Run one epoch boundary synchronously (tests / manual mode). */
+    void epochTick();
+
+    /**
+     * Emergency flush: persist every dirty page and fsync.
+     * @return pages flushed.
+     */
+    std::uint64_t flushAll();
+
+    /** Retune the dirty budget at runtime. */
+    void setDirtyBudget(std::uint64_t pages);
+
+    RegionStats stats() const;
+
+    /** Handle a fault at `addr` if it belongs to this region. */
+    bool handleFault(void *addr);
+
+  private:
+    class FileBackend;
+
+    NvRegion(const std::string &backing_path, std::uint64_t bytes,
+             const RuntimeConfig &config, bool recover_contents);
+
+    void startEpochThread();
+    void stopEpochThread();
+
+    RuntimeConfig config_;
+    std::uint64_t pageSize_;
+    std::uint64_t pageCount_;
+    std::uint64_t bytes_;
+    char *mem_ = nullptr;
+    int fd_ = -1;
+
+    std::unique_ptr<FileBackend> backend_;
+    std::unique_ptr<core::DirtyBudgetController> controller_;
+
+    /** Serializes controller access across app/epoch/IO threads. */
+    mutable std::recursive_mutex lock_;
+
+    std::thread epochThread_;
+    std::atomic<bool> epochRunning_{false};
+
+    std::atomic<std::uint64_t> bytesPersisted_{0};
+};
+
+} // namespace viyojit::runtime
+
+#endif // VIYOJIT_RUNTIME_REGION_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Virtual clock for the simulated substrate.
+ *
+ * All modelled costs (traps, TLB flushes, SSD IO, op service times)
+ * advance this clock; throughput and latency reported by the benches
+ * are ratios of virtual time, which makes every experiment exactly
+ * reproducible and independent of host speed.
+ */
+
+#ifndef VIYOJIT_SIM_CLOCK_HH
+#define VIYOJIT_SIM_CLOCK_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace viyojit::sim
+{
+
+/** Monotonic nanosecond virtual clock. */
+class VirtualClock
+{
+  public:
+    /** Current virtual time. */
+    Tick now() const { return now_; }
+
+    /** Advance by a delta. */
+    void advance(Tick delta) { now_ += delta; }
+
+    /** Jump forward to an absolute time (must not go backwards). */
+    void
+    advanceTo(Tick t)
+    {
+        VIYOJIT_ASSERT(t >= now_, "clock would move backwards");
+        now_ = t;
+    }
+
+    /** Reset to zero (between experiment repetitions). */
+    void reset() { now_ = 0; }
+
+  private:
+    Tick now_ = 0;
+};
+
+} // namespace viyojit::sim
+
+#endif // VIYOJIT_SIM_CLOCK_HH

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace viyojit::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    VIYOJIT_ASSERT(when >= clock_.now(), "scheduling into the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delta, Callback cb)
+{
+    schedule(clock_.now() + delta, std::move(cb));
+}
+
+Tick
+EventQueue::nextEventTime() const
+{
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast of the
+    // callback only, then pop.  The entry is never observed again.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    // An event may be delivered late (the caller advanced the clock
+    // past it while modelling a synchronous cost); never rewind.
+    if (entry.when > clock_.now())
+        clock_.advanceTo(entry.when);
+    entry.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        runOne();
+    if (clock_.now() < until)
+        clock_.advanceTo(until);
+}
+
+void
+EventQueue::drain()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace viyojit::sim

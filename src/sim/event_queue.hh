@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event queue driving asynchronous completions (SSD IO,
+ * battery events) against the virtual clock.
+ */
+
+#ifndef VIYOJIT_SIM_EVENT_QUEUE_HH
+#define VIYOJIT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/clock.hh"
+
+namespace viyojit::sim
+{
+
+/**
+ * Min-heap of (time, sequence, callback) events.  Events scheduled for
+ * the same tick fire in scheduling order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit EventQueue(VirtualClock &clock)
+        : clock_(clock)
+    {}
+
+    /** Schedule a callback at absolute virtual time `when`. */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback `delta` ticks from now. */
+    void scheduleAfter(Tick delta, Callback cb);
+
+    /** Time of the earliest pending event, or maxTick when empty. */
+    Tick nextEventTime() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    std::size_t pendingCount() const { return heap_.size(); }
+
+    /**
+     * Run all events with time <= `until`, advancing the clock to each
+     * event's time; finally advance the clock to `until`.
+     */
+    void runUntil(Tick until);
+
+    /** Run a single earliest event (advancing the clock to it). */
+    bool runOne();
+
+    /** Drain every pending event. */
+    void drain();
+
+    /** Drop all pending events without running them. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    VirtualClock &clock_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace viyojit::sim
+
+#endif // VIYOJIT_SIM_EVENT_QUEUE_HH

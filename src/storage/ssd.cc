@@ -1,0 +1,138 @@
+#include "storage/ssd.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace viyojit::storage
+{
+
+Ssd::Ssd(sim::SimContext &ctx, const SsdConfig &config)
+    : ctx_(ctx), config_(config)
+{
+    VIYOJIT_ASSERT(config.writeBandwidth > 0, "zero write bandwidth");
+    VIYOJIT_ASSERT(config.readBandwidth > 0, "zero read bandwidth");
+    VIYOJIT_ASSERT(config.maxIops > 0, "zero IOPS cap");
+    VIYOJIT_ASSERT(config.queueDepth > 0, "zero queue depth");
+}
+
+Tick
+Ssd::scheduleIo(std::uint64_t bytes, double bandwidth)
+{
+    const Tick now = ctx_.now();
+
+    // IOPS limiter: one admission slot every 1/maxIops seconds.
+    const Tick iops_gap = secondsToTicks(1.0 / config_.maxIops);
+    const Tick admit = std::max(now, iopsGate_);
+    iopsGate_ = admit + iops_gap;
+
+    // Bandwidth channel: transfers serialize.
+    const Tick transfer =
+        secondsToTicks(static_cast<double>(bytes) / bandwidth);
+    const Tick start = std::max(admit, channelFree_);
+    channelFree_ = start + transfer;
+
+    return channelFree_ + config_.perIoLatency;
+}
+
+Tick
+Ssd::writePage(StorageKey key, std::uint64_t content_hash,
+               std::uint64_t bytes, Callback on_complete,
+               std::uint64_t compressed_bytes)
+{
+    VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
+
+    if (config_.enableDedup) {
+        auto it = image_.find(key);
+        if (it != image_.end() && it->second == content_hash) {
+            // Content already durable: acknowledge without IO.
+            ++dedupHits_;
+            ctx_.stats().counter("ssd.dedup_hits").increment();
+            const Tick done = ctx_.now();
+            ++outstanding_;
+            ctx_.events().schedule(done,
+                                   [this, cb = std::move(on_complete)]() {
+                --outstanding_;
+                if (cb)
+                    cb();
+            });
+            return done;
+        }
+    }
+
+    std::uint64_t transfer = bytes;
+    if (config_.enableCompression && compressed_bytes > 0 &&
+        compressed_bytes < bytes) {
+        transfer = compressed_bytes;
+    }
+
+    ++outstanding_;
+    const Tick done = scheduleIo(transfer, config_.writeBandwidth);
+    bytesWritten_ += transfer;
+    logicalBytesWritten_ += bytes;
+    ++pageWrites_;
+    ctx_.stats().counter("ssd.bytes_written").increment(transfer);
+    ctx_.stats().counter("ssd.page_writes").increment();
+
+    ctx_.events().schedule(done, [this, key, content_hash,
+                                  cb = std::move(on_complete)]() {
+        image_[key] = content_hash;
+        --outstanding_;
+        if (cb)
+            cb();
+    });
+    return done;
+}
+
+Tick
+Ssd::writePageSync(StorageKey key, std::uint64_t content_hash,
+                   std::uint64_t bytes, std::uint64_t compressed_bytes)
+{
+    return writePage(key, content_hash, bytes, nullptr,
+                     compressed_bytes);
+}
+
+Tick
+Ssd::readPage(StorageKey key, std::uint64_t bytes, Callback on_complete)
+{
+    (void)key;
+    VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
+    ++outstanding_;
+    const Tick done = scheduleIo(bytes, config_.readBandwidth);
+    ctx_.stats().counter("ssd.page_reads").increment();
+    ctx_.events().schedule(done, [this, cb = std::move(on_complete)]() {
+        --outstanding_;
+        if (cb)
+            cb();
+    });
+    return done;
+}
+
+std::uint64_t
+Ssd::durableHash(StorageKey key) const
+{
+    auto it = image_.find(key);
+    return it == image_.end() ? 0 : it->second;
+}
+
+bool
+Ssd::hasPage(StorageKey key) const
+{
+    return image_.contains(key);
+}
+
+void
+Ssd::reset()
+{
+    channelFree_ = 0;
+    iopsGate_ = 0;
+    outstanding_ = 0;
+    bytesWritten_ = 0;
+    logicalBytesWritten_ = 0;
+    pageWrites_ = 0;
+    dedupHits_ = 0;
+    image_.clear();
+}
+
+} // namespace viyojit::storage

@@ -1,0 +1,208 @@
+#include "trace/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace viyojit::trace
+{
+
+VolumeAnalyzer::VolumeAnalyzer(const VolumeInfo &volume,
+                               std::vector<Tick> interval_lengths,
+                               std::uint64_t page_size)
+    : volume_(volume),
+      intervalLengths_(std::move(interval_lengths)),
+      pageSize_(page_size)
+{
+    VIYOJIT_ASSERT(volume.sizeBytes > 0, "empty volume");
+    VIYOJIT_ASSERT(page_size > 0, "zero page size");
+    totalPages_ = (volume.sizeBytes + page_size - 1) / page_size;
+    writeCounts_.assign(totalPages_, 0);
+    readTouched_.assign(totalPages_, 0);
+    intervalBytes_.resize(intervalLengths_.size());
+}
+
+void
+VolumeAnalyzer::observe(const TraceRecord &record)
+{
+    VIYOJIT_ASSERT(record.offset + record.length <= volume_.sizeBytes,
+                   "record beyond volume end");
+    const PageNum first = record.offset / pageSize_;
+    const PageNum last = record.length == 0
+                             ? first
+                             : (record.offset + record.length - 1) /
+                                   pageSize_;
+
+    if (record.isWrite) {
+        ++totalWrites_;
+        totalBytesWritten_ += record.length;
+        for (PageNum p = first; p <= last; ++p) {
+            if (writeCounts_[p] != ~0u)
+                ++writeCounts_[p];
+        }
+        for (std::size_t i = 0; i < intervalLengths_.size(); ++i) {
+            const auto idx = static_cast<std::size_t>(
+                record.timestamp / intervalLengths_[i]);
+            if (intervalBytes_[i].size() <= idx)
+                intervalBytes_[i].resize(idx + 1, 0);
+            intervalBytes_[i][idx] += record.length;
+        }
+    } else {
+        ++totalReads_;
+        for (PageNum p = first; p <= last; ++p)
+            readTouched_[p] = 1;
+    }
+}
+
+std::vector<IntervalWriteMetric>
+VolumeAnalyzer::intervalMetrics() const
+{
+    std::vector<IntervalWriteMetric> out;
+    for (std::size_t i = 0; i < intervalLengths_.size(); ++i) {
+        IntervalWriteMetric m;
+        m.intervalLength = intervalLengths_[i];
+        for (std::uint64_t bytes : intervalBytes_[i])
+            m.worstIntervalBytes =
+                std::max(m.worstIntervalBytes, bytes);
+        // Adversarial unique-page assumption: every written byte
+        // occupies fresh NV-DRAM, but never more than the volume.
+        m.worstIntervalBytes =
+            std::min(m.worstIntervalBytes, volume_.sizeBytes);
+        m.worstFractionOfVolume =
+            static_cast<double>(m.worstIntervalBytes) /
+            static_cast<double>(volume_.sizeBytes);
+        out.push_back(m);
+    }
+    return out;
+}
+
+std::uint64_t
+VolumeAnalyzer::pagesForWriteFraction(
+    const std::vector<std::uint32_t> &sorted_counts,
+    double fraction) const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c : sorted_counts)
+        total += c;
+    if (total == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(total)));
+    std::uint64_t covered = 0;
+    std::uint64_t pages = 0;
+    for (std::uint32_t c : sorted_counts) {
+        if (covered >= target)
+            break;
+        covered += c;
+        ++pages;
+    }
+    return pages;
+}
+
+SkewMetric
+VolumeAnalyzer::skewMetrics() const
+{
+    SkewMetric m;
+    m.totalWrites = totalWrites_;
+    m.totalReads = totalReads_;
+    m.totalPages = totalPages_;
+    m.writeVolumeFraction =
+        std::min(1.0, static_cast<double>(totalBytesWritten_) /
+                          static_cast<double>(volume_.sizeBytes));
+
+    std::vector<std::uint32_t> counts;
+    counts.reserve(totalPages_);
+    for (PageNum p = 0; p < totalPages_; ++p) {
+        if (writeCounts_[p] > 0) {
+            counts.push_back(writeCounts_[p]);
+            ++m.writtenPages;
+        }
+        if (writeCounts_[p] > 0 || readTouched_[p])
+            ++m.touchedPages;
+    }
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint32_t>());
+
+    const std::uint64_t p90 = pagesForWriteFraction(counts, 0.90);
+    const std::uint64_t p95 = pagesForWriteFraction(counts, 0.95);
+    const std::uint64_t p99 = pagesForWriteFraction(counts, 0.99);
+
+    const auto touched = static_cast<double>(
+        std::max<std::uint64_t>(m.touchedPages, 1));
+    const auto total = static_cast<double>(totalPages_);
+    m.coverage90OfTouched = static_cast<double>(p90) / touched;
+    m.coverage95OfTouched = static_cast<double>(p95) / touched;
+    m.coverage99OfTouched = static_cast<double>(p99) / touched;
+    m.coverage90OfTotal = static_cast<double>(p90) / total;
+    m.coverage95OfTotal = static_cast<double>(p95) / total;
+    m.coverage99OfTotal = static_cast<double>(p99) / total;
+    return m;
+}
+
+double
+zipfCoverageFraction(std::uint64_t n, double percentile, double theta)
+{
+    VIYOJIT_ASSERT(n > 0, "empty page population");
+    VIYOJIT_ASSERT(percentile > 0.0 && percentile <= 1.0,
+                   "percentile out of range");
+    // Total generalized-harmonic mass.
+    double total = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        total += 1.0 / std::pow(static_cast<double>(i), theta);
+    const double target = percentile * total;
+
+    double covered = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        covered += 1.0 / std::pow(static_cast<double>(k), theta);
+        if (covered >= target)
+            return static_cast<double>(k) / static_cast<double>(n);
+    }
+    return 1.0;
+}
+
+std::vector<ZipfCoveragePoint>
+zipfCoverageSeries(const std::vector<std::uint64_t> &page_counts,
+                   const std::vector<double> &percentiles,
+                   double theta)
+{
+    VIYOJIT_ASSERT(!page_counts.empty(), "no population sizes");
+    VIYOJIT_ASSERT(std::is_sorted(page_counts.begin(),
+                                  page_counts.end()),
+                   "population sizes must be increasing");
+
+    const std::uint64_t max_n = page_counts.back();
+
+    // Prefix sums of i^-theta at the requested sizes, plus the full
+    // running prefix so coverage can be found by a second bounded
+    // scan per size.
+    std::vector<double> prefix;
+    prefix.reserve(max_n + 1);
+    prefix.push_back(0.0);
+    double acc = 0.0;
+    for (std::uint64_t i = 1; i <= max_n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i), theta);
+        prefix.push_back(acc);
+    }
+
+    std::vector<ZipfCoveragePoint> out;
+    for (std::uint64_t n : page_counts) {
+        ZipfCoveragePoint point;
+        point.pageCount = n;
+        const double total = prefix[n];
+        for (double p : percentiles) {
+            const double target = p * total;
+            // Binary search the prefix for the first k covering it.
+            const auto it = std::lower_bound(
+                prefix.begin() + 1, prefix.begin() + 1 + n, target);
+            const auto k = static_cast<std::uint64_t>(
+                it - prefix.begin());
+            point.fractions.push_back(static_cast<double>(k) /
+                                      static_cast<double>(n));
+        }
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+} // namespace viyojit::trace

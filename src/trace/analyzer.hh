@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Single-pass trace analyzer implementing the paper's section 3
+ * methodology:
+ *
+ *  - Figure 2: slice the trace into intervals of several lengths;
+ *    within each interval, count data written under the adversarial
+ *    assumption that every write lands on unique NV-DRAM pages (a
+ *    log-structured file system would behave this way); report the
+ *    worst interval as a fraction of the volume size.
+ *
+ *  - Figures 3/4: count writes per *logical* page; find how many of
+ *    the hottest pages account for 90/95/99% of all writes; report
+ *    that count as a fraction of pages touched (fig 3) and of total
+ *    volume pages (fig 4).
+ */
+
+#ifndef VIYOJIT_TRACE_ANALYZER_HH
+#define VIYOJIT_TRACE_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace viyojit::trace
+{
+
+/** Worst-interval write volume for one interval length (fig 2). */
+struct IntervalWriteMetric
+{
+    Tick intervalLength = 0;
+
+    /** Bytes written in the heaviest interval (adversarial pages). */
+    std::uint64_t worstIntervalBytes = 0;
+
+    /** worstIntervalBytes / volume size. */
+    double worstFractionOfVolume = 0.0;
+};
+
+/** Write-skew metrics for one volume (figs 3 and 4). */
+struct SkewMetric
+{
+    std::uint64_t totalWrites = 0;
+    std::uint64_t totalReads = 0;
+    std::uint64_t touchedPages = 0;
+    std::uint64_t writtenPages = 0;
+    std::uint64_t totalPages = 0;
+
+    /** Bytes written over the whole trace / volume size. */
+    double writeVolumeFraction = 0.0;
+
+    /** Hot pages covering 90/95/99% of writes / touched pages. */
+    double coverage90OfTouched = 0.0;
+    double coverage95OfTouched = 0.0;
+    double coverage99OfTouched = 0.0;
+
+    /** Hot pages covering 90/95/99% of writes / total pages. */
+    double coverage90OfTotal = 0.0;
+    double coverage95OfTotal = 0.0;
+    double coverage99OfTotal = 0.0;
+};
+
+/** Streaming analyzer for one volume. */
+class VolumeAnalyzer
+{
+  public:
+    /**
+     * @param volume volume metadata (size determines the page array).
+     * @param interval_lengths fig-2 interval lengths to track.
+     * @param page_size logical page granularity.
+     */
+    VolumeAnalyzer(const VolumeInfo &volume,
+                   std::vector<Tick> interval_lengths,
+                   std::uint64_t page_size = defaultPageSize);
+
+    /** Feed one record (timestamps may arrive in any order). */
+    void observe(const TraceRecord &record);
+
+    /** Fig-2 worst-interval metrics, one per interval length. */
+    std::vector<IntervalWriteMetric> intervalMetrics() const;
+
+    /** Fig-3/4 skew metrics. */
+    SkewMetric skewMetrics() const;
+
+    const VolumeInfo &volume() const { return volume_; }
+
+  private:
+    /** Pages needed to cover `fraction` of all writes. */
+    std::uint64_t pagesForWriteFraction(
+        const std::vector<std::uint32_t> &sorted_counts,
+        double fraction) const;
+
+    VolumeInfo volume_;
+    std::vector<Tick> intervalLengths_;
+    std::uint64_t pageSize_;
+    std::uint64_t totalPages_;
+
+    /** Writes per logical page. */
+    std::vector<std::uint32_t> writeCounts_;
+
+    /** Read-touch marks per logical page. */
+    std::vector<std::uint8_t> readTouched_;
+
+    /** Per interval-length: bytes written per interval index. */
+    std::vector<std::vector<std::uint64_t>> intervalBytes_;
+
+    std::uint64_t totalWrites_ = 0;
+    std::uint64_t totalReads_ = 0;
+    std::uint64_t totalBytesWritten_ = 0;
+};
+
+/**
+ * Analytic Zipf coverage (fig 5): the smallest fraction of `n` pages
+ * whose Zipf(theta) probability mass reaches `percentile`.  Because
+ * the mass concentrates logarithmically, this fraction falls as `n`
+ * grows — the paper's argument that bigger NV-DRAM makes Viyojit
+ * *more* attractive.
+ */
+double zipfCoverageFraction(std::uint64_t n, double percentile,
+                            double theta = 0.99);
+
+/** One row of the fig-5 series. */
+struct ZipfCoveragePoint
+{
+    std::uint64_t pageCount = 0;
+
+    /** Coverage fractions, aligned with the requested percentiles. */
+    std::vector<double> fractions;
+};
+
+/**
+ * Batch form of zipfCoverageFraction: computes coverage for several
+ * population sizes and percentiles in a single accumulation pass
+ * (the sizes must be given in increasing order).
+ */
+std::vector<ZipfCoveragePoint>
+zipfCoverageSeries(const std::vector<std::uint64_t> &page_counts,
+                   const std::vector<double> &percentiles,
+                   double theta = 0.99);
+
+} // namespace viyojit::trace
+
+#endif // VIYOJIT_TRACE_ANALYZER_HH

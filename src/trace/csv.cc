@@ -1,0 +1,110 @@
+#include "trace/csv.hh"
+
+#include <charconv>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+namespace viyojit::trace
+{
+
+namespace
+{
+
+/** Parse one unsigned field, advancing the cursor past the comma. */
+bool
+takeField(std::string_view &cursor, std::uint64_t &out)
+{
+    const std::size_t comma = cursor.find(',');
+    const std::string_view field = comma == std::string_view::npos
+                                       ? cursor
+                                       : cursor.substr(0, comma);
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), out);
+    if (ec != std::errc() || ptr != field.data() + field.size())
+        return false;
+    cursor = comma == std::string_view::npos
+                 ? std::string_view{}
+                 : cursor.substr(comma + 1);
+    return true;
+}
+
+} // namespace
+
+bool
+parseCsvLine(const std::string &line, TraceRecord &out)
+{
+    std::string_view cursor = line;
+    // Trim trailing CR from Windows-style dumps.
+    if (!cursor.empty() && cursor.back() == '\r')
+        cursor.remove_suffix(1);
+    if (cursor.empty() || cursor.front() == '#')
+        return false;
+
+    std::uint64_t timestamp = 0;
+    std::uint64_t volume = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    if (!takeField(cursor, timestamp) || !takeField(cursor, volume) ||
+        !takeField(cursor, offset) || !takeField(cursor, length)) {
+        return false;
+    }
+    if (cursor.size() != 1)
+        return false;
+    const char op = cursor.front();
+    if (op != 'W' && op != 'w' && op != 'R' && op != 'r')
+        return false;
+    if (length == 0 ||
+        length > std::numeric_limits<std::uint32_t>::max()) {
+        return false;
+    }
+
+    out.timestamp = timestamp;
+    out.volumeId = static_cast<std::uint32_t>(volume);
+    out.offset = offset;
+    out.length = static_cast<std::uint32_t>(length);
+    out.isWrite = (op == 'W' || op == 'w');
+    return true;
+}
+
+CsvReadStats
+readCsv(std::istream &in,
+        const std::function<void(const TraceRecord &)> &sink)
+{
+    CsvReadStats stats;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first) {
+            first = false;
+            // Tolerate (and expect) a header line.
+            if (line.rfind("timestamp", 0) == 0)
+                continue;
+        }
+        TraceRecord record;
+        if (parseCsvLine(line, record)) {
+            sink(record);
+            ++stats.records;
+        } else if (!line.empty() && line.front() != '#') {
+            ++stats.skippedLines;
+        }
+    }
+    return stats;
+}
+
+void
+writeCsvHeader(std::ostream &out)
+{
+    out << "timestamp_ns,volume_id,offset,length,op\n";
+}
+
+void
+writeCsvRecord(std::ostream &out, const TraceRecord &record)
+{
+    out << record.timestamp << ',' << record.volumeId << ','
+        << record.offset << ',' << record.length << ','
+        << (record.isWrite ? 'W' : 'R') << '\n';
+}
+
+} // namespace viyojit::trace

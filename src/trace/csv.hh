@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CSV import/export for file-system traces, so the section-3
+ * analysis runs on real traces, not just the synthetic generators.
+ *
+ * Format (header required, one record per line):
+ *
+ *     timestamp_ns,volume_id,offset,length,op
+ *     12345,0,40960,4096,W
+ *     12600,0,8192,512,R
+ *
+ * `op` is `W`/`w` for writes, `R`/`r` for reads.  Lines starting
+ * with '#' are comments.
+ */
+
+#ifndef VIYOJIT_TRACE_CSV_HH
+#define VIYOJIT_TRACE_CSV_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace viyojit::trace
+{
+
+/** Result of a CSV parse. */
+struct CsvReadStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t skippedLines = 0;
+};
+
+/**
+ * Stream records out of CSV text, invoking `sink` per record.
+ * Malformed lines are counted and skipped, never fatal — real trace
+ * dumps have glitches.
+ */
+CsvReadStats readCsv(std::istream &in,
+                     const std::function<void(const TraceRecord &)> &sink);
+
+/** Parse one CSV line. @return false when malformed. */
+bool parseCsvLine(const std::string &line, TraceRecord &out);
+
+/** Write the header line. */
+void writeCsvHeader(std::ostream &out);
+
+/** Append one record. */
+void writeCsvRecord(std::ostream &out, const TraceRecord &record);
+
+} // namespace viyojit::trace
+
+#endif // VIYOJIT_TRACE_CSV_HH

@@ -1,0 +1,211 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace viyojit::trace
+{
+
+VolumeTraceGenerator::VolumeTraceGenerator(const VolumeParams &params,
+                                           std::uint32_t volume_id,
+                                           Tick duration,
+                                           std::uint64_t seed)
+    : params_(params), volumeId_(volume_id), duration_(duration),
+      rng_(seed)
+{
+    VIYOJIT_ASSERT(params.sizeBytes >= 1_MiB, "volume too small");
+    VIYOJIT_ASSERT(params.opsPerSec > 0, "zero op rate");
+}
+
+double
+VolumeTraceGenerator::currentRate(Tick at) const
+{
+    if (params_.burstPeriod == 0 || params_.burstMultiplier <= 1.0)
+        return params_.opsPerSec;
+    const Tick phase = at % params_.burstPeriod;
+    const bool bursting =
+        static_cast<double>(phase) <
+        params_.burstDuty * static_cast<double>(params_.burstPeriod);
+    return bursting ? params_.opsPerSec * params_.burstMultiplier
+                    : params_.opsPerSec;
+}
+
+std::uint32_t
+VolumeTraceGenerator::drawIoBytes()
+{
+    const double raw = rng_.nextExponential(params_.meanIoBytes);
+    const double clamped = std::clamp(raw, 512.0, 262144.0);
+    // Round to 512-byte sectors like a real block trace.
+    return static_cast<std::uint32_t>(clamped / 512.0) * 512;
+}
+
+std::uint64_t
+VolumeTraceGenerator::drawWriteOffset(std::uint32_t bytes)
+{
+    const std::uint64_t span = params_.sizeBytes - bytes;
+    if (rng_.nextBool(params_.uniqueWriteFraction)) {
+        // Log-structured append: fresh pages, wrapping at the end.
+        const std::uint64_t off = freshCursor_ % (span + 1);
+        freshCursor_ = (freshCursor_ + bytes + defaultPageSize - 1) /
+                       defaultPageSize * defaultPageSize;
+        return off;
+    }
+    const auto hot_span = static_cast<std::uint64_t>(
+        params_.hotSetFraction * static_cast<double>(span));
+    if (hot_span > 0 && rng_.nextBool(params_.hotWriteFraction))
+        return rng_.nextBounded(hot_span + 1);
+    return rng_.nextBounded(span + 1);
+}
+
+std::uint64_t
+VolumeTraceGenerator::drawReadOffset(std::uint32_t bytes)
+{
+    const std::uint64_t span = params_.sizeBytes - bytes;
+    const auto read_span = static_cast<std::uint64_t>(
+        params_.readCoverage * static_cast<double>(span));
+    return rng_.nextBounded(std::max<std::uint64_t>(read_span, 1) + 1);
+}
+
+bool
+VolumeTraceGenerator::next(TraceRecord &out)
+{
+    const double rate = currentRate(nextTime_);
+    nextTime_ += secondsToTicks(rng_.nextExponential(1.0 / rate));
+    if (nextTime_ >= duration_)
+        return false;
+
+    out.timestamp = nextTime_;
+    out.volumeId = volumeId_;
+    out.length = drawIoBytes();
+    out.isWrite = rng_.nextBool(params_.writeFraction);
+    out.offset = out.isWrite ? drawWriteOffset(out.length)
+                             : drawReadOffset(out.length);
+    return true;
+}
+
+namespace
+{
+
+/** 24 paper-hours at the 60:1 time scale. */
+constexpr Tick fullDay = 1440_s;
+
+/** 3.5 paper-hours (the Cosmos trace span). */
+constexpr Tick cosmosSpan = 210_s;
+
+VolumeParams
+volume(std::string name, std::uint64_t mib, double ops, double wf,
+       double unique, double hot_set, double hot_write, double read_cov,
+       double burst_mult = 3.0, Tick burst_period = 120_s,
+       double burst_duty = 0.2)
+{
+    VolumeParams p;
+    p.name = std::move(name);
+    p.sizeBytes = mib * 1_MiB;
+    p.opsPerSec = ops;
+    p.writeFraction = wf;
+    p.uniqueWriteFraction = unique;
+    p.hotSetFraction = hot_set;
+    p.hotWriteFraction = hot_write;
+    p.readCoverage = read_cov;
+    p.burstMultiplier = burst_mult;
+    p.burstPeriod = burst_period;
+    p.burstDuty = burst_duty;
+    return p;
+}
+
+} // namespace
+
+AppParams
+azureBlobParams()
+{
+    // Blob store: read-dominated volumes with modest write volume
+    // (fig 2a tops out near 14% per paper-hour) and mostly-unique
+    // writes on the cold volumes (class 1), with a couple of skewed
+    // metadata volumes (class 2).
+    AppParams app;
+    app.name = "Azure blob storage";
+    app.duration = fullDay;
+    app.volumes = {
+        volume("A", 48, 60, 0.04, 0.85, 0.10, 0.50, 0.15),
+        volume("B", 48, 90, 0.08, 0.70, 0.10, 0.60, 0.25),
+        volume("C", 64, 75, 0.10, 0.15, 0.20, 0.95, 0.30),
+        volume("D", 64, 80, 0.12, 0.50, 0.15, 0.70, 0.35),
+        volume("E", 48, 80, 0.06, 0.80, 0.10, 0.50, 0.20),
+        volume("F", 32, 35, 0.15, 0.10, 0.15, 0.95, 0.30),
+        volume("G", 48, 70, 0.05, 0.75, 0.10, 0.60, 0.15),
+        volume("H", 64, 70, 0.14, 0.40, 0.12, 0.80, 0.40),
+    };
+    return app;
+}
+
+AppParams
+cosmosParams()
+{
+    // Map-reduce substrate: the widest spread (fig 2b reaches ~80%).
+    // B and C are the paper's class 2 (few, highly skewed writes);
+    // F is class 3 (heavy + skewed); E is class 4 (heavy + unique).
+    AppParams app;
+    app.name = "Cosmos";
+    app.duration = cosmosSpan;
+    app.volumes = {
+        volume("A", 32, 70, 0.10, 0.60, 0.10, 0.70, 0.30),
+        volume("B", 32, 40, 0.08, 0.02, 0.25, 0.99, 0.75),
+        volume("C", 32, 40, 0.09, 0.02, 0.22, 0.99, 0.75),
+        volume("D", 48, 80, 0.25, 0.40, 0.15, 0.80, 0.40),
+        volume("E", 32, 48, 0.60, 0.95, 0.10, 0.50, 0.30, 20.0,
+               60_s, 0.05),
+        volume("F", 32, 52, 0.55, 0.01, 0.05, 0.99, 0.45, 20.0,
+               60_s, 0.05),
+        volume("G", 48, 95, 0.15, 0.30, 0.15, 0.85, 0.35),
+    };
+    return app;
+}
+
+AppParams
+pageRankParams()
+{
+    // Iterative rank computation: bursts of writes into working
+    // volumes (fig 2c reaches ~25-30%), moderate skew.
+    AppParams app;
+    app.name = "Page rank";
+    app.duration = fullDay;
+    app.volumes = {
+        volume("A", 48, 70, 0.18, 0.30, 0.12, 0.85, 0.40, 4.0),
+        volume("B", 48, 52, 0.22, 0.25, 0.10, 0.90, 0.45, 4.0),
+        volume("C", 32, 80, 0.12, 0.50, 0.15, 0.75, 0.30),
+        volume("D", 32, 120, 0.08, 0.70, 0.12, 0.60, 0.25),
+        volume("E", 48, 45, 0.25, 0.20, 0.08, 0.90, 0.50, 4.0),
+        volume("F", 32, 100, 0.06, 0.80, 0.10, 0.50, 0.20),
+    };
+    return app;
+}
+
+AppParams
+searchIndexParams()
+{
+    // Index serving: read heavy, small and skewed write traffic
+    // (fig 2d stays under ~16%).
+    AppParams app;
+    app.name = "Search index serving";
+    app.duration = fullDay;
+    app.volumes = {
+        volume("A", 64, 220, 0.05, 0.20, 0.10, 0.90, 0.60),
+        volume("B", 64, 160, 0.07, 0.15, 0.10, 0.92, 0.65),
+        volume("C", 48, 180, 0.04, 0.40, 0.12, 0.80, 0.50),
+        volume("D", 48, 95, 0.09, 0.10, 0.08, 0.95, 0.55),
+        volume("E", 32, 90, 0.06, 0.50, 0.15, 0.75, 0.40),
+        volume("F", 64, 80, 0.12, 0.25, 0.10, 0.90, 0.70, 4.0),
+    };
+    return app;
+}
+
+std::vector<AppParams>
+allApplications()
+{
+    return {azureBlobParams(), cosmosParams(), pageRankParams(),
+            searchIndexParams()};
+}
+
+} // namespace viyojit::trace

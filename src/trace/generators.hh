@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Synthetic trace generators standing in for the paper's proprietary
+ * Microsoft data-center traces (Azure blob storage, Cosmos, Page
+ * rank, Search index serving).
+ *
+ * Substitution note (see DESIGN.md): each application is a table of
+ * per-volume parameters chosen so the volume falls into the same
+ * qualitative class the paper reports —
+ *   1. low write volume, writes to mostly unique pages;
+ *   2. low write volume, writes further skewed (~30% of pages take
+ *      99% of writes);
+ *   3. high write volume (~70%), highly skewed (~10% of pages take
+ *      99% of writes);
+ *   4. high write volume, writes to mostly unique pages.
+ *
+ * Time is scaled 60:1 (a "paper hour" is one virtual minute) and
+ * volume sizes are tens of MiB instead of hundreds of GiB; figure 2's
+ * metric is a ratio, which the scaling preserves.
+ */
+
+#ifndef VIYOJIT_TRACE_GENERATORS_HH
+#define VIYOJIT_TRACE_GENERATORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace.hh"
+
+namespace viyojit::trace
+{
+
+/** Scaled interval lengths corresponding to fig 2's x-axis. */
+struct ScaledIntervals
+{
+    static constexpr Tick oneMinute = 1_s;   ///< paper: one minute
+    static constexpr Tick tenMinutes = 10_s; ///< paper: ten minutes
+    static constexpr Tick oneHour = 60_s;    ///< paper: one hour
+};
+
+/** Behavioural parameters of one synthetic volume. */
+struct VolumeParams
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+
+    /** Mean operation rate (ops per virtual second). */
+    double opsPerSec = 100.0;
+
+    /** Fraction of operations that are writes. */
+    double writeFraction = 0.1;
+
+    /** Mean IO size in bytes (exponential, clamped to [512, 256K]). */
+    double meanIoBytes = 8192.0;
+
+    /** Fraction of writes appended to fresh pages (log-structured). */
+    double uniqueWriteFraction = 0.1;
+
+    /** Fraction of the volume forming the write hot set. */
+    double hotSetFraction = 0.1;
+
+    /** Fraction of non-unique writes that hit the hot set. */
+    double hotWriteFraction = 0.9;
+
+    /** Fraction of the volume that reads cover. */
+    double readCoverage = 0.8;
+
+    /** Burst modulation: period, duty cycle, and rate multiplier. */
+    Tick burstPeriod = 120_s;
+    double burstDuty = 0.2;
+    double burstMultiplier = 3.0;
+};
+
+/** One application: a machine with several volumes and a duration. */
+struct AppParams
+{
+    std::string name;
+    Tick duration = 0;
+    std::vector<VolumeParams> volumes;
+};
+
+/** Streaming generator of one volume's records. */
+class VolumeTraceGenerator
+{
+  public:
+    VolumeTraceGenerator(const VolumeParams &params,
+                         std::uint32_t volume_id, Tick duration,
+                         std::uint64_t seed);
+
+    /**
+     * Produce the next record.
+     * @return false when the duration is exhausted.
+     */
+    bool next(TraceRecord &out);
+
+    const VolumeParams &params() const { return params_; }
+
+    VolumeInfo
+    info() const
+    {
+        return VolumeInfo{params_.name, params_.sizeBytes};
+    }
+
+  private:
+    double currentRate(Tick at) const;
+    std::uint32_t drawIoBytes();
+    std::uint64_t drawWriteOffset(std::uint32_t bytes);
+    std::uint64_t drawReadOffset(std::uint32_t bytes);
+
+    VolumeParams params_;
+    std::uint32_t volumeId_;
+    Tick duration_;
+    Rng rng_;
+    Tick nextTime_ = 0;
+    std::uint64_t freshCursor_ = 0;
+};
+
+/** Parameter tables for the four applications of section 3. */
+AppParams azureBlobParams();
+AppParams cosmosParams();
+AppParams pageRankParams();
+AppParams searchIndexParams();
+
+/** All four applications. */
+std::vector<AppParams> allApplications();
+
+} // namespace viyojit::trace
+
+#endif // VIYOJIT_TRACE_GENERATORS_HH

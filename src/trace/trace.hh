@@ -1,0 +1,45 @@
+/**
+ * @file
+ * File-system trace model (paper section 3).
+ *
+ * The paper analyzes 24-hour file-system traces of four Microsoft
+ * production applications.  Those traces are proprietary; we generate
+ * synthetic equivalents whose per-volume parameters are tuned so each
+ * volume lands in the qualitative class the paper describes (see
+ * generators.hh).  The *analysis* code — interval write volumes,
+ * worst-interval selection, percentile-of-writes page counting — is a
+ * faithful implementation of the paper's methodology and runs
+ * unchanged on real traces of the same record format.
+ */
+
+#ifndef VIYOJIT_TRACE_TRACE_HH
+#define VIYOJIT_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace viyojit::trace
+{
+
+/** One file-system level access record. */
+struct TraceRecord
+{
+    Tick timestamp = 0;
+    std::uint32_t volumeId = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+    bool isWrite = false;
+};
+
+/** Static description of one file-system volume. */
+struct VolumeInfo
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+};
+
+} // namespace viyojit::trace
+
+#endif // VIYOJIT_TRACE_TRACE_HH

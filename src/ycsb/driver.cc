@@ -1,0 +1,203 @@
+#include "ycsb/driver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::ycsb
+{
+
+const LogHistogram &
+RunResult::latencyFor(OpType type) const
+{
+    switch (type) {
+      case OpType::read:
+        return readLatency;
+      case OpType::update:
+        return updateLatency;
+      case OpType::insert:
+        return insertLatency;
+      case OpType::readModifyWrite:
+        return rmwLatency;
+    }
+    panic("unreachable op type");
+}
+
+YcsbDriver::YcsbDriver(sim::SimContext &ctx, kvstore::KvStore &store,
+                       const WorkloadSpec &spec,
+                       const DriverConfig &config)
+    : ctx_(ctx), store_(store), spec_(spec), config_(config),
+      rng_(config.seed)
+{
+    const double total = spec.readProportion + spec.updateProportion +
+                         spec.insertProportion + spec.rmwProportion;
+    if (total < 0.999 || total > 1.001)
+        fatal("workload proportions must sum to 1, got ", total);
+    if (config.recordCount == 0)
+        fatal("record count must be non-zero");
+
+    switch (spec_.distribution) {
+      case RequestDistribution::uniform:
+        keyChooser_ =
+            std::make_unique<UniformDistribution>(config.recordCount);
+        break;
+      case RequestDistribution::zipfian:
+        if (config.zipfScaleShift > 0) {
+            keyChooser_ = std::make_unique<ScaledZipfianDistribution>(
+                config.recordCount, config.zipfScaleShift);
+        } else {
+            keyChooser_ =
+                std::make_unique<ScrambledZipfianDistribution>(
+                    config.recordCount);
+        }
+        break;
+      case RequestDistribution::latest:
+        keyChooser_ =
+            std::make_unique<LatestDistribution>(config.recordCount);
+        break;
+    }
+
+    valueBuffer_.assign(spec_.valueSize(), 'v');
+    fieldBuffer_.assign(spec_.fieldLength, 'f');
+}
+
+std::string
+YcsbDriver::keyFor(std::uint64_t index)
+{
+    // Fixed-width so every key has identical length (and record
+    // layout), like YCSB's zero-padded key generation.
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "user%012llu",
+                  static_cast<unsigned long long>(index));
+    return buf;
+}
+
+void
+YcsbDriver::load()
+{
+    for (std::uint64_t i = 0; i < config_.recordCount; ++i) {
+        // Vary a few bytes so values are not identical.
+        valueBuffer_[i % valueBuffer_.size()] =
+            static_cast<char>('a' + (i % 26));
+        const bool ok = store_.insert(keyFor(i), valueBuffer_);
+        if (!ok)
+            fatal("load failed at record ", i, " (heap exhausted?)");
+    }
+    insertedRecords_ = config_.recordCount;
+    keyChooser_->setItemCount(insertedRecords_);
+    ctx_.events().runUntil(ctx_.now());
+}
+
+OpType
+YcsbDriver::chooseOp()
+{
+    const double draw = rng_.nextDouble();
+    double acc = spec_.readProportion;
+    if (draw < acc)
+        return OpType::read;
+    acc += spec_.updateProportion;
+    if (draw < acc)
+        return OpType::update;
+    acc += spec_.insertProportion;
+    if (draw < acc)
+        return OpType::insert;
+    return OpType::readModifyWrite;
+}
+
+std::uint64_t
+YcsbDriver::chooseKeyIndex()
+{
+    const std::uint64_t idx = keyChooser_->next(rng_);
+    return std::min<std::uint64_t>(idx, insertedRecords_ - 1);
+}
+
+void
+YcsbDriver::executeOp(OpType op, RunResult &result)
+{
+    const Tick start = ctx_.now();
+    // A read-modify-write is two client round trips in YCSB (a READ
+    // followed by an UPDATE); every other op is one.
+    ctx_.clock().advance(op == OpType::readModifyWrite
+                             ? 2 * config_.baseOpCost
+                             : config_.baseOpCost);
+
+    switch (op) {
+      case OpType::read: {
+        const auto value = store_.get(keyFor(chooseKeyIndex()));
+        VIYOJIT_ASSERT(value.has_value(), "read of loaded key missed");
+        break;
+      }
+      case OpType::update: {
+        const std::uint64_t field =
+            rng_.nextBounded(spec_.fieldCount);
+        fieldBuffer_[0] = static_cast<char>('a' + rng_.nextBounded(26));
+        bool ok;
+        if (config_.updateWritesFullValue) {
+            // Redis SET: replace the whole value object.
+            valueBuffer_[field * spec_.fieldLength] = fieldBuffer_[0];
+            ok = store_.put(keyFor(chooseKeyIndex()), valueBuffer_);
+        } else {
+            // Field-granular overwrite in place.
+            ok = store_.updateInPlace(keyFor(chooseKeyIndex()),
+                                      field * spec_.fieldLength,
+                                      fieldBuffer_);
+        }
+        VIYOJIT_ASSERT(ok, "update of loaded key failed");
+        break;
+      }
+      case OpType::insert: {
+        const std::uint64_t id = insertedRecords_;
+        const bool ok = store_.insert(keyFor(id), valueBuffer_);
+        if (ok) {
+            ++insertedRecords_;
+            keyChooser_->setItemCount(insertedRecords_);
+        }
+        break;
+      }
+      case OpType::readModifyWrite: {
+        fieldBuffer_[0] = static_cast<char>('a' + rng_.nextBounded(26));
+        const bool ok = store_.readModifyWrite(
+            keyFor(chooseKeyIndex()), fieldBuffer_);
+        VIYOJIT_ASSERT(ok, "read-modify-write of loaded key failed");
+        break;
+      }
+    }
+
+    // Deliver due events (epoch boundaries, IO completions).
+    ctx_.events().runUntil(ctx_.now());
+
+    const Tick latency = ctx_.now() - start;
+    switch (op) {
+      case OpType::read:
+        result.readLatency.record(latency);
+        break;
+      case OpType::update:
+        result.updateLatency.record(latency);
+        break;
+      case OpType::insert:
+        result.insertLatency.record(latency);
+        break;
+      case OpType::readModifyWrite:
+        result.rmwLatency.record(latency);
+        break;
+    }
+}
+
+RunResult
+YcsbDriver::run()
+{
+    RunResult result;
+    const Tick start = ctx_.now();
+    for (std::uint64_t i = 0; i < config_.operationCount; ++i)
+        executeOp(chooseOp(), result);
+    result.operations = config_.operationCount;
+    result.elapsed = ctx_.now() - start;
+    result.throughputOpsPerSec =
+        result.elapsed == 0
+            ? 0.0
+            : static_cast<double>(result.operations) /
+                  ticksToSeconds(result.elapsed);
+    return result;
+}
+
+} // namespace viyojit::ycsb

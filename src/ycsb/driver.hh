@@ -1,0 +1,116 @@
+/**
+ * @file
+ * YCSB driver: loads a dataset into the KV store, replays an
+ * operation mix against it, and reports throughput and per-operation
+ * latency distributions over virtual time.
+ */
+
+#ifndef VIYOJIT_YCSB_DRIVER_HH
+#define VIYOJIT_YCSB_DRIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/distributions.hh"
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "kvstore/kvstore.hh"
+#include "sim/context.hh"
+#include "ycsb/workload.hh"
+
+namespace viyojit::ycsb
+{
+
+/** Driver tunables beyond the workload spec. */
+struct DriverConfig
+{
+    /** Records loaded before the run. */
+    std::uint64_t recordCount = 16000;
+
+    /** Operations executed in the run phase. */
+    std::uint64_t operationCount = 100000;
+
+    /**
+     * Fixed service cost per operation outside NV accesses (request
+     * parsing, dispatch, response).  Gives the baseline its ~30-40
+     * K-ops/s absolute scale.
+     */
+    Tick baseOpCost = 22_us;
+
+    /** RNG seed (every run is reproducible). */
+    std::uint64_t seed = 42;
+
+    /**
+     * When true, an UPDATE rewrites the whole value through put()
+     * (the Redis SET behaviour: a fresh value object per update);
+     * when false it overwrites one field in place.
+     */
+    bool updateWritesFullValue = false;
+
+    /**
+     * When non-zero, the zipfian key chooser draws from a virtual
+     * population of (recordCount << zipfScaleShift) items folded
+     * down — the skew profile of a full-size (paper-scale) dataset
+     * projected onto a downscaled one (see
+     * ScaledZipfianDistribution).
+     */
+    unsigned zipfScaleShift = 0;
+};
+
+/** Results of one driver run. */
+struct RunResult
+{
+    std::uint64_t operations = 0;
+    Tick elapsed = 0;
+
+    /** Operations per second of virtual time. */
+    double throughputOpsPerSec = 0.0;
+
+    LogHistogram readLatency;
+    LogHistogram updateLatency;
+    LogHistogram insertLatency;
+    LogHistogram rmwLatency;
+
+    /** Latency histogram for a given op type. */
+    const LogHistogram &latencyFor(OpType type) const;
+};
+
+/** Replays YCSB workloads against a KvStore. */
+class YcsbDriver
+{
+  public:
+    YcsbDriver(sim::SimContext &ctx, kvstore::KvStore &store,
+               const WorkloadSpec &spec, const DriverConfig &config);
+
+    /** Insert the initial `recordCount` records. */
+    void load();
+
+    /** Run the operation mix; returns results. */
+    RunResult run();
+
+    /** YCSB key for a record index ("user" + zero-padded id). */
+    static std::string keyFor(std::uint64_t index);
+
+  private:
+    OpType chooseOp();
+    std::uint64_t chooseKeyIndex();
+    void executeOp(OpType op, RunResult &result);
+
+    sim::SimContext &ctx_;
+    kvstore::KvStore &store_;
+    WorkloadSpec spec_;
+    DriverConfig config_;
+    Rng rng_;
+
+    std::unique_ptr<IntegerDistribution> keyChooser_;
+    std::uint64_t insertedRecords_ = 0;
+
+    /** Reusable value buffer (mutated per op, avoids allocations). */
+    std::string valueBuffer_;
+    std::string fieldBuffer_;
+};
+
+} // namespace viyojit::ycsb
+
+#endif // VIYOJIT_YCSB_DRIVER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * YCSB workload definitions (Cooper et al., SoCC '10), matching the
+ * mixes the paper evaluates: A, B, C, D, and F.  YCSB-E needs
+ * cross-key scans, which the store does not support — same exclusion
+ * as the paper.
+ */
+
+#ifndef VIYOJIT_YCSB_WORKLOAD_HH
+#define VIYOJIT_YCSB_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace viyojit::ycsb
+{
+
+/** Operation classes issued by the driver. */
+enum class OpType
+{
+    read,
+    update,
+    insert,
+    readModifyWrite,
+};
+
+/** Key-request distribution families. */
+enum class RequestDistribution
+{
+    uniform,
+    zipfian,
+    latest,
+};
+
+/** One YCSB workload's operation mix and key distribution. */
+struct WorkloadSpec
+{
+    std::string name;
+    double readProportion = 0.0;
+    double updateProportion = 0.0;
+    double insertProportion = 0.0;
+    double rmwProportion = 0.0;
+    RequestDistribution distribution = RequestDistribution::zipfian;
+
+    /** YCSB defaults: 10 fields x 100 bytes. */
+    std::uint32_t fieldCount = 10;
+    std::uint32_t fieldLength = 100;
+
+    std::uint32_t valueSize() const { return fieldCount * fieldLength; }
+};
+
+/** Standard workload by letter: 'A', 'B', 'C', 'D', or 'F'. */
+inline WorkloadSpec
+standardWorkload(char letter)
+{
+    WorkloadSpec spec;
+    switch (letter) {
+      case 'A':
+        // Update heavy: interactive apps creating content rapidly.
+        spec = {"YCSB-A", 0.5, 0.5, 0.0, 0.0,
+                RequestDistribution::zipfian};
+        break;
+      case 'B':
+        // Read mostly: document serving.
+        spec = {"YCSB-B", 0.95, 0.05, 0.0, 0.0,
+                RequestDistribution::zipfian};
+        break;
+      case 'C':
+        // Read only: image-serving front ends.
+        spec = {"YCSB-C", 1.0, 0.0, 0.0, 0.0,
+                RequestDistribution::zipfian};
+        break;
+      case 'D':
+        // Read latest: social-media posts.
+        spec = {"YCSB-D", 0.95, 0.0, 0.05, 0.0,
+                RequestDistribution::latest};
+        break;
+      case 'F':
+        // Read-modify-write: user record stores.
+        spec = {"YCSB-F", 0.5, 0.0, 0.0, 0.5,
+                RequestDistribution::zipfian};
+        break;
+      default:
+        fatal("unknown YCSB workload '", letter,
+              "' (supported: A, B, C, D, F)");
+    }
+    return spec;
+}
+
+} // namespace viyojit::ycsb
+
+#endif // VIYOJIT_YCSB_WORKLOAD_HH

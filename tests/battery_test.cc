@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the battery model: derating chain, fade, capacity
+ * listeners, dirty-budget conversion, and the fig-1 scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/battery.hh"
+#include "battery/scaling.hh"
+#include "common/logging.hh"
+
+namespace viyojit::battery
+{
+namespace
+{
+
+BatteryConfig
+plainConfig()
+{
+    BatteryConfig cfg;
+    cfg.nominalJoules = 10000.0;
+    cfg.depthOfDischarge = 0.5;
+    cfg.chemistryDerate = 0.7;
+    cfg.fadePerYear = 0.05;
+    cfg.fadePerDegreeAbove25 = 0.005;
+    return cfg;
+}
+
+TEST(BatteryTest, EffectiveAppliesDerateChain)
+{
+    Battery battery(plainConfig());
+    // 10000 * 0.7 * 0.5 = 3500 J fresh.
+    EXPECT_DOUBLE_EQ(battery.effectiveJoules(), 3500.0);
+}
+
+TEST(BatteryTest, AgeFadesCapacity)
+{
+    Battery battery(plainConfig());
+    battery.setAgeYears(4.0);
+    // 20% fade after 4 years.
+    EXPECT_DOUBLE_EQ(battery.effectiveJoules(), 3500.0 * 0.8);
+}
+
+TEST(BatteryTest, TemperatureFadesCapacity)
+{
+    Battery battery(plainConfig());
+    battery.setAmbientCelsius(45.0);
+    EXPECT_DOUBLE_EQ(battery.effectiveJoules(), 3500.0 * 0.9);
+}
+
+TEST(BatteryTest, TemperatureBelow25HasNoEffect)
+{
+    Battery battery(plainConfig());
+    battery.setAmbientCelsius(10.0);
+    EXPECT_DOUBLE_EQ(battery.effectiveJoules(), 3500.0);
+}
+
+TEST(BatteryTest, FailedCellsScaleCapacity)
+{
+    Battery battery(plainConfig());
+    battery.setFailedCellFraction(0.25);
+    EXPECT_DOUBLE_EQ(battery.effectiveJoules(), 3500.0 * 0.75);
+}
+
+TEST(BatteryTest, CapacityNeverNegative)
+{
+    Battery battery(plainConfig());
+    battery.setAgeYears(100.0);
+    EXPECT_GE(battery.effectiveJoules(), 0.0);
+}
+
+TEST(BatteryTest, ListenersFireOnChange)
+{
+    Battery battery(plainConfig());
+    double observed = -1.0;
+    battery.addCapacityListener(
+        [&](double joules) { observed = joules; });
+    battery.setAgeYears(2.0);
+    EXPECT_DOUBLE_EQ(observed, 3500.0 * 0.9);
+}
+
+TEST(BatteryTest, FlushSecondsUsesPowerModel)
+{
+    Battery battery(plainConfig());
+    PowerModel power;
+    power.cpuWatts = 100.0;
+    power.dramWattsPerGib = 0.0;
+    power.ssdWatts = 0.0;
+    power.otherWatts = 0.0;
+    EXPECT_DOUBLE_EQ(battery.flushSeconds(power), 35.0);
+}
+
+TEST(BatteryTest, InvalidConfigRejected)
+{
+    BatteryConfig cfg = plainConfig();
+    cfg.depthOfDischarge = 1.5;
+    EXPECT_DEATH({ Battery battery(cfg); }, "depth of discharge");
+}
+
+TEST(PowerModelTest, FlushWattsSumsComponents)
+{
+    PowerModel power;
+    power.cpuWatts = 100.0;
+    power.dramWattsPerGib = 0.5;
+    power.dramGib = 64.0;
+    power.ssdWatts = 10.0;
+    power.otherWatts = 20.0;
+    EXPECT_DOUBLE_EQ(power.flushWatts(), 162.0);
+}
+
+// ---------------------------------------------------------------------
+// DirtyBudgetCalculator
+// ---------------------------------------------------------------------
+
+PowerModel
+watts300()
+{
+    PowerModel power;
+    power.cpuWatts = 240.0;
+    power.dramWattsPerGib = 0.0;
+    power.ssdWatts = 20.0;
+    power.otherWatts = 40.0;
+    return power; // 300 W total
+}
+
+TEST(BudgetCalcTest, BudgetBytesFromJoules)
+{
+    // 300 W, 4 GB/s raw, safety 0.8 -> 3.2 GB/s conservative.
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 0.8);
+    // 3000 J / 300 W = 10 s -> 32 GB.
+    EXPECT_EQ(calc.budgetBytes(3000.0),
+              static_cast<std::uint64_t>(3.2e10));
+}
+
+TEST(BudgetCalcTest, BudgetPages)
+{
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 0.8);
+    EXPECT_EQ(calc.budgetPages(3000.0, 4096),
+              static_cast<std::uint64_t>(3.2e10) / 4096);
+}
+
+TEST(BudgetCalcTest, RequiredJoulesRoundTrip)
+{
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 0.8);
+    const std::uint64_t bytes = 1ULL << 30;
+    const double joules = calc.requiredJoules(bytes);
+    EXPECT_NEAR(static_cast<double>(calc.budgetBytes(joules)),
+                static_cast<double>(bytes), 16.0);
+}
+
+TEST(BudgetCalcTest, PaperScaleSanityCheck)
+{
+    // Paper section 2.2: 4 TB at 4 GB/s and ~300 W needs ~300 KJ.
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 1.0);
+    const double joules = calc.requiredJoules(4ull << 40);
+    EXPECT_NEAR(joules, 3.3e5, 0.4e5);
+}
+
+TEST(BudgetCalcTest, FlushSecondsMatchesBandwidth)
+{
+    DirtyBudgetCalculator calc(watts300(), 2.0e9, 1.0);
+    EXPECT_DOUBLE_EQ(calc.flushSeconds(2ull * 1000 * 1000 * 1000), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// ScalingModel (fig 1)
+// ---------------------------------------------------------------------
+
+TEST(ScalingModelTest, EndpointsMatchPaper)
+{
+    ScalingModel model;
+    EXPECT_DOUBLE_EQ(model.dramRelative(1990), 1.0);
+    EXPECT_NEAR(model.dramRelative(2015), 50000.0, 1.0);
+    EXPECT_NEAR(model.lithiumRelative(2015), 3.3, 0.01);
+}
+
+TEST(ScalingModelTest, GapGrowsMonotonically)
+{
+    ScalingModel model;
+    double prev = 0.0;
+    for (int year = 1990; year <= 2020; year += 5) {
+        const double gap = model.gap(year);
+        EXPECT_GT(gap, prev);
+        prev = gap;
+    }
+}
+
+TEST(ScalingModelTest, GapExceedsFourOrdersByProjection)
+{
+    ScalingModel model;
+    EXPECT_GT(model.gap(2015), 1.0e4);
+}
+
+TEST(ScalingModelTest, SeriesMarksProjections)
+{
+    ScalingModel model;
+    const auto series = model.series(2020, 5, 2015);
+    ASSERT_EQ(series.size(), 7u);
+    EXPECT_FALSE(series[0].projected);
+    EXPECT_FALSE(series[5].projected); // 2015
+    EXPECT_TRUE(series[6].projected);  // 2020
+}
+
+} // namespace
+} // namespace viyojit::battery

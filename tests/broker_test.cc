@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the battery-budget broker: allocation invariants,
+ * guaranteed minimums, demand-driven reapportioning, machine-level
+ * capacity changes, and thrash-driven growth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench/harness.hh"
+#include "common/logging.hh"
+#include "core/broker.hh"
+
+namespace viyojit::core
+{
+namespace
+{
+
+struct BrokerFixture : public ::testing::Test
+{
+    static constexpr std::uint64_t tenantPages = 2048;
+
+    BrokerFixture()
+        : ssd(ctx, storage::SsdConfig{})
+    {}
+
+    ViyojitManager &
+    makeTenant(std::uint64_t initial_budget)
+    {
+        ViyojitConfig cfg;
+        cfg.dirtyBudgetPages = initial_budget;
+        cfg.epochLength = 100_us;
+        managers.push_back(std::make_unique<ViyojitManager>(
+            ctx, ssd, cfg, mmu::MmuCostModel{}, tenantPages,
+            static_cast<std::uint32_t>(managers.size())));
+        ViyojitManager &mgr = *managers.back();
+        bases.push_back(mgr.vmmap(tenantPages * defaultPageSize));
+        mgr.start();
+        return mgr;
+    }
+
+    void
+    dirtyPages(std::size_t tenant, std::uint64_t count)
+    {
+        for (std::uint64_t p = 0; p < count; ++p) {
+            managers[tenant]->write(bases[tenant] +
+                                        p * defaultPageSize,
+                                    16);
+        }
+    }
+
+    std::uint64_t
+    allocationSum(const BatteryBudgetBroker &broker) const
+    {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < broker.tenantCount(); ++i)
+            sum += broker.allocationOf(i);
+        return sum;
+    }
+
+    sim::SimContext ctx;
+    storage::Ssd ssd;
+    std::vector<std::unique_ptr<ViyojitManager>> managers;
+    std::vector<Addr> bases;
+};
+
+TEST_F(BrokerFixture, AllocationsNeverExceedTotal)
+{
+    BatteryBudgetBroker broker(512);
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    EXPECT_LE(allocationSum(broker), 512u);
+    dirtyPages(0, 200);
+    dirtyPages(1, 50);
+    broker.rebalance();
+    EXPECT_LE(allocationSum(broker), 512u);
+}
+
+TEST_F(BrokerFixture, SurplusSplitsByWeight)
+{
+    BatteryBudgetBroker broker(1000);
+    broker.addTenant(makeTenant(100), TenantPolicy{10, 3.0});
+    broker.addTenant(makeTenant(100), TenantPolicy{10, 1.0});
+    broker.rebalance();
+    // With no demand, the surplus splits roughly 3:1.
+    EXPECT_GT(broker.allocationOf(0),
+              2 * broker.allocationOf(1));
+    EXPECT_LE(allocationSum(broker), 1000u);
+}
+
+TEST_F(BrokerFixture, DemandAttractsBudget)
+{
+    BatteryBudgetBroker broker(512);
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    dirtyPages(0, 200); // tenant 0 is busy, tenant 1 idle
+    broker.rebalance();
+    EXPECT_GT(broker.allocationOf(0), broker.allocationOf(1));
+    EXPECT_GE(broker.allocationOf(1), 32u); // floor held
+}
+
+TEST_F(BrokerFixture, ThrashSignalsGrowth)
+{
+    BatteryBudgetBroker broker(512);
+    ViyojitManager &busy = *managers.emplace(
+        managers.end(),
+        [&]() {
+            ViyojitConfig cfg;
+            cfg.dirtyBudgetPages = 64;
+            return std::make_unique<ViyojitManager>(
+                ctx, ssd, cfg, mmu::MmuCostModel{}, tenantPages, 7);
+        }())->get();
+    bases.push_back(busy.vmmap(tenantPages * defaultPageSize));
+    busy.start();
+    broker.addTenant(busy, TenantPolicy{16, 1.0});
+
+    // Cycle a working set larger than the allocation: faults pile up.
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t p = 0; p < 128; ++p)
+            busy.write(bases.back() + p * defaultPageSize, 16);
+    }
+    const std::uint64_t before = broker.allocationOf(0);
+    broker.rebalance();
+    EXPECT_GT(broker.allocationOf(0), before / 2);
+    EXPECT_GE(broker.allocationOf(0), 128u); // enough to stop thrash
+}
+
+TEST_F(BrokerFixture, OversubscriptionKeepsMinimums)
+{
+    BatteryBudgetBroker broker(300);
+    broker.addTenant(makeTenant(150), TenantPolicy{100, 1.0});
+    broker.addTenant(makeTenant(150), TenantPolicy{100, 1.0});
+    dirtyPages(0, 150);
+    dirtyPages(1, 150);
+    broker.rebalance();
+    EXPECT_GE(broker.allocationOf(0), 100u);
+    EXPECT_GE(broker.allocationOf(1), 100u);
+    EXPECT_LE(allocationSum(broker), 300u);
+}
+
+TEST_F(BrokerFixture, SetTotalPagesShrinksEveryone)
+{
+    BatteryBudgetBroker broker(512);
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    broker.addTenant(makeTenant(256), TenantPolicy{32, 1.0});
+    dirtyPages(0, 180);
+    dirtyPages(1, 180);
+    broker.setTotalPages(256); // battery fade at machine level
+    EXPECT_LE(allocationSum(broker), 256u);
+    // Managers actually evicted down to their new budgets.
+    EXPECT_LE(managers[0]->dirtyPageCount(),
+              broker.allocationOf(0));
+    EXPECT_LE(managers[1]->dirtyPageCount(),
+              broker.allocationOf(1));
+}
+
+TEST_F(BrokerFixture, RejectsOvercommittedMinimums)
+{
+    BatteryBudgetBroker broker(100);
+    broker.addTenant(makeTenant(50), TenantPolicy{60, 1.0});
+    EXPECT_THROW(
+        broker.addTenant(makeTenant(50), TenantPolicy{60, 1.0}),
+        FatalError);
+}
+
+TEST_F(BrokerFixture, RejectsBadPolicies)
+{
+    BatteryBudgetBroker broker(100);
+    EXPECT_THROW(
+        broker.addTenant(makeTenant(50), TenantPolicy{0, 1.0}),
+        FatalError);
+    EXPECT_THROW(
+        broker.addTenant(makeTenant(50), TenantPolicy{10, 0.0}),
+        FatalError);
+}
+
+TEST_F(BrokerFixture, DurabilityHeldUnderRebalancing)
+{
+    BatteryBudgetBroker broker(256);
+    broker.addTenant(makeTenant(128), TenantPolicy{16, 1.0});
+    broker.addTenant(makeTenant(128), TenantPolicy{16, 1.0});
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t t = rng.nextBounded(2);
+        managers[t]->write(bases[t] +
+                               rng.nextBounded(tenantPages) *
+                                   defaultPageSize,
+                           16);
+        if (i % 100 == 99)
+            broker.rebalance();
+    }
+    for (auto &mgr : managers) {
+        mgr->powerFailureFlush();
+        EXPECT_TRUE(mgr->verifyDurability());
+    }
+}
+
+} // namespace
+} // namespace viyojit::core

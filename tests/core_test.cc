@@ -1,0 +1,770 @@
+/**
+ * @file
+ * Unit tests for the paper's core mechanism: dirty tracking, epoch
+ * recency, pressure prediction, the dirty-budget controller (against
+ * a mock backend), and the simulated manager end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/distributions.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/controller.hh"
+#include "core/dirty_tracker.hh"
+#include "core/failure.hh"
+#include "core/manager.hh"
+#include "core/pressure.hh"
+#include "core/recency.hh"
+
+namespace viyojit::core
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// DirtyPageTracker
+// ---------------------------------------------------------------------
+
+TEST(DirtyTrackerTest, MarkDirtyOnce)
+{
+    DirtyPageTracker tracker(10);
+    EXPECT_TRUE(tracker.markDirty(3));
+    EXPECT_FALSE(tracker.markDirty(3));
+    EXPECT_EQ(tracker.count(), 1u);
+    EXPECT_TRUE(tracker.isDirty(3));
+}
+
+TEST(DirtyTrackerTest, MarkCleanRemoves)
+{
+    DirtyPageTracker tracker(10);
+    tracker.markDirty(3);
+    EXPECT_TRUE(tracker.markClean(3));
+    EXPECT_FALSE(tracker.markClean(3));
+    EXPECT_EQ(tracker.count(), 0u);
+    EXPECT_FALSE(tracker.isDirty(3));
+}
+
+TEST(DirtyTrackerTest, SwapRemoveKeepsSetConsistent)
+{
+    DirtyPageTracker tracker(10);
+    for (PageNum p = 0; p < 5; ++p)
+        tracker.markDirty(p);
+    tracker.markClean(0); // 4 swaps into slot 0
+    std::set<PageNum> dirty;
+    tracker.forEachDirty([&](PageNum p) { dirty.insert(p); });
+    EXPECT_EQ(dirty, (std::set<PageNum>{1, 2, 3, 4}));
+}
+
+TEST(DirtyTrackerTest, HighWatermark)
+{
+    DirtyPageTracker tracker(10);
+    tracker.markDirty(1);
+    tracker.markDirty(2);
+    tracker.markClean(1);
+    tracker.markClean(2);
+    EXPECT_EQ(tracker.highWatermark(), 2u);
+}
+
+TEST(DirtyTrackerTest, EpochCounter)
+{
+    DirtyPageTracker tracker(10);
+    tracker.markDirty(1);
+    tracker.markDirty(2);
+    EXPECT_EQ(tracker.newDirtyThisEpoch(), 2u);
+    tracker.resetEpochCount();
+    EXPECT_EQ(tracker.newDirtyThisEpoch(), 0u);
+    tracker.markDirty(3);
+    EXPECT_EQ(tracker.newDirtyThisEpoch(), 1u);
+}
+
+/** Property test: tracker agrees with a reference std::set. */
+TEST(DirtyTrackerTest, MatchesReferenceSetUnderRandomOps)
+{
+    const std::uint64_t pages = 64;
+    DirtyPageTracker tracker(pages);
+    std::set<PageNum> reference;
+    Rng rng(123);
+    for (int i = 0; i < 20000; ++i) {
+        const PageNum p = rng.nextBounded(pages);
+        if (rng.nextBool(0.5)) {
+            EXPECT_EQ(tracker.markDirty(p), reference.insert(p).second);
+        } else {
+            EXPECT_EQ(tracker.markClean(p), reference.erase(p) == 1);
+        }
+        EXPECT_EQ(tracker.count(), reference.size());
+    }
+    std::set<PageNum> dirty;
+    tracker.forEachDirty([&](PageNum p) { dirty.insert(p); });
+    EXPECT_EQ(dirty, reference);
+}
+
+// ---------------------------------------------------------------------
+// EpochRecencyTracker
+// ---------------------------------------------------------------------
+
+TEST(RecencyTest, HistoryShiftsEachEpoch)
+{
+    EpochRecencyTracker recency(4, 64);
+    recency.recordUpdate(0);
+    EXPECT_EQ(recency.history(0), 1ULL << 63);
+    recency.advanceEpoch();
+    EXPECT_EQ(recency.history(0), 1ULL << 62);
+    recency.advanceEpoch();
+    EXPECT_EQ(recency.history(0), 1ULL << 61);
+}
+
+TEST(RecencyTest, WindowBoundsHistory)
+{
+    EpochRecencyTracker recency(4, 2);
+    recency.recordUpdate(0);
+    recency.advanceEpoch();
+    recency.advanceEpoch();
+    EXPECT_EQ(recency.history(0), 0u);
+    EXPECT_TRUE(recency.coldInWindow(0));
+}
+
+TEST(RecencyTest, MoreRecentMeansLargerHistory)
+{
+    EpochRecencyTracker recency(4, 64);
+    recency.recordUpdate(0);
+    recency.advanceEpoch();
+    recency.recordUpdate(1); // page 1 updated more recently
+    EXPECT_GT(recency.history(1), recency.history(0));
+}
+
+TEST(RecencyTest, VictimIsLeastRecentlyUpdated)
+{
+    DirtyPageTracker tracker(8);
+    EpochRecencyTracker recency(8, 64);
+    for (PageNum p = 0; p < 3; ++p)
+        tracker.markDirty(p);
+    // Page 2 updated now, page 1 one epoch ago, page 0 two epochs ago.
+    recency.recordUpdate(0);
+    recency.advanceEpoch();
+    recency.recordUpdate(1);
+    recency.advanceEpoch();
+    recency.recordUpdate(2);
+    recency.rebuildVictimQueue(tracker);
+    const PageNum victim =
+        recency.pickVictim(tracker, [](PageNum) { return false; });
+    EXPECT_EQ(victim, 0u);
+}
+
+TEST(RecencyTest, VictimSkipsExcludedAndClean)
+{
+    DirtyPageTracker tracker(8);
+    EpochRecencyTracker recency(8, 64);
+    tracker.markDirty(0);
+    tracker.markDirty(1);
+    tracker.markDirty(2);
+    recency.rebuildVictimQueue(tracker);
+    tracker.markClean(0);
+    const PageNum victim = recency.pickVictim(
+        tracker, [](PageNum p) { return p == 1; });
+    EXPECT_EQ(victim, 2u);
+}
+
+TEST(RecencyTest, FallbackFindsPagesDirtiedAfterRebuild)
+{
+    DirtyPageTracker tracker(8);
+    EpochRecencyTracker recency(8, 64);
+    recency.rebuildVictimQueue(tracker); // empty queue
+    tracker.markDirty(5);
+    const PageNum victim =
+        recency.pickVictim(tracker, [](PageNum) { return false; });
+    EXPECT_EQ(victim, 5u);
+}
+
+TEST(RecencyTest, NoVictimWhenAllExcluded)
+{
+    DirtyPageTracker tracker(8);
+    EpochRecencyTracker recency(8, 64);
+    tracker.markDirty(1);
+    recency.rebuildVictimQueue(tracker);
+    const PageNum victim =
+        recency.pickVictim(tracker, [](PageNum) { return true; });
+    EXPECT_EQ(victim, invalidPage);
+}
+
+// ---------------------------------------------------------------------
+// DirtyPagePressure
+// ---------------------------------------------------------------------
+
+TEST(PressureTest, EwmaWeights)
+{
+    DirtyPagePressure pressure(0.75);
+    pressure.observe(100);
+    EXPECT_DOUBLE_EQ(pressure.predicted(), 75.0);
+    pressure.observe(100);
+    EXPECT_DOUBLE_EQ(pressure.predicted(), 75.0 * 0.25 + 75.0);
+}
+
+TEST(PressureTest, ThresholdIsBudgetMinusPressure)
+{
+    DirtyPagePressure pressure(0.75);
+    pressure.observe(40); // predicted 30
+    EXPECT_EQ(pressure.threshold(100), 70u);
+}
+
+TEST(PressureTest, ThresholdFloorsAtHalfBudget)
+{
+    // An over-budget burst prediction must not drive the threshold to
+    // zero (that would make every fault drain the whole dirty set);
+    // half the budget is the robustness floor.
+    DirtyPagePressure pressure(1.0);
+    pressure.observe(500);
+    EXPECT_EQ(pressure.threshold(100), 50u);
+}
+
+TEST(PressureTest, ConvergesToSteadyRate)
+{
+    DirtyPagePressure pressure(0.75);
+    for (int i = 0; i < 50; ++i)
+        pressure.observe(20);
+    EXPECT_NEAR(pressure.predicted(), 20.0, 0.01);
+}
+
+// ---------------------------------------------------------------------
+// Controller against a mock backend
+// ---------------------------------------------------------------------
+
+/** Deterministic in-memory backend with manual IO completion. */
+class MockBackend : public PagingBackend
+{
+  public:
+    explicit MockBackend(std::uint64_t pages)
+        : protected_(pages, 1)
+    {}
+
+    std::uint64_t pageCount() const override
+    {
+        return protected_.size();
+    }
+
+    std::uint64_t pageSize() const override { return 4096; }
+
+    void protectPage(PageNum p) override { protected_[p] = 1; }
+    void unprotectPage(PageNum p) override { protected_[p] = 0; }
+
+    void
+    scanAndClearDirty(
+        bool, const std::function<void(PageNum, bool)> &fn) override
+    {
+        for (PageNum p = 0; p < protected_.size(); ++p) {
+            const bool dirty = hwDirty.count(p) > 0;
+            fn(p, dirty);
+        }
+        hwDirty.clear();
+    }
+
+    void
+    persistPageAsync(PageNum p, std::function<void()> cb) override
+    {
+        pending.emplace_back(p, std::move(cb));
+        ++persistCount;
+    }
+
+    void
+    persistPageBlocking(PageNum p) override
+    {
+        (void)p;
+        ++persistCount;
+        ++blockingCount;
+    }
+
+    void
+    waitForPersist(PageNum p) override
+    {
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (it->first == p) {
+                auto cb = std::move(it->second);
+                pending.erase(it);
+                cb();
+                return;
+            }
+        }
+    }
+
+    void
+    waitForAnyPersist() override
+    {
+        if (pending.empty())
+            return;
+        auto [p, cb] = std::move(pending.front());
+        pending.pop_front();
+        cb();
+    }
+
+    unsigned outstandingIos() const override
+    {
+        return static_cast<unsigned>(pending.size());
+    }
+
+    /** Complete every pending IO. */
+    void
+    completeAll()
+    {
+        while (!pending.empty())
+            waitForAnyPersist();
+    }
+
+    bool isProtected(PageNum p) const { return protected_[p] != 0; }
+
+    std::vector<std::uint8_t> protected_;
+    std::set<PageNum> hwDirty;
+    std::deque<std::pair<PageNum, std::function<void()>>> pending;
+    unsigned persistCount = 0;
+    unsigned blockingCount = 0;
+};
+
+ViyojitConfig
+smallConfig(std::uint64_t budget)
+{
+    ViyojitConfig cfg;
+    cfg.dirtyBudgetPages = budget;
+    cfg.maxOutstandingIos = 4;
+    return cfg;
+}
+
+TEST(ControllerTest, FaultAdmitsAndUnprotects)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(4));
+    ctl.onWriteFault(3);
+    EXPECT_FALSE(backend.isProtected(3));
+    EXPECT_TRUE(ctl.tracker().isDirty(3));
+    EXPECT_EQ(ctl.stats().writeFaults, 1u);
+}
+
+TEST(ControllerTest, BudgetNeverExceeded)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(4));
+    for (PageNum p = 0; p < 10; ++p) {
+        ctl.onWriteFault(p);
+        EXPECT_LE(ctl.tracker().count(), 4u);
+    }
+    EXPECT_GT(ctl.stats().blockedEvictions, 0u);
+}
+
+TEST(ControllerTest, BlockedEvictionProtectsBeforeCopy)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(2));
+    ctl.onWriteFault(0);
+    ctl.onWriteFault(1);
+    ctl.onWriteFault(2); // evicts one of 0/1
+    // The evicted page is protected again (clean pages must trap).
+    const bool zero_clean = !ctl.tracker().isDirty(0);
+    const PageNum evicted = zero_clean ? 0 : 1;
+    EXPECT_TRUE(backend.isProtected(evicted));
+    EXPECT_EQ(backend.blockingCount, 1u);
+}
+
+TEST(ControllerTest, ZeroBudgetRejected)
+{
+    MockBackend backend(16);
+    EXPECT_THROW(
+        { DirtyBudgetController ctl(backend, smallConfig(0)); },
+        FatalError);
+}
+
+TEST(ControllerTest, EvictionPrefersLeastRecentlyUpdated)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(3));
+    ctl.onWriteFault(0);
+    ctl.onWriteFault(1);
+    ctl.onWriteFault(2);
+    // Epoch passes; only pages 1 and 2 keep getting written.
+    backend.hwDirty = {1, 2};
+    ctl.onEpochBoundary();
+    backend.completeAll(); // absorb proactive copies
+    // Page 0 is the cold one; a new fault must evict 0 first if it is
+    // still dirty.
+    if (ctl.tracker().isDirty(0)) {
+        ctl.onWriteFault(5);
+        EXPECT_FALSE(ctl.tracker().isDirty(0));
+    }
+}
+
+TEST(ControllerTest, EpochPumpsProactiveCopiesTowardThreshold)
+{
+    MockBackend backend(64);
+    ViyojitConfig cfg = smallConfig(16);
+    DirtyBudgetController ctl(backend, cfg);
+    for (PageNum p = 0; p < 12; ++p)
+        ctl.onWriteFault(p);
+    // Burst of 12 new pages -> pressure 9 -> threshold 7.
+    ctl.onEpochBoundary();
+    EXPECT_GT(ctl.stats().proactiveCopies, 0u);
+    backend.completeAll();
+    EXPECT_LE(ctl.tracker().count(), ctl.currentThreshold() + 4);
+}
+
+TEST(ControllerTest, CompletionRefillsPipeline)
+{
+    MockBackend backend(64);
+    ViyojitConfig cfg = smallConfig(8);
+    cfg.maxOutstandingIos = 2;
+    DirtyBudgetController ctl(backend, cfg);
+    for (PageNum p = 0; p < 8; ++p)
+        ctl.onWriteFault(p);
+    ctl.onEpochBoundary();
+    // Only 2 outstanding at a time, but completions refill.
+    EXPECT_LE(backend.outstandingIos(), 2u);
+    backend.completeAll();
+    // All proactive work landed without exceeding the IO cap.
+    EXPECT_EQ(backend.outstandingIos(), 0u);
+}
+
+TEST(ControllerTest, FaultOnInFlightPageWaits)
+{
+    MockBackend backend(16);
+    ViyojitConfig cfg = smallConfig(4);
+    DirtyBudgetController ctl(backend, cfg);
+    for (PageNum p = 0; p < 4; ++p)
+        ctl.onWriteFault(p);
+    ctl.onEpochBoundary(); // starts proactive copies
+    ASSERT_GT(backend.outstandingIos(), 0u);
+    const PageNum in_flight = backend.pending.front().first;
+    ctl.onWriteFault(in_flight);
+    EXPECT_GT(ctl.stats().inFlightWaits, 0u);
+    EXPECT_TRUE(ctl.tracker().isDirty(in_flight));
+    EXPECT_FALSE(backend.isProtected(in_flight));
+}
+
+TEST(ControllerTest, RuntimeStyleRedirtyOfDirtyProtectedPage)
+{
+    // The runtime backend re-protects dirty pages each epoch; a fault
+    // on a dirty page must not double-count it.
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(4));
+    ctl.onWriteFault(1);
+    backend.protectPage(1); // epoch re-protection
+    ctl.onWriteFault(1);
+    EXPECT_EQ(ctl.tracker().count(), 1u);
+    EXPECT_FALSE(backend.isProtected(1));
+}
+
+TEST(ControllerTest, ShrinkBudgetEvictsDown)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(8));
+    for (PageNum p = 0; p < 8; ++p)
+        ctl.onWriteFault(p);
+    ctl.setDirtyBudget(3);
+    EXPECT_LE(ctl.tracker().count(), 3u);
+    EXPECT_EQ(ctl.dirtyBudget(), 3u);
+}
+
+TEST(ControllerTest, GrowBudgetAllowsMoreDirty)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(2));
+    ctl.onWriteFault(0);
+    ctl.onWriteFault(1);
+    ctl.setDirtyBudget(4);
+    ctl.onWriteFault(2);
+    ctl.onWriteFault(3);
+    EXPECT_EQ(ctl.tracker().count(), 4u);
+    EXPECT_EQ(ctl.stats().blockedEvictions, 0u);
+}
+
+TEST(ControllerTest, FlushAllDirtyEmptiesTracker)
+{
+    MockBackend backend(32);
+    DirtyBudgetController ctl(backend, smallConfig(16));
+    for (PageNum p = 0; p < 10; ++p)
+        ctl.onWriteFault(p);
+    const std::uint64_t flushed = ctl.flushAllDirty();
+    EXPECT_EQ(flushed, 10u);
+    EXPECT_EQ(ctl.tracker().count(), 0u);
+}
+
+TEST(ControllerTest, FlushPageBlockingSinglePage)
+{
+    MockBackend backend(16);
+    DirtyBudgetController ctl(backend, smallConfig(8));
+    ctl.onWriteFault(5);
+    ctl.flushPageBlocking(5);
+    EXPECT_FALSE(ctl.tracker().isDirty(5));
+    EXPECT_TRUE(backend.isProtected(5));
+    // Clean page: no-op.
+    ctl.flushPageBlocking(5);
+    EXPECT_EQ(backend.blockingCount, 1u);
+}
+
+/** Property sweep: budget invariant holds across budgets and skews. */
+class BudgetSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>>
+{
+};
+
+TEST_P(BudgetSweep, DirtyCountNeverExceedsBudget)
+{
+    const auto [budget, theta] = GetParam();
+    MockBackend backend(256);
+    DirtyBudgetController ctl(backend, smallConfig(budget));
+    Rng rng(7);
+    ZipfianDistribution dist(256, theta);
+    for (int i = 0; i < 3000; ++i) {
+        const PageNum p = dist.next(rng);
+        if (backend.isProtected(p))
+            ctl.onWriteFault(p);
+        else
+            backend.hwDirty.insert(p);
+        ASSERT_LE(ctl.tracker().count(), budget);
+        if (i % 50 == 0) {
+            ctl.onEpochBoundary();
+            ASSERT_LE(ctl.tracker().count(), budget);
+        }
+        if (i % 170 == 0)
+            backend.completeAll();
+    }
+    backend.completeAll();
+    EXPECT_LE(ctl.tracker().count(), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, BudgetSweep,
+    ::testing::Combine(::testing::Values(1, 2, 8, 32, 128),
+                       ::testing::Values(0.5, 0.99)));
+
+// ---------------------------------------------------------------------
+// ViyojitManager over the simulated substrate
+// ---------------------------------------------------------------------
+
+struct ManagerFixture : public ::testing::Test
+{
+    static constexpr std::uint64_t capacityPages = 64;
+
+    ManagerFixture()
+        : ssd(ctx, storage::SsdConfig{})
+    {}
+
+    std::unique_ptr<ViyojitManager>
+    makeManager(std::uint64_t budget, bool enforce = true)
+    {
+        ViyojitConfig cfg;
+        cfg.dirtyBudgetPages = budget;
+        cfg.enforceBudget = enforce;
+        cfg.epochLength = 100_us;
+        return std::make_unique<ViyojitManager>(
+            ctx, ssd, cfg, mmu::MmuCostModel{}, capacityPages);
+    }
+
+    sim::SimContext ctx;
+    storage::Ssd ssd;
+};
+
+TEST_F(ManagerFixture, VmmapReturnsPageAlignedRegions)
+{
+    auto mgr = makeManager(8);
+    const Addr a = mgr->vmmap(10000);
+    const Addr b = mgr->vmmap(1);
+    EXPECT_EQ(a % defaultPageSize, 0u);
+    EXPECT_EQ(b, a + 3 * defaultPageSize);
+}
+
+TEST_F(ManagerFixture, CapacityExhaustionIsFatal)
+{
+    auto mgr = makeManager(8);
+    EXPECT_THROW(mgr->vmmap(65 * defaultPageSize), FatalError);
+}
+
+TEST_F(ManagerFixture, WritesTrackedAndBudgetEnforced)
+{
+    auto mgr = makeManager(4);
+    const Addr base = mgr->vmmap(16 * defaultPageSize);
+    for (int p = 0; p < 12; ++p) {
+        mgr->write(base + p * defaultPageSize, 8);
+        EXPECT_LE(mgr->dirtyPageCount(), 4u);
+    }
+}
+
+TEST_F(ManagerFixture, MemWriteStoresBytes)
+{
+    auto mgr = makeManager(8);
+    const Addr base = mgr->vmmap(defaultPageSize);
+    const char msg[] = "hello nvm";
+    mgr->memWrite(base, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    mgr->memRead(base, out, sizeof(msg));
+    EXPECT_STREQ(out, "hello nvm");
+}
+
+TEST_F(ManagerFixture, PowerFailureFlushMakesEverythingDurable)
+{
+    auto mgr = makeManager(4);
+    const Addr base = mgr->vmmap(16 * defaultPageSize);
+    mgr->start();
+    for (int p = 0; p < 16; ++p)
+        mgr->write(base + p * defaultPageSize, 64);
+    EXPECT_FALSE(mgr->verifyDurability());
+    const FlushReport report = mgr->powerFailureFlush();
+    EXPECT_LE(report.dirtyPagesAtFailure, 4u);
+    EXPECT_TRUE(mgr->verifyDurability());
+}
+
+TEST_F(ManagerFixture, BaselineModeHasNoFaults)
+{
+    auto mgr = makeManager(1, /*enforce=*/false);
+    const Addr base = mgr->vmmap(16 * defaultPageSize);
+    for (int p = 0; p < 16; ++p)
+        mgr->write(base + p * defaultPageSize, 8);
+    EXPECT_EQ(ctx.stats().counterValue("mmu.write_faults"), 0u);
+    EXPECT_EQ(mgr->dirtyPageCount(), 16u);
+}
+
+TEST_F(ManagerFixture, BaselineFlushPersistsEverything)
+{
+    auto mgr = makeManager(1, /*enforce=*/false);
+    const Addr base = mgr->vmmap(8 * defaultPageSize);
+    for (int p = 0; p < 8; ++p)
+        mgr->write(base + p * defaultPageSize, 8);
+    const FlushReport report = mgr->powerFailureFlush();
+    EXPECT_EQ(report.dirtyPagesAtFailure, 8u);
+    EXPECT_TRUE(mgr->verifyDurability());
+}
+
+TEST_F(ManagerFixture, EpochsRunWhileProcessingEvents)
+{
+    auto mgr = makeManager(8);
+    mgr->vmmap(8 * defaultPageSize);
+    mgr->start();
+    // Advance in op-sized steps, as a driver does; epochs fire on
+    // their 100 us boundaries.  (A single 1 ms jump coalesces missed
+    // timers into one, like a real periodic timer.)
+    for (int i = 0; i < 20; ++i) {
+        ctx.clock().advance(50_us);
+        mgr->processEvents();
+    }
+    EXPECT_GE(mgr->controller().stats().epochs, 9u);
+    mgr->stop();
+}
+
+TEST_F(ManagerFixture, VmunmapFlushesRegion)
+{
+    auto mgr = makeManager(8);
+    const Addr base = mgr->vmmap(4 * defaultPageSize);
+    mgr->write(base, 4 * defaultPageSize);
+    mgr->vmunmap(base, 4 * defaultPageSize);
+    EXPECT_TRUE(mgr->verifyDurability());
+    EXPECT_EQ(mgr->dirtyPageCount(), 0u);
+}
+
+TEST_F(ManagerFixture, SetDirtyBudgetRetunes)
+{
+    auto mgr = makeManager(8);
+    const Addr base = mgr->vmmap(16 * defaultPageSize);
+    for (int p = 0; p < 8; ++p)
+        mgr->write(base + p * defaultPageSize, 8);
+    mgr->setDirtyBudget(2);
+    EXPECT_LE(mgr->dirtyPageCount(), 2u);
+}
+
+TEST_F(ManagerFixture, ViyojitWritesCostMoreThanBaseline)
+{
+    // The trap overhead must be visible in virtual time.
+    auto viyojit = makeManager(8);
+    const Addr base = viyojit->vmmap(8 * defaultPageSize);
+    const Tick t0 = ctx.now();
+    for (int p = 0; p < 8; ++p)
+        viyojit->write(base + p * defaultPageSize, 8);
+    const Tick viyojit_cost = ctx.now() - t0;
+
+    sim::SimContext ctx2;
+    storage::Ssd ssd2(ctx2, storage::SsdConfig{});
+    ViyojitConfig cfg;
+    cfg.enforceBudget = false;
+    ViyojitManager baseline(ctx2, ssd2, cfg, mmu::MmuCostModel{},
+                            capacityPages);
+    const Addr base2 = baseline.vmmap(8 * defaultPageSize);
+    const Tick t1 = ctx2.now();
+    for (int p = 0; p < 8; ++p)
+        baseline.write(base2 + p * defaultPageSize, 8);
+    const Tick baseline_cost = ctx2.now() - t1;
+
+    EXPECT_GT(viyojit_cost, baseline_cost);
+}
+
+// ---------------------------------------------------------------------
+// PowerFailureInjector
+// ---------------------------------------------------------------------
+
+TEST_F(ManagerFixture, InjectorReportsSurvivalWithAmpleBattery)
+{
+    auto mgr = makeManager(4);
+    const Addr base = mgr->vmmap(16 * defaultPageSize);
+    for (int p = 0; p < 16; ++p)
+        mgr->write(base + p * defaultPageSize, 32);
+
+    battery::BatteryConfig bat_cfg;
+    bat_cfg.nominalJoules = 1.0e6;
+    battery::Battery battery(bat_cfg);
+    PowerFailureInjector injector(*mgr, battery,
+                                  battery::PowerModel{});
+    const FailureReport report = injector.inject();
+    EXPECT_TRUE(report.survived);
+    EXPECT_TRUE(report.contentVerified);
+    EXPECT_LE(report.dirtyPages, 4u);
+}
+
+TEST_F(ManagerFixture, InjectorDetectsUndersizedBattery)
+{
+    auto mgr = makeManager(32);
+    const Addr base = mgr->vmmap(40 * defaultPageSize);
+    for (int p = 0; p < 32; ++p)
+        mgr->write(base + p * defaultPageSize, 32);
+
+    battery::BatteryConfig bat_cfg;
+    bat_cfg.nominalJoules = 0.001; // absurdly small
+    battery::Battery battery(bat_cfg);
+    PowerFailureInjector injector(*mgr, battery,
+                                  battery::PowerModel{});
+    const FailureReport report = injector.inject();
+    EXPECT_FALSE(report.survived);
+    // The data still lands (the sim flushes), but the energy books
+    // say a real system would have died: the whole point of sizing
+    // the budget from the battery.
+    EXPECT_GT(report.joulesNeeded, report.joulesAvailable);
+}
+
+/** Property: durability after failure at random points in a run. */
+class FailurePointSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FailurePointSweep, AlwaysDurable)
+{
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+    ViyojitConfig cfg;
+    cfg.dirtyBudgetPages = 6;
+    cfg.epochLength = 50_us;
+    ViyojitManager mgr(ctx, ssd, cfg, mmu::MmuCostModel{}, 64);
+    const Addr base = mgr.vmmap(48 * defaultPageSize);
+    mgr.start();
+
+    Rng rng(GetParam());
+    const int ops_before_failure = 20 + GetParam() * 37;
+    for (int i = 0; i < ops_before_failure; ++i) {
+        const PageNum p = rng.nextBounded(48);
+        mgr.write(base + p * defaultPageSize,
+                  8 + rng.nextBounded(100));
+    }
+    mgr.powerFailureFlush();
+    EXPECT_TRUE(mgr.verifyDurability());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailurePointSweep,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace viyojit::core

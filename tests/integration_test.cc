@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end integration tests over the full evaluation stack (SSD +
+ * MMU + manager + heap + store + YCSB driver), asserting the paper's
+ * qualitative claims as invariants:
+ *
+ *  - durability holds at the end of every run, at every budget;
+ *  - Viyojit never beats the full-battery baseline, and converges to
+ *    it as the budget approaches the heap size;
+ *  - write-heavy workloads pay more than read-heavy ones at small
+ *    budgets;
+ *  - tail latency stays above the baseline even at large budgets;
+ *  - stale dirty bits (the section 6.3 ablation) hurt at low budgets;
+ *  - bigger heaps shrink the overhead at equal battery fractions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+
+namespace viyojit::bench
+{
+namespace
+{
+
+ExperimentConfig
+quickConfig(char workload, double budget_gb)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.budgetPaperGb = budget_gb;
+    cfg.operationCount = 20000;
+    return cfg;
+}
+
+TEST(IntegrationTest, BaselineProducesSaneThroughput)
+{
+    const ExperimentResult result = runExperiment(quickConfig('A', 0));
+    // ~45 K-ops/s with the default 22 us op cost.
+    EXPECT_GT(result.run.throughputOpsPerSec, 20000.0);
+    EXPECT_LT(result.run.throughputOpsPerSec, 80000.0);
+    EXPECT_TRUE(result.durable);
+}
+
+TEST(IntegrationTest, ViyojitNeverBeatsBaseline)
+{
+    const ExperimentResult baseline =
+        runExperiment(quickConfig('A', 0));
+    for (double gb : {2.0, 8.0, 18.0}) {
+        const ExperimentResult result =
+            runExperiment(quickConfig('A', gb));
+        EXPECT_LE(result.run.throughputOpsPerSec,
+                  baseline.run.throughputOpsPerSec * 1.005)
+            << "budget " << gb;
+    }
+}
+
+TEST(IntegrationTest, OverheadShrinksWithBudget)
+{
+    const ExperimentResult baseline =
+        runExperiment(quickConfig('A', 0));
+    const double small = throughputOverhead(
+        runExperiment(quickConfig('A', 2.0)), baseline);
+    const double large = throughputOverhead(
+        runExperiment(quickConfig('A', 18.0)), baseline);
+    EXPECT_GT(small, large);
+    // Near-converged once the budget exceeds the heap.
+    EXPECT_LT(large, 0.08);
+}
+
+TEST(IntegrationTest, WriteHeavyPaysMoreThanReadHeavy)
+{
+    const double overhead_a = throughputOverhead(
+        runExperiment(quickConfig('A', 2.0)),
+        runExperiment(quickConfig('A', 0)));
+    const double overhead_c = throughputOverhead(
+        runExperiment(quickConfig('C', 2.0)),
+        runExperiment(quickConfig('C', 0)));
+    EXPECT_GT(overhead_a, overhead_c * 1.5);
+    // Paper band sanity: A in the teens-to-thirties, C single digits.
+    EXPECT_GT(overhead_a, 0.10);
+    EXPECT_LT(overhead_c, 0.12);
+}
+
+TEST(IntegrationTest, TailLatencyAlwaysAboveBaseline)
+{
+    const ExperimentResult baseline =
+        runExperiment(quickConfig('A', 0));
+    // Even with a budget beyond the heap size, traps still happen.
+    const ExperimentResult result =
+        runExperiment(quickConfig('A', 18.0));
+    EXPECT_GT(result.run.updateLatency.percentile(99),
+              baseline.run.updateLatency.percentile(99));
+}
+
+TEST(IntegrationTest, StaleDirtyBitsHurtAtLowBudget)
+{
+    // The section-6.3 collapse needs the paper's history-only victim
+    // sort; this library's fault-path update-time stamps otherwise
+    // heal the staleness (see abl_stale_dirty_bits).
+    ExperimentConfig precise = quickConfig('A', 6.0);
+    ExperimentConfig stale = precise;
+    stale.flushTlbOnScan = false;
+    stale.updateTimeTieBreak = false;
+    const ExperimentResult with_flush = runExperiment(precise);
+    const ExperimentResult without_flush = runExperiment(stale);
+    EXPECT_GT(with_flush.run.throughputOpsPerSec,
+              without_flush.run.throughputOpsPerSec * 1.05);
+}
+
+TEST(IntegrationTest, LargerHeapDoesNotRaiseOverheadAtEqualFraction)
+{
+    // The paper's fig 10 shows the overhead *falling* with heap size
+    // thanks to Zipf skew sharpening at multi-million-page
+    // populations.  At 1/1024 scale the sharpening residue is small
+    // (see EXPERIMENTS.md), so the testable invariant is that the
+    // larger heap is at least no worse at the same battery fraction;
+    // run length scales with the heap like the fig-10 bench.
+    auto overhead_for = [](double heap_gb) {
+        ExperimentConfig base;
+        base.workload = 'A';
+        base.heapPaperGb = heap_gb;
+        base.budgetPaperGb = 0;
+        base.operationCount =
+            static_cast<std::uint64_t>(20000.0 * heap_gb / 17.5);
+        ExperimentConfig cfg = base;
+        cfg.budgetPaperGb = heap_gb * 0.229; // the paper's 23%
+        return throughputOverhead(runExperiment(cfg),
+                                  runExperiment(base));
+    };
+    EXPECT_LT(overhead_for(52.5), overhead_for(17.5) + 0.02);
+}
+
+TEST(IntegrationTest, WriteRateOrderingMatchesFig9)
+{
+    const ExperimentResult a = runExperiment(quickConfig('A', 2.0));
+    const ExperimentResult c = runExperiment(quickConfig('C', 2.0));
+    EXPECT_GT(a.avgWriteRateMBps, c.avgWriteRateMBps);
+}
+
+/** Durability invariant across workloads and budgets. */
+class DurabilitySweep
+    : public ::testing::TestWithParam<std::tuple<char, double>>
+{
+};
+
+TEST_P(DurabilitySweep, EveryRunEndsDurable)
+{
+    const auto [workload, budget] = GetParam();
+    ExperimentConfig cfg = quickConfig(workload, budget);
+    cfg.operationCount = 8000;
+    const ExperimentResult result = runExperiment(cfg);
+    EXPECT_TRUE(result.durable);
+    EXPECT_EQ(result.finalFlush.dirtyPagesAtFailure == 0 ||
+                  result.finalFlush.flushDuration > 0,
+              true);
+    if (budget > 0) {
+        // The flush can never exceed what the battery was sized for.
+        EXPECT_LE(result.finalFlush.dirtyPagesAtFailure,
+                  PaperScale::paperGbPages(budget));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAndBudgets, DurabilitySweep,
+    ::testing::Combine(::testing::Values('A', 'B', 'C', 'D', 'F'),
+                       ::testing::Values(0.0, 1.0, 4.0, 16.0)));
+
+} // namespace
+} // namespace viyojit::bench

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the persistent KV store: CRUD semantics, in-place
+ * field updates, collision chains, recovery, and the metadata-write-
+ * on-read behaviour the evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kvstore/kvstore.hh"
+#include "pheap/nv_space.hh"
+
+namespace viyojit::kvstore
+{
+namespace
+{
+
+struct KvFixture : public ::testing::Test
+{
+    KvFixture()
+        : buffer(4_MiB, 0), space(buffer.data(), buffer.size()),
+          heap(pheap::PersistentHeap::create(space)),
+          store(KvStore::create(heap, 257))
+    {}
+
+    std::vector<char> buffer;
+    pheap::PlainNvSpace space;
+    pheap::PersistentHeap heap;
+    KvStore store;
+};
+
+TEST_F(KvFixture, PutThenGet)
+{
+    EXPECT_TRUE(store.put("alpha", "one"));
+    const auto value = store.get("alpha");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "one");
+}
+
+TEST_F(KvFixture, GetMissingReturnsNullopt)
+{
+    EXPECT_FALSE(store.get("nope").has_value());
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(KvFixture, PutOverwritesInPlace)
+{
+    store.put("k", "aaaa");
+    store.put("k", "bbbb");
+    EXPECT_EQ(*store.get("k"), "bbbb");
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(KvFixture, PutGrowsValueViaRealloc)
+{
+    store.put("k", "small");
+    const std::string big(500, 'x');
+    store.put("k", big);
+    EXPECT_EQ(*store.get("k"), big);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(KvFixture, PutShrinksValue)
+{
+    store.put("k", std::string(200, 'a'));
+    store.put("k", "tiny");
+    EXPECT_EQ(*store.get("k"), "tiny");
+}
+
+TEST_F(KvFixture, InsertFailsOnExisting)
+{
+    EXPECT_TRUE(store.insert("k", "v1"));
+    EXPECT_FALSE(store.insert("k", "v2"));
+    EXPECT_EQ(*store.get("k"), "v1");
+}
+
+TEST_F(KvFixture, UpdateInPlaceRewritesRange)
+{
+    store.put("k", "0123456789");
+    EXPECT_TRUE(store.updateInPlace("k", 3, "XYZ"));
+    EXPECT_EQ(*store.get("k"), "012XYZ6789");
+}
+
+TEST_F(KvFixture, UpdateInPlaceRejectsOutOfRange)
+{
+    store.put("k", "0123");
+    EXPECT_FALSE(store.updateInPlace("k", 3, "XY"));
+    EXPECT_FALSE(store.updateInPlace("missing", 0, "X"));
+}
+
+TEST_F(KvFixture, ReadModifyWrite)
+{
+    store.put("k", "AAAABBBB");
+    EXPECT_TRUE(store.readModifyWrite("k", "ZZ"));
+    EXPECT_EQ(*store.get("k"), "ZZAABBBB");
+    EXPECT_FALSE(store.readModifyWrite("missing", "ZZ"));
+}
+
+TEST_F(KvFixture, RemoveDeletesKey)
+{
+    store.put("k", "v");
+    EXPECT_TRUE(store.remove("k"));
+    EXPECT_FALSE(store.get("k").has_value());
+    EXPECT_FALSE(store.remove("k"));
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(KvFixture, ContainsDoesNotCountAsAccess)
+{
+    store.put("k", "v");
+    const auto gets_before = store.stats().gets;
+    EXPECT_TRUE(store.contains("k"));
+    EXPECT_FALSE(store.contains("other"));
+    EXPECT_EQ(store.stats().gets, gets_before);
+}
+
+TEST_F(KvFixture, SizeTracksRecords)
+{
+    for (int i = 0; i < 20; ++i)
+        store.put("key" + std::to_string(i), "v");
+    EXPECT_EQ(store.size(), 20u);
+    store.remove("key5");
+    EXPECT_EQ(store.size(), 19u);
+}
+
+TEST_F(KvFixture, EmptyValueSupported)
+{
+    store.put("k", "");
+    const auto value = store.get("k");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_TRUE(value->empty());
+}
+
+TEST_F(KvFixture, StatsCountOperations)
+{
+    store.put("a", "1");
+    store.insert("b", "2");
+    store.get("a");
+    store.remove("b");
+    EXPECT_EQ(store.stats().puts, 1u);
+    EXPECT_EQ(store.stats().inserts, 1u);
+    EXPECT_EQ(store.stats().gets, 1u);
+    EXPECT_EQ(store.stats().removes, 1u);
+}
+
+TEST(KvCollisionTest, ChainsSurviveCollisions)
+{
+    // One bucket: everything collides.
+    std::vector<char> buffer(1_MiB, 0);
+    pheap::PlainNvSpace space(buffer.data(), buffer.size());
+    auto heap = pheap::PersistentHeap::create(space);
+    auto store = KvStore::create(heap, 1);
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(store.put("key" + std::to_string(i),
+                              "val" + std::to_string(i)));
+    }
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(*store.get("key" + std::to_string(i)),
+                  "val" + std::to_string(i));
+    }
+    // Remove from the middle of the chain.
+    EXPECT_TRUE(store.remove("key25"));
+    EXPECT_FALSE(store.get("key25").has_value());
+    EXPECT_EQ(*store.get("key24"), "val24");
+    EXPECT_EQ(*store.get("key26"), "val26");
+}
+
+TEST(KvRecoveryTest, AttachFindsAllRecords)
+{
+    std::vector<char> buffer(1_MiB, 0);
+    {
+        pheap::PlainNvSpace space(buffer.data(), buffer.size());
+        auto heap = pheap::PersistentHeap::create(space);
+        auto store = KvStore::create(heap, 64);
+        for (int i = 0; i < 30; ++i)
+            store.put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    // "Reboot" onto the same bytes.
+    pheap::PlainNvSpace space(buffer.data(), buffer.size());
+    auto heap = pheap::PersistentHeap::attach(space);
+    auto store = KvStore::attach(heap);
+    EXPECT_EQ(store.size(), 30u);
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(*store.get("k" + std::to_string(i)),
+                  "v" + std::to_string(i));
+}
+
+TEST(KvRecoveryTest, AttachWithoutRootFails)
+{
+    std::vector<char> buffer(1_MiB, 0);
+    pheap::PlainNvSpace space(buffer.data(), buffer.size());
+    auto heap = pheap::PersistentHeap::create(space);
+    EXPECT_THROW(KvStore::attach(heap), FatalError);
+}
+
+TEST(KvMetadataTest, GetPerformsStores)
+{
+    // The paper's YCSB-C insight: reads still dirty NV-DRAM because
+    // of record metadata updates.
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+    core::ViyojitConfig cfg;
+    cfg.dirtyBudgetPages = 16;
+    core::ViyojitManager mgr(ctx, ssd, cfg, mmu::MmuCostModel{}, 256);
+    const Addr base = mgr.vmmap(128 * defaultPageSize);
+    pheap::SimNvSpace space(mgr, base, 128 * defaultPageSize);
+    auto heap = pheap::PersistentHeap::create(space);
+    auto store = KvStore::create(heap, 64);
+    store.put("k", "v");
+
+    mgr.powerFailureFlush(); // everything clean now
+    ASSERT_TRUE(mgr.verifyDurability());
+    const auto dirty_before = mgr.dirtyPageCount();
+    store.get("k");
+    EXPECT_GT(mgr.dirtyPageCount(), dirty_before);
+}
+
+/** Property: store agrees with std::map under random ops. */
+TEST(KvPropertyTest, MatchesReferenceMap)
+{
+    std::vector<char> buffer(8_MiB, 0);
+    pheap::PlainNvSpace space(buffer.data(), buffer.size());
+    auto heap = pheap::PersistentHeap::create(space);
+    auto store = KvStore::create(heap, 128);
+    std::map<std::string, std::string> reference;
+    Rng rng(1234);
+
+    for (int i = 0; i < 5000; ++i) {
+        const std::string key =
+            "key" + std::to_string(rng.nextBounded(200));
+        const double action = rng.nextDouble();
+        if (action < 0.5) {
+            const std::string value(1 + rng.nextBounded(300),
+                                    static_cast<char>(
+                                        'a' + rng.nextBounded(26)));
+            EXPECT_TRUE(store.put(key, value));
+            reference[key] = value;
+        } else if (action < 0.8) {
+            const auto got = store.get(key);
+            const auto it = reference.find(key);
+            if (it == reference.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, it->second);
+            }
+        } else {
+            EXPECT_EQ(store.remove(key), reference.erase(key) == 1);
+        }
+        EXPECT_EQ(store.size(), reference.size());
+    }
+}
+
+} // namespace
+} // namespace viyojit::kvstore

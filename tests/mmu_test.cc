@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the MMU substrate: PTE bits, the radix page table,
+ * the TLB, fault delivery, and the epoch dirty-bit scan (including
+ * the stale-TLB behaviour behind the paper's section 6.3 ablation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mmu/mmu.hh"
+
+namespace viyojit::mmu
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Pte
+// ---------------------------------------------------------------------
+
+TEST(PteTest, FlagRoundTrip)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.present());
+    pte.setPresent(true);
+    pte.setWritable(true);
+    pte.setDirty(true);
+    pte.setAccessed(true);
+    pte.setShadowDirty(true);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_TRUE(pte.dirty());
+    EXPECT_TRUE(pte.accessed());
+    EXPECT_TRUE(pte.shadowDirty());
+    pte.setDirty(false);
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_TRUE(pte.writable());
+}
+
+TEST(PteTest, PfnField)
+{
+    Pte pte;
+    pte.setPfn(0x123456);
+    pte.setPresent(true);
+    EXPECT_EQ(pte.pfn(), 0x123456u);
+    EXPECT_TRUE(pte.present()); // flags survive pfn writes
+}
+
+// ---------------------------------------------------------------------
+// PageTable
+// ---------------------------------------------------------------------
+
+TEST(PageTableTest, MapAndFind)
+{
+    PageTable table;
+    table.map(42, Pte::writableBit);
+    const Pte *pte = table.find(42);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->present());
+    EXPECT_TRUE(pte->writable());
+    EXPECT_EQ(pte->pfn(), 42u);
+}
+
+TEST(PageTableTest, FindUnmappedReturnsNull)
+{
+    PageTable table;
+    EXPECT_EQ(table.find(42), nullptr);
+    table.map(42, 0);
+    EXPECT_EQ(table.find(43)->present(), false);
+}
+
+TEST(PageTableTest, UnmapClearsEntry)
+{
+    PageTable table;
+    table.map(7, 0);
+    EXPECT_TRUE(table.isMapped(7));
+    table.unmap(7);
+    EXPECT_FALSE(table.isMapped(7));
+    EXPECT_EQ(table.mappedCount(), 0u);
+}
+
+TEST(PageTableTest, MappedCount)
+{
+    PageTable table;
+    for (PageNum p = 0; p < 100; ++p)
+        table.map(p, 0);
+    EXPECT_EQ(table.mappedCount(), 100u);
+    table.map(50, 0); // re-map is not a new mapping
+    EXPECT_EQ(table.mappedCount(), 100u);
+}
+
+TEST(PageTableTest, SparseVpnsAcrossLevels)
+{
+    PageTable table;
+    // VPNs that differ in every radix level.
+    const std::vector<PageNum> vpns = {0, 511, 512, 1ULL << 18,
+                                       1ULL << 27, (1ULL << 30) + 5};
+    for (PageNum vpn : vpns)
+        table.map(vpn, 0);
+    for (PageNum vpn : vpns)
+        EXPECT_TRUE(table.isMapped(vpn)) << vpn;
+    EXPECT_EQ(table.mappedCount(), vpns.size());
+}
+
+TEST(PageTableTest, ForEachPresentVisitsRange)
+{
+    PageTable table;
+    for (PageNum p = 10; p < 20; ++p)
+        table.map(p, 0);
+    std::vector<PageNum> seen;
+    table.forEachPresent(12, 17, [&](PageNum vpn, Pte &) {
+        seen.push_back(vpn);
+    });
+    EXPECT_EQ(seen, (std::vector<PageNum>{12, 13, 14, 15, 16}));
+}
+
+TEST(PageTableTest, ForEachPresentSkipsAbsentSubtrees)
+{
+    PageTable table;
+    table.map(5, 0);
+    table.map(1ULL << 30, 0);
+    std::size_t visits = 0;
+    table.forEachPresent(0, PageTable::maxVpn,
+                         [&](PageNum, Pte &) { ++visits; });
+    EXPECT_EQ(visits, 2u);
+}
+
+TEST(PageTableTest, VisitorCanMutate)
+{
+    PageTable table;
+    table.map(3, 0);
+    table.forEachPresent(0, 10, [](PageNum, Pte &pte) {
+        pte.setDirty(true);
+    });
+    EXPECT_TRUE(table.find(3)->dirty());
+}
+
+// ---------------------------------------------------------------------
+// Tlb
+// ---------------------------------------------------------------------
+
+TlbConfig
+tinyTlb()
+{
+    TlbConfig cfg;
+    cfg.entryCount = 8;
+    cfg.associativity = 2;
+    return cfg;
+}
+
+TEST(TlbTest, MissThenHit)
+{
+    Tlb tlb(tinyTlb());
+    EXPECT_FALSE(tlb.lookup(5).hit);
+    tlb.insert(5, true, false);
+    const auto view = tlb.lookup(5);
+    EXPECT_TRUE(view.hit);
+    EXPECT_TRUE(view.writable);
+    EXPECT_FALSE(view.dirtyCached);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, LruEvictionWithinSet)
+{
+    Tlb tlb(tinyTlb()); // 4 sets, 2 ways
+    // Three VPNs in the same set (stride = set count = 4).
+    tlb.insert(0, true, false);
+    tlb.insert(4, true, false);
+    (void)tlb.lookup(0); // make 0 recent; 4 becomes LRU
+    tlb.insert(8, true, false);
+    EXPECT_TRUE(tlb.lookup(0).hit);
+    EXPECT_FALSE(tlb.lookup(4).hit);
+    EXPECT_TRUE(tlb.lookup(8).hit);
+}
+
+TEST(TlbTest, FlushPage)
+{
+    Tlb tlb(tinyTlb());
+    tlb.insert(3, true, false);
+    tlb.flushPage(3);
+    EXPECT_FALSE(tlb.lookup(3).hit);
+    EXPECT_EQ(tlb.shootdowns(), 1u);
+}
+
+TEST(TlbTest, FlushAll)
+{
+    Tlb tlb(tinyTlb());
+    for (PageNum p = 0; p < 8; ++p)
+        tlb.insert(p, true, false);
+    tlb.flushAll();
+    for (PageNum p = 0; p < 8; ++p)
+        EXPECT_FALSE(tlb.lookup(p).hit);
+    EXPECT_EQ(tlb.flushes(), 1u);
+}
+
+TEST(TlbTest, MarkDirtyUpdatesCachedState)
+{
+    Tlb tlb(tinyTlb());
+    tlb.insert(2, true, false);
+    tlb.markDirty(2);
+    EXPECT_TRUE(tlb.lookup(2).dirtyCached);
+}
+
+// ---------------------------------------------------------------------
+// Mmu
+// ---------------------------------------------------------------------
+
+struct MmuFixture : public ::testing::Test
+{
+    MmuFixture()
+        : mmu(ctx, costs)
+    {
+        for (PageNum p = 0; p < 16; ++p)
+            mmu.mapPage(p, /*writable=*/false);
+    }
+
+    sim::SimContext ctx;
+    MmuCostModel costs;
+    Mmu mmu;
+};
+
+TEST_F(MmuFixture, ReadDoesNotFault)
+{
+    mmu.access(0, false);
+    EXPECT_EQ(ctx.stats().counterValue("mmu.write_faults"), 0u);
+    EXPECT_TRUE(mmu.findPte(0)->accessed());
+}
+
+TEST_F(MmuFixture, WriteToProtectedPageFaults)
+{
+    PageNum faulted = invalidPage;
+    mmu.setWriteFaultHandler([&](PageNum vpn) {
+        faulted = vpn;
+        mmu.unprotectPage(vpn);
+    });
+    mmu.access(3, true);
+    EXPECT_EQ(faulted, 3u);
+    EXPECT_EQ(ctx.stats().counterValue("mmu.write_faults"), 1u);
+    EXPECT_TRUE(mmu.findPte(3)->dirty());
+}
+
+TEST_F(MmuFixture, SecondWriteDoesNotFault)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(3, true);
+    mmu.access(3, true);
+    EXPECT_EQ(ctx.stats().counterValue("mmu.write_faults"), 1u);
+}
+
+TEST_F(MmuFixture, TrapCostCharged)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    const Tick before = ctx.now();
+    mmu.access(3, true);
+    EXPECT_GE(ctx.now() - before, costs.trapCost);
+}
+
+TEST_F(MmuFixture, ProtectReflectedInIsProtected)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    EXPECT_TRUE(mmu.isProtected(5));
+    mmu.access(5, true);
+    EXPECT_FALSE(mmu.isProtected(5));
+    mmu.protectPage(5);
+    EXPECT_TRUE(mmu.isProtected(5));
+}
+
+TEST_F(MmuFixture, ProtectShootsDownTlbEntry)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(4, true); // now cached writable
+    mmu.protectPage(4);
+    PageNum faulted = invalidPage;
+    mmu.setWriteFaultHandler([&](PageNum vpn) {
+        faulted = vpn;
+        mmu.unprotectPage(vpn);
+    });
+    mmu.access(4, true); // must fault again, not hit stale TLB
+    EXPECT_EQ(faulted, 4u);
+}
+
+TEST_F(MmuFixture, ScanReportsAndClearsDirtyBits)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(1, true);
+    mmu.access(2, true);
+
+    std::vector<PageNum> dirty;
+    mmu.scanAndClearDirty(0, 16, true, [&](PageNum vpn, bool was) {
+        if (was)
+            dirty.push_back(vpn);
+    });
+    EXPECT_EQ(dirty, (std::vector<PageNum>{1, 2}));
+
+    // Bits are cleared now.
+    dirty.clear();
+    mmu.scanAndClearDirty(0, 16, true, [&](PageNum vpn, bool was) {
+        if (was)
+            dirty.push_back(vpn);
+    });
+    EXPECT_TRUE(dirty.empty());
+}
+
+TEST_F(MmuFixture, RewriteAfterFlushedScanSetsDirtyAgain)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(1, true);
+    mmu.scanAndClearDirty(0, 16, true, [](PageNum, bool) {});
+    mmu.access(1, true); // TLB was flushed -> dirty bit set again
+    bool was_dirty = false;
+    mmu.scanAndClearDirty(0, 16, true, [&](PageNum vpn, bool was) {
+        if (vpn == 1)
+            was_dirty = was;
+    });
+    EXPECT_TRUE(was_dirty);
+}
+
+TEST_F(MmuFixture, StaleTlbHidesRewrites)
+{
+    // The section 6.3 ablation: without the TLB flush, the cached
+    // dirty state swallows the PTE dirty-bit update, so the next scan
+    // reads stale (clean) bits for re-written pages.
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(1, true);
+    mmu.scanAndClearDirty(0, 16, false, [](PageNum, bool) {});
+    mmu.access(1, true); // TLB still caches dirty=1: no PTE update
+    bool was_dirty = false;
+    mmu.scanAndClearDirty(0, 16, false, [&](PageNum vpn, bool was) {
+        if (vpn == 1)
+            was_dirty = was;
+    });
+    EXPECT_FALSE(was_dirty);
+}
+
+TEST_F(MmuFixture, AccessRangeTouchesSpannedPages)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    // 100 bytes starting 50 bytes before a page boundary.
+    mmu.accessRange(defaultPageSize - 50, 100, true);
+    EXPECT_TRUE(mmu.findPte(0)->dirty());
+    EXPECT_TRUE(mmu.findPte(1)->dirty());
+    EXPECT_FALSE(mmu.findPte(2)->dirty());
+}
+
+TEST_F(MmuFixture, UnmappedAccessPanics)
+{
+    EXPECT_DEATH(mmu.access(999, false), "unmapped");
+}
+
+TEST_F(MmuFixture, BrokenHandlerPanics)
+{
+    mmu.setWriteFaultHandler([](PageNum) { /* never unprotects */ });
+    EXPECT_DEATH(mmu.access(0, true), "failed to unprotect");
+}
+
+} // namespace
+} // namespace viyojit::mmu

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the persistent ring log: append/read/truncate semantics,
+ * wrap-around, fullness, recovery, checksums, and a property test
+ * against a reference deque — on plain memory and on the simulated
+ * NV substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/manager.hh"
+#include "plog/plog.hh"
+
+namespace viyojit::plog
+{
+namespace
+{
+
+struct PlogFixture : public ::testing::Test
+{
+    PlogFixture()
+        : buffer(64_KiB, 0), space(buffer.data(), buffer.size())
+    {}
+
+    std::vector<char> buffer;
+    pheap::PlainNvSpace space;
+};
+
+TEST_F(PlogFixture, CreateEmpty)
+{
+    PersistentLog log = PersistentLog::create(space);
+    const LogStats s = log.stats();
+    EXPECT_EQ(s.records, 0u);
+    EXPECT_EQ(s.headSeq, 0u);
+    EXPECT_EQ(s.tailSeq, 0u);
+    EXPECT_GT(s.bytesCapacity, 60_KiB);
+}
+
+TEST_F(PlogFixture, AppendAssignsIncreasingSequences)
+{
+    PersistentLog log = PersistentLog::create(space);
+    EXPECT_EQ(log.append("one"), 1u);
+    EXPECT_EQ(log.append("two"), 2u);
+    EXPECT_EQ(log.append("three"), 3u);
+    EXPECT_EQ(log.stats().records, 3u);
+    EXPECT_EQ(log.stats().tailSeq, 3u);
+}
+
+TEST_F(PlogFixture, ReadBySequence)
+{
+    PersistentLog log = PersistentLog::create(space);
+    log.append("alpha");
+    log.append("beta");
+    EXPECT_EQ(*log.read(1), "alpha");
+    EXPECT_EQ(*log.read(2), "beta");
+    EXPECT_FALSE(log.read(0).has_value());
+    EXPECT_FALSE(log.read(3).has_value());
+}
+
+TEST_F(PlogFixture, EmptyPayloadSupported)
+{
+    PersistentLog log = PersistentLog::create(space);
+    const SequenceNum seq = log.append("");
+    EXPECT_EQ(seq, 1u);
+    EXPECT_EQ(log.read(seq)->size(), 0u);
+}
+
+TEST_F(PlogFixture, TruncateFrontReclaims)
+{
+    PersistentLog log = PersistentLog::create(space);
+    for (int i = 0; i < 10; ++i)
+        log.append("record-" + std::to_string(i));
+    EXPECT_EQ(log.truncateFront(4), 4u);
+    EXPECT_EQ(log.stats().records, 6u);
+    EXPECT_EQ(log.stats().headSeq, 5u);
+    EXPECT_FALSE(log.read(4).has_value());
+    EXPECT_EQ(*log.read(5), "record-4");
+}
+
+TEST_F(PlogFixture, TruncateAllResets)
+{
+    PersistentLog log = PersistentLog::create(space);
+    log.append("a");
+    log.append("b");
+    EXPECT_EQ(log.truncateFront(99), 2u);
+    EXPECT_EQ(log.stats().records, 0u);
+    // Sequences keep increasing after a full drain.
+    EXPECT_EQ(log.append("c"), 3u);
+}
+
+TEST_F(PlogFixture, FillsThenRejects)
+{
+    PersistentLog log = PersistentLog::create(space);
+    const std::string payload(1000, 'x');
+    std::uint64_t appended = 0;
+    while (log.append(payload) != 0)
+        ++appended;
+    EXPECT_GT(appended, 50u);
+    // Consuming frees space again.
+    log.truncateFront(5);
+    EXPECT_NE(log.append(payload), 0u);
+}
+
+TEST_F(PlogFixture, OversizePayloadRejected)
+{
+    PersistentLog log = PersistentLog::create(space);
+    const std::string huge(log.maxPayload() + 1, 'x');
+    EXPECT_EQ(log.append(huge), 0u);
+    const std::string fits(log.maxPayload(), 'x');
+    EXPECT_NE(log.append(fits), 0u);
+}
+
+TEST_F(PlogFixture, WrapAroundPreservesOrder)
+{
+    PersistentLog log = PersistentLog::create(space);
+    const std::string payload(3000, 'y');
+    // Fill, drain the front, keep appending: the tail wraps.
+    std::deque<SequenceNum> live;
+    for (int i = 0; i < 200; ++i) {
+        SequenceNum seq = log.append(payload + std::to_string(i));
+        if (seq == 0) {
+            log.truncateFront(live.front() + 3);
+            while (!live.empty() && live.front() <= live.front() + 3 &&
+                   log.stats().headSeq > live.front())
+                live.pop_front();
+            seq = log.append(payload + std::to_string(i));
+            ASSERT_NE(seq, 0u);
+        }
+        live.push_back(seq);
+    }
+    // Order and contents intact.
+    SequenceNum prev = 0;
+    log.forEach([&](SequenceNum seq, std::string_view data) {
+        EXPECT_GT(seq, prev);
+        prev = seq;
+        EXPECT_EQ(data.substr(0, 3000), payload);
+    });
+    EXPECT_TRUE(log.validate());
+}
+
+TEST_F(PlogFixture, AttachRecoversState)
+{
+    {
+        PersistentLog log = PersistentLog::create(space);
+        log.append("persisted-1");
+        log.append("persisted-2");
+        log.truncateFront(1);
+    }
+    PersistentLog log = PersistentLog::attach(space);
+    EXPECT_EQ(log.stats().records, 1u);
+    EXPECT_EQ(*log.read(2), "persisted-2");
+    EXPECT_EQ(log.append("after-reboot"), 3u);
+    EXPECT_TRUE(log.validate());
+}
+
+TEST_F(PlogFixture, AttachUnformattedFails)
+{
+    EXPECT_THROW(PersistentLog::attach(space), FatalError);
+}
+
+TEST_F(PlogFixture, ValidateDetectsCorruption)
+{
+    PersistentLog log = PersistentLog::create(space);
+    log.append("untouchable");
+    EXPECT_TRUE(log.validate());
+    // Flip a payload byte behind the log's back (simulated media
+    // corruption in the backing file).
+    buffer[200] ^= 0x5a;
+    buffer[201] ^= 0x5a;
+    // Either the payload byte or padding was hit; flip a known one:
+    bool corrupted = !log.validate();
+    if (!corrupted) {
+        for (std::size_t i = 64; i < 400 && !corrupted; ++i) {
+            buffer[i] ^= 1;
+            corrupted = !log.validate();
+            buffer[i] ^= 1;
+        }
+    }
+    EXPECT_TRUE(corrupted);
+}
+
+/** Property: log agrees with a reference deque under random ops. */
+TEST_F(PlogFixture, MatchesReferenceDeque)
+{
+    PersistentLog log = PersistentLog::create(space);
+    std::deque<std::pair<SequenceNum, std::string>> reference;
+    Rng rng(777);
+
+    for (int i = 0; i < 4000; ++i) {
+        const double action = rng.nextDouble();
+        if (action < 0.55) {
+            const std::string payload(
+                rng.nextBounded(400),
+                static_cast<char>('a' + rng.nextBounded(26)));
+            const SequenceNum seq = log.append(payload);
+            if (seq != 0)
+                reference.emplace_back(seq, payload);
+            // 0 = full; the reference is unchanged.
+        } else if (action < 0.8 && !reference.empty()) {
+            const std::size_t pick =
+                rng.nextBounded(reference.size());
+            const auto &[seq, expected] = reference[pick];
+            const auto got = log.read(seq);
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, expected);
+        } else if (!reference.empty()) {
+            const std::size_t drop =
+                rng.nextBounded(reference.size()) / 2;
+            const SequenceNum up_to = reference[drop].first;
+            log.truncateFront(up_to);
+            while (!reference.empty() &&
+                   reference.front().first <= up_to)
+                reference.pop_front();
+        }
+        ASSERT_EQ(log.stats().records, reference.size());
+    }
+    EXPECT_TRUE(log.validate());
+}
+
+TEST(PlogSimTest, LogSurvivesPowerFailureOnSimulatedNvdram)
+{
+    sim::SimContext ctx;
+    storage::Ssd ssd(ctx, storage::SsdConfig{});
+    core::ViyojitConfig cfg;
+    cfg.dirtyBudgetPages = 8; // tiny battery; the log tail is hot
+    core::ViyojitManager mgr(ctx, ssd, cfg, mmu::MmuCostModel{}, 128);
+    const Addr base = mgr.vmmap(96 * defaultPageSize);
+    pheap::SimNvSpace space(mgr, base, 96 * defaultPageSize);
+    mgr.start();
+
+    PersistentLog log = PersistentLog::create(space);
+    for (int i = 0; i < 500; ++i) {
+        log.append("entry-" + std::to_string(i));
+        mgr.processEvents();
+        // The budget holds even though the log has written far more
+        // pages than the battery covers: old pages cool off.
+        ASSERT_LE(mgr.dirtyPageCount(), 8u);
+    }
+    mgr.powerFailureFlush();
+    EXPECT_TRUE(mgr.verifyDurability());
+    EXPECT_TRUE(log.validate());
+    EXPECT_EQ(log.stats().records, 500u);
+}
+
+} // namespace
+} // namespace viyojit::plog

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the post-reboot restore manager: strategy behaviours,
+ * residency invariants, demand/background interleaving, and the
+ * availability ordering section 8 predicts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/logging.hh"
+#include "core/recovery.hh"
+
+namespace viyojit::core
+{
+namespace
+{
+
+struct RecoveryFixture : public ::testing::Test
+{
+    static constexpr std::uint64_t pages = 64;
+    static constexpr std::uint64_t pageSize = 4096;
+
+    RecoveryFixture()
+        : ssd(ctx, storage::SsdConfig{})
+    {
+        // Persist an image for every page.
+        for (PageNum p = 0; p < pages; ++p)
+            ssd.writePageSync({0, p}, p + 1, pageSize);
+        ctx.events().drain();
+    }
+
+    RecoveryManager
+    make(RestoreStrategy strategy, unsigned depth = 8)
+    {
+        return RecoveryManager(ctx, ssd, 0, pages, pageSize, strategy,
+                               depth);
+    }
+
+    sim::SimContext ctx;
+    storage::Ssd ssd;
+};
+
+TEST_F(RecoveryFixture, NothingResidentBeforeBegin)
+{
+    RecoveryManager recovery = make(RestoreStrategy::eager);
+    EXPECT_EQ(recovery.residentPages(), 0u);
+    EXPECT_FALSE(recovery.fullyResident());
+}
+
+TEST_F(RecoveryFixture, EagerSweepLoadsEverything)
+{
+    RecoveryManager recovery = make(RestoreStrategy::eager);
+    recovery.begin();
+    recovery.waitUntilFullyResident();
+    EXPECT_TRUE(recovery.fullyResident());
+    EXPECT_EQ(recovery.stats().backgroundFetches, pages);
+    EXPECT_EQ(recovery.stats().demandFetches, 0u);
+    EXPECT_GT(recovery.stats().fullyResidentAt, 0u);
+}
+
+TEST_F(RecoveryFixture, EagerAccessWaitsForSweep)
+{
+    RecoveryManager recovery = make(RestoreStrategy::eager);
+    recovery.begin();
+    // The last page is reached only after the whole sweep.
+    const Tick stall = recovery.access(pages - 1);
+    EXPECT_GT(stall, 0u);
+    EXPECT_TRUE(recovery.fullyResident() ||
+                recovery.residentPages() >= pages - 1);
+}
+
+TEST_F(RecoveryFixture, DemandOnlyFetchesExactlyWhatIsTouched)
+{
+    RecoveryManager recovery = make(RestoreStrategy::demandOnly);
+    recovery.begin();
+    recovery.access(5);
+    recovery.access(9);
+    recovery.access(5); // already resident: no new fetch
+    EXPECT_EQ(recovery.stats().demandFetches, 2u);
+    EXPECT_EQ(recovery.stats().backgroundFetches, 0u);
+    EXPECT_EQ(recovery.residentPages(), 2u);
+    EXPECT_FALSE(recovery.fullyResident());
+}
+
+TEST_F(RecoveryFixture, ResidentAccessIsFree)
+{
+    RecoveryManager recovery = make(RestoreStrategy::demandOnly);
+    recovery.begin();
+    recovery.access(7);
+    EXPECT_EQ(recovery.access(7), 0u);
+}
+
+TEST_F(RecoveryFixture, BackgroundSweepSkipsDemandedPages)
+{
+    RecoveryManager recovery =
+        make(RestoreStrategy::demandPlusBackground, 2);
+    recovery.begin();
+    recovery.access(0); // the sweep would fetch 0 anyway
+    recovery.access(50);
+    recovery.waitUntilFullyResident();
+    EXPECT_TRUE(recovery.fullyResident());
+    // No double fetches: every page is read exactly once (the sweep
+    // skips pages that were demand-fetched or already queued).
+    EXPECT_EQ(recovery.stats().demandFetches +
+                  recovery.stats().backgroundFetches,
+              pages);
+}
+
+TEST_F(RecoveryFixture, DemandPlusBackgroundServesFasterThanEager)
+{
+    // First access to a far page: eager waits for the whole sweep,
+    // demand fetches just that page.
+    RecoveryManager eager = make(RestoreStrategy::eager, 4);
+    eager.begin();
+    const Tick eager_stall = eager.access(pages - 1);
+
+    sim::SimContext ctx2;
+    storage::Ssd ssd2(ctx2, storage::SsdConfig{});
+    for (PageNum p = 0; p < pages; ++p)
+        ssd2.writePageSync({0, p}, p + 1, pageSize);
+    ctx2.events().drain();
+    RecoveryManager demand(ctx2, ssd2, 0, pages, pageSize,
+                           RestoreStrategy::demandPlusBackground, 4);
+    demand.begin();
+    const Tick demand_stall = demand.access(pages - 1);
+
+    EXPECT_LT(demand_stall, eager_stall);
+}
+
+TEST_F(RecoveryFixture, RandomAccessPatternAlwaysCompletes)
+{
+    RecoveryManager recovery =
+        make(RestoreStrategy::demandPlusBackground);
+    recovery.begin();
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i)
+        recovery.access(rng.nextBounded(pages));
+    recovery.waitUntilFullyResident();
+    EXPECT_TRUE(recovery.fullyResident());
+    EXPECT_EQ(recovery.residentPages(), pages);
+}
+
+TEST_F(RecoveryFixture, InvalidConfigRejected)
+{
+    EXPECT_THROW(RecoveryManager(ctx, ssd, 0, 0, pageSize,
+                                 RestoreStrategy::eager),
+                 FatalError);
+    EXPECT_THROW(RecoveryManager(ctx, ssd, 0, pages, pageSize,
+                                 RestoreStrategy::eager, 0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace viyojit::core

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: the analyzer's interval and
+ * skew metrics on hand-built traces, the Zipf coverage analysis, and
+ * the synthetic generators' class properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/analyzer.hh"
+#include "trace/generators.hh"
+
+namespace viyojit::trace
+{
+namespace
+{
+
+VolumeInfo
+vol16M()
+{
+    return VolumeInfo{"test", 16_MiB};
+}
+
+TraceRecord
+rec(Tick t, std::uint64_t off, std::uint32_t len, bool write)
+{
+    return TraceRecord{t, 0, off, len, write};
+}
+
+TEST(AnalyzerTest, WorstIntervalPicksHeaviest)
+{
+    VolumeAnalyzer az(vol16M(), {10_s});
+    // Interval 0: 1 MiB written; interval 1: 3 MiB.
+    az.observe(rec(1_s, 0, 1_MiB, true));
+    az.observe(rec(11_s, 0, 1_MiB, true));
+    az.observe(rec(12_s, 1_MiB, 2_MiB, true));
+    const auto metrics = az.intervalMetrics();
+    ASSERT_EQ(metrics.size(), 1u);
+    EXPECT_EQ(metrics[0].worstIntervalBytes, 3_MiB);
+    EXPECT_DOUBLE_EQ(metrics[0].worstFractionOfVolume, 3.0 / 16.0);
+}
+
+TEST(AnalyzerTest, MultipleIntervalLengths)
+{
+    VolumeAnalyzer az(vol16M(), {1_s, 10_s});
+    az.observe(rec(500_ms, 0, 1_MiB, true));
+    az.observe(rec(1500_ms, 0, 1_MiB, true));
+    const auto metrics = az.intervalMetrics();
+    ASSERT_EQ(metrics.size(), 2u);
+    // 1 s intervals see 1 MiB each; the 10 s interval sees both.
+    EXPECT_EQ(metrics[0].worstIntervalBytes, 1_MiB);
+    EXPECT_EQ(metrics[1].worstIntervalBytes, 2_MiB);
+}
+
+TEST(AnalyzerTest, ReadsDoNotCountAsWrites)
+{
+    VolumeAnalyzer az(vol16M(), {10_s});
+    az.observe(rec(1_s, 0, 4_MiB, false));
+    const auto metrics = az.intervalMetrics();
+    EXPECT_EQ(metrics[0].worstIntervalBytes, 0u);
+}
+
+TEST(AnalyzerTest, WorstIntervalClampedToVolume)
+{
+    VolumeAnalyzer az(vol16M(), {10_s});
+    for (int i = 0; i < 40; ++i)
+        az.observe(rec(1_s, 0, 1_MiB, true));
+    EXPECT_DOUBLE_EQ(az.intervalMetrics()[0].worstFractionOfVolume,
+                     1.0);
+}
+
+TEST(AnalyzerTest, SkewAllWritesOnePage)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    for (int i = 0; i < 100; ++i)
+        az.observe(rec(i, 0, 100, true));
+    const SkewMetric skew = az.skewMetrics();
+    EXPECT_EQ(skew.writtenPages, 1u);
+    EXPECT_EQ(skew.touchedPages, 1u);
+    EXPECT_DOUBLE_EQ(skew.coverage99OfTouched, 1.0);
+    EXPECT_NEAR(skew.coverage99OfTotal, 1.0 / 4096.0, 1e-6);
+}
+
+TEST(AnalyzerTest, SkewUniformWritesNeedProportionalPages)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    // 100 pages, one write each: 90% of writes needs 90 pages.
+    for (int i = 0; i < 100; ++i)
+        az.observe(rec(i, i * defaultPageSize, 100, true));
+    const SkewMetric skew = az.skewMetrics();
+    EXPECT_EQ(skew.writtenPages, 100u);
+    EXPECT_NEAR(skew.coverage90OfTouched, 0.90, 0.011);
+    EXPECT_NEAR(skew.coverage99OfTouched, 0.99, 0.011);
+}
+
+TEST(AnalyzerTest, SkewHotPageDominates)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    // Page 0 gets 991 writes; pages 1..9 get one each.
+    for (int i = 0; i < 991; ++i)
+        az.observe(rec(i, 0, 64, true));
+    for (int i = 1; i <= 9; ++i)
+        az.observe(rec(i, i * defaultPageSize, 64, true));
+    const SkewMetric skew = az.skewMetrics();
+    // 99% of 1000 writes = 990 <= 991, so one page suffices.
+    EXPECT_NEAR(skew.coverage99OfTouched, 0.1, 0.001);
+}
+
+TEST(AnalyzerTest, TouchedIncludesReadOnlyPages)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    az.observe(rec(0, 0, 64, true));
+    az.observe(rec(1, 10 * defaultPageSize, 64, false));
+    const SkewMetric skew = az.skewMetrics();
+    EXPECT_EQ(skew.touchedPages, 2u);
+    EXPECT_EQ(skew.writtenPages, 1u);
+    // One hot page over two touched pages.
+    EXPECT_DOUBLE_EQ(skew.coverage99OfTouched, 0.5);
+}
+
+TEST(AnalyzerTest, SpanningWriteTouchesMultiplePages)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    az.observe(rec(0, defaultPageSize - 10, 20, true));
+    EXPECT_EQ(az.skewMetrics().writtenPages, 2u);
+}
+
+TEST(AnalyzerTest, RecordBeyondVolumeDies)
+{
+    VolumeAnalyzer az(vol16M(), {});
+    EXPECT_DEATH(az.observe(rec(0, 16_MiB - 10, 100, true)),
+                 "beyond volume");
+}
+
+// ---------------------------------------------------------------------
+// Zipf coverage (fig 5)
+// ---------------------------------------------------------------------
+
+TEST(ZipfCoverageTest, FullPercentileNeedsAllPages)
+{
+    EXPECT_DOUBLE_EQ(zipfCoverageFraction(100, 1.0), 1.0);
+}
+
+TEST(ZipfCoverageTest, CoverageBelowOneForPartialMass)
+{
+    const double f = zipfCoverageFraction(10000, 0.90);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 0.9);
+}
+
+TEST(ZipfCoverageTest, FractionFallsAsPopulationGrows)
+{
+    // The paper's fig-5 claim: bigger NV-DRAM -> smaller hot fraction.
+    const double small = zipfCoverageFraction(1 << 12, 0.90);
+    const double medium = zipfCoverageFraction(1 << 16, 0.90);
+    const double large = zipfCoverageFraction(1 << 20, 0.90);
+    EXPECT_GT(small, medium);
+    EXPECT_GT(medium, large);
+}
+
+TEST(ZipfCoverageTest, HigherPercentileNeedsMorePages)
+{
+    const double p90 = zipfCoverageFraction(100000, 0.90);
+    const double p99 = zipfCoverageFraction(100000, 0.99);
+    EXPECT_GT(p99, p90);
+}
+
+TEST(ZipfCoverageTest, SeriesMatchesPointQueries)
+{
+    const std::vector<std::uint64_t> sizes = {1000, 10000};
+    const auto series = zipfCoverageSeries(sizes, {0.90, 0.99});
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_NEAR(series[0].fractions[0],
+                zipfCoverageFraction(1000, 0.90), 1e-9);
+    EXPECT_NEAR(series[1].fractions[1],
+                zipfCoverageFraction(10000, 0.99), 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+TEST(GeneratorTest, RecordsStayInVolumeAndDuration)
+{
+    const VolumeParams params = azureBlobParams().volumes[0];
+    VolumeTraceGenerator gen(params, 0, 60_s, 1);
+    TraceRecord record;
+    std::uint64_t count = 0;
+    while (gen.next(record)) {
+        ++count;
+        EXPECT_LE(record.offset + record.length, params.sizeBytes);
+        EXPECT_LT(record.timestamp, 60_s);
+        EXPECT_GT(record.length, 0u);
+        EXPECT_EQ(record.length % 512, 0u);
+    }
+    EXPECT_GT(count, 1000u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed)
+{
+    const VolumeParams params = azureBlobParams().volumes[0];
+    VolumeTraceGenerator a(params, 0, 10_s, 7);
+    VolumeTraceGenerator b(params, 0, 10_s, 7);
+    TraceRecord ra;
+    TraceRecord rb;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra.timestamp, rb.timestamp);
+        EXPECT_EQ(ra.offset, rb.offset);
+        EXPECT_EQ(ra.isWrite, rb.isWrite);
+    }
+}
+
+TEST(GeneratorTest, WriteFractionApproximatelyRespected)
+{
+    VolumeParams params = azureBlobParams().volumes[0];
+    params.writeFraction = 0.25;
+    VolumeTraceGenerator gen(params, 0, 120_s, 3);
+    TraceRecord record;
+    std::uint64_t writes = 0;
+    std::uint64_t total = 0;
+    while (gen.next(record)) {
+        ++total;
+        writes += record.isWrite;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / total, 0.25, 0.02);
+}
+
+TEST(GeneratorTest, AllApplicationsHaveExpectedVolumeCounts)
+{
+    const auto apps = allApplications();
+    ASSERT_EQ(apps.size(), 4u);
+    EXPECT_EQ(apps[0].volumes.size(), 8u); // Azure A-H
+    EXPECT_EQ(apps[1].volumes.size(), 7u); // Cosmos A-G
+    EXPECT_EQ(apps[2].volumes.size(), 6u); // Page rank A-F
+    EXPECT_EQ(apps[3].volumes.size(), 6u); // Search index A-F
+}
+
+TEST(GeneratorTest, SkewedVolumeShowsSkewInAnalysis)
+{
+    // Cosmos F is the paper's class-3 volume: heavy + highly skewed.
+    const AppParams cosmos = cosmosParams();
+    const VolumeParams &params = cosmos.volumes[5];
+    ASSERT_EQ(params.name, "F");
+    VolumeTraceGenerator gen(params, 0, cosmos.duration, 11);
+    VolumeAnalyzer az(gen.info(), {});
+    TraceRecord record;
+    while (gen.next(record))
+        az.observe(record);
+    const SkewMetric skew = az.skewMetrics();
+    // 99% of writes from a small fraction of touched pages.
+    EXPECT_LT(skew.coverage99OfTouched, 0.35);
+}
+
+TEST(GeneratorTest, UniqueVolumeShowsNoSkew)
+{
+    // Cosmos E is class 4: heavy writes to mostly unique pages.
+    const AppParams cosmos = cosmosParams();
+    const VolumeParams &params = cosmos.volumes[4];
+    ASSERT_EQ(params.name, "E");
+    VolumeTraceGenerator gen(params, 0, cosmos.duration, 12);
+    VolumeAnalyzer az(gen.info(), {});
+    TraceRecord record;
+    while (gen.next(record))
+        az.observe(record);
+    const SkewMetric skew = az.skewMetrics();
+    EXPECT_GT(skew.coverage99OfTouched, 0.5);
+}
+
+TEST(GeneratorTest, BurstsRaiseWorstInterval)
+{
+    VolumeParams params = azureBlobParams().volumes[0];
+    params.burstMultiplier = 10.0;
+    params.burstDuty = 0.1;
+    params.burstPeriod = 60_s;
+    VolumeTraceGenerator bursty(params, 0, 600_s, 5);
+    VolumeAnalyzer az_bursty(bursty.info(), {10_s});
+    TraceRecord record;
+    while (bursty.next(record))
+        az_bursty.observe(record);
+
+    params.burstMultiplier = 1.0;
+    VolumeTraceGenerator steady(params, 0, 600_s, 5);
+    VolumeAnalyzer az_steady(steady.info(), {10_s});
+    while (steady.next(record))
+        az_steady.observe(record);
+
+    EXPECT_GT(az_bursty.intervalMetrics()[0].worstIntervalBytes,
+              az_steady.intervalMetrics()[0].worstIntervalBytes);
+}
+
+} // namespace
+} // namespace viyojit::trace

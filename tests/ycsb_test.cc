@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the YCSB workload generator and driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "pheap/nv_space.hh"
+#include "ycsb/driver.hh"
+#include "ycsb/workload.hh"
+
+namespace viyojit::ycsb
+{
+namespace
+{
+
+TEST(WorkloadSpecTest, StandardMixes)
+{
+    const WorkloadSpec a = standardWorkload('A');
+    EXPECT_DOUBLE_EQ(a.readProportion, 0.5);
+    EXPECT_DOUBLE_EQ(a.updateProportion, 0.5);
+    EXPECT_EQ(a.distribution, RequestDistribution::zipfian);
+
+    const WorkloadSpec b = standardWorkload('B');
+    EXPECT_DOUBLE_EQ(b.readProportion, 0.95);
+
+    const WorkloadSpec c = standardWorkload('C');
+    EXPECT_DOUBLE_EQ(c.readProportion, 1.0);
+
+    const WorkloadSpec d = standardWorkload('D');
+    EXPECT_DOUBLE_EQ(d.insertProportion, 0.05);
+    EXPECT_EQ(d.distribution, RequestDistribution::latest);
+
+    const WorkloadSpec f = standardWorkload('F');
+    EXPECT_DOUBLE_EQ(f.rmwProportion, 0.5);
+}
+
+TEST(WorkloadSpecTest, UnknownLetterFatal)
+{
+    EXPECT_THROW(standardWorkload('E'), FatalError);
+    EXPECT_THROW(standardWorkload('Z'), FatalError);
+}
+
+TEST(WorkloadSpecTest, ValueSize)
+{
+    WorkloadSpec spec = standardWorkload('A');
+    EXPECT_EQ(spec.valueSize(), 1000u);
+}
+
+TEST(DriverTest, KeyFormatFixedWidth)
+{
+    EXPECT_EQ(YcsbDriver::keyFor(0), "user000000000000");
+    EXPECT_EQ(YcsbDriver::keyFor(42), "user000000000042");
+    EXPECT_EQ(YcsbDriver::keyFor(0).size(),
+              YcsbDriver::keyFor(999999).size());
+}
+
+struct DriverFixture : public ::testing::Test
+{
+    DriverFixture()
+        : buffer(32_MiB, 0), space(buffer.data(), buffer.size()),
+          heap(pheap::PersistentHeap::create(space)),
+          store(kvstore::KvStore::create(heap, 4096))
+    {
+        config.recordCount = 500;
+        config.operationCount = 2000;
+        config.baseOpCost = 10_us;
+    }
+
+    RunResult
+    runWorkload(char letter)
+    {
+        YcsbDriver driver(ctx, store, standardWorkload(letter), config);
+        driver.load();
+        return driver.run();
+    }
+
+    sim::SimContext ctx;
+    std::vector<char> buffer;
+    pheap::PlainNvSpace space;
+    pheap::PersistentHeap heap;
+    kvstore::KvStore store;
+    DriverConfig config;
+};
+
+TEST_F(DriverFixture, LoadInsertsAllRecords)
+{
+    YcsbDriver driver(ctx, store, standardWorkload('A'), config);
+    driver.load();
+    EXPECT_EQ(store.size(), 500u);
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(0)).has_value());
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(499)).has_value());
+}
+
+TEST_F(DriverFixture, RunExecutesAllOps)
+{
+    const RunResult result = runWorkload('A');
+    EXPECT_EQ(result.operations, 2000u);
+    EXPECT_GT(result.elapsed, 0u);
+    EXPECT_GT(result.throughputOpsPerSec, 0.0);
+}
+
+TEST_F(DriverFixture, MixMatchesProportions)
+{
+    const RunResult result = runWorkload('A');
+    const double reads =
+        static_cast<double>(result.readLatency.count());
+    const double updates =
+        static_cast<double>(result.updateLatency.count());
+    EXPECT_NEAR(reads / 2000.0, 0.5, 0.05);
+    EXPECT_NEAR(updates / 2000.0, 0.5, 0.05);
+    EXPECT_EQ(result.insertLatency.count(), 0u);
+    EXPECT_EQ(result.rmwLatency.count(), 0u);
+}
+
+TEST_F(DriverFixture, ReadOnlyWorkloadOnlyReads)
+{
+    const RunResult result = runWorkload('C');
+    EXPECT_EQ(result.readLatency.count(), 2000u);
+    EXPECT_EQ(result.updateLatency.count(), 0u);
+}
+
+TEST_F(DriverFixture, InsertWorkloadGrowsStore)
+{
+    const RunResult result = runWorkload('D');
+    EXPECT_GT(result.insertLatency.count(), 50u);
+    EXPECT_EQ(store.size(), 500u + result.insertLatency.count());
+}
+
+TEST_F(DriverFixture, RmwWorkloadRuns)
+{
+    const RunResult result = runWorkload('F');
+    EXPECT_NEAR(static_cast<double>(result.rmwLatency.count()) / 2000.0,
+                0.5, 0.05);
+}
+
+TEST_F(DriverFixture, ThroughputReflectsBaseCost)
+{
+    // With 10 us per op and no NV overhead, throughput is pinned at
+    // exactly 100 K-ops/s (PlainNvSpace charges nothing extra).
+    const RunResult result = runWorkload('C');
+    EXPECT_LE(result.throughputOpsPerSec, 100000.0 + 1.0);
+    EXPECT_GT(result.throughputOpsPerSec, 20000.0);
+}
+
+TEST_F(DriverFixture, LatencyFloorIsBaseCost)
+{
+    const RunResult result = runWorkload('C');
+    EXPECT_GE(result.readLatency.minValue(), 10_us);
+}
+
+TEST_F(DriverFixture, InvalidProportionsFatal)
+{
+    WorkloadSpec bad = standardWorkload('A');
+    bad.updateProportion = 0.7; // sums to 1.2
+    EXPECT_THROW(YcsbDriver(ctx, store, bad, config), FatalError);
+}
+
+TEST(DriverDeterminismTest, SameSeedSameResult)
+{
+    auto run_once = [](std::uint64_t seed) {
+        sim::SimContext ctx;
+        std::vector<char> buffer(32_MiB, 0);
+        pheap::PlainNvSpace space(buffer.data(), buffer.size());
+        auto heap = pheap::PersistentHeap::create(space);
+        auto store = kvstore::KvStore::create(heap, 4096);
+        DriverConfig config;
+        config.recordCount = 300;
+        config.operationCount = 1000;
+        config.seed = seed;
+        YcsbDriver driver(ctx, store, standardWorkload('A'), config);
+        driver.load();
+        const RunResult result = driver.run();
+        // Elapsed time is seed-insensitive on the zero-cost plain
+        // space; the op mix split is the seed-sensitive signature.
+        return result.readLatency.count();
+    };
+    EXPECT_EQ(run_once(5), run_once(5));
+    EXPECT_NE(run_once(5), run_once(6));
+}
+
+/** Latency histogram of reads under D skews toward recent records. */
+TEST_F(DriverFixture, LatestDistributionReadsRecentKeys)
+{
+    YcsbDriver driver(ctx, store, standardWorkload('D'), config);
+    driver.load();
+    driver.run();
+    // Indirect check: the store grew and nothing crashed reading
+    // just-inserted keys (the driver asserts internally on misses).
+    EXPECT_GT(store.size(), 500u);
+}
+
+} // namespace
+} // namespace viyojit::ycsb
