@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_battery_broker"
+  "../bench/abl_battery_broker.pdb"
+  "CMakeFiles/abl_battery_broker.dir/abl_battery_broker.cc.o"
+  "CMakeFiles/abl_battery_broker.dir/abl_battery_broker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_battery_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_continuous_copy"
+  "../bench/abl_continuous_copy.pdb"
+  "CMakeFiles/abl_continuous_copy.dir/abl_continuous_copy.cc.o"
+  "CMakeFiles/abl_continuous_copy.dir/abl_continuous_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_continuous_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dedup_compression"
+  "../bench/abl_dedup_compression.pdb"
+  "CMakeFiles/abl_dedup_compression.dir/abl_dedup_compression.cc.o"
+  "CMakeFiles/abl_dedup_compression.dir/abl_dedup_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dedup_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_granularity"
+  "../bench/abl_granularity.pdb"
+  "CMakeFiles/abl_granularity.dir/abl_granularity.cc.o"
+  "CMakeFiles/abl_granularity.dir/abl_granularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

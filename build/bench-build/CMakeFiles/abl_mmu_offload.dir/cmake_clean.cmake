@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_mmu_offload"
+  "../bench/abl_mmu_offload.pdb"
+  "CMakeFiles/abl_mmu_offload.dir/abl_mmu_offload.cc.o"
+  "CMakeFiles/abl_mmu_offload.dir/abl_mmu_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mmu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sensitivity"
+  "../bench/abl_sensitivity.pdb"
+  "CMakeFiles/abl_sensitivity.dir/abl_sensitivity.cc.o"
+  "CMakeFiles/abl_sensitivity.dir/abl_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_stale_dirty_bits"
+  "../bench/abl_stale_dirty_bits.pdb"
+  "CMakeFiles/abl_stale_dirty_bits.dir/abl_stale_dirty_bits.cc.o"
+  "CMakeFiles/abl_stale_dirty_bits.dir/abl_stale_dirty_bits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stale_dirty_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

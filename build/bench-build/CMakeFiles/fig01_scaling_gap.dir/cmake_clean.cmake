@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_scaling_gap"
+  "../bench/fig01_scaling_gap.pdb"
+  "CMakeFiles/fig01_scaling_gap.dir/fig01_scaling_gap.cc.o"
+  "CMakeFiles/fig01_scaling_gap.dir/fig01_scaling_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_scaling_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_write_volume"
+  "../bench/fig02_write_volume.pdb"
+  "CMakeFiles/fig02_write_volume.dir/fig02_write_volume.cc.o"
+  "CMakeFiles/fig02_write_volume.dir/fig02_write_volume.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_write_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

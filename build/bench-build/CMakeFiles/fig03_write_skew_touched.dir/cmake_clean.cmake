@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_write_skew_touched"
+  "../bench/fig03_write_skew_touched.pdb"
+  "CMakeFiles/fig03_write_skew_touched.dir/fig03_write_skew_touched.cc.o"
+  "CMakeFiles/fig03_write_skew_touched.dir/fig03_write_skew_touched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_write_skew_touched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

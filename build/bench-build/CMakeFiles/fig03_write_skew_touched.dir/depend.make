@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_write_skew_touched.
+# This may be replaced when dependencies are built.

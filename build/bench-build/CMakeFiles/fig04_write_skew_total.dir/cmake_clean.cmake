@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_write_skew_total"
+  "../bench/fig04_write_skew_total.pdb"
+  "CMakeFiles/fig04_write_skew_total.dir/fig04_write_skew_total.cc.o"
+  "CMakeFiles/fig04_write_skew_total.dir/fig04_write_skew_total.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_write_skew_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

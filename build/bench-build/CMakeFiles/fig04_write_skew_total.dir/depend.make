@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_write_skew_total.
+# This may be replaced when dependencies are built.

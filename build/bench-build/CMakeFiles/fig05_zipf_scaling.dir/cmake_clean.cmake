@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_zipf_scaling"
+  "../bench/fig05_zipf_scaling.pdb"
+  "CMakeFiles/fig05_zipf_scaling.dir/fig05_zipf_scaling.cc.o"
+  "CMakeFiles/fig05_zipf_scaling.dir/fig05_zipf_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_zipf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

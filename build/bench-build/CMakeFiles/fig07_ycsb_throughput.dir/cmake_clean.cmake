@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_ycsb_throughput"
+  "../bench/fig07_ycsb_throughput.pdb"
+  "CMakeFiles/fig07_ycsb_throughput.dir/fig07_ycsb_throughput.cc.o"
+  "CMakeFiles/fig07_ycsb_throughput.dir/fig07_ycsb_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ycsb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_ycsb_latency"
+  "../bench/fig08_ycsb_latency.pdb"
+  "CMakeFiles/fig08_ycsb_latency.dir/fig08_ycsb_latency.cc.o"
+  "CMakeFiles/fig08_ycsb_latency.dir/fig08_ycsb_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ycsb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_write_rate"
+  "../bench/fig09_write_rate.pdb"
+  "CMakeFiles/fig09_write_rate.dir/fig09_write_rate.cc.o"
+  "CMakeFiles/fig09_write_rate.dir/fig09_write_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_write_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_availability"
+  "../bench/fig_availability.pdb"
+  "CMakeFiles/fig_availability.dir/fig_availability.cc.o"
+  "CMakeFiles/fig_availability.dir/fig_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

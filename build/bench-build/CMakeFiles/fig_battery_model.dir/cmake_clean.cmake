@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_battery_model"
+  "../bench/fig_battery_model.pdb"
+  "CMakeFiles/fig_battery_model.dir/fig_battery_model.cc.o"
+  "CMakeFiles/fig_battery_model.dir/fig_battery_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_battery_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_trace_replay.cc" "bench-build/CMakeFiles/fig_trace_replay.dir/fig_trace_replay.cc.o" "gcc" "bench-build/CMakeFiles/fig_trace_replay.dir/fig_trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/viyojit_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/viyojit_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/viyojit_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pheap/CMakeFiles/viyojit_pheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/viyojit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/viyojit_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/viyojit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/viyojit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/viyojit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/viyojit_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/viyojit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

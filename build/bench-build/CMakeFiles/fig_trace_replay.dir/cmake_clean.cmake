@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_trace_replay"
+  "../bench/fig_trace_replay.pdb"
+  "CMakeFiles/fig_trace_replay.dir/fig_trace_replay.cc.o"
+  "CMakeFiles/fig_trace_replay.dir/fig_trace_replay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libviyojit_bench_harness.a"
+  "../lib/libviyojit_bench_harness.pdb"
+  "CMakeFiles/viyojit_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/viyojit_bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

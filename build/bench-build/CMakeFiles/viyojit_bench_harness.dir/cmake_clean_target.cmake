@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libviyojit_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_cache.dir/kvstore_cache.cpp.o"
+  "CMakeFiles/kvstore_cache.dir/kvstore_cache.cpp.o.d"
+  "kvstore_cache"
+  "kvstore_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

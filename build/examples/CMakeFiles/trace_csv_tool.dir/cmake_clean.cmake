@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_csv_tool.dir/trace_csv_tool.cpp.o"
+  "CMakeFiles/trace_csv_tool.dir/trace_csv_tool.cpp.o.d"
+  "trace_csv_tool"
+  "trace_csv_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_csv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

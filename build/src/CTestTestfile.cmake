@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("storage")
+subdirs("mmu")
+subdirs("battery")
+subdirs("core")
+subdirs("runtime")
+subdirs("pheap")
+subdirs("kvstore")
+subdirs("ycsb")
+subdirs("trace")
+subdirs("plog")

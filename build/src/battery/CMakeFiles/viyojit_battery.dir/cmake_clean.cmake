@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_battery.dir/battery.cc.o"
+  "CMakeFiles/viyojit_battery.dir/battery.cc.o.d"
+  "CMakeFiles/viyojit_battery.dir/scaling.cc.o"
+  "CMakeFiles/viyojit_battery.dir/scaling.cc.o.d"
+  "libviyojit_battery.a"
+  "libviyojit_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

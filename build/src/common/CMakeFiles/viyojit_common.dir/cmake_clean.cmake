@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_common.dir/distributions.cc.o"
+  "CMakeFiles/viyojit_common.dir/distributions.cc.o.d"
+  "CMakeFiles/viyojit_common.dir/histogram.cc.o"
+  "CMakeFiles/viyojit_common.dir/histogram.cc.o.d"
+  "CMakeFiles/viyojit_common.dir/logging.cc.o"
+  "CMakeFiles/viyojit_common.dir/logging.cc.o.d"
+  "CMakeFiles/viyojit_common.dir/rng.cc.o"
+  "CMakeFiles/viyojit_common.dir/rng.cc.o.d"
+  "CMakeFiles/viyojit_common.dir/stats.cc.o"
+  "CMakeFiles/viyojit_common.dir/stats.cc.o.d"
+  "CMakeFiles/viyojit_common.dir/table.cc.o"
+  "CMakeFiles/viyojit_common.dir/table.cc.o.d"
+  "libviyojit_common.a"
+  "libviyojit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broker.cc" "src/core/CMakeFiles/viyojit_core.dir/broker.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/broker.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/viyojit_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/dirty_tracker.cc" "src/core/CMakeFiles/viyojit_core.dir/dirty_tracker.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/dirty_tracker.cc.o.d"
+  "/root/repo/src/core/failure.cc" "src/core/CMakeFiles/viyojit_core.dir/failure.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/failure.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/core/CMakeFiles/viyojit_core.dir/manager.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/manager.cc.o.d"
+  "/root/repo/src/core/pressure.cc" "src/core/CMakeFiles/viyojit_core.dir/pressure.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/pressure.cc.o.d"
+  "/root/repo/src/core/recency.cc" "src/core/CMakeFiles/viyojit_core.dir/recency.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/recency.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/viyojit_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/viyojit_core.dir/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mmu/CMakeFiles/viyojit_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/viyojit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/viyojit_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/viyojit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/viyojit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_core.dir/broker.cc.o"
+  "CMakeFiles/viyojit_core.dir/broker.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/controller.cc.o"
+  "CMakeFiles/viyojit_core.dir/controller.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/dirty_tracker.cc.o"
+  "CMakeFiles/viyojit_core.dir/dirty_tracker.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/failure.cc.o"
+  "CMakeFiles/viyojit_core.dir/failure.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/manager.cc.o"
+  "CMakeFiles/viyojit_core.dir/manager.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/pressure.cc.o"
+  "CMakeFiles/viyojit_core.dir/pressure.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/recency.cc.o"
+  "CMakeFiles/viyojit_core.dir/recency.cc.o.d"
+  "CMakeFiles/viyojit_core.dir/recovery.cc.o"
+  "CMakeFiles/viyojit_core.dir/recovery.cc.o.d"
+  "libviyojit_core.a"
+  "libviyojit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/viyojit_kvstore.dir/kvstore.cc.o.d"
+  "libviyojit_kvstore.a"
+  "libviyojit_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_mmu.dir/mmu.cc.o"
+  "CMakeFiles/viyojit_mmu.dir/mmu.cc.o.d"
+  "CMakeFiles/viyojit_mmu.dir/page_table.cc.o"
+  "CMakeFiles/viyojit_mmu.dir/page_table.cc.o.d"
+  "CMakeFiles/viyojit_mmu.dir/tlb.cc.o"
+  "CMakeFiles/viyojit_mmu.dir/tlb.cc.o.d"
+  "libviyojit_mmu.a"
+  "libviyojit_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_pheap.dir/pheap.cc.o"
+  "CMakeFiles/viyojit_pheap.dir/pheap.cc.o.d"
+  "libviyojit_pheap.a"
+  "libviyojit_pheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_pheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

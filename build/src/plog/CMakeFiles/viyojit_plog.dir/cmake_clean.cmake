@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_plog.dir/plog.cc.o"
+  "CMakeFiles/viyojit_plog.dir/plog.cc.o.d"
+  "libviyojit_plog.a"
+  "libviyojit_plog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_plog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

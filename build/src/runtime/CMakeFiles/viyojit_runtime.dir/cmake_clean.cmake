@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_runtime.dir/fault_dispatch.cc.o"
+  "CMakeFiles/viyojit_runtime.dir/fault_dispatch.cc.o.d"
+  "CMakeFiles/viyojit_runtime.dir/region.cc.o"
+  "CMakeFiles/viyojit_runtime.dir/region.cc.o.d"
+  "libviyojit_runtime.a"
+  "libviyojit_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

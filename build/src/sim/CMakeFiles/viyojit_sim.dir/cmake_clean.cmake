@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_sim.dir/event_queue.cc.o"
+  "CMakeFiles/viyojit_sim.dir/event_queue.cc.o.d"
+  "libviyojit_sim.a"
+  "libviyojit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_storage.dir/ssd.cc.o"
+  "CMakeFiles/viyojit_storage.dir/ssd.cc.o.d"
+  "libviyojit_storage.a"
+  "libviyojit_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_trace.dir/analyzer.cc.o"
+  "CMakeFiles/viyojit_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/viyojit_trace.dir/csv.cc.o"
+  "CMakeFiles/viyojit_trace.dir/csv.cc.o.d"
+  "CMakeFiles/viyojit_trace.dir/generators.cc.o"
+  "CMakeFiles/viyojit_trace.dir/generators.cc.o.d"
+  "libviyojit_trace.a"
+  "libviyojit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

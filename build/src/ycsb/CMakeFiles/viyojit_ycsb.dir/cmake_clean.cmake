@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viyojit_ycsb.dir/driver.cc.o"
+  "CMakeFiles/viyojit_ycsb.dir/driver.cc.o.d"
+  "libviyojit_ycsb.a"
+  "libviyojit_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viyojit_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

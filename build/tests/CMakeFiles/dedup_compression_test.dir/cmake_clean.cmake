@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_compression_test.dir/dedup_compression_test.cc.o"
+  "CMakeFiles/dedup_compression_test.dir/dedup_compression_test.cc.o.d"
+  "dedup_compression_test"
+  "dedup_compression_test.pdb"
+  "dedup_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_assist_test.dir/hw_assist_test.cc.o"
+  "CMakeFiles/hw_assist_test.dir/hw_assist_test.cc.o.d"
+  "hw_assist_test"
+  "hw_assist_test.pdb"
+  "hw_assist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_assist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pheap_test.dir/pheap_test.cc.o"
+  "CMakeFiles/pheap_test.dir/pheap_test.cc.o.d"
+  "pheap_test"
+  "pheap_test.pdb"
+  "pheap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plog_test.dir/plog_test.cc.o"
+  "CMakeFiles/plog_test.dir/plog_test.cc.o.d"
+  "plog_test"
+  "plog_test.pdb"
+  "plog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

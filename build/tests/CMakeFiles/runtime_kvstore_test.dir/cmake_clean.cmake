@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_kvstore_test.dir/runtime_kvstore_test.cc.o"
+  "CMakeFiles/runtime_kvstore_test.dir/runtime_kvstore_test.cc.o.d"
+  "runtime_kvstore_test"
+  "runtime_kvstore_test.pdb"
+  "runtime_kvstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_kvstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
