@@ -66,6 +66,7 @@ runExperiment(const ExperimentConfig &config)
     core_cfg.continuousCopyTrigger = config.continuousCopyTrigger;
     core_cfg.hardwareAssist = config.hardwareAssist;
     core_cfg.updateTimeTieBreak = config.updateTimeTieBreak;
+    core_cfg.legacyEpochScan = config.legacyEpochScan;
 
     const std::uint64_t capacity_pages =
         PaperScale::paperGbPages(config.capacityPaperGb);

@@ -103,6 +103,13 @@ struct ExperimentConfig
     bool updateTimeTieBreak = true;
 
     /**
+     * Run epoch boundaries on the pre-optimization O(mapped) paths
+     * (see core::ViyojitConfig::legacyEpochScan); for A/B checks
+     * that the O(dirty) fast paths leave figure results unchanged.
+     */
+    bool legacyEpochScan = false;
+
+    /**
      * Copy-trigger policy.  False (default here) reproduces the
      * paper's design: proactive copies launch at epoch boundaries
      * and overflow blocks on the SSD — one of the paper's three

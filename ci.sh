@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build and test two configurations.
+#
+#   build-release/   Release            the configuration the benches use
+#   build-sanitize/  RelWithDebInfo     ASan + UBSan (VIYOJIT_SANITIZE=ON)
+#
+# Both run the full ctest suite; the sanitizer pass is what catches
+# the bit-twiddling mistakes the fast epoch paths invite (summary-mask
+# indexing, shift widths, heap/cursor bookkeeping).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "=== Release build ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}"
+ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
+echo "=== ASan/UBSan build ==="
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DVIYOJIT_SANITIZE=ON
+cmake --build build-sanitize -j "${JOBS}"
+ctest --test-dir build-sanitize --output-on-failure -j "${JOBS}"
+
+echo "=== CI OK: both configurations green ==="

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Non-owning callable view, in the style of the C++26 (P0792)
+ * std::function_ref.
+ *
+ * The epoch loop passes visitors through several layers
+ * (controller -> PagingBackend -> Mmu -> PageTable); with
+ * std::function each hop may heap-allocate its capture.  FunctionRef
+ * is two words, never allocates, and inlines to an indirect call, so
+ * the per-epoch scan paths stay allocation-free.
+ *
+ * The referee must outlive the FunctionRef.  Passing a temporary
+ * lambda as a function argument is fine (it lives for the full call
+ * expression); storing a FunctionRef beyond the call is not.
+ */
+
+#ifndef VIYOJIT_COMMON_FUNCTION_REF_HH
+#define VIYOJIT_COMMON_FUNCTION_REF_HH
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace viyojit
+{
+
+template <typename Signature> class FunctionRef;
+
+/** Lightweight non-owning reference to a callable. */
+template <typename R, typename... Args> class FunctionRef<R(Args...)>
+{
+  public:
+    template <
+        typename F,
+        typename = std::enable_if_t<
+            !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+            std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&f) noexcept
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call_([](void *obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {}
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_;
+    R (*call_)(void *, Args...);
+};
+
+} // namespace viyojit
+
+#endif // VIYOJIT_COMMON_FUNCTION_REF_HH

@@ -80,6 +80,19 @@ struct ViyojitConfig
      * cover the entire capacity.
      */
     bool enforceBudget = true;
+
+    /**
+     * Run the epoch boundary on the pre-optimization O(mapped-pages)
+     * paths: eager per-epoch history shifts, a full page-table walk
+     * for the dirty-bit scan, and the sort-based victim queue
+     * rebuilt each epoch.  The default (false) uses the O(dirty)
+     * fast paths — lazy histories, summary-bit-pruned hierarchical
+     * scans, and the bucketed victim queue.  Both orders are
+     * equivalent (see tests/core_test.cc VictimOrderEquivalence);
+     * the switch exists for A/B validation and cost studies
+     * (bench/abl_epoch_scan).
+     */
+    bool legacyEpochScan = false;
 };
 
 } // namespace viyojit::core

@@ -22,6 +22,7 @@ DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
     if (config.maxOutstandingIos == 0)
         fatal("need at least one outstanding IO slot");
     recency_.setUseSeqTieBreak(config.updateTimeTieBreak);
+    recency_.setLegacyQueue(config.legacyEpochScan);
 }
 
 bool

@@ -53,8 +53,7 @@ DirtyPageTracker::isDirty(PageNum page) const
 }
 
 void
-DirtyPageTracker::forEachDirty(
-    const std::function<void(PageNum)> &fn) const
+DirtyPageTracker::forEachDirty(FunctionRef<void(PageNum)> fn) const
 {
     for (PageNum page : dirtyList_)
         fn(page);

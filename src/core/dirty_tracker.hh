@@ -12,9 +12,9 @@
 #define VIYOJIT_CORE_DIRTY_TRACKER_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 
 namespace viyojit::core
@@ -57,7 +57,7 @@ class DirtyPageTracker
     void resetEpochCount() { newThisEpoch_ = 0; }
 
     /** Visit every dirty page (order unspecified). */
-    void forEachDirty(const std::function<void(PageNum)> &fn) const;
+    void forEachDirty(FunctionRef<void(PageNum)> fn) const;
 
     /** Snapshot of the dirty set. */
     std::vector<PageNum> dirtyPages() const { return dirtyList_; }

@@ -38,10 +38,11 @@ ViyojitManager::SimBackend::unprotectPage(PageNum page)
 
 void
 ViyojitManager::SimBackend::scanAndClearDirty(
-    bool flush_tlb, const std::function<void(PageNum, bool)> &visitor)
+    bool flush_tlb, FunctionRef<void(PageNum, bool)> visitor)
 {
     mgr_.mmu_.scanAndClearDirty(0, mgr_.nextFreePage_, flush_tlb,
-                                visitor);
+                                visitor,
+                                mgr_.config_.legacyEpochScan);
 }
 
 void

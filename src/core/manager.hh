@@ -154,7 +154,7 @@ class ViyojitManager
         void unprotectPage(PageNum page) override;
         void scanAndClearDirty(
             bool flush_tlb,
-            const std::function<void(PageNum, bool)> &visitor) override;
+            FunctionRef<void(PageNum, bool)> visitor) override;
         void persistPageAsync(PageNum page,
                               std::function<void()> on_complete) override;
         void persistPageBlocking(PageNum page) override;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 
 namespace viyojit::core
@@ -40,13 +41,17 @@ class PagingBackend
     virtual void unprotectPage(PageNum page) = 0;
 
     /**
-     * Visit every managed page, reporting and clearing its hardware
-     * dirty bit.  `flush_tlb` requests a full TLB flush first so the
-     * scan observes fresh bits.
+     * Report and clear the hardware dirty bit of managed pages.
+     * `flush_tlb` requests a full TLB flush first so the scan
+     * observes fresh bits.  Substrates may visit every managed page
+     * (reporting `was_dirty == false` for clean ones) or only the
+     * dirty population — callers must key off the flag, not the
+     * visit.  The visitor is a non-owning view: the scan is on the
+     * 1 ms epoch path and must not allocate per call.
      */
     virtual void scanAndClearDirty(
         bool flush_tlb,
-        const std::function<void(PageNum, bool was_dirty)> &visitor) = 0;
+        FunctionRef<void(PageNum, bool was_dirty)> visitor) = 0;
 
     /**
      * Start persisting a page to the backing store.  `on_complete`

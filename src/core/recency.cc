@@ -13,18 +13,51 @@ EpochRecencyTracker::EpochRecencyTracker(std::uint64_t page_count,
     VIYOJIT_ASSERT(history_epochs >= 1 && history_epochs <= 64,
                    "history window must be 1..64 epochs");
     history_.assign(page_count, 0);
+    lastFolded_.assign(page_count, 0);
     lastUpdateSeq_.assign(page_count, 0);
+    enqueuedKey_.assign(page_count, 0);
+    windowEpochs_ = history_epochs;
     historyMask_ = history_epochs == 64
                        ? ~0ULL
                        : ~((1ULL << (64 - history_epochs)) - 1);
+    ring_.resize(history_epochs);
+}
+
+std::uint64_t
+EpochRecencyTracker::normalizedHistory(PageNum page) const
+{
+    const std::uint64_t delta = epochIndex_ - lastFolded_[page];
+    if (delta >= 64)
+        return 0;
+    // Identical to the eager per-epoch `(h >> 1) & mask` chain: a bit
+    // surviving the final mask sat above the mask boundary at every
+    // intermediate step, so masking once after the combined shift
+    // loses nothing.
+    return (history_[page] >> delta) & historyMask_;
 }
 
 void
 EpochRecencyTracker::recordUpdate(PageNum page)
 {
     VIYOJIT_ASSERT(page < history_.size(), "page out of range");
-    history_[page] |= 1ULL << 63;
+    history_[page] = normalizedHistory(page) | (1ULL << 63);
+    lastFolded_[page] = epochIndex_;
     lastUpdateSeq_[page] = ++updateSeq_;
+    if (!usesBuckets() || enqueuedKey_[page] == epochIndex_ + 1)
+        return; // Already has a live entry for this epoch.
+    // The current epoch's bucket is always in heap mode: it was
+    // cleared by spliceExpiredBucket when its slot came around, and
+    // freezing only happens after the epoch passes.  The append is
+    // O(1); only a mid-epoch pick pays to heapify.
+    Bucket &bucket = ring_[epochIndex_ % windowEpochs_];
+    VIYOJIT_ASSERT(bucket.heapMode,
+                   "current epoch bucket must accept pushes");
+    bucket.entries.push_back(
+        Entry{page, history_[page], updateSeq_, false});
+    if (bucket.heapified)
+        std::push_heap(bucket.entries.begin(), bucket.entries.end(),
+                       entryAfter);
+    enqueuedKey_[page] = epochIndex_ + 1;
 }
 
 std::uint64_t
@@ -37,16 +70,58 @@ EpochRecencyTracker::lastUpdateSeq(PageNum page) const
 void
 EpochRecencyTracker::advanceEpoch()
 {
-    for (auto &h : history_)
-        h = (h >> 1) & historyMask_;
     ++epochIndex_;
+    if (legacyQueue_) {
+        // Paper-era cost model: touch every page's history word.
+        for (PageNum p = 0; p < history_.size(); ++p) {
+            history_[p] = normalizedHistory(p);
+            lastFolded_[p] = epochIndex_;
+        }
+        return;
+    }
+    spliceExpiredBucket();
+}
+
+void
+EpochRecencyTracker::spliceExpiredBucket()
+{
+    Bucket &bucket = ring_[epochIndex_ % windowEpochs_];
+    if (epochIndex_ >= windowEpochs_ && !bucket.entries.empty()) {
+        // This slot holds pages last updated exactly windowEpochs_
+        // ago; their histories just normalized to zero, so they move
+        // to the cold list.  Entries within one expired epoch sort by
+        // sequence, and successive epochs carry disjoint ascending
+        // sequence ranges, so appending keeps cold_ globally sorted.
+        const std::uint64_t expired = epochIndex_ - windowEpochs_;
+        const std::size_t tail = cold_.size();
+        for (std::size_t i = bucket.heapMode ? 0 : bucket.cursor;
+             i < bucket.entries.size(); ++i) {
+            const Entry &e = bucket.entries[i];
+            if (!e.consumed && lastFolded_[e.page] == expired)
+                cold_.push_back(
+                    ColdEntry{e.page, lastUpdateSeq_[e.page], false});
+        }
+        std::sort(cold_.begin() + static_cast<std::ptrdiff_t>(tail),
+                  cold_.end(), [](const ColdEntry &a,
+                                  const ColdEntry &b) {
+                      return a.seq < b.seq;
+                  });
+    }
+    bucket.clear();
+    // Reclaim the consumed cold prefix once it dominates the list.
+    if (coldCursor_ > 64 && coldCursor_ > cold_.size() / 2) {
+        cold_.erase(cold_.begin(),
+                    cold_.begin() +
+                        static_cast<std::ptrdiff_t>(coldCursor_));
+        coldCursor_ = 0;
+    }
 }
 
 std::uint64_t
 EpochRecencyTracker::history(PageNum page) const
 {
     VIYOJIT_ASSERT(page < history_.size(), "page out of range");
-    return history_[page];
+    return normalizedHistory(page);
 }
 
 bool
@@ -55,28 +130,206 @@ EpochRecencyTracker::coldInWindow(PageNum page) const
     return history(page) == 0;
 }
 
+bool
+EpochRecencyTracker::victimLess(PageNum a, PageNum b) const
+{
+    const std::uint64_t ha = normalizedHistory(a);
+    const std::uint64_t hb = normalizedHistory(b);
+    if (ha != hb)
+        return ha < hb;
+    if (useSeqTieBreak_ && lastUpdateSeq_[a] != lastUpdateSeq_[b])
+        return lastUpdateSeq_[a] < lastUpdateSeq_[b];
+    return a < b;
+}
+
 void
 EpochRecencyTracker::rebuildVictimQueue(const DirtyPageTracker &tracker)
 {
+    if (usesBuckets())
+        return; // Buckets maintain the order incrementally.
     victimQueue_ = tracker.dirtyPages();
     std::sort(victimQueue_.begin(), victimQueue_.end(),
               [this](PageNum a, PageNum b) {
-                  if (history_[a] != history_[b])
-                      return history_[a] < history_[b];
-                  if (useSeqTieBreak_ &&
-                      lastUpdateSeq_[a] != lastUpdateSeq_[b]) {
-                      return lastUpdateSeq_[a] < lastUpdateSeq_[b];
-                  }
-                  return a < b;
+                  return victimLess(a, b);
               });
     victimCursor_ = 0;
 }
 
 PageNum
-EpochRecencyTracker::pickVictim(
-    const DirtyPageTracker &tracker,
-    const std::function<bool(PageNum)> &exclude)
+EpochRecencyTracker::pickFromCold(const DirtyPageTracker &tracker,
+                                  FunctionRef<bool(PageNum)> exclude)
 {
+    for (std::size_t i = coldCursor_; i < cold_.size(); ++i) {
+        ColdEntry &e = cold_[i];
+        if (e.consumed) {
+            if (i == coldCursor_)
+                ++coldCursor_;
+            continue;
+        }
+        // A sequence mismatch means the page was updated again after
+        // it expired (it lives in a ring bucket now); a clean page
+        // re-enters through the fault path with a fresh entry.
+        if (lastUpdateSeq_[e.page] != e.seq ||
+            !tracker.isDirty(e.page)) {
+            e.consumed = true;
+            if (i == coldCursor_)
+                ++coldCursor_;
+            continue;
+        }
+        if (exclude(e.page))
+            continue; // Keep for a later pick.
+        e.consumed = true;
+        if (i == coldCursor_)
+            ++coldCursor_;
+        return e.page;
+    }
+    return invalidPage;
+}
+
+PageNum
+EpochRecencyTracker::pickFromBucket(Bucket &bucket,
+                                    std::uint64_t bucket_epoch,
+                                    const DirtyPageTracker &tracker,
+                                    FunctionRef<bool(PageNum)> exclude)
+{
+    if (bucket.heapMode && bucket_epoch == epochIndex_) {
+        // The bucket's epoch is still current: every entry was
+        // pushed this epoch (the slot was cleared when it came
+        // around), its keyHistory is the page's live history, and
+        // its keySeq orders first-updates exactly, so the heap pops
+        // in victim order at epoch granularity.  Cleaned pages are
+        // discarded as they surface; excluded dirty entries are set
+        // aside and re-pushed.
+        if (!bucket.heapified) {
+            std::make_heap(bucket.entries.begin(),
+                           bucket.entries.end(), entryAfter);
+            bucket.heapified = true;
+        }
+        stash_.clear();
+        PageNum victim = invalidPage;
+        while (!bucket.entries.empty()) {
+            std::pop_heap(bucket.entries.begin(),
+                          bucket.entries.end(), entryAfter);
+            const Entry e = bucket.entries.back();
+            bucket.entries.pop_back();
+            if (!tracker.isDirty(e.page)) {
+                // Out of the heap for good: a later re-dirty this
+                // epoch must push a fresh entry.
+                enqueuedKey_[e.page] = 0;
+                continue;
+            }
+            if (exclude(e.page)) {
+                stash_.push_back(e);
+                continue;
+            }
+            enqueuedKey_[e.page] = 0;
+            victim = e.page;
+            break;
+        }
+        for (const Entry &e : stash_) {
+            bucket.entries.push_back(e);
+            std::push_heap(bucket.entries.begin(),
+                           bucket.entries.end(), entryAfter);
+        }
+        return victim;
+    }
+    if (bucket.cursor >= bucket.entries.size())
+        return invalidPage;
+    if (bucket.heapMode || bucket.sortStamp != epochIndex_) {
+        // The bucket's epoch has passed: freeze it.  Drop dead
+        // entries first (pages updated again since — lastFolded_ is
+        // their last-update epoch — or cleaned), then order the
+        // survivors with the full comparator.  The sort must use
+        // *current* normalized histories — epoch shifts can collapse
+        // a strict order into a sequence-broken tie, so neither the
+        // push-time heap keys nor a sort from an earlier epoch is a
+        // valid order.
+        auto first = bucket.entries.begin() +
+                     static_cast<std::ptrdiff_t>(bucket.cursor);
+        bucket.entries.erase(
+            std::remove_if(first, bucket.entries.end(),
+                           [&](const Entry &e) {
+                               return e.consumed ||
+                                      lastFolded_[e.page] !=
+                                          bucket_epoch ||
+                                      !tracker.isDirty(e.page);
+                           }),
+            bucket.entries.end());
+        first = bucket.entries.begin() +
+                static_cast<std::ptrdiff_t>(bucket.cursor);
+        std::sort(first, bucket.entries.end(),
+                  [this](const Entry &a, const Entry &b) {
+                      return victimLess(a.page, b.page);
+                  });
+        bucket.heapMode = false;
+        bucket.sortStamp = epochIndex_;
+    }
+    for (std::size_t i = bucket.cursor;
+         i < bucket.entries.size(); ++i) {
+        Entry &e = bucket.entries[i];
+        if (e.consumed) {
+            if (i == bucket.cursor)
+                ++bucket.cursor;
+            continue;
+        }
+        if (lastFolded_[e.page] != bucket_epoch ||
+            !tracker.isDirty(e.page)) {
+            e.consumed = true;
+            if (i == bucket.cursor)
+                ++bucket.cursor;
+            continue;
+        }
+        if (exclude(e.page))
+            continue; // Excluded candidates stay pickable later.
+        e.consumed = true;
+        if (i == bucket.cursor)
+            ++bucket.cursor;
+        return e.page;
+    }
+    return invalidPage;
+}
+
+PageNum
+EpochRecencyTracker::pickFallback(
+    const DirtyPageTracker &tracker,
+    FunctionRef<bool(PageNum)> exclude) const
+{
+    PageNum best = invalidPage;
+    tracker.forEachDirty([&](PageNum page) {
+        if (exclude(page))
+            return;
+        if (best == invalidPage || victimLess(page, best))
+            best = page;
+    });
+    return best;
+}
+
+PageNum
+EpochRecencyTracker::pickVictim(const DirtyPageTracker &tracker,
+                                FunctionRef<bool(PageNum)> exclude)
+{
+    if (usesBuckets()) {
+        const PageNum cold = pickFromCold(tracker, exclude);
+        if (cold != invalidPage)
+            return cold;
+        // Oldest window epoch first: a page in an older bucket has a
+        // strictly smaller history MSB, hence a smaller history, than
+        // any page in a newer one.
+        const std::uint64_t oldest =
+            epochIndex_ >= windowEpochs_ - 1
+                ? epochIndex_ - (windowEpochs_ - 1)
+                : 0;
+        for (std::uint64_t e = oldest; e <= epochIndex_; ++e) {
+            const PageNum victim = pickFromBucket(
+                ring_[e % windowEpochs_], e, tracker, exclude);
+            if (victim != invalidPage)
+                return victim;
+        }
+        // Residue: every queued candidate was excluded or consumed
+        // while still dirty (e.g. an in-flight copy).
+        return pickFallback(tracker, exclude);
+    }
+
     while (victimCursor_ < victimQueue_.size()) {
         const PageNum candidate = victimQueue_[victimCursor_++];
         if (tracker.isDirty(candidate) && !exclude(candidate))
@@ -84,24 +337,7 @@ EpochRecencyTracker::pickVictim(
     }
     // Queue exhausted: fall back to the coldest page in the current
     // dirty set (pages dirtied since the last rebuild).
-    PageNum best = invalidPage;
-    std::uint64_t best_history = ~0ULL;
-    std::uint64_t best_stamp = ~0ULL;
-    tracker.forEachDirty([&](PageNum page) {
-        if (exclude(page))
-            return;
-        const std::uint64_t h = history_[page];
-        const std::uint64_t s =
-            useSeqTieBreak_ ? lastUpdateSeq_[page] : 0;
-        if (best == invalidPage || h < best_history ||
-            (h == best_history &&
-             (s < best_stamp || (s == best_stamp && page < best)))) {
-            best = page;
-            best_history = h;
-            best_stamp = s;
-        }
-    });
-    return best;
+    return pickFallback(tracker, exclude);
 }
 
 } // namespace viyojit::core

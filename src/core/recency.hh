@@ -10,6 +10,34 @@
  * history is the least recently updated, which is Viyojit's victim
  * ordering ("sorts the pages according to update times and chooses
  * the least recently updated pages as targets").
+ *
+ * Epoch-loop complexity: histories are stored *lazily* — instead of
+ * shifting every page's word at each boundary, a global epoch index
+ * advances and each page remembers the epoch its word was last folded
+ * at.  Reads normalize on access (`raw >> (now - lastFolded)`), which
+ * is arithmetically identical to the eager shift because right-shift
+ * is order-preserving and the window mask only clears bits the shift
+ * would eventually discard.  advanceEpoch() is therefore O(1), and
+ * only pages that were actually updated pay a fold.
+ *
+ * Victim selection is likewise O(dirty-active): pages live in one of
+ * 64 recency buckets keyed by their last-update epoch (a ring, one
+ * slot per window epoch) plus a cold bucket for pages with no update
+ * in the window.  A page's bucket *is* the position of the most
+ * significant set bit of its normalized history (bucket "cold" =
+ * history 0), so draining cold-then-oldest-to-newest visits pages in
+ * exactly the order the old global sort produced.  Within a bucket:
+ * while the bucket's epoch is current, updates append in O(1) (one
+ * entry per page per epoch) and the first mid-epoch pick heapifies
+ * the bucket into a min-heap on (history, first-update sequence)
+ * keys — valid because a page's normalized history cannot change
+ * within its own update epoch — so the controller's mid-epoch
+ * admit/pick interleave costs O(log bucket) instead of a re-sort per
+ * pick.  Once its epoch passes the bucket freezes: epoch shifts can
+ * collapse a strict history order into a sequence-broken tie, so the
+ * first pick of each later epoch re-sorts the remainder with the
+ * live comparator.  The old sort-based queue is kept behind
+ * setLegacyQueue() for A/B validation (config.legacyEpochScan).
  */
 
 #ifndef VIYOJIT_CORE_RECENCY_HH
@@ -18,6 +46,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 #include "core/dirty_tracker.hh"
 
@@ -43,8 +72,21 @@ class EpochRecencyTracker
      * paper's measured collapse: with the tie-break on, fault-path
      * stamps keep correcting stale histories and the TLB flush stops
      * mattering (see abl_stale_dirty_bits).
+     *
+     * History-only ordering cannot be bucketed (the cold bucket
+     * would need a page-number sort that splicing cannot maintain
+     * incrementally), so disabling the tie-break also falls back to
+     * the legacy sort-based victim queue.
      */
     void setUseSeqTieBreak(bool enable) { useSeqTieBreak_ = enable; }
+
+    /**
+     * Select the legacy epoch path: eager per-epoch history shifts
+     * and the sort-based victim queue rebuilt at each boundary.
+     * Exists for A/B validation against the bucketed fast path
+     * (config.legacyEpochScan); call before the first update.
+     */
+    void setLegacyQueue(bool enable) { legacyQueue_ = enable; }
 
     /**
      * Record that a page was updated during the current epoch (set
@@ -54,14 +96,17 @@ class EpochRecencyTracker
     void recordUpdate(PageNum page);
 
     /**
-     * Advance to a new epoch: shift every history right by one.  The
-     * caller feeds this epoch's updates via recordUpdate() *before*
-     * calling advanceEpoch() — i.e. the scan happens at the epoch
-     * boundary, then histories shift.
+     * Advance to a new epoch.  Histories are lazy, so this only bumps
+     * the global epoch index and retires the bucket ring slot that
+     * falls out of the window (amortized O(1) per recorded update).
+     * In legacy mode it performs the paper-era full-array shift.
+     * The caller feeds this epoch's updates via recordUpdate()
+     * *before* calling advanceEpoch() — i.e. the scan happens at the
+     * epoch boundary, then histories shift.
      */
     void advanceEpoch();
 
-    /** Raw history bitmap for a page. */
+    /** History bitmap for a page, normalized to the current epoch. */
     std::uint64_t history(PageNum page) const;
 
     /** Update-sequence stamp of the page's last update (0 = never). */
@@ -71,15 +116,17 @@ class EpochRecencyTracker
     bool coldInWindow(PageNum page) const;
 
     /**
-     * Rebuild the victim queue: dirty pages ordered least-recently-
-     * updated first.  Call after each epoch's histories settle.
+     * Legacy mode only: rebuild the victim queue (dirty pages
+     * ordered least-recently-updated first).  A no-op on the
+     * bucketed path, which maintains its order incrementally.
      */
     void rebuildVictimQueue(const DirtyPageTracker &tracker);
 
     /**
      * Pop the best victim that is still dirty and not excluded.
-     * Falls back to any dirty page when the queue is exhausted (new
-     * pages dirtied since the last rebuild).
+     * Falls back to a linear scan of the dirty set when the queue is
+     * exhausted (new pages dirtied since the last rebuild, or every
+     * queued candidate excluded).
      *
      * @param tracker current dirty set.
      * @param exclude predicate for pages that must not be chosen
@@ -87,12 +134,108 @@ class EpochRecencyTracker
      * @return a victim page, or invalidPage when none qualifies.
      */
     PageNum pickVictim(const DirtyPageTracker &tracker,
-                       const std::function<bool(PageNum)> &exclude);
+                       FunctionRef<bool(PageNum)> exclude);
 
     std::uint64_t epochIndex() const { return epochIndex_; }
 
   private:
+    /**
+     * Entry in an epoch bucket, at most one live per page (see
+     * enqueuedKey_).  The keys are snapshots from the update that
+     * pushed it: keyHistory stays live for the whole epoch (a repeat
+     * update cannot change a history whose current-epoch bit is
+     * already set), while keySeq can go stale by at most the
+     * within-epoch re-update distance — below the mechanism's epoch
+     * granularity.  An entry is live only while its page's last
+     * update epoch still is the bucket's epoch.  Consumed entries
+     * (sorted mode only) are skipped.
+     */
+    struct Entry
+    {
+        PageNum page;
+        std::uint64_t keyHistory;
+        std::uint64_t keySeq;
+        bool consumed;
+    };
+
+    /** One ring slot: pages last updated in one window epoch. */
+    struct Bucket
+    {
+        std::vector<Entry> entries;
+        std::size_t cursor = 0;
+
+        /**
+         * While the bucket's epoch is current it accepts O(1)
+         * appends; the first mid-epoch pick heapifies it into a
+         * min-heap on the (keyHistory, keySeq) keys, and the first
+         * pick after the epoch passes freezes it into the sorted
+         * form below.
+         */
+        bool heapMode = true;
+
+        /** Heap invariant established (heap mode only). */
+        bool heapified = false;
+
+        /**
+         * Sorted mode: epoch of the last sort.  Histories shift
+         * between epochs, which can collapse a strict within-bucket
+         * order into a tie (broken by sequence), so a bucket sorted
+         * in an earlier epoch must be re-sorted before it is drained
+         * again.
+         */
+        std::uint64_t sortStamp = 0;
+
+        void
+        clear()
+        {
+            entries.clear();
+            cursor = 0;
+            heapMode = true;
+            heapified = false;
+            sortStamp = 0;
+        }
+    };
+
+    /** Cold entry: page plus the sequence it expired with. */
+    struct ColdEntry
+    {
+        PageNum page;
+        std::uint64_t seq;
+        bool consumed;
+    };
+
+    bool usesBuckets() const { return !legacyQueue_ && useSeqTieBreak_; }
+
+    /**
+     * Heap comparator over push-time keys ("a pops after b"); with
+     * it, std::push_heap/pop_heap maintain a min-heap.  keySeq is
+     * unique per entry, so this is a total order.
+     */
+    static bool
+    entryAfter(const Entry &a, const Entry &b)
+    {
+        if (a.keyHistory != b.keyHistory)
+            return a.keyHistory > b.keyHistory;
+        return a.keySeq > b.keySeq;
+    }
+
+    /** Fold a page's raw word up to the current epoch. */
+    std::uint64_t normalizedHistory(PageNum page) const;
+
+    bool victimLess(PageNum a, PageNum b) const;
+
+    void spliceExpiredBucket();
+    PageNum pickFromCold(const DirtyPageTracker &tracker,
+                         FunctionRef<bool(PageNum)> exclude);
+    PageNum pickFromBucket(Bucket &bucket, std::uint64_t bucket_epoch,
+                           const DirtyPageTracker &tracker,
+                           FunctionRef<bool(PageNum)> exclude);
+    PageNum pickFallback(const DirtyPageTracker &tracker,
+                         FunctionRef<bool(PageNum)> exclude) const;
+
+    /** Raw history words, valid as of lastFolded_[page]. */
     std::vector<std::uint64_t> history_;
+    std::vector<std::uint64_t> lastFolded_;
 
     /**
      * Monotone sequence number of each page's most recent recorded
@@ -101,13 +244,36 @@ class EpochRecencyTracker
      * according to update times", section 5.2).
      */
     std::vector<std::uint64_t> lastUpdateSeq_;
+
+    /**
+     * epochIndex_ + 1 while the page has a live entry in the current
+     * epoch's bucket (0 = none).  Dedups ring pushes, but precisely:
+     * popping a page's entry out of the heap (victim or cleaned)
+     * clears it, so a page cleaned and re-dirtied within one epoch
+     * re-enters the bucket instead of hiding until the O(dirty)
+     * fallback scan finds it.
+     */
+    std::vector<std::uint64_t> enqueuedKey_;
+
     std::uint64_t updateSeq_ = 0;
     bool useSeqTieBreak_ = true;
+    bool legacyQueue_ = false;
 
+    unsigned windowEpochs_;
     std::uint64_t historyMask_;
     std::uint64_t epochIndex_ = 0;
 
-    /** Dirty pages sorted by (history, page); consumed front-first. */
+    /** Ring of window buckets; slot = update epoch % windowEpochs_. */
+    std::vector<Bucket> ring_;
+
+    /** Pages whose last update expired from the window, seq order. */
+    std::vector<ColdEntry> cold_;
+    std::size_t coldCursor_ = 0;
+
+    /** Pick-time scratch: excluded live entries to push back. */
+    std::vector<Entry> stash_;
+
+    /** Legacy queue: dirty pages sorted by (history, seq, page). */
     std::vector<PageNum> victimQueue_;
     std::size_t victimCursor_ = 0;
 };

@@ -73,7 +73,7 @@ Mmu::access(PageNum vpn, bool is_write)
             ctx_.clock().advance(costs_.dirtySetCost);
             Pte *pte = table_.find(vpn);
             VIYOJIT_ASSERT(pte && pte->present(), "lost mapping");
-            pte->setDirty(true);
+            table_.noteDirty(vpn);
             pte->setShadowDirty(true);
             tlb_.markDirty(vpn);
         } else if (costs_.writeThroughDirty) {
@@ -82,7 +82,7 @@ Mmu::access(PageNum vpn, bool is_write)
             // read stale bits and need no TLB flush.
             Pte *pte = table_.find(vpn);
             VIYOJIT_ASSERT(pte && pte->present(), "lost mapping");
-            pte->setDirty(true);
+            table_.noteDirty(vpn);
             pte->setShadowDirty(true);
         }
         return;
@@ -132,9 +132,9 @@ Mmu::isProtected(PageNum vpn) const
 }
 
 void
-Mmu::scanAndClearDirty(
-    PageNum begin, PageNum end, bool flush_tlb,
-    const std::function<void(PageNum, bool was_dirty)> &visitor)
+Mmu::scanAndClearDirty(PageNum begin, PageNum end, bool flush_tlb,
+                       FunctionRef<void(PageNum, bool was_dirty)> visitor,
+                       bool legacy_walk)
 {
     if (flush_tlb) {
         // Flushing first means post-scan writes reload PTEs and set
@@ -142,18 +142,37 @@ Mmu::scanAndClearDirty(
         ctx_.clock().advance(costs_.fullFlushCost);
         tlb_.flushAll();
     }
+    // `charged` is the work the scan actually performs: every present
+    // page on the legacy walk, only touched tree nodes + dirty leaves
+    // on the hierarchical one.
     std::uint64_t visited = 0;
-    table_.forEachPresent(begin, end, [&](PageNum vpn, Pte &pte) {
-        ++visited;
-        const bool was_dirty = pte.dirty();
-        pte.setDirty(false);
-        visitor(vpn, was_dirty);
-    });
+    std::uint64_t charged = 0;
+    if (legacy_walk) {
+        table_.forEachPresent(begin, end, [&](PageNum vpn, Pte &pte) {
+            ++visited;
+            const bool was_dirty = pte.dirty();
+            if (was_dirty)
+                table_.clearDirty(vpn);
+            visitor(vpn, was_dirty);
+        });
+        charged = visited;
+    } else {
+        const DirtyScanStats stats = table_.forEachDirty(
+            begin, end, [&](PageNum vpn, Pte &pte) {
+                pte.setDirty(false);
+                visitor(vpn, /*was_dirty=*/true);
+            });
+        visited = stats.visitedPages;
+        charged = stats.visitedPages + stats.visitedNodes;
+        ctx_.stats()
+            .counter("mmu.scan_skipped_subtrees")
+            .increment(stats.skippedSubtrees);
+    }
     if (costs_.chargeScanToClock)
-        ctx_.clock().advance(costs_.dirtyScanPerPage * visited);
+        ctx_.clock().advance(costs_.dirtyScanPerPage * charged);
     ctx_.stats()
         .counter("mmu.scan_background_ticks")
-        .increment(costs_.dirtyScanPerPage * visited);
+        .increment(costs_.dirtyScanPerPage * charged);
     ctx_.stats().counter("mmu.dirty_scans").increment();
     ctx_.stats().counter("mmu.dirty_scan_pages").increment(visited);
 }

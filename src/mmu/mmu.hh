@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 #include "mmu/page_table.hh"
 #include "mmu/tlb.hh"
@@ -118,15 +119,25 @@ class Mmu
     bool isProtected(PageNum vpn) const;
 
     /**
-     * Epoch scan: visit present pages in [begin, end), reporting and
-     * clearing the hardware dirty bit.  When `flush_tlb` is true the
-     * TLB is fully flushed first so the scan observes fresh bits (the
-     * paper's default); when false, stale cached-dirty TLB state makes
-     * the scan miss updates (the section 6.3 ablation).
+     * Epoch scan: report and clear the hardware dirty bit of pages in
+     * [begin, end).  When `flush_tlb` is true the TLB is fully
+     * flushed first so the scan observes fresh bits (the paper's
+     * default); when false, stale cached-dirty TLB state makes the
+     * scan miss updates (the section 6.3 ablation).
+     *
+     * The default path prunes clean subtrees via the page table's
+     * any-dirty-below summary bits and visits only dirty pages
+     * (`was_dirty == true` on every visit); scan time is charged per
+     * node actually touched, and pruned children are counted in the
+     * `mmu.scan_skipped_subtrees` stat.  `legacy_walk` restores the
+     * pre-optimization full walk over every present page, charging
+     * per present page (for A/B studies; see ViyojitConfig
+     * `legacyEpochScan`).
      */
     void scanAndClearDirty(
         PageNum begin, PageNum end, bool flush_tlb,
-        const std::function<void(PageNum, bool was_dirty)> &visitor);
+        FunctionRef<void(PageNum, bool was_dirty)> visitor,
+        bool legacy_walk = false);
 
     /** Direct PTE read access for tests and recovery tooling. */
     const Pte *findPte(PageNum vpn) const { return table_.find(vpn); }

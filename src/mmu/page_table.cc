@@ -12,21 +12,36 @@ PageTable::map(PageNum vpn, std::uint64_t flags, PageNum pfn)
 {
     VIYOJIT_ASSERT(vpn <= maxVpn, "VPN out of addressable range");
 
-    auto &l3_slot = root_.children[index(vpn, 3)];
-    if (!l3_slot)
+    const unsigned i3 = index(vpn, 3);
+    auto &l3_slot = root_.children[i3];
+    if (!l3_slot) {
         l3_slot = std::make_unique<Level3>();
-    auto &l2_slot = l3_slot->children[index(vpn, 2)];
-    if (!l2_slot)
+        setBit(root_.presentMask, i3);
+    }
+    const unsigned i2 = index(vpn, 2);
+    auto &l2_slot = l3_slot->children[i2];
+    if (!l2_slot) {
         l2_slot = std::make_unique<Level2>();
-    auto &l1_slot = l2_slot->children[index(vpn, 1)];
-    if (!l1_slot)
+        setBit(l3_slot->presentMask, i2);
+    }
+    const unsigned i1 = index(vpn, 1);
+    auto &l1_slot = l2_slot->children[i1];
+    if (!l1_slot) {
         l1_slot = std::make_unique<Level1>();
+        setBit(l2_slot->presentMask, i1);
+    }
 
-    Pte &pte = l1_slot->entries[index(vpn, 0)];
+    const unsigned i0 = index(vpn, 0);
+    Pte &pte = l1_slot->entries[i0];
     if (!pte.present())
         ++mappedCount_;
+    else if (pte.dirty())
+        clearDirtyPath(vpn);
     pte = Pte(flags | Pte::presentBit);
     pte.setPfn(pfn == invalidPage ? vpn : pfn);
+    setBit(l1_slot->presentMask, i0);
+    if (pte.dirty())
+        noteDirty(vpn);
 }
 
 void
@@ -34,8 +49,16 @@ PageTable::unmap(PageNum vpn)
 {
     Pte *pte = find(vpn);
     if (pte && pte->present()) {
+        if (pte->dirty())
+            clearDirtyPath(vpn);
         *pte = Pte();
         --mappedCount_;
+        // The interior present masks stay set (nodes are never
+        // freed); only the leaf presence bit is cleared.
+        Level1 &l1 = *root_.children[index(vpn, 3)]
+                          ->children[index(vpn, 2)]
+                          ->children[index(vpn, 1)];
+        clearBit(l1.presentMask, index(vpn, 0));
     }
 }
 
@@ -70,51 +93,147 @@ PageTable::find(PageNum vpn) const
 }
 
 void
+PageTable::noteDirty(PageNum vpn)
+{
+    VIYOJIT_ASSERT(vpn <= maxVpn, "VPN out of addressable range");
+    const unsigned i3 = index(vpn, 3);
+    auto &l3 = root_.children[i3];
+    VIYOJIT_ASSERT(l3, "noteDirty on unmapped page ", vpn);
+    const unsigned i2 = index(vpn, 2);
+    auto &l2 = l3->children[i2];
+    VIYOJIT_ASSERT(l2, "noteDirty on unmapped page ", vpn);
+    const unsigned i1 = index(vpn, 1);
+    auto &l1 = l2->children[i1];
+    VIYOJIT_ASSERT(l1, "noteDirty on unmapped page ", vpn);
+    const unsigned i0 = index(vpn, 0);
+    Pte &pte = l1->entries[i0];
+    VIYOJIT_ASSERT(pte.present(), "noteDirty on unmapped page ", vpn);
+
+    pte.setDirty(true);
+    setBit(l1->dirtyMask, i0);
+    setBit(l2->dirtyMask, i1);
+    setBit(l3->dirtyMask, i2);
+    setBit(root_.dirtyMask, i3);
+}
+
+void
+PageTable::clearDirty(PageNum vpn)
+{
+    Pte *pte = find(vpn);
+    if (!pte || !pte->present())
+        return;
+    pte->setDirty(false);
+    clearDirtyPath(vpn);
+}
+
+void
+PageTable::clearDirtyPath(PageNum vpn)
+{
+    const unsigned i3 = index(vpn, 3);
+    const unsigned i2 = index(vpn, 2);
+    const unsigned i1 = index(vpn, 1);
+    const unsigned i0 = index(vpn, 0);
+    Level3 &l3 = *root_.children[i3];
+    Level2 &l2 = *l3.children[i2];
+    Level1 &l1 = *l2.children[i1];
+    clearBit(l1.dirtyMask, i0);
+    if (!allZero(l1.dirtyMask))
+        return;
+    clearBit(l2.dirtyMask, i1);
+    if (!allZero(l2.dirtyMask))
+        return;
+    clearBit(l3.dirtyMask, i2);
+    if (!allZero(l3.dirtyMask))
+        return;
+    clearBit(root_.dirtyMask, i3);
+}
+
+bool
+PageTable::anyDirty() const
+{
+    return !allZero(root_.dirtyMask);
+}
+
+bool
+PageTable::dirtySummariesConsistent() const
+{
+    auto *self = const_cast<PageTable *>(this);
+    for (unsigned i3 = 0; i3 < levelEntries; ++i3) {
+        auto &l3 = self->root_.children[i3];
+        bool dirty3 = false;
+        if (l3) {
+            for (unsigned i2 = 0; i2 < levelEntries; ++i2) {
+                auto &l2 = l3->children[i2];
+                bool dirty2 = false;
+                if (l2) {
+                    for (unsigned i1 = 0; i1 < levelEntries; ++i1) {
+                        auto &l1 = l2->children[i1];
+                        bool dirty1 = false;
+                        if (l1) {
+                            for (unsigned i0 = 0; i0 < levelEntries;
+                                 ++i0) {
+                                const Pte &pte = l1->entries[i0];
+                                const bool leaf_dirty =
+                                    pte.present() && pte.dirty();
+                                if (leaf_dirty != testBit(l1->dirtyMask,
+                                                          i0)) {
+                                    return false;
+                                }
+                                dirty1 |= leaf_dirty;
+                            }
+                        }
+                        if (dirty1 != (l1 && testBit(l2->dirtyMask, i1)))
+                            return false;
+                        dirty2 |= dirty1;
+                    }
+                }
+                if (dirty2 != (l2 && testBit(l3->dirtyMask, i2)))
+                    return false;
+                dirty3 |= dirty2;
+            }
+        }
+        if (dirty3 != (l3 && testBit(root_.dirtyMask, i3)))
+            return false;
+    }
+    return true;
+}
+
+void
 PageTable::forEachPresent(PageNum begin, PageNum end,
-                          const std::function<void(PageNum, Pte &)> &fn)
+                          FunctionRef<void(PageNum, Pte &)> fn)
 {
     if (begin >= end)
         return;
-    // Walk the radix tree, pruning absent subtrees.
-    for (unsigned i3 = 0; i3 < levelEntries; ++i3) {
-        auto &l3 = root_.children[i3];
-        if (!l3)
-            continue;
-        const PageNum base3 = static_cast<PageNum>(i3)
-                              << (levelBits * 3);
-        if (base3 >= end || base3 + (1ULL << (levelBits * 3)) <= begin)
-            continue;
-        for (unsigned i2 = 0; i2 < levelEntries; ++i2) {
-            auto &l2 = l3->children[i2];
-            if (!l2)
-                continue;
-            const PageNum base2 =
-                base3 | (static_cast<PageNum>(i2) << (levelBits * 2));
-            if (base2 >= end ||
-                base2 + (1ULL << (levelBits * 2)) <= begin) {
-                continue;
-            }
-            for (unsigned i1 = 0; i1 < levelEntries; ++i1) {
-                auto &l1 = l2->children[i1];
-                if (!l1)
-                    continue;
-                const PageNum base1 =
-                    base2 | (static_cast<PageNum>(i1) << levelBits);
-                if (base1 >= end ||
-                    base1 + (1ULL << levelBits) <= begin) {
-                    continue;
-                }
-                for (unsigned i0 = 0; i0 < levelEntries; ++i0) {
-                    const PageNum vpn = base1 | i0;
-                    if (vpn < begin || vpn >= end)
-                        continue;
-                    Pte &pte = l1->entries[i0];
-                    if (pte.present())
-                        fn(vpn, pte);
-                }
-            }
-        }
-    }
+    // Walk the radix tree via the present masks, pruning absent
+    // subtrees without probing their pointer arrays.
+    forEachMaskedChild(
+        root_.presentMask, 3, 0, begin, end, [&](unsigned i3) {
+            Level3 &l3 = *root_.children[i3];
+            const PageNum base3 = static_cast<PageNum>(i3)
+                                  << (levelBits * 3);
+            forEachMaskedChild(
+                l3.presentMask, 2, base3, begin, end, [&](unsigned i2) {
+                    Level2 &l2 = *l3.children[i2];
+                    const PageNum base2 =
+                        base3 |
+                        (static_cast<PageNum>(i2) << (levelBits * 2));
+                    forEachMaskedChild(
+                        l2.presentMask, 1, base2, begin, end,
+                        [&](unsigned i1) {
+                            Level1 &l1 = *l2.children[i1];
+                            const PageNum base1 =
+                                base2 |
+                                (static_cast<PageNum>(i1) << levelBits);
+                            forEachMaskedChild(
+                                l1.presentMask, 0, base1, begin, end,
+                                [&](unsigned i0) {
+                                    Pte &pte = l1.entries[i0];
+                                    if (pte.present())
+                                        fn(base1 | i0, pte);
+                                });
+                        });
+                });
+        });
 }
 
 } // namespace viyojit::mmu

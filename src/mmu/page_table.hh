@@ -2,21 +2,50 @@
  * @file
  * Four-level radix page table (x86-64 layout: 512 entries per level,
  * 36-bit virtual page numbers).
+ *
+ * Every node carries two 512-bit child masks:
+ *
+ *  - a *present* mask (which child slots are populated), letting the
+ *    walkers skip absent subtrees with ctz instead of probing 512
+ *    pointers;
+ *  - an *any-dirty-below* summary mask, set on noteDirty() along the
+ *    leaf's path and cleared as scans drain the underlying dirty
+ *    bits.
+ *
+ * The summary masks make the epoch dirty-bit scan O(dirty): a
+ * subtree whose summary bit is clear is pruned without touching any
+ * of its PTEs, so a mostly-clean heap scans in the time it takes to
+ * popcount a handful of words (the scan-cost concern of the NVM
+ * cache literature; see DESIGN.md "Epoch-loop complexity").
  */
 
 #ifndef VIYOJIT_MMU_PAGE_TABLE_HH
 #define VIYOJIT_MMU_PAGE_TABLE_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "common/function_ref.hh"
 #include "common/types.hh"
 #include "mmu/pte.hh"
 
 namespace viyojit::mmu
 {
+
+/** Work accounting of one hierarchical dirty scan. */
+struct DirtyScanStats
+{
+    /** Dirty leaf PTEs delivered to the visitor. */
+    std::uint64_t visitedPages = 0;
+
+    /** Tree nodes descended into (root included). */
+    std::uint64_t visitedNodes = 0;
+
+    /** Present children pruned because their summary bit was clear. */
+    std::uint64_t skippedSubtrees = 0;
+};
 
 /** Radix page table mapping virtual page numbers to PTEs. */
 class PageTable
@@ -25,6 +54,7 @@ class PageTable
     static constexpr unsigned levelBits = 9;
     static constexpr unsigned levelEntries = 1u << levelBits;
     static constexpr unsigned levels = 4;
+    static constexpr unsigned maskWords = levelEntries / 64;
 
     /** Max mappable VPN (36 bits of VPN = 48-bit vaddrs). */
     static constexpr PageNum maxVpn =
@@ -53,31 +83,129 @@ class PageTable
     std::uint64_t mappedCount() const { return mappedCount_; }
 
     /**
+     * Set the dirty bit of a mapped page *and* the any-dirty-below
+     * summary bits along its path.  This is the only correct way to
+     * dirty a page that forEachDirty() must later find; setting the
+     * PTE bit directly leaves the summaries stale.
+     */
+    void noteDirty(PageNum vpn);
+
+    /**
+     * Clear a mapped page's dirty bit together with its summary
+     * path.  Idempotent; no-op on unmapped pages.  The legacy full
+     * epoch walk uses this so the summaries stay consistent even
+     * when the hierarchical scan is switched off.
+     */
+    void clearDirty(PageNum vpn);
+
+    /** True if any mapped page has its dirty bit set. */
+    bool anyDirty() const;
+
+    /**
+     * Invariant check (tests): every summary bit is set if and only
+     * if some present descendant PTE has its dirty bit set.
+     */
+    bool dirtySummariesConsistent() const;
+
+    /**
      * Visit every present PTE with vpn in [begin, end).  The visitor
-     * may mutate the PTE (used by the epoch dirty-bit scan).
+     * may mutate the PTE (used by the legacy epoch dirty-bit scan)
+     * but must go through noteDirty() to *set* dirty bits it wants
+     * summary-visible.
      */
     void forEachPresent(PageNum begin, PageNum end,
-                        const std::function<void(PageNum, Pte &)> &fn);
+                        FunctionRef<void(PageNum, Pte &)> fn);
+
+    /**
+     * Visit every present PTE in [begin, end) whose dirty bit is
+     * set, pruning clean subtrees via the summary masks.  If the
+     * visitor clears the PTE's dirty bit (the epoch scan does), the
+     * leaf mask bit and any emptied summary bits on the path are
+     * cleared on the way out.
+     *
+     * @return the work accounting (visited vs. pruned).
+     */
+    template <typename Fn>
+    DirtyScanStats
+    forEachDirty(PageNum begin, PageNum end, Fn &&fn)
+    {
+        DirtyScanStats stats;
+        if (begin >= end)
+            return stats;
+        ++stats.visitedNodes;
+        stats.skippedSubtrees += prunedChildren(
+            root_.presentMask, root_.dirtyMask, 3, 0, begin, end);
+        forEachMaskedChild(
+            root_.dirtyMask, 3, 0, begin, end, [&](unsigned i3) {
+                Level3 &l3 = *root_.children[i3];
+                const PageNum base3 = static_cast<PageNum>(i3)
+                                      << (levelBits * 3);
+                ++stats.visitedNodes;
+                stats.skippedSubtrees +=
+                    prunedChildren(l3.presentMask, l3.dirtyMask, 2,
+                                   base3, begin, end);
+                forEachMaskedChild(
+                    l3.dirtyMask, 2, base3, begin, end,
+                    [&](unsigned i2) {
+                        Level2 &l2 = *l3.children[i2];
+                        const PageNum base2 =
+                            base3 | (static_cast<PageNum>(i2)
+                                     << (levelBits * 2));
+                        ++stats.visitedNodes;
+                        stats.skippedSubtrees += prunedChildren(
+                            l2.presentMask, l2.dirtyMask, 1, base2,
+                            begin, end);
+                        forEachMaskedChild(
+                            l2.dirtyMask, 1, base2, begin, end,
+                            [&](unsigned i1) {
+                                Level1 &l1 = *l2.children[i1];
+                                const PageNum base1 =
+                                    base2 | (static_cast<PageNum>(i1)
+                                             << levelBits);
+                                ++stats.visitedNodes;
+                                scanLeaf(l1, base1, begin, end, fn,
+                                         stats);
+                                if (allZero(l1.dirtyMask))
+                                    clearBit(l2.dirtyMask, i1);
+                            });
+                        if (allZero(l2.dirtyMask))
+                            clearBit(l3.dirtyMask, i2);
+                    });
+                if (allZero(l3.dirtyMask))
+                    clearBit(root_.dirtyMask, i3);
+            });
+        return stats;
+    }
 
   private:
+    using Mask = std::array<std::uint64_t, maskWords>;
+
     struct Level1
     {
         std::array<Pte, levelEntries> entries;
+        Mask presentMask{};
+        Mask dirtyMask{};
     };
 
     struct Level2
     {
         std::array<std::unique_ptr<Level1>, levelEntries> children;
+        Mask presentMask{};
+        Mask dirtyMask{};
     };
 
     struct Level3
     {
         std::array<std::unique_ptr<Level2>, levelEntries> children;
+        Mask presentMask{};
+        Mask dirtyMask{};
     };
 
     struct Level4
     {
         std::array<std::unique_ptr<Level3>, levelEntries> children;
+        Mask presentMask{};
+        Mask dirtyMask{};
     };
 
     static unsigned
@@ -86,6 +214,111 @@ class PageTable
         return static_cast<unsigned>(
             (vpn >> (levelBits * level)) & (levelEntries - 1));
     }
+
+    static void
+    setBit(Mask &mask, unsigned i)
+    {
+        mask[i / 64] |= 1ULL << (i % 64);
+    }
+
+    static void
+    clearBit(Mask &mask, unsigned i)
+    {
+        mask[i / 64] &= ~(1ULL << (i % 64));
+    }
+
+    static bool
+    testBit(const Mask &mask, unsigned i)
+    {
+        return (mask[i / 64] >> (i % 64)) & 1;
+    }
+
+    static bool
+    allZero(const Mask &mask)
+    {
+        std::uint64_t any = 0;
+        for (std::uint64_t word : mask)
+            any |= word;
+        return any == 0;
+    }
+
+    /** Span of VPNs covered by one child slot at `level`. */
+    static constexpr PageNum
+    childSpan(unsigned level)
+    {
+        return 1ULL << (levelBits * level);
+    }
+
+    /**
+     * Invoke `fn(i)` for every set mask bit whose child range at
+     * `level` (child i covers [base + i*span, base + (i+1)*span))
+     * overlaps [begin, end), in ascending order.
+     */
+    template <typename Fn>
+    static void
+    forEachMaskedChild(const Mask &mask, unsigned level, PageNum base,
+                       PageNum begin, PageNum end, Fn &&fn)
+    {
+        const PageNum span = childSpan(level);
+        for (unsigned w = 0; w < maskWords; ++w) {
+            std::uint64_t word = mask[w];
+            while (word) {
+                const unsigned i =
+                    w * 64 +
+                    static_cast<unsigned>(std::countr_zero(word));
+                word &= word - 1;
+                const PageNum lo = base + span * i;
+                if (lo >= end)
+                    return;
+                if (lo + span <= begin)
+                    continue;
+                fn(i);
+            }
+        }
+    }
+
+    /** Present-but-clean children inside the scan range. */
+    static std::uint64_t
+    prunedChildren(const Mask &present, const Mask &dirty,
+                   unsigned level, PageNum base, PageNum begin,
+                   PageNum end)
+    {
+        const PageNum span = childSpan(level);
+        // Fast path: the whole node lies inside the range.
+        if (begin <= base && base + span * levelEntries <= end) {
+            std::uint64_t pruned = 0;
+            for (unsigned w = 0; w < maskWords; ++w)
+                pruned += static_cast<std::uint64_t>(
+                    std::popcount(present[w] & ~dirty[w]));
+            return pruned;
+        }
+        std::uint64_t pruned = 0;
+        forEachMaskedChild(present, level, base, begin, end,
+                           [&](unsigned i) {
+                               if (!testBit(dirty, i))
+                                   ++pruned;
+                           });
+        return pruned;
+    }
+
+    template <typename Fn>
+    static void
+    scanLeaf(Level1 &l1, PageNum base1, PageNum begin, PageNum end,
+             Fn &&fn, DirtyScanStats &stats)
+    {
+        forEachMaskedChild(
+            l1.dirtyMask, 0, base1, begin, end, [&](unsigned i0) {
+                const PageNum vpn = base1 | i0;
+                Pte &pte = l1.entries[i0];
+                ++stats.visitedPages;
+                fn(vpn, pte);
+                if (!pte.dirty())
+                    clearBit(l1.dirtyMask, i0);
+            });
+    }
+
+    /** Clear the dirty leaf + summary path of one page (unmap). */
+    void clearDirtyPath(PageNum vpn);
 
     Level4 root_;
     std::uint64_t mappedCount_ = 0;

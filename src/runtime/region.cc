@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -29,7 +30,9 @@ class NvRegion::FileBackend : public core::PagingBackend
 {
   public:
     FileBackend(NvRegion &region)
-        : region_(region), writable_(region.pageCount_, 0)
+        : region_(region),
+          writableWords_((region.pageCount_ + 63) / 64, 0),
+          summary_((writableWords_.size() + 63) / 64, 0)
     {}
 
     std::uint64_t pageCount() const override
@@ -46,41 +49,65 @@ class NvRegion::FileBackend : public core::PagingBackend
     protectPage(PageNum page) override
     {
         mprotectRange(page, 1, PROT_READ);
-        writable_[page] = 0;
+        setWritableBit(page, false);
     }
 
     void
     unprotectPage(PageNum page) override
     {
         mprotectRange(page, 1, PROT_READ | PROT_WRITE);
-        writable_[page] = 1;
+        setWritableBit(page, true);
     }
 
     void
-    scanAndClearDirty(
-        bool flush_tlb,
-        const std::function<void(PageNum, bool)> &visitor) override
+    scanAndClearDirty(bool flush_tlb,
+                      FunctionRef<void(PageNum, bool)> visitor) override
     {
         // Userspace dirty-bit emulation: every epoch re-protects the
         // writable (== written-this-epoch) pages, so the next write
         // faults and refreshes recency.  `flush_tlb` is implicit in
         // mprotect (the kernel shoots down stale TLB entries).
         (void)flush_tlb;
-        const std::uint64_t n = region_.pageCount_;
+        if (region_.config_.legacyEpochScan) {
+            scanLinear(visitor);
+            return;
+        }
+        // Two-level bitmap walk: only words (and summary words) with
+        // a writable page in them are touched, so a mostly-clean
+        // region scans in O(dirty), not O(pageCount).
         PageNum run_start = invalidPage;
-        for (PageNum p = 0; p < n; ++p) {
-            if (writable_[p]) {
-                visitor(p, true);
-                writable_[p] = 0;
-                if (run_start == invalidPage)
-                    run_start = p;
-            } else if (run_start != invalidPage) {
-                mprotectRange(run_start, p - run_start, PROT_READ);
-                run_start = invalidPage;
+        PageNum run_end = 0;
+        for (std::uint64_t s = 0; s < summary_.size(); ++s) {
+            std::uint64_t sword = summary_[s];
+            if (!sword)
+                continue;
+            summary_[s] = 0;
+            while (sword) {
+                const std::uint64_t w =
+                    s * 64 + static_cast<unsigned>(
+                                 std::countr_zero(sword));
+                sword &= sword - 1;
+                std::uint64_t word = writableWords_[w];
+                writableWords_[w] = 0;
+                while (word) {
+                    const PageNum p =
+                        w * 64 + static_cast<unsigned>(
+                                     std::countr_zero(word));
+                    word &= word - 1;
+                    visitor(p, true);
+                    if (run_start != invalidPage && p != run_end) {
+                        mprotectRange(run_start,
+                                      run_end - run_start, PROT_READ);
+                        run_start = invalidPage;
+                    }
+                    if (run_start == invalidPage)
+                        run_start = p;
+                    run_end = p + 1;
+                }
             }
         }
         if (run_start != invalidPage)
-            mprotectRange(run_start, n - run_start, PROT_READ);
+            mprotectRange(run_start, run_end - run_start, PROT_READ);
     }
 
     void
@@ -121,6 +148,44 @@ class NvRegion::FileBackend : public core::PagingBackend
 
   private:
     void
+    setWritableBit(PageNum page, bool v)
+    {
+        const std::uint64_t w = page / 64;
+        const std::uint64_t bit = 1ULL << (page % 64);
+        if (v) {
+            writableWords_[w] |= bit;
+            summary_[w / 64] |= 1ULL << (w % 64);
+        } else {
+            writableWords_[w] &= ~bit;
+            if (writableWords_[w] == 0)
+                summary_[w / 64] &= ~(1ULL << (w % 64));
+        }
+    }
+
+    /** Pre-optimization O(pageCount) sweep, kept for A/B studies. */
+    void
+    scanLinear(FunctionRef<void(PageNum, bool)> visitor)
+    {
+        const std::uint64_t n = region_.pageCount_;
+        PageNum run_start = invalidPage;
+        for (PageNum p = 0; p < n; ++p) {
+            const bool writable =
+                (writableWords_[p / 64] >> (p % 64)) & 1;
+            if (writable) {
+                visitor(p, true);
+                setWritableBit(p, false);
+                if (run_start == invalidPage)
+                    run_start = p;
+            } else if (run_start != invalidPage) {
+                mprotectRange(run_start, p - run_start, PROT_READ);
+                run_start = invalidPage;
+            }
+        }
+        if (run_start != invalidPage)
+            mprotectRange(run_start, n - run_start, PROT_READ);
+    }
+
+    void
     mprotectRange(PageNum first, std::uint64_t pages, int prot)
     {
         if (pages == 0)
@@ -133,7 +198,8 @@ class NvRegion::FileBackend : public core::PagingBackend
     }
 
     NvRegion &region_;
-    std::vector<std::uint8_t> writable_;
+    std::vector<std::uint64_t> writableWords_;
+    std::vector<std::uint64_t> summary_;
 };
 
 NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
@@ -199,6 +265,7 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     core_config.historyEpochs = config.historyEpochs;
     core_config.pressureWeightCurrent = config.pressureWeightCurrent;
     core_config.maxOutstandingIos = config.maxOutstandingIos;
+    core_config.legacyEpochScan = config.legacyEpochScan;
 
     backend_ = std::make_unique<FileBackend>(*this);
     controller_ = std::make_unique<core::DirtyBudgetController>(

@@ -54,6 +54,14 @@ struct RuntimeConfig
 
     /** Start the background epoch thread in create()/recover(). */
     bool startEpochThread = true;
+
+    /**
+     * Run the epoch scan as a linear sweep over every page instead of
+     * the bitmap-directed walk over the writable (written-this-epoch)
+     * set, and keep the controller's legacy epoch paths.  Mirrors
+     * core::ViyojitConfig::legacyEpochScan; for A/B validation.
+     */
+    bool legacyEpochScan = false;
 };
 
 /** Runtime statistics snapshot. */

@@ -191,6 +191,81 @@ TEST(RecencyTest, NoVictimWhenAllExcluded)
     EXPECT_EQ(victim, invalidPage);
 }
 
+/**
+ * The bucketed victim queue must evict in exactly the order of the
+ * legacy per-epoch full sort.  Drive two independent universes — one
+ * on each path — through the same random mix of faults, re-updates,
+ * epoch boundaries, cleans, and boundary victim drains, and demand
+ * identical histories and identical pick sequences throughout.
+ * (ViyojitConfig::legacyEpochScan documents this test by name.)
+ */
+TEST(RecencyTest, VictimOrderEquivalence)
+{
+    constexpr PageNum pages = 256;
+    constexpr unsigned window = 16;
+    constexpr int ops = 10000;
+    Rng rng(0x1c71f5eedULL);
+
+    DirtyPageTracker trackerLegacy(pages);
+    DirtyPageTracker trackerFast(pages);
+    EpochRecencyTracker legacy(pages, window);
+    EpochRecencyTracker fast(pages, window);
+    legacy.setLegacyQueue(true);
+    legacy.rebuildVictimQueue(trackerLegacy);
+
+    std::uint64_t picks = 0;
+    for (int op = 0; op < ops; ++op) {
+        const double roll = rng.nextDouble();
+        if (roll < 0.70) {
+            // Fault / hardware-dirty re-update.
+            const PageNum p = rng.nextBounded(pages);
+            if (!trackerLegacy.isDirty(p)) {
+                trackerLegacy.markDirty(p);
+                trackerFast.markDirty(p);
+            }
+            legacy.recordUpdate(p);
+            fast.recordUpdate(p);
+        } else if (roll < 0.85) {
+            // Proactive-copy completion: clean a random page.
+            const PageNum p = rng.nextBounded(pages);
+            if (trackerLegacy.isDirty(p)) {
+                trackerLegacy.markClean(p);
+                trackerFast.markClean(p);
+            }
+        } else {
+            // Epoch boundary, then drain a few victims the way the
+            // controller does (pick, protect+copy, mark clean).
+            legacy.advanceEpoch();
+            fast.advanceEpoch();
+            legacy.rebuildVictimQueue(trackerLegacy);
+            fast.rebuildVictimQueue(trackerFast);
+            for (PageNum p = 0; p < pages; ++p) {
+                ASSERT_EQ(legacy.history(p), fast.history(p))
+                    << "history diverged for page " << p;
+            }
+            const int drains = static_cast<int>(rng.nextBounded(4));
+            const PageNum excluded = rng.nextBounded(pages);
+            for (int d = 0; d < drains; ++d) {
+                const auto skip = [excluded](PageNum p) {
+                    return p == excluded;
+                };
+                const PageNum a =
+                    legacy.pickVictim(trackerLegacy, skip);
+                const PageNum b = fast.pickVictim(trackerFast, skip);
+                ASSERT_EQ(a, b) << "eviction order diverged at op "
+                                << op << " drain " << d;
+                if (a == invalidPage)
+                    break;
+                trackerLegacy.markClean(a);
+                trackerFast.markClean(a);
+                ++picks;
+            }
+        }
+    }
+    // The run must have actually exercised the queues.
+    EXPECT_GT(picks, 100u);
+}
+
 // ---------------------------------------------------------------------
 // DirtyPagePressure
 // ---------------------------------------------------------------------
@@ -252,8 +327,7 @@ class MockBackend : public PagingBackend
     void unprotectPage(PageNum p) override { protected_[p] = 0; }
 
     void
-    scanAndClearDirty(
-        bool, const std::function<void(PageNum, bool)> &fn) override
+    scanAndClearDirty(bool, FunctionRef<void(PageNum, bool)> fn) override
     {
         for (PageNum p = 0; p < protected_.size(); ++p) {
             const bool dirty = hwDirty.count(p) > 0;

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
+#include "common/rng.hh"
 #include "mmu/mmu.hh"
 
 namespace viyojit::mmu
@@ -135,6 +137,149 @@ TEST(PageTableTest, VisitorCanMutate)
         pte.setDirty(true);
     });
     EXPECT_TRUE(table.find(3)->dirty());
+}
+
+TEST(PageTableTest, ForEachDirtyVisitsOnlyDirtyPages)
+{
+    PageTable table;
+    for (PageNum p = 0; p < 100; ++p)
+        table.map(p, 0);
+    table.noteDirty(17);
+    table.noteDirty(63);
+    table.noteDirty(64);
+    std::vector<PageNum> seen;
+    const DirtyScanStats stats = table.forEachDirty(
+        0, 100, [&](PageNum vpn, Pte &pte) {
+            seen.push_back(vpn);
+            pte.setDirty(false);
+        });
+    EXPECT_EQ(seen, (std::vector<PageNum>{17, 63, 64}));
+    EXPECT_EQ(stats.visitedPages, 3u);
+    // The scan drained the bits and the summaries with them.
+    EXPECT_FALSE(table.anyDirty());
+    EXPECT_TRUE(table.dirtySummariesConsistent());
+    const DirtyScanStats again = table.forEachDirty(
+        0, 100, [&](PageNum, Pte &) { FAIL() << "nothing is dirty"; });
+    EXPECT_EQ(again.visitedPages, 0u);
+}
+
+TEST(PageTableTest, ForEachDirtyPrunesCleanSubtrees)
+{
+    PageTable table;
+    table.map(5, 0);
+    table.map(1ULL << 30, 0); // a second, far-away subtree
+    table.noteDirty(5);
+    std::vector<PageNum> seen;
+    const DirtyScanStats stats = table.forEachDirty(
+        0, PageTable::maxVpn, [&](PageNum vpn, Pte &pte) {
+            seen.push_back(vpn);
+            pte.setDirty(false);
+        });
+    EXPECT_EQ(seen, (std::vector<PageNum>{5}));
+    // The clean subtree was pruned at the root without descending.
+    EXPECT_GE(stats.skippedSubtrees, 1u);
+    EXPECT_EQ(stats.visitedNodes, 4u); // root + one path down
+}
+
+TEST(PageTableTest, ForEachDirtyHonorsRange)
+{
+    PageTable table;
+    for (PageNum p = 10; p < 20; ++p) {
+        table.map(p, 0);
+        table.noteDirty(p);
+    }
+    std::vector<PageNum> seen;
+    table.forEachDirty(12, 17, [&](PageNum vpn, Pte &pte) {
+        seen.push_back(vpn);
+        pte.setDirty(false);
+    });
+    EXPECT_EQ(seen, (std::vector<PageNum>{12, 13, 14, 15, 16}));
+    // Pages outside the scanned range keep their dirty bits and the
+    // summaries still know about them.
+    EXPECT_TRUE(table.find(11)->dirty());
+    EXPECT_TRUE(table.anyDirty());
+    EXPECT_TRUE(table.dirtySummariesConsistent());
+}
+
+/**
+ * Fuzz the any-dirty-below summaries: after an arbitrary mix of map,
+ * unmap, re-map, dirty, clean, and partial-range scans, every summary
+ * bit must be set iff some present descendant PTE is dirty, and the
+ * pruned scan must report exactly the reference dirty set.
+ */
+TEST(PageTableTest, DirtySummaryInvariantUnderRandomOps)
+{
+    PageTable table;
+    Rng rng(0x5eedULL);
+    // A sparse universe crossing all four radix levels.
+    std::vector<PageNum> universe;
+    for (int i = 0; i < 48; ++i)
+        universe.push_back(rng.nextBounded(PageTable::maxVpn));
+    for (PageNum p = 1000; p < 1032; ++p)
+        universe.push_back(p); // plus one dense leaf
+    std::set<PageNum> mapped;
+    std::set<PageNum> dirty;
+
+    for (int op = 0; op < 5000; ++op) {
+        const PageNum vpn =
+            universe[rng.nextBounded(universe.size())];
+        switch (rng.nextBounded(6)) {
+          case 0:
+            // (Re-)map wipes any prior dirty state of the slot.
+            table.map(vpn, 0);
+            mapped.insert(vpn);
+            dirty.erase(vpn);
+            break;
+          case 1:
+            table.unmap(vpn);
+            mapped.erase(vpn);
+            dirty.erase(vpn);
+            break;
+          case 2:
+            if (mapped.count(vpn)) {
+                table.noteDirty(vpn);
+                dirty.insert(vpn);
+            }
+            break;
+          case 3:
+            table.clearDirty(vpn);
+            dirty.erase(vpn);
+            break;
+          default: {
+            // Partial-range draining scan, like an epoch boundary
+            // over a sub-region.
+            const PageNum lo = rng.nextBounded(PageTable::maxVpn);
+            const PageNum hi =
+                lo + rng.nextBounded(PageTable::maxVpn - lo + 1);
+            std::vector<PageNum> seen;
+            table.forEachDirty(lo, hi, [&](PageNum p, Pte &pte) {
+                seen.push_back(p);
+                pte.setDirty(false);
+            });
+            std::vector<PageNum> expected(
+                dirty.lower_bound(lo), dirty.lower_bound(hi));
+            ASSERT_EQ(seen, expected)
+                << "scan [" << lo << ", " << hi << ") diverged";
+            dirty.erase(dirty.lower_bound(lo), dirty.lower_bound(hi));
+            break;
+          }
+        }
+        if (op % 97 == 0) {
+            ASSERT_TRUE(table.dirtySummariesConsistent())
+                << "summaries inconsistent after op " << op;
+        }
+    }
+
+    ASSERT_TRUE(table.dirtySummariesConsistent());
+    std::vector<PageNum> seen;
+    table.forEachDirty(0, PageTable::maxVpn + 1,
+                       [&](PageNum p, Pte &pte) {
+                           seen.push_back(p);
+                           pte.setDirty(false);
+                       });
+    EXPECT_EQ(seen,
+              std::vector<PageNum>(dirty.begin(), dirty.end()));
+    EXPECT_FALSE(table.anyDirty());
 }
 
 // ---------------------------------------------------------------------
@@ -340,6 +485,50 @@ TEST_F(MmuFixture, StaleTlbHidesRewrites)
             was_dirty = was;
     });
     EXPECT_FALSE(was_dirty);
+}
+
+TEST_F(MmuFixture, LegacyWalkMatchesHierarchicalScan)
+{
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(1, true);
+    mmu.access(7, true);
+    std::vector<PageNum> hier;
+    mmu.scanAndClearDirty(0, 16, true, [&](PageNum vpn, bool was) {
+        if (was)
+            hier.push_back(vpn);
+    });
+    EXPECT_EQ(hier, (std::vector<PageNum>{1, 7}));
+
+    // Redirty the same pages and rescan on the legacy full walk: the
+    // dirty report is identical, but every present page is visited.
+    mmu.access(1, true);
+    mmu.access(7, true);
+    std::vector<PageNum> legacy;
+    std::uint64_t visited = 0;
+    mmu.scanAndClearDirty(
+        0, 16, true,
+        [&](PageNum vpn, bool was) {
+            ++visited;
+            if (was)
+                legacy.push_back(vpn);
+        },
+        /*legacy_walk=*/true);
+    EXPECT_EQ(legacy, hier);
+    EXPECT_EQ(visited, 16u);
+    EXPECT_TRUE(mmu.pageTable().dirtySummariesConsistent());
+}
+
+TEST_F(MmuFixture, HierarchicalScanCountsSkippedSubtrees)
+{
+    mmu.mapPage(1ULL << 30, /*writable=*/false); // far-away subtree
+    mmu.setWriteFaultHandler(
+        [&](PageNum vpn) { mmu.unprotectPage(vpn); });
+    mmu.access(1, true);
+    mmu.scanAndClearDirty(0, (1ULL << 30) + 1, true,
+                          [](PageNum, bool) {});
+    EXPECT_GE(ctx.stats().counterValue("mmu.scan_skipped_subtrees"),
+              1u);
 }
 
 TEST_F(MmuFixture, AccessRangeTouchesSpannedPages)

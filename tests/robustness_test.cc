@@ -39,8 +39,7 @@ class LimitedBackend : public PagingBackend
     void unprotectPage(PageNum p) override { protected_[p] = 0; }
 
     void
-    scanAndClearDirty(
-        bool, const std::function<void(PageNum, bool)> &fn) override
+    scanAndClearDirty(bool, FunctionRef<void(PageNum, bool)> fn) override
     {
         for (PageNum p = 0; p < protected_.size(); ++p)
             fn(p, false);
