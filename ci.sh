@@ -24,4 +24,19 @@ cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-sanitize -j "${JOBS}"
 ctest --test-dir build-sanitize --output-on-failure -j "${JOBS}"
 
+# Seed-randomized torture pass: every CI run explores a different
+# power-cut/fault trajectory under the sanitizers.  The fixed-seed
+# torture runs above are regression tests; this one is the search.
+# A failure replays exactly with the printed seed (see EXPERIMENTS.md).
+TORTURE_SEED=${VIYOJIT_TORTURE_SEED:-$(( $(date +%s) ^ $$ ))}
+echo "=== Randomized torture run (VIYOJIT_TORTURE_SEED=${TORTURE_SEED}) ==="
+if ! VIYOJIT_TORTURE_SEED="${TORTURE_SEED}" \
+     ./build-sanitize/tests/torture_test \
+     --gtest_filter='TortureTest.SurvivesSeededPowerCutsUnderFaultInjection'
+then
+    echo "torture run FAILED; replay with:" >&2
+    echo "  VIYOJIT_TORTURE_SEED=${TORTURE_SEED} ./build-sanitize/tests/torture_test" >&2
+    exit 1
+fi
+
 echo "=== CI OK: both configurations green ==="

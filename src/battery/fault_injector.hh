@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Seeded runtime battery-degradation injector.
+ *
+ * The paper's section 8 argues Viyojit can absorb battery cell
+ * failures by retuning the dirty budget at runtime; the injector
+ * produces those events.  On a periodic virtual-time tick it draws
+ * from a seeded stream and fires cell failures (a step increase in
+ * the failed-cell fraction), accelerated fade (a step increase in
+ * pack age), and occasional recoveries (pack service halving the
+ * failed fraction).  Each event flows through the battery's
+ * capacity-listener hook, so whatever is attached — a safe-mode
+ * governor, a multi-tenant budget broker — reacts exactly as it
+ * would to real telemetry.
+ */
+
+#ifndef VIYOJIT_BATTERY_FAULT_INJECTOR_HH
+#define VIYOJIT_BATTERY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "battery/battery.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/context.hh"
+
+namespace viyojit::battery
+{
+
+/** Degradation-event probabilities, drawn once per check interval. */
+struct BatteryFaultConfig
+{
+    /** Seed of the event stream (deterministic replay). */
+    std::uint64_t seed = 1;
+
+    /** Virtual time between event draws. */
+    Tick checkInterval = 10_ms;
+
+    /** Probability a check fails another batch of cells. */
+    double cellFailureProb = 0.0;
+
+    /** Failed-cell fraction added per failure event. */
+    double cellFailureStep = 0.05;
+
+    /** Ceiling on the injected failed fraction. */
+    double maxFailedFraction = 0.6;
+
+    /** Probability a check ages the pack by `fadeStepYears`. */
+    double fadeProb = 0.0;
+
+    /** Years of fade per fade event. */
+    double fadeStepYears = 0.25;
+
+    /** Probability a check halves the failed fraction (service). */
+    double recoveryProb = 0.0;
+};
+
+/** Lifetime counters of one injector. */
+struct BatteryFaultStats
+{
+    std::uint64_t cellFailureEvents = 0;
+    std::uint64_t fadeEvents = 0;
+    std::uint64_t recoveryEvents = 0;
+};
+
+/** Drives seeded degradation events into one battery pack. */
+class BatteryFaultInjector
+{
+  public:
+    BatteryFaultInjector(sim::SimContext &ctx, Battery &battery,
+                         const BatteryFaultConfig &config);
+
+    /** Begin periodic event draws (idempotent restart: reseeds nothing). */
+    void start();
+
+    /** Stop; pending draws become no-ops. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    const BatteryFaultStats &stats() const { return stats_; }
+
+    const BatteryFaultConfig &config() const { return config_; }
+
+  private:
+    void scheduleNext();
+    void tick();
+
+    sim::SimContext &ctx_;
+    Battery &battery_;
+    BatteryFaultConfig config_;
+    Rng rng_;
+
+    bool running_ = false;
+    std::uint64_t generation_ = 0;
+    BatteryFaultStats stats_;
+};
+
+} // namespace viyojit::battery
+
+#endif // VIYOJIT_BATTERY_FAULT_INJECTOR_HH

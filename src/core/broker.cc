@@ -35,6 +35,7 @@ BatteryBudgetBroker::addTenant(ViyojitManager &manager,
 
     tenants_.push_back(
         Tenant{&manager, policy, manager.controller().dirtyBudget()});
+    recomputeEffectiveMins();
     rebalance();
 }
 
@@ -56,12 +57,12 @@ BatteryBudgetBroker::rebalance()
     if (tenants_.empty())
         return;
 
-    // Pass 1: demands, floored at the guaranteed minimum.
+    // Pass 1: demands, floored at the (possibly scaled) minimum.
     std::vector<std::uint64_t> target(tenants_.size());
     std::uint64_t total_demand = 0;
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
-        target[i] = std::max(demandOf(tenants_[i]),
-                             tenants_[i].policy.minPages);
+        target[i] =
+            std::max(demandOf(tenants_[i]), tenants_[i].effectiveMin);
         total_demand += target[i];
     }
 
@@ -88,10 +89,10 @@ BatteryBudgetBroker::rebalance()
         std::uint64_t total_min = 0;
         double weighted_excess = 0.0;
         for (std::size_t i = 0; i < tenants_.size(); ++i) {
-            total_min += tenants_[i].policy.minPages;
+            total_min += tenants_[i].effectiveMin;
             weighted_excess +=
                 static_cast<double>(target[i] -
-                                    tenants_[i].policy.minPages) *
+                                    tenants_[i].effectiveMin) *
                 tenants_[i].policy.weight;
         }
         const std::uint64_t distributable = totalPages_ - total_min;
@@ -99,7 +100,7 @@ BatteryBudgetBroker::rebalance()
         for (std::size_t i = 0; i < tenants_.size(); ++i) {
             const double excess =
                 static_cast<double>(target[i] -
-                                    tenants_[i].policy.minPages) *
+                                    tenants_[i].effectiveMin) *
                 tenants_[i].policy.weight;
             const auto share =
                 weighted_excess > 0.0
@@ -107,7 +108,7 @@ BatteryBudgetBroker::rebalance()
                           static_cast<double>(distributable) * excess /
                           weighted_excess)
                     : 0;
-            target[i] = tenants_[i].policy.minPages + share;
+            target[i] = tenants_[i].effectiveMin + share;
             handed += share;
         }
         VIYOJIT_ASSERT(handed <= distributable,
@@ -130,17 +131,76 @@ BatteryBudgetBroker::rebalance()
 }
 
 void
+BatteryBudgetBroker::recomputeEffectiveMins()
+{
+    std::uint64_t total_min = 0;
+    for (const Tenant &tenant : tenants_)
+        total_min += tenant.policy.minPages;
+
+    if (total_min <= totalPages_) {
+        for (Tenant &tenant : tenants_)
+            tenant.effectiveMin = tenant.policy.minPages;
+        return;
+    }
+
+    // The machine budget no longer covers the contracted floors.
+    // Oversubscribing would break the durability invariant for every
+    // tenant at once, so scale the floors proportionally instead —
+    // each tenant keeps at least one page.
+    if (tenants_.size() > totalPages_)
+        fatal("machine budget (", totalPages_,
+              ") cannot give each of ", tenants_.size(),
+              " tenants even one page");
+    warn("machine budget (", totalPages_,
+         ") below the sum of tenant minimums (", total_min,
+         "); scaling contracted floors proportionally");
+
+    std::uint64_t handed = 0;
+    for (Tenant &tenant : tenants_) {
+        const auto scaled = static_cast<std::uint64_t>(
+            static_cast<double>(tenant.policy.minPages) *
+            static_cast<double>(totalPages_) /
+            static_cast<double>(total_min));
+        tenant.effectiveMin = std::max<std::uint64_t>(1, scaled);
+        handed += tenant.effectiveMin;
+    }
+    // The one-page floor can overshoot a tiny budget; trim the
+    // largest floors back until the sum fits.
+    while (handed > totalPages_) {
+        Tenant *largest = nullptr;
+        for (Tenant &tenant : tenants_)
+            if (tenant.effectiveMin > 1 &&
+                (!largest ||
+                 tenant.effectiveMin > largest->effectiveMin))
+                largest = &tenant;
+        VIYOJIT_ASSERT(largest != nullptr,
+                       "cannot trim floors below one page each");
+        --largest->effectiveMin;
+        --handed;
+    }
+}
+
+void
 BatteryBudgetBroker::setTotalPages(std::uint64_t total_pages)
 {
     if (total_pages == 0)
         fatal("broker needs a non-zero machine budget");
-    std::uint64_t total_min = 0;
-    for (const Tenant &tenant : tenants_)
-        total_min += tenant.policy.minPages;
-    if (total_min > total_pages)
-        fatal("machine budget below the sum of tenant minimums");
     totalPages_ = total_pages;
+    recomputeEffectiveMins();
     rebalance();
+}
+
+void
+BatteryBudgetBroker::attachBattery(
+    battery::Battery &battery,
+    const battery::DirtyBudgetCalculator &calc,
+    std::uint64_t page_size)
+{
+    battery.addCapacityListener(
+        [this, calc, page_size](double effective_joules) {
+            setTotalPages(std::max<std::uint64_t>(
+                1, calc.budgetPages(effective_joules, page_size)));
+        });
 }
 
 std::uint64_t

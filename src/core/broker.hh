@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "battery/battery.hh"
 #include "core/manager.hh"
 
 namespace viyojit::core
@@ -60,9 +61,23 @@ class BatteryBudgetBroker
 
     /**
      * Machine-level budget change (battery fade or recovery);
-     * triggers a rebalance.
+     * triggers a rebalance.  When the new budget no longer covers
+     * the sum of tenant minimums, the contracted floors are scaled
+     * down proportionally (each tenant keeps at least one page) with
+     * a warn() — a degraded machine cannot honour contracts written
+     * against a healthy battery, but it must not oversubscribe what
+     * is left.
      */
     void setTotalPages(std::uint64_t total_pages);
+
+    /**
+     * Subscribe the broker to a battery: every capacity change
+     * re-derives the machine budget through `calc` and rebalances.
+     * The broker must outlive the battery's notifications.
+     */
+    void attachBattery(battery::Battery &battery,
+                       const battery::DirtyBudgetCalculator &calc,
+                       std::uint64_t page_size);
 
     std::uint64_t totalPages() const { return totalPages_; }
 
@@ -78,6 +93,13 @@ class BatteryBudgetBroker
         TenantPolicy policy;
         std::uint64_t allocation = 0;
 
+        /**
+         * Floor actually honoured this rebalance: the contracted
+         * minimum, scaled down when the machine budget no longer
+         * covers all contracts.
+         */
+        std::uint64_t effectiveMin = 0;
+
         /** Fault counter at the last rebalance (thrash detection). */
         std::uint64_t lastWriteFaults = 0;
     };
@@ -90,6 +112,9 @@ class BatteryBudgetBroker
      * grow a thrashing tenant without it.
      */
     static std::uint64_t demandOf(Tenant &tenant);
+
+    /** Recompute per-tenant effective minimums against totalPages_. */
+    void recomputeEffectiveMins();
 
     std::vector<Tenant> tenants_;
     std::uint64_t totalPages_;

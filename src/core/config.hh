@@ -82,6 +82,31 @@ struct ViyojitConfig
     bool enforceBudget = true;
 
     /**
+     * Maximum submit attempts per page copy before the copy is
+     * abandoned (async paths report onPersistAborted and leave the
+     * page dirty for a later pass; blocking paths escalate to
+     * fatal()).  Only reachable when the SSD has a fault model.
+     */
+    unsigned maxIoRetries = 8;
+
+    /** First retry backoff; attempt k waits base * 2^(k-1). */
+    Tick retryBackoffBase = 50_us;
+
+    /** Ceiling on the exponential backoff. */
+    Tick retryBackoffCap = 2_ms;
+
+    /**
+     * Per-attempt IO timeout; 0 disables.  An attempt whose service
+     * time exceeds the deadline is abandoned at the deadline (its
+     * straggling completion is ignored) and the copy is retried —
+     * the tail-latency hedge production flushes need.
+     */
+    Tick ioTimeout = 0;
+
+    /** Seed of the retry-jitter stream (deterministic replay). */
+    std::uint64_t retrySeed = 0x7e57ab1e;
+
+    /**
      * Run the epoch boundary on the pre-optimization O(mapped-pages)
      * paths: eager per-epoch history shifts, a full page-table walk
      * for the dirty-bit scan, and the sort-based victim queue

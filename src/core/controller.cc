@@ -224,6 +224,21 @@ DirtyBudgetController::onPersistComplete(PageNum page)
 }
 
 void
+DirtyBudgetController::onPersistAborted(PageNum page)
+{
+    VIYOJIT_ASSERT(inFlight_[page], "abort for idle page");
+    inFlight_[page] = 0;
+    --inFlightCount_;
+    ++stats_.abortedCopies;
+    // The page is still dirty and still counted against the budget,
+    // so the section-4.1 invariant holds; it is also still protected,
+    // so the next write faults into the dirty-but-protected readmit
+    // path.  A later pump or emergency flush re-copies it.
+    if (config_.continuousCopyTrigger)
+        pumpProactiveCopies();
+}
+
+void
 DirtyBudgetController::setDirtyBudget(std::uint64_t pages)
 {
     if (pages == 0)

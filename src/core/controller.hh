@@ -41,6 +41,9 @@ struct ControllerStats
     std::uint64_t proactiveCopies = 0;
     std::uint64_t inFlightWaits = 0;
     std::uint64_t epochs = 0;
+
+    /** Copies abandoned after the backend exhausted its IO retries. */
+    std::uint64_t abortedCopies = 0;
 };
 
 /** Dirty-budget enforcement engine. */
@@ -74,6 +77,15 @@ class DirtyBudgetController
 
     /** Called by the backend when an async page copy completes. */
     void onPersistComplete(PageNum page);
+
+    /**
+     * Called by the backend when an async page copy is abandoned
+     * (IO retries exhausted, device fault).  The page stays dirty —
+     * and budget-accounted — so durability is unaffected; it remains
+     * write-protected until the next fault readmits it or a later
+     * pump/flush copies it again.
+     */
+    void onPersistAborted(PageNum page);
 
     /**
      * Retune the budget at runtime (battery fade, section 8).  If the

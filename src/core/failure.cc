@@ -30,7 +30,9 @@ PowerFailureInjector::inject()
 double
 PowerFailureInjector::currentHeadroomJoules() const
 {
-    const double bandwidth = manager_.ssd().config().writeBandwidth;
+    // Use the wear-degraded bandwidth: headroom against the device we
+    // actually have, not the one on the spec sheet.
+    const double bandwidth = manager_.ssd().effectiveWriteBandwidth();
     const double flush_seconds =
         static_cast<double>(manager_.dirtyBytes()) / bandwidth;
     const double needed = flush_seconds * power_.flushWatts();

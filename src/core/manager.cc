@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 
 #include "common/logging.hh"
 
@@ -45,41 +46,204 @@ ViyojitManager::SimBackend::scanAndClearDirty(
                                 mgr_.config_.legacyEpochScan);
 }
 
+Tick
+ViyojitManager::SimBackend::backoffFor(unsigned attempt)
+{
+    // attempt is 1-based: the first retry waits base, then doubles.
+    const Tick base = mgr_.config_.retryBackoffBase;
+    const Tick cap = std::max<Tick>(mgr_.config_.retryBackoffCap, base);
+    Tick backoff = base;
+    for (unsigned i = 1; i < attempt && backoff < cap; ++i)
+        backoff *= 2;
+    backoff = std::min(backoff, cap);
+    // Decorrelating jitter in [0, backoff/2] keeps retry storms from
+    // re-synchronizing on the bandwidth channel.
+    return backoff + jitterRng_.nextBounded(backoff / 2 + 1);
+}
+
+void
+ViyojitManager::SimBackend::submitAttempt(PageNum page)
+{
+    auto it = inFlight_.find(page);
+    VIYOJIT_ASSERT(it != inFlight_.end(), "attempt for idle page");
+    PendingCopy &io = it->second;
+
+    if (!mgr_.ssd_.canAccept()) {
+        // Device queue saturated (retry storm): hold the attempt back
+        // one backoff period; completions will free slots.
+        const Tick resume =
+            mgr_.ctx_.now() + mgr_.config_.retryBackoffBase;
+        io.nextEvent = resume;
+        const std::uint64_t generation = io.generation;
+        mgr_.ctx_.events().schedule(resume, [this, page, generation]() {
+            auto held = inFlight_.find(page);
+            if (held == inFlight_.end() ||
+                held->second.generation != generation)
+                return;
+            submitAttempt(page);
+        });
+        return;
+    }
+
+    ++io.attempts;
+    const std::uint64_t generation = io.generation;
+    const Tick done = mgr_.ssd_.submitWrite(
+        mgr_.key(page), mgr_.pageContentHash(page),
+        mgr_.config_.pageSize,
+        [this, page, generation](storage::IoStatus status) {
+            onAttemptComplete(page, generation, status);
+        },
+        mgr_.compressedSizeEstimate(page));
+    io.nextEvent = done;
+    io.completion = done;
+
+    // Per-IO timeout: completion times are known at submit in the
+    // model, so a blown deadline is detected deterministically.  The
+    // host abandons the attempt at the deadline; the straggler's
+    // completion is recognized by its stale generation and dropped.
+    // Not armed during the power-failure flush: with nothing left to
+    // serve, waiting out a straggler always beats abandoning it.
+    const Tick timeout = mgr_.config_.ioTimeout;
+    if (timeout != 0 && !mgr_.lastGaspFlush_ &&
+        done > mgr_.ctx_.now() + timeout) {
+        const Tick deadline = mgr_.ctx_.now() + timeout;
+        io.nextEvent = deadline;
+        mgr_.ctx_.events().schedule(deadline,
+                                    [this, page, generation]() {
+            onAttemptTimeout(page, generation);
+        });
+    }
+}
+
+void
+ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
+                                              std::uint64_t generation,
+                                              storage::IoStatus status)
+{
+    auto it = inFlight_.find(page);
+    if (it == inFlight_.end() || it->second.generation != generation) {
+        ++faultStats_.staleCompletions;
+        mgr_.ctx_.stats().counter("io.stale_completions").increment();
+        return;
+    }
+    if (status == storage::IoStatus::ok) {
+        auto cb = std::move(it->second.onComplete);
+        inFlight_.erase(it);
+        if (cb)
+            cb();
+        return;
+    }
+    retryOrAbort(page);
+}
+
+void
+ViyojitManager::SimBackend::onAttemptTimeout(PageNum page,
+                                             std::uint64_t generation)
+{
+    auto it = inFlight_.find(page);
+    if (it == inFlight_.end() || it->second.generation != generation)
+        return; // the attempt completed before its deadline
+    if (mgr_.lastGaspFlush_) {
+        // Deadline armed before the cut: let the attempt run to its
+        // real completion instead of abandoning it mid-flush.
+        it->second.nextEvent = it->second.completion;
+        return;
+    }
+    ++faultStats_.timeouts;
+    mgr_.ctx_.stats().counter("io.timeouts").increment();
+    // Invalidate the straggler, then treat the attempt as failed.
+    it->second.generation = ++nextGeneration_;
+    retryOrAbort(page);
+}
+
+void
+ViyojitManager::SimBackend::retryOrAbort(PageNum page)
+{
+    auto it = inFlight_.find(page);
+    VIYOJIT_ASSERT(it != inFlight_.end(), "retry for idle page");
+    PendingCopy &io = it->second;
+
+    if (io.attempts >= mgr_.config_.maxIoRetries) {
+        inFlight_.erase(it);
+        ++faultStats_.abortedCopies;
+        mgr_.ctx_.stats().counter("io.aborted_copies").increment();
+        warn("page copy abandoned after ", mgr_.config_.maxIoRetries,
+             " attempts (page ", page, "); left dirty");
+        mgr_.controller_->onPersistAborted(page);
+        return;
+    }
+
+    ++faultStats_.retries;
+    mgr_.ctx_.stats().counter("io.retries").increment();
+    const Tick resume = mgr_.ctx_.now() + backoffFor(io.attempts);
+    io.nextEvent = resume;
+    io.generation = ++nextGeneration_;
+    const std::uint64_t generation = io.generation;
+    mgr_.ctx_.events().schedule(resume, [this, page, generation]() {
+        auto due = inFlight_.find(page);
+        if (due == inFlight_.end() ||
+            due->second.generation != generation)
+            return;
+        submitAttempt(page);
+    });
+}
+
 void
 ViyojitManager::SimBackend::persistPageAsync(
     PageNum page, std::function<void()> on_complete)
 {
-    const Tick done = mgr_.ssd_.writePage(
-        mgr_.key(page), mgr_.pageContentHash(page),
-        mgr_.config_.pageSize,
-        [this, page, cb = std::move(on_complete)]() {
-            inFlight_.erase(page);
-            if (cb)
-                cb();
-        },
-        mgr_.compressedSizeEstimate(page));
-    inFlight_[page] = done;
+    VIYOJIT_ASSERT(!inFlight_.contains(page), "double copy of a page");
+    PendingCopy io;
+    io.generation = ++nextGeneration_;
+    io.onComplete = std::move(on_complete);
+    inFlight_.emplace(page, std::move(io));
+    submitAttempt(page);
 }
 
 void
 ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
 {
-    const Tick done = mgr_.ssd_.writePageSync(
-        mgr_.key(page), mgr_.pageContentHash(page),
-        mgr_.config_.pageSize, mgr_.compressedSizeEstimate(page));
-    mgr_.ctx_.events().runUntil(done);
+    // Bounded inline retry: the blocking paths (fault-path eviction,
+    // vmunmap) cannot abandon the page, so exhaustion is fatal.
+    for (unsigned attempt = 1;
+         attempt <= mgr_.config_.maxIoRetries; ++attempt) {
+        bool ok = false;
+        bool settled = false;
+        const Tick done = mgr_.ssd_.submitWrite(
+            mgr_.key(page), mgr_.pageContentHash(page),
+            mgr_.config_.pageSize,
+            [&ok, &settled](storage::IoStatus status) {
+                ok = status == storage::IoStatus::ok;
+                settled = true;
+            },
+            mgr_.compressedSizeEstimate(page));
+        mgr_.ctx_.events().runUntil(done);
+        VIYOJIT_ASSERT(settled, "blocking write did not complete");
+        if (ok)
+            return;
+        ++faultStats_.retries;
+        mgr_.ctx_.stats().counter("io.retries").increment();
+        if (attempt < mgr_.config_.maxIoRetries) {
+            mgr_.ctx_.events().runUntil(mgr_.ctx_.now() +
+                                        backoffFor(attempt));
+        }
+    }
+    fatal("blocking page persist failed after ",
+          mgr_.config_.maxIoRetries, " attempts (page ", page, ")");
 }
 
 void
 ViyojitManager::SimBackend::waitForPersist(PageNum page)
 {
-    auto it = inFlight_.find(page);
-    if (it == inFlight_.end())
-        return;
-    const Tick done = it->second;
-    mgr_.ctx_.events().runUntil(done);
-    VIYOJIT_ASSERT(!inFlight_.contains(page),
-                   "persist wait did not complete");
+    // The copy may traverse several attempts (completion, backoff,
+    // resubmit); chase its next state-change time until it either
+    // completes or aborts.
+    while (true) {
+        auto it = inFlight_.find(page);
+        if (it == inFlight_.end())
+            return;
+        mgr_.ctx_.events().runUntil(it->second.nextEvent);
+    }
 }
 
 void
@@ -88,8 +252,8 @@ ViyojitManager::SimBackend::waitForAnyPersist()
     if (inFlight_.empty())
         return;
     Tick earliest = maxTick;
-    for (const auto &[page, done] : inFlight_)
-        earliest = std::min(earliest, done);
+    for (const auto &[page, io] : inFlight_)
+        earliest = std::min(earliest, io.nextEvent);
     mgr_.ctx_.events().runUntil(earliest);
 }
 
@@ -257,8 +421,22 @@ void
 ViyojitManager::memWrite(Addr addr, const void *src, std::uint64_t len)
 {
     VIYOJIT_ASSERT(addr + len <= data_.size(), "NV write out of range");
-    write(addr, len);
-    std::memcpy(data_.data() + addr, src, len);
+    // Fault and copy one page at a time.  A later page's admission can
+    // block and run the event loop, where an eviction may pick an
+    // earlier page of this range as victim; its bytes must already be
+    // in memory by then, or the copy persists the pre-write content
+    // and the page goes clean with the new bytes never durable.
+    const char *bytes = static_cast<const char *>(src);
+    std::uint64_t off = 0;
+    while (off < len) {
+        const Addr at = addr + off;
+        const std::uint64_t chunk =
+            std::min(len - off,
+                     config_.pageSize - at % config_.pageSize);
+        write(at, chunk);
+        std::memcpy(data_.data() + at, bytes + off, chunk);
+        off += chunk;
+    }
 }
 
 void
@@ -336,6 +514,7 @@ FlushReport
 ViyojitManager::powerFailureFlush()
 {
     stop();
+    lastGaspFlush_ = true;
     FlushReport report;
     report.dirtyPagesAtFailure = dirtyPageCount();
     const Tick start = ctx_.now();
@@ -344,24 +523,44 @@ ViyojitManager::powerFailureFlush()
         controller_->flushAllDirty();
     } else {
         // Baseline: flush the entire dirty set, pipelining IOs up to
-        // the device queue depth.
+        // the device queue depth.  Failed attempts re-queue until the
+        // page lands (the baseline has no budget to protect, but the
+        // image must still verify).
         std::vector<PageNum> pages = baselineDirty_->dirtyPages();
+        std::deque<PageNum> redo;
         std::size_t submitted = 0;
-        while (submitted < pages.size() || ssd_.outstanding() > 0) {
-            while (submitted < pages.size() && ssd_.canAccept()) {
-                const PageNum p = pages[submitted++];
-                ssd_.writePage(key(p), pageContentHash(p),
-                               config_.pageSize,
-                               [this, p]() {
-                                   baselineDirty_->markClean(p);
-                               },
-                               compressedSizeEstimate(p));
+        while (submitted < pages.size() || !redo.empty() ||
+               ssd_.outstanding() > 0) {
+            while ((submitted < pages.size() || !redo.empty()) &&
+                   ssd_.canAccept()) {
+                PageNum p;
+                if (!redo.empty()) {
+                    p = redo.front();
+                    redo.pop_front();
+                } else {
+                    p = pages[submitted++];
+                }
+                ssd_.submitWrite(key(p), pageContentHash(p),
+                                 config_.pageSize,
+                                 [this, p,
+                                  &redo](storage::IoStatus status) {
+                                     if (status ==
+                                         storage::IoStatus::ok) {
+                                         baselineDirty_->markClean(p);
+                                     } else {
+                                         redo.push_back(p);
+                                     }
+                                 },
+                                 compressedSizeEstimate(p));
             }
-            if (!ctx_.events().runOne())
-                break;
+            if (ssd_.outstanding() > 0) {
+                if (!ctx_.events().runOne())
+                    break;
+            }
         }
     }
 
+    lastGaspFlush_ = false;
     report.bytesFlushed =
         report.dirtyPagesAtFailure * config_.pageSize;
     report.flushDuration = ctx_.now() - start;

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "core/config.hh"
 #include "core/controller.hh"
@@ -40,6 +41,22 @@ struct FlushReport
     std::uint64_t dirtyPagesAtFailure = 0;
     std::uint64_t bytesFlushed = 0;
     Tick flushDuration = 0;
+};
+
+/** IO fault-handling counters (fault model attached to the SSD). */
+struct IoFaultStats
+{
+    /** Attempts resubmitted after an injected error. */
+    std::uint64_t retries = 0;
+
+    /** Attempts abandoned at their per-IO deadline. */
+    std::uint64_t timeouts = 0;
+
+    /** Copies given up after maxIoRetries (page left dirty). */
+    std::uint64_t abortedCopies = 0;
+
+    /** Completions of abandoned attempts, ignored. */
+    std::uint64_t staleCompletions = 0;
 };
 
 /** Simulated NV-DRAM manager with the Viyojit mechanism. */
@@ -124,6 +141,12 @@ class ViyojitManager
     std::uint64_t capacityPages() const { return capacityPages_; }
     std::uint64_t mappedPages() const { return nextFreePage_; }
 
+    /** Retry/timeout/abort counters of the simulated backend. */
+    const IoFaultStats &ioFaultStats() const
+    {
+        return backend_.faultStats();
+    }
+
     /** Content version of a page (test/verification hook). */
     std::uint64_t pageVersion(PageNum page) const;
 
@@ -140,12 +163,22 @@ class ViyojitManager
     std::uint64_t compressedSizeEstimate(PageNum page) const;
 
   private:
-    /** PagingBackend implementation over the simulated substrate. */
+    /**
+     * PagingBackend implementation over the simulated substrate.
+     *
+     * Fault handling: each page copy is a chain of submit attempts.
+     * An attempt that completes with an error — or outlives its
+     * per-IO deadline — is retried after an exponential backoff with
+     * jitter, up to ViyojitConfig::maxIoRetries attempts; exhaustion
+     * aborts the copy (controller_->onPersistAborted, page stays
+     * dirty).  A generation counter per copy makes timed-out
+     * stragglers' completions harmless.
+     */
     class SimBackend : public PagingBackend
     {
       public:
         explicit SimBackend(ViyojitManager &mgr)
-            : mgr_(mgr)
+            : mgr_(mgr), jitterRng_(mgr.config_.retrySeed)
         {}
 
         std::uint64_t pageCount() const override;
@@ -163,9 +196,48 @@ class ViyojitManager
         unsigned outstandingIos() const override;
         bool canSubmit() const override;
 
+        const IoFaultStats &faultStats() const { return faultStats_; }
+
       private:
+        /** One logical page copy (possibly spanning attempts). */
+        struct PendingCopy
+        {
+            /** Next tick at which this copy's state advances. */
+            Tick nextEvent = 0;
+
+            /** Device completion tick of the current attempt. */
+            Tick completion = 0;
+
+            /** Submit attempts made so far. */
+            unsigned attempts = 0;
+
+            /** Invalidates stragglers from abandoned attempts. */
+            std::uint64_t generation = 0;
+
+            std::function<void()> onComplete;
+        };
+
+        /** Launch the next submit attempt for `page`. */
+        void submitAttempt(PageNum page);
+
+        /** Completion of an attempt (any status). */
+        void onAttemptComplete(PageNum page, std::uint64_t generation,
+                               storage::IoStatus status);
+
+        /** The per-IO deadline fired before the attempt completed. */
+        void onAttemptTimeout(PageNum page, std::uint64_t generation);
+
+        /** Schedule a backoff retry, or abort after maxIoRetries. */
+        void retryOrAbort(PageNum page);
+
+        /** Exponential backoff with jitter for attempt `n` (1-based). */
+        Tick backoffFor(unsigned attempt);
+
         ViyojitManager &mgr_;
-        std::unordered_map<PageNum, Tick> inFlight_;
+        std::unordered_map<PageNum, PendingCopy> inFlight_;
+        Rng jitterRng_;
+        std::uint64_t nextGeneration_ = 0;
+        IoFaultStats faultStats_;
     };
 
     void scheduleNextEpoch();
@@ -189,6 +261,16 @@ class ViyojitManager
 
     PageNum nextFreePage_ = 0;
     bool running_ = false;
+
+    /**
+     * The per-IO timeout exists to bound tail latency for foreground
+     * service; during the last-gasp power-failure flush there is no
+     * foreground, and abandoning attempts could make a device slower
+     * than the timeout unable to persist anything.  Timeouts are
+     * disarmed while this is set.
+     */
+    bool lastGaspFlush_ = false;
+
     std::uint64_t epochGeneration_ = 0;
 };
 

@@ -13,7 +13,8 @@ RecoveryManager::RecoveryManager(sim::SimContext &ctx,
                                  std::uint64_t page_count,
                                  std::uint64_t page_size,
                                  RestoreStrategy strategy,
-                                 unsigned max_outstanding_reads)
+                                 unsigned max_outstanding_reads,
+                                 unsigned max_read_retries)
     : ctx_(ctx),
       ssd_(ssd),
       regionId_(region_id),
@@ -21,12 +22,15 @@ RecoveryManager::RecoveryManager(sim::SimContext &ctx,
       pageSize_(page_size),
       strategy_(strategy),
       maxOutstandingReads_(max_outstanding_reads),
+      maxReadRetries_(max_read_retries),
       resident_(page_count, 0)
 {
     if (page_count == 0)
         fatal("nothing to recover");
     if (max_outstanding_reads == 0)
         fatal("need at least one outstanding read");
+    if (max_read_retries == 0)
+        fatal("need at least one read attempt");
 }
 
 void
@@ -41,19 +45,57 @@ RecoveryManager::markResident(PageNum page)
 }
 
 Tick
-RecoveryManager::issueRead(PageNum page)
+RecoveryManager::issueRead(PageNum page, unsigned attempt,
+                           bool background)
 {
-    const Tick done = ssd_.readPage(
+    const Tick done = ssd_.submitRead(
         storage::StorageKey{regionId_, page}, pageSize_,
-        [this, page]() {
-            inFlight_.erase(page);
-            markResident(page);
-            // A completed slot frees capacity for the sweep.
-            if (strategy_ != RestoreStrategy::demandOnly)
-                pumpBackground();
+        [this, page, attempt, background](storage::IoStatus status) {
+            onReadDone(page, attempt, background, status);
         });
     inFlight_[page] = done;
     return done;
+}
+
+void
+RecoveryManager::onReadDone(PageNum page, unsigned attempt,
+                            bool background, storage::IoStatus status)
+{
+    if (status == storage::IoStatus::ok) {
+        inFlight_.erase(page);
+        markResident(page);
+        // A completed slot frees capacity for the sweep.
+        if (strategy_ != RestoreStrategy::demandOnly)
+            pumpBackground();
+        return;
+    }
+
+    if (background) {
+        // Don't stall the sequential pass behind one flaky page:
+        // skip it now, revisit after the rest of the sweep.
+        inFlight_.erase(page);
+        ++stats_.sweepSkips;
+        ctx_.stats().counter("recovery.sweep_skips").increment();
+        revisit_.push_back(page);
+        pumpBackground();
+        return;
+    }
+
+    // Demand fetch: a foreground request is blocked on this page, so
+    // retry in place with a growing backoff.
+    if (attempt >= maxReadRetries_)
+        fatal("demand fetch of page ", page, " failed after ",
+              maxReadRetries_, " attempts");
+    ++stats_.readRetries;
+    ctx_.stats().counter("recovery.read_retries").increment();
+    const Tick resume =
+        ctx_.now() + 20_us * (Tick{1} << std::min(attempt - 1, 6u));
+    inFlight_[page] = resume;
+    ctx_.events().schedule(resume, [this, page, attempt]() {
+        if (resident_[page] || !inFlight_.contains(page))
+            return;
+        issueRead(page, attempt + 1, /*background=*/false);
+    });
 }
 
 void
@@ -62,17 +104,30 @@ RecoveryManager::pumpBackground()
     if (!started_ || strategy_ == RestoreStrategy::demandOnly)
         return;
     while (inFlight_.size() < maxOutstandingReads_ &&
-           sweepCursor_ < pageCount_) {
-        // Skip pages already resident (demand-fetched) or queued.
-        if (resident_[sweepCursor_] ||
-            inFlight_.contains(sweepCursor_)) {
+           (sweepCursor_ < pageCount_ || !revisit_.empty())) {
+        PageNum page;
+        if (sweepCursor_ < pageCount_) {
+            page = sweepCursor_;
+            // Skip pages already resident (demand-fetched) or queued.
+            if (resident_[page] || inFlight_.contains(page)) {
+                ++sweepCursor_;
+                continue;
+            }
+            if (!ssd_.canAccept())
+                break;
             ++sweepCursor_;
-            continue;
+        } else {
+            // Revisit pass: pages whose background read failed.
+            page = revisit_.front();
+            revisit_.pop_front();
+            if (resident_[page] || inFlight_.contains(page))
+                continue;
+            if (!ssd_.canAccept()) {
+                revisit_.push_front(page);
+                break;
+            }
         }
-        if (!ssd_.canAccept())
-            break;
-        issueRead(sweepCursor_);
-        ++sweepCursor_;
+        issueRead(page, 1, /*background=*/true);
         ++stats_.backgroundFetches;
     }
 }
@@ -93,23 +148,28 @@ RecoveryManager::access(PageNum page)
         return 0;
 
     const Tick start = ctx_.now();
-    auto it = inFlight_.find(page);
-    Tick done;
-    if (it != inFlight_.end()) {
-        done = it->second;
-    } else if (strategy_ == RestoreStrategy::eager) {
+    if (strategy_ == RestoreStrategy::eager) {
         // No demand path: wait for the sweep to reach the page.
         while (!resident_[page]) {
             if (!ctx_.events().runOne())
                 panic("eager restore stalled before page ", page);
         }
         return ctx_.now() - start;
-    } else {
-        ++stats_.demandFetches;
-        done = issueRead(page);
     }
-    ctx_.events().runUntil(done);
-    VIYOJIT_ASSERT(resident_[page], "page-in did not complete");
+
+    // Chase the page until it lands: an in-flight read may traverse
+    // several attempts (completion, backoff, resubmit), and a pending
+    // background read that fails is skipped — in which case we take
+    // over with a demand fetch.
+    while (!resident_[page]) {
+        auto it = inFlight_.find(page);
+        if (it == inFlight_.end()) {
+            ++stats_.demandFetches;
+            issueRead(page, 1, /*background=*/false);
+            it = inFlight_.find(page);
+        }
+        ctx_.events().runUntil(it->second);
+    }
     return ctx_.now() - start;
 }
 

@@ -21,6 +21,7 @@
 #define VIYOJIT_CORE_RECOVERY_HH
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,15 @@ struct RecoveryStats
     std::uint64_t demandFetches = 0;
     std::uint64_t backgroundFetches = 0;
 
+    /** Read attempts retried after an injected device error. */
+    std::uint64_t readRetries = 0;
+
+    /**
+     * Background reads that failed and were skipped; the sweep
+     * revisits them after the rest of the pass.
+     */
+    std::uint64_t sweepSkips = 0;
+
     /** Virtual time at which every page became resident. */
     Tick fullyResidentAt = 0;
 };
@@ -65,7 +75,8 @@ class RecoveryManager
     RecoveryManager(sim::SimContext &ctx, storage::Ssd &ssd,
                     std::uint32_t region_id, std::uint64_t page_count,
                     std::uint64_t page_size, RestoreStrategy strategy,
-                    unsigned max_outstanding_reads = 16);
+                    unsigned max_outstanding_reads = 16,
+                    unsigned max_read_retries = 8);
 
     /** Start restoring (begins the background/eager sweep). */
     void begin();
@@ -94,8 +105,17 @@ class RecoveryManager
     /** Launch background reads up to the queue depth. */
     void pumpBackground();
 
-    /** Issue one read for `page`; returns its completion time. */
-    Tick issueRead(PageNum page);
+    /**
+     * Issue read attempt `attempt` (1-based) for `page`; returns its
+     * completion time.  Failed demand attempts retry after a backoff
+     * up to max_read_retries, then escalate to fatal(); failed
+     * background attempts are skipped and revisited after the sweep.
+     */
+    Tick issueRead(PageNum page, unsigned attempt, bool background);
+
+    /** Completion of one read attempt. */
+    void onReadDone(PageNum page, unsigned attempt, bool background,
+                    storage::IoStatus status);
 
     void markResident(PageNum page);
 
@@ -106,12 +126,17 @@ class RecoveryManager
     std::uint64_t pageSize_;
     RestoreStrategy strategy_;
     unsigned maxOutstandingReads_;
+    unsigned maxReadRetries_;
 
     std::vector<std::uint8_t> resident_;
     std::uint64_t residentCount_ = 0;
 
-    /** In-flight reads: page -> completion tick. */
+    /** In-flight reads: page -> next state-change tick (completion
+     *  or retry resubmit). */
     std::unordered_map<PageNum, Tick> inFlight_;
+
+    /** Background reads that failed, awaiting a revisit pass. */
+    std::deque<PageNum> revisit_;
 
     /** Next page the sequential sweep will fetch. */
     PageNum sweepCursor_ = 0;

@@ -1,0 +1,141 @@
+#include "core/safe_mode.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::core
+{
+
+SafeModeGovernor::SafeModeGovernor(ViyojitManager &manager,
+                                   battery::Battery &battery,
+                                   battery::PowerModel power,
+                                   const SafeModeConfig &config)
+    : manager_(manager),
+      battery_(battery),
+      power_(power),
+      config_(config),
+      nominalPages_(manager.controller().dirtyBudget()),
+      derivedPages_(nominalPages_),
+      appliedPages_(nominalPages_)
+{
+    if (config_.minBudgetPages < 2)
+        fatal("safe-mode budget floor below the two-page minimum");
+    if (config_.writeThroughFloorPages < config_.minBudgetPages)
+        fatal("write-through floor below the budget floor");
+    if (config_.bandwidthSafetyFactor <= 0.0 ||
+        config_.bandwidthSafetyFactor > 1.0)
+        fatal("bandwidth safety factor must be in (0, 1]");
+    battery_.addCapacityListener(
+        [this](double /*effective_joules*/) { reevaluate(); });
+    reevaluate();
+}
+
+std::uint64_t
+SafeModeGovernor::deriveBudgetPages() const
+{
+    const double watts = power_.flushWatts();
+    const double seconds =
+        battery_.effectiveJoules() / watts -
+        ticksToSeconds(config_.flushOverheadReserve);
+    if (seconds <= 0.0)
+        return 0;
+
+    double bandwidth = manager_.ssd().effectiveWriteBandwidth() *
+                       config_.bandwidthSafetyFactor;
+    // Every injected error costs a full page transfer, so a flush
+    // under an error rate p needs 1/(1-p) attempts per page on
+    // average; derate the flush rate accordingly.
+    if (const auto *fm = manager_.ssd().faultModel())
+        bandwidth /= fm->expectedWriteAttempts();
+
+    const double bytes = seconds * bandwidth;
+    return static_cast<std::uint64_t>(
+        bytes / static_cast<double>(manager_.config().pageSize));
+}
+
+void
+SafeModeGovernor::reevaluate()
+{
+    derivedPages_ = deriveBudgetPages();
+
+    std::uint64_t target = std::min(derivedPages_, nominalPages_);
+    SafeMode mode = SafeMode::normal;
+    if (derivedPages_ <= config_.writeThroughFloorPages) {
+        // Too degraded to buffer: pin at the floor so every further
+        // write effectively evicts synchronously (write-through).
+        target = config_.minBudgetPages;
+        mode = SafeMode::writeThrough;
+    } else if (target < nominalPages_) {
+        target = std::max(target, config_.minBudgetPages);
+        mode = SafeMode::degraded;
+    }
+
+    apply(target, mode);
+}
+
+void
+SafeModeGovernor::apply(std::uint64_t pages, SafeMode mode)
+{
+    auto &stats = manager_.ctx().stats();
+    if (mode != SafeMode::normal && mode_ == SafeMode::normal) {
+        ++stats_.safeModeEntries;
+        stats.counter("safemode.entries").increment();
+    }
+    if (mode == SafeMode::writeThrough &&
+        mode_ != SafeMode::writeThrough) {
+        ++stats_.writeThroughEntries;
+        stats.counter("safemode.write_through_entries").increment();
+        warn("safe mode: degradation past the write-through floor, "
+             "budget pinned at ", pages, " pages");
+    }
+    mode_ = mode;
+
+    if (pages == appliedPages_)
+        return;
+    if (pages < appliedPages_) {
+        ++stats_.budgetShrinks;
+        stats.counter("safemode.budget_shrinks").increment();
+    } else {
+        ++stats_.budgetGrows;
+        stats.counter("safemode.budget_grows").increment();
+    }
+    appliedPages_ = pages;
+    // Shrinking evicts synchronously down to the new budget, so the
+    // dirty set fits the degraded battery window as soon as this
+    // returns.
+    manager_.setDirtyBudget(pages);
+}
+
+void
+SafeModeGovernor::startPeriodic(Tick interval)
+{
+    if (interval == 0)
+        fatal("periodic reevaluation needs a nonzero interval");
+    periodicRunning_ = true;
+    ++periodicGeneration_;
+    scheduleNext(interval);
+}
+
+void
+SafeModeGovernor::stopPeriodic()
+{
+    periodicRunning_ = false;
+    ++periodicGeneration_;
+}
+
+void
+SafeModeGovernor::scheduleNext(Tick interval)
+{
+    const std::uint64_t generation = periodicGeneration_;
+    auto &ctx = manager_.ctx();
+    ctx.events().schedule(
+        ctx.now() + interval, [this, generation, interval]() {
+            if (!periodicRunning_ || generation != periodicGeneration_)
+                return;
+            reevaluate();
+            scheduleNext(interval);
+        });
+}
+
+} // namespace viyojit::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Safe-mode governor: keeps the section-4.1 durability invariant
+ * true while the hardware degrades underneath it.
+ *
+ * The dirty budget is only safe relative to an assumed flush rate
+ * (battery joules / system watts, SSD bandwidth).  When cells fail,
+ * the pack fades, or the SSD wears — or fault injection models any
+ * of these — the original budget oversubscribes the battery.  The
+ * governor re-derives the budget from the *degraded* flush-time
+ * estimate:
+ *
+ *   usable_seconds = effective_joules / flush_watts
+ *                    - overhead_reserve            (latency tails,
+ *                                                   one retry chain)
+ *   flush_rate     = effective_ssd_bw * safety / expected_attempts
+ *   budget_pages   = usable_seconds * flush_rate / page_size
+ *
+ * and applies it through ViyojitManager::setDirtyBudget (which
+ * synchronously evicts down to the new budget).  Below a floor the
+ * governor gives up on buffering entirely and pins the budget at the
+ * two-page straddling-store minimum — effectively write-through.
+ *
+ * Battery capacity changes drive the governor through the battery's
+ * capacity-listener hook; SSD degradation is picked up on every
+ * reevaluate() (call it after changing the fault model, or run the
+ * periodic mode).
+ */
+
+#ifndef VIYOJIT_CORE_SAFE_MODE_HH
+#define VIYOJIT_CORE_SAFE_MODE_HH
+
+#include <cstdint>
+
+#include "battery/battery.hh"
+#include "core/manager.hh"
+
+namespace viyojit::core
+{
+
+/** Operating mode of a governed manager. */
+enum class SafeMode
+{
+    /** Full configured budget is covered by the battery. */
+    normal,
+
+    /** Budget shrunk to match degraded flush capability. */
+    degraded,
+
+    /**
+     * Degradation too deep for buffering: budget pinned at the
+     * two-page minimum, so every further write is effectively
+     * written through.
+     */
+    writeThrough,
+};
+
+/** Governor tunables. */
+struct SafeModeConfig
+{
+    /** Derived budgets at or below this enter write-through mode. */
+    std::uint64_t writeThroughFloorPages = 8;
+
+    /**
+     * Hard minimum applied budget; 2 is the smallest budget at which
+     * page-straddling stores make progress.
+     */
+    std::uint64_t minBudgetPages = 2;
+
+    /**
+     * Battery time reserved for flush overheads that the bandwidth
+     * term does not model: per-IO latency tails, one full
+     * retry-backoff chain, the epoch in progress at the cut.
+     */
+    Tick flushOverheadReserve = 5_ms;
+
+    /** Derate on the (already degraded) SSD bandwidth. */
+    double bandwidthSafetyFactor = 0.8;
+};
+
+/** Lifetime counters of the governor. */
+struct SafeModeStats
+{
+    /** Transitions out of normal mode. */
+    std::uint64_t safeModeEntries = 0;
+
+    /** Budget reductions applied. */
+    std::uint64_t budgetShrinks = 0;
+
+    /** Budget increases applied (degradation receded). */
+    std::uint64_t budgetGrows = 0;
+
+    /** Transitions into write-through mode. */
+    std::uint64_t writeThroughEntries = 0;
+};
+
+/**
+ * Watches one manager's battery + SSD health and retunes its dirty
+ * budget so a power cut is always survivable.  The governor must
+ * outlive neither the manager nor the battery it is attached to
+ * (it registers a capacity listener on the battery).
+ */
+class SafeModeGovernor
+{
+  public:
+    SafeModeGovernor(ViyojitManager &manager, battery::Battery &battery,
+                     battery::PowerModel power,
+                     const SafeModeConfig &config = {});
+
+    /**
+     * Re-derive the budget from the current battery/SSD health and
+     * apply it if changed.  Called automatically on battery capacity
+     * events; call manually (or via startPeriodic) after SSD health
+     * changes.
+     */
+    void reevaluate();
+
+    /** Reevaluate every `interval` of virtual time. */
+    void startPeriodic(Tick interval);
+
+    /** Stop the periodic reevaluation. */
+    void stopPeriodic();
+
+    SafeMode mode() const { return mode_; }
+
+    /** Budget the last reevaluation derived (before the nominal cap). */
+    std::uint64_t derivedBudgetPages() const { return derivedPages_; }
+
+    /** Budget currently applied to the manager. */
+    std::uint64_t appliedBudgetPages() const { return appliedPages_; }
+
+    const SafeModeStats &stats() const { return stats_; }
+
+    const SafeModeConfig &config() const { return config_; }
+
+  private:
+    std::uint64_t deriveBudgetPages() const;
+    void apply(std::uint64_t pages, SafeMode mode);
+    void scheduleNext(Tick interval);
+
+    ViyojitManager &manager_;
+    battery::Battery &battery_;
+    battery::PowerModel power_;
+    SafeModeConfig config_;
+
+    /** The configured (healthy-hardware) budget: never exceeded. */
+    std::uint64_t nominalPages_;
+
+    std::uint64_t derivedPages_;
+    std::uint64_t appliedPages_;
+    SafeMode mode_ = SafeMode::normal;
+    SafeModeStats stats_;
+
+    bool periodicRunning_ = false;
+    std::uint64_t periodicGeneration_ = 0;
+};
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_SAFE_MODE_HH

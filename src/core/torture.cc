@@ -1,0 +1,275 @@
+#include "core/torture.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "battery/fault_injector.hh"
+#include "common/rng.hh"
+#include "core/failure.hh"
+#include "core/manager.hh"
+#include "core/safe_mode.hh"
+#include "mmu/mmu.hh"
+#include "sim/context.hh"
+#include "storage/ssd.hh"
+
+namespace viyojit::core
+{
+
+namespace
+{
+
+/**
+ * Size the battery so the healthy-hardware derived budget sits ~30%
+ * above the nominal dirty budget: big enough that the governor idles
+ * while everything is healthy, small enough that injected battery or
+ * SSD degradation genuinely forces safe-mode shrinks.
+ */
+battery::BatteryConfig
+sizeBattery(const TortureConfig &torture, const storage::SsdConfig &ssd,
+            const SafeModeConfig &safe, const battery::PowerModel &power,
+            std::uint64_t page_size)
+{
+    const double attempts = 1.0 / (1.0 - torture.writeErrorProb);
+    const double flush_rate =
+        ssd.writeBandwidth * safe.bandwidthSafetyFactor / attempts;
+    const double payload_seconds =
+        static_cast<double>(torture.dirtyBudgetPages * page_size) /
+        flush_rate;
+    const double window_seconds =
+        ticksToSeconds(safe.flushOverheadReserve) +
+        payload_seconds * 1.3;
+
+    battery::BatteryConfig config;
+    config.nominalJoules = window_seconds * power.flushWatts() /
+                           (config.chemistryDerate *
+                            config.depthOfDischarge);
+    return config;
+}
+
+} // namespace
+
+TortureResult
+runTorture(const TortureConfig &torture)
+{
+    Rng rng(torture.seed);
+    TortureResult result;
+    result.minHeadroomJoules = std::numeric_limits<double>::max();
+
+    sim::SimContext ctx;
+
+    // A deliberately slow SSD: page transfers dominate the battery
+    // window, so degradation moves the derived budget gradually
+    // instead of snapping straight to write-through.
+    storage::SsdConfig ssd_config;
+    ssd_config.writeBandwidth = 50.0e6;
+    ssd_config.readBandwidth = 100.0e6;
+    ssd_config.perIoLatency = 80_us;
+    storage::Ssd ssd(ctx, ssd_config);
+
+    storage::FaultModelConfig fault_config;
+    fault_config.seed = rng.next();
+    fault_config.writeErrorProb = torture.writeErrorProb;
+    fault_config.readErrorProb = torture.readErrorProb;
+    fault_config.tailLatencyProb = torture.tailLatencyProb;
+    ssd.setFaultModel(
+        std::make_unique<storage::FaultModel>(fault_config));
+
+    ViyojitConfig config;
+    config.dirtyBudgetPages = torture.dirtyBudgetPages;
+    config.maxIoRetries = 6;
+    config.retryBackoffBase = 10_us;
+    config.retryBackoffCap = 200_us;
+    // Generous deadline: tight enough to exist, loose enough that a
+    // saturated device queue does not cascade into timeout storms.
+    config.ioTimeout = 10_ms;
+    config.retrySeed = rng.next();
+
+    SafeModeConfig safe_config;
+    safe_config.flushOverheadReserve = 2_ms;
+    safe_config.writeThroughFloorPages = 4;
+
+    const battery::PowerModel power;
+    battery::Battery battery(
+        sizeBattery(torture, ssd_config, safe_config, power,
+                    config.pageSize));
+
+    ViyojitManager manager(ctx, ssd, config, mmu::MmuCostModel{},
+                           torture.regionPages);
+    const Addr base = manager.vmmap(torture.regionPages *
+                                    config.pageSize);
+    manager.start();
+
+    SafeModeGovernor governor(manager, battery, power, safe_config);
+
+    battery::BatteryFaultConfig battery_faults;
+    battery_faults.seed = rng.next();
+    battery_faults.checkInterval = 1_ms;
+    battery_faults.cellFailureProb = 0.15;
+    battery_faults.cellFailureStep = 0.05;
+    battery_faults.maxFailedFraction = 0.4;
+    battery_faults.fadeProb = 0.02;
+    battery_faults.fadeStepYears = 0.25;
+    battery_faults.recoveryProb = 0.2;
+    battery::BatteryFaultInjector battery_injector(ctx, battery,
+                                                   battery_faults);
+    battery_injector.start();
+
+    PowerFailureInjector cutter(manager, battery, power);
+
+    std::vector<char> payload(config.pageSize);
+    const std::uint64_t region_bytes =
+        torture.regionPages * config.pageSize;
+
+    auto fail = [&](std::uint64_t cut, const std::string &detail) {
+        result.passed = false;
+        result.failingCut = cut;
+        result.failureDetail = detail;
+    };
+
+    // Debug invariant: a settled (clean, idle) written page must match
+    // the durable image — anything else would survive a cut wrong.
+    auto paranoidCheck = [&](std::uint64_t cut, std::uint64_t op) {
+        for (PageNum p = 0; p < manager.mappedPages(); ++p) {
+            if (manager.pageVersion(p) == 0 ||
+                manager.controller().tracker().isDirty(p) ||
+                manager.controller().isInFlight(p))
+                continue;
+            if (ssd.durableHash(storage::StorageKey{0, p}) ==
+                manager.pageContentHash(p))
+                continue;
+            std::ostringstream oss;
+            oss << "paranoid: settled page " << p << " v"
+                << manager.pageVersion(p)
+                << " does not match the image (cut " << cut << ", op "
+                << op << ")";
+            fail(cut, oss.str());
+            return false;
+        }
+        return true;
+    };
+
+    for (std::uint64_t cut = 1;
+         result.passed && cut <= torture.cuts; ++cut) {
+        // Random ops, interleaved with partial event-queue drains so
+        // IO completions, epochs, and battery events mix with writes.
+        const std::uint64_t ops =
+            1 + rng.nextBounded(torture.maxOpsPerRound);
+        for (std::uint64_t op = 0; op < ops; ++op) {
+            if (rng.nextBool(0.9)) {
+                const std::uint64_t len =
+                    1 + rng.nextBounded(config.pageSize);
+                const Addr addr =
+                    base + rng.nextBounded(region_bytes - len);
+                for (std::uint64_t i = 0; i < len; ++i)
+                    payload[i] = static_cast<char>(rng.next());
+                manager.memWrite(addr, payload.data(), len);
+            } else {
+                const std::uint64_t len =
+                    1 + rng.nextBounded(config.pageSize);
+                manager.read(base + rng.nextBounded(region_bytes - len),
+                             len);
+            }
+            if (rng.nextBool(0.25))
+                ctx.events().runSteps(rng.nextBounded(8));
+            if (torture.paranoid && !paranoidCheck(cut, op))
+                break;
+        }
+        if (!result.passed)
+            break;
+
+        // Runtime degradation: SSD wear redraws and battery pack
+        // service, on top of the periodic battery fault events.
+        if (rng.nextBool(torture.bandwidthDegradeProb)) {
+            const double span = 1.0 - torture.bandwidthDegradeFloor;
+            ssd.faultModel()->setBandwidthDegradation(
+                torture.bandwidthDegradeFloor +
+                span * rng.nextDouble());
+            governor.reevaluate();
+        }
+        if (rng.nextBool(torture.packServiceProb)) {
+            battery.setFailedCellFraction(0.0);
+            battery.setAgeYears(0.0);
+        }
+
+        // Land the cut at an arbitrary point in the event stream —
+        // possibly mid-transfer or inside a retry backoff.
+        ctx.events().runSteps(rng.nextBounded(50));
+
+        if (ssd.outstanding() > 0)
+            ++result.cutsMidFlight;
+        if (governor.mode() != SafeMode::normal)
+            ++result.cutsInSafeMode;
+
+        const double headroom = cutter.currentHeadroomJoules();
+        result.minHeadroomJoules =
+            std::min(result.minHeadroomJoules, headroom);
+        if (headroom < 0.0) {
+            std::ostringstream oss;
+            oss << "negative pre-cut energy headroom (" << headroom
+                << " J) at cut " << cut;
+            fail(cut, oss.str());
+            break;
+        }
+
+        const FailureReport report = cutter.inject();
+        if (!report.survived) {
+            std::ostringstream oss;
+            oss << "flush exceeded the battery at cut " << cut
+                << ": needed " << report.joulesNeeded
+                << " J, available " << report.joulesAvailable
+                << " J (" << report.dirtyPages << " dirty pages, "
+                << "flush took "
+                << ticksToSeconds(report.flushDuration) * 1e3
+                << " ms)";
+            fail(cut, oss.str());
+            break;
+        }
+        if (!report.contentVerified) {
+            std::ostringstream oss;
+            oss << "SSD image failed verification after cut " << cut
+                << " reverify=" << manager.verifyDurability()
+                << " outstanding=" << ssd.outstanding()
+                << " dirty=" << manager.dirtyPageCount();
+            for (PageNum p = 0; p < manager.mappedPages(); ++p) {
+                if (manager.pageVersion(p) == 0)
+                    continue;
+                if (ssd.durableHash(storage::StorageKey{0, p}) ==
+                    manager.pageContentHash(p))
+                    continue;
+                oss << "; page " << p << " v" << manager.pageVersion(p)
+                    << (manager.controller().tracker().isDirty(p)
+                            ? " dirty"
+                            : " clean")
+                    << (manager.controller().isInFlight(p)
+                            ? " in-flight"
+                            : "");
+            }
+            fail(cut, oss.str());
+            break;
+        }
+        ++result.cutsRun;
+
+        // Power restored: resume epochs and keep going.
+        manager.start();
+    }
+
+    battery_injector.stop();
+    governor.stopPeriodic();
+
+    const IoFaultStats &io = manager.ioFaultStats();
+    result.totalRetries = io.retries;
+    result.totalAborts = io.abortedCopies;
+    result.injectedWriteErrors =
+        ssd.faultModel()->injectedWriteErrors();
+    result.safeModeEntries = governor.stats().safeModeEntries;
+    result.budgetShrinks = governor.stats().budgetShrinks;
+    result.batteryCellFailures =
+        battery_injector.stats().cellFailureEvents;
+    result.batteryRecoveries =
+        battery_injector.stats().recoveryEvents;
+    return result;
+}
+
+} // namespace viyojit::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Seeded power-cut torture harness.
+ *
+ * Replays a random workload against a full Viyojit stack — SSD with
+ * an active fault model, battery with runtime degradation events, a
+ * safe-mode governor retuning the budget — and cuts wall power at
+ * arbitrary points in the event stream: between two IO completions,
+ * mid-transfer, in the middle of a retry backoff.  Every cut asserts
+ * the section-4.1 durability invariant: the emergency flush fits the
+ * (degraded) battery window and the SSD image verifies against every
+ * written page.  All randomness derives from one seed, so a failing
+ * run replays exactly from the printed seed.
+ */
+
+#ifndef VIYOJIT_CORE_TORTURE_HH
+#define VIYOJIT_CORE_TORTURE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace viyojit::core
+{
+
+/** Torture-run parameters; defaults give a meaningful short run. */
+struct TortureConfig
+{
+    /** Master seed: every random stream in the run derives from it. */
+    std::uint64_t seed = 1;
+
+    /** Power cuts to inject. */
+    std::uint64_t cuts = 200;
+
+    /** Upper bound on random ops between cuts. */
+    std::uint64_t maxOpsPerRound = 120;
+
+    /** NV region size in pages. */
+    std::uint64_t regionPages = 256;
+
+    /** Nominal (healthy-hardware) dirty budget in pages. */
+    std::uint64_t dirtyBudgetPages = 48;
+
+    /** SSD fault model: per-attempt write error probability. */
+    double writeErrorProb = 0.02;
+
+    /** SSD fault model: per-attempt read error probability. */
+    double readErrorProb = 0.01;
+
+    /** SSD fault model: tail-latency spike probability. */
+    double tailLatencyProb = 0.01;
+
+    /** Per-round probability of redrawing the SSD wear factor. */
+    double bandwidthDegradeProb = 0.10;
+
+    /** Floor of the redrawn wear factor (drawn in [floor, 1]). */
+    double bandwidthDegradeFloor = 0.5;
+
+    /** Per-round probability of a pack service (health reset). */
+    double packServiceProb = 0.05;
+
+    /**
+     * Check the clean-pages-match-the-image invariant after every
+     * op (debugging aid; quadratic, keep off for big runs).
+     */
+    bool paranoid = false;
+};
+
+/** Outcome and exercised-path evidence of one torture run. */
+struct TortureResult
+{
+    /** True when every cut survived and verified. */
+    bool passed = true;
+
+    /** Cuts actually injected. */
+    std::uint64_t cutsRun = 0;
+
+    /** 1-based index of the failing cut (0 when passed). */
+    std::uint64_t failingCut = 0;
+
+    /** Human-readable failure description (empty when passed). */
+    std::string failureDetail;
+
+    // Evidence that the run exercised what it claims to.
+
+    /** Cuts landing with page copies still in flight (mid-flush). */
+    std::uint64_t cutsMidFlight = 0;
+
+    /** Cuts landing while the governor was out of normal mode. */
+    std::uint64_t cutsInSafeMode = 0;
+
+    /** IO attempts retried after injected errors. */
+    std::uint64_t totalRetries = 0;
+
+    /** Copies abandoned after retry exhaustion. */
+    std::uint64_t totalAborts = 0;
+
+    /** Write errors the SSD fault model injected. */
+    std::uint64_t injectedWriteErrors = 0;
+
+    /** Safe-mode entries over the run. */
+    std::uint64_t safeModeEntries = 0;
+
+    /** Budget shrinks the governor applied. */
+    std::uint64_t budgetShrinks = 0;
+
+    /** Battery cell-failure events injected. */
+    std::uint64_t batteryCellFailures = 0;
+
+    /** Battery recovery events injected. */
+    std::uint64_t batteryRecoveries = 0;
+
+    /** Smallest pre-cut energy headroom seen (must stay >= 0). */
+    double minHeadroomJoules = 0.0;
+};
+
+/** Run the torture loop; deterministic in `config` (same seed, same
+ *  result). */
+TortureResult runTorture(const TortureConfig &config);
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_TORTURE_HH

@@ -16,6 +16,44 @@
 namespace viyojit::runtime
 {
 
+int
+fdatasyncWithRetry(int fd, unsigned attempts)
+{
+    int error = 0;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (::fdatasync(fd) == 0)
+            return 0;
+        error = errno;
+        if (error != EINTR && error != EAGAIN)
+            return error;
+    }
+    return error;
+}
+
+int
+pwriteFullyWithRetry(int fd, const void *buf, std::uint64_t len,
+                     std::uint64_t offset, unsigned attempts)
+{
+    const char *src = static_cast<const char *>(buf);
+    std::uint64_t written = 0;
+    unsigned failures = 0;
+    while (written < len) {
+        const ssize_t n =
+            ::pwrite(fd, src + written, len - written,
+                     static_cast<off_t>(offset + written));
+        if (n > 0) {
+            written += static_cast<std::uint64_t>(n);
+            continue;
+        }
+        const int error = n < 0 ? errno : EIO;
+        if (error != EINTR && error != EAGAIN && n < 0)
+            return error;
+        if (++failures >= attempts)
+            return error;
+    }
+    return 0;
+}
+
 /**
  * PagingBackend over mprotect and a backing file.
  *
@@ -124,20 +162,11 @@ class NvRegion::FileBackend : public core::PagingBackend
     {
         const std::uint64_t ps = region_.pageSize_;
         const char *src = region_.mem_ + page * ps;
-        const auto off = static_cast<off_t>(page * ps);
-        std::uint64_t written = 0;
-        while (written < ps) {
-            const ssize_t n =
-                ::pwrite(region_.fd_, src + written, ps - written,
-                         off + static_cast<off_t>(written));
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                panic("pwrite to backing file failed: ",
-                      std::strerror(errno));
-            }
-            written += static_cast<std::uint64_t>(n);
-        }
+        const int error =
+            pwriteFullyWithRetry(region_.fd_, src, ps, page * ps);
+        if (error != 0)
+            fatal("page persist to backing file failed after bounded "
+                  "retries: ", std::strerror(error));
         region_.bytesPersisted_.fetch_add(ps,
                                           std::memory_order_relaxed);
     }
@@ -298,7 +327,11 @@ NvRegion::~NvRegion()
     {
         std::lock_guard<std::recursive_mutex> guard(lock_);
         controller_->flushAllDirty();
-        ::fdatasync(fd_);
+        // Destructor: best effort only — cannot throw, so a sync
+        // failure is reported but not escalated.
+        if (const int error = fdatasyncWithRetry(fd_); error != 0)
+            warn("fdatasync during region teardown failed: ",
+                 std::strerror(error));
     }
     unregisterRegion(this);
     if (mem_)
@@ -332,8 +365,9 @@ NvRegion::flushAll()
 {
     std::lock_guard<std::recursive_mutex> guard(lock_);
     const std::uint64_t flushed = controller_->flushAllDirty();
-    if (::fdatasync(fd_) != 0)
-        panic("fdatasync failed: ", std::strerror(errno));
+    if (const int error = fdatasyncWithRetry(fd_); error != 0)
+        fatal("fdatasync failed after bounded retries: ",
+              std::strerror(error));
     return flushed;
 }
 

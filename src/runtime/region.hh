@@ -39,6 +39,23 @@
 namespace viyojit::runtime
 {
 
+/**
+ * fdatasync with bounded retry: EINTR/EAGAIN are retried up to
+ * `attempts` times; any other errno — or retry exhaustion — is
+ * returned to the caller (0 on success).  The runtime escalates a
+ * nonzero return to fatal(); tests call this directly to assert the
+ * error path.
+ */
+int fdatasyncWithRetry(int fd, unsigned attempts = 8);
+
+/**
+ * pwrite the whole buffer with bounded retry on EINTR/EAGAIN and on
+ * short writes.  Returns 0 on success or the last errno (EIO for a
+ * persistent short write).
+ */
+int pwriteFullyWithRetry(int fd, const void *buf, std::uint64_t len,
+                         std::uint64_t offset, unsigned attempts = 8);
+
 /** Runtime tunables. */
 struct RuntimeConfig
 {

@@ -41,6 +41,15 @@ EventQueue::runOne()
     return true;
 }
 
+std::uint64_t
+EventQueue::runSteps(std::uint64_t max_events)
+{
+    std::uint64_t run = 0;
+    while (run < max_events && runOne())
+        ++run;
+    return run;
+}
+
 void
 EventQueue::runUntil(Tick until)
 {

@@ -54,6 +54,15 @@ class EventQueue
     /** Run a single earliest event (advancing the clock to it). */
     bool runOne();
 
+    /**
+     * Run up to `max_events` earliest events and stop, leaving the
+     * rest pending.  Lets a fault injector cut power at an arbitrary
+     * point in the event stream — between two IO completions, in the
+     * middle of a retry backoff, one event into an epoch.
+     * @return events actually run (< max_events only when drained).
+     */
+    std::uint64_t runSteps(std::uint64_t max_events);
+
     /** Drain every pending event. */
     void drain();
 

@@ -1,0 +1,100 @@
+#include "storage/fault_model.hh"
+
+#include "common/logging.hh"
+
+namespace viyojit::storage
+{
+
+FaultModel::FaultModel(const FaultModelConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    VIYOJIT_ASSERT(config.writeErrorProb >= 0.0 &&
+                       config.writeErrorProb < 1.0,
+                   "write error probability out of [0, 1)");
+    VIYOJIT_ASSERT(config.readErrorProb >= 0.0 &&
+                       config.readErrorProb < 1.0,
+                   "read error probability out of [0, 1)");
+    VIYOJIT_ASSERT(config.hardErrorFraction >= 0.0 &&
+                       config.hardErrorFraction <= 1.0,
+                   "hard error fraction out of [0, 1]");
+    VIYOJIT_ASSERT(config.tailLatencyProb >= 0.0 &&
+                       config.tailLatencyProb < 1.0,
+                   "tail latency probability out of [0, 1)");
+    VIYOJIT_ASSERT(config.tailLatencyMultiplier >= 1.0,
+                   "tail latency multiplier below 1");
+}
+
+FaultModel::Decision
+FaultModel::onWriteSubmit(std::uint32_t region, PageNum page)
+{
+    Decision decision;
+
+    // A page whose last write hard-failed is remapped by the device
+    // before this attempt proceeds: pay the remap latency once and
+    // the page is healthy again.
+    auto bad = badPages_.find(pack(region, page));
+    if (bad != badPages_.end()) {
+        badPages_.erase(bad);
+        ++remaps_;
+        decision.extraLatency += config_.remapLatency;
+    }
+
+    if (rng_.nextBool(config_.tailLatencyProb)) {
+        ++tailSpikes_;
+        decision.latencyMultiplier = config_.tailLatencyMultiplier;
+    }
+
+    if (rng_.nextBool(config_.writeErrorProb)) {
+        ++writeErrors_;
+        if (rng_.nextBool(config_.hardErrorFraction)) {
+            ++hardErrors_;
+            badPages_.insert(pack(region, page));
+            decision.status = IoStatus::hardError;
+        } else {
+            decision.status = IoStatus::transientError;
+        }
+    }
+    return decision;
+}
+
+FaultModel::Decision
+FaultModel::onReadSubmit(std::uint32_t region, PageNum page)
+{
+    (void)region;
+    (void)page;
+    Decision decision;
+    if (rng_.nextBool(config_.tailLatencyProb)) {
+        ++tailSpikes_;
+        decision.latencyMultiplier = config_.tailLatencyMultiplier;
+    }
+    // Read errors are transient: the device recovers the sector from
+    // its internal redundancy on retry, so durability is never lost
+    // to a read-side fault.
+    if (rng_.nextBool(config_.readErrorProb)) {
+        ++readErrors_;
+        decision.status = IoStatus::transientError;
+    }
+    return decision;
+}
+
+void
+FaultModel::setBandwidthDegradation(double factor)
+{
+    VIYOJIT_ASSERT(factor > 0.0 && factor <= 1.0,
+                   "bandwidth factor out of (0, 1]");
+    bandwidthFactor_ = factor;
+}
+
+double
+FaultModel::expectedWriteAttempts() const
+{
+    return 1.0 / (1.0 - config_.writeErrorProb);
+}
+
+bool
+FaultModel::isBad(std::uint32_t region, PageNum page) const
+{
+    return badPages_.contains(pack(region, page));
+}
+
+} // namespace viyojit::storage

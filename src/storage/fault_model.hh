@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Seeded SSD fault model.
+ *
+ * The reproduction's durability argument (paper section 4.1) only
+ * holds if the flush actually completes on a real device — one with
+ * transient write errors, worn-out pages that must be remapped,
+ * tail-latency spikes, and bandwidth that fades with wear.  This
+ * model injects those events at IO submit time, deterministically
+ * from a single seed, so every failure a torture run finds replays
+ * exactly.
+ *
+ * The model is attached to an Ssd with Ssd::setFaultModel(); when
+ * absent the device is ideal and the legacy (status-free) IO API
+ * behaves as before.
+ */
+
+#ifndef VIYOJIT_STORAGE_FAULT_MODEL_HH
+#define VIYOJIT_STORAGE_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace viyojit::storage
+{
+
+/** Completion status of one device IO attempt. */
+enum class IoStatus
+{
+    /** Data durable (write) / delivered (read). */
+    ok,
+
+    /** The attempt failed; a retry of the same IO may succeed. */
+    transientError,
+
+    /**
+     * The target page failed permanently.  The device remaps it on
+     * the next write attempt (counted), so a retry also recovers —
+     * after the remap penalty.
+     */
+    hardError,
+};
+
+/** Tunable fault-injection behaviour. */
+struct FaultModelConfig
+{
+    /** Seed for the model's private RNG (deterministic replay). */
+    std::uint64_t seed = 1;
+
+    /** Per-attempt probability that a page write fails. */
+    double writeErrorProb = 0.0;
+
+    /** Per-attempt probability that a page read fails (transient). */
+    double readErrorProb = 0.0;
+
+    /**
+     * Fraction of injected write errors that are hard (bad page that
+     * must be remapped) rather than transient.
+     */
+    double hardErrorFraction = 0.2;
+
+    /** Per-IO probability of a tail-latency spike. */
+    double tailLatencyProb = 0.0;
+
+    /** Per-IO latency multiplier applied during a spike. */
+    double tailLatencyMultiplier = 8.0;
+
+    /** Extra service latency for the write that remaps a bad page. */
+    Tick remapLatency = 200_us;
+};
+
+/**
+ * Draws per-IO fault decisions from a seeded stream and tracks the
+ * device's degradation state (bad pages, bandwidth fade).
+ */
+class FaultModel
+{
+  public:
+    /** What happens to one IO attempt. */
+    struct Decision
+    {
+        IoStatus status = IoStatus::ok;
+
+        /** Multiplier on the fixed per-IO latency (tail spikes). */
+        double latencyMultiplier = 1.0;
+
+        /** Additive service latency (bad-page remap cost). */
+        Tick extraLatency = 0;
+    };
+
+    explicit FaultModel(const FaultModelConfig &config);
+
+    /**
+     * Decide the fate of a write attempt to `region`/`page`.  A page
+     * previously marked bad is remapped first (extra latency, counted)
+     * and is then as good as new for this and future attempts.
+     */
+    Decision onWriteSubmit(std::uint32_t region, PageNum page);
+
+    /** Decide the fate of a read attempt (transient errors only). */
+    Decision onReadSubmit(std::uint32_t region, PageNum page);
+
+    /**
+     * Wear/fade factor in (0, 1] applied to the device's sustained
+     * bandwidth.  Settable at runtime to model progressive wear; the
+     * safe-mode governor re-derives the dirty budget from it.
+     */
+    double bandwidthFactor() const { return bandwidthFactor_; }
+    void setBandwidthDegradation(double factor);
+
+    /** Runtime retuning (torture phases, tests). */
+    void setWriteErrorProb(double p) { config_.writeErrorProb = p; }
+    void setReadErrorProb(double p) { config_.readErrorProb = p; }
+
+    /**
+     * Expected write attempts per successful write under the current
+     * error probability (1 / (1 - p)); the degraded-budget model uses
+     * it to amplify the flush-time estimate.
+     */
+    double expectedWriteAttempts() const;
+
+    std::uint64_t injectedWriteErrors() const { return writeErrors_; }
+    std::uint64_t injectedReadErrors() const { return readErrors_; }
+    std::uint64_t hardErrors() const { return hardErrors_; }
+    std::uint64_t badPageRemaps() const { return remaps_; }
+    std::uint64_t tailLatencySpikes() const { return tailSpikes_; }
+
+    /** True while `page` awaits a remap (its last write hard-failed). */
+    bool isBad(std::uint32_t region, PageNum page) const;
+
+    const FaultModelConfig &config() const { return config_; }
+
+  private:
+    static std::uint64_t pack(std::uint32_t region, PageNum page)
+    {
+        return (static_cast<std::uint64_t>(region) << 48) ^ page;
+    }
+
+    FaultModelConfig config_;
+    Rng rng_;
+    double bandwidthFactor_ = 1.0;
+
+    std::unordered_set<std::uint64_t> badPages_;
+
+    std::uint64_t writeErrors_ = 0;
+    std::uint64_t readErrors_ = 0;
+    std::uint64_t hardErrors_ = 0;
+    std::uint64_t remaps_ = 0;
+    std::uint64_t tailSpikes_ = 0;
+};
+
+} // namespace viyojit::storage
+
+#endif // VIYOJIT_STORAGE_FAULT_MODEL_HH

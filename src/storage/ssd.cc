@@ -17,8 +17,23 @@ Ssd::Ssd(sim::SimContext &ctx, const SsdConfig &config)
     VIYOJIT_ASSERT(config.queueDepth > 0, "zero queue depth");
 }
 
+void
+Ssd::setFaultModel(std::unique_ptr<FaultModel> model)
+{
+    faultModel_ = std::move(model);
+}
+
+double
+Ssd::effectiveWriteBandwidth() const
+{
+    const double factor =
+        faultModel_ ? faultModel_->bandwidthFactor() : 1.0;
+    return config_.writeBandwidth * factor;
+}
+
 Tick
-Ssd::scheduleIo(std::uint64_t bytes, double bandwidth)
+Ssd::scheduleIo(std::uint64_t bytes, double bandwidth,
+                double latency_multiplier, Tick extra_latency)
 {
     const Tick now = ctx_.now();
 
@@ -27,26 +42,32 @@ Ssd::scheduleIo(std::uint64_t bytes, double bandwidth)
     const Tick admit = std::max(now, iopsGate_);
     iopsGate_ = admit + iops_gap;
 
-    // Bandwidth channel: transfers serialize.
-    const Tick transfer =
-        secondsToTicks(static_cast<double>(bytes) / bandwidth);
+    // Bandwidth channel: transfers serialize.  Wear degradation
+    // stretches every transfer.
+    const double factor =
+        faultModel_ ? faultModel_->bandwidthFactor() : 1.0;
+    const Tick transfer = secondsToTicks(
+        static_cast<double>(bytes) / (bandwidth * factor));
     const Tick start = std::max(admit, channelFree_);
     channelFree_ = start + transfer;
 
-    return channelFree_ + config_.perIoLatency;
+    const Tick latency = static_cast<Tick>(
+        static_cast<double>(config_.perIoLatency) * latency_multiplier);
+    return channelFree_ + latency + extra_latency;
 }
 
 Tick
-Ssd::writePage(StorageKey key, std::uint64_t content_hash,
-               std::uint64_t bytes, Callback on_complete,
-               std::uint64_t compressed_bytes)
+Ssd::submitWrite(StorageKey key, std::uint64_t content_hash,
+                 std::uint64_t bytes, IoCallback on_complete,
+                 std::uint64_t compressed_bytes)
 {
     VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
 
     if (config_.enableDedup) {
         auto it = image_.find(key);
         if (it != image_.end() && it->second == content_hash) {
-            // Content already durable: acknowledge without IO.
+            // Content already durable: acknowledge without IO (and
+            // without a fault draw — nothing is transferred).
             ++dedupHits_;
             ctx_.stats().counter("ssd.dedup_hits").increment();
             const Tick done = ctx_.now();
@@ -55,7 +76,7 @@ Ssd::writePage(StorageKey key, std::uint64_t content_hash,
                                    [this, cb = std::move(on_complete)]() {
                 --outstanding_;
                 if (cb)
-                    cb();
+                    cb(IoStatus::ok);
             });
             return done;
         }
@@ -67,22 +88,89 @@ Ssd::writePage(StorageKey key, std::uint64_t content_hash,
         transfer = compressed_bytes;
     }
 
+    FaultModel::Decision decision;
+    if (faultModel_) {
+        decision = faultModel_->onWriteSubmit(key.regionId, key.page);
+        if (decision.status != IoStatus::ok)
+            ctx_.stats().counter("ssd.injected_write_errors").increment();
+        if (decision.status == IoStatus::hardError)
+            ctx_.stats().counter("ssd.injected_hard_errors").increment();
+        if (decision.latencyMultiplier > 1.0)
+            ctx_.stats().counter("ssd.tail_latency_spikes").increment();
+        if (decision.extraLatency > 0)
+            ctx_.stats().counter("ssd.bad_page_remaps").increment();
+    }
+
     ++outstanding_;
-    const Tick done = scheduleIo(transfer, config_.writeBandwidth);
+    const Tick done =
+        scheduleIo(transfer, config_.writeBandwidth,
+                   decision.latencyMultiplier, decision.extraLatency);
     bytesWritten_ += transfer;
     logicalBytesWritten_ += bytes;
     ++pageWrites_;
     ctx_.stats().counter("ssd.bytes_written").increment(transfer);
     ctx_.stats().counter("ssd.page_writes").increment();
 
-    ctx_.events().schedule(done, [this, key, content_hash,
+    const IoStatus status = decision.status;
+    ctx_.events().schedule(done, [this, key, content_hash, status,
                                   cb = std::move(on_complete)]() {
-        image_[key] = content_hash;
+        if (status == IoStatus::ok)
+            image_[key] = content_hash;
         --outstanding_;
         if (cb)
-            cb();
+            cb(status);
     });
     return done;
+}
+
+Tick
+Ssd::submitRead(StorageKey key, std::uint64_t bytes,
+                IoCallback on_complete)
+{
+    VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
+
+    FaultModel::Decision decision;
+    if (faultModel_) {
+        decision = faultModel_->onReadSubmit(key.regionId, key.page);
+        if (decision.status != IoStatus::ok)
+            ctx_.stats().counter("ssd.injected_read_errors").increment();
+        if (decision.latencyMultiplier > 1.0)
+            ctx_.stats().counter("ssd.tail_latency_spikes").increment();
+    }
+
+    ++outstanding_;
+    const Tick done =
+        scheduleIo(bytes, config_.readBandwidth,
+                   decision.latencyMultiplier, decision.extraLatency);
+    ctx_.stats().counter("ssd.page_reads").increment();
+    const IoStatus status = decision.status;
+    ctx_.events().schedule(done, [this, status,
+                                  cb = std::move(on_complete)]() {
+        --outstanding_;
+        if (cb)
+            cb(status);
+    });
+    return done;
+}
+
+Tick
+Ssd::writePage(StorageKey key, std::uint64_t content_hash,
+               std::uint64_t bytes, Callback on_complete,
+               std::uint64_t compressed_bytes)
+{
+    // Status-free wrapper: correct on the ideal device; under fault
+    // injection, callers must use submitWrite and handle retries, so
+    // an injected error reaching this path is a programming error.
+    return submitWrite(
+        key, content_hash, bytes,
+        [cb = std::move(on_complete)](IoStatus status) {
+            if (status != IoStatus::ok)
+                panic("injected SSD write error on a fault-unaware "
+                      "path; use submitWrite with retry");
+            if (cb)
+                cb();
+        },
+        compressed_bytes);
 }
 
 Tick
@@ -96,17 +184,15 @@ Ssd::writePageSync(StorageKey key, std::uint64_t content_hash,
 Tick
 Ssd::readPage(StorageKey key, std::uint64_t bytes, Callback on_complete)
 {
-    (void)key;
-    VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
-    ++outstanding_;
-    const Tick done = scheduleIo(bytes, config_.readBandwidth);
-    ctx_.stats().counter("ssd.page_reads").increment();
-    ctx_.events().schedule(done, [this, cb = std::move(on_complete)]() {
-        --outstanding_;
-        if (cb)
-            cb();
-    });
-    return done;
+    return submitRead(key, bytes,
+                      [cb = std::move(on_complete)](IoStatus status) {
+                          if (status != IoStatus::ok)
+                              panic("injected SSD read error on a "
+                                    "fault-unaware path; use "
+                                    "submitRead with retry");
+                          if (cb)
+                              cb();
+                      });
 }
 
 std::uint64_t

@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.hh"
 #include "sim/context.hh"
+#include "storage/fault_model.hh"
 
 namespace viyojit::storage
 {
@@ -88,7 +90,45 @@ class Ssd
   public:
     using Callback = std::function<void()>;
 
+    /** Completion callback carrying the attempt's status. */
+    using IoCallback = std::function<void(IoStatus)>;
+
     Ssd(sim::SimContext &ctx, const SsdConfig &config);
+
+    /**
+     * Attach a fault model; IO attempts now consult it at submit
+     * time.  Pass nullptr to restore the ideal device.  Callers that
+     * install a model must use the status-aware submitWrite/submitRead
+     * API on every path that can race a fault (the status-free
+     * wrappers panic on an injected error).
+     */
+    void setFaultModel(std::unique_ptr<FaultModel> model);
+
+    /** Installed fault model, or nullptr for the ideal device. */
+    FaultModel *faultModel() { return faultModel_.get(); }
+    const FaultModel *faultModel() const { return faultModel_.get(); }
+
+    /**
+     * Submit one page-write attempt.  The completion callback fires
+     * at the attempt's service time with its status; the content hash
+     * becomes durable only on IoStatus::ok.  Failed attempts still
+     * occupy the bandwidth channel and a queue slot for their service
+     * time (the device worked, the data did not land).
+     */
+    Tick submitWrite(StorageKey key, std::uint64_t content_hash,
+                     std::uint64_t bytes, IoCallback on_complete,
+                     std::uint64_t compressed_bytes = 0);
+
+    /** Submit one page-read attempt (status-aware). */
+    Tick submitRead(StorageKey key, std::uint64_t bytes,
+                    IoCallback on_complete);
+
+    /**
+     * Sustained write bandwidth after wear degradation — what an
+     * emergency flush can actually count on.  Equals the configured
+     * bandwidth while no fault model is installed.
+     */
+    double effectiveWriteBandwidth() const;
 
     /**
      * Submit an asynchronous page write.  The content hash becomes
@@ -153,11 +193,18 @@ class Ssd
     const SsdConfig &config() const { return config_; }
 
   private:
-    /** Compute service completion for one IO of `bytes` at `now`. */
-    Tick scheduleIo(std::uint64_t bytes, double bandwidth);
+    /**
+     * Compute service completion for one IO of `bytes` at `now`.
+     * `latency_multiplier` scales the fixed per-IO latency (tail
+     * spikes); `extra_latency` adds remap penalties.
+     */
+    Tick scheduleIo(std::uint64_t bytes, double bandwidth,
+                    double latency_multiplier = 1.0,
+                    Tick extra_latency = 0);
 
     sim::SimContext &ctx_;
     SsdConfig config_;
+    std::unique_ptr<FaultModel> faultModel_;
 
     /** Time at which the bandwidth channel frees up. */
     Tick channelFree_ = 0;

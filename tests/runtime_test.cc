@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <cstring>
 #include <fstream>
@@ -253,6 +256,37 @@ TEST_F(RegionFixture, ZeroBudgetRejected)
     cfg.dirtyBudgetPages = 0;
     EXPECT_THROW(NvRegion::create(makePath("zb"), 64_KiB, cfg),
                  FatalError);
+}
+
+TEST(SyscallRetryTest, FdatasyncReportsNonRetryableErrno)
+{
+    // EBADF is not transient: the helper must return it to the
+    // caller (who escalates) instead of retrying or aborting.
+    EXPECT_EQ(fdatasyncWithRetry(-1), EBADF);
+}
+
+TEST(SyscallRetryTest, PwriteFullyWritesAndReportsErrors)
+{
+    const std::string path = tempPath("pwrite");
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC,
+                          0600);
+    ASSERT_GE(fd, 0);
+    const std::string payload = "durable bytes";
+    EXPECT_EQ(pwriteFullyWithRetry(fd, payload.data(), payload.size(),
+                                   4096),
+              0);
+
+    std::vector<char> back(payload.size());
+    ASSERT_EQ(::pread(fd, back.data(), back.size(), 4096),
+              static_cast<ssize_t>(back.size()));
+    EXPECT_EQ(std::string(back.begin(), back.end()), payload);
+    ::close(fd);
+
+    // A closed descriptor is a hard error, returned not retried.
+    EXPECT_EQ(pwriteFullyWithRetry(fd, payload.data(), payload.size(),
+                                   0),
+              EBADF);
+    ::unlink(path.c_str());
 }
 
 } // namespace
