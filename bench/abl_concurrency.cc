@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Concurrency scalability ablation over the real-memory runtime:
+ * N application threads run a YCSB-B-like mix (95% read / 5% update,
+ * scrambled-zipfian keys) against one NvRegion, each thread owning a
+ * contiguous record partition, while the epoch thread samples recency
+ * and the budget machinery admits/evicts under it.  Sweeps thread
+ * count x shard count and emits BENCH_concurrency.json with wall
+ * throughput and the update (fault-path) latency tail.
+ *
+ * The interesting comparison is shards=1 (the pre-sharding global
+ * lock) against sharded configurations: on a many-core host the
+ * sharded fault path scales with threads while the global lock
+ * serializes them.  `host_cpus` is recorded in every row because the
+ * curve is only meaningful given the cores that ran it — on a 1-CPU
+ * container every configuration time-slices one core and the sweep
+ * degenerates to an overhead (not scaling) measurement.
+ *
+ * --smoke: median-of-3 single-thread parity check — sharded (8
+ * shards) throughput must stay within 5% of the unsharded baseline,
+ * exit 1 otherwise.  This is the regression gate ci.sh runs; it
+ * deliberately uses inline persistence (no copier threads) on both
+ * sides so it compares the fault path alone.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/distributions.hh"
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "runtime/region.hh"
+
+using namespace viyojit;
+
+namespace
+{
+
+constexpr std::uint64_t kRecordSize = 1024;
+constexpr std::uint64_t kTotalRecords = 8192;  // 8 MiB region
+constexpr std::uint64_t kBudgetPages = 256;
+constexpr std::uint64_t kFieldSize = 100;
+constexpr double kUpdateFraction = 0.05;  // YCSB-B
+
+/** Defeats dead-code elimination of the read path. */
+volatile std::uint64_t g_sink = 0;
+
+struct RunConfig
+{
+    unsigned threads = 1;
+    unsigned shards = 1;
+    unsigned copierThreads = 0;
+    std::uint64_t opsPerThread = 30000;
+    std::uint64_t seed = 42;
+};
+
+struct RunOutcome
+{
+    std::uint64_t totalOps = 0;
+    double wallSeconds = 0.0;
+    double opsPerSec = 0.0;
+    std::uint64_t updateP50Ns = 0;
+    std::uint64_t updateP99Ns = 0;
+    std::uint64_t writeFaults = 0;
+    std::uint64_t quotaSteals = 0;
+    std::uint64_t blockedEvictions = 0;
+    std::uint64_t proactiveCopies = 0;
+    std::uint64_t bytesPersisted = 0;
+    std::uint64_t epochs = 0;
+};
+
+std::string
+scratchPath()
+{
+    static std::atomic<unsigned> counter{0};
+    return "/tmp/viyojit_abl_concurrency_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".img";
+}
+
+RunOutcome
+runOnce(const RunConfig &rc)
+{
+    runtime::RuntimeConfig cfg;
+    cfg.dirtyBudgetPages = kBudgetPages;
+    cfg.shards = rc.shards;
+    cfg.copierThreads = rc.copierThreads;
+    cfg.epochMicros = 1000;
+    cfg.startEpochThread = true;
+
+    const std::string path = scratchPath();
+    auto region = runtime::NvRegion::create(
+        path, kTotalRecords * kRecordSize, cfg);
+    char *base = static_cast<char *>(region->base());
+
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::mutex mergeLock;
+    LogHistogram updateLatency;
+
+    auto worker = [&](unsigned tid) {
+        // Contiguous record partition, as DriverConfig::partitions
+        // carves it: thread `tid` owns [first, first + count).
+        const std::uint64_t per = kTotalRecords / rc.threads;
+        const std::uint64_t first = tid * per;
+        const std::uint64_t count = tid + 1 == rc.threads
+                                        ? kTotalRecords - first
+                                        : per;
+        ScrambledZipfianDistribution zipf(count);
+        Rng rng(rc.seed * 0x9e3779b97f4a7c15ULL + tid + 1);
+        LogHistogram local;
+        std::uint64_t checksum = 0;
+
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire))
+            std::this_thread::yield();
+
+        for (std::uint64_t op = 0; op < rc.opsPerThread; ++op) {
+            const std::uint64_t key =
+                first + std::min<std::uint64_t>(zipf.next(rng),
+                                                count - 1);
+            char *record = base + key * kRecordSize;
+            if (rng.nextDouble() < kUpdateFraction) {
+                const std::uint64_t field =
+                    rng.nextBounded(kRecordSize / kFieldSize);
+                const auto t0 = std::chrono::steady_clock::now();
+                std::memset(record + field * kFieldSize,
+                            static_cast<char>('a' + (op % 26)),
+                            kFieldSize);
+                const auto ns =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                local.record(static_cast<std::uint64_t>(ns));
+            } else {
+                // Touch a stride of the record like a field read.
+                for (std::uint64_t off = 0; off < kRecordSize;
+                     off += kFieldSize)
+                    checksum += static_cast<unsigned char>(
+                        record[off]);
+            }
+        }
+
+        g_sink = g_sink + checksum;
+        std::lock_guard<std::mutex> lk(mergeLock);
+        updateLatency.merge(local);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(rc.threads);
+    for (unsigned t = 0; t < rc.threads; ++t)
+        threads.emplace_back(worker, t);
+    while (ready.load() < rc.threads)
+        std::this_thread::yield();
+
+    const auto start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread &t : threads)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    const runtime::RegionStats stats = region->stats();
+    region.reset();
+    std::remove(path.c_str());
+
+    RunOutcome out;
+    out.totalOps = rc.opsPerThread * rc.threads;
+    out.wallSeconds = wall;
+    out.opsPerSec =
+        wall > 0.0 ? static_cast<double>(out.totalOps) / wall : 0.0;
+    out.updateP50Ns = updateLatency.percentile(50.0);
+    out.updateP99Ns = updateLatency.percentile(99.0);
+    out.writeFaults = stats.writeFaults;
+    out.quotaSteals = stats.quotaSteals;
+    out.blockedEvictions = stats.blockedEvictions;
+    out.proactiveCopies = stats.proactiveCopies;
+    out.bytesPersisted = stats.bytesPersisted;
+    out.epochs = stats.epochs;
+    return out;
+}
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+}
+
+int
+runSmoke()
+{
+    // Fault path alone: inline persistence on both sides.
+    RunConfig unsharded;
+    unsharded.threads = 1;
+    unsharded.shards = 1;
+    unsharded.opsPerThread = 30000;
+
+    RunConfig sharded = unsharded;
+    sharded.shards = 8;
+
+    // Strictly interleave the two configurations so slow drift in
+    // host load (CI neighbours on a shared core) hits both medians
+    // alike instead of biasing whichever config ran later.
+    constexpr int kRuns = 5;
+    std::vector<double> baseRuns, shardRuns;
+    for (int i = 0; i < kRuns; ++i) {
+        RunConfig a = unsharded, b = sharded;
+        a.seed += static_cast<std::uint64_t>(i);
+        b.seed += static_cast<std::uint64_t>(i);
+        baseRuns.push_back(runOnce(a).opsPerSec);
+        shardRuns.push_back(runOnce(b).opsPerSec);
+    }
+    const double base = median(baseRuns);
+    const double shard = median(shardRuns);
+    const double ratio = base > 0.0 ? shard / base : 0.0;
+
+    std::cout << "smoke: unsharded " << base << " ops/s, sharded(8) "
+              << shard << " ops/s, ratio " << ratio << "\n";
+    const bool ok = ratio >= 0.95;
+    std::cout << (ok ? "PASS" : "FAIL")
+              << ": 1-thread sharded throughput within 5% of the "
+                 "unsharded baseline\n";
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            return runSmoke();
+        // Single configuration (diagnostics / profiling):
+        //   --one <threads> <shards> <copiers> <ops-per-thread>
+        if (std::string(argv[i]) == "--one" && i + 4 < argc) {
+            RunConfig rc;
+            rc.threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+            rc.shards = static_cast<unsigned>(std::atoi(argv[i + 2]));
+            rc.copierThreads =
+                static_cast<unsigned>(std::atoi(argv[i + 3]));
+            rc.opsPerThread =
+                static_cast<std::uint64_t>(std::atoll(argv[i + 4]));
+            const RunOutcome out = runOnce(rc);
+            std::cout << "threads " << rc.threads << " shards "
+                      << rc.shards << " copiers " << rc.copierThreads
+                      << ": " << out.opsPerSec / 1000.0 << " Kops/s, "
+                      << "p50 " << out.updateP50Ns / 1000.0
+                      << " us, p99 " << out.updateP99Ns / 1000.0
+                      << " us, faults " << out.writeFaults
+                      << ", evict " << out.blockedEvictions
+                      << ", proact " << out.proactiveCopies
+                      << ", epochs " << out.epochs << ", steals "
+                      << out.quotaSteals << "\n";
+            return 0;
+        }
+    }
+
+    const unsigned hostCpus = std::thread::hardware_concurrency();
+    const std::vector<unsigned> threadSweep = {1, 2, 4, 8};
+    const std::vector<unsigned> shardSweep = {1, 8};
+
+    Table table("Ablation: YCSB-B scalability, threads x shards "
+                "(host cpus: " + std::to_string(hostCpus) + ")");
+    table.setHeader({"Threads", "Shards", "Copiers", "Ops",
+                     "Kops/s", "Upd p50 (us)", "Upd p99 (us)",
+                     "Faults", "Steals", "Evict", "Proact",
+                     "MiB", "Epochs"});
+
+    struct Row
+    {
+        RunConfig rc;
+        RunOutcome out;
+    };
+    std::vector<Row> rows;
+
+    for (unsigned shards : shardSweep) {
+        for (unsigned threads : threadSweep) {
+            RunConfig rc;
+            rc.threads = threads;
+            rc.shards = shards;
+            // Background copiers only make sense with shards to
+            // drain; the unsharded rows are the pre-PR baseline.
+            rc.copierThreads = shards > 1 ? 2 : 0;
+            const RunOutcome out = runOnce(rc);
+            rows.push_back({rc, out});
+            table.addRow(
+                {std::to_string(threads), std::to_string(shards),
+                 std::to_string(rc.copierThreads),
+                 std::to_string(out.totalOps),
+                 Table::fmt(out.opsPerSec / 1000.0, 1),
+                 Table::fmt(static_cast<double>(out.updateP50Ns) /
+                            1000.0, 1),
+                 Table::fmt(static_cast<double>(out.updateP99Ns) /
+                            1000.0, 1),
+                 std::to_string(out.writeFaults),
+                 std::to_string(out.quotaSteals),
+                 std::to_string(out.blockedEvictions),
+                 std::to_string(out.proactiveCopies),
+                 Table::fmt(static_cast<double>(out.bytesPersisted) /
+                            (1024.0 * 1024.0), 1),
+                 std::to_string(out.epochs)});
+        }
+    }
+    table.print(std::cout);
+
+    std::ofstream json("BENCH_concurrency.json");
+    json << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        json << "  {\"threads\": " << r.rc.threads
+             << ", \"shards\": " << r.rc.shards
+             << ", \"copier_threads\": " << r.rc.copierThreads
+             << ", \"ops\": " << r.out.totalOps
+             << ", \"wall_seconds\": " << r.out.wallSeconds
+             << ", \"throughput_ops_per_sec\": " << r.out.opsPerSec
+             << ", \"update_p50_ns\": " << r.out.updateP50Ns
+             << ", \"update_p99_ns\": " << r.out.updateP99Ns
+             << ", \"write_faults\": " << r.out.writeFaults
+             << ", \"quota_steals\": " << r.out.quotaSteals
+             << ", \"host_cpus\": " << hostCpus << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "]\n";
+    std::cout << "\nWrote BENCH_concurrency.json\n";
+    return 0;
+}

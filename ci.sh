@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: build and test two configurations.
+# CI entry point: build and test three configurations.
 #
 #   build-release/   Release            the configuration the benches use
 #   build-sanitize/  RelWithDebInfo     ASan + UBSan (VIYOJIT_SANITIZE=ON)
+#   build-tsan/      RelWithDebInfo     TSan (VIYOJIT_SANITIZE=thread)
 #
-# Both run the full ctest suite; the sanitizer pass is what catches
-# the bit-twiddling mistakes the fast epoch paths invite (summary-mask
-# indexing, shift widths, heap/cursor bookkeeping).
+# The first two run the full ctest suite; the sanitizer pass is what
+# catches the bit-twiddling mistakes the fast epoch paths invite
+# (summary-mask indexing, shift widths, heap/cursor bookkeeping).  The
+# TSan pass runs the threaded suites (concurrency, torture, runtime)
+# against the sharded runtime, and the release build additionally
+# gates on the concurrency smoke benchmark (sharding must not slow
+# the single-threaded path down).
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -17,6 +22,12 @@ echo "=== Release build ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
+# Sharding overhead gate: one thread over a sharded region must run
+# within 5% of the unsharded baseline (interleaved median-of-5; see
+# bench/abl_concurrency.cc).
+echo "=== Concurrency smoke (sharded vs unsharded, 1 thread) ==="
+./build-release/bench/abl_concurrency --smoke
 
 echo "=== ASan/UBSan build ==="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -39,4 +50,20 @@ then
     exit 1
 fi
 
-echo "=== CI OK: both configurations green ==="
+# TSan pass over the threaded suites.  report_signal_unsafe=0 mutes
+# the malloc-inside-SIGSEGV-handler reports: allocating in the fault
+# handler is inherent to the userspace mprotect runtime (the handler
+# IS the admission path), and those reports are not data races.
+# Everything else — races, lock-order inversions — still fails hard.
+echo "=== TSan build (threaded suites) ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DVIYOJIT_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}" \
+      --target concurrency_test torture_test runtime_test
+for suite in concurrency_test torture_test runtime_test; do
+    echo "--- TSan: ${suite} ---"
+    TSAN_OPTIONS="report_signal_unsafe=0 halt_on_error=0 exitcode=66" \
+        "./build-tsan/tests/${suite}"
+done
+
+echo "=== CI OK: all three configurations green ==="

@@ -1,0 +1,133 @@
+#include "core/budget_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/controller.hh"
+
+namespace viyojit::core
+{
+
+BudgetPool::BudgetPool(std::uint64_t total_pages,
+                       std::uint64_t available_pages)
+    : total_(total_pages),
+      available_(std::min(available_pages, total_pages))
+{
+    if (total_pages == 0)
+        fatal("budget pool needs at least one page");
+}
+
+std::uint64_t
+BudgetPool::tryBorrow(std::uint64_t want)
+{
+    if (want == 0)
+        return 0;
+    std::uint64_t avail = available_.load(std::memory_order_relaxed);
+    while (avail > 0) {
+        const std::uint64_t take = std::min(want, avail);
+        if (available_.compare_exchange_weak(avail, avail - take,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+            borrows_.fetch_add(1, std::memory_order_relaxed);
+            return take;
+        }
+    }
+    return 0;
+}
+
+void
+BudgetPool::deposit(std::uint64_t pages)
+{
+    if (pages)
+        available_.fetch_add(pages, std::memory_order_acq_rel);
+}
+
+void
+BudgetPool::grow(std::uint64_t pages)
+{
+    std::lock_guard<std::mutex> guard(retuneLock_);
+    // Raise the total before releasing the pages so a concurrent
+    // borrower can never observe available > total headroom.
+    total_.fetch_add(pages, std::memory_order_acq_rel);
+    deposit(pages);
+}
+
+std::uint64_t
+BudgetPool::confiscate(std::uint64_t pages)
+{
+    std::lock_guard<std::mutex> guard(retuneLock_);
+    std::uint64_t avail = available_.load(std::memory_order_relaxed);
+    std::uint64_t take = 0;
+    for (;;) {
+        take = std::min(pages, avail);
+        if (take == 0)
+            break;
+        if (available_.compare_exchange_weak(avail, avail - take,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed))
+            break;
+    }
+    total_.fetch_sub(take, std::memory_order_acq_rel);
+    return take;
+}
+
+void
+BudgetPool::destroyReclaimed(std::uint64_t pages)
+{
+    if (pages == 0)
+        return;
+    std::lock_guard<std::mutex> guard(retuneLock_);
+    total_.fetch_sub(pages, std::memory_order_acq_rel);
+}
+
+void
+redistributeBudget(BudgetPool &pool,
+                   const std::vector<DirtyBudgetController *> &shards,
+                   std::uint64_t new_total,
+                   std::uint64_t floor_per_shard)
+{
+    VIYOJIT_ASSERT(!shards.empty(), "redistribute over zero shards");
+    const std::uint64_t n = shards.size();
+    const std::uint64_t old_total = pool.totalPages();
+    if (new_total == 0)
+        fatal("total budget must be at least one page");
+
+    if (new_total > old_total)
+        pool.grow(new_total - old_total);
+
+    // Even per-shard targets (remainder stays in the pool); floors
+    // apply only while the total can honour them for every shard.
+    const std::uint64_t share = new_total / n;
+    const std::uint64_t target =
+        new_total >= floor_per_shard * n
+            ? std::max(share, floor_per_shard)
+            : share;
+
+    // Shrinks first: claw back quota above target into the pool so
+    // the grows below never oversubscribe the (possibly smaller)
+    // total.  releaseQuota evicts synchronously when the shard's
+    // dirty count exceeds its shrunken quota.
+    for (DirtyBudgetController *shard : shards) {
+        const std::uint64_t quota = shard->dirtyBudget();
+        if (quota > target)
+            pool.deposit(shard->releaseQuota(quota - target, target));
+    }
+
+    if (new_total < old_total) {
+        const std::uint64_t destroyed =
+            pool.confiscate(old_total - new_total);
+        // Shrinking every shard to `target <= new_total / n` frees at
+        // least old_total - new_total into the pool.
+        VIYOJIT_ASSERT(destroyed == old_total - new_total,
+                       "budget shrink could not reclaim enough quota");
+    }
+
+    // Grows after the total settles: top shards up to the target.
+    for (DirtyBudgetController *shard : shards) {
+        const std::uint64_t quota = shard->dirtyBudget();
+        if (quota < target)
+            shard->grantQuota(pool.tryBorrow(target - quota));
+    }
+}
+
+} // namespace viyojit::core

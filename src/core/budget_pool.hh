@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Global dirty-budget pool for sharded runtimes.
+ *
+ * The paper sizes ONE battery for ONE dirty budget.  When the page
+ * space is partitioned into shards — each with its own controller and
+ * lock so application threads fault concurrently — the battery-backed
+ * budget must stay a single global quantity: the durability invariant
+ * (section 4.1) bounds the SUM of per-shard dirty counts, not any one
+ * shard's.
+ *
+ * The pool is that global quantity.  Each shard controller holds a
+ * local quota (its `dirtyBudget()`); unassigned pages sit here.  The
+ * invariant maintained at every instant:
+ *
+ *     sum(shard quotas) + available() <= totalPages()
+ *
+ * (equality except while a stolen grant is briefly in transit between
+ * two shard locks), and each shard keeps `dirty <= quota`, so the
+ * summed dirty count never exceeds the battery budget.
+ *
+ * Shards borrow and return quota in batches (`tryBorrow`/`deposit`),
+ * both lock-free CAS loops on one cache line, so the write-fault fast
+ * path touches no global lock — the whole point of sharding.  Total
+ * retuning (battery fade, safe-mode governor) goes through the
+ * mutex-serialized grow()/confiscate() paths, which are rare.
+ */
+
+#ifndef VIYOJIT_CORE_BUDGET_POOL_HH
+#define VIYOJIT_CORE_BUDGET_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace viyojit::core
+{
+
+class DirtyBudgetController;
+
+/** Atomic global pool of unassigned dirty-budget pages. */
+class BudgetPool
+{
+  public:
+    /**
+     * @param total_pages machine-level budget (from the battery).
+     * @param available_pages pages not pre-assigned to shard quotas;
+     *        defaults to the full total.
+     */
+    explicit BudgetPool(std::uint64_t total_pages,
+                        std::uint64_t available_pages = ~0ULL);
+
+    BudgetPool(const BudgetPool &) = delete;
+    BudgetPool &operator=(const BudgetPool &) = delete;
+
+    /**
+     * Take up to `want` pages from the pool (lock-free).
+     * @return pages granted, in [0, want].
+     */
+    std::uint64_t tryBorrow(std::uint64_t want);
+
+    /** Return pages to the pool (lock-free). */
+    void deposit(std::uint64_t pages);
+
+    /** Unassigned pages (racy gauge; exact only when quiesced). */
+    std::uint64_t available() const
+    {
+        return available_.load(std::memory_order_relaxed);
+    }
+
+    /** Machine-level budget the pool distributes. */
+    std::uint64_t totalPages() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    /** Grow the total budget by `pages` (goes to available). */
+    void grow(std::uint64_t pages);
+
+    /**
+     * Shrink the total by destroying up to `pages` of *available*
+     * quota.  Quota held by shards must be clawed back by the caller
+     * (DirtyBudgetController::releaseQuota) and then confiscated.
+     * @return pages actually destroyed, in [0, pages].
+     */
+    std::uint64_t confiscate(std::uint64_t pages);
+
+    /**
+     * Shrink the total by `pages` the caller already clawed out of a
+     * shard quota (releaseQuota under that shard's lock).  Unlike
+     * deposit-then-confiscate, the pages never pass through
+     * available(), so a concurrent borrower cannot snatch them back
+     * mid-retune — the runtime's incremental shrink relies on this
+     * to make monotonic progress against faulting threads.
+     */
+    void destroyReclaimed(std::uint64_t pages);
+
+    /** Lifetime borrow batches granted (observability). */
+    std::uint64_t borrowCount() const
+    {
+        return borrows_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Serializes total-changing operations (grow/confiscate). */
+    std::mutex retuneLock_;
+
+    std::atomic<std::uint64_t> total_;
+    std::atomic<std::uint64_t> available_;
+    std::atomic<std::uint64_t> borrows_{0};
+};
+
+/**
+ * Retarget a pooled shard set to a new total budget (safe-mode
+ * governor, battery fade).  Shrinks are applied before the total
+ * drops and grows after it rises, so the invariant `sum(quotas) +
+ * available <= total` holds at every intermediate step — the battery
+ * is never oversubscribed, even transiently.
+ *
+ * Each shard ends with at least `floor_per_shard` pages whenever
+ * `new_total >= floor_per_shard * shards`; claw-backs below a
+ * shard's dirty count evict synchronously (inside releaseQuota).
+ *
+ * Caller must serialize against the shards (hold their locks or run
+ * single-threaded): controllers themselves are externally
+ * synchronized.
+ */
+void redistributeBudget(BudgetPool &pool,
+                        const std::vector<DirtyBudgetController *> &shards,
+                        std::uint64_t new_total,
+                        std::uint64_t floor_per_shard = 1);
+
+} // namespace viyojit::core
+
+#endif // VIYOJIT_CORE_BUDGET_POOL_HH

@@ -32,10 +32,54 @@ DirtyBudgetController::isInFlight(PageNum page) const
 }
 
 void
-DirtyBudgetController::onWriteFault(PageNum page)
+DirtyBudgetController::attachBudgetPool(BudgetPool *pool,
+                                        std::uint64_t borrow_batch)
 {
-    ++stats_.writeFaults;
+    pool_ = pool;
+    borrowBatch_ = std::max<std::uint64_t>(borrow_batch, 1);
+}
 
+bool
+DirtyBudgetController::borrowQuota()
+{
+    const std::uint64_t got = pool_->tryBorrow(borrowBatch_);
+    budget_ += got;
+    stats_.quotaBorrowedPages += got;
+    return got > 0;
+}
+
+void
+DirtyBudgetController::rebalanceQuota()
+{
+    if (!pool_)
+        return;
+    const std::uint64_t keep = tracker_.count() + borrowBatch_;
+    if (budget_ > keep) {
+        const std::uint64_t give = budget_ - keep;
+        budget_ = keep;
+        stats_.quotaReturnedPages += give;
+        pool_->deposit(give);
+    }
+}
+
+bool
+DirtyBudgetController::makeRoomForAdmission(bool allow_evict)
+{
+    while (tracker_.count() >= budget_) {
+        // Prefer growing the quota over evicting: a burst should
+        // consume global battery slack before it costs SSD writes.
+        if (pool_ && borrowQuota())
+            continue;
+        if (budget_ == 0 || !allow_evict)
+            return false; // need external quota before evicting
+        evictOneBlocking();
+    }
+    return true;
+}
+
+bool
+DirtyBudgetController::onWriteFault(PageNum page, bool allow_evict)
+{
     if (inFlight_[page]) {
         // The page is being copied out; its frame is write-protected
         // until the copy is durable (the protect-before-copy rule of
@@ -51,14 +95,18 @@ DirtyBudgetController::onWriteFault(PageNum page)
         // (the runtime's epoch re-protection does this to sample
         // recency).  Record the update and allow the write; the page
         // is already accounted against the budget.
+        ++stats_.writeFaults;
         recency_.recordUpdate(page);
         backend_.unprotectPage(page);
-        return;
+        return true;
     }
 
     // Admitting a new dirty page; make room first (fig. 6 steps 5-7).
-    while (tracker_.count() >= budget_)
-        evictOneBlocking();
+    // A quota-starved shard reports failure *before* counting the
+    // fault, so the caller's steal-and-retry shows up as one fault.
+    if (!makeRoomForAdmission(allow_evict))
+        return false;
+    ++stats_.writeFaults;
 
     // Fig. 6 step 8: unprotect, count, and list the faulting page.
     backend_.unprotectPage(page);
@@ -75,22 +123,24 @@ DirtyBudgetController::onWriteFault(PageNum page)
     if (config_.continuousCopyTrigger)
         pumpProactiveCopies(page);
     lastAdmitted_ = page;
+    return true;
 }
 
-void
-DirtyBudgetController::onHardwareDirty(PageNum page)
+bool
+DirtyBudgetController::onHardwareDirty(PageNum page, bool allow_evict)
 {
     VIYOJIT_ASSERT(config_.hardwareAssist,
                    "hardware admission without hardware assist");
     if (inFlight_[page] || tracker_.isDirty(page))
-        return;
-    while (tracker_.count() >= budget_)
-        evictOneBlocking();
+        return true;
+    if (!makeRoomForAdmission(allow_evict))
+        return false;
     tracker_.markDirty(page);
     recency_.recordUpdate(page);
     if (config_.continuousCopyTrigger)
         pumpProactiveCopies(page);
     lastAdmitted_ = page;
+    return true;
 }
 
 PageNum
@@ -164,12 +214,28 @@ DirtyBudgetController::onEpochBoundary()
     recency_.rebuildVictimQueue(tracker_);
 
     pumpProactiveCopies();
+
+    // Pooled shards breathe at epoch granularity: quota the burst no
+    // longer needs goes back to the global pool (minus one borrow
+    // batch of slack against the next burst).
+    rebalanceQuota();
 }
 
 std::uint64_t
 DirtyBudgetController::currentThreshold() const
 {
-    return pressure_.threshold(budget_);
+    // Pooled shards size the threshold by their entitlement — the
+    // local quota plus whatever the pool could still grant — not the
+    // transient quota alone: rebalanceQuota deliberately keeps the
+    // quota tight around the dirty count, and a threshold derived
+    // from it would proactively copy half the shard's dirty set
+    // every epoch no matter how much global budget sits unused.
+    // Entitlement restores the intended trigger: proactive copying
+    // ramps up as the *global* budget nears exhaustion (pool runs
+    // dry), exactly when an unsharded controller would start copying.
+    const std::uint64_t reachable =
+        pool_ ? budget_ + pool_->available() : budget_;
+    return pressure_.threshold(reachable);
 }
 
 void
@@ -243,11 +309,43 @@ DirtyBudgetController::setDirtyBudget(std::uint64_t pages)
 {
     if (pages == 0)
         fatal("dirty budget must be at least one page");
+    if (pool_)
+        fatal("a pooled shard's quota is managed by the budget pool; "
+              "use releaseQuota/grantQuota or redistributeBudget");
     budget_ = pages;
     // Shrinking below the current dirty count: evict synchronously
     // until we fit (battery fade handling, section 8).
     while (tracker_.count() > budget_)
         evictOneBlocking();
+}
+
+std::uint64_t
+DirtyBudgetController::releaseQuota(std::uint64_t want,
+                                    std::uint64_t floor)
+{
+    if (budget_ <= floor)
+        return 0;
+    const std::uint64_t give = std::min(want, budget_ - floor);
+    budget_ -= give;
+    stats_.quotaReturnedPages += give;
+    // Evict down to the shrunken quota (battery fade semantics): the
+    // released pages are only safe to hand away once this shard's
+    // dirty count fits what it keeps.
+    while (tracker_.count() > budget_)
+        evictOneBlocking();
+    return give;
+}
+
+std::uint64_t
+DirtyBudgetController::releaseSpareQuota(std::uint64_t want)
+{
+    const std::uint64_t used = tracker_.count();
+    if (budget_ <= used)
+        return 0;
+    const std::uint64_t give = std::min(want, budget_ - used);
+    budget_ -= give;
+    stats_.quotaReturnedPages += give;
+    return give;
 }
 
 void

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "core/budget_pool.hh"
 #include "core/config.hh"
 #include "core/dirty_tracker.hh"
 #include "core/paging_backend.hh"
@@ -44,6 +45,12 @@ struct ControllerStats
 
     /** Copies abandoned after the backend exhausted its IO retries. */
     std::uint64_t abortedCopies = 0;
+
+    /** Quota pages borrowed from the attached budget pool. */
+    std::uint64_t quotaBorrowedPages = 0;
+
+    /** Quota pages returned to the attached budget pool. */
+    std::uint64_t quotaReturnedPages = 0;
 };
 
 /** Dirty-budget enforcement engine. */
@@ -54,19 +61,45 @@ class DirtyBudgetController
                           const ViyojitConfig &config);
 
     /**
-     * Handle a write-protection fault on `page` (figure 6 steps 3-8).
-     * On return the page is writable and accounted dirty, and the
-     * dirty count is within the budget.
+     * Attach a shared budget pool: `dirtyBudget()` becomes this
+     * shard's local quota, grown by borrowing `borrow_batch`-page
+     * slices from the pool when admissions hit the quota and shrunk
+     * back at epoch boundaries.  The caller still synchronizes the
+     * controller externally; only the pool itself is thread-safe.
      */
-    void onWriteFault(PageNum page);
+    void attachBudgetPool(BudgetPool *pool, std::uint64_t borrow_batch);
+
+    BudgetPool *budgetPool() const { return pool_; }
+
+    /**
+     * Handle a write-protection fault on `page` (figure 6 steps 3-8).
+     * On success the page is writable and accounted dirty, and the
+     * dirty count is within the (local) budget.
+     *
+     * @param allow_evict permit evicting this shard's own pages to
+     *        make room.  A pooled caller passes false on the first
+     *        try so a full quota reports failure instead of paying
+     *        an SSD write — spare quota idling in a sibling shard is
+     *        free, an eviction is not — and retries with true once
+     *        no sibling had any to give.
+     * @return false only in pooled mode, when the pool is empty and
+     *         the quota cannot cover the admission without an
+     *         eviction the caller disallowed (or, with allow_evict,
+     *         when the quota is zero outright).  Nothing was changed;
+     *         the caller must acquire quota (steal via
+     *         releaseSpareQuota/the pool) and retry.  Standalone
+     *         controllers (no pool) always return true.
+     */
+    bool onWriteFault(PageNum page, bool allow_evict = true);
 
     /**
      * Hardware-assist admission (section 5.4): the MMU set a dirty
      * bit for `page` and bumped its dirty counter; account the page,
      * making room first if the budget is full.  Unlike onWriteFault
-     * there is no trap and the page is already writable.
+     * there is no trap and the page is already writable.  Same
+     * return contract as onWriteFault.
      */
-    void onHardwareDirty(PageNum page);
+    bool onHardwareDirty(PageNum page, bool allow_evict = true);
 
     /**
      * Epoch boundary (paper: every 1 ms): scan and clear dirty bits,
@@ -90,9 +123,33 @@ class DirtyBudgetController
     /**
      * Retune the budget at runtime (battery fade, section 8).  If the
      * new budget is below the current dirty count, pages are evicted
-     * synchronously until the count fits.
+     * synchronously until the count fits.  Standalone mode only: a
+     * pooled controller's quota is managed through the pool
+     * (releaseQuota/grantQuota/redistributeBudget).
      */
     void setDirtyBudget(std::uint64_t pages);
+
+    /**
+     * Give up to `want` pages of quota, never dropping the local
+     * budget below `floor`; evicts synchronously while the dirty
+     * count exceeds the shrunken quota.  Used for cross-shard quota
+     * steals and budget retuning.  The released pages are returned
+     * to the caller (not deposited anywhere) — hand them to the pool
+     * or to another shard's grantQuota.
+     */
+    std::uint64_t releaseQuota(std::uint64_t want, std::uint64_t floor);
+
+    /**
+     * Give up to `want` pages of UNUSED quota — the slack above the
+     * current dirty count.  Never evicts; returns 0 when the quota
+     * is fully occupied.  This is the donor side of a cross-shard
+     * steal: clawing back idle quota is free, where releaseQuota
+     * would charge the donor SSD writes.
+     */
+    std::uint64_t releaseSpareQuota(std::uint64_t want);
+
+    /** Add quota pages taken from the pool or a sibling shard. */
+    void grantQuota(std::uint64_t pages) { budget_ += pages; }
 
     std::uint64_t dirtyBudget() const { return budget_; }
 
@@ -137,6 +194,24 @@ class DirtyBudgetController
     void evictOneBlocking();
 
     /**
+     * Make room for one admission: loop until the dirty count is
+     * under the budget, preferring a pool borrow (burst absorption,
+     * no IO) over a local eviction.  Returns false only in pooled
+     * mode with zero quota and an empty pool (see onWriteFault).
+     */
+    bool makeRoomForAdmission(bool allow_evict);
+
+    /** Borrow a batch of quota from the pool; true if any granted. */
+    bool borrowQuota();
+
+    /**
+     * Epoch-boundary quota rebalance: return quota beyond the dirty
+     * count plus one borrow batch of slack to the pool, so idle
+     * shards fund bursting ones without fault-path ping-pong.
+     */
+    void rebalanceQuota();
+
+    /**
      * Launch async copies until threshold or IO-cap reached.
      * @param skip page exempt from eviction (the one just admitted,
      *        so the faulting write is guaranteed to make progress).
@@ -153,6 +228,10 @@ class DirtyBudgetController
     PagingBackend &backend_;
     ViyojitConfig config_;
     std::uint64_t budget_;
+
+    /** Shared quota pool (sharded runtimes); null when standalone. */
+    BudgetPool *pool_ = nullptr;
+    std::uint64_t borrowBatch_ = 1;
 
     DirtyPageTracker tracker_;
     EpochRecencyTracker recency_;

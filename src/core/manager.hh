@@ -18,6 +18,7 @@
 #ifndef VIYOJIT_CORE_MANAGER_HH
 #define VIYOJIT_CORE_MANAGER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -43,7 +44,13 @@ struct FlushReport
     Tick flushDuration = 0;
 };
 
-/** IO fault-handling counters (fault model attached to the SSD). */
+/**
+ * IO fault-handling counters (fault model attached to the SSD).
+ * Always obtained as a value snapshot: the backend keeps the live
+ * counters atomic and materializes them in one read each, so a
+ * reader concurrent with IO completions never sees a torn set
+ * (e.g. a retry counted but its abort missing).
+ */
 struct IoFaultStats
 {
     /** Attempts resubmitted after an injected error. */
@@ -141,8 +148,9 @@ class ViyojitManager
     std::uint64_t capacityPages() const { return capacityPages_; }
     std::uint64_t mappedPages() const { return nextFreePage_; }
 
-    /** Retry/timeout/abort counters of the simulated backend. */
-    const IoFaultStats &ioFaultStats() const
+    /** Retry/timeout/abort counters of the simulated backend
+     *  (coherent value snapshot; see IoFaultStats). */
+    IoFaultStats ioFaultStats() const
     {
         return backend_.faultStats();
     }
@@ -196,7 +204,20 @@ class ViyojitManager
         unsigned outstandingIos() const override;
         bool canSubmit() const override;
 
-        const IoFaultStats &faultStats() const { return faultStats_; }
+        /** Coherent value snapshot of the atomic counters. */
+        IoFaultStats faultStats() const
+        {
+            IoFaultStats out;
+            out.retries =
+                faultStats_.retries.load(std::memory_order_relaxed);
+            out.timeouts =
+                faultStats_.timeouts.load(std::memory_order_relaxed);
+            out.abortedCopies = faultStats_.abortedCopies.load(
+                std::memory_order_relaxed);
+            out.staleCompletions = faultStats_.staleCompletions.load(
+                std::memory_order_relaxed);
+            return out;
+        }
 
       private:
         /** One logical page copy (possibly spanning attempts). */
@@ -233,11 +254,20 @@ class ViyojitManager
         /** Exponential backoff with jitter for attempt `n` (1-based). */
         Tick backoffFor(unsigned attempt);
 
+        /** Live counters; atomics so snapshots are never torn. */
+        struct AtomicIoFaultStats
+        {
+            std::atomic<std::uint64_t> retries{0};
+            std::atomic<std::uint64_t> timeouts{0};
+            std::atomic<std::uint64_t> abortedCopies{0};
+            std::atomic<std::uint64_t> staleCompletions{0};
+        };
+
         ViyojitManager &mgr_;
         std::unordered_map<PageNum, PendingCopy> inFlight_;
         Rng jitterRng_;
         std::uint64_t nextGeneration_ = 0;
-        IoFaultStats faultStats_;
+        AtomicIoFaultStats faultStats_;
     };
 
     void scheduleNextEpoch();

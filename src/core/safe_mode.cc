@@ -7,17 +7,102 @@
 namespace viyojit::core
 {
 
+// ---------------------------------------------------------------------
+// ShardedBudgetDomain
+// ---------------------------------------------------------------------
+
+ShardedBudgetDomain::ShardedBudgetDomain(
+    BudgetPool &pool, std::vector<ViyojitManager *> shards)
+    : pool_(pool), shards_(std::move(shards)),
+      nominal_(pool.totalPages())
+{
+    if (shards_.empty())
+        fatal("sharded budget domain needs at least one shard");
+    for (ViyojitManager *shard : shards_) {
+        if (shard->controller().budgetPool() != &pool_)
+            fatal("every shard controller must draw from the "
+                  "domain's budget pool");
+    }
+}
+
+std::uint64_t
+ShardedBudgetDomain::pageSize() const
+{
+    return shards_.front()->config().pageSize;
+}
+
+storage::Ssd &
+ShardedBudgetDomain::ssd()
+{
+    return shards_.front()->ssd();
+}
+
+sim::SimContext &
+ShardedBudgetDomain::ctx()
+{
+    return shards_.front()->ctx();
+}
+
+void
+ShardedBudgetDomain::applyBudget(std::uint64_t pages)
+{
+    std::vector<DirtyBudgetController *> controllers;
+    controllers.reserve(shards_.size());
+    for (ViyojitManager *shard : shards_)
+        controllers.push_back(&shard->controller());
+    // Keep each shard's two-page straddling guard whenever the total
+    // can honour it (the governor's minBudgetPages for a sharded
+    // domain is 2 x shards, so in practice it always can).
+    redistributeBudget(pool_, controllers, pages,
+                       /*floor_per_shard=*/2);
+}
+
+std::uint64_t
+ShardedBudgetDomain::summedDirtyPages() const
+{
+    std::uint64_t sum = 0;
+    for (const ViyojitManager *shard : shards_)
+        sum += shard->dirtyPageCount();
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// SafeModeGovernor
+// ---------------------------------------------------------------------
+
 SafeModeGovernor::SafeModeGovernor(ViyojitManager &manager,
                                    battery::Battery &battery,
                                    battery::PowerModel power,
                                    const SafeModeConfig &config)
-    : manager_(manager),
+    : ownedDomain_(std::make_unique<ManagerBudgetDomain>(manager)),
+      domain_(*ownedDomain_),
       battery_(battery),
       power_(power),
       config_(config),
-      nominalPages_(manager.controller().dirtyBudget()),
+      nominalPages_(domain_.nominalBudgetPages()),
       derivedPages_(nominalPages_),
       appliedPages_(nominalPages_)
+{
+    init();
+}
+
+SafeModeGovernor::SafeModeGovernor(BudgetDomain &domain,
+                                   battery::Battery &battery,
+                                   battery::PowerModel power,
+                                   const SafeModeConfig &config)
+    : domain_(domain),
+      battery_(battery),
+      power_(power),
+      config_(config),
+      nominalPages_(domain_.nominalBudgetPages()),
+      derivedPages_(nominalPages_),
+      appliedPages_(nominalPages_)
+{
+    init();
+}
+
+void
+SafeModeGovernor::init()
 {
     if (config_.minBudgetPages < 2)
         fatal("safe-mode budget floor below the two-page minimum");
@@ -41,22 +126,30 @@ SafeModeGovernor::deriveBudgetPages() const
     if (seconds <= 0.0)
         return 0;
 
-    double bandwidth = manager_.ssd().effectiveWriteBandwidth() *
+    double bandwidth = domain_.ssd().effectiveWriteBandwidth() *
                        config_.bandwidthSafetyFactor;
     // Every injected error costs a full page transfer, so a flush
     // under an error rate p needs 1/(1-p) attempts per page on
     // average; derate the flush rate accordingly.
-    if (const auto *fm = manager_.ssd().faultModel())
+    if (const auto *fm = domain_.ssd().faultModel())
         bandwidth /= fm->expectedWriteAttempts();
 
     const double bytes = seconds * bandwidth;
     return static_cast<std::uint64_t>(
-        bytes / static_cast<double>(manager_.config().pageSize));
+        bytes / static_cast<double>(domain_.pageSize()));
 }
 
 void
 SafeModeGovernor::reevaluate()
 {
+    if (applying_) {
+        // Called from inside our own apply() (battery event raised by
+        // the eviction IO of a budget shrink): defer to the outer
+        // call, which re-derives before returning.
+        reevaluatePending_ = true;
+        return;
+    }
+
     derivedPages_ = deriveBudgetPages();
 
     std::uint64_t target = std::min(derivedPages_, nominalPages_);
@@ -77,7 +170,7 @@ SafeModeGovernor::reevaluate()
 void
 SafeModeGovernor::apply(std::uint64_t pages, SafeMode mode)
 {
-    auto &stats = manager_.ctx().stats();
+    auto &stats = domain_.ctx().stats();
     if (mode != SafeMode::normal && mode_ == SafeMode::normal) {
         ++stats_.safeModeEntries;
         stats.counter("safemode.entries").increment();
@@ -104,7 +197,16 @@ SafeModeGovernor::apply(std::uint64_t pages, SafeMode mode)
     // Shrinking evicts synchronously down to the new budget, so the
     // dirty set fits the degraded battery window as soon as this
     // returns.
-    manager_.setDirtyBudget(pages);
+    applying_ = true;
+    domain_.applyBudget(pages);
+    applying_ = false;
+
+    // Battery capacity moved under the apply (its evictions run
+    // simulated time): re-derive until the budget settles.
+    while (reevaluatePending_) {
+        reevaluatePending_ = false;
+        reevaluate();
+    }
 }
 
 void
@@ -128,7 +230,7 @@ void
 SafeModeGovernor::scheduleNext(Tick interval)
 {
     const std::uint64_t generation = periodicGeneration_;
-    auto &ctx = manager_.ctx();
+    auto &ctx = domain_.ctx();
     ctx.events().schedule(
         ctx.now() + interval, [this, generation, interval]() {
             if (!periodicRunning_ || generation != periodicGeneration_)

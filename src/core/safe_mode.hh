@@ -16,10 +16,16 @@
  *   flush_rate     = effective_ssd_bw * safety / expected_attempts
  *   budget_pages   = usable_seconds * flush_rate / page_size
  *
- * and applies it through ViyojitManager::setDirtyBudget (which
- * synchronously evicts down to the new budget).  Below a floor the
- * governor gives up on buffering entirely and pins the budget at the
- * two-page straddling-store minimum — effectively write-through.
+ * and applies it through a BudgetDomain (which synchronously evicts
+ * down to the new budget).  Below a floor the governor gives up on
+ * buffering entirely and pins the budget at the straddling-store
+ * minimum — effectively write-through.
+ *
+ * A BudgetDomain is whatever owns one battery's worth of dirty
+ * budget: a single ViyojitManager (the classic case), or a sharded
+ * set of managers drawing quotas from one core::BudgetPool — the
+ * battery backs the SUM of the shards' dirty sets, so the governor
+ * must retune the total, not any one shard.
  *
  * Battery capacity changes drive the governor through the battery's
  * capacity-listener hook; SSD degradation is picked up on every
@@ -31,14 +37,111 @@
 #define VIYOJIT_CORE_SAFE_MODE_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "battery/battery.hh"
+#include "core/budget_pool.hh"
 #include "core/manager.hh"
 
 namespace viyojit::core
 {
 
-/** Operating mode of a governed manager. */
+/**
+ * One battery's worth of governable dirty budget.  The governor
+ * derives a safe total from battery/SSD health and applies it here;
+ * the domain decides how the total maps onto controllers.
+ */
+class BudgetDomain
+{
+  public:
+    virtual ~BudgetDomain() = default;
+
+    /** The configured (healthy-hardware) total budget. */
+    virtual std::uint64_t nominalBudgetPages() const = 0;
+
+    /** Bytes per page (flush-time arithmetic). */
+    virtual std::uint64_t pageSize() const = 0;
+
+    /** The device the emergency flush writes to. */
+    virtual storage::Ssd &ssd() = 0;
+
+    /** Simulation context (stats, event queue). */
+    virtual sim::SimContext &ctx() = 0;
+
+    /**
+     * Apply a new total budget, evicting synchronously wherever a
+     * dirty set no longer fits.  On return the domain's summed dirty
+     * count is within `pages`.
+     */
+    virtual void applyBudget(std::uint64_t pages) = 0;
+};
+
+/** BudgetDomain over a single manager (the unsharded case). */
+class ManagerBudgetDomain : public BudgetDomain
+{
+  public:
+    explicit ManagerBudgetDomain(ViyojitManager &manager)
+        : manager_(manager),
+          nominal_(manager.controller().dirtyBudget())
+    {}
+
+    std::uint64_t nominalBudgetPages() const override
+    {
+        return nominal_;
+    }
+
+    std::uint64_t pageSize() const override
+    {
+        return manager_.config().pageSize;
+    }
+
+    storage::Ssd &ssd() override { return manager_.ssd(); }
+    sim::SimContext &ctx() override { return manager_.ctx(); }
+
+    void applyBudget(std::uint64_t pages) override
+    {
+        manager_.setDirtyBudget(pages);
+    }
+
+  private:
+    ViyojitManager &manager_;
+    std::uint64_t nominal_;
+};
+
+/**
+ * BudgetDomain over a sharded manager set sharing one BudgetPool.
+ * Every manager's controller must already be attached to `pool`;
+ * applyBudget redistributes the new total across shard quotas and
+ * the pool (core::redistributeBudget), keeping at least the two-page
+ * straddling-store floor per shard whenever the total allows.
+ */
+class ShardedBudgetDomain : public BudgetDomain
+{
+  public:
+    ShardedBudgetDomain(BudgetPool &pool,
+                        std::vector<ViyojitManager *> shards);
+
+    std::uint64_t nominalBudgetPages() const override
+    {
+        return nominal_;
+    }
+
+    std::uint64_t pageSize() const override;
+    storage::Ssd &ssd() override;
+    sim::SimContext &ctx() override;
+    void applyBudget(std::uint64_t pages) override;
+
+    /** Summed dirty pages across the shard set. */
+    std::uint64_t summedDirtyPages() const;
+
+  private:
+    BudgetPool &pool_;
+    std::vector<ViyojitManager *> shards_;
+    std::uint64_t nominal_;
+};
+
+/** Operating mode of a governed domain. */
 enum class SafeMode
 {
     /** Full configured budget is covered by the battery. */
@@ -63,7 +166,8 @@ struct SafeModeConfig
 
     /**
      * Hard minimum applied budget; 2 is the smallest budget at which
-     * page-straddling stores make progress.
+     * page-straddling stores make progress.  Sharded domains need
+     * 2 x shards — every shard keeps its own straddling guard.
      */
     std::uint64_t minBudgetPages = 2;
 
@@ -95,15 +199,21 @@ struct SafeModeStats
 };
 
 /**
- * Watches one manager's battery + SSD health and retunes its dirty
+ * Watches one domain's battery + SSD health and retunes its dirty
  * budget so a power cut is always survivable.  The governor must
- * outlive neither the manager nor the battery it is attached to
+ * outlive neither the domain nor the battery it is attached to
  * (it registers a capacity listener on the battery).
  */
 class SafeModeGovernor
 {
   public:
+    /** Govern a single manager (owns the adapter). */
     SafeModeGovernor(ViyojitManager &manager, battery::Battery &battery,
+                     battery::PowerModel power,
+                     const SafeModeConfig &config = {});
+
+    /** Govern an arbitrary domain (caller keeps it alive). */
+    SafeModeGovernor(BudgetDomain &domain, battery::Battery &battery,
                      battery::PowerModel power,
                      const SafeModeConfig &config = {});
 
@@ -126,7 +236,7 @@ class SafeModeGovernor
     /** Budget the last reevaluation derived (before the nominal cap). */
     std::uint64_t derivedBudgetPages() const { return derivedPages_; }
 
-    /** Budget currently applied to the manager. */
+    /** Budget currently applied to the domain. */
     std::uint64_t appliedBudgetPages() const { return appliedPages_; }
 
     const SafeModeStats &stats() const { return stats_; }
@@ -137,8 +247,12 @@ class SafeModeGovernor
     std::uint64_t deriveBudgetPages() const;
     void apply(std::uint64_t pages, SafeMode mode);
     void scheduleNext(Tick interval);
+    void init();
 
-    ViyojitManager &manager_;
+    /** Set only by the manager convenience ctor. */
+    std::unique_ptr<BudgetDomain> ownedDomain_;
+
+    BudgetDomain &domain_;
     battery::Battery &battery_;
     battery::PowerModel power_;
     SafeModeConfig config_;
@@ -153,6 +267,18 @@ class SafeModeGovernor
 
     bool periodicRunning_ = false;
     std::uint64_t periodicGeneration_ = 0;
+
+    /**
+     * Re-entrancy latch: applying a shrink evicts pages, which runs
+     * simulated IO events, which can fire a battery capacity event,
+     * whose listener is reevaluate().  A nested redistribute would
+     * corrupt the in-progress one's accounting (it reads the pool
+     * total at entry), so the nested call just records that the
+     * inputs changed and the outer apply() re-derives once it is
+     * done with the domain.
+     */
+    bool applying_ = false;
+    bool reevaluatePending_ = false;
 };
 
 } // namespace viyojit::core

@@ -48,11 +48,267 @@ sizeBattery(const TortureConfig &torture, const storage::SsdConfig &ssd,
     return config;
 }
 
+/**
+ * Multi-shard torture: N managers share the SSD, the battery, and
+ * one BudgetPool; the governor retunes the pool total through a
+ * ShardedBudgetDomain.  On top of the classic per-cut checks, every
+ * cut asserts the distributed-budget invariant — the SUMMED dirty
+ * count across shards never exceeds the (possibly degraded) pooled
+ * budget — and flushes every shard on the shared battery window.
+ */
+TortureResult
+runShardedTorture(const TortureConfig &torture)
+{
+    const std::uint64_t shard_count = torture.shards;
+    Rng rng(torture.seed);
+    TortureResult result;
+    result.shards = shard_count;
+    result.minHeadroomJoules = std::numeric_limits<double>::max();
+
+    if (torture.dirtyBudgetPages < 2 * shard_count)
+        fatal("sharded torture needs a dirty budget of at least two "
+              "pages per shard");
+    if (torture.regionPages < shard_count)
+        fatal("sharded torture needs at least one page per shard");
+
+    sim::SimContext ctx;
+
+    storage::SsdConfig ssd_config;
+    ssd_config.writeBandwidth = 50.0e6;
+    ssd_config.readBandwidth = 100.0e6;
+    ssd_config.perIoLatency = 80_us;
+    storage::Ssd ssd(ctx, ssd_config);
+
+    storage::FaultModelConfig fault_config;
+    fault_config.seed = rng.next();
+    fault_config.writeErrorProb = torture.writeErrorProb;
+    fault_config.readErrorProb = torture.readErrorProb;
+    fault_config.tailLatencyProb = torture.tailLatencyProb;
+    ssd.setFaultModel(
+        std::make_unique<storage::FaultModel>(fault_config));
+
+    // Per-shard quota split mirrors the runtime: roughly half the
+    // budget starts in the pool as migration headroom.
+    const std::uint64_t budget = torture.dirtyBudgetPages;
+    const std::uint64_t share = std::clamp<std::uint64_t>(
+        budget / (2 * shard_count), 2, budget / shard_count);
+    BudgetPool pool(budget, budget - share * shard_count);
+    const std::uint64_t borrow_batch =
+        std::max<std::uint64_t>(1, share / 4);
+
+    ViyojitConfig config;
+    config.dirtyBudgetPages = share;
+    config.maxIoRetries = 6;
+    config.retryBackoffBase = 10_us;
+    config.retryBackoffCap = 200_us;
+    config.ioTimeout = 10_ms;
+    config.retrySeed = rng.next();
+
+    SafeModeConfig safe_config;
+    safe_config.flushOverheadReserve = 2_ms;
+    safe_config.minBudgetPages = 2 * shard_count;
+    safe_config.writeThroughFloorPages =
+        std::max<std::uint64_t>(4, 2 * shard_count);
+
+    const battery::PowerModel power;
+    battery::Battery battery(
+        sizeBattery(torture, ssd_config, safe_config, power,
+                    config.pageSize));
+
+    const std::uint64_t shard_pages =
+        torture.regionPages / shard_count;
+    std::vector<std::unique_ptr<ViyojitManager>> managers;
+    std::vector<ViyojitManager *> shard_ptrs;
+    std::vector<Addr> bases;
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+        managers.push_back(std::make_unique<ViyojitManager>(
+            ctx, ssd, config, mmu::MmuCostModel{}, shard_pages,
+            static_cast<std::uint32_t>(i)));
+        managers.back()->controller().attachBudgetPool(&pool,
+                                                       borrow_batch);
+        bases.push_back(
+            managers.back()->vmmap(shard_pages * config.pageSize));
+        managers.back()->start();
+        shard_ptrs.push_back(managers.back().get());
+    }
+
+    ShardedBudgetDomain domain(pool, shard_ptrs);
+    SafeModeGovernor governor(domain, battery, power, safe_config);
+
+    battery::BatteryFaultConfig battery_faults;
+    battery_faults.seed = rng.next();
+    battery_faults.checkInterval = 1_ms;
+    battery_faults.cellFailureProb = 0.15;
+    battery_faults.cellFailureStep = 0.05;
+    battery_faults.maxFailedFraction = 0.4;
+    battery_faults.fadeProb = 0.02;
+    battery_faults.fadeStepYears = 0.25;
+    battery_faults.recoveryProb = 0.2;
+    battery::BatteryFaultInjector battery_injector(ctx, battery,
+                                                   battery_faults);
+    battery_injector.start();
+
+    std::vector<char> payload(config.pageSize);
+    const std::uint64_t shard_bytes = shard_pages * config.pageSize;
+
+    auto fail = [&](std::uint64_t cut, const std::string &detail) {
+        result.passed = false;
+        result.failingCut = cut;
+        result.failureDetail = detail;
+    };
+
+
+    for (std::uint64_t cut = 1;
+         result.passed && cut <= torture.cuts; ++cut) {
+        const std::uint64_t ops =
+            1 + rng.nextBounded(torture.maxOpsPerRound);
+        for (std::uint64_t op = 0; op < ops; ++op) {
+            // Ops scatter across shards so quota migrates: bursting
+            // shards borrow what idle shards returned at their epoch
+            // boundaries.
+            const std::size_t si = rng.nextBounded(shard_count);
+            ViyojitManager &shard = *managers[si];
+            if (rng.nextBool(0.9)) {
+                const std::uint64_t len =
+                    1 + rng.nextBounded(config.pageSize);
+                const Addr addr =
+                    bases[si] + rng.nextBounded(shard_bytes - len);
+                for (std::uint64_t i = 0; i < len; ++i)
+                    payload[i] = static_cast<char>(rng.next());
+                shard.memWrite(addr, payload.data(), len);
+            } else {
+                const std::uint64_t len =
+                    1 + rng.nextBounded(config.pageSize);
+                shard.read(bases[si] +
+                               rng.nextBounded(shard_bytes - len),
+                           len);
+            }
+            if (rng.nextBool(0.25))
+                ctx.events().runSteps(rng.nextBounded(8));
+        }
+
+        if (rng.nextBool(torture.bandwidthDegradeProb)) {
+            const double span = 1.0 - torture.bandwidthDegradeFloor;
+            ssd.faultModel()->setBandwidthDegradation(
+                torture.bandwidthDegradeFloor +
+                span * rng.nextDouble());
+            governor.reevaluate();
+        }
+        if (rng.nextBool(torture.packServiceProb)) {
+            battery.setFailedCellFraction(0.0);
+            battery.setAgeYears(0.0);
+        }
+
+        ctx.events().runSteps(rng.nextBounded(50));
+
+        if (ssd.outstanding() > 0)
+            ++result.cutsMidFlight;
+        if (governor.mode() != SafeMode::normal)
+            ++result.cutsInSafeMode;
+
+        // The distributed-budget invariant: at the instant of the
+        // cut, the SUM of per-shard dirty counts must fit the pooled
+        // battery budget (as currently retuned by the governor).
+        const std::uint64_t summed_dirty = domain.summedDirtyPages();
+        result.maxSummedDirtyPages =
+            std::max(result.maxSummedDirtyPages, summed_dirty);
+        if (summed_dirty > pool.totalPages()) {
+            std::ostringstream oss;
+            oss << "summed dirty (" << summed_dirty
+                << " pages) exceeds the pooled budget ("
+                << pool.totalPages() << " pages) at cut " << cut;
+            fail(cut, oss.str());
+            break;
+        }
+
+        // Pre-cut energy headroom against the summed dirty set.
+        const double flush_seconds =
+            static_cast<double>(summed_dirty * config.pageSize) /
+            ssd.effectiveWriteBandwidth();
+        const double headroom = battery.effectiveJoules() -
+                                flush_seconds * power.flushWatts();
+        result.minHeadroomJoules =
+            std::min(result.minHeadroomJoules, headroom);
+        if (headroom < 0.0) {
+            std::ostringstream oss;
+            oss << "negative pre-cut energy headroom (" << headroom
+                << " J) at cut " << cut;
+            fail(cut, oss.str());
+            break;
+        }
+
+        // The cut: power fails for the whole machine at once.  Every
+        // shard's epoch machinery stops first, then the shards flush
+        // back-to-back on the shared (serialized) SSD; the summed
+        // flush must fit the single battery window.
+        const double available = battery.effectiveJoules();
+        const Tick flush_start = ctx.now();
+        std::uint64_t dirty_at_cut = 0;
+        for (auto &manager : managers)
+            manager->stop();
+        for (auto &manager : managers)
+            dirty_at_cut += manager->powerFailureFlush()
+                                .dirtyPagesAtFailure;
+        const Tick flush_duration = ctx.now() - flush_start;
+        const double needed =
+            ticksToSeconds(flush_duration) * power.flushWatts();
+        if (needed > available) {
+            std::ostringstream oss;
+            oss << "summed flush exceeded the battery at cut " << cut
+                << ": needed " << needed << " J, available "
+                << available << " J (" << dirty_at_cut
+                << " dirty pages across " << shard_count
+                << " shards, flush took "
+                << ticksToSeconds(flush_duration) * 1e3 << " ms)";
+            fail(cut, oss.str());
+            break;
+        }
+        bool verified = true;
+        for (auto &manager : managers)
+            verified = verified && manager->verifyDurability();
+        if (!verified) {
+            std::ostringstream oss;
+            oss << "SSD image failed verification after sharded cut "
+                << cut << " outstanding=" << ssd.outstanding();
+            fail(cut, oss.str());
+            break;
+        }
+        ++result.cutsRun;
+
+        for (auto &manager : managers)
+            manager->start();
+    }
+
+    battery_injector.stop();
+    governor.stopPeriodic();
+
+    for (auto &manager : managers) {
+        const IoFaultStats io = manager->ioFaultStats();
+        result.totalRetries += io.retries;
+        result.totalAborts += io.abortedCopies;
+        const ControllerStats &cs = manager->controller().stats();
+        result.quotaBorrowedPages += cs.quotaBorrowedPages;
+        result.quotaReturnedPages += cs.quotaReturnedPages;
+    }
+    result.injectedWriteErrors =
+        ssd.faultModel()->injectedWriteErrors();
+    result.safeModeEntries = governor.stats().safeModeEntries;
+    result.budgetShrinks = governor.stats().budgetShrinks;
+    result.batteryCellFailures =
+        battery_injector.stats().cellFailureEvents;
+    result.batteryRecoveries =
+        battery_injector.stats().recoveryEvents;
+    result.budgetPoolPages = pool.totalPages();
+    return result;
+}
+
 } // namespace
 
 TortureResult
 runTorture(const TortureConfig &torture)
 {
+    if (torture.shards > 1)
+        return runShardedTorture(torture);
     Rng rng(torture.seed);
     TortureResult result;
     result.minHeadroomJoules = std::numeric_limits<double>::max();

@@ -42,6 +42,17 @@ struct TortureConfig
     /** Nominal (healthy-hardware) dirty budget in pages. */
     std::uint64_t dirtyBudgetPages = 48;
 
+    /**
+     * Managers sharing the battery budget through one BudgetPool.
+     * 1 replays the classic single-manager harness; above 1 the
+     * region splits evenly, each shard runs its own controller with
+     * a pooled quota, the governor retunes the pool total, and every
+     * cut additionally asserts that the SUMMED dirty count fits the
+     * (possibly degraded) pooled budget.  Needs
+     * `dirtyBudgetPages >= 2 * shards`.
+     */
+    std::uint64_t shards = 1;
+
     /** SSD fault model: per-attempt write error probability. */
     double writeErrorProb = 0.02;
 
@@ -113,6 +124,21 @@ struct TortureResult
 
     /** Smallest pre-cut energy headroom seen (must stay >= 0). */
     double minHeadroomJoules = 0.0;
+
+    // Multi-shard evidence (meaningful when config.shards > 1).
+
+    /** Shards the run was configured with. */
+    std::uint64_t shards = 1;
+
+    /** Largest summed dirty count observed at any cut. */
+    std::uint64_t maxSummedDirtyPages = 0;
+
+    /** Pool total at the end of the run (post any governor shrink). */
+    std::uint64_t budgetPoolPages = 0;
+
+    /** Quota pages shards borrowed from / returned to the pool. */
+    std::uint64_t quotaBorrowedPages = 0;
+    std::uint64_t quotaReturnedPages = 0;
 };
 
 /** Run the torture loop; deterministic in `config` (same seed, same

@@ -1,0 +1,87 @@
+#include "runtime/copier_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace viyojit::runtime
+{
+
+CopierPool::CopierPool(unsigned threads, unsigned shard_count,
+                       unsigned batch)
+    : queues_(shard_count), batch_(std::max(batch, 1u))
+{
+    if (threads == 0)
+        fatal("copier pool needs at least one thread");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+CopierPool::~CopierPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        stopping_ = true;
+    }
+    work_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+CopierPool::submit(unsigned shard, Job job)
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        queues_[shard].push_back(std::move(job));
+        ++queued_;
+    }
+    work_.notify_one();
+}
+
+void
+CopierPool::workerLoop()
+{
+    std::vector<Job> jobs;
+    for (;;) {
+        jobs.clear();
+        {
+            std::unique_lock<std::mutex> lk(lock_);
+            work_.wait(lk,
+                       [this]() { return stopping_ || queued_ > 0; });
+            if (queued_ == 0) {
+                // stopping_ and nothing left: completion callbacks
+                // can enqueue follow-on copies, so only exit once the
+                // queues are truly drained.
+                return;
+            }
+            // Round-robin over the shard queues so one bursting shard
+            // cannot starve the others' writeback.
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                const std::size_t q =
+                    (nextShard_ + i) % queues_.size();
+                if (queues_[q].empty())
+                    continue;
+                nextShard_ =
+                    static_cast<unsigned>((q + 1) % queues_.size());
+                const std::size_t take = std::min<std::size_t>(
+                    batch_, queues_[q].size());
+                for (std::size_t k = 0; k < take; ++k) {
+                    jobs.push_back(std::move(queues_[q].front()));
+                    queues_[q].pop_front();
+                }
+                queued_ -= take;
+                break;
+            }
+        }
+        // Batched submission: all device writes first (no shard lock),
+        // then all completions (one shard lock acquisition each).
+        for (Job &job : jobs)
+            job.persist();
+        for (Job &job : jobs)
+            job.complete();
+    }
+}
+
+} // namespace viyojit::runtime

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Background copier thread pool for the sharded runtime.
+ *
+ * The paper's runtime drains proactive copies on a 16-deep device
+ * queue; the sharded runtime generalizes that into a small pool of
+ * copier threads pulling from per-shard job queues.  A job is split
+ * into two closures so the expensive part runs without any shard
+ * lock:
+ *
+ *   persist   pwrite of the page image — no locks held;
+ *   complete  bookkeeping — acquires the owning shard's lock
+ *             internally and notifies waiters.
+ *
+ * Workers pop up to `batch` jobs from one shard's queue at a time,
+ * run every persist back-to-back (batched SSD submission), then every
+ * complete, so the shard lock is touched once per batch instead of
+ * once per page.
+ *
+ * Lock order: the pool's queue lock is a leaf — submit() is called
+ * with a shard lock held, and workers never hold the queue lock while
+ * running jobs.
+ */
+
+#ifndef VIYOJIT_RUNTIME_COPIER_POOL_HH
+#define VIYOJIT_RUNTIME_COPIER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace viyojit::runtime
+{
+
+/** Fixed pool of copier threads over per-shard job queues. */
+class CopierPool
+{
+  public:
+    struct Job
+    {
+        /** Persist the page image; runs with no locks held. */
+        std::function<void()> persist;
+
+        /** Completion bookkeeping; takes the shard lock internally. */
+        std::function<void()> complete;
+    };
+
+    CopierPool(unsigned threads, unsigned shard_count, unsigned batch);
+
+    /** Drains every queue, then joins the workers. */
+    ~CopierPool();
+
+    CopierPool(const CopierPool &) = delete;
+    CopierPool &operator=(const CopierPool &) = delete;
+
+    /** Enqueue a copy job for `shard`.  Safe under a shard lock. */
+    void submit(unsigned shard, Job job);
+
+  private:
+    void workerLoop();
+
+    std::mutex lock_;
+    std::condition_variable work_;
+    std::vector<std::deque<Job>> queues_;
+    const unsigned batch_;
+    std::uint64_t queued_ = 0;
+    unsigned nextShard_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace viyojit::runtime
+
+#endif // VIYOJIT_RUNTIME_COPIER_POOL_HH

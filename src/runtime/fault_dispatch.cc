@@ -1,10 +1,10 @@
 #include "runtime/fault_dispatch.hh"
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
-#include <vector>
 
 #include "common/logging.hh"
 #include "runtime/region.hh"
@@ -15,18 +15,36 @@ namespace viyojit::runtime
 namespace
 {
 
+/**
+ * Lock-free region registry.
+ *
+ * The SIGSEGV handler must read the registry without taking a lock
+ * (the faulting thread may be anywhere, including inside a region's
+ * own locks), so entries live in a fixed array of atomics.  Writers
+ * serialize on registryLock; the handler publishes/consumes with
+ * release/acquire on the `region` pointer:
+ *
+ *  - register: store begin/end first, then region (release) — a
+ *    handler that sees the pointer sees valid bounds;
+ *  - unregister: clear region (release) first — the bounds become
+ *    unreachable before the mapping goes away.  A fault racing an
+ *    unregister can only miss and crash as default, which is the
+ *    pre-existing contract (regions unregister before unmapping).
+ */
 struct RegionEntry
 {
-    NvRegion *region;
-    std::uintptr_t begin;
-    std::uintptr_t end;
+    std::atomic<NvRegion *> region{nullptr};
+    std::atomic<std::uintptr_t> begin{0};
+    std::atomic<std::uintptr_t> end{0};
 };
 
-// The registry is read from a signal handler; mutation happens under
-// the mutex and swaps are kept simple (small vector, no reallocation
-// hazards worth optimizing for the handful of regions a process has).
+constexpr unsigned maxRegions = 64;
+
 std::mutex registryLock;
-std::vector<RegionEntry> registry;
+RegionEntry registry[maxRegions];
+
+/** One past the highest slot ever used; bounds the handler's scan. */
+std::atomic<unsigned> registryHigh{0};
 
 struct sigaction previousAction;
 bool handlerInstalled = false;
@@ -36,12 +54,19 @@ segvHandler(int signo, siginfo_t *info, void *ucontext)
 {
     const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
 
-    // Look up without the lock: entries are only appended/erased under
-    // the lock, and a region unregisters before unmapping, so a fault
-    // racing an unregister can only miss (and then crash as default).
-    for (const RegionEntry &entry : registry) {
-        if (addr >= entry.begin && addr < entry.end) {
-            if (entry.region->handleFault(info->si_addr))
+    const unsigned high =
+        registryHigh.load(std::memory_order_acquire);
+    for (unsigned i = 0; i < high; ++i) {
+        NvRegion *region =
+            registry[i].region.load(std::memory_order_acquire);
+        if (!region)
+            continue;
+        const std::uintptr_t begin =
+            registry[i].begin.load(std::memory_order_relaxed);
+        const std::uintptr_t end =
+            registry[i].end.load(std::memory_order_relaxed);
+        if (addr >= begin && addr < end) {
+            if (region->handleFault(info->si_addr))
                 return;
         }
     }
@@ -85,16 +110,36 @@ registerRegion(NvRegion *region, void *base, unsigned long long bytes)
     if (!handlerInstalled)
         installHandler();
     const auto begin = reinterpret_cast<std::uintptr_t>(base);
-    registry.push_back(RegionEntry{region, begin, begin + bytes});
+    for (unsigned i = 0; i < maxRegions; ++i) {
+        if (registry[i].region.load(std::memory_order_relaxed))
+            continue;
+        registry[i].begin.store(begin, std::memory_order_relaxed);
+        registry[i].end.store(begin + bytes,
+                              std::memory_order_relaxed);
+        registry[i].region.store(region, std::memory_order_release);
+        unsigned high =
+            registryHigh.load(std::memory_order_relaxed);
+        while (high < i + 1 &&
+               !registryHigh.compare_exchange_weak(
+                   high, i + 1, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+        return;
+    }
+    fatal("too many registered NvRegions (max ", maxRegions, ")");
 }
 
 void
 unregisterRegion(NvRegion *region)
 {
     std::lock_guard<std::mutex> guard(registryLock);
-    for (auto it = registry.begin(); it != registry.end(); ++it) {
-        if (it->region == region) {
-            registry.erase(it);
+    for (unsigned i = 0; i < maxRegions; ++i) {
+        if (registry[i].region.load(std::memory_order_relaxed) ==
+            region) {
+            registry[i].region.store(nullptr,
+                                     std::memory_order_release);
+            registry[i].begin.store(0, std::memory_order_relaxed);
+            registry[i].end.store(0, std::memory_order_relaxed);
             return;
         }
     }

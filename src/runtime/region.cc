@@ -5,13 +5,42 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "runtime/copier_pool.hh"
 #include "runtime/fault_dispatch.hh"
+
+// ThreadSanitizer cannot see mprotect ordering: a page is always
+// write-protected before its image is read for persistence (the
+// protect-before-copy rule), so the copier's read of page contents
+// can never race an application store — but the synchronization runs
+// through the MMU, which TSan does not model.  The persistence read
+// is therefore annotated out.
+#if defined(__SANITIZE_THREAD__)
+#define VIYOJIT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VIYOJIT_TSAN 1
+#endif
+#endif
+
+#ifdef VIYOJIT_TSAN
+extern "C" void AnnotateIgnoreReadsBegin(const char *, int);
+extern "C" void AnnotateIgnoreReadsEnd(const char *, int);
+#define VIYOJIT_IGNORE_READS_BEGIN() \
+    AnnotateIgnoreReadsBegin(__FILE__, __LINE__)
+#define VIYOJIT_IGNORE_READS_END() \
+    AnnotateIgnoreReadsEnd(__FILE__, __LINE__)
+#else
+#define VIYOJIT_IGNORE_READS_BEGIN() ((void)0)
+#define VIYOJIT_IGNORE_READS_END() ((void)0)
+#endif
 
 namespace viyojit::runtime
 {
@@ -55,28 +84,49 @@ pwriteFullyWithRetry(int fd, const void *buf, std::uint64_t len,
 }
 
 /**
- * PagingBackend over mprotect and a backing file.
- *
- * Page copies are performed inline (pwrite) — the "async" interface
- * degenerates to immediate completion.  The paper's 16-deep IO queue
- * is a throughput optimization on its Azure SSD; correctness (the
- * protect-before-copy rule, exact dirty accounting) is identical, and
- * the simulated substrate models the queued-IO behaviour for the
- * performance studies.
+ * One page-space shard: a contiguous block of pages with its own
+ * controller, writable bitmaps, lock, and IO completion variable.
+ * Page numbers inside the backend and controller are SHARD-LOCAL
+ * (0 .. pages-1); only mprotect/pwrite translate to global.
  */
-class NvRegion::FileBackend : public core::PagingBackend
+struct NvRegion::Shard
+{
+    unsigned index = 0;
+    PageNum firstPage = 0;
+    std::uint64_t pages = 0;
+
+    /** Guards the controller, the backend bitmaps, and IO state. */
+    mutable std::mutex lock;
+
+    /** Signalled when a background copy for this shard completes. */
+    std::condition_variable ioCv;
+
+    std::unique_ptr<ShardBackend> backend;
+    std::unique_ptr<core::DirtyBudgetController> controller;
+};
+
+/**
+ * PagingBackend over mprotect and a slice of the backing file.
+ *
+ * With no copier pool, page copies are performed inline (pwrite) —
+ * the "async" interface degenerates to immediate completion, exactly
+ * like the pre-sharding runtime.  With copiers, persistPageAsync
+ * enqueues the write; the copier performs the pwrite without the
+ * shard lock (the page is write-protected for the duration) and runs
+ * the completion under it.
+ */
+class NvRegion::ShardBackend : public core::PagingBackend
 {
   public:
-    FileBackend(NvRegion &region)
+    ShardBackend(NvRegion &region, Shard &shard)
         : region_(region),
-          writableWords_((region.pageCount_ + 63) / 64, 0),
-          summary_((writableWords_.size() + 63) / 64, 0)
+          shard_(shard),
+          writableWords_((shard.pages + 63) / 64, 0),
+          summary_((writableWords_.size() + 63) / 64, 0),
+          ioPending_(shard.pages, 0)
     {}
 
-    std::uint64_t pageCount() const override
-    {
-        return region_.pageCount_;
-    }
+    std::uint64_t pageCount() const override { return shard_.pages; }
 
     std::uint64_t pageSize() const override
     {
@@ -112,7 +162,7 @@ class NvRegion::FileBackend : public core::PagingBackend
         }
         // Two-level bitmap walk: only words (and summary words) with
         // a writable page in them are touched, so a mostly-clean
-        // region scans in O(dirty), not O(pageCount).
+        // shard scans in O(dirty), not O(pages).
         PageNum run_start = invalidPage;
         PageNum run_end = 0;
         for (std::uint64_t s = 0; s < summary_.size(); ++s) {
@@ -152,18 +202,75 @@ class NvRegion::FileBackend : public core::PagingBackend
     persistPageAsync(PageNum page,
                      std::function<void()> on_complete) override
     {
-        persistPageBlocking(page);
-        if (on_complete)
-            on_complete();
+        if (!region_.copiers_) {
+            persistPageBlocking(page);
+            if (on_complete)
+                on_complete();
+            return;
+        }
+        // Called with the shard lock held; the copier queue lock is a
+        // leaf (lock-ordering rule 4).
+        ioPending_[page] = 1;
+        ++outstanding_;
+        const PageNum global = shard_.firstPage + page;
+        region_.copiers_->submit(
+            shard_.index,
+            CopierPool::Job{
+                [this, global]() { persistGlobal(global); },
+                [this, page, cb = std::move(on_complete)]() {
+                    std::lock_guard<std::mutex> guard(shard_.lock);
+                    ioPending_[page] = 0;
+                    --outstanding_;
+                    if (cb)
+                        cb();
+                    shard_.ioCv.notify_all();
+                }});
     }
 
     void
     persistPageBlocking(PageNum page) override
     {
+        persistGlobal(shard_.firstPage + page);
+    }
+
+    void
+    waitForPersist(PageNum page) override
+    {
+        if (!ioPending_[page])
+            return;
+        // The caller holds the shard lock (as a lock_guard); adopt it
+        // so the wait releases it while blocked, then release
+        // ownership back to the caller's guard.  Requires a plain
+        // std::mutex — see the lock-ordering block in region.hh.
+        std::unique_lock<std::mutex> lk(shard_.lock, std::adopt_lock);
+        shard_.ioCv.wait(lk, [&]() { return !ioPending_[page]; });
+        lk.release();
+    }
+
+    void
+    waitForAnyPersist() override
+    {
+        if (outstanding_ == 0)
+            return;
+        const unsigned snapshot = outstanding_;
+        std::unique_lock<std::mutex> lk(shard_.lock, std::adopt_lock);
+        shard_.ioCv.wait(
+            lk, [&]() { return outstanding_ < snapshot; });
+        lk.release();
+    }
+
+    unsigned outstandingIos() const override { return outstanding_; }
+
+  private:
+    void
+    persistGlobal(PageNum global)
+    {
         const std::uint64_t ps = region_.pageSize_;
-        const char *src = region_.mem_ + page * ps;
+        const char *src = region_.mem_ + global * ps;
+        VIYOJIT_IGNORE_READS_BEGIN();
         const int error =
-            pwriteFullyWithRetry(region_.fd_, src, ps, page * ps);
+            pwriteFullyWithRetry(region_.fd_, src, ps, global * ps);
+        VIYOJIT_IGNORE_READS_END();
         if (error != 0)
             fatal("page persist to backing file failed after bounded "
                   "retries: ", std::strerror(error));
@@ -171,11 +278,6 @@ class NvRegion::FileBackend : public core::PagingBackend
                                           std::memory_order_relaxed);
     }
 
-    void waitForPersist(PageNum) override {}
-    void waitForAnyPersist() override {}
-    unsigned outstandingIos() const override { return 0; }
-
-  private:
     void
     setWritableBit(PageNum page, bool v)
     {
@@ -191,11 +293,11 @@ class NvRegion::FileBackend : public core::PagingBackend
         }
     }
 
-    /** Pre-optimization O(pageCount) sweep, kept for A/B studies. */
+    /** Pre-optimization O(pages) sweep, kept for A/B studies. */
     void
     scanLinear(FunctionRef<void(PageNum, bool)> visitor)
     {
-        const std::uint64_t n = region_.pageCount_;
+        const std::uint64_t n = shard_.pages;
         PageNum run_start = invalidPage;
         for (PageNum p = 0; p < n; ++p) {
             const bool writable =
@@ -220,15 +322,19 @@ class NvRegion::FileBackend : public core::PagingBackend
         if (pages == 0)
             return;
         const std::uint64_t ps = region_.pageSize_;
-        if (::mprotect(region_.mem_ + first * ps, pages * ps, prot) !=
-            0) {
+        char *base = region_.mem_ + (shard_.firstPage + first) * ps;
+        if (::mprotect(base, pages * ps, prot) != 0)
             panic("mprotect failed: ", std::strerror(errno));
-        }
     }
 
     NvRegion &region_;
+    Shard &shard_;
     std::vector<std::uint64_t> writableWords_;
     std::vector<std::uint64_t> summary_;
+
+    /** Nonzero while a background copy of the page is queued. */
+    std::vector<std::uint8_t> ioPending_;
+    unsigned outstanding_ = 0;
 };
 
 NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
@@ -288,17 +394,74 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     if (::mprotect(mem_, bytes_, PROT_READ) != 0)
         fatal("initial mprotect failed: ", std::strerror(errno));
 
+    // Shard plan: the page space splits into power-of-two-sized
+    // contiguous blocks so shardOf() is a shift.  The last shard may
+    // be short.
+    const std::uint64_t budget = config.dirtyBudgetPages;
+    std::uint64_t desired = config.shards;
+    if (desired == 0) {
+        const std::uint64_t hw = std::max<std::uint64_t>(
+            1, std::thread::hardware_concurrency());
+        const std::uint64_t cap = std::min(
+            {hw, pageCount_, std::max<std::uint64_t>(1, budget / 2)});
+        desired = std::bit_floor(cap);
+    }
+    if (!std::has_single_bit(desired))
+        fatal("shard count must be a power of two");
+    std::uint64_t pps = 1;
+    while (pps * desired < pageCount_)
+        pps *= 2;
+    ppsShift_ = static_cast<unsigned>(std::countr_zero(pps));
+    const unsigned shard_count =
+        static_cast<unsigned>((pageCount_ + pps - 1) / pps);
+
+    std::uint64_t per_shard_quota = budget;
+    if (shard_count > 1) {
+        if (budget < shard_count)
+            fatal("sharded region needs a dirty budget of at least "
+                  "one page per shard");
+        // Initial split leaves roughly half the budget in the pool
+        // as migration headroom for bursting shards.
+        per_shard_quota = std::clamp<std::uint64_t>(
+            budget / (2 * shard_count), 1, budget / shard_count);
+        pool_ = std::make_unique<core::BudgetPool>(
+            budget, budget - per_shard_quota * shard_count);
+        quotaBatch_ = config.quotaBatchPages != 0
+                          ? config.quotaBatchPages
+                          : std::max<std::uint64_t>(
+                                1, per_shard_quota / 4);
+    }
+
     core::ViyojitConfig core_config;
     core_config.pageSize = pageSize_;
-    core_config.dirtyBudgetPages = config.dirtyBudgetPages;
+    core_config.dirtyBudgetPages = per_shard_quota;
     core_config.historyEpochs = config.historyEpochs;
     core_config.pressureWeightCurrent = config.pressureWeightCurrent;
     core_config.maxOutstandingIos = config.maxOutstandingIos;
     core_config.legacyEpochScan = config.legacyEpochScan;
 
-    backend_ = std::make_unique<FileBackend>(*this);
-    controller_ = std::make_unique<core::DirtyBudgetController>(
-        *backend_, core_config);
+    if (config.copierThreads > 0)
+        copiers_ = std::make_unique<CopierPool>(
+            config.copierThreads, shard_count,
+            config.copierBatchPages);
+
+    shards_.reserve(shard_count);
+    for (unsigned i = 0; i < shard_count; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        shard->firstPage = static_cast<PageNum>(i) * pps;
+        shard->pages =
+            std::min<std::uint64_t>(pps,
+                                    pageCount_ - shard->firstPage);
+        shard->backend = std::make_unique<ShardBackend>(*this, *shard);
+        shard->controller =
+            std::make_unique<core::DirtyBudgetController>(
+                *shard->backend, core_config);
+        if (pool_)
+            shard->controller->attachBudgetPool(pool_.get(),
+                                                quotaBatch_);
+        shards_.push_back(std::move(shard));
+    }
 
     registerRegion(this, mem_, bytes_);
     if (config.startEpochThread)
@@ -324,15 +487,19 @@ NvRegion::recover(const std::string &backing_path,
 NvRegion::~NvRegion()
 {
     stopEpochThread();
-    {
-        std::lock_guard<std::recursive_mutex> guard(lock_);
-        controller_->flushAllDirty();
-        // Destructor: best effort only — cannot throw, so a sync
-        // failure is reported but not escalated.
-        if (const int error = fdatasyncWithRetry(fd_); error != 0)
-            warn("fdatasync during region teardown failed: ",
-                 std::strerror(error));
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->lock);
+        shard->controller->flushAllDirty();
     }
+    // The per-shard flushes waited out every queued copy, so the
+    // copier queues are empty; join the workers before tearing down
+    // the backends their jobs reference.
+    copiers_.reset();
+    // Destructor: best effort only — cannot throw, so a sync failure
+    // is reported but not escalated.
+    if (const int error = fdatasyncWithRetry(fd_); error != 0)
+        warn("fdatasync during region teardown failed: ",
+             std::strerror(error));
     unregisterRegion(this);
     if (mem_)
         ::munmap(mem_, bytes_);
@@ -348,23 +515,70 @@ NvRegion::handleFault(void *addr)
     if (a < base || a >= base + bytes_)
         return false;
     const PageNum page = (a - base) / pageSize_;
-    std::lock_guard<std::recursive_mutex> guard(lock_);
-    controller_->onWriteFault(page);
-    return true;
+    Shard &shard = *shards_[shardOf(page)];
+    const PageNum local = page - shard.firstPage;
+    // Pooled shards first try to admit WITHOUT evicting: spare quota
+    // idling in a sibling is free, an eviction costs an SSD write.
+    // Only once a full donor sweep finds no spare does the retry
+    // permit a local eviction.  Standalone (shards=1, no pool) always
+    // evicts directly — onWriteFault never fails there.
+    bool allow_evict = pool_ == nullptr;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> guard(shard.lock);
+            if (shard.controller->onWriteFault(local, allow_evict))
+                return true;
+        }
+        // Quota starved: pull spare quota out of a sibling
+        // (lock-ordering rule 3) and retry the fault.  If no sibling
+        // had any, fall back to evicting our own coldest page.
+        allow_evict = !stealQuotaFor(shard.index);
+    }
+}
+
+bool
+NvRegion::stealQuotaFor(unsigned thief)
+{
+    for (std::size_t step = 1; step < shards_.size(); ++step) {
+        const std::size_t di = (thief + step) % shards_.size();
+        Shard &donor = *shards_[di];
+        std::lock_guard<std::mutex> guard(donor.lock);
+        // Deposit while still holding the donor lock: quota is then
+        // always either inside a shard or in the pool, so a thread
+        // holding every shard lock (setDirtyBudget) observes
+        // sum(quotas) + pool == total with nothing in transit.
+        const std::uint64_t got =
+            donor.controller->releaseSpareQuota(quotaBatch_);
+        if (got) {
+            pool_->deposit(got);
+            quotaSteals_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // Every donor's quota is fully occupied by dirty pages (or the
+    // budget is momentarily in transit to another starving shard);
+    // let the faulting shard evict locally.
+    std::this_thread::yield();
+    return false;
 }
 
 void
 NvRegion::epochTick()
 {
-    std::lock_guard<std::recursive_mutex> guard(lock_);
-    controller_->onEpochBoundary();
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->lock);
+        shard->controller->onEpochBoundary();
+    }
 }
 
 std::uint64_t
 NvRegion::flushAll()
 {
-    std::lock_guard<std::recursive_mutex> guard(lock_);
-    const std::uint64_t flushed = controller_->flushAllDirty();
+    std::uint64_t flushed = 0;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->lock);
+        flushed += shard->controller->flushAllDirty();
+    }
     if (const int error = fdatasyncWithRetry(fd_); error != 0)
         fatal("fdatasync failed after bounded retries: ",
               std::strerror(error));
@@ -374,23 +588,89 @@ NvRegion::flushAll()
 void
 NvRegion::setDirtyBudget(std::uint64_t pages)
 {
-    std::lock_guard<std::recursive_mutex> guard(lock_);
-    controller_->setDirtyBudget(pages);
+    if (!pool_) {
+        std::lock_guard<std::mutex> guard(shards_[0]->lock);
+        shards_[0]->controller->setDirtyBudget(pages);
+        return;
+    }
+    if (pages == 0)
+        fatal("dirty budget must be at least one page");
+
+    // Whole-region retune, done INCREMENTALLY — one shard lock at a
+    // time, never all at once.  A shrink can block on in-flight
+    // copier IO (releaseQuota evicts synchronously, and the cv wait
+    // releases only the one lock it adopted), so holding the other
+    // shard locks across it would let faulting threads race the
+    // redistribution books — and TSan rightly calls the re-acquire a
+    // lock-order inversion.  Instead, reclaimed quota is destroyed
+    // straight out of the donor (destroyReclaimed never lets it
+    // touch available()), so the pool total only moves down, and
+    // sum(dirty) <= total holds at every intermediate step.
+    std::lock_guard<std::mutex> retune_guard(retuneLock_);
+    const std::uint64_t old_total = pool_->totalPages();
+    if (pages >= old_total) {
+        pool_->grow(pages - old_total);
+        return;
+    }
+
+    // Keep the two-page straddling floor per shard whenever the new
+    // total can honour it (mirrors core::redistributeBudget).
+    const std::uint64_t n = shards_.size();
+    const std::uint64_t floor =
+        pages >= 2 * n ? 2 : (pages >= n ? 1 : 0);
+
+    std::uint64_t to_destroy = old_total - pages;
+    to_destroy -= pool_->confiscate(to_destroy);
+    while (to_destroy > 0) {
+        for (std::size_t i = 0; i < n && to_destroy > 0; ++i) {
+            Shard &donor = *shards_[i];
+            std::lock_guard<std::mutex> guard(donor.lock);
+            const std::uint64_t got =
+                donor.controller->releaseQuota(to_destroy, floor);
+            pool_->destroyReclaimed(got);
+            to_destroy -= got;
+        }
+        // Quota borrowed mid-sweep came out of available(); claw it
+        // from there too.  Progress is guaranteed: floors sum to at
+        // most `pages`, so while total > pages, some shard sits
+        // above its floor or the pool has available quota.
+        to_destroy -= pool_->confiscate(to_destroy);
+    }
 }
 
 RegionStats
 NvRegion::stats() const
 {
-    std::lock_guard<std::recursive_mutex> guard(lock_);
-    const core::ControllerStats &cs = controller_->stats();
+    // Coherent snapshot: all shard locks, ascending.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto &shard : shards_)
+        locks.emplace_back(shard->lock);
+
     RegionStats out;
-    out.writeFaults = cs.writeFaults;
-    out.blockedEvictions = cs.blockedEvictions;
-    out.proactiveCopies = cs.proactiveCopies;
-    out.epochs = cs.epochs;
-    out.dirtyPages = controller_->tracker().count();
+    out.shards = shards_.size();
+    std::uint64_t quotas = 0;
+    for (auto &shard : shards_) {
+        const core::ControllerStats &cs = shard->controller->stats();
+        out.writeFaults += cs.writeFaults;
+        out.blockedEvictions += cs.blockedEvictions;
+        out.proactiveCopies += cs.proactiveCopies;
+        out.quotaBorrowedPages += cs.quotaBorrowedPages;
+        out.quotaReturnedPages += cs.quotaReturnedPages;
+        out.dirtyPages += shard->controller->tracker().count();
+        quotas += shard->controller->dirtyBudget();
+    }
+    // Epochs advance in lockstep across shards; report one, not n.
+    out.epochs = shards_[0]->controller->stats().epochs;
     out.bytesPersisted =
         bytesPersisted_.load(std::memory_order_relaxed);
+    out.quotaSteals = quotaSteals_.load(std::memory_order_relaxed);
+    if (pool_) {
+        out.poolAvailablePages = pool_->available();
+        out.dirtyBudgetPages = pool_->totalPages();
+    } else {
+        out.dirtyBudgetPages = quotas;
+    }
     return out;
 }
 
@@ -403,10 +683,13 @@ NvRegion::startEpochThread()
         while (epochRunning_.load(std::memory_order_relaxed)) {
             std::this_thread::sleep_for(
                 std::chrono::microseconds(config_.epochMicros));
-            std::lock_guard<std::recursive_mutex> guard(lock_);
             if (!epochRunning_.load(std::memory_order_relaxed))
                 break;
-            controller_->onEpochBoundary();
+            // Fan the boundary across shards, one lock at a time.
+            for (auto &shard : shards_) {
+                std::lock_guard<std::mutex> guard(shard->lock);
+                shard->controller->onEpochBoundary();
+            }
         }
     });
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Real-memory Viyojit runtime (the paper's 1,500-line shared
- * library, section 5).
+ * library, section 5), sharded for multi-threaded applications.
  *
  * An NvRegion is an mmap'd area whose pages start write-protected;
  * SIGSEGV delivers first writes to the same DirtyBudgetController the
@@ -16,15 +16,59 @@
  * extra fault per page per epoch of activity, which is the overhead
  * the paper's MMU discussion (section 5.4) also attributes to
  * software-only implementations.
+ *
+ * Sharding.  The page space is split into power-of-two-sized
+ * contiguous blocks; each shard owns a block with its own controller
+ * (dirty tracker, recency buckets, victim selection), its own
+ * writable bitmaps, and its own mutex, so threads writing different
+ * shards fault, admit, and persist fully in parallel.  The battery's
+ * single dirty budget is held in a core::BudgetPool: shards carry a
+ * local quota and borrow/return batches through lock-free pool
+ * operations, so the durability invariant — summed dirty pages never
+ * exceed the battery budget — holds at every instant while the fault
+ * fast path touches only its shard's lock.  `shards = 1` (the
+ * default) bypasses the pool entirely and behaves exactly like the
+ * pre-sharding runtime.
+ *
+ * LOCK ORDERING.  Four lock classes exist; deadlock freedom rests on
+ * these rules:
+ *
+ *   1. Shard locks are peers.  No thread acquires a second shard
+ *      lock while holding one, with a single exception: the coherent
+ *      snapshot (stats()) acquires ALL shard locks in ascending
+ *      shard order.  stats() never blocks on IO while holding them,
+ *      and since every other thread holds at most one shard lock and
+ *      never waits for another, the ascending sweep cannot cycle.
+ *      Retunes (setDirtyBudget()) deliberately do NOT use this
+ *      exception: a shrink can wait on copier IO, so it claws quota
+ *      back one shard lock at a time under the region retune mutex
+ *      (taken before any shard lock; nothing acquires it while
+ *      holding one).
+ *   2. The budget pool is lock-free on the fault path (CAS
+ *      borrow/deposit); its retune mutex is taken only by
+ *      total-changing operations (grow/confiscate/destroy) and
+ *      nests inside whatever single shard lock the caller holds.
+ *   3. Cross-shard quota steals lock the donor shard while holding
+ *      NO other shard lock: the thief releases its own shard lock,
+ *      locks one donor at a time, and deposits the clawed-back quota
+ *      into the pool BEFORE unlocking the donor, so quota is never
+ *      in transit outside every lock — a thread holding all shard
+ *      locks always observes sum(quotas) + pool == total.
+ *   4. The copier pool's queue lock is a leaf: submissions happen
+ *      under a shard lock, but copier workers never hold the queue
+ *      lock while persisting or completing (completions re-acquire
+ *      the owning shard's lock only).
+ *
+ * These rules require plain std::mutex (a condition-variable wait
+ * inside the backend temporarily releases the caller's shard lock by
+ * adopting it); the runtime deliberately has no recursive locking.
  */
 
 #ifndef VIYOJIT_RUNTIME_REGION_HH
 #define VIYOJIT_RUNTIME_REGION_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,12 +76,15 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "core/budget_pool.hh"
 #include "core/config.hh"
 #include "core/controller.hh"
 #include "core/paging_backend.hh"
 
 namespace viyojit::runtime
 {
+
+class CopierPool;
 
 /**
  * fdatasync with bounded retry: EINTR/EAGAIN are retried up to
@@ -79,9 +126,35 @@ struct RuntimeConfig
      * core::ViyojitConfig::legacyEpochScan; for A/B validation.
      */
     bool legacyEpochScan = false;
+
+    /**
+     * Page-space shards (power of two).  1 — the default — is the
+     * unsharded runtime: one controller, one lock, no budget pool,
+     * bit-identical behaviour to the pre-sharding code.  0 picks a
+     * power of two bounded by the host's hardware concurrency, the
+     * page count, and half the dirty budget.  Sharded regions need
+     * `dirtyBudgetPages >= shards`.
+     */
+    unsigned shards = 1;
+
+    /**
+     * Background copier threads draining per-shard victim queues.
+     * 0 — the default — persists pages inline on the submitting
+     * thread (deterministic; matches the pre-sharding runtime).
+     */
+    unsigned copierThreads = 0;
+
+    /** Pages a copier worker claims from one shard per batch. */
+    unsigned copierBatchPages = 8;
+
+    /**
+     * Pages moved per borrow between a shard and the budget pool.
+     * 0 picks a quarter of the initial per-shard quota.
+     */
+    std::uint64_t quotaBatchPages = 0;
 };
 
-/** Runtime statistics snapshot. */
+/** Runtime statistics snapshot (coherent across shards). */
 struct RegionStats
 {
     std::uint64_t writeFaults = 0;
@@ -90,6 +163,22 @@ struct RegionStats
     std::uint64_t epochs = 0;
     std::uint64_t dirtyPages = 0;
     std::uint64_t bytesPersisted = 0;
+
+    /** Shards in the region (1 = unsharded). */
+    std::uint64_t shards = 1;
+
+    /** Quota batches borrowed from / returned to the budget pool. */
+    std::uint64_t quotaBorrowedPages = 0;
+    std::uint64_t quotaReturnedPages = 0;
+
+    /** Cross-shard quota steals (fault path found the pool dry). */
+    std::uint64_t quotaSteals = 0;
+
+    /** Unassigned pages in the budget pool (0 when unsharded). */
+    std::uint64_t poolAvailablePages = 0;
+
+    /** Summed per-shard quotas plus the pool (== battery budget). */
+    std::uint64_t dirtyBudgetPages = 0;
 };
 
 /** A battery-bounded non-volatile memory region over real pages. */
@@ -124,6 +213,12 @@ class NvRegion
     std::uint64_t pageCount() const { return pageCount_; }
     std::uint64_t pageSize() const { return pageSize_; }
 
+    /** Shards the page space is split into. */
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
     /** Run one epoch boundary synchronously (tests / manual mode). */
     void epochTick();
 
@@ -133,7 +228,14 @@ class NvRegion
      */
     std::uint64_t flushAll();
 
-    /** Retune the dirty budget at runtime. */
+    /**
+     * Retune the dirty budget at runtime.  Sharded regions shrink
+     * incrementally — one shard lock at a time under the retune
+     * mutex, destroying reclaimed quota so the pool total never
+     * rises transiently (evicting synchronously where a shard's
+     * dirty count no longer fits its shrunken quota).  On return the
+     * pool total equals `pages` and the summed dirty count fits it.
+     */
     void setDirtyBudget(std::uint64_t pages);
 
     RegionStats stats() const;
@@ -142,13 +244,29 @@ class NvRegion
     bool handleFault(void *addr);
 
   private:
-    class FileBackend;
+    class ShardBackend;
+    struct Shard;
 
     NvRegion(const std::string &backing_path, std::uint64_t bytes,
              const RuntimeConfig &config, bool recover_contents);
 
     void startEpochThread();
     void stopEpochThread();
+
+    unsigned shardOf(PageNum page) const
+    {
+        return static_cast<unsigned>(page >> ppsShift_);
+    }
+
+    /**
+     * Fault-path quota steal for `thief`: called with NO shard lock
+     * held; locks one donor shard at a time (lock-ordering rule 3)
+     * and moves SPARE quota (slack above a donor's dirty count —
+     * never evicting donor pages) into the pool for the thief's
+     * retry to borrow.  Returns false when no sibling had any to
+     * give, signalling the thief to evict locally instead.
+     */
+    bool stealQuotaFor(unsigned thief);
 
     RuntimeConfig config_;
     std::uint64_t pageSize_;
@@ -157,16 +275,30 @@ class NvRegion
     char *mem_ = nullptr;
     int fd_ = -1;
 
-    std::unique_ptr<FileBackend> backend_;
-    std::unique_ptr<core::DirtyBudgetController> controller_;
+    /** log2 of pages per shard (shard index = page >> ppsShift_). */
+    unsigned ppsShift_ = 0;
 
-    /** Serializes controller access across app/epoch/IO threads. */
-    mutable std::recursive_mutex lock_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Global battery budget; null when unsharded. */
+    std::unique_ptr<core::BudgetPool> pool_;
+
+    /** Background copiers; null when copierThreads == 0. */
+    std::unique_ptr<CopierPool> copiers_;
+
+    std::uint64_t quotaBatch_ = 1;
 
     std::thread epochThread_;
     std::atomic<bool> epochRunning_{false};
 
     std::atomic<std::uint64_t> bytesPersisted_{0};
+    std::atomic<std::uint64_t> quotaSteals_{0};
+
+    /**
+     * Serializes whole-region retunes (lock-ordering rule 1: taken
+     * before any shard lock, never while holding one).
+     */
+    std::mutex retuneLock_;
 };
 
 } // namespace viyojit::runtime

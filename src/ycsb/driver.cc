@@ -35,25 +35,41 @@ YcsbDriver::YcsbDriver(sim::SimContext &ctx, kvstore::KvStore &store,
         fatal("workload proportions must sum to 1, got ", total);
     if (config.recordCount == 0)
         fatal("record count must be non-zero");
+    if (config.partitions == 0)
+        fatal("partition count must be non-zero");
+    if (config.partitionIndex >= config.partitions)
+        fatal("partition index ", config.partitionIndex,
+              " out of range for ", config.partitions, " partitions");
+    if (config.recordCount < config.partitions)
+        fatal("fewer records than partitions");
+
+    // Contiguous slice; the last partition absorbs the remainder.
+    const std::uint64_t per_partition =
+        config.recordCount / config.partitions;
+    firstRecord_ = config.partitionIndex * per_partition;
+    loadedRecords_ =
+        config.partitionIndex + 1 == config.partitions
+            ? config.recordCount - firstRecord_
+            : per_partition;
 
     switch (spec_.distribution) {
       case RequestDistribution::uniform:
         keyChooser_ =
-            std::make_unique<UniformDistribution>(config.recordCount);
+            std::make_unique<UniformDistribution>(loadedRecords_);
         break;
       case RequestDistribution::zipfian:
         if (config.zipfScaleShift > 0) {
             keyChooser_ = std::make_unique<ScaledZipfianDistribution>(
-                config.recordCount, config.zipfScaleShift);
+                loadedRecords_, config.zipfScaleShift);
         } else {
             keyChooser_ =
                 std::make_unique<ScrambledZipfianDistribution>(
-                    config.recordCount);
+                    loadedRecords_);
         }
         break;
       case RequestDistribution::latest:
         keyChooser_ =
-            std::make_unique<LatestDistribution>(config.recordCount);
+            std::make_unique<LatestDistribution>(loadedRecords_);
         break;
     }
 
@@ -75,15 +91,16 @@ YcsbDriver::keyFor(std::uint64_t index)
 void
 YcsbDriver::load()
 {
-    for (std::uint64_t i = 0; i < config_.recordCount; ++i) {
+    for (std::uint64_t i = 0; i < loadedRecords_; ++i) {
+        const std::uint64_t id = firstRecord_ + i;
         // Vary a few bytes so values are not identical.
-        valueBuffer_[i % valueBuffer_.size()] =
-            static_cast<char>('a' + (i % 26));
-        const bool ok = store_.insert(keyFor(i), valueBuffer_);
+        valueBuffer_[id % valueBuffer_.size()] =
+            static_cast<char>('a' + (id % 26));
+        const bool ok = store_.insert(keyFor(id), valueBuffer_);
         if (!ok)
-            fatal("load failed at record ", i, " (heap exhausted?)");
+            fatal("load failed at record ", id, " (heap exhausted?)");
     }
-    insertedRecords_ = config_.recordCount;
+    insertedRecords_ = loadedRecords_;
     keyChooser_->setItemCount(insertedRecords_);
     ctx_.events().runUntil(ctx_.now());
 }
@@ -108,7 +125,17 @@ std::uint64_t
 YcsbDriver::chooseKeyIndex()
 {
     const std::uint64_t idx = keyChooser_->next(rng_);
-    return std::min<std::uint64_t>(idx, insertedRecords_ - 1);
+    return globalIdFor(std::min<std::uint64_t>(idx,
+                                               insertedRecords_ - 1));
+}
+
+std::uint64_t
+YcsbDriver::globalIdFor(std::uint64_t local) const
+{
+    if (local < loadedRecords_)
+        return firstRecord_ + local;
+    return config_.recordCount + config_.partitionIndex +
+           (local - loadedRecords_) * config_.partitions;
 }
 
 void
@@ -146,7 +173,7 @@ YcsbDriver::executeOp(OpType op, RunResult &result)
         break;
       }
       case OpType::insert: {
-        const std::uint64_t id = insertedRecords_;
+        const std::uint64_t id = globalIdFor(insertedRecords_);
         const bool ok = store_.insert(keyFor(id), valueBuffer_);
         if (ok) {
             ++insertedRecords_;

@@ -56,6 +56,22 @@ struct DriverConfig
      * ScaledZipfianDistribution).
      */
     unsigned zipfScaleShift = 0;
+
+    /**
+     * Key-space partitioning for multi-threaded runs: the record
+     * space [0, recordCount) splits into `partitions` contiguous
+     * slices and this driver instance owns slice `partitionIndex`.
+     * load() inserts only the owned slice, the key chooser draws
+     * from it alone, and tail inserts pick globally unique ids
+     * (recordCount + partitionIndex + k * partitions), so N drivers
+     * with partitionIndex 0..N-1 over one store — one per app
+     * thread — never collide on a key.  The default (1, 0) is the
+     * classic whole-keyspace driver, bit-for-bit.
+     */
+    unsigned partitions = 1;
+
+    /** Which slice this driver owns; must be < partitions. */
+    unsigned partitionIndex = 0;
 };
 
 /** Results of one driver run. */
@@ -95,6 +111,16 @@ class YcsbDriver
   private:
     OpType chooseOp();
     std::uint64_t chooseKeyIndex();
+
+    /**
+     * Map a partition-local record index (chooser draw or insert
+     * counter) to the global key id: loaded records map into the
+     * partition's contiguous slice, tail inserts stride by the
+     * partition count so inserts from different partitions interleave
+     * without colliding.
+     */
+    std::uint64_t globalIdFor(std::uint64_t local) const;
+
     void executeOp(OpType op, RunResult &result);
 
     sim::SimContext &ctx_;
@@ -104,6 +130,14 @@ class YcsbDriver
     Rng rng_;
 
     std::unique_ptr<IntegerDistribution> keyChooser_;
+
+    /** First global record id of the owned partition slice. */
+    std::uint64_t firstRecord_ = 0;
+
+    /** Records load() inserted (the slice size). */
+    std::uint64_t loadedRecords_ = 0;
+
+    /** Partition-local record count (loaded + tail inserts). */
     std::uint64_t insertedRecords_ = 0;
 
     /** Reusable value buffer (mutated per op, avoids allocations). */

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/logging.hh"
@@ -157,6 +158,103 @@ TEST_F(DriverFixture, InvalidProportionsFatal)
     WorkloadSpec bad = standardWorkload('A');
     bad.updateProportion = 0.7; // sums to 1.2
     EXPECT_THROW(YcsbDriver(ctx, store, bad, config), FatalError);
+}
+
+TEST_F(DriverFixture, PartitionedLoadInsertsOnlyOwnedSlice)
+{
+    config.partitions = 4;
+    config.partitionIndex = 1;
+    YcsbDriver driver(ctx, store, standardWorkload('A'), config);
+    driver.load();
+
+    // 500 records / 4 partitions: slice 1 is [125, 250).
+    EXPECT_EQ(store.size(), 125u);
+    EXPECT_FALSE(store.get(YcsbDriver::keyFor(0)).has_value());
+    EXPECT_FALSE(store.get(YcsbDriver::keyFor(124)).has_value());
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(125)).has_value());
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(249)).has_value());
+    EXPECT_FALSE(store.get(YcsbDriver::keyFor(250)).has_value());
+}
+
+TEST_F(DriverFixture, PartitionsCoverKeySpaceWithoutOverlap)
+{
+    // Four drivers over ONE store, as four app threads would run:
+    // loads must tile [0, recordCount) exactly (insert() fails on a
+    // duplicate key, so any overlap would abort the load).
+    std::vector<std::unique_ptr<YcsbDriver>> drivers;
+    for (unsigned p = 0; p < 4; ++p) {
+        config.partitions = 4;
+        config.partitionIndex = p;
+        config.seed = 42 + p;
+        drivers.push_back(std::make_unique<YcsbDriver>(
+            ctx, store, standardWorkload('A'), config));
+        drivers.back()->load();
+    }
+    EXPECT_EQ(store.size(), 500u);
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(0)).has_value());
+    EXPECT_TRUE(store.get(YcsbDriver::keyFor(499)).has_value());
+}
+
+TEST_F(DriverFixture, PartitionedRunsOperateOnOwnedKeysOnly)
+{
+    // A partitioned run asserts internally that every chosen key is
+    // present (read of a loaded key must hit); running all four
+    // partitions against the shared store passes only if each
+    // driver's chooser stays inside its own slice.
+    std::vector<std::unique_ptr<YcsbDriver>> drivers;
+    for (unsigned p = 0; p < 4; ++p) {
+        config.partitions = 4;
+        config.partitionIndex = p;
+        config.seed = 7 + p;
+        config.operationCount = 500;
+        drivers.push_back(std::make_unique<YcsbDriver>(
+            ctx, store, standardWorkload('B'), config));
+        drivers.back()->load();
+    }
+    for (auto &driver : drivers) {
+        const RunResult result = driver->run();
+        EXPECT_EQ(result.operations, 500u);
+    }
+}
+
+TEST_F(DriverFixture, PartitionedInsertsNeverCollide)
+{
+    // Workload D inserts new records; partitioned drivers must pick
+    // globally unique tail ids (recordCount + index + k*partitions).
+    // A collision would make insert() fail, so the store must grow
+    // by exactly the number of insert attempts.
+    std::vector<std::unique_ptr<YcsbDriver>> drivers;
+    for (unsigned p = 0; p < 4; ++p) {
+        config.partitions = 4;
+        config.partitionIndex = p;
+        config.seed = 99 + p;
+        config.operationCount = 800;
+        drivers.push_back(std::make_unique<YcsbDriver>(
+            ctx, store, standardWorkload('D'), config));
+        drivers.back()->load();
+    }
+    std::uint64_t inserts = 0;
+    for (auto &driver : drivers) {
+        const RunResult result = driver->run();
+        inserts += result.insertLatency.count();
+    }
+    EXPECT_GT(inserts, 0u);
+    EXPECT_EQ(store.size(), 500u + inserts);
+}
+
+TEST_F(DriverFixture, PartitionConfigValidation)
+{
+    config.partitions = 4;
+    config.partitionIndex = 4; // out of range
+    EXPECT_THROW(YcsbDriver(ctx, store, standardWorkload('A'), config),
+                 FatalError);
+    config.partitions = 0;
+    config.partitionIndex = 0;
+    EXPECT_THROW(YcsbDriver(ctx, store, standardWorkload('A'), config),
+                 FatalError);
+    config.partitions = 1000; // more partitions than records
+    EXPECT_THROW(YcsbDriver(ctx, store, standardWorkload('A'), config),
+                 FatalError);
 }
 
 TEST(DriverDeterminismTest, SameSeedSameResult)
