@@ -1,22 +1,102 @@
 #!/usr/bin/env bash
-# CI entry point: build and test three configurations.
+# CI entry point: static-analysis gates, then build and test three
+# configurations.
 #
+#   lint             sigsafe_lint --strict, the annotation negative-
+#                    compile suite, clang-tidy over changed files and
+#                    a clang -Wthread-safety -Werror build (both when
+#                    clang is installed; skipped cleanly when not)
 #   build-release/   Release            the configuration the benches use
-#   build-sanitize/  RelWithDebInfo     ASan + UBSan (VIYOJIT_SANITIZE=ON)
+#   build-sanitize/  RelWithDebInfo     ASan + UBSan + -Werror
 #   build-tsan/      RelWithDebInfo     TSan (VIYOJIT_SANITIZE=thread)
 #
-# The first two run the full ctest suite; the sanitizer pass is what
-# catches the bit-twiddling mistakes the fast epoch paths invite
-# (summary-mask indexing, shift widths, heap/cursor bookkeeping).  The
-# TSan pass runs the threaded suites (concurrency, torture, runtime)
-# against the sharded runtime, and the release build additionally
-# gates on the concurrency smoke benchmark (sharding must not slow
-# the single-threaded path down).
+# `./ci.sh lint` runs only the lint stage.  The full run puts lint
+# first: the gates are seconds, the build matrix is minutes.
+#
+# The release and sanitize configurations run the full ctest suite;
+# the sanitizer pass is what catches the bit-twiddling mistakes the
+# fast epoch paths invite (summary-mask indexing, shift widths,
+# heap/cursor bookkeeping), and it builds with VIYOJIT_WERROR=ON so
+# warning regressions fail CI instead of scrolling past.  The TSan
+# pass runs the threaded suites against the sharded runtime, and the
+# release build additionally gates on the concurrency smoke benchmark
+# (sharding must not slow the single-threaded path down).
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=${JOBS:-$(nproc)}
+
+run_lint() {
+    # Async-signal-safety of the SIGSEGV fault path.  Needs only gcc
+    # (the walker reads -S assembly); --strict also rejects stale
+    # allowlist entries so the audited set can only shrink.
+    echo "=== Lint: sigsafe_lint (fault-path async-signal-safety) ==="
+    python3 tools/sigsafe_lint.py --strict
+
+    # Thread-safety annotation contracts, from the breaking side:
+    # broken TUs must trip clang, and must stay valid C++ for gcc.
+    echo "=== Lint: annotation negative-compile suite ==="
+    python3 tests/annotations_negcompile/run_negcompile.py
+    if command -v clang++ >/dev/null 2>&1; then
+        python3 tests/annotations_negcompile/run_negcompile.py \
+            --compiler clang++
+    else
+        echo "clang++ not installed; clang negcompile leg skipped"
+    fi
+
+    # Full-tree annotation check: the contracts only have teeth under
+    # clang, so build the tree with -Wthread-safety[-beta] + -Werror
+    # when clang is available (CMakeLists.txt turns the flags on for
+    # clang by default).
+    if command -v clang++ >/dev/null 2>&1; then
+        echo "=== Lint: clang -Wthread-safety build ==="
+        cmake -B build-clang-tsa -S . \
+              -DCMAKE_CXX_COMPILER=clang++ \
+              -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+              -DVIYOJIT_WERROR=ON
+        cmake --build build-clang-tsa -j "${JOBS}"
+    else
+        echo "clang++ not installed; -Wthread-safety build skipped" \
+             "(annotations compile to no-ops under gcc)"
+    fi
+
+    # clang-tidy (.clang-tidy: bugprone-*, concurrency-*,
+    # performance-*) over the files this branch changed.
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "=== Lint: clang-tidy (changed files) ==="
+        cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+              >/dev/null
+        local base=""
+        if git rev-parse --verify -q origin/main >/dev/null; then
+            base=$(git merge-base origin/main HEAD)
+        elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+            base=HEAD~1
+        fi
+        local changed=()
+        if [[ -n "${base}" ]]; then
+            while IFS= read -r f; do
+                [[ -f "$f" ]] && changed+=("$f")
+            done < <(git diff --name-only "${base}" -- \
+                     'src/*.cc' 'tests/*.cc' 'bench/*.cc' \
+                     'examples/*.cpp')
+        fi
+        if ((${#changed[@]})); then
+            clang-tidy -p build-lint --quiet "${changed[@]}"
+        else
+            echo "no changed sources; clang-tidy skipped"
+        fi
+    else
+        echo "clang-tidy not installed; tidy pass skipped"
+    fi
+
+    echo "=== Lint OK ==="
+}
+
+run_lint
+if [[ "${1:-}" == "lint" ]]; then
+    exit 0
+fi
 
 echo "=== Release build ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -29,9 +109,9 @@ ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 echo "=== Concurrency smoke (sharded vs unsharded, 1 thread) ==="
 ./build-release/bench/abl_concurrency --smoke
 
-echo "=== ASan/UBSan build ==="
+echo "=== ASan/UBSan build (-Werror) ==="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DVIYOJIT_SANITIZE=ON
+      -DVIYOJIT_SANITIZE=ON -DVIYOJIT_WERROR=ON
 cmake --build build-sanitize -j "${JOBS}"
 ctest --test-dir build-sanitize --output-on-failure -j "${JOBS}"
 
@@ -50,11 +130,13 @@ then
     exit 1
 fi
 
-# TSan pass over the threaded suites.  report_signal_unsafe=0 mutes
-# the malloc-inside-SIGSEGV-handler reports: allocating in the fault
-# handler is inherent to the userspace mprotect runtime (the handler
-# IS the admission path), and those reports are not data races.
-# Everything else — races, lock-order inversions — still fails hard.
+# TSan pass over the threaded suites.  report_signal_unsafe=0 stays
+# because TSan's signal check is all-or-nothing per process — but it
+# is no longer the audit.  tools/sigsafe_lint.py (lint stage above)
+# walks the handler's call graph and pins every signal-context call
+# to a justified allowlist entry, so a NEW unsafe call fails CI even
+# though TSan stays quiet.  Races and lock-order inversions still
+# fail hard here.
 echo "=== TSan build (threaded suites) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DVIYOJIT_SANITIZE=thread
@@ -66,4 +148,4 @@ for suite in concurrency_test torture_test runtime_test; do
         "./build-tsan/tests/${suite}"
 done
 
-echo "=== CI OK: all three configurations green ==="
+echo "=== CI OK: lint + three build configurations green ==="

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations + annotated lock types.
+ *
+ * The concurrency contracts of the sharded runtime (region.hh's lock
+ * ordering, DESIGN.md section 8) are encoded with these macros so a
+ * clang build with `-Wthread-safety -Wthread-safety-beta -Werror`
+ * rejects code that touches guarded state without its lock, acquires
+ * locks against the declared order, or calls a REQUIRES function
+ * unheld.  Under compilers without the attributes (gcc) every macro
+ * expands to nothing and the annotated types degrade to plain
+ * std::mutex behaviour — the annotations are contracts, not code.
+ *
+ * The macro names follow the canonical Clang documentation header
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the
+ * vocabulary matches the upstream docs, tutorials, and the negative
+ * compile suite in tests/annotations_negcompile/.
+ *
+ * Clang's analysis does not model std::mutex with libstdc++, so the
+ * runtime locks through the annotated wrappers below:
+ *
+ *   Mutex      an annotated std::mutex (a CAPABILITY);
+ *   MutexLock  the scoped guard (SCOPED_CAPABILITY), replacing
+ *              std::lock_guard;
+ *   CondVar    a condition variable whose wait() REQUIRES the Mutex
+ *              and internally performs the adopt-and-release dance
+ *              the runtime needs (a wait must temporarily release
+ *              the caller's shard lock — see region.hh).
+ */
+
+#ifndef VIYOJIT_COMMON_THREAD_ANNOTATIONS_HH
+#define VIYOJIT_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define VIYOJIT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define VIYOJIT_THREAD_ANNOTATION__(x) // no-op outside clang
+#endif
+
+/** Marks a class as a lockable capability (mutexes, roles). */
+#define CAPABILITY(x) VIYOJIT_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII class that acquires in its ctor / releases in dtor. */
+#define SCOPED_CAPABILITY VIYOJIT_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define GUARDED_BY(x) VIYOJIT_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by `x`. */
+#define PT_GUARDED_BY(x) VIYOJIT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Lock-order declaration: this lock is acquired before `...`. */
+#define ACQUIRED_BEFORE(...) \
+    VIYOJIT_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/** Lock-order declaration: this lock is acquired after `...`. */
+#define ACQUIRED_AFTER(...) \
+    VIYOJIT_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/** Function precondition: caller holds every capability listed. */
+#define REQUIRES(...) \
+    VIYOJIT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function precondition: caller holds shared (reader) access. */
+#define REQUIRES_SHARED(...) \
+    VIYOJIT_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and holds it on return. */
+#define ACQUIRE(...) \
+    VIYOJIT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function releases a capability the caller held. */
+#define RELEASE(...) \
+    VIYOJIT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns `ret`. */
+#define TRY_ACQUIRE(ret, ...) \
+    VIYOJIT_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Function precondition: caller must NOT hold the capability. */
+#define EXCLUDES(...) \
+    VIYOJIT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Runtime-checked assertion that the capability is held. */
+#define ASSERT_CAPABILITY(x) \
+    VIYOJIT_THREAD_ANNOTATION__(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define RETURN_CAPABILITY(x) \
+    VIYOJIT_THREAD_ANNOTATION__(lock_returned(x))
+
+/**
+ * Escape hatch: the function's locking is beyond the static model
+ * (e.g. the all-shards ascending sweep over a dynamic lock set).
+ * Every use carries a comment justifying why, and names the runtime
+ * check (TSan suite, torture harness) that covers the gap.
+ */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    VIYOJIT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace viyojit::common
+{
+
+/**
+ * std::mutex as an annotated capability.  All runtime locks
+ * (region retune mutex, shard locks, copier queue, fault-dispatch
+ * registry, budget-pool retune) are this type, so clang can see
+ * every acquisition.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /**
+     * The wrapped handle, for the rare code that must talk to the
+     * native mutex (CondVar's adopt-and-release wait).  Holding the
+     * native handle is invisible to the analysis — callers document
+     * the hold with assertHeld() or NO_THREAD_SAFETY_ANALYSIS.
+     */
+    std::mutex &native() { return m_; }
+
+    /**
+     * Tell the analysis the capability is held from here to the end
+     * of the scope (no runtime effect).  For code that provably
+     * holds the lock through a channel the analysis cannot see.
+     */
+    void assertHeld() const ASSERT_CAPABILITY(this) {}
+
+  private:
+    std::mutex m_;
+};
+
+/** Scoped acquisition of a Mutex (the std::lock_guard analogue). */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable over an annotated Mutex.
+ *
+ * wait() REQUIRES the mutex and — like every condition wait —
+ * releases it while blocked and re-holds it on return, which is
+ * exactly what the analysis expects of a REQUIRES function.  The
+ * implementation adopts the caller's hold into a std::unique_lock
+ * for the duration of the wait and releases ownership back on exit,
+ * so it composes with MutexLock (and is the reason the runtime's
+ * locks must wrap a plain std::mutex — see region.hh's lock-ordering
+ * notes).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    template <typename Predicate>
+    void
+    wait(Mutex &mutex, Predicate predicate) REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> adopted(mutex.native(),
+                                             std::adopt_lock);
+        cv_.wait(adopted, std::move(predicate));
+        adopted.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace viyojit::common
+
+#endif // VIYOJIT_COMMON_THREAD_ANNOTATIONS_HH

@@ -39,7 +39,18 @@ struct TenantPolicy
     double weight = 1.0;
 };
 
-/** Reapportions one battery's dirty budget among tenant managers. */
+/**
+ * Reapportions one battery's dirty budget among tenant managers.
+ *
+ * Concurrency contract: externally synchronized, like the managers
+ * it balances — broker, tenants, and the battery notifications all
+ * run on the single simulation thread, so there is no lock to name
+ * and no field is capability-guarded.  A rebalance mutates tenant
+ * budgets through ViyojitManager::setDirtyBudget, which shares that
+ * contract; only the real runtime's sharded path (runtime::NvRegion)
+ * has a multi-threaded budget seam, and its contracts live in
+ * budget_pool.hh / region.hh.
+ */
 class BatteryBudgetBroker
 {
   public:

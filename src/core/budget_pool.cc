@@ -45,7 +45,7 @@ BudgetPool::deposit(std::uint64_t pages)
 void
 BudgetPool::grow(std::uint64_t pages)
 {
-    std::lock_guard<std::mutex> guard(retuneLock_);
+    common::MutexLock guard(retuneLock_);
     // Raise the total before releasing the pages so a concurrent
     // borrower can never observe available > total headroom.
     total_.fetch_add(pages, std::memory_order_acq_rel);
@@ -55,7 +55,7 @@ BudgetPool::grow(std::uint64_t pages)
 std::uint64_t
 BudgetPool::confiscate(std::uint64_t pages)
 {
-    std::lock_guard<std::mutex> guard(retuneLock_);
+    common::MutexLock guard(retuneLock_);
     std::uint64_t avail = available_.load(std::memory_order_relaxed);
     std::uint64_t take = 0;
     for (;;) {
@@ -76,7 +76,7 @@ BudgetPool::destroyReclaimed(std::uint64_t pages)
 {
     if (pages == 0)
         return;
-    std::lock_guard<std::mutex> guard(retuneLock_);
+    common::MutexLock guard(retuneLock_);
     total_.fetch_sub(pages, std::memory_order_acq_rel);
 }
 

@@ -31,8 +31,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace viyojit::core
 {
@@ -76,7 +77,7 @@ class BudgetPool
     }
 
     /** Grow the total budget by `pages` (goes to available). */
-    void grow(std::uint64_t pages);
+    void grow(std::uint64_t pages) EXCLUDES(retuneLock_);
 
     /**
      * Shrink the total by destroying up to `pages` of *available*
@@ -84,7 +85,7 @@ class BudgetPool
      * (DirtyBudgetController::releaseQuota) and then confiscated.
      * @return pages actually destroyed, in [0, pages].
      */
-    std::uint64_t confiscate(std::uint64_t pages);
+    std::uint64_t confiscate(std::uint64_t pages) EXCLUDES(retuneLock_);
 
     /**
      * Shrink the total by `pages` the caller already clawed out of a
@@ -94,7 +95,7 @@ class BudgetPool
      * mid-retune — the runtime's incremental shrink relies on this
      * to make monotonic progress against faulting threads.
      */
-    void destroyReclaimed(std::uint64_t pages);
+    void destroyReclaimed(std::uint64_t pages) EXCLUDES(retuneLock_);
 
     /** Lifetime borrow batches granted (observability). */
     std::uint64_t borrowCount() const
@@ -102,10 +103,28 @@ class BudgetPool
         return borrows_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The lock serializing total-changing operations, exposed so
+     * callers (e.g. redistributeBudget) can state EXCLUDES contracts
+     * against it.  Lock-ordering rule 2 (region.hh): this lock nests
+     * INSIDE a single shard lock and takes nothing under it.
+     */
+    common::Mutex &retuneLock() RETURN_CAPABILITY(retuneLock_)
+    {
+        return retuneLock_;
+    }
+
   private:
     /** Serializes total-changing operations (grow/confiscate). */
-    std::mutex retuneLock_;
+    common::Mutex retuneLock_;
 
+    /**
+     * total_ and available_ are deliberately NOT GUARDED_BY
+     * retuneLock_: the fault fast path reads and CASes them
+     * lock-free (tryBorrow/deposit).  The lock only serializes the
+     * rare total-changing writers against each other; lock-free
+     * readers tolerate any interleaving the CAS loops allow.
+     */
     std::atomic<std::uint64_t> total_;
     std::atomic<std::uint64_t> available_;
     std::atomic<std::uint64_t> borrows_{0};
@@ -129,7 +148,8 @@ class BudgetPool
 void redistributeBudget(BudgetPool &pool,
                         const std::vector<DirtyBudgetController *> &shards,
                         std::uint64_t new_total,
-                        std::uint64_t floor_per_shard = 1);
+                        std::uint64_t floor_per_shard = 1)
+    EXCLUDES(pool.retuneLock());
 
 } // namespace viyojit::core
 

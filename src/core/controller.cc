@@ -23,6 +23,13 @@ DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
         fatal("need at least one outstanding IO slot");
     recency_.setUseSeqTieBreak(config.updateTimeTieBreak);
     recency_.setLegacyQueue(config.legacyEpochScan);
+    // Steady-state faults must not heap-allocate (the real runtime
+    // enters this path from its SIGSEGV handler): pre-size the
+    // budget-bounded fault-path structures to their fixpoint.
+    recency_.reserveStaging(config.maxOutstandingIos);
+    recency_.reserveDirtyBound(budget_);
+    tracker_.reserve(budget_);
+    backend_.setPersistClient(*this);
 }
 
 bool
@@ -37,6 +44,11 @@ DirtyBudgetController::attachBudgetPool(BudgetPool *pool,
 {
     pool_ = pool;
     borrowBatch_ = std::max<std::uint64_t>(borrow_batch, 1);
+    // A pooled shard's quota can grow to the whole battery budget
+    // via borrows; re-reserve to the pool total so those borrows
+    // never push a fault-path insert into a reallocation.
+    tracker_.reserve(pool->totalPages());
+    recency_.reserveDirtyBound(pool->totalPages());
 }
 
 bool
@@ -271,8 +283,7 @@ DirtyBudgetController::startCopy(PageNum victim, bool proactive)
     ++inFlightCount_;
     if (proactive)
         ++stats_.proactiveCopies;
-    backend_.persistPageAsync(
-        victim, [this, victim]() { onPersistComplete(victim); });
+    backend_.persistPageAsync(victim);
 }
 
 void
@@ -313,6 +324,10 @@ DirtyBudgetController::setDirtyBudget(std::uint64_t pages)
         fatal("a pooled shard's quota is managed by the budget pool; "
               "use releaseQuota/grantQuota or redistributeBudget");
     budget_ = pages;
+    // A grown budget raises the fault-path fixpoint; re-reserve off
+    // the fault path so faults still never allocate.
+    tracker_.reserve(budget_);
+    recency_.reserveDirtyBound(budget_);
     // Shrinking below the current dirty count: evict synchronously
     // until we fit (battery fade handling, section 8).
     while (tracker_.count() > budget_)

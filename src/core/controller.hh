@@ -53,8 +53,20 @@ struct ControllerStats
     std::uint64_t quotaReturnedPages = 0;
 };
 
-/** Dirty-budget enforcement engine. */
-class DirtyBudgetController
+/**
+ * Dirty-budget enforcement engine.
+ *
+ * Concurrency contract: the controller is EXTERNALLY SYNCHRONIZED —
+ * it holds no lock of its own, and every method (including the
+ * PersistClient completions) must run under whatever serializes the
+ * owning substrate: the shard lock in the mprotect runtime (see
+ * NvRegion::Shard, whose controller pointer is PT_GUARDED_BY the
+ * shard lock — that annotation carries the machine-checked form of
+ * this contract), or the single simulation thread for a
+ * ViyojitManager.  Only the attached BudgetPool is itself
+ * thread-safe.
+ */
+class DirtyBudgetController : public PersistClient
 {
   public:
     DirtyBudgetController(PagingBackend &backend,
@@ -109,7 +121,7 @@ class DirtyBudgetController
     void onEpochBoundary();
 
     /** Called by the backend when an async page copy completes. */
-    void onPersistComplete(PageNum page);
+    void onPersistComplete(PageNum page) override;
 
     /**
      * Called by the backend when an async page copy is abandoned
@@ -118,7 +130,7 @@ class DirtyBudgetController
      * write-protected until the next fault readmits it or a later
      * pump/flush copies it again.
      */
-    void onPersistAborted(PageNum page);
+    void onPersistAborted(PageNum page) override;
 
     /**
      * Retune the budget at runtime (battery fade, section 8).  If the

@@ -11,6 +11,7 @@
 #ifndef VIYOJIT_CORE_DIRTY_TRACKER_HH
 #define VIYOJIT_CORE_DIRTY_TRACKER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,20 @@ class DirtyPageTracker
 {
   public:
     explicit DirtyPageTracker(std::uint64_t page_count);
+
+    /**
+     * Pre-size the dirty list for a dirty count up to `max_dirty`
+     * (clamped to the page count), so steady-state markDirty never
+     * heap-allocates — it runs on the fault path, which the real
+     * runtime enters from a signal handler (tools/sigsafe_lint.py).
+     * The list reaches this size at fixpoint anyway; reserving only
+     * front-loads it.
+     */
+    void reserve(std::uint64_t max_dirty)
+    {
+        dirtyList_.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(max_dirty, position_.size())));
+    }
 
     /**
      * Record the first write to a page.

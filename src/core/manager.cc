@@ -127,10 +127,9 @@ ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
         return;
     }
     if (status == storage::IoStatus::ok) {
-        auto cb = std::move(it->second.onComplete);
         inFlight_.erase(it);
-        if (cb)
-            cb();
+        VIYOJIT_ASSERT(client_, "persist completion without client");
+        client_->onPersistComplete(page);
         return;
     }
     retryOrAbort(page);
@@ -169,7 +168,8 @@ ViyojitManager::SimBackend::retryOrAbort(PageNum page)
         mgr_.ctx_.stats().counter("io.aborted_copies").increment();
         warn("page copy abandoned after ", mgr_.config_.maxIoRetries,
              " attempts (page ", page, "); left dirty");
-        mgr_.controller_->onPersistAborted(page);
+        VIYOJIT_ASSERT(client_, "persist abort without client");
+        client_->onPersistAborted(page);
         return;
     }
 
@@ -189,14 +189,12 @@ ViyojitManager::SimBackend::retryOrAbort(PageNum page)
 }
 
 void
-ViyojitManager::SimBackend::persistPageAsync(
-    PageNum page, std::function<void()> on_complete)
+ViyojitManager::SimBackend::persistPageAsync(PageNum page)
 {
     VIYOJIT_ASSERT(!inFlight_.contains(page), "double copy of a page");
     PendingCopy io;
     io.generation = ++nextGeneration_;
-    io.onComplete = std::move(on_complete);
-    inFlight_.emplace(page, std::move(io));
+    inFlight_.emplace(page, io);
     submitAttempt(page);
 }
 

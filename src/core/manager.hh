@@ -66,7 +66,19 @@ struct IoFaultStats
     std::uint64_t staleCompletions = 0;
 };
 
-/** Simulated NV-DRAM manager with the Viyojit mechanism. */
+/**
+ * Simulated NV-DRAM manager with the Viyojit mechanism.
+ *
+ * Concurrency contract: a manager — like the controller it owns — is
+ * externally synchronized and runs on the single simulation thread;
+ * nothing here is annotated with a capability because there is no
+ * lock to name.  The one exception is SimBackend's IO fault
+ * counters, which tests read concurrently with simulated IO: they
+ * are atomics materialized as coherent value snapshots.  When
+ * managers shard one battery (ShardedBudgetDomain, the multi-shard
+ * torture), the shared core::BudgetPool is the only thread-safe
+ * seam, and its lock contracts live in budget_pool.hh.
+ */
 class ViyojitManager
 {
   public:
@@ -196,8 +208,7 @@ class ViyojitManager
         void scanAndClearDirty(
             bool flush_tlb,
             FunctionRef<void(PageNum, bool)> visitor) override;
-        void persistPageAsync(PageNum page,
-                              std::function<void()> on_complete) override;
+        void persistPageAsync(PageNum page) override;
         void persistPageBlocking(PageNum page) override;
         void waitForPersist(PageNum page) override;
         void waitForAnyPersist() override;
@@ -234,8 +245,6 @@ class ViyojitManager
 
             /** Invalidates stragglers from abandoned attempts. */
             std::uint64_t generation = 0;
-
-            std::function<void()> onComplete;
         };
 
         /** Launch the next submit attempt for `page`. */

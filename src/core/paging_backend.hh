@@ -14,7 +14,6 @@
 #define VIYOJIT_CORE_PAGING_BACKEND_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "common/function_ref.hh"
 #include "common/types.hh"
@@ -22,11 +21,40 @@
 namespace viyojit::core
 {
 
+/**
+ * Receiver of asynchronous persistence outcomes.
+ *
+ * The controller implements this; backends deliver every
+ * persistPageAsync outcome through it instead of per-call closures.
+ * Keeping the channel a plain virtual interface (not std::function)
+ * matters on the runtime substrate: a copy is launched from inside
+ * the SIGSEGV admission path, where constructing a capturing closure
+ * could heap-allocate — and malloc is not async-signal-safe (see
+ * tools/sigsafe_lint.py).
+ */
+class PersistClient
+{
+  public:
+    virtual ~PersistClient() = default;
+
+    /** The page's copy is durable. */
+    virtual void onPersistComplete(PageNum page) = 0;
+
+    /** The page's copy was abandoned (IO retries exhausted). */
+    virtual void onPersistAborted(PageNum page) = 0;
+};
+
 /** Paging + persistence primitives consumed by the controller. */
 class PagingBackend
 {
   public:
     virtual ~PagingBackend() = default;
+
+    /**
+     * Attach the receiver for persistPageAsync outcomes.  Called
+     * once, by the controller's constructor, before any IO.
+     */
+    void setPersistClient(PersistClient &client) { client_ = &client; }
 
     /** Number of pages in the managed NV region. */
     virtual std::uint64_t pageCount() const = 0;
@@ -54,12 +82,13 @@ class PagingBackend
         FunctionRef<void(PageNum, bool was_dirty)> visitor) = 0;
 
     /**
-     * Start persisting a page to the backing store.  `on_complete`
-     * fires when the page is durable.  The caller guarantees the page
-     * is write-protected for the duration.
+     * Start persisting a page to the backing store.  The outcome is
+     * delivered to the attached PersistClient — onPersistComplete
+     * when the page is durable, onPersistAborted when the backend
+     * gives up.  The caller guarantees the page is write-protected
+     * for the duration, and that a client is attached.
      */
-    virtual void persistPageAsync(PageNum page,
-                                  std::function<void()> on_complete) = 0;
+    virtual void persistPageAsync(PageNum page) = 0;
 
     /** Persist a page and wait for durability. */
     virtual void persistPageBlocking(PageNum page) = 0;
@@ -85,6 +114,10 @@ class PagingBackend
      * Substrates without device-side queue limits return true.
      */
     virtual bool canSubmit() const { return true; }
+
+  protected:
+    /** Outcome receiver; set before the first async persist. */
+    PersistClient *client_ = nullptr;
 };
 
 } // namespace viyojit::core

@@ -43,6 +43,7 @@
 #ifndef VIYOJIT_CORE_RECENCY_HH
 #define VIYOJIT_CORE_RECENCY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -87,6 +88,38 @@ class EpochRecencyTracker
      * (config.legacyEpochScan); call before the first update.
      */
     void setLegacyQueue(bool enable) { legacyQueue_ = enable; }
+
+    /**
+     * Pre-size the pick-path scratch so victim selection does not
+     * heap-allocate on the (possibly signal-context) fault path: the
+     * stash of excluded-but-live entries a pick skips over is
+     * bounded by the exclusion set — the pages under copy (at most
+     * `max_outstanding`) plus the skip/straddling-guard pair.
+     * Bucket and cold vectors still grow geometrically during
+     * warm-up and reach a fixpoint; see DESIGN.md §8.
+     */
+    void reserveStaging(unsigned max_outstanding)
+    {
+        stash_.reserve(max_outstanding + 4);
+    }
+
+    /**
+     * Pre-size the cold list for a dirty working set up to
+     * `max_dirty` pages (clamped to the page count): every tracked
+     * page can age out of the window at once, and the cold list must
+     * absorb them without allocating on the fault path.  Like the
+     * dirty tracker's reserve, this front-loads the fixpoint size.
+     * The per-epoch ring buckets are NOT pre-sized — their worst
+     * case is the same bound PER BUCKET, which would multiply the
+     * footprint by the window length; their geometric growth reaches
+     * a fixpoint during warm-up instead (see the sigsafe allowlist).
+     */
+    void reserveDirtyBound(std::uint64_t max_dirty)
+    {
+        cold_.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(max_dirty,
+                                    lastUpdateSeq_.size())));
+    }
 
     /**
      * Record that a page was updated during the current epoch (set

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "battery/battery.hh"
+#include "common/thread_annotations.hh"
 #include "core/budget_pool.hh"
 #include "core/manager.hh"
 
@@ -130,7 +131,15 @@ class ShardedBudgetDomain : public BudgetDomain
     std::uint64_t pageSize() const override;
     storage::Ssd &ssd() override;
     sim::SimContext &ctx() override;
-    void applyBudget(std::uint64_t pages) override;
+
+    /**
+     * Redistributes through core::redistributeBudget, which takes
+     * the pool's retune mutex — so the caller must not hold it
+     * (machine-checked: a governor callback fired while a retune is
+     * in progress on the same thread would self-deadlock).
+     */
+    void applyBudget(std::uint64_t pages)
+        EXCLUDES(pool_.retuneLock()) override;
 
     /** Summed dirty pages across the shard set. */
     std::uint64_t summedDirtyPages() const;
@@ -203,6 +212,15 @@ struct SafeModeStats
  * budget so a power cut is always survivable.  The governor must
  * outlive neither the domain nor the battery it is attached to
  * (it registers a capacity listener on the battery).
+ *
+ * Concurrency contract: externally synchronized — the governor runs
+ * on the single simulation thread (battery events and periodic
+ * reevaluations both arrive through the event queue), so no field
+ * here is capability-guarded; the applying_/reevaluatePending_ latch
+ * below handles same-thread re-entrancy, not cross-thread races.
+ * The one multi-thread seam it touches is the domain's BudgetPool,
+ * whose lock contracts (and applyBudget's EXCLUDES above) are
+ * machine-checked.
  */
 class SafeModeGovernor
 {

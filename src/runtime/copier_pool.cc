@@ -8,11 +8,17 @@ namespace viyojit::runtime
 {
 
 CopierPool::CopierPool(unsigned threads, unsigned shard_count,
-                       unsigned batch)
+                       unsigned batch, unsigned queue_capacity)
     : queues_(shard_count), batch_(std::max(batch, 1u))
 {
     if (threads == 0)
         fatal("copier pool needs at least one thread");
+    if (queue_capacity == 0)
+        fatal("copier queues need at least one slot");
+    // All ring storage is reserved here, before any fault can
+    // submit: the steady-state fault path must not heap-allocate.
+    for (Ring &ring : queues_)
+        ring.slots.resize(queue_capacity);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this]() { workerLoop(); });
@@ -21,7 +27,7 @@ CopierPool::CopierPool(unsigned threads, unsigned shard_count,
 CopierPool::~CopierPool()
 {
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        common::MutexLock guard(lock_);
         stopping_ = true;
     }
     work_.notify_all();
@@ -33,8 +39,16 @@ void
 CopierPool::submit(unsigned shard, Job job)
 {
     {
-        std::lock_guard<std::mutex> guard(lock_);
-        queues_[shard].push_back(std::move(job));
+        common::MutexLock guard(lock_);
+        Ring &ring = queues_[shard];
+        if (ring.count == ring.slots.size()) {
+            // The submitter's outstanding-IO cap bounds the queue;
+            // hitting capacity means that invariant broke.
+            fatal("copier queue overflow on shard ", shard,
+                  " (capacity ", ring.slots.size(), ")");
+        }
+        ring.slots[(ring.head + ring.count) % ring.slots.size()] = job;
+        ++ring.count;
         ++queued_;
     }
     work_.notify_one();
@@ -44,12 +58,14 @@ void
 CopierPool::workerLoop()
 {
     std::vector<Job> jobs;
+    jobs.reserve(batch_);
     for (;;) {
         jobs.clear();
         {
-            std::unique_lock<std::mutex> lk(lock_);
-            work_.wait(lk,
-                       [this]() { return stopping_ || queued_ > 0; });
+            common::MutexLock guard(lock_);
+            work_.wait(lock_, [this]() REQUIRES(lock_) {
+                return stopping_ || queued_ > 0;
+            });
             if (queued_ == 0) {
                 // stopping_ and nothing left: completion callbacks
                 // can enqueue follow-on copies, so only exit once the
@@ -61,16 +77,18 @@ CopierPool::workerLoop()
             for (std::size_t i = 0; i < queues_.size(); ++i) {
                 const std::size_t q =
                     (nextShard_ + i) % queues_.size();
-                if (queues_[q].empty())
+                Ring &ring = queues_[q];
+                if (ring.count == 0)
                     continue;
                 nextShard_ =
                     static_cast<unsigned>((q + 1) % queues_.size());
-                const std::size_t take = std::min<std::size_t>(
-                    batch_, queues_[q].size());
+                const std::size_t take =
+                    std::min<std::size_t>(batch_, ring.count);
                 for (std::size_t k = 0; k < take; ++k) {
-                    jobs.push_back(std::move(queues_[q].front()));
-                    queues_[q].pop_front();
+                    jobs.push_back(ring.slots[ring.head]);
+                    ring.head = (ring.head + 1) % ring.slots.size();
                 }
+                ring.count -= take;
                 queued_ -= take;
                 break;
             }
@@ -78,9 +96,9 @@ CopierPool::workerLoop()
         // Batched submission: all device writes first (no shard lock),
         // then all completions (one shard lock acquisition each).
         for (Job &job : jobs)
-            job.persist();
+            job.client->copierPersist(job.page);
         for (Job &job : jobs)
-            job.complete();
+            job.client->copierComplete(job.page);
     }
 }
 

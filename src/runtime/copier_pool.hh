@@ -4,52 +4,75 @@
  *
  * The paper's runtime drains proactive copies on a 16-deep device
  * queue; the sharded runtime generalizes that into a small pool of
- * copier threads pulling from per-shard job queues.  A job is split
- * into two closures so the expensive part runs without any shard
- * lock:
+ * copier threads pulling from per-shard job queues.  A job is a POD
+ * (client, page) pair dispatched through the CopierClient interface
+ * in two phases so the expensive part runs without any shard lock:
  *
- *   persist   pwrite of the page image — no locks held;
- *   complete  bookkeeping — acquires the owning shard's lock
- *             internally and notifies waiters.
+ *   copierPersist   pwrite of the page image — no locks held;
+ *   copierComplete  bookkeeping — acquires the owning shard's lock
+ *                   internally and notifies waiters.
+ *
+ * Jobs are POD on purpose: submission happens inside the SIGSEGV
+ * admission path, so enqueueing must not heap-allocate (malloc is
+ * not async-signal-safe — see tools/sigsafe_lint.py).  Each shard's
+ * queue is a fixed-capacity ring sized at construction to the
+ * shard's outstanding-IO cap, which the controller never exceeds;
+ * overflow is therefore an invariant violation, not backpressure.
  *
  * Workers pop up to `batch` jobs from one shard's queue at a time,
  * run every persist back-to-back (batched SSD submission), then every
  * complete, so the shard lock is touched once per batch instead of
  * once per page.
  *
- * Lock order: the pool's queue lock is a leaf — submit() is called
- * with a shard lock held, and workers never hold the queue lock while
- * running jobs.
+ * Lock order (region.hh rule 4): the pool's queue lock is a leaf —
+ * submit() is called with a shard lock held, and workers never hold
+ * the queue lock while running jobs.
  */
 
 #ifndef VIYOJIT_RUNTIME_COPIER_POOL_HH
 #define VIYOJIT_RUNTIME_COPIER_POOL_HH
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
+#include "common/types.hh"
+
 namespace viyojit::runtime
 {
+
+/** Two-phase receiver of copier work (implemented per shard). */
+class CopierClient
+{
+  public:
+    virtual ~CopierClient() = default;
+
+    /** Persist the page image; runs with no locks held. */
+    virtual void copierPersist(PageNum page) = 0;
+
+    /** Completion bookkeeping; takes the shard lock internally. */
+    virtual void copierComplete(PageNum page) = 0;
+};
 
 /** Fixed pool of copier threads over per-shard job queues. */
 class CopierPool
 {
   public:
+    /** POD work item; construction and queueing never allocate. */
     struct Job
     {
-        /** Persist the page image; runs with no locks held. */
-        std::function<void()> persist;
-
-        /** Completion bookkeeping; takes the shard lock internally. */
-        std::function<void()> complete;
+        CopierClient *client;
+        PageNum page;
     };
 
-    CopierPool(unsigned threads, unsigned shard_count, unsigned batch);
+    /**
+     * @param queue_capacity per-shard ring capacity; the submitter
+     *        guarantees it never has more jobs queued (the
+     *        controller's outstanding-IO cap).
+     */
+    CopierPool(unsigned threads, unsigned shard_count, unsigned batch,
+               unsigned queue_capacity);
 
     /** Drains every queue, then joins the workers. */
     ~CopierPool();
@@ -58,18 +81,26 @@ class CopierPool
     CopierPool &operator=(const CopierPool &) = delete;
 
     /** Enqueue a copy job for `shard`.  Safe under a shard lock. */
-    void submit(unsigned shard, Job job);
+    void submit(unsigned shard, Job job) EXCLUDES(lock_);
 
   private:
-    void workerLoop();
+    /** Fixed-capacity ring: slots are reserved once, never grown. */
+    struct Ring
+    {
+        std::vector<Job> slots;
+        std::size_t head = 0;
+        std::size_t count = 0;
+    };
 
-    std::mutex lock_;
-    std::condition_variable work_;
-    std::vector<std::deque<Job>> queues_;
+    void workerLoop() EXCLUDES(lock_);
+
+    common::Mutex lock_;
+    common::CondVar work_;
+    std::vector<Ring> queues_ GUARDED_BY(lock_);
     const unsigned batch_;
-    std::uint64_t queued_ = 0;
-    unsigned nextShard_ = 0;
-    bool stopping_ = false;
+    std::uint64_t queued_ GUARDED_BY(lock_) = 0;
+    unsigned nextShard_ GUARDED_BY(lock_) = 0;
+    bool stopping_ GUARDED_BY(lock_) = false;
     std::vector<std::thread> workers_;
 };
 

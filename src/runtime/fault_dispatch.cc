@@ -4,9 +4,9 @@
 #include <csignal>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "runtime/region.hh"
 
 namespace viyojit::runtime
@@ -40,17 +40,34 @@ struct RegionEntry
 
 constexpr unsigned maxRegions = 64;
 
-std::mutex registryLock;
+common::Mutex registryLock;
 RegionEntry registry[maxRegions];
 
 /** One past the highest slot ever used; bounds the handler's scan. */
 std::atomic<unsigned> registryHigh{0};
 
-struct sigaction previousAction;
-bool handlerInstalled = false;
+/**
+ * Written once under registryLock (installHandler) before the first
+ * region is live, then read lock-free by the handler.  GUARDED_BY
+ * covers every writer; the handler's read is the one deliberate
+ * unguarded access and sits inside its NO_THREAD_SAFETY_ANALYSIS —
+ * safe because installation strictly precedes any dispatchable
+ * fault.
+ */
+struct sigaction previousAction GUARDED_BY(registryLock);
+bool handlerInstalled GUARDED_BY(registryLock) = false;
 
+/**
+ * Async-signal context: must not take registryLock (the faulting
+ * thread may already hold it, or any other lock) and must not
+ * allocate — the registry is a fixed array of atomics for exactly
+ * this reason, which is also why the static lock analysis is off
+ * here.  tools/sigsafe_lint.py audits the handler's transitive
+ * call graph for async-signal-unsafe calls.
+ */
 void
-segvHandler(int signo, siginfo_t *info, void *ucontext)
+segvHandler(int signo, siginfo_t *info,
+            void *ucontext) NO_THREAD_SAFETY_ANALYSIS
 {
     const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
 
@@ -89,7 +106,7 @@ segvHandler(int signo, siginfo_t *info, void *ucontext)
 }
 
 void
-installHandler()
+installHandler() REQUIRES(registryLock)
 {
     struct sigaction action;
     std::memset(&action, 0, sizeof(action));
@@ -106,7 +123,7 @@ installHandler()
 void
 registerRegion(NvRegion *region, void *base, unsigned long long bytes)
 {
-    std::lock_guard<std::mutex> guard(registryLock);
+    common::MutexLock guard(registryLock);
     if (!handlerInstalled)
         installHandler();
     const auto begin = reinterpret_cast<std::uintptr_t>(base);
@@ -132,7 +149,7 @@ registerRegion(NvRegion *region, void *base, unsigned long long bytes)
 void
 unregisterRegion(NvRegion *region)
 {
-    std::lock_guard<std::mutex> guard(registryLock);
+    common::MutexLock guard(registryLock);
     for (unsigned i = 0; i < maxRegions; ++i) {
         if (registry[i].region.load(std::memory_order_relaxed) ==
             region) {

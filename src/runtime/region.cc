@@ -9,8 +9,8 @@
 #include <bit>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "runtime/copier_pool.hh"
@@ -95,14 +95,23 @@ struct NvRegion::Shard
     PageNum firstPage = 0;
     std::uint64_t pages = 0;
 
-    /** Guards the controller, the backend bitmaps, and IO state. */
-    mutable std::mutex lock;
+    /** Owning region; set before the lock is first acquired. */
+    NvRegion *owner = nullptr;
+
+    /**
+     * Guards the controller, the backend bitmaps, and IO state.
+     * Lock-ordering rule 1: shard locks are peers and nest inside
+     * the region retune mutex — declared so the analysis rejects
+     * taking the retune mutex while a shard lock is held.
+     */
+    mutable common::Mutex lock ACQUIRED_AFTER(owner->retuneLock_);
 
     /** Signalled when a background copy for this shard completes. */
-    std::condition_variable ioCv;
+    common::CondVar ioCv;
 
-    std::unique_ptr<ShardBackend> backend;
-    std::unique_ptr<core::DirtyBudgetController> controller;
+    std::unique_ptr<ShardBackend> backend PT_GUARDED_BY(lock);
+    std::unique_ptr<core::DirtyBudgetController> controller
+        PT_GUARDED_BY(lock);
 };
 
 /**
@@ -111,11 +120,19 @@ struct NvRegion::Shard
  * With no copier pool, page copies are performed inline (pwrite) —
  * the "async" interface degenerates to immediate completion, exactly
  * like the pre-sharding runtime.  With copiers, persistPageAsync
- * enqueues the write; the copier performs the pwrite without the
- * shard lock (the page is write-protected for the duration) and runs
- * the completion under it.
+ * enqueues a POD job (this backend is the CopierClient); the copier
+ * performs the pwrite without the shard lock (the page is
+ * write-protected for the duration) and runs the completion under
+ * it.  Enqueueing happens on the SIGSEGV admission path, so nothing
+ * here may heap-allocate in steady state (tools/sigsafe_lint.py).
+ *
+ * The PagingBackend entry points run under the shard lock (the
+ * controller is externally synchronized by it), which the REQUIRES
+ * annotations below make checkable; the CopierClient entry points
+ * run on copier threads and manage the lock themselves.
  */
-class NvRegion::ShardBackend : public core::PagingBackend
+class NvRegion::ShardBackend : public core::PagingBackend,
+                               public CopierClient
 {
   public:
     ShardBackend(NvRegion &region, Shard &shard)
@@ -134,14 +151,14 @@ class NvRegion::ShardBackend : public core::PagingBackend
     }
 
     void
-    protectPage(PageNum page) override
+    protectPage(PageNum page) REQUIRES(shard_.lock) override
     {
         mprotectRange(page, 1, PROT_READ);
         setWritableBit(page, false);
     }
 
     void
-    unprotectPage(PageNum page) override
+    unprotectPage(PageNum page) REQUIRES(shard_.lock) override
     {
         mprotectRange(page, 1, PROT_READ | PROT_WRITE);
         setWritableBit(page, true);
@@ -149,7 +166,8 @@ class NvRegion::ShardBackend : public core::PagingBackend
 
     void
     scanAndClearDirty(bool flush_tlb,
-                      FunctionRef<void(PageNum, bool)> visitor) override
+                      FunctionRef<void(PageNum, bool)> visitor)
+        REQUIRES(shard_.lock) override
     {
         // Userspace dirty-bit emulation: every epoch re-protects the
         // writable (== written-this-epoch) pages, so the next write
@@ -199,67 +217,76 @@ class NvRegion::ShardBackend : public core::PagingBackend
     }
 
     void
-    persistPageAsync(PageNum page,
-                     std::function<void()> on_complete) override
+    persistPageAsync(PageNum page) REQUIRES(shard_.lock) override
     {
         if (!region_.copiers_) {
             persistPageBlocking(page);
-            if (on_complete)
-                on_complete();
+            if (client_)
+                client_->onPersistComplete(page);
             return;
         }
-        // Called with the shard lock held; the copier queue lock is a
-        // leaf (lock-ordering rule 4).
+        // Called with the shard lock held; the copier queue lock is
+        // a leaf (lock-ordering rule 4).  The job is POD and the
+        // queue a preallocated ring: no allocation on this path.
         ioPending_[page] = 1;
         ++outstanding_;
-        const PageNum global = shard_.firstPage + page;
-        region_.copiers_->submit(
-            shard_.index,
-            CopierPool::Job{
-                [this, global]() { persistGlobal(global); },
-                [this, page, cb = std::move(on_complete)]() {
-                    std::lock_guard<std::mutex> guard(shard_.lock);
-                    ioPending_[page] = 0;
-                    --outstanding_;
-                    if (cb)
-                        cb();
-                    shard_.ioCv.notify_all();
-                }});
+        region_.copiers_->submit(shard_.index,
+                                 CopierPool::Job{this, page});
     }
 
     void
-    persistPageBlocking(PageNum page) override
+    persistPageBlocking(PageNum page) REQUIRES(shard_.lock) override
     {
         persistGlobal(shard_.firstPage + page);
     }
 
+    /** Copier phase 1: the device write, no locks held. */
     void
-    waitForPersist(PageNum page) override
+    copierPersist(PageNum page) override
     {
-        if (!ioPending_[page])
-            return;
-        // The caller holds the shard lock (as a lock_guard); adopt it
-        // so the wait releases it while blocked, then release
-        // ownership back to the caller's guard.  Requires a plain
-        // std::mutex — see the lock-ordering block in region.hh.
-        std::unique_lock<std::mutex> lk(shard_.lock, std::adopt_lock);
-        shard_.ioCv.wait(lk, [&]() { return !ioPending_[page]; });
-        lk.release();
+        persistGlobal(shard_.firstPage + page);
+    }
+
+    /** Copier phase 2: bookkeeping under the shard lock. */
+    void
+    copierComplete(PageNum page) EXCLUDES(shard_.lock) override
+    {
+        common::MutexLock guard(shard_.lock);
+        ioPending_[page] = 0;
+        --outstanding_;
+        if (client_)
+            client_->onPersistComplete(page);
+        shard_.ioCv.notify_all();
     }
 
     void
-    waitForAnyPersist() override
+    waitForPersist(PageNum page) REQUIRES(shard_.lock) override
+    {
+        if (!ioPending_[page])
+            return;
+        // The wait releases the caller's shard lock while blocked
+        // (CondVar adopts the native handle and hands it back).
+        shard_.ioCv.wait(shard_.lock, [&]() REQUIRES(shard_.lock) {
+            return !ioPending_[page];
+        });
+    }
+
+    void
+    waitForAnyPersist() REQUIRES(shard_.lock) override
     {
         if (outstanding_ == 0)
             return;
         const unsigned snapshot = outstanding_;
-        std::unique_lock<std::mutex> lk(shard_.lock, std::adopt_lock);
-        shard_.ioCv.wait(
-            lk, [&]() { return outstanding_ < snapshot; });
-        lk.release();
+        shard_.ioCv.wait(shard_.lock, [&]() REQUIRES(shard_.lock) {
+            return outstanding_ < snapshot;
+        });
     }
 
-    unsigned outstandingIos() const override { return outstanding_; }
+    unsigned
+    outstandingIos() const REQUIRES(shard_.lock) override
+    {
+        return outstanding_;
+    }
 
   private:
     void
@@ -279,7 +306,7 @@ class NvRegion::ShardBackend : public core::PagingBackend
     }
 
     void
-    setWritableBit(PageNum page, bool v)
+    setWritableBit(PageNum page, bool v) REQUIRES(shard_.lock)
     {
         const std::uint64_t w = page / 64;
         const std::uint64_t bit = 1ULL << (page % 64);
@@ -296,6 +323,7 @@ class NvRegion::ShardBackend : public core::PagingBackend
     /** Pre-optimization O(pages) sweep, kept for A/B studies. */
     void
     scanLinear(FunctionRef<void(PageNum, bool)> visitor)
+        REQUIRES(shard_.lock)
     {
         const std::uint64_t n = shard_.pages;
         PageNum run_start = invalidPage;
@@ -329,12 +357,12 @@ class NvRegion::ShardBackend : public core::PagingBackend
 
     NvRegion &region_;
     Shard &shard_;
-    std::vector<std::uint64_t> writableWords_;
-    std::vector<std::uint64_t> summary_;
+    std::vector<std::uint64_t> writableWords_ GUARDED_BY(shard_.lock);
+    std::vector<std::uint64_t> summary_ GUARDED_BY(shard_.lock);
 
     /** Nonzero while a background copy of the page is queued. */
-    std::vector<std::uint8_t> ioPending_;
-    unsigned outstanding_ = 0;
+    std::vector<std::uint8_t> ioPending_ GUARDED_BY(shard_.lock);
+    unsigned outstanding_ GUARDED_BY(shard_.lock) = 0;
 };
 
 NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
@@ -440,20 +468,31 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     core_config.maxOutstandingIos = config.maxOutstandingIos;
     core_config.legacyEpochScan = config.legacyEpochScan;
 
-    if (config.copierThreads > 0)
+    if (config.copierThreads > 0) {
+        // Ring capacity = the per-shard outstanding-IO cap the
+        // controller enforces, so a queue can never overflow and
+        // submission never allocates.
         copiers_ = std::make_unique<CopierPool>(
             config.copierThreads, shard_count,
-            config.copierBatchPages);
+            config.copierBatchPages,
+            std::max(config.maxOutstandingIos, 1u));
+    }
 
     shards_.reserve(shard_count);
     for (unsigned i = 0; i < shard_count; ++i) {
         auto shard = std::make_unique<Shard>();
         shard->index = i;
+        shard->owner = this;
         shard->firstPage = static_cast<PageNum>(i) * pps;
         shard->pages =
             std::min<std::uint64_t>(pps,
                                     pageCount_ - shard->firstPage);
         shard->backend = std::make_unique<ShardBackend>(*this, *shard);
+        // The shard is not yet published (no faults can route here
+        // before registerRegion below), but the controller pointer
+        // is lock-annotated, so honour the contract — the lock is
+        // uncontended.
+        common::MutexLock guard(shard->lock);
         shard->controller =
             std::make_unique<core::DirtyBudgetController>(
                 *shard->backend, core_config);
@@ -488,7 +527,7 @@ NvRegion::~NvRegion()
 {
     stopEpochThread();
     for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard->lock);
+        common::MutexLock guard(shard->lock);
         shard->controller->flushAllDirty();
     }
     // The per-shard flushes waited out every queued copy, so the
@@ -525,7 +564,7 @@ NvRegion::handleFault(void *addr)
     bool allow_evict = pool_ == nullptr;
     for (;;) {
         {
-            std::lock_guard<std::mutex> guard(shard.lock);
+            common::MutexLock guard(shard.lock);
             if (shard.controller->onWriteFault(local, allow_evict))
                 return true;
         }
@@ -542,7 +581,7 @@ NvRegion::stealQuotaFor(unsigned thief)
     for (std::size_t step = 1; step < shards_.size(); ++step) {
         const std::size_t di = (thief + step) % shards_.size();
         Shard &donor = *shards_[di];
-        std::lock_guard<std::mutex> guard(donor.lock);
+        common::MutexLock guard(donor.lock);
         // Deposit while still holding the donor lock: quota is then
         // always either inside a shard or in the pool, so a thread
         // holding every shard lock (setDirtyBudget) observes
@@ -566,7 +605,7 @@ void
 NvRegion::epochTick()
 {
     for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard->lock);
+        common::MutexLock guard(shard->lock);
         shard->controller->onEpochBoundary();
     }
 }
@@ -576,7 +615,7 @@ NvRegion::flushAll()
 {
     std::uint64_t flushed = 0;
     for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard->lock);
+        common::MutexLock guard(shard->lock);
         flushed += shard->controller->flushAllDirty();
     }
     if (const int error = fdatasyncWithRetry(fd_); error != 0)
@@ -589,7 +628,7 @@ void
 NvRegion::setDirtyBudget(std::uint64_t pages)
 {
     if (!pool_) {
-        std::lock_guard<std::mutex> guard(shards_[0]->lock);
+        common::MutexLock guard(shards_[0]->lock);
         shards_[0]->controller->setDirtyBudget(pages);
         return;
     }
@@ -606,7 +645,7 @@ NvRegion::setDirtyBudget(std::uint64_t pages)
     // straight out of the donor (destroyReclaimed never lets it
     // touch available()), so the pool total only moves down, and
     // sum(dirty) <= total holds at every intermediate step.
-    std::lock_guard<std::mutex> retune_guard(retuneLock_);
+    common::MutexLock retune_guard(retuneLock_);
     const std::uint64_t old_total = pool_->totalPages();
     if (pages >= old_total) {
         pool_->grow(pages - old_total);
@@ -624,7 +663,7 @@ NvRegion::setDirtyBudget(std::uint64_t pages)
     while (to_destroy > 0) {
         for (std::size_t i = 0; i < n && to_destroy > 0; ++i) {
             Shard &donor = *shards_[i];
-            std::lock_guard<std::mutex> guard(donor.lock);
+            common::MutexLock guard(donor.lock);
             const std::uint64_t got =
                 donor.controller->releaseQuota(to_destroy, floor);
             pool_->destroyReclaimed(got);
@@ -638,14 +677,17 @@ NvRegion::setDirtyBudget(std::uint64_t pages)
     }
 }
 
+// The ascending sweep over ALL shard locks is a dynamic lock set the
+// static analysis cannot express (see the lock-ordering block in
+// region.hh, rule 1); the TSan CI suites cover this function.
 RegionStats
-NvRegion::stats() const
+NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
 {
     // Coherent snapshot: all shard locks, ascending.
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(shards_.size());
     for (auto &shard : shards_)
-        locks.emplace_back(shard->lock);
+        locks.emplace_back(shard->lock.native());
 
     RegionStats out;
     out.shards = shards_.size();
@@ -687,7 +729,7 @@ NvRegion::startEpochThread()
                 break;
             // Fan the boundary across shards, one lock at a time.
             for (auto &shard : shards_) {
-                std::lock_guard<std::mutex> guard(shard->lock);
+                common::MutexLock guard(shard->lock);
                 shard->controller->onEpochBoundary();
             }
         }

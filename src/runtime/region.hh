@@ -31,7 +31,10 @@
  * pre-sharding runtime.
  *
  * LOCK ORDERING.  Four lock classes exist; deadlock freedom rests on
- * these rules:
+ * these rules, each encoded as a Clang Thread Safety annotation
+ * (common/thread_annotations.hh) so a clang build with
+ * `-Wthread-safety -Werror` rejects violations — see DESIGN.md §8
+ * for the rule-by-rule annotation map:
  *
  *   1. Shard locks are peers.  No thread acquires a second shard
  *      lock while holding one, with a single exception: the coherent
@@ -39,15 +42,19 @@
  *      shard order.  stats() never blocks on IO while holding them,
  *      and since every other thread holds at most one shard lock and
  *      never waits for another, the ascending sweep cannot cycle.
- *      Retunes (setDirtyBudget()) deliberately do NOT use this
- *      exception: a shrink can wait on copier IO, so it claws quota
- *      back one shard lock at a time under the region retune mutex
- *      (taken before any shard lock; nothing acquires it while
- *      holding one).
+ *      (The dynamic all-shards sweep is beyond the static lock-set
+ *      model; stats() is the runtime's one NO_THREAD_SAFETY_ANALYSIS
+ *      function, covered by the TSan suites.)  Retunes
+ *      (setDirtyBudget()) deliberately do NOT use this exception: a
+ *      shrink can wait on copier IO, so it claws quota back one
+ *      shard lock at a time under the region retune mutex — taken
+ *      before any shard lock, never while holding one, which is
+ *      Shard::lock's ACQUIRED_AFTER(owner->retuneLock_).
  *   2. The budget pool is lock-free on the fault path (CAS
  *      borrow/deposit); its retune mutex is taken only by
- *      total-changing operations (grow/confiscate/destroy) and
- *      nests inside whatever single shard lock the caller holds.
+ *      total-changing operations (grow/confiscate/destroy, each
+ *      EXCLUDES(retuneLock_)) and nests inside whatever single
+ *      shard lock the caller holds.
  *   3. Cross-shard quota steals lock the donor shard while holding
  *      NO other shard lock: the thief releases its own shard lock,
  *      locks one donor at a time, and deposits the clawed-back quota
@@ -55,13 +62,17 @@
  *      in transit outside every lock — a thread holding all shard
  *      locks always observes sum(quotas) + pool == total.
  *   4. The copier pool's queue lock is a leaf: submissions happen
- *      under a shard lock, but copier workers never hold the queue
- *      lock while persisting or completing (completions re-acquire
- *      the owning shard's lock only).
+ *      under a shard lock (CopierPool::submit EXCLUDES its queue
+ *      lock), but copier workers never hold the queue lock while
+ *      persisting or completing (completions re-acquire the owning
+ *      shard's lock only).
  *
- * These rules require plain std::mutex (a condition-variable wait
- * inside the backend temporarily releases the caller's shard lock by
- * adopting it); the runtime deliberately has no recursive locking.
+ * Shard state (controller, backend bitmaps, IO bookkeeping) is
+ * GUARDED_BY/PT_GUARDED_BY the shard lock.  Condition waits go
+ * through common::CondVar, whose wait() REQUIRES the annotated
+ * mutex and internally adopts/releases the native handle — the
+ * reason the locks wrap plain std::mutex; the runtime deliberately
+ * has no recursive locking.
  */
 
 #ifndef VIYOJIT_RUNTIME_REGION_HH
@@ -70,11 +81,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "core/budget_pool.hh"
 #include "core/config.hh"
@@ -236,8 +247,15 @@ class NvRegion
      * dirty count no longer fits its shrunken quota).  On return the
      * pool total equals `pages` and the summed dirty count fits it.
      */
-    void setDirtyBudget(std::uint64_t pages);
+    void setDirtyBudget(std::uint64_t pages) EXCLUDES(retuneLock_);
 
+    /**
+     * Coherent snapshot across shards.  Acquires every shard lock in
+     * ascending order (lock-ordering rule 1's one exception) — a
+     * dynamic lock set the static analysis cannot model, so the
+     * implementation is NO_THREAD_SAFETY_ANALYSIS; the TSan CI
+     * suites cover it.
+     */
     RegionStats stats() const;
 
     /** Handle a fault at `addr` if it belongs to this region. */
@@ -296,9 +314,10 @@ class NvRegion
 
     /**
      * Serializes whole-region retunes (lock-ordering rule 1: taken
-     * before any shard lock, never while holding one).
+     * before any shard lock, never while holding one — each shard's
+     * lock declares ACQUIRED_AFTER this mutex).
      */
-    std::mutex retuneLock_;
+    common::Mutex retuneLock_;
 };
 
 } // namespace viyojit::runtime

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * MUST NOT compile clean under clang -Wthread-safety: acquires a
+ * mutex that is already held (std::mutex would deadlock at runtime;
+ * the analysis rejects it at compile time).
+ *
+ * negcompile-expect: -Wthread-safety
+ */
+
+#include "common/thread_annotations.hh"
+
+int
+main()
+{
+    viyojit::common::Mutex mutex;
+    viyojit::common::MutexLock outer(mutex);
+    viyojit::common::MutexLock inner(mutex); // BROKEN: re-acquire.
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MUST NOT compile clean under clang -Wthread-safety: calls an
+ * EXCLUDES(lock) function while holding the lock.  This is the
+ * self-deadlock shape the annotation on SafeModeGovernor::
+ * applyBudget(... EXCLUDES(pool_.retuneLock())) guards against
+ * (safe_mode.hh), reduced to one class.
+ *
+ * negcompile-expect: -Wthread-safety
+ */
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Pool
+{
+  public:
+    void
+    retune(std::uint64_t quota) EXCLUDES(lock_)
+    {
+        viyojit::common::MutexLock guard(lock_);
+        quota_ = quota;
+    }
+
+    void
+    drainAndRetune() EXCLUDES(lock_)
+    {
+        viyojit::common::MutexLock guard(lock_);
+        retune(0); // BROKEN: retune() EXCLUDES the held lock_.
+    }
+
+  private:
+    viyojit::common::Mutex lock_;
+    std::uint64_t quota_ GUARDED_BY(lock_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Pool pool;
+    pool.drainAndRetune();
+    return 0;
+}

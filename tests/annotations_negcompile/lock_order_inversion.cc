@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MUST NOT compile clean under clang -Wthread-safety-beta: acquires
+ * two mutexes against their declared ACQUIRED_AFTER order.  This is
+ * rule R1 of DESIGN.md section 8 — the region retune mutex orders
+ * before every shard lock (Shard::lock is ACQUIRED_AFTER the owning
+ * region's retuneLock_) — reduced to two locks.
+ *
+ * Lock-order checking ships behind -Wthread-safety-beta; the driver
+ * passes it, matching the VIYOJIT_THREAD_SAFETY build flags.
+ *
+ * negcompile-expect: -Wthread-safety
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+struct TwoLocks
+{
+    viyojit::common::Mutex retune;
+    viyojit::common::Mutex shard ACQUIRED_AFTER(retune);
+};
+
+} // namespace
+
+int
+main()
+{
+    TwoLocks locks;
+    viyojit::common::MutexLock shard_guard(locks.shard);
+    viyojit::common::MutexLock retune_guard(locks.retune); // BROKEN
+    return 0;
+}

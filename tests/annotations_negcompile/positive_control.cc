@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Positive control for the negative-compile suite: correct locking
+ * that must compile WARNING-FREE under clang -Wthread-safety
+ * -Wthread-safety-beta and under gcc (where the annotations are
+ * no-ops).  If this file ever fails, the suite's harness or the
+ * annotation macros are broken — not the checked-in runtime code.
+ */
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Account
+{
+  public:
+    void
+    deposit(std::uint64_t amount) EXCLUDES(lock_)
+    {
+        viyojit::common::MutexLock guard(lock_);
+        balance_ += amount;
+    }
+
+    std::uint64_t
+    balanceLocked() const REQUIRES(lock_)
+    {
+        return balance_;
+    }
+
+    std::uint64_t
+    balance() EXCLUDES(lock_)
+    {
+        viyojit::common::MutexLock guard(lock_);
+        return balanceLocked();
+    }
+
+  private:
+    mutable viyojit::common::Mutex lock_;
+    std::uint64_t balance_ GUARDED_BY(lock_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Account account;
+    account.deposit(5);
+    return account.balance() == 5 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MUST NOT compile clean under clang -Wthread-safety: calls a
+ * REQUIRES(lock) function without holding the lock.  Mirrors the
+ * PagingBackend seam, where every ShardBackend method REQUIRES the
+ * owning shard's mutex (region.cc).
+ *
+ * negcompile-expect: -Wthread-safety
+ */
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Shard
+{
+  public:
+    void
+    persistLocked(std::uint64_t page) REQUIRES(lock_)
+    {
+        lastPersisted_ = page;
+    }
+
+  private:
+    viyojit::common::Mutex lock_;
+    std::uint64_t lastPersisted_ GUARDED_BY(lock_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Shard shard;
+    shard.persistLocked(3); // BROKEN: lock_ not held.
+    return 0;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Negative-compile suite for the thread-safety annotations.
+
+Each *.cc in this directory except positive_control.cc deliberately
+violates a concurrency contract from src/common/thread_annotations.hh.
+Under clang with -Wthread-safety -Wthread-safety-beta every broken TU
+must produce a thread-safety diagnostic (matched against the TU's
+`negcompile-expect:` marker) and the positive control must compile
+warning-free — so the suite fails both when an annotation stops
+catching its bug AND when a macro breaks good code.
+
+Under gcc the annotations expand to nothing; every TU (broken ones
+included) must then simply compile, which pins down that the macros
+stay no-ops outside clang and that the TUs do not rot into invalid
+C++.  CI runs the suite with whichever compilers exist: the gcc leg
+always, the clang leg when a clang++ is on PATH (ci.sh lint).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+POSITIVE = "positive_control.cc"
+
+BASE_FLAGS = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra"]
+CLANG_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta"]
+DIAG_RE = re.compile(r"\[-Wthread-safety")
+
+
+def is_clang(compiler):
+    out = subprocess.run([compiler, "--version"], capture_output=True,
+                         text=True, check=True)
+    return "clang" in out.stdout.lower()
+
+
+def expected_marker(path):
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            marker = line.partition("negcompile-expect:")[2].strip()
+            if marker:
+                return marker
+    return None
+
+
+def compile_tu(compiler, flags, src_root, path):
+    cmd = [compiler, *flags, "-I", src_root, path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler",
+                    default=os.environ.get("CXX", "g++"))
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: ../../ from here)")
+    args = ap.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = args.repo or os.path.dirname(os.path.dirname(here))
+    src_root = os.path.join(repo, "src")
+
+    clang = is_clang(args.compiler)
+    flags = BASE_FLAGS + (CLANG_FLAGS if clang else [])
+    mode = "clang (expect diagnostics)" if clang \
+        else "gcc (annotations no-op, expect clean compiles)"
+    print(f"negcompile: compiler={args.compiler} mode={mode}")
+
+    cases = sorted(f for f in os.listdir(here) if f.endswith(".cc"))
+    if POSITIVE not in cases:
+        sys.exit("negcompile: positive control missing")
+
+    failures = []
+    for case in cases:
+        path = os.path.join(here, case)
+        rc, stderr = compile_tu(args.compiler, flags, src_root, path)
+        diag = DIAG_RE.search(stderr)
+        if rc != 0:
+            # Even broken TUs are valid C++ — only the *analysis*
+            # complains, and only as warnings.  A hard error means
+            # the TU or the harness rotted.
+            failures.append((case, "failed to parse:\n" + stderr))
+            continue
+        if case == POSITIVE or not clang:
+            if clang and diag:
+                failures.append(
+                    (case, "positive control raised a thread-safety "
+                           "diagnostic:\n" + stderr))
+            continue
+        # clang + broken TU: require the expected diagnostic.
+        marker = expected_marker(path) or "-Wthread-safety"
+        if not diag or marker not in stderr:
+            failures.append(
+                (case, f"expected a '{marker}' diagnostic, compiler "
+                       "stayed silent — the annotation no longer "
+                       "catches this bug.\n" + stderr))
+            continue
+        print(f"  {case}: caught "
+              f"({len(DIAG_RE.findall(stderr))} diagnostic(s))")
+
+    if failures:
+        print(f"\nnegcompile: {len(failures)} case(s) FAILED:")
+        for case, why in failures:
+            print(f"\n  {case}: {why}")
+        return 1
+    print(f"negcompile: OK ({len(cases)} TU(s), "
+          f"{'clang' if clang else 'gcc'} leg)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * MUST NOT compile clean under clang -Wthread-safety: writes a
+ * GUARDED_BY field without holding its mutex.  This is the exact
+ * mistake the annotations on NvRegion::ShardBackend's writableWords_
+ * / summary_ / ioPending_ members exist to catch (region.cc).
+ *
+ * negcompile-expect: -Wthread-safety
+ */
+
+#include <cstdint>
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+struct Counter
+{
+    viyojit::common::Mutex lock;
+    std::uint64_t value GUARDED_BY(lock) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.value = 7; // BROKEN: no lock held.
+    return static_cast<int>(counter.value);
+}

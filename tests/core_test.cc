@@ -337,9 +337,9 @@ class MockBackend : public PagingBackend
     }
 
     void
-    persistPageAsync(PageNum p, std::function<void()> cb) override
+    persistPageAsync(PageNum p) override
     {
-        pending.emplace_back(p, std::move(cb));
+        pending.push_back(p);
         ++persistCount;
     }
 
@@ -355,10 +355,9 @@ class MockBackend : public PagingBackend
     waitForPersist(PageNum p) override
     {
         for (auto it = pending.begin(); it != pending.end(); ++it) {
-            if (it->first == p) {
-                auto cb = std::move(it->second);
+            if (*it == p) {
                 pending.erase(it);
-                cb();
+                complete(p);
                 return;
             }
         }
@@ -369,9 +368,9 @@ class MockBackend : public PagingBackend
     {
         if (pending.empty())
             return;
-        auto [p, cb] = std::move(pending.front());
+        const PageNum p = pending.front();
         pending.pop_front();
-        cb();
+        complete(p);
     }
 
     unsigned outstandingIos() const override
@@ -391,9 +390,17 @@ class MockBackend : public PagingBackend
 
     std::vector<std::uint8_t> protected_;
     std::set<PageNum> hwDirty;
-    std::deque<std::pair<PageNum, std::function<void()>>> pending;
+    std::deque<PageNum> pending;
     unsigned persistCount = 0;
     unsigned blockingCount = 0;
+
+  private:
+    void
+    complete(PageNum p)
+    {
+        ASSERT_NE(client_, nullptr);
+        client_->onPersistComplete(p);
+    }
 };
 
 ViyojitConfig
@@ -506,7 +513,7 @@ TEST(ControllerTest, FaultOnInFlightPageWaits)
         ctl.onWriteFault(p);
     ctl.onEpochBoundary(); // starts proactive copies
     ASSERT_GT(backend.outstandingIos(), 0u);
-    const PageNum in_flight = backend.pending.front().first;
+    const PageNum in_flight = backend.pending.front();
     ctl.onWriteFault(in_flight);
     EXPECT_GT(ctl.stats().inFlightWaits, 0u);
     EXPECT_TRUE(ctl.tracker().isDirty(in_flight));

@@ -83,12 +83,13 @@ TEST_F(HwAssistFixture, CheaperThanSoftwareTraps)
     // Measure the virtual time of the same write pattern under both
     // modes; the assist must be faster (no per-first-write trap).
     auto run = [](bool hw) {
-        sim::SimContext ctx;
-        storage::Ssd ssd(ctx, storage::SsdConfig{});
+        sim::SimContext run_ctx;
+        storage::Ssd run_ssd(run_ctx, storage::SsdConfig{});
         ViyojitConfig cfg;
         cfg.dirtyBudgetPages = 16;
         cfg.hardwareAssist = hw;
-        ViyojitManager mgr(ctx, ssd, cfg, mmu::MmuCostModel{}, 128);
+        ViyojitManager mgr(run_ctx, run_ssd, cfg, mmu::MmuCostModel{},
+                           128);
         const Addr base = mgr.vmmap(64 * defaultPageSize);
         mgr.start();
         Rng rng(3);
@@ -97,7 +98,7 @@ TEST_F(HwAssistFixture, CheaperThanSoftwareTraps)
                       32);
             mgr.processEvents();
         }
-        return ctx.now();
+        return run_ctx.now();
     };
     EXPECT_LT(run(true), run(false));
 }
@@ -145,13 +146,14 @@ TEST_F(HwAssistFixture, WritebackCollisionStillSafe)
 TEST_F(HwAssistFixture, DurabilityAcrossRandomFailures)
 {
     for (int seed = 0; seed < 5; ++seed) {
-        sim::SimContext ctx;
-        storage::Ssd ssd(ctx, storage::SsdConfig{});
+        sim::SimContext trial_ctx;
+        storage::Ssd trial_ssd(trial_ctx, storage::SsdConfig{});
         ViyojitConfig cfg;
         cfg.dirtyBudgetPages = 6;
         cfg.hardwareAssist = true;
         cfg.epochLength = 50_us;
-        ViyojitManager mgr(ctx, ssd, cfg, mmu::MmuCostModel{}, 64);
+        ViyojitManager mgr(trial_ctx, trial_ssd, cfg,
+                           mmu::MmuCostModel{}, 64);
         const Addr base = mgr.vmmap(48 * defaultPageSize);
         mgr.start();
         Rng rng(seed);

@@ -46,9 +46,9 @@ class LimitedBackend : public PagingBackend
     }
 
     void
-    persistPageAsync(PageNum p, std::function<void()> cb) override
+    persistPageAsync(PageNum p) override
     {
-        pending.emplace_back(p, std::move(cb));
+        pending.push_back(p);
     }
 
     void persistPageBlocking(PageNum) override { ++blockingWrites; }
@@ -57,10 +57,9 @@ class LimitedBackend : public PagingBackend
     waitForPersist(PageNum p) override
     {
         for (auto it = pending.begin(); it != pending.end(); ++it) {
-            if (it->first == p) {
-                auto cb = std::move(it->second);
+            if (*it == p) {
                 pending.erase(it);
-                cb();
+                complete(p);
                 return;
             }
         }
@@ -71,9 +70,9 @@ class LimitedBackend : public PagingBackend
     {
         if (pending.empty())
             return;
-        auto [p, cb] = std::move(pending.front());
+        const PageNum p = pending.front();
         pending.pop_front();
-        cb();
+        complete(p);
     }
 
     unsigned outstandingIos() const override
@@ -88,9 +87,17 @@ class LimitedBackend : public PagingBackend
     }
 
     std::vector<std::uint8_t> protected_;
-    std::deque<std::pair<PageNum, std::function<void()>>> pending;
+    std::deque<PageNum> pending;
     unsigned deviceLimit_;
     unsigned blockingWrites = 0;
+
+  private:
+    void
+    complete(PageNum p)
+    {
+        ASSERT_NE(client_, nullptr);
+        client_->onPersistComplete(p);
+    }
 };
 
 ViyojitConfig
