@@ -109,6 +109,12 @@ ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 echo "=== Concurrency smoke (sharded vs unsharded, 1 thread) ==="
 ./build-release/bench/abl_concurrency --smoke
 
+# Coalesced-IO gate: batched run writeback must beat the per-page
+# flush where locality exists and never lose where it does not
+# (bench/abl_io_batching.cc; bars are relaxed under --smoke).
+echo "=== IO-batching smoke (per-page vs coalesced flush) ==="
+./build-release/bench/abl_io_batching --smoke
+
 echo "=== ASan/UBSan build (-Werror) ==="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DVIYOJIT_SANITIZE=ON -DVIYOJIT_WERROR=ON
@@ -123,7 +129,7 @@ TORTURE_SEED=${VIYOJIT_TORTURE_SEED:-$(( $(date +%s) ^ $$ ))}
 echo "=== Randomized torture run (VIYOJIT_TORTURE_SEED=${TORTURE_SEED}) ==="
 if ! VIYOJIT_TORTURE_SEED="${TORTURE_SEED}" \
      ./build-sanitize/tests/torture_test \
-     --gtest_filter='TortureTest.SurvivesSeededPowerCutsUnderFaultInjection'
+     --gtest_filter='TortureTest.SurvivesSeededPowerCutsUnderFaultInjection:TortureTest.SurvivesPowerCutsDuringBatchedFlush'
 then
     echo "torture run FAILED; replay with:" >&2
     echo "  VIYOJIT_TORTURE_SEED=${TORTURE_SEED} ./build-sanitize/tests/torture_test" >&2

@@ -90,10 +90,20 @@ DirtyBudgetCalculator::DirtyBudgetCalculator(
                    "safety factor out of range");
 }
 
+void
+DirtyBudgetCalculator::setMeasuredFlushBandwidth(double bytes_per_sec)
+{
+    VIYOJIT_ASSERT(bytes_per_sec >= 0,
+                   "negative measured flush bandwidth");
+    measured_ = bytes_per_sec;
+}
+
 double
 DirtyBudgetCalculator::conservativeBandwidth() const
 {
-    return ssdWriteBandwidth_ * bandwidthSafetyFactor_;
+    const double base = measured_ > 0.0 ? measured_
+                                        : ssdWriteBandwidth_;
+    return base * bandwidthSafetyFactor_;
 }
 
 std::uint64_t

@@ -125,10 +125,27 @@ class DirtyBudgetCalculator
     /** Conservative (derated) flush bandwidth in bytes per second. */
     double conservativeBandwidth() const;
 
+    /**
+     * Replace the nameplate SSD bandwidth with a *measured* flush
+     * rate (bytes/sec) — e.g. the rate a coalesced-IO emergency
+     * flush actually sustained.  The safety factor still applies on
+     * top, so the budget stays conservative relative to what was
+     * observed.  Pass 0 to revert to the nameplate figure.
+     *
+     * This is the paper's decoupling knob made honest end to end:
+     * batching raises the real flush rate, the measured rate raises
+     * the budget, and the same battery then backs more dirty DRAM.
+     */
+    void setMeasuredFlushBandwidth(double bytes_per_sec);
+
+    /** The measured override, or 0 when the nameplate is in use. */
+    double measuredFlushBandwidth() const { return measured_; }
+
   private:
     PowerModel power_;
     double ssdWriteBandwidth_;
     double bandwidthSafetyFactor_;
+    double measured_ = 0.0;
 };
 
 } // namespace viyojit::battery

@@ -107,6 +107,49 @@ struct ViyojitConfig
     std::uint64_t retrySeed = 0x7e57ab1e;
 
     /**
+     * Coalesce page-number-adjacent victims into batched run IOs
+     * (PagingBackend::persistRunAsync).  Off by default: the per-page
+     * path is the paper's prototype and the A/B baseline; benches,
+     * torture modes, and deployments opt in.
+     */
+    bool coalesceRuns = false;
+
+    /**
+     * Cap on coalesced run length in pages.  This is also the size of
+     * the bounded staging window: victims accumulate in the window
+     * across pump passes (each IO completion frees only one page of
+     * credit, so submitting per pass would cap runs at one page), and
+     * the window is submitted whenever something could wait on a
+     * staged page and at every epoch boundary, so a latency-sensitive
+     * fault never stalls behind an unfilled run.  The effective cap
+     * is min(maxRunPages, backend.maxRunPages(), maxOutstandingIos, 64).
+     */
+    unsigned maxRunPages = 16;
+
+    /**
+     * log2 of the extent size (in pages) used as the locality sort
+     * key: within a recency bucket, victims sort by extent id so
+     * whole extents drain together and scattered working sets still
+     * yield sequential IO.  0 disables the key (pure recency order,
+     * the pre-coalescing behaviour).
+     */
+    unsigned extentShift = 0;
+
+    /**
+     * Bridge gaps between staged sub-runs by writing up to this many
+     * intervening CLEAN pages per gap, merging the sub-runs into one
+     * device IO.  A clean page is still write-protected (the
+     * protect-before-copy rule keeps it protected after markClean
+     * until the next fault), so its DRAM content equals its durable
+     * copy and rewriting it is a semantic no-op — but the merge saves
+     * an admission slot, which on an IOPS-bound device costs an order
+     * of magnitude more than the extra page transfers.  Profitable
+     * while gap * perPageTransfer < perIoAdmission.  0 disables
+     * bridging.
+     */
+    unsigned maxBridgePages = 0;
+
+    /**
      * Run the epoch boundary on the pre-optimization O(mapped-pages)
      * paths: eager per-epoch history shifts, a full page-table walk
      * for the dirty-bit scan, and the sort-based victim queue

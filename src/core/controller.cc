@@ -15,7 +15,8 @@ DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
       tracker_(backend.pageCount()),
       recency_(backend.pageCount(), config.historyEpochs),
       pressure_(config.pressureWeightCurrent),
-      inFlight_(backend.pageCount(), 0)
+      inFlight_(backend.pageCount(), 0),
+      bridged_(backend.pageCount(), 0)
 {
     if (budget_ == 0)
         fatal("dirty budget must be at least one page");
@@ -23,6 +24,7 @@ DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
         fatal("need at least one outstanding IO slot");
     recency_.setUseSeqTieBreak(config.updateTimeTieBreak);
     recency_.setLegacyQueue(config.legacyEpochScan);
+    recency_.setExtentShift(config.extentShift);
     // Steady-state faults must not heap-allocate (the real runtime
     // enters this path from its SIGSEGV handler): pre-size the
     // budget-bounded fault-path structures to their fixpoint.
@@ -96,7 +98,11 @@ DirtyBudgetController::onWriteFault(PageNum page, bool allow_evict)
         // The page is being copied out; its frame is write-protected
         // until the copy is durable (the protect-before-copy rule of
         // section 5.1).  Block until the copy completes, after which
-        // the page is clean and we admit the write below.
+        // the page is clean and we admit the write below.  It may be
+        // sitting in the staged run, where no IO exists to wait on
+        // yet; submit the run first.
+        if (isStaged(page))
+            flushPendingRun();
         ++stats_.inFlightWaits;
         backend_.waitForPersist(page);
         VIYOJIT_ASSERT(!inFlight_[page], "wait did not complete copy");
@@ -184,6 +190,13 @@ DirtyBudgetController::evictOneBlocking()
         // land, which lowers the dirty count.
         VIYOJIT_ASSERT(inFlightCount_ > 0,
                        "budget exceeded with no evictable page");
+        // Those copies may all be sitting in the staged run, which
+        // has no IO to complete until it is submitted; but while real
+        // IOs are outstanding, keep the window staging across waits —
+        // flushing here on every pass would cap runs at one page per
+        // completion.
+        if (backend_.outstandingIos() == 0)
+            flushPendingRun();
         ++stats_.inFlightWaits;
         backend_.waitForAnyPersist();
         return;
@@ -227,6 +240,10 @@ DirtyBudgetController::onEpochBoundary()
 
     pumpProactiveCopies();
 
+    // Bounded staging latency: a partial run may linger between
+    // pumps, but never across an epoch boundary.
+    flushPendingRun();
+
     // Pooled shards breathe at epoch granularity: quota the burst no
     // longer needs goes back to the global pool (minus one borrow
     // batch of slack against the next burst).
@@ -260,7 +277,11 @@ DirtyBudgetController::pumpProactiveCopies(PageNum skip)
         return;
     pumping_ = true;
     const std::uint64_t threshold = currentThreshold();
-    while (backend_.outstandingIos() < config_.maxOutstandingIos &&
+    const unsigned run_cap = maxRunLen();
+    // Staged (not yet submitted) run pages count against the IO cap:
+    // they are in flight for budget purposes, just not on the device.
+    while (backend_.outstandingIos() + runPages_ <
+               config_.maxOutstandingIos &&
            backend_.canSubmit()) {
         const std::uint64_t settled = tracker_.count() - inFlightCount_;
         if (settled <= threshold)
@@ -268,13 +289,21 @@ DirtyBudgetController::pumpProactiveCopies(PageNum skip)
         const PageNum victim = chooseVictim(skip);
         if (victim == invalidPage)
             break;
-        startCopy(victim);
+        if (run_cap > 1)
+            stageCopy(victim);
+        else
+            startCopy(victim);
     }
+    // A partial run stays staged across pump invocations: in steady
+    // state each IO completion frees one page of credit, and flushing
+    // here would degenerate every run to a single page.  Staged pages
+    // block nobody — every wait site submits the run first, and the
+    // epoch boundary bounds how long a partial run can linger.
     pumping_ = false;
 }
 
 void
-DirtyBudgetController::startCopy(PageNum victim, bool proactive)
+DirtyBudgetController::beginCopy(PageNum victim, bool proactive)
 {
     VIYOJIT_ASSERT(!inFlight_[victim], "double copy of one page");
     VIYOJIT_ASSERT(tracker_.isDirty(victim), "copying a clean page");
@@ -283,13 +312,155 @@ DirtyBudgetController::startCopy(PageNum victim, bool proactive)
     ++inFlightCount_;
     if (proactive)
         ++stats_.proactiveCopies;
+}
+
+void
+DirtyBudgetController::startCopy(PageNum victim, bool proactive)
+{
+    beginCopy(victim, proactive);
     backend_.persistPageAsync(victim);
+}
+
+void
+DirtyBudgetController::stageCopy(PageNum victim, bool proactive)
+{
+    beginCopy(victim, proactive);
+    const unsigned window = std::min(maxRunLen(), 64u);
+    if (runMask_ != 0) {
+        if (victim >= runBase_ && victim < runBase_ + window) {
+            runMask_ |= 1ULL << (victim - runBase_);
+            ++runPages_;
+            return;
+        }
+        flushPendingRun();
+    }
+    // Open a new window.  With the locality key on, anchor it at the
+    // victim's extent base: same-extent victims arrive consecutively
+    // but in recency order, so a later pick below the first one must
+    // still land inside the window.  Clamp so the victim itself fits
+    // when the extent is wider than the window.
+    PageNum base = victim;
+    if (config_.extentShift != 0) {
+        const PageNum extent_base =
+            victim >> config_.extentShift << config_.extentShift;
+        base = victim - extent_base >= window
+                   ? victim - (window - 1)
+                   : extent_base;
+    }
+    runBase_ = base;
+    runMask_ = 1ULL << (victim - base);
+    runPages_ = 1;
+}
+
+bool
+DirtyBudgetController::isStaged(PageNum page) const
+{
+    return runMask_ != 0 && page >= runBase_ &&
+           page - runBase_ < 64 &&
+           (runMask_ >> (page - runBase_) & 1) != 0;
+}
+
+void
+DirtyBudgetController::flushPendingRun()
+{
+    if (runMask_ == 0)
+        return;
+    const PageNum base = runBase_;
+    std::uint64_t mask = runMask_;
+    // Clear before submitting: an inline-completing backend re-enters
+    // onPersistComplete (and from there this pump) during the submit.
+    // Staged pages are marked in flight, so a nested pump cannot
+    // re-pick the pages still queued in the local mask.
+    runBase_ = invalidPage;
+    runMask_ = 0;
+    runPages_ = 0;
+    while (mask != 0) {
+        const unsigned start =
+            static_cast<unsigned>(__builtin_ctzll(mask));
+        const std::uint64_t shifted = mask >> start;
+        const std::uint64_t holes = ~shifted;
+        unsigned len =
+            holes == 0
+                ? 64u - start
+                : static_cast<unsigned>(__builtin_ctzll(holes));
+        mask = holes == 0 ? 0
+                          : ((shifted & ~((1ULL << len) - 1)) << start);
+        // Merge across short gaps of clean, idle pages: an
+        // already-durable page's DRAM content matches its durable
+        // copy (clean pages stay protected until the next fault), so
+        // rewriting it changes nothing — and one saved admission
+        // slot buys the extra page transfers many times over on an
+        // IOPS-bound device.  Bounded by maxBridgePages per gap; the
+        // merged length stays within the window, which maxRunLen()
+        // already caps to what the backend accepts.
+        while (mask != 0 && config_.maxBridgePages != 0) {
+            const unsigned next =
+                static_cast<unsigned>(__builtin_ctzll(mask));
+            const unsigned gap = next - (start + len);
+            if (gap > config_.maxBridgePages)
+                break;
+            bool bridgeable = true;
+            for (unsigned g = start + len; g < next; ++g) {
+                const PageNum p = base + g;
+                if (tracker_.isDirty(p) || inFlight_[p]) {
+                    bridgeable = false;
+                    break;
+                }
+            }
+            if (!bridgeable)
+                break;
+            for (unsigned g = start + len; g < next; ++g) {
+                const PageNum p = base + g;
+                backend_.protectPage(p);
+                inFlight_[p] = 1;
+                bridged_[p] = 1;
+            }
+            stats_.runPagesBridged += gap;
+            const std::uint64_t shifted2 = mask >> next;
+            const std::uint64_t holes2 = ~shifted2;
+            const unsigned len2 =
+                holes2 == 0
+                    ? 64u - next
+                    : static_cast<unsigned>(__builtin_ctzll(holes2));
+            mask = holes2 == 0
+                       ? 0
+                       : ((shifted2 & ~((1ULL << len2) - 1)) << next);
+            len = next + len2 - start;
+        }
+        if (len == 1) {
+            backend_.persistPageAsync(base + start);
+            continue;
+        }
+        ++stats_.runSubmits;
+        stats_.runPagesCoalesced += len;
+        backend_.persistRunAsync(base + start, len);
+    }
+}
+
+unsigned
+DirtyBudgetController::maxRunLen() const
+{
+    if (!config_.coalesceRuns)
+        return 1;
+    unsigned cap = std::max(config_.maxRunPages, 1u);
+    cap = std::min(cap, std::max(backend_.maxRunPages(), 1u));
+    cap = std::min<std::uint64_t>(cap, config_.maxOutstandingIos);
+    return cap;
 }
 
 void
 DirtyBudgetController::onPersistComplete(PageNum page)
 {
     VIYOJIT_ASSERT(inFlight_[page], "completion for idle page");
+    if (bridged_[page]) {
+        // A clean gap-bridging page: it was already durable, so the
+        // write changed nothing — just release it.
+        bridged_[page] = 0;
+        inFlight_[page] = 0;
+        if (config_.hardwareAssist)
+            backend_.unprotectPage(page);
+        return;
+    }
     inFlight_[page] = 0;
     --inFlightCount_;
     tracker_.markClean(page);
@@ -304,6 +475,16 @@ void
 DirtyBudgetController::onPersistAborted(PageNum page)
 {
     VIYOJIT_ASSERT(inFlight_[page], "abort for idle page");
+    if (bridged_[page]) {
+        // The bridge write failed, but the page's previous durable
+        // copy is intact and the page is still clean — no retry
+        // needed, and no aborted-copy accounting (no copy was owed).
+        bridged_[page] = 0;
+        inFlight_[page] = 0;
+        if (config_.hardwareAssist)
+            backend_.unprotectPage(page);
+        return;
+    }
     inFlight_[page] = 0;
     --inFlightCount_;
     ++stats_.abortedCopies;
@@ -367,6 +548,8 @@ void
 DirtyBudgetController::flushPageBlocking(PageNum page)
 {
     if (inFlight_[page]) {
+        if (isStaged(page)) // staged, not submitted: no IO to wait on
+            flushPendingRun();
         backend_.waitForPersist(page);
         return;
     }
@@ -381,22 +564,54 @@ std::uint64_t
 DirtyBudgetController::flushAllDirty()
 {
     std::uint64_t flushed = 0;
+    const unsigned run_cap = maxRunLen();
+    // Power is out, so victim order no longer protects hot pages —
+    // everything must be durable before the reserve drains.  Sweep
+    // the dirty set in page order instead of recency order: recency
+    // buckets scatter page-adjacent victims across epochs, while a
+    // page-order sweep hands the run stager maximal contiguity.
+    // (Heap allocation is fine here: the emergency flush runs on a
+    // normal thread, not in the fault signal handler.)
+    std::vector<PageNum> order = tracker_.dirtyPages();
+    std::sort(order.begin(), order.end());
+    std::size_t cursor = 0;
     while (tracker_.count() > 0) {
-        // Fill the IO queue with cold-first victims, then wait.
+        // Fill the IO queue from the sweep, then wait.
         bool launched = false;
-        while (backend_.outstandingIos() < config_.maxOutstandingIos &&
+        while (backend_.outstandingIos() + runPages_ <
+                   config_.maxOutstandingIos &&
                backend_.canSubmit() &&
                tracker_.count() - inFlightCount_ > 0) {
-            // Power is out: no write can be in progress, so the
-            // straddling-store guard does not apply.
-            const PageNum victim =
-                chooseVictim(invalidPage, /*spare_last_admitted=*/false);
-            if (victim == invalidPage)
-                break;
-            startCopy(victim, /*proactive=*/false);
+            while (cursor < order.size() &&
+                   (!tracker_.isDirty(order[cursor]) ||
+                    inFlight_[order[cursor]]))
+                ++cursor;
+            if (cursor == order.size()) {
+                // Aborted copies (and any late admissions) reopen
+                // pages behind the cursor; restart the sweep over
+                // what remains.  The loop condition guarantees an
+                // eligible page exists in the fresh snapshot.
+                order = tracker_.dirtyPages();
+                std::sort(order.begin(), order.end());
+                cursor = 0;
+                continue;
+            }
+            const PageNum victim = order[cursor++];
+            if (run_cap > 1)
+                stageCopy(victim, /*proactive=*/false);
+            else
+                startCopy(victim, /*proactive=*/false);
             ++flushed;
             launched = true;
         }
+        // Only submit the staged run once no real IO remains —
+        // waitForAnyPersist would otherwise block on pages that were
+        // never submitted.  While completions are still arriving the
+        // window keeps filling across waits; flushing every pass
+        // would degenerate the drain to one-page runs (each wait
+        // returns after a single completion).
+        if (backend_.outstandingIos() == 0)
+            flushPendingRun();
         if (tracker_.count() == 0)
             break;
         if (!launched && inFlightCount_ == 0)

@@ -51,6 +51,15 @@ struct ControllerStats
 
     /** Quota pages returned to the attached budget pool. */
     std::uint64_t quotaReturnedPages = 0;
+
+    /** Coalesced run IOs submitted (2+ adjacent victims batched). */
+    std::uint64_t runSubmits = 0;
+
+    /** Pages carried by those runs. */
+    std::uint64_t runPagesCoalesced = 0;
+
+    /** Clean pages written to bridge gaps between merged sub-runs. */
+    std::uint64_t runPagesBridged = 0;
 };
 
 /**
@@ -237,6 +246,35 @@ class DirtyBudgetController : public PersistClient
      */
     void startCopy(PageNum victim, bool proactive = true);
 
+    /**
+     * Protect `victim` and account it in flight — the submission-free
+     * front half of startCopy, shared with the run-staging path.
+     */
+    void beginCopy(PageNum victim, bool proactive);
+
+    /**
+     * Accept `victim` into the staged-run window if it lands inside
+     * it; otherwise submit the window's stretches and open a new
+     * window around the victim.  Only called when maxRunLen() > 1.
+     */
+    void stageCopy(PageNum victim, bool proactive = true);
+
+    /**
+     * Submit every contiguous stretch of the staged window
+     * (persistRunAsync for 2+ pages, the per-page path for
+     * singletons).  Called whenever someone could wait on a staged
+     * page — before any backend wait, at the epoch boundary, and in
+     * the drain loops — so a latency-sensitive fault never stalls
+     * behind an unfilled run.
+     */
+    void flushPendingRun();
+
+    /** True while `page` sits in the staged, unsubmitted window. */
+    bool isStaged(PageNum page) const;
+
+    /** Effective run-length cap (1 = coalescing off). */
+    unsigned maxRunLen() const;
+
     PagingBackend &backend_;
     ViyojitConfig config_;
     std::uint64_t budget_;
@@ -250,11 +288,37 @@ class DirtyBudgetController : public PersistClient
     DirtyPagePressure pressure_;
 
     std::vector<std::uint8_t> inFlight_;
+
+    /**
+     * Clean pages riding along in a submitted run to bridge a gap
+     * between dirty sub-runs (config_.maxBridgePages).  They are
+     * marked in inFlight_ so faults wait out the copy, but are NOT
+     * counted in inFlightCount_, which tracks dirty pages under
+     * copy (inFlightCount_ <= tracker_.count() must hold).
+     */
+    std::vector<std::uint8_t> bridged_;
+
     std::uint64_t inFlightCount_ = 0;
     bool pumping_ = false;
 
     /** Most recently admitted page (the straddling-store guard). */
     PageNum lastAdmitted_ = invalidPage;
+
+    /**
+     * Staged-run window: a bitmask of victims over up to 64 pages
+     * anchored at `runBase_`.  Victims of one extent arrive in
+     * recency order — scrambled within the extent — so an
+     * append-at-the-ends run would split on every out-of-order pick;
+     * the mask accepts them in any order and flushPendingRun submits
+     * the contiguous stretches.  Anchoring at the extent base (when
+     * the locality key is on) lets late lower-numbered picks land in
+     * the window.  Member scalars (not a buffer) so the fault path
+     * stays allocation-free.  runPages_ caches popcount(runMask_)
+     * for the in-flight IO credit checks.
+     */
+    PageNum runBase_ = invalidPage;
+    std::uint64_t runMask_ = 0;
+    unsigned runPages_ = 0;
 
     ControllerStats stats_;
 };

@@ -118,7 +118,8 @@ ViyojitManager::SimBackend::submitAttempt(PageNum page)
 void
 ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
                                               std::uint64_t generation,
-                                              storage::IoStatus status)
+                                              storage::IoStatus status,
+                                              bool from_run)
 {
     auto it = inFlight_.find(page);
     if (it == inFlight_.end() || it->second.generation != generation) {
@@ -131,6 +132,13 @@ ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
         VIYOJIT_ASSERT(client_, "persist completion without client");
         client_->onPersistComplete(page);
         return;
+    }
+    if (from_run) {
+        // The page's slice of a coalesced run failed (bad-page remap
+        // or transient error): split it out — retries run through the
+        // per-page attempt chain while the rest of the run completes.
+        ++faultStats_.runSplits;
+        mgr_.ctx_.stats().counter("io.run_splits").increment();
     }
     retryOrAbort(page);
 }
@@ -196,6 +204,121 @@ ViyojitManager::SimBackend::persistPageAsync(PageNum page)
     io.generation = ++nextGeneration_;
     inFlight_.emplace(page, io);
     submitAttempt(page);
+}
+
+void
+ViyojitManager::SimBackend::persistRunAsync(PageNum first,
+                                            unsigned count)
+{
+    VIYOJIT_ASSERT(count >= 1 && count <= maxRunPages(),
+                   "run length out of range");
+    for (unsigned i = 0; i < count; ++i) {
+        VIYOJIT_ASSERT(!inFlight_.contains(first + i),
+                       "double copy of a page");
+        PendingCopy io;
+        io.generation = ++nextGeneration_;
+        inFlight_.emplace(first + i, io);
+    }
+    submitRunAttempt(first, count);
+}
+
+unsigned
+ViyojitManager::SimBackend::maxRunPages() const
+{
+    return mgr_.config_.coalesceRuns
+               ? std::max(1u, mgr_.config_.maxRunPages)
+               : 1;
+}
+
+void
+ViyojitManager::SimBackend::submitRunAttempt(PageNum first,
+                                             unsigned count)
+{
+    if (!mgr_.ssd_.canAccept()) {
+        // Device queue saturated: hold the whole run back one backoff
+        // period, like the per-page path.
+        const Tick resume =
+            mgr_.ctx_.now() + mgr_.config_.retryBackoffBase;
+        std::vector<std::uint64_t> generations(count);
+        for (unsigned i = 0; i < count; ++i) {
+            auto it = inFlight_.find(first + i);
+            VIYOJIT_ASSERT(it != inFlight_.end(),
+                           "run attempt for idle page");
+            it->second.nextEvent = resume;
+            generations[i] = it->second.generation;
+        }
+        mgr_.ctx_.events().schedule(
+            resume,
+            [this, first, count,
+             generations = std::move(generations)]() {
+                // Resubmit as a run only if every member survived
+                // untouched; otherwise the stragglers go per-page.
+                unsigned live = 0;
+                for (unsigned i = 0; i < count; ++i) {
+                    auto it = inFlight_.find(first + i);
+                    if (it != inFlight_.end() &&
+                        it->second.generation == generations[i])
+                        ++live;
+                }
+                if (live == count) {
+                    submitRunAttempt(first, count);
+                    return;
+                }
+                for (unsigned i = 0; i < count; ++i) {
+                    auto it = inFlight_.find(first + i);
+                    if (it != inFlight_.end() &&
+                        it->second.generation == generations[i])
+                        submitAttempt(first + i);
+                }
+            });
+        return;
+    }
+
+    std::vector<std::uint64_t> generations(count);
+    std::vector<std::uint64_t> hashes(count);
+    for (unsigned i = 0; i < count; ++i) {
+        auto it = inFlight_.find(first + i);
+        VIYOJIT_ASSERT(it != inFlight_.end(),
+                       "run attempt for idle page");
+        ++it->second.attempts;
+        generations[i] = it->second.generation;
+        hashes[i] = mgr_.pageContentHash(first + i);
+    }
+    ++faultStats_.runSubmits;
+    faultStats_.runPagesCoalesced.fetch_add(count,
+                                            std::memory_order_relaxed);
+    mgr_.ctx_.stats().counter("io.run_submits").increment();
+    mgr_.ctx_.stats().counter("io.run_pages").increment(count);
+
+    const Tick done = mgr_.ssd_.submitWriteRun(
+        mgr_.key(first), count, hashes.data(), mgr_.config_.pageSize,
+        [this, first, generations](unsigned i,
+                                   storage::IoStatus status) {
+            onAttemptComplete(first + i, generations[i], status,
+                              /*from_run=*/true);
+        });
+
+    // Per-IO deadline applies to the whole group: a page that blows
+    // it is invalidated (generation bump) and retried alone, and the
+    // group completion for that page arrives generation-stale.
+    const Tick timeout = mgr_.config_.ioTimeout;
+    const bool armed = timeout != 0 && !mgr_.lastGaspFlush_ &&
+                       done > mgr_.ctx_.now() + timeout;
+    const Tick deadline = mgr_.ctx_.now() + timeout;
+    for (unsigned i = 0; i < count; ++i) {
+        PendingCopy &io = inFlight_.find(first + i)->second;
+        io.nextEvent = done;
+        io.completion = done;
+        if (armed) {
+            io.nextEvent = deadline;
+            const PageNum page = first + i;
+            const std::uint64_t generation = io.generation;
+            mgr_.ctx_.events().schedule(deadline,
+                                        [this, page, generation]() {
+                onAttemptTimeout(page, generation);
+            });
+        }
+    }
 }
 
 void

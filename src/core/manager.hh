@@ -64,6 +64,18 @@ struct IoFaultStats
 
     /** Completions of abandoned attempts, ignored. */
     std::uint64_t staleCompletions = 0;
+
+    /** Coalesced run IOs submitted (persistRunAsync batches). */
+    std::uint64_t runSubmits = 0;
+
+    /** Pages carried by those runs (avg run length = pages/submits). */
+    std::uint64_t runPagesCoalesced = 0;
+
+    /**
+     * Pages that failed their slice of a run and fell back to the
+     * per-page retry path (bad-page remap, transient error).
+     */
+    std::uint64_t runSplits = 0;
 };
 
 /**
@@ -209,6 +221,8 @@ class ViyojitManager
             bool flush_tlb,
             FunctionRef<void(PageNum, bool)> visitor) override;
         void persistPageAsync(PageNum page) override;
+        void persistRunAsync(PageNum first, unsigned count) override;
+        unsigned maxRunPages() const override;
         void persistPageBlocking(PageNum page) override;
         void waitForPersist(PageNum page) override;
         void waitForAnyPersist() override;
@@ -227,6 +241,12 @@ class ViyojitManager
                 std::memory_order_relaxed);
             out.staleCompletions = faultStats_.staleCompletions.load(
                 std::memory_order_relaxed);
+            out.runSubmits =
+                faultStats_.runSubmits.load(std::memory_order_relaxed);
+            out.runPagesCoalesced = faultStats_.runPagesCoalesced.load(
+                std::memory_order_relaxed);
+            out.runSplits =
+                faultStats_.runSplits.load(std::memory_order_relaxed);
             return out;
         }
 
@@ -250,9 +270,17 @@ class ViyojitManager
         /** Launch the next submit attempt for `page`. */
         void submitAttempt(PageNum page);
 
+        /**
+         * Launch the (single) coalesced attempt for a run.  Pages
+         * whose slice fails — or times out — leave the run and retry
+         * through the per-page attempt chain.
+         */
+        void submitRunAttempt(PageNum first, unsigned count);
+
         /** Completion of an attempt (any status). */
         void onAttemptComplete(PageNum page, std::uint64_t generation,
-                               storage::IoStatus status);
+                               storage::IoStatus status,
+                               bool from_run = false);
 
         /** The per-IO deadline fired before the attempt completed. */
         void onAttemptTimeout(PageNum page, std::uint64_t generation);
@@ -270,6 +298,9 @@ class ViyojitManager
             std::atomic<std::uint64_t> timeouts{0};
             std::atomic<std::uint64_t> abortedCopies{0};
             std::atomic<std::uint64_t> staleCompletions{0};
+            std::atomic<std::uint64_t> runSubmits{0};
+            std::atomic<std::uint64_t> runPagesCoalesced{0};
+            std::atomic<std::uint64_t> runSplits{0};
         };
 
         ViyojitManager &mgr_;

@@ -90,6 +90,29 @@ class PagingBackend
      */
     virtual void persistPageAsync(PageNum page) = 0;
 
+    /**
+     * Start persisting `count` page-number-adjacent pages
+     * [first, first + count) as one batched IO (run coalescing: one
+     * device admission amortized over the run instead of one per
+     * page).  Outcomes are still delivered per page through the
+     * PersistClient, so a backend may split the run — a page whose
+     * slice fails retries alone while the rest complete.  The caller
+     * guarantees 1 <= count <= maxRunPages() and that every page in
+     * the run is write-protected.  The default degenerates to
+     * per-page submission for substrates without a batched path.
+     */
+    virtual void persistRunAsync(PageNum first, unsigned count)
+    {
+        for (unsigned i = 0; i < count; ++i)
+            persistPageAsync(first + i);
+    }
+
+    /**
+     * Largest run persistRunAsync accepts; 1 means the backend has no
+     * batched path and the controller submits page-at-a-time.
+     */
+    virtual unsigned maxRunPages() const { return 1; }
+
     /** Persist a page and wait for durability. */
     virtual void persistPageBlocking(PageNum page) = 0;
 

@@ -56,7 +56,9 @@ EpochRecencyTracker::recordUpdate(PageNum page)
         Entry{page, history_[page], updateSeq_, false});
     if (bucket.heapified)
         std::push_heap(bucket.entries.begin(), bucket.entries.end(),
-                       entryAfter);
+                       [this](const Entry &a, const Entry &b) {
+                           return entryAfter(a, b);
+                       });
     enqueuedKey_[page] = epochIndex_ + 1;
 }
 
@@ -101,9 +103,18 @@ EpochRecencyTracker::spliceExpiredBucket()
                 cold_.push_back(
                     ColdEntry{e.page, lastUpdateSeq_[e.page], false});
         }
+        // With the locality key on, group each expired epoch's pages
+        // by extent before sequence — all cold pages tie on recency
+        // (history 0), so this reorders only within that tie.
         std::sort(cold_.begin() + static_cast<std::ptrdiff_t>(tail),
-                  cold_.end(), [](const ColdEntry &a,
-                                  const ColdEntry &b) {
+                  cold_.end(), [this](const ColdEntry &a,
+                                      const ColdEntry &b) {
+                      if (extentShift_ != 0) {
+                          const PageNum ea = a.page >> extentShift_;
+                          const PageNum eb = b.page >> extentShift_;
+                          if (ea != eb)
+                              return ea < eb;
+                      }
                       return a.seq < b.seq;
                   });
     }
@@ -137,6 +148,8 @@ EpochRecencyTracker::victimLess(PageNum a, PageNum b) const
     const std::uint64_t hb = normalizedHistory(b);
     if (ha != hb)
         return ha < hb;
+    if (extentShift_ != 0 && (a >> extentShift_) != (b >> extentShift_))
+        return (a >> extentShift_) < (b >> extentShift_);
     if (useSeqTieBreak_ && lastUpdateSeq_[a] != lastUpdateSeq_[b])
         return lastUpdateSeq_[a] < lastUpdateSeq_[b];
     return a < b;
@@ -200,16 +213,19 @@ EpochRecencyTracker::pickFromBucket(Bucket &bucket,
         // in victim order at epoch granularity.  Cleaned pages are
         // discarded as they surface; excluded dirty entries are set
         // aside and re-pushed.
+        const auto after = [this](const Entry &a, const Entry &b) {
+            return entryAfter(a, b);
+        };
         if (!bucket.heapified) {
             std::make_heap(bucket.entries.begin(),
-                           bucket.entries.end(), entryAfter);
+                           bucket.entries.end(), after);
             bucket.heapified = true;
         }
         stash_.clear();
         PageNum victim = invalidPage;
         while (!bucket.entries.empty()) {
             std::pop_heap(bucket.entries.begin(),
-                          bucket.entries.end(), entryAfter);
+                          bucket.entries.end(), after);
             const Entry e = bucket.entries.back();
             bucket.entries.pop_back();
             if (!tracker.isDirty(e.page)) {
@@ -229,7 +245,7 @@ EpochRecencyTracker::pickFromBucket(Bucket &bucket,
         for (const Entry &e : stash_) {
             bucket.entries.push_back(e);
             std::push_heap(bucket.entries.begin(),
-                           bucket.entries.end(), entryAfter);
+                           bucket.entries.end(), after);
         }
         return victim;
     }
@@ -257,8 +273,16 @@ EpochRecencyTracker::pickFromBucket(Bucket &bucket,
             bucket.entries.end());
         first = bucket.entries.begin() +
                 static_cast<std::ptrdiff_t>(bucket.cursor);
+        // Like entryAfter, this orders pages of one recency class
+        // (the bucket), so the extent key leads when enabled.
         std::sort(first, bucket.entries.end(),
                   [this](const Entry &a, const Entry &b) {
+                      if (extentShift_ != 0) {
+                          const PageNum ea = a.page >> extentShift_;
+                          const PageNum eb = b.page >> extentShift_;
+                          if (ea != eb)
+                              return ea < eb;
+                      }
                       return victimLess(a.page, b.page);
                   });
         bucket.heapMode = false;

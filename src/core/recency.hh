@@ -90,6 +90,20 @@ class EpochRecencyTracker
     void setLegacyQueue(bool enable) { legacyQueue_ = enable; }
 
     /**
+     * Locality-aware eviction (run coalescing): order pages that tie
+     * on recency by extent id (page >> shift) before the update
+     * sequence, so a recency bucket drains extent-by-extent and
+     * adjacent victims emerge back-to-back for the run detector.
+     * This is a SECONDARY key — the primary least-recently-updated
+     * order (the normalized history, and the bucket structure that
+     * mirrors it) is untouched, so enabling it only reorders picks
+     * *within* a recency bucket (see core_test
+     * ExtentKeyReordersOnlyWithinBuckets).  0 disables (pure
+     * recency/seq order); call before the first update.
+     */
+    void setExtentShift(unsigned shift) { extentShift_ = shift; }
+
+    /**
      * Pre-size the pick-path scratch so victim selection does not
      * heap-allocate on the (possibly signal-context) fault path: the
      * stash of excluded-but-live entries a pick skips over is
@@ -242,11 +256,23 @@ class EpochRecencyTracker
     /**
      * Heap comparator over push-time keys ("a pops after b"); with
      * it, std::push_heap/pop_heap maintain a min-heap.  keySeq is
-     * unique per entry, so this is a total order.
+     * unique per entry, so this is a total order.  It only ever
+     * compares entries of ONE bucket, whose pages all share a
+     * last-update epoch — the recency class the drain respects — so
+     * when the locality key is on, extent LEADS within the bucket:
+     * adjacent victims coalesce into runs, and the sub-epoch history
+     * refinement is demoted to a tiebreak.  Cross-bucket recency is
+     * untouched (buckets drain oldest-epoch-first).
      */
-    static bool
-    entryAfter(const Entry &a, const Entry &b)
+    bool
+    entryAfter(const Entry &a, const Entry &b) const
     {
+        if (extentShift_ != 0) {
+            const PageNum ea = a.page >> extentShift_;
+            const PageNum eb = b.page >> extentShift_;
+            if (ea != eb)
+                return ea > eb;
+        }
         if (a.keyHistory != b.keyHistory)
             return a.keyHistory > b.keyHistory;
         return a.keySeq > b.keySeq;
@@ -291,6 +317,9 @@ class EpochRecencyTracker
     std::uint64_t updateSeq_ = 0;
     bool useSeqTieBreak_ = true;
     bool legacyQueue_ = false;
+
+    /** log2 extent pages for the locality key; 0 = disabled. */
+    unsigned extentShift_ = 0;
 
     unsigned windowEpochs_;
     std::uint64_t historyMask_;

@@ -116,6 +116,15 @@ SafeModeGovernor::init()
     reevaluate();
 }
 
+void
+SafeModeGovernor::setMeasuredFlushBandwidth(double bytes_per_sec)
+{
+    VIYOJIT_ASSERT(bytes_per_sec >= 0,
+                   "negative measured flush bandwidth");
+    measuredBandwidth_ = bytes_per_sec;
+    reevaluate();
+}
+
 std::uint64_t
 SafeModeGovernor::deriveBudgetPages() const
 {
@@ -126,8 +135,17 @@ SafeModeGovernor::deriveBudgetPages() const
     if (seconds <= 0.0)
         return 0;
 
-    double bandwidth = domain_.ssd().effectiveWriteBandwidth() *
-                       config_.bandwidthSafetyFactor;
+    double bandwidth = domain_.ssd().effectiveWriteBandwidth();
+    if (measuredBandwidth_ > 0.0) {
+        // A measured flush rate replaces the nameplate estimate, but
+        // degradation that happens AFTER the measurement must still
+        // derate it: rescale by the device's current health factor
+        // (effective / nameplate bandwidth, 1.0 when undegraded).
+        bandwidth = measuredBandwidth_ *
+                    (domain_.ssd().effectiveWriteBandwidth() /
+                     domain_.ssd().config().writeBandwidth);
+    }
+    bandwidth *= config_.bandwidthSafetyFactor;
     // Every injected error costs a full page transfer, so a flush
     // under an error rate p needs 1/(1-p) attempts per page on
     // average; derate the flush rate accordingly.

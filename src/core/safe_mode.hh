@@ -249,6 +249,24 @@ class SafeModeGovernor
     /** Stop the periodic reevaluation. */
     void stopPeriodic();
 
+    /**
+     * Feed the governor a *measured* flush rate (bytes/sec) — what
+     * the emergency-flush path actually sustained, e.g. with the
+     * coalesced-IO writeback enabled — and re-derive the budget from
+     * it.  Subsequent derivations scale the measurement by the SSD's
+     * current degradation factor (effective / nameplate bandwidth),
+     * so a device that wears AFTER the measurement still derates the
+     * budget; the bandwidthSafetyFactor applies on top as usual.
+     * Pass 0 to revert to the nameplate model.
+     */
+    void setMeasuredFlushBandwidth(double bytes_per_sec);
+
+    /** The measured override, or 0 when the nameplate is in use. */
+    double measuredFlushBandwidth() const
+    {
+        return measuredBandwidth_;
+    }
+
     SafeMode mode() const { return mode_; }
 
     /** Budget the last reevaluation derived (before the nominal cap). */
@@ -280,6 +298,10 @@ class SafeModeGovernor
 
     std::uint64_t derivedPages_;
     std::uint64_t appliedPages_;
+
+    /** Measured flush rate override; 0 = use the nameplate model. */
+    double measuredBandwidth_ = 0.0;
+
     SafeMode mode_ = SafeMode::normal;
     SafeModeStats stats_;
 

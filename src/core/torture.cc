@@ -103,6 +103,10 @@ runShardedTorture(const TortureConfig &torture)
     config.retryBackoffCap = 200_us;
     config.ioTimeout = 10_ms;
     config.retrySeed = rng.next();
+    config.coalesceRuns = torture.coalesceRuns;
+    config.maxRunPages = torture.maxRunPages;
+    config.extentShift = torture.extentShift;
+    config.maxBridgePages = torture.maxBridgePages;
 
     SafeModeConfig safe_config;
     safe_config.flushOverheadReserve = 2_ms;
@@ -203,6 +207,8 @@ runShardedTorture(const TortureConfig &torture)
 
         if (ssd.outstanding() > 0)
             ++result.cutsMidFlight;
+        if (ssd.outstandingRuns() > 0)
+            ++result.cutsMidRun;
         if (governor.mode() != SafeMode::normal)
             ++result.cutsInSafeMode;
 
@@ -286,6 +292,9 @@ runShardedTorture(const TortureConfig &torture)
         const IoFaultStats io = manager->ioFaultStats();
         result.totalRetries += io.retries;
         result.totalAborts += io.abortedCopies;
+        result.runSubmits += io.runSubmits;
+        result.runPagesCoalesced += io.runPagesCoalesced;
+        result.runSplits += io.runSplits;
         const ControllerStats &cs = manager->controller().stats();
         result.quotaBorrowedPages += cs.quotaBorrowedPages;
         result.quotaReturnedPages += cs.quotaReturnedPages;
@@ -341,6 +350,10 @@ runTorture(const TortureConfig &torture)
     // saturated device queue does not cascade into timeout storms.
     config.ioTimeout = 10_ms;
     config.retrySeed = rng.next();
+    config.coalesceRuns = torture.coalesceRuns;
+    config.maxRunPages = torture.maxRunPages;
+    config.extentShift = torture.extentShift;
+    config.maxBridgePages = torture.maxBridgePages;
 
     SafeModeConfig safe_config;
     safe_config.flushOverheadReserve = 2_ms;
@@ -455,6 +468,8 @@ runTorture(const TortureConfig &torture)
 
         if (ssd.outstanding() > 0)
             ++result.cutsMidFlight;
+        if (ssd.outstandingRuns() > 0)
+            ++result.cutsMidRun;
         if (governor.mode() != SafeMode::normal)
             ++result.cutsInSafeMode;
 
@@ -517,6 +532,9 @@ runTorture(const TortureConfig &torture)
     const IoFaultStats &io = manager.ioFaultStats();
     result.totalRetries = io.retries;
     result.totalAborts = io.abortedCopies;
+    result.runSubmits = io.runSubmits;
+    result.runPagesCoalesced = io.runPagesCoalesced;
+    result.runSplits = io.runSplits;
     result.injectedWriteErrors =
         ssd.faultModel()->injectedWriteErrors();
     result.safeModeEntries = governor.stats().safeModeEntries;

@@ -72,6 +72,30 @@ struct TortureConfig
     double packServiceProb = 0.05;
 
     /**
+     * Torture the coalesced-IO flush path: victims batch into
+     * vectored run writes (ViyojitConfig::coalesceRuns), so cuts land
+     * mid-run — after the run was submitted, before its single
+     * completion event granted durability.  A torn run must never
+     * verify as clean; the emergency flush must re-persist every page
+     * of it.
+     */
+    bool coalesceRuns = false;
+
+    /** Run-length cap when coalesceRuns is set. */
+    unsigned maxRunPages = 16;
+
+    /** Extent shift for locality-aware victim selection (0 = off). */
+    unsigned extentShift = 0;
+
+    /**
+     * Clean-page gap bridging bound (ViyojitConfig::maxBridgePages):
+     * with it on, cuts can land inside a run that carries clean
+     * pages, exercising the bridged-completion bookkeeping under
+     * torn-run replay.
+     */
+    unsigned maxBridgePages = 0;
+
+    /**
      * Check the clean-pages-match-the-image invariant after every
      * op (debugging aid; quadratic, keep off for big runs).
      */
@@ -121,6 +145,20 @@ struct TortureResult
 
     /** Battery recovery events injected. */
     std::uint64_t batteryRecoveries = 0;
+
+    // Coalesced-flush evidence (meaningful when config.coalesceRuns).
+
+    /** Vectored run IOs the backend submitted. */
+    std::uint64_t runSubmits = 0;
+
+    /** Pages those runs carried. */
+    std::uint64_t runPagesCoalesced = 0;
+
+    /** Runs split back to per-page retries by injected IO errors. */
+    std::uint64_t runSplits = 0;
+
+    /** Cuts landing with at least one run IO still in flight. */
+    std::uint64_t cutsMidRun = 0;
 
     /** Smallest pre-cut energy headroom seen (must stay >= 0). */
     double minHeadroomJoules = 0.0;

@@ -9,7 +9,10 @@ namespace viyojit::runtime
 
 CopierPool::CopierPool(unsigned threads, unsigned shard_count,
                        unsigned batch, unsigned queue_capacity)
-    : queues_(shard_count), batch_(std::max(batch, 1u))
+    : queues_(shard_count),
+      depth_(shard_count),
+      batch_(std::max(batch, 1u)),
+      capacity_(queue_capacity)
 {
     if (threads == 0)
         fatal("copier pool needs at least one thread");
@@ -50,6 +53,8 @@ CopierPool::submit(unsigned shard, Job job)
         ring.slots[(ring.head + ring.count) % ring.slots.size()] = job;
         ++ring.count;
         ++queued_;
+        depth_[shard].store(static_cast<unsigned>(ring.count),
+                            std::memory_order_relaxed);
     }
     work_.notify_one();
 }
@@ -82,23 +87,39 @@ CopierPool::workerLoop()
                     continue;
                 nextShard_ =
                     static_cast<unsigned>((q + 1) % queues_.size());
-                const std::size_t take =
-                    std::min<std::size_t>(batch_, ring.count);
-                for (std::size_t k = 0; k < take; ++k) {
-                    jobs.push_back(ring.slots[ring.head]);
+                // Pop until the PAGE sum reaches the batch target
+                // (always at least one job): a coalesced run carries
+                // many pages in one slot, and bounding the batch by
+                // pages rather than jobs caps the bytes this worker
+                // holds in flight per batch.
+                std::size_t pages = 0;
+                while (ring.count > 0 && pages < batch_) {
+                    const Job &job = ring.slots[ring.head];
+                    jobs.push_back(job);
+                    pages += std::max(job.count, 1u);
                     ring.head = (ring.head + 1) % ring.slots.size();
+                    --ring.count;
+                    --queued_;
                 }
-                ring.count -= take;
-                queued_ -= take;
+                depth_[q].store(static_cast<unsigned>(ring.count),
+                                std::memory_order_relaxed);
                 break;
             }
         }
         // Batched submission: all device writes first (no shard lock),
-        // then all completions (one shard lock acquisition each).
+        // then one group durability barrier if the batch carried a
+        // run, then all completions (one shard lock acquisition
+        // each).  A batch is drawn from a single shard's ring, so
+        // every job shares one client and one sync covers them all.
+        bool had_run = false;
+        for (Job &job : jobs) {
+            job.client->copierPersist(job.first, job.count);
+            had_run |= job.count > 1;
+        }
+        if (had_run)
+            jobs.front().client->copierSync();
         for (Job &job : jobs)
-            job.client->copierPersist(job.page);
-        for (Job &job : jobs)
-            job.client->copierComplete(job.page);
+            job.client->copierComplete(job.first, job.count);
     }
 }
 

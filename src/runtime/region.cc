@@ -1,8 +1,10 @@
 #include "runtime/region.hh"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -72,6 +74,49 @@ pwriteFullyWithRetry(int fd, const void *buf, std::uint64_t len,
                      static_cast<off_t>(offset + written));
         if (n > 0) {
             written += static_cast<std::uint64_t>(n);
+            continue;
+        }
+        const int error = n < 0 ? errno : EIO;
+        if (error != EINTR && error != EAGAIN && n < 0)
+            return error;
+        if (++failures >= attempts)
+            return error;
+    }
+    return 0;
+}
+
+unsigned
+advanceIovecs(struct iovec *iov, unsigned iovcnt, std::uint64_t done)
+{
+    unsigned idx = 0;
+    while (idx < iovcnt && done >= iov[idx].iov_len) {
+        done -= iov[idx].iov_len;
+        ++idx;
+    }
+    if (idx < iovcnt && done > 0) {
+        iov[idx].iov_base =
+            static_cast<char *>(iov[idx].iov_base) + done;
+        iov[idx].iov_len -= done;
+    }
+    return idx;
+}
+
+int
+pwritevFullyWithRetry(int fd, struct iovec *iov, unsigned iovcnt,
+                      std::uint64_t offset, unsigned attempts)
+{
+    unsigned idx = 0;
+    unsigned failures = 0;
+    while (idx < iovcnt) {
+        const unsigned take = std::min<unsigned>(
+            iovcnt - idx, static_cast<unsigned>(IOV_MAX));
+        const ssize_t n = ::pwritev(fd, iov + idx,
+                                    static_cast<int>(take),
+                                    static_cast<off_t>(offset));
+        if (n > 0) {
+            offset += static_cast<std::uint64_t>(n);
+            idx += advanceIovecs(iov + idx, take,
+                                 static_cast<std::uint64_t>(n));
             continue;
         }
         const int error = n < 0 ? errno : EIO;
@@ -231,7 +276,55 @@ class NvRegion::ShardBackend : public core::PagingBackend,
         ioPending_[page] = 1;
         ++outstanding_;
         region_.copiers_->submit(shard_.index,
-                                 CopierPool::Job{this, page});
+                                 CopierPool::Job{this, page, 1});
+    }
+
+    void
+    persistRunAsync(PageNum first, unsigned count)
+        REQUIRES(shard_.lock) override
+    {
+        if (count <= 1) {
+            persistPageAsync(first);
+            return;
+        }
+        if (!region_.copiers_) {
+            // Inline mode: one vectored write, its group durability
+            // barrier, then the per-page completions.
+            persistRunGlobal(shard_.firstPage + first, count);
+            copierSync();
+            if (client_)
+                for (unsigned i = 0; i < count; ++i)
+                    client_->onPersistComplete(first + i);
+            return;
+        }
+        if (region_.copiers_->nearCapacity(shard_.index)) {
+            // Backlogged ring: a wide run — and the group sync its
+            // batch will pay — would serialize behind the queued
+            // jobs.  Degrade to per-page jobs so latency-sensitive
+            // submissions keep flowing.
+            region_.runFallbacks_.fetch_add(
+                1, std::memory_order_relaxed);
+            for (unsigned i = 0; i < count; ++i)
+                persistPageAsync(first + i);
+            return;
+        }
+        // One ring slot carries the whole run; the controller's
+        // outstanding-IO cap counts its pages, so slots-used can
+        // never exceed pages-outstanding and the ring cannot
+        // overflow.
+        for (unsigned i = 0; i < count; ++i)
+            ioPending_[first + i] = 1;
+        outstanding_ += count;
+        region_.copiers_->submit(shard_.index,
+                                 CopierPool::Job{this, first, count});
+    }
+
+    unsigned
+    maxRunPages() const override
+    {
+        return region_.config_.coalesceRuns
+                   ? std::max(region_.config_.maxRunPages, 1u)
+                   : 1;
     }
 
     void
@@ -242,20 +335,39 @@ class NvRegion::ShardBackend : public core::PagingBackend,
 
     /** Copier phase 1: the device write, no locks held. */
     void
-    copierPersist(PageNum page) override
+    copierPersist(PageNum first, unsigned count) override
     {
-        persistGlobal(shard_.firstPage + page);
+        if (count <= 1)
+            persistGlobal(shard_.firstPage + first);
+        else
+            persistRunGlobal(shard_.firstPage + first, count);
+    }
+
+    /**
+     * Group durability barrier for a copier batch that carried a run
+     * (also used inline by persistRunAsync).  No locks held.
+     */
+    void
+    copierSync() override
+    {
+        if (const int error = fdatasyncWithRetry(region_.fd_);
+            error != 0)
+            fatal("group sync to backing file failed after bounded "
+                  "retries: ", std::strerror(error));
     }
 
     /** Copier phase 2: bookkeeping under the shard lock. */
     void
-    copierComplete(PageNum page) EXCLUDES(shard_.lock) override
+    copierComplete(PageNum first, unsigned count)
+        EXCLUDES(shard_.lock) override
     {
         common::MutexLock guard(shard_.lock);
-        ioPending_[page] = 0;
-        --outstanding_;
+        for (unsigned i = 0; i < count; ++i)
+            ioPending_[first + i] = 0;
+        outstanding_ -= count;
         if (client_)
-            client_->onPersistComplete(page);
+            for (unsigned i = 0; i < count; ++i)
+                client_->onPersistComplete(first + i);
         shard_.ioCv.notify_all();
     }
 
@@ -303,6 +415,40 @@ class NvRegion::ShardBackend : public core::PagingBackend,
                   "retries: ", std::strerror(error));
         region_.bytesPersisted_.fetch_add(ps,
                                           std::memory_order_relaxed);
+    }
+
+    /**
+     * Vectored write of `count` contiguous pages in one submission.
+     * The iovec block lives on the stack (the inline run path is
+     * reachable from the SIGSEGV admission path, which must not
+     * heap-allocate), chunked so arbitrarily wide runs still fit.
+     */
+    void
+    persistRunGlobal(PageNum global_first, unsigned count)
+    {
+        const std::uint64_t ps = region_.pageSize_;
+        constexpr unsigned kChunk = 64;
+        struct iovec iov[kChunk];
+        unsigned done = 0;
+        while (done < count) {
+            const unsigned n = std::min(count - done, kChunk);
+            for (unsigned i = 0; i < n; ++i) {
+                iov[i].iov_base =
+                    region_.mem_ + (global_first + done + i) * ps;
+                iov[i].iov_len = ps;
+            }
+            VIYOJIT_IGNORE_READS_BEGIN();
+            const int error = pwritevFullyWithRetry(
+                region_.fd_, iov, n, (global_first + done) * ps);
+            VIYOJIT_IGNORE_READS_END();
+            if (error != 0)
+                fatal("run persist to backing file failed after "
+                      "bounded retries: ", std::strerror(error));
+            done += n;
+        }
+        region_.bytesPersisted_.fetch_add(
+            static_cast<std::uint64_t>(count) * ps,
+            std::memory_order_relaxed);
     }
 
     void
@@ -467,6 +613,9 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     core_config.pressureWeightCurrent = config.pressureWeightCurrent;
     core_config.maxOutstandingIos = config.maxOutstandingIos;
     core_config.legacyEpochScan = config.legacyEpochScan;
+    core_config.coalesceRuns = config.coalesceRuns;
+    core_config.maxRunPages = config.maxRunPages;
+    core_config.extentShift = config.extentShift;
 
     if (config.copierThreads > 0) {
         // Ring capacity = the per-shard outstanding-IO cap the
@@ -699,6 +848,8 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
         out.proactiveCopies += cs.proactiveCopies;
         out.quotaBorrowedPages += cs.quotaBorrowedPages;
         out.quotaReturnedPages += cs.quotaReturnedPages;
+        out.runSubmits += cs.runSubmits;
+        out.runPagesCoalesced += cs.runPagesCoalesced;
         out.dirtyPages += shard->controller->tracker().count();
         quotas += shard->controller->dirtyBudget();
     }
@@ -707,6 +858,7 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
     out.bytesPersisted =
         bytesPersisted_.load(std::memory_order_relaxed);
     out.quotaSteals = quotaSteals_.load(std::memory_order_relaxed);
+    out.runFallbacks = runFallbacks_.load(std::memory_order_relaxed);
     if (pool_) {
         out.poolAvailablePages = pool_->available();
         out.dirtyBudgetPages = pool_->totalPages();

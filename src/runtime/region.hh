@@ -92,6 +92,8 @@
 #include "core/controller.hh"
 #include "core/paging_backend.hh"
 
+struct iovec;
+
 namespace viyojit::runtime
 {
 
@@ -113,6 +115,29 @@ int fdatasyncWithRetry(int fd, unsigned attempts = 8);
  */
 int pwriteFullyWithRetry(int fd, const void *buf, std::uint64_t len,
                          std::uint64_t offset, unsigned attempts = 8);
+
+/**
+ * Advance an iovec array past `done` bytes already transferred:
+ * fully-consumed leading entries are skipped, and the first partially
+ * consumed entry has its base/len adjusted in place.  Returns the
+ * index of the first incomplete entry (== `iovcnt` when `done` covers
+ * the whole array).  This is the resumption arithmetic of the
+ * vectored write path, split out so tests can drive the partial-write
+ * cases directly.
+ */
+unsigned advanceIovecs(struct iovec *iov, unsigned iovcnt,
+                       std::uint64_t done);
+
+/**
+ * pwritev the whole iovec array with bounded retry on EINTR/EAGAIN
+ * and on short writes (resuming mid-array via advanceIovecs), and
+ * transparent chunking past the IOV_MAX syscall limit.  The array is
+ * clobbered as a side effect of resumption.  Returns 0 on success or
+ * the last errno (EIO for a persistent short write) — same contract
+ * as pwriteFullyWithRetry.
+ */
+int pwritevFullyWithRetry(int fd, struct iovec *iov, unsigned iovcnt,
+                          std::uint64_t offset, unsigned attempts = 8);
 
 /** Runtime tunables. */
 struct RuntimeConfig
@@ -163,6 +188,23 @@ struct RuntimeConfig
      * 0 picks a quarter of the initial per-shard quota.
      */
     std::uint64_t quotaBatchPages = 0;
+
+    /**
+     * Coalesce page-number-adjacent victims into one vectored write
+     * (pwritev) with a group fdatasync, instead of one pwrite per
+     * page.  Mirrors core::ViyojitConfig::coalesceRuns; off by
+     * default so existing behaviour is bit-identical.
+     */
+    bool coalesceRuns = false;
+
+    /** Longest run a single vectored write may carry. */
+    unsigned maxRunPages = 16;
+
+    /**
+     * log2 pages per extent for locality-aware victim selection
+     * (core::ViyojitConfig::extentShift); 0 disables.
+     */
+    unsigned extentShift = 0;
 };
 
 /** Runtime statistics snapshot (coherent across shards). */
@@ -184,6 +226,13 @@ struct RegionStats
 
     /** Cross-shard quota steals (fault path found the pool dry). */
     std::uint64_t quotaSteals = 0;
+
+    /** Coalesced run IOs submitted and the pages they carried. */
+    std::uint64_t runSubmits = 0;
+    std::uint64_t runPagesCoalesced = 0;
+
+    /** Runs degraded to per-page jobs by a backlogged copier ring. */
+    std::uint64_t runFallbacks = 0;
 
     /** Unassigned pages in the budget pool (0 when unsharded). */
     std::uint64_t poolAvailablePages = 0;
@@ -311,6 +360,7 @@ class NvRegion
 
     std::atomic<std::uint64_t> bytesPersisted_{0};
     std::atomic<std::uint64_t> quotaSteals_{0};
+    std::atomic<std::uint64_t> runFallbacks_{0};
 
     /**
      * Serializes whole-region retunes (lock-ordering rule 1: taken

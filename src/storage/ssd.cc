@@ -124,6 +124,80 @@ Ssd::submitWrite(StorageKey key, std::uint64_t content_hash,
 }
 
 Tick
+Ssd::submitWriteRun(StorageKey first, unsigned count,
+                    const std::uint64_t *content_hashes,
+                    std::uint64_t bytes_per_page,
+                    RunCallback on_page_complete)
+{
+    VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
+    VIYOJIT_ASSERT(count > 0, "empty run write");
+
+    std::vector<IoStatus> statuses(count, IoStatus::ok);
+    double latency_multiplier = 1.0;
+    Tick extra_latency = 0;
+    if (faultModel_) {
+        for (unsigned i = 0; i < count; ++i) {
+            const FaultModel::Decision decision =
+                faultModel_->onWriteSubmit(first.regionId,
+                                           first.page + i);
+            statuses[i] = decision.status;
+            if (decision.status != IoStatus::ok)
+                ctx_.stats()
+                    .counter("ssd.injected_write_errors")
+                    .increment();
+            if (decision.status == IoStatus::hardError)
+                ctx_.stats()
+                    .counter("ssd.injected_hard_errors")
+                    .increment();
+            if (decision.latencyMultiplier > 1.0)
+                ctx_.stats()
+                    .counter("ssd.tail_latency_spikes")
+                    .increment();
+            if (decision.extraLatency > 0)
+                ctx_.stats().counter("ssd.bad_page_remaps").increment();
+            latency_multiplier =
+                std::max(latency_multiplier, decision.latencyMultiplier);
+            extra_latency += decision.extraLatency;
+        }
+    }
+
+    ++outstanding_;
+    ++outstandingRuns_;
+    const std::uint64_t transfer = bytes_per_page * count;
+    const Tick done = scheduleIo(transfer, config_.writeBandwidth,
+                                 latency_multiplier, extra_latency);
+    bytesWritten_ += transfer;
+    logicalBytesWritten_ += transfer;
+    pageWrites_ += count;
+    ctx_.stats().counter("ssd.bytes_written").increment(transfer);
+    ctx_.stats().counter("ssd.page_writes").increment(count);
+    ctx_.stats().counter("ssd.run_writes").increment();
+    ctx_.stats().counter("ssd.run_pages").increment(count);
+
+    std::vector<std::uint64_t> hashes(content_hashes,
+                                      content_hashes + count);
+    ctx_.events().schedule(
+        done, [this, first, statuses = std::move(statuses),
+               hashes = std::move(hashes),
+               cb = std::move(on_page_complete)]() {
+            // Durability is granted page-by-page at the single
+            // completion instant: a cut before this event persists
+            // nothing of the run, and a page whose slice failed keeps
+            // its previous durable image.
+            for (unsigned i = 0; i < statuses.size(); ++i)
+                if (statuses[i] == IoStatus::ok)
+                    image_[StorageKey{first.regionId,
+                                      first.page + i}] = hashes[i];
+            --outstanding_;
+            --outstandingRuns_;
+            if (cb)
+                for (unsigned i = 0; i < statuses.size(); ++i)
+                    cb(i, statuses[i]);
+        });
+    return done;
+}
+
+Tick
 Ssd::submitRead(StorageKey key, std::uint64_t bytes,
                 IoCallback on_complete)
 {
@@ -214,6 +288,7 @@ Ssd::reset()
     channelFree_ = 0;
     iopsGate_ = 0;
     outstanding_ = 0;
+    outstandingRuns_ = 0;
     bytesWritten_ = 0;
     logicalBytesWritten_ = 0;
     pageWrites_ = 0;

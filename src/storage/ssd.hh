@@ -93,6 +93,13 @@ class Ssd
     /** Completion callback carrying the attempt's status. */
     using IoCallback = std::function<void(IoStatus)>;
 
+    /**
+     * Per-page completion callback for a coalesced run write: fired
+     * once per page (by index within the run) at the run's service
+     * time.
+     */
+    using RunCallback = std::function<void(unsigned, IoStatus)>;
+
     Ssd(sim::SimContext &ctx, const SsdConfig &config);
 
     /**
@@ -118,6 +125,26 @@ class Ssd
     Tick submitWrite(StorageKey key, std::uint64_t content_hash,
                      std::uint64_t bytes, IoCallback on_complete,
                      std::uint64_t compressed_bytes = 0);
+
+    /**
+     * Submit one coalesced write of `count` device-adjacent pages
+     * starting at `first` as a single IO: one queue slot, one IOPS
+     * admission, one per-IO latency — the bandwidth channel still
+     * carries every byte.  Each page gets an independent fault draw
+     * (the device wrote `count` pages), so a bad page fails its slice
+     * of the run without failing the rest; `on_page_complete` fires
+     * per page with that page's status.  Hashes become durable only
+     * at the run's completion event — a power cut before then leaves
+     * the whole run non-durable, never a torn prefix.
+     *
+     * The run path models raw transfers (no dedup/compression): it
+     * exists for the emergency/proactive flush, which streams whole
+     * pages.
+     */
+    Tick submitWriteRun(StorageKey first, unsigned count,
+                        const std::uint64_t *content_hashes,
+                        std::uint64_t bytes_per_page,
+                        RunCallback on_page_complete);
 
     /** Submit one page-read attempt (status-aware). */
     Tick submitRead(StorageKey key, std::uint64_t bytes,
@@ -178,6 +205,9 @@ class Ssd
     /** Number of IOs submitted but not yet completed. */
     unsigned outstanding() const { return outstanding_; }
 
+    /** Run (multi-page) IOs among the outstanding ones. */
+    unsigned outstandingRuns() const { return outstandingRuns_; }
+
     /** True if the device can accept another IO right now. */
     bool canAccept() const { return outstanding_ < config_.queueDepth; }
 
@@ -213,6 +243,7 @@ class Ssd
     Tick iopsGate_ = 0;
 
     unsigned outstanding_ = 0;
+    unsigned outstandingRuns_ = 0;
     std::uint64_t bytesWritten_ = 0;
     std::uint64_t logicalBytesWritten_ = 0;
     std::uint64_t pageWrites_ = 0;

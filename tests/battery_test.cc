@@ -163,6 +163,24 @@ TEST(BudgetCalcTest, FlushSecondsMatchesBandwidth)
     EXPECT_DOUBLE_EQ(calc.flushSeconds(2ull * 1000 * 1000 * 1000), 1.0);
 }
 
+TEST(BudgetCalcTest, MeasuredFlushRateOverridesNameplate)
+{
+    // A measured (coalesced) flush rate replaces the nameplate
+    // bandwidth in the derivation: twice the rate halves the required
+    // energy per byte and doubles the budget for a given reserve.
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 0.8);
+    const std::uint64_t nameplate = calc.budgetBytes(3000.0);
+
+    calc.setMeasuredFlushBandwidth(8.0e9);
+    EXPECT_DOUBLE_EQ(calc.measuredFlushBandwidth(), 8.0e9);
+    EXPECT_EQ(calc.budgetBytes(3000.0), 2 * nameplate);
+    EXPECT_DOUBLE_EQ(calc.flushSeconds(6'400'000'000ull), 1.0);
+
+    // Clearing the measurement falls back to the nameplate figure.
+    calc.setMeasuredFlushBandwidth(0.0);
+    EXPECT_EQ(calc.budgetBytes(3000.0), nameplate);
+}
+
 // ---------------------------------------------------------------------
 // ScalingModel (fig 1)
 // ---------------------------------------------------------------------

@@ -150,6 +150,9 @@ struct FaultedManagerFixture : public ::testing::Test
         config.retryBackoffBase = 10_us;
         config.retryBackoffCap = 100_us;
         config.ioTimeout = io_timeout;
+        config.coalesceRuns = coalesceRuns;
+        config.maxRunPages = maxRunPages;
+        config.extentShift = extentShift;
         manager = std::make_unique<ViyojitManager>(
             ctx, *ssd, config, mmu::MmuCostModel{}, pages);
         base = manager->vmmap(pages * manager->config().pageSize);
@@ -168,6 +171,11 @@ struct FaultedManagerFixture : public ::testing::Test
     std::unique_ptr<storage::Ssd> ssd;
     std::unique_ptr<ViyojitManager> manager;
     Addr base = 0;
+
+    /** Coalesced-IO knobs, set before build(). */
+    bool coalesceRuns = false;
+    unsigned maxRunPages = 16;
+    unsigned extentShift = 0;
 };
 
 TEST_F(FaultedManagerFixture, InjectedErrorsAreRetriedAndDataSurvives)
@@ -228,6 +236,65 @@ TEST_F(FaultedManagerFixture, TimeoutsAbandonAttemptsAndAbortCopies)
     // Aborted copies leave their pages dirty — nothing went clean
     // without landing on the device.
     EXPECT_GT(manager->dirtyPageCount(), 0u);
+
+    manager->powerFailureFlush();
+    EXPECT_TRUE(manager->verifyDurability());
+}
+
+TEST_F(FaultedManagerFixture, RunSplitsOnBadPageAndDataSurvives)
+{
+    // Coalesced flush against a device injecting hard errors that
+    // mark pages bad: a failed slice must split out of its run and
+    // retry through the per-page chain, where the fault model's
+    // bad-page remap absorbs it.  Nothing may go clean without
+    // landing on the device.
+    storage::FaultModelConfig faults;
+    faults.seed = 41;
+    faults.writeErrorProb = 0.25;
+    faults.hardErrorFraction = 0.5;
+    coalesceRuns = true;
+    extentShift = 2;
+    build(faults, /*budget=*/8);
+
+    // Sequential sweeps well past the budget: victims are adjacent,
+    // so proactive copies and evictions coalesce into runs.  The
+    // emergency flush then drains the rest in page order, in full runs
+    // through the still-faulty device — with a 16-page run at 25%
+    // per-page error probability, splits are near-certain.
+    for (int sweep = 0; sweep < 4; ++sweep)
+        for (PageNum p = 0; p < pages; ++p)
+            touch(p);
+    manager->powerFailureFlush();
+
+    const IoFaultStats io = manager->ioFaultStats();
+    EXPECT_GT(io.runSubmits, 0u);
+    EXPECT_GT(io.runPagesCoalesced, io.runSubmits);
+    EXPECT_GT(io.runSplits, 0u)
+        << "runSubmits=" << io.runSubmits
+        << " runPages=" << io.runPagesCoalesced
+        << " retries=" << io.retries;
+    EXPECT_GT(ssd->faultModel()->injectedWriteErrors(), 0u);
+    EXPECT_TRUE(manager->verifyDurability());
+}
+
+TEST_F(FaultedManagerFixture, GroupCompletionsGoStaleAfterRunTimeout)
+{
+    // Service time far beyond the IO deadline, coalescing on: every
+    // page of a submitted run times out (generation bump) before the
+    // group completion event fires, so the whole group completion
+    // must be dropped as stale — one stale per page of the run.
+    coalesceRuns = true;
+    build(storage::FaultModelConfig{}, /*budget=*/8,
+          /*io_timeout=*/1_ms, /*per_io_latency=*/5_ms);
+
+    for (PageNum p = 0; p < 8; ++p)
+        touch(p);
+    ctx.events().runUntil(ctx.now() + 200_ms);
+
+    const IoFaultStats io = manager->ioFaultStats();
+    EXPECT_GT(io.runSubmits, 0u);
+    EXPECT_GT(io.timeouts, 0u);
+    EXPECT_GE(io.staleCompletions, io.runPagesCoalesced);
 
     manager->powerFailureFlush();
     EXPECT_TRUE(manager->verifyDurability());
@@ -354,6 +421,51 @@ TEST_F(GovernorFixture, PeriodicModePicksUpSsdWear)
     ctx.events().runUntil(ctx.now() + 5_ms);
     EXPECT_EQ(governor.mode(), SafeMode::degraded);
     governor.stopPeriodic();
+}
+
+TEST_F(GovernorFixture, MeasuredFlushRateRaisesDerivedBudget)
+{
+    SafeModeGovernor governor(*manager, *battery, power, safeConfig);
+    const std::uint64_t nameplate_derived =
+        governor.derivedBudgetPages();
+
+    // A coalesced-flush measurement sustaining twice the nameplate
+    // rate roughly doubles the derived budget (the flush-overhead
+    // reserve keeps it from being exactly 2x).
+    governor.setMeasuredFlushBandwidth(
+        2.0 * ssd->config().writeBandwidth);
+    EXPECT_GT(governor.derivedBudgetPages(),
+              nameplate_derived * 3 / 2);
+    // The applied budget never exceeds the configured nominal.
+    EXPECT_EQ(governor.appliedBudgetPages(), budget);
+    EXPECT_EQ(governor.mode(), SafeMode::normal);
+
+    // Reverting to the nameplate model restores the old derivation.
+    governor.setMeasuredFlushBandwidth(0.0);
+    EXPECT_EQ(governor.derivedBudgetPages(), nameplate_derived);
+}
+
+TEST_F(GovernorFixture, MeasuredRateStillDeratesWithLaterSsdWear)
+{
+    // Degradation that happens AFTER the measurement must still
+    // shrink the budget: the measured rate is rescaled by the
+    // device's current health factor on every derivation.
+    SafeModeGovernor governor(*manager, *battery, power, safeConfig);
+    governor.setMeasuredFlushBandwidth(
+        2.0 * ssd->config().writeBandwidth);
+    const std::uint64_t measured_healthy =
+        governor.derivedBudgetPages();
+
+    ssd->faultModel()->setBandwidthDegradation(0.25);
+    governor.reevaluate();
+    EXPECT_LT(governor.derivedBudgetPages(), measured_healthy / 3);
+    EXPECT_EQ(governor.mode(), SafeMode::degraded);
+    EXPECT_LT(governor.appliedBudgetPages(), budget);
+
+    ssd->faultModel()->setBandwidthDegradation(1.0);
+    governor.reevaluate();
+    EXPECT_EQ(governor.derivedBudgetPages(), measured_healthy);
+    EXPECT_EQ(governor.mode(), SafeMode::normal);
 }
 
 // ---------------------------------------------------------------------

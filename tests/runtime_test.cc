@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 
 #include <cstring>
@@ -258,6 +260,88 @@ TEST_F(RegionFixture, ZeroBudgetRejected)
                  FatalError);
 }
 
+TEST_F(RegionFixture, CoalescedFlushMakesFileMatchMemory)
+{
+    // Sequential dirtying with the coalesced-IO path on: victims are
+    // page-number-adjacent, so the flush must go out as vectored run
+    // writes — and the file must still match memory byte for byte.
+    const std::string path = makePath("coalesce");
+    RuntimeConfig cfg = manualConfig(8);
+    cfg.coalesceRuns = true;
+    cfg.maxRunPages = 8;
+    cfg.extentShift = 2;
+    auto region = NvRegion::create(path, 64_KiB, cfg);
+    char *data = static_cast<char *>(region->base());
+    const std::uint64_t ps = region->pageSize();
+    for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+        std::memset(data + p * ps, 'a' + static_cast<int>(p % 26), ps);
+    region->flushAll();
+    EXPECT_EQ(region->stats().dirtyPages, 0u);
+
+    // Runs actually formed: more pages moved per IO than one.
+    const RegionStats stats = region->stats();
+    EXPECT_GT(stats.runSubmits, 0u);
+    EXPECT_GT(stats.runPagesCoalesced, stats.runSubmits);
+
+    std::ifstream file(path, std::ios::binary);
+    std::vector<char> file_bytes(region->size());
+    file.read(file_bytes.data(),
+              static_cast<std::streamsize>(file_bytes.size()));
+    EXPECT_EQ(std::memcmp(file_bytes.data(), data, region->size()), 0);
+}
+
+TEST_F(RegionFixture, CoalescedRecoveryRoundTrip)
+{
+    const std::string path = makePath("coalesce_rec");
+    RuntimeConfig cfg = manualConfig(8);
+    cfg.coalesceRuns = true;
+    cfg.extentShift = 2;
+    std::vector<char> expected;
+    {
+        auto region = NvRegion::create(path, 64_KiB, cfg);
+        char *data = static_cast<char *>(region->base());
+        Rng rng(0xc0a1e5ce);
+        for (std::uint64_t i = 0; i < region->size(); ++i)
+            data[i] = static_cast<char>(rng.next());
+        expected.assign(data, data + region->size());
+        region->flushAll();
+    }
+    auto region = NvRegion::recover(path, cfg);
+    EXPECT_EQ(std::memcmp(region->base(), expected.data(),
+                          expected.size()),
+              0);
+}
+
+TEST_F(RegionFixture, CoalescedWithCopiersMatchesFile)
+{
+    // The copier-pool run path: one ring slot per run, the worker
+    // batch bounded by summed pages, one group sync per batch with a
+    // run in it.  End state must equal the inline path's.
+    const std::string path = makePath("coalesce_cp");
+    RuntimeConfig cfg = manualConfig(8);
+    cfg.coalesceRuns = true;
+    cfg.maxRunPages = 8;
+    cfg.copierThreads = 2;
+    auto region = NvRegion::create(path, 256_KiB, cfg);
+    char *data = static_cast<char *>(region->base());
+    const std::uint64_t ps = region->pageSize();
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps,
+                        'A' + static_cast<int>((p + sweep) % 26), ps);
+        region->epochTick();
+    }
+    region->flushAll();
+    EXPECT_EQ(region->stats().dirtyPages, 0u);
+    EXPECT_GT(region->stats().runSubmits, 0u);
+
+    std::ifstream file(path, std::ios::binary);
+    std::vector<char> file_bytes(region->size());
+    file.read(file_bytes.data(),
+              static_cast<std::streamsize>(file_bytes.size()));
+    EXPECT_EQ(std::memcmp(file_bytes.data(), data, region->size()), 0);
+}
+
 TEST(SyscallRetryTest, FdatasyncReportsNonRetryableErrno)
 {
     // EBADF is not transient: the helper must return it to the
@@ -286,6 +370,69 @@ TEST(SyscallRetryTest, PwriteFullyWritesAndReportsErrors)
     EXPECT_EQ(pwriteFullyWithRetry(fd, payload.data(), payload.size(),
                                    0),
               EBADF);
+    ::unlink(path.c_str());
+}
+
+TEST(SyscallRetryTest, AdvanceIovecsResumesMidArray)
+{
+    char buf[600];
+    const auto fresh = [&]() {
+        return std::array<struct iovec, 3>{
+            {{buf, 100}, {buf + 100, 200}, {buf + 300, 300}}};
+    };
+
+    // Nothing transferred: array untouched.
+    auto iov = fresh();
+    EXPECT_EQ(advanceIovecs(iov.data(), 3, 0), 0u);
+    EXPECT_EQ(iov[0].iov_len, 100u);
+
+    // Exactly the first entry: resume at index 1, untouched.
+    iov = fresh();
+    EXPECT_EQ(advanceIovecs(iov.data(), 3, 100), 1u);
+    EXPECT_EQ(iov[1].iov_base, buf + 100);
+    EXPECT_EQ(iov[1].iov_len, 200u);
+
+    // Mid-second-entry: its base and length shift by the overlap.
+    iov = fresh();
+    EXPECT_EQ(advanceIovecs(iov.data(), 3, 150), 1u);
+    EXPECT_EQ(iov[1].iov_base, buf + 150);
+    EXPECT_EQ(iov[1].iov_len, 150u);
+    EXPECT_EQ(iov[2].iov_len, 300u);
+
+    // One byte short of everything: resume inside the last entry.
+    iov = fresh();
+    EXPECT_EQ(advanceIovecs(iov.data(), 3, 599), 2u);
+    EXPECT_EQ(iov[2].iov_base, buf + 599);
+    EXPECT_EQ(iov[2].iov_len, 1u);
+
+    // Fully transferred: index == count, nothing left.
+    iov = fresh();
+    EXPECT_EQ(advanceIovecs(iov.data(), 3, 600), 3u);
+}
+
+TEST(SyscallRetryTest, PwritevFullyWritesMultipleIovecsAndReportsErrors)
+{
+    const std::string path = tempPath("pwritev");
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC,
+                          0600);
+    ASSERT_GE(fd, 0);
+
+    std::string a = "torn ", b = "runs ", c = "never persist clean";
+    std::array<struct iovec, 3> iov{{{a.data(), a.size()},
+                                     {b.data(), b.size()},
+                                     {c.data(), c.size()}}};
+    EXPECT_EQ(pwritevFullyWithRetry(fd, iov.data(), 3, 8192), 0);
+
+    const std::string expected = "torn runs never persist clean";
+    std::vector<char> back(expected.size());
+    ASSERT_EQ(::pread(fd, back.data(), back.size(), 8192),
+              static_cast<ssize_t>(back.size()));
+    EXPECT_EQ(std::string(back.begin(), back.end()), expected);
+    ::close(fd);
+
+    // A closed descriptor is a hard error, returned not retried.
+    std::array<struct iovec, 1> bad{{{a.data(), a.size()}}};
+    EXPECT_EQ(pwritevFullyWithRetry(fd, bad.data(), 1, 0), EBADF);
     ::unlink(path.c_str());
 }
 

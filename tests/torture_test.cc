@@ -54,6 +54,63 @@ TEST(TortureTest, SurvivesSeededPowerCutsUnderFaultInjection)
     EXPECT_GE(result.minHeadroomJoules, 0.0) << "seed " << config.seed;
 }
 
+TEST(TortureTest, SurvivesPowerCutsDuringBatchedFlush)
+{
+    // Same harness, with the coalesced-IO flush path on: victims
+    // batch into vectored run writes whose durability is granted
+    // only at the single completion event, so cuts land inside the
+    // torn-run window — submitted, not yet durable.  A torn run must
+    // never verify as clean; the emergency flush must re-persist it.
+    TortureConfig config;
+    config.seed = tortureSeed() ^ 0xba7c4;
+    config.cuts = 300;
+    config.coalesceRuns = true;
+    config.maxRunPages = 16;
+    config.extentShift = 2;
+    config.maxBridgePages = 4;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed
+        << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+        << " ./torture_test";
+    EXPECT_EQ(result.cutsRun, config.cuts);
+
+    // Evidence the batched path was genuinely tortured: runs were
+    // submitted and carried more pages than IOs, cuts landed with a
+    // run still in flight, and injected IO errors split runs back
+    // into per-page retries.
+    EXPECT_GT(result.runSubmits, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.runPagesCoalesced, result.runSubmits)
+        << "seed " << config.seed;
+    EXPECT_GT(result.cutsMidRun, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.runSplits, 0u) << "seed " << config.seed;
+    EXPECT_GE(result.minHeadroomJoules, 0.0) << "seed " << config.seed;
+}
+
+TEST(TortureTest, BatchedFlushSameSeedReplaysIdentically)
+{
+    TortureConfig config;
+    config.seed = 31;
+    config.cuts = 40;
+    config.coalesceRuns = true;
+    config.extentShift = 2;
+    config.maxBridgePages = 4;
+
+    const TortureResult first = runTorture(config);
+    const TortureResult second = runTorture(config);
+
+    EXPECT_EQ(first.passed, second.passed);
+    EXPECT_EQ(first.runSubmits, second.runSubmits);
+    EXPECT_EQ(first.runPagesCoalesced, second.runPagesCoalesced);
+    EXPECT_EQ(first.runSplits, second.runSplits);
+    EXPECT_EQ(first.cutsMidRun, second.cutsMidRun);
+    EXPECT_EQ(first.totalRetries, second.totalRetries);
+    EXPECT_DOUBLE_EQ(first.minHeadroomJoules,
+                     second.minHeadroomJoules);
+}
+
 TEST(TortureTest, ParanoidShortRunHoldsInvariantAfterEveryOp)
 {
     TortureConfig config;
