@@ -205,9 +205,31 @@ median(std::vector<double> xs)
     return xs[xs.size() / 2];
 }
 
+/**
+ * Warn when the container exposes one CPU: every configuration then
+ * time-slices a single core, so thread/shard sweeps measure overhead,
+ * not scaling.  Returns the CPU count so callers can record it.
+ */
+unsigned
+reportHostCpus(const char *context)
+{
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    std::cout << context << ": host_cpus " << host_cpus << "\n";
+    if (host_cpus == 1)
+        std::cout << "warn: host_cpus == 1 — thread/shard sweeps "
+                     "time-slice one core; treat results as overhead, "
+                     "not scaling, measurements\n";
+    return host_cpus;
+}
+
 int
 runSmoke()
 {
+    // The 1-thread parity gate is valid on any CPU count (both sides
+    // time-slice identically), but record the environment so a CI log
+    // reader can judge the absolute numbers.
+    reportHostCpus("smoke");
+
     // Fault path alone: inline persistence on both sides.
     RunConfig unsharded;
     unsharded.threads = 1;
@@ -275,7 +297,7 @@ main(int argc, char **argv)
         }
     }
 
-    const unsigned hostCpus = std::thread::hardware_concurrency();
+    const unsigned hostCpus = reportHostCpus("sweep");
     const std::vector<unsigned> threadSweep = {1, 2, 4, 8};
     const std::vector<unsigned> shardSweep = {1, 8};
 
@@ -337,7 +359,9 @@ main(int argc, char **argv)
              << ", \"update_p99_ns\": " << r.out.updateP99Ns
              << ", \"write_faults\": " << r.out.writeFaults
              << ", \"quota_steals\": " << r.out.quotaSteals
-             << ", \"host_cpus\": " << hostCpus << "}"
+             << ", \"host_cpus\": " << hostCpus
+             << ", \"single_cpu_warning\": "
+             << (hostCpus == 1 ? "true" : "false") << "}"
              << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     json << "]\n";

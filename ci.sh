@@ -136,6 +136,23 @@ then
     exit 1
 fi
 
+# Corruption-torture pass: the same randomized seed, but with the
+# storage medium lying — silent bit flips, dropped writes, misdirected
+# writes — plus power cuts landing mid-batched-flush.  The suite fails
+# if even one corrupted page is silently accepted as durable
+# (auditUnattributed must be zero); ZeroSilentAcceptanceAcrossSeeds
+# alone covers three derived sub-seeds, so each CI run proves the
+# verified-durability property on >= 3 distinct fault trajectories.
+echo "=== Randomized corruption torture (VIYOJIT_TORTURE_SEED=${TORTURE_SEED}) ==="
+if ! VIYOJIT_TORTURE_SEED="${TORTURE_SEED}" \
+     ./build-sanitize/tests/torture_test \
+     --gtest_filter='CorruptionTortureTest.*'
+then
+    echo "corruption torture FAILED; replay with:" >&2
+    echo "  VIYOJIT_TORTURE_SEED=${TORTURE_SEED} ./build-sanitize/tests/torture_test --gtest_filter='CorruptionTortureTest.*'" >&2
+    exit 1
+fi
+
 # TSan pass over the threaded suites.  report_signal_unsafe=0 stays
 # because TSan's signal check is all-or-nothing per process — but it
 # is no longer the audit.  tools/sigsafe_lint.py (lint stage above)

@@ -393,7 +393,15 @@ DirtyBudgetController::flushPendingRun()
         // IOPS-bound device.  Bounded by maxBridgePages per gap; the
         // merged length stays within the window, which maxRunLen()
         // already caps to what the backend accepts.
-        while (mask != 0 && config_.maxBridgePages != 0) {
+        //
+        // Never bridge during the emergency flush: on wall power the
+        // extra transfers are amortized IOPS savings, but on battery
+        // every transferred byte drains the flush window — and the
+        // battery was sized for the DIRTY bytes, not dirty + bridge
+        // padding.  Runs of genuinely adjacent dirty pages still
+        // coalesce; only the clean-page padding stops.
+        while (mask != 0 && config_.maxBridgePages != 0 &&
+               !emergencyFlush_) {
             const unsigned next =
                 static_cast<unsigned>(__builtin_ctzll(mask));
             const unsigned gap = next - (start + len);
@@ -564,6 +572,7 @@ std::uint64_t
 DirtyBudgetController::flushAllDirty()
 {
     std::uint64_t flushed = 0;
+    emergencyFlush_ = true;
     const unsigned run_cap = maxRunLen();
     // Power is out, so victim order no longer protects hot pages —
     // everything must be durable before the reserve drains.  Sweep
@@ -618,6 +627,7 @@ DirtyBudgetController::flushAllDirty()
             panic("dirty pages remain but nothing can be flushed");
         backend_.waitForAnyPersist();
     }
+    emergencyFlush_ = false;
     return flushed;
 }
 

@@ -301,6 +301,16 @@ class DirtyBudgetController : public PersistClient
     std::uint64_t inFlightCount_ = 0;
     bool pumping_ = false;
 
+    /**
+     * True while flushAllDirty drains the region on battery power.
+     * Gap bridging is suppressed for its duration: bridging trades
+     * extra page transfers for admission slots, which is the right
+     * trade on wall power but wrong on battery, where transferred
+     * bytes ARE the flush window and the battery was sized for the
+     * dirty bytes alone.
+     */
+    bool emergencyFlush_ = false;
+
     /** Most recently admitted page (the straddling-store guard). */
     PageNum lastAdmitted_ = invalidPage;
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
 
 namespace viyojit::core
@@ -87,8 +88,9 @@ ViyojitManager::SimBackend::submitAttempt(PageNum page)
 
     ++io.attempts;
     const std::uint64_t generation = io.generation;
+    io.submittedHash = mgr_.pageContentHash(page);
     const Tick done = mgr_.ssd_.submitWrite(
-        mgr_.key(page), mgr_.pageContentHash(page),
+        mgr_.key(page), io.submittedHash,
         mgr_.config_.pageSize,
         [this, page, generation](storage::IoStatus status) {
             onAttemptComplete(page, generation, status);
@@ -128,7 +130,28 @@ ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
         return;
     }
     if (status == storage::IoStatus::ok) {
+        // Read-back verify: an ok status is the device's word; the
+        // durable image is the truth.  A silent fault (bit flip,
+        // dropped or misdirected write) leaves the image wrong while
+        // the status channel stays clean — catch it here and push the
+        // page back through the retry chain instead of committing.
+        // The expectation is the hash the attempt SUBMITTED: a page
+        // redirtied while the copy was in flight still verifies (the
+        // old content landed intact) and stays dirty in the tracker.
+        const std::uint64_t expected = it->second.submittedHash;
+        if (mgr_.ssd_.durableHash(mgr_.key(page)) != expected) {
+            ++faultStats_.verifyFailures;
+            mgr_.ctx_.stats().counter("io.verify_failures").increment();
+            if (from_run) {
+                ++faultStats_.runSplits;
+                mgr_.ctx_.stats().counter("io.run_splits").increment();
+            }
+            retryOrAbort(page);
+            return;
+        }
         inFlight_.erase(it);
+        abortedPages_.erase(page);
+        mgr_.commitSidecar(page, expected);
         VIYOJIT_ASSERT(client_, "persist completion without client");
         client_->onPersistComplete(page);
         return;
@@ -172,6 +195,7 @@ ViyojitManager::SimBackend::retryOrAbort(PageNum page)
 
     if (io.attempts >= mgr_.config_.maxIoRetries) {
         inFlight_.erase(it);
+        abortedPages_.insert(page);
         ++faultStats_.abortedCopies;
         mgr_.ctx_.stats().counter("io.aborted_copies").increment();
         warn("page copy abandoned after ", mgr_.config_.maxIoRetries,
@@ -283,6 +307,7 @@ ViyojitManager::SimBackend::submitRunAttempt(PageNum first,
         ++it->second.attempts;
         generations[i] = it->second.generation;
         hashes[i] = mgr_.pageContentHash(first + i);
+        it->second.submittedHash = hashes[i];
     }
     ++faultStats_.runSubmits;
     faultStats_.runPagesCoalesced.fetch_add(count,
@@ -330,9 +355,9 @@ ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
          attempt <= mgr_.config_.maxIoRetries; ++attempt) {
         bool ok = false;
         bool settled = false;
+        const std::uint64_t expected = mgr_.pageContentHash(page);
         const Tick done = mgr_.ssd_.submitWrite(
-            mgr_.key(page), mgr_.pageContentHash(page),
-            mgr_.config_.pageSize,
+            mgr_.key(page), expected, mgr_.config_.pageSize,
             [&ok, &settled](storage::IoStatus status) {
                 ok = status == storage::IoStatus::ok;
                 settled = true;
@@ -340,8 +365,19 @@ ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
             mgr_.compressedSizeEstimate(page));
         mgr_.ctx_.events().runUntil(done);
         VIYOJIT_ASSERT(settled, "blocking write did not complete");
-        if (ok)
+        // Read-back verify, same contract as the async path: ok from
+        // the device does not grant durability until the image checks.
+        if (ok &&
+            mgr_.ssd_.durableHash(mgr_.key(page)) != expected) {
+            ok = false;
+            ++faultStats_.verifyFailures;
+            mgr_.ctx_.stats().counter("io.verify_failures").increment();
+        }
+        if (ok) {
+            abortedPages_.erase(page);
+            mgr_.commitSidecar(page, expected);
             return;
+        }
         ++faultStats_.retries;
         mgr_.ctx_.stats().counter("io.retries").increment();
         if (attempt < mgr_.config_.maxIoRetries) {
@@ -436,6 +472,7 @@ ViyojitManager::ViyojitManager(sim::SimContext &ctx, storage::Ssd &ssd,
 
     data_.assign(capacity_pages * config_.pageSize, 0);
     versions_.assign(capacity_pages, 0);
+    sidecar_.assign(capacity_pages, SidecarEntry{});
 
     if (config_.enforceBudget) {
         controller_ =
@@ -661,13 +698,19 @@ ViyojitManager::powerFailureFlush()
                 } else {
                     p = pages[submitted++];
                 }
-                ssd_.submitWrite(key(p), pageContentHash(p),
-                                 config_.pageSize,
-                                 [this, p,
+                const std::uint64_t expected = pageContentHash(p);
+                ssd_.submitWrite(key(p), expected, config_.pageSize,
+                                 [this, p, expected,
                                   &redo](storage::IoStatus status) {
+                                     // Same read-back verify as the
+                                     // budgeted path: an ok with a
+                                     // wrong image re-queues.
                                      if (status ==
-                                         storage::IoStatus::ok) {
+                                             storage::IoStatus::ok &&
+                                         ssd_.durableHash(key(p)) ==
+                                             expected) {
                                          baselineDirty_->markClean(p);
+                                         commitSidecar(p, expected);
                                      } else {
                                          redo.push_back(p);
                                      }
@@ -698,6 +741,155 @@ ViyojitManager::verifyDurability() const
             return false;
     }
     return true;
+}
+
+void
+ViyojitManager::commitSidecar(PageNum page, std::uint64_t crc)
+{
+    VIYOJIT_ASSERT(page < sidecar_.size(), "page out of range");
+    sidecar_[page] = SidecarEntry{crc, ++nextCommitSeq_, true};
+}
+
+const ViyojitManager::SidecarEntry &
+ViyojitManager::sidecarEntry(PageNum page) const
+{
+    VIYOJIT_ASSERT(page < sidecar_.size(), "page out of range");
+    return sidecar_[page];
+}
+
+bool
+ViyojitManager::pageSettled(PageNum page) const
+{
+    if (backend_.wasAborted(page))
+        return false;
+    if (config_.enforceBudget) {
+        return !controller_->tracker().isDirty(page) &&
+               !controller_->isInFlight(page);
+    }
+    return !baselineDirty_->isDirty(page);
+}
+
+DurabilityAuditReport
+ViyojitManager::verifyDurabilityChecked() const
+{
+    DurabilityAuditReport report;
+    for (PageNum p = 0; p < nextFreePage_; ++p) {
+        if (versions_[p] == 0)
+            continue;
+        ++report.pagesChecked;
+        const std::uint64_t live = pageContentHash(p);
+        const std::uint64_t durable = ssd_.durableHash(key(p));
+        const SidecarEntry &meta = sidecar_[p];
+
+        if (durable == live) {
+            ++report.verifiedPages;
+            if (!meta.valid || meta.crc != live)
+                ++report.staleMetaPages;
+            continue;
+        }
+
+        ++report.mismatchedPages;
+        if (meta.valid && meta.crc == live) {
+            // The flush committed exactly this content after a
+            // verified read-back; the medium has since diverged.
+            ++report.silentCorruptPages;
+        } else {
+            // No commit covers the live content: the write was torn
+            // off mid-flight (cut, abort) before its commit point.
+            ++report.tornPages;
+        }
+
+        const bool attributed =
+            ssd_.corruptionKind(key(p)) !=
+                storage::SilentFaultKind::none ||
+            backend_.wasAborted(p) || !pageSettled(p);
+        if (attributed)
+            ++report.attributedPages;
+        else
+            ++report.unattributedPages;
+    }
+    return report;
+}
+
+bool
+ViyojitManager::repairPageBlocking(PageNum page)
+{
+    for (unsigned attempt = 1; attempt <= config_.maxIoRetries;
+         ++attempt) {
+        if (!ssd_.canAccept()) {
+            ctx_.events().runUntil(ctx_.now() +
+                                   config_.retryBackoffBase);
+            continue;
+        }
+        bool ok = false;
+        const std::uint64_t expected = pageContentHash(page);
+        const Tick done = ssd_.submitWrite(
+            key(page), expected, config_.pageSize,
+            [&ok](storage::IoStatus status) {
+                ok = status == storage::IoStatus::ok;
+            },
+            compressedSizeEstimate(page));
+        ctx_.events().runUntil(done);
+        if (ok && ssd_.durableHash(key(page)) == expected) {
+            commitSidecar(page, expected);
+            return true;
+        }
+    }
+    return false;
+}
+
+ScrubReport
+ViyojitManager::scrubPass(std::uint64_t max_pages)
+{
+    ScrubReport report;
+    if (nextFreePage_ == 0 || max_pages == 0)
+        return report;
+
+    // Budget awareness: scrubbing is strictly lower priority than
+    // making flush headroom.  Yield the whole pass while the dirty
+    // set is within two pages of the budget or the device queue is
+    // full — the controller needs every slot it can get there.
+    if (config_.enforceBudget &&
+        controller_->tracker().count() + 2 >=
+            controller_->dirtyBudget()) {
+        ++report.skippedBudget;
+        return report;
+    }
+    if (!ssd_.canAccept()) {
+        ++report.skippedBudget;
+        return report;
+    }
+
+    for (std::uint64_t i = 0;
+         i < nextFreePage_ && report.scanned < max_pages; ++i) {
+        const PageNum p = scrubCursor_;
+        scrubCursor_ = (scrubCursor_ + 1) % nextFreePage_;
+        if (versions_[p] == 0)
+            continue;
+        if (!pageSettled(p)) {
+            ++report.skippedBusy;
+            continue;
+        }
+        ++report.scanned;
+        const std::uint64_t live = pageContentHash(p);
+        if (ssd_.durableHash(key(p)) == live)
+            continue;
+        // A settled page's DRAM copy matches its last verified flush,
+        // so DRAM is the good replica: repair the durable image from
+        // it (this also heals misdirected-write victims, whose own
+        // writes were never at fault).
+        ++report.mismatches;
+        ctx_.stats().counter("scrub.mismatches").increment();
+        if (repairPageBlocking(p)) {
+            ++report.repaired;
+            ctx_.stats().counter("scrub.repairs").increment();
+        } else {
+            ++report.repairFailures;
+            warn("scrub could not repair page ", p,
+                 " after bounded retries; left corrupt");
+        }
+    }
+    return report;
 }
 
 void
@@ -744,12 +936,7 @@ ViyojitManager::pageContentHash(PageNum page) const
 {
     VIYOJIT_ASSERT(page < capacityPages_, "page out of range");
     const char *bytes = data_.data() + page * config_.pageSize;
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (std::uint64_t i = 0; i < config_.pageSize; ++i) {
-        hash ^= static_cast<unsigned char>(bytes[i]);
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
+    return common::crc32c(bytes, config_.pageSize);
 }
 
 std::uint64_t

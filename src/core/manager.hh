@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hh"
@@ -42,6 +43,88 @@ struct FlushReport
     std::uint64_t dirtyPagesAtFailure = 0;
     std::uint64_t bytesFlushed = 0;
     Tick flushDuration = 0;
+};
+
+/**
+ * Classified outcome of a checksum-path durability audit
+ * (ViyojitManager::verifyDurabilityChecked): instead of one boolean,
+ * every written page is verified against the durable image AND the
+ * flush-commit sidecar, and mismatches are classified and attributed.
+ */
+struct DurabilityAuditReport
+{
+    /** Written pages examined. */
+    std::uint64_t pagesChecked = 0;
+
+    /** Pages whose durable image matches live content. */
+    std::uint64_t verifiedPages = 0;
+
+    /** Pages whose durable image differs from live content. */
+    std::uint64_t mismatchedPages = 0;
+
+    /**
+     * Mismatches where the sidecar committed exactly the live
+     * content: the flush landed and was verified, the medium has
+     * since silently diverged (bit rot, misdirected clobber).
+     */
+    std::uint64_t silentCorruptPages = 0;
+
+    /**
+     * Mismatches with no commit covering the live content: the cut
+     * (or an aborted copy) interrupted the write before its commit —
+     * a torn page/run tail.
+     */
+    std::uint64_t tornPages = 0;
+
+    /**
+     * Verified pages whose sidecar entry lags the live content
+     * (data durable, metadata not yet committed).  Benign; counted
+     * so the stale-epoch window stays observable.
+     */
+    std::uint64_t staleMetaPages = 0;
+
+    /**
+     * Mismatches explained by the device's oracle corruption ledger,
+     * an aborted copy, or a page legitimately still dirty/in-flight.
+     */
+    std::uint64_t attributedPages = 0;
+
+    /**
+     * Mismatches with no known cause.  Any nonzero value is a real
+     * durability bug — data the system believes durable and intact
+     * but silently wrong.
+     */
+    std::uint64_t unattributedPages = 0;
+
+    /** True when the durable image matches everywhere. */
+    bool clean() const { return mismatchedPages == 0; }
+
+    /** True when every mismatch has an explanation (no silent
+     *  wrong-data acceptance). */
+    bool allAttributed() const { return unattributedPages == 0; }
+};
+
+/** Outcome of one background scrub pass (ViyojitManager::scrubPass). */
+struct ScrubReport
+{
+    /** Clean, settled pages whose durable image was re-verified. */
+    std::uint64_t scanned = 0;
+
+    /** Pages skipped because they were dirty or had IO in flight. */
+    std::uint64_t skippedBusy = 0;
+
+    /** Whole-pass skips: dirty set too close to the budget (the
+     *  scrubber must never steal flush bandwidth near the limit). */
+    std::uint64_t skippedBudget = 0;
+
+    /** Durable-image mismatches detected against the clean DRAM copy. */
+    std::uint64_t mismatches = 0;
+
+    /** Mismatched pages successfully rewritten from DRAM. */
+    std::uint64_t repaired = 0;
+
+    /** Repairs abandoned after bounded retries (page left corrupt). */
+    std::uint64_t repairFailures = 0;
 };
 
 /**
@@ -76,6 +159,13 @@ struct IoFaultStats
      * per-page retry path (bad-page remap, transient error).
      */
     std::uint64_t runSplits = 0;
+
+    /**
+     * Completions acknowledged ok whose durable image failed the
+     * read-back checksum verify (silent fault caught at flush time);
+     * each one re-enters the retry chain.
+     */
+    std::uint64_t verifyFailures = 0;
 };
 
 /**
@@ -152,6 +242,38 @@ class ViyojitManager
      */
     bool verifyDurability() const;
 
+    /**
+     * Checksum-path durability audit: verify every written page
+     * against the durable image and the flush-commit sidecar,
+     * classify mismatches (torn vs. silent corruption), and attribute
+     * them to known causes (oracle ledger, aborted copies, pages
+     * still dirty).  An unattributed mismatch is a genuine bug.
+     */
+    DurabilityAuditReport verifyDurabilityChecked() const;
+
+    /**
+     * One bounded background scrub pass: re-verify up to `max_pages`
+     * clean, settled pages against the durable image and repair
+     * mismatches from the still-clean DRAM copy.  Budget-aware: the
+     * pass yields entirely while the dirty set is near the budget, so
+     * scrubbing never competes with the flush path for headroom.
+     */
+    ScrubReport scrubPass(std::uint64_t max_pages);
+
+    /** Flush-commit sidecar entry for a page (test/audit hook). */
+    struct SidecarEntry
+    {
+        /** CRC32C committed for the page's last verified flush. */
+        std::uint64_t crc = 0;
+
+        /** Global commit sequence number (monotonic). */
+        std::uint64_t commitSeq = 0;
+
+        /** True once the page has had at least one verified commit. */
+        bool valid = false;
+    };
+    const SidecarEntry &sidecarEntry(PageNum page) const;
+
     /** Bytes that would need flushing if power failed now. */
     std::uint64_t dirtyBytes() const;
 
@@ -185,7 +307,12 @@ class ViyojitManager
     /** Pages written at least once over the manager's lifetime. */
     std::uint64_t writtenPageCount() const;
 
-    /** FNV-1a hash of the page's live content. */
+    /**
+     * CRC32C of the page's live content (common/checksum.hh) — the
+     * same checksum the flush path commits to the sidecar, so the
+     * audit, the scrubber, and recovery all verify through one code
+     * path.
+     */
     std::uint64_t pageContentHash(PageNum page) const;
 
     /**
@@ -247,7 +374,16 @@ class ViyojitManager
                 std::memory_order_relaxed);
             out.runSplits =
                 faultStats_.runSplits.load(std::memory_order_relaxed);
+            out.verifyFailures = faultStats_.verifyFailures.load(
+                std::memory_order_relaxed);
             return out;
+        }
+
+        /** True while `page`'s last copy ended in an abort (left
+         *  dirty); cleared by a later successful persist. */
+        bool wasAborted(PageNum page) const
+        {
+            return abortedPages_.contains(page);
         }
 
       private:
@@ -265,6 +401,15 @@ class ViyojitManager
 
             /** Invalidates stragglers from abandoned attempts. */
             std::uint64_t generation = 0;
+
+            /**
+             * Content hash the current attempt carries to the device.
+             * The read-back verify compares the durable image against
+             * THIS, not the live page: a page redirtied while its
+             * copy is in flight is the tracker's business, not a
+             * verify failure.
+             */
+            std::uint64_t submittedHash = 0;
         };
 
         /** Launch the next submit attempt for `page`. */
@@ -301,10 +446,12 @@ class ViyojitManager
             std::atomic<std::uint64_t> runSubmits{0};
             std::atomic<std::uint64_t> runPagesCoalesced{0};
             std::atomic<std::uint64_t> runSplits{0};
+            std::atomic<std::uint64_t> verifyFailures{0};
         };
 
         ViyojitManager &mgr_;
         std::unordered_map<PageNum, PendingCopy> inFlight_;
+        std::unordered_set<PageNum> abortedPages_;
         Rng jitterRng_;
         std::uint64_t nextGeneration_ = 0;
         AtomicIoFaultStats faultStats_;
@@ -312,6 +459,22 @@ class ViyojitManager
 
     void scheduleNextEpoch();
     storage::StorageKey key(PageNum page) const;
+
+    /** Record a verified flush commit for `page` (checksum `crc`).
+     *  Ordered after durability: called only from completion paths
+     *  that have already read the durable image back. */
+    void commitSidecar(PageNum page, std::uint64_t crc);
+
+    /** True when `page` is neither dirty nor mid-copy (scrub/audit
+     *  may trust its DRAM copy to match the durable image). */
+    bool pageSettled(PageNum page) const;
+
+    /**
+     * Rewrite one settled page from its clean DRAM copy, verifying
+     * the durable image after each attempt; bounded by maxIoRetries.
+     * Returns false (page left corrupt) on exhaustion.
+     */
+    bool repairPageBlocking(PageNum page);
 
     sim::SimContext &ctx_;
     storage::Ssd &ssd_;
@@ -328,6 +491,13 @@ class ViyojitManager
 
     std::vector<char> data_;
     std::vector<std::uint64_t> versions_;
+
+    /** Per-page flush-commit metadata (the sim's sidecar). */
+    std::vector<SidecarEntry> sidecar_;
+    std::uint64_t nextCommitSeq_ = 0;
+
+    /** Resume point of the incremental background scrub sweep. */
+    PageNum scrubCursor_ = 0;
 
     PageNum nextFreePage_ = 0;
     bool running_ = false;

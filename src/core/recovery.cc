@@ -14,7 +14,8 @@ RecoveryManager::RecoveryManager(sim::SimContext &ctx,
                                  std::uint64_t page_size,
                                  RestoreStrategy strategy,
                                  unsigned max_outstanding_reads,
-                                 unsigned max_read_retries)
+                                 unsigned max_read_retries,
+                                 unsigned max_revisit_passes)
     : ctx_(ctx),
       ssd_(ssd),
       regionId_(region_id),
@@ -23,7 +24,8 @@ RecoveryManager::RecoveryManager(sim::SimContext &ctx,
       strategy_(strategy),
       maxOutstandingReads_(max_outstanding_reads),
       maxReadRetries_(max_read_retries),
-      resident_(page_count, 0)
+      maxRevisitPasses_(max_revisit_passes),
+      resident_(page_count, kAbsent)
 {
     if (page_count == 0)
         fatal("nothing to recover");
@@ -31,17 +33,89 @@ RecoveryManager::RecoveryManager(sim::SimContext &ctx,
         fatal("need at least one outstanding read");
     if (max_read_retries == 0)
         fatal("need at least one read attempt");
+    if (max_revisit_passes == 0)
+        fatal("need at least one revisit pass");
+}
+
+void
+RecoveryManager::attachManifest(RecoveryManifest manifest)
+{
+    VIYOJIT_ASSERT(!started_, "manifest attached after begin()");
+    VIYOJIT_ASSERT(manifest.pages.size() >= pageCount_,
+                   "manifest smaller than the region");
+    manifest_ = std::move(manifest);
+    manifestAttached_ = true;
 }
 
 void
 RecoveryManager::markResident(PageNum page)
 {
-    if (!resident_[page]) {
-        resident_[page] = 1;
+    if (resident_[page] == kAbsent) {
+        resident_[page] = kResident;
         ++residentCount_;
         if (residentCount_ == pageCount_)
             stats_.fullyResidentAt = ctx_.now();
     }
+}
+
+void
+RecoveryManager::quarantine(PageNum page)
+{
+    if (resident_[page] != kAbsent)
+        return;
+    resident_[page] = kQuarantined;
+    ++residentCount_;
+    ++stats_.quarantinedPages;
+    ctx_.stats().counter("recovery.quarantined_pages").increment();
+    warn("recovery quarantined page ", page,
+         " (unreadable or failed checksum verification)");
+    if (residentCount_ == pageCount_)
+        stats_.fullyResidentAt = ctx_.now();
+}
+
+bool
+RecoveryManager::checksumOk(PageNum page)
+{
+    if (!manifestAttached_)
+        return true;
+    const PageChecksum &expect = manifest_.pages[page];
+    if (!expect.valid)
+        return true; // never had a verified commit: nothing to check
+    const std::uint64_t durable =
+        ssd_.durableHash(storage::StorageKey{regionId_, page});
+    if (durable == expect.crc)
+        return true;
+
+    ++stats_.checksumMismatches;
+    ctx_.stats().counter("recovery.checksum_mismatches").increment();
+    // Classify by where the commit sits relative to the last sealed
+    // flush: newer-than-seal mismatches are the torn tail the crash
+    // is allowed to have produced; at-the-seal mismatches mean data
+    // moved past its sealed metadata (stale epoch); older mismatches
+    // are silent media corruption of a long-committed page.
+    if (expect.epoch > manifest_.lastSealedEpoch) {
+        ++stats_.tornRunPages;
+        ctx_.stats().counter("recovery.torn_run_pages").increment();
+    } else if (expect.epoch == manifest_.lastSealedEpoch) {
+        ++stats_.staleEpochPages;
+        ctx_.stats().counter("recovery.stale_epoch_pages").increment();
+    } else {
+        ++stats_.silentCorruptPages;
+        ctx_.stats()
+            .counter("recovery.silent_corrupt_pages")
+            .increment();
+    }
+    return false;
+}
+
+std::vector<PageNum>
+RecoveryManager::quarantinedPages() const
+{
+    std::vector<PageNum> out;
+    for (PageNum p = 0; p < pageCount_; ++p)
+        if (resident_[p] == kQuarantined)
+            out.push_back(p);
+    return out;
 }
 
 Tick
@@ -61,7 +135,10 @@ void
 RecoveryManager::onReadDone(PageNum page, unsigned attempt,
                             bool background, storage::IoStatus status)
 {
-    if (status == storage::IoStatus::ok) {
+    // A read that completed "ok" but fails checksum verification is
+    // just as unusable as a device error: feed it into the same
+    // retry/skip-revisit policy.
+    if (status == storage::IoStatus::ok && checksumOk(page)) {
         inFlight_.erase(page);
         markResident(page);
         // A completed slot frees capacity for the sweep.
@@ -72,20 +149,41 @@ RecoveryManager::onReadDone(PageNum page, unsigned attempt,
 
     if (background) {
         // Don't stall the sequential pass behind one flaky page:
-        // skip it now, revisit after the rest of the sweep.
+        // skip it now, revisit after the rest of the sweep.  A page
+        // that keeps failing across maxRevisitPasses_ revisits is
+        // quarantined so the restore can still finish.
         inFlight_.erase(page);
-        ++stats_.sweepSkips;
-        ctx_.stats().counter("recovery.sweep_skips").increment();
-        revisit_.push_back(page);
+        if (++sweepFailures_[page] > maxRevisitPasses_) {
+            ++stats_.sweepRevisitExhausted;
+            ctx_.stats()
+                .counter("recovery.sweep_revisit_exhausted")
+                .increment();
+            quarantine(page);
+        } else {
+            ++stats_.sweepSkips;
+            ctx_.stats().counter("recovery.sweep_skips").increment();
+            revisit_.push_back(page);
+        }
         pumpBackground();
         return;
     }
 
     // Demand fetch: a foreground request is blocked on this page, so
-    // retry in place with a growing backoff.
-    if (attempt >= maxReadRetries_)
-        fatal("demand fetch of page ", page, " failed after ",
-              maxReadRetries_, " attempts");
+    // retry in place with a growing backoff.  Exhausting the retries
+    // quarantines the page instead of killing the process: the caller
+    // sees it settle and must check isQuarantined() before trusting
+    // the contents.
+    if (attempt >= maxReadRetries_) {
+        ++stats_.demandRetryExhausted;
+        ctx_.stats()
+            .counter("recovery.demand_retry_exhausted")
+            .increment();
+        inFlight_.erase(page);
+        quarantine(page);
+        if (strategy_ != RestoreStrategy::demandOnly)
+            pumpBackground();
+        return;
+    }
     ++stats_.readRetries;
     ctx_.stats().counter("recovery.read_retries").increment();
     const Tick resume =

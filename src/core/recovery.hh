@@ -55,8 +55,73 @@ struct RecoveryStats
      */
     std::uint64_t sweepSkips = 0;
 
-    /** Virtual time at which every page became resident. */
+    /**
+     * Virtual time at which every page settled — became resident or
+     * was quarantined.  Quarantined pages count: the restore is done
+     * deciding, even though some pages came back bad.
+     */
     Tick fullyResidentAt = 0;
+
+    // Checksum verification (meaningful when a manifest is attached).
+
+    /** Reads whose durable content failed its manifest checksum. */
+    std::uint64_t checksumMismatches = 0;
+
+    /** Mismatches on commits newer than the last sealed epoch: the
+     *  torn tail of a flush the crash interrupted. */
+    std::uint64_t tornRunPages = 0;
+
+    /** Mismatches on commits AT the sealed boundary: data moved past
+     *  its sealed metadata (stale epoch). */
+    std::uint64_t staleEpochPages = 0;
+
+    /** Mismatches on long-sealed commits: silent media corruption. */
+    std::uint64_t silentCorruptPages = 0;
+
+    // Quarantine escalation (replaces fatal()).
+
+    /** Pages quarantined after exhausting all retry policy. */
+    std::uint64_t quarantinedPages = 0;
+
+    /** Demand fetches that exhausted maxReadRetries and escalated to
+     *  quarantine instead of fatal(). */
+    std::uint64_t demandRetryExhausted = 0;
+
+    /** Background pages that exhausted their revisit passes. */
+    std::uint64_t sweepRevisitExhausted = 0;
+};
+
+/**
+ * Expected flush-commit metadata for one page, reconstructed from
+ * the durable sidecar and handed to recovery for verify-on-reload.
+ */
+struct PageChecksum
+{
+    /** Committed CRC32C of the page content. */
+    std::uint64_t crc = 0;
+
+    /** Flush epoch (or commit sequence) the entry belongs to. */
+    std::uint64_t epoch = 0;
+
+    /** Run id of the flush batch that carried the page. */
+    std::uint64_t runId = 0;
+
+    /** False when the page never had a verified commit (skip it). */
+    bool valid = false;
+};
+
+/** Sidecar view for verify-on-reload. */
+struct RecoveryManifest
+{
+    /** Per-page expected checksums, indexed by page number. */
+    std::vector<PageChecksum> pages;
+
+    /**
+     * Epoch boundary of the last sealed (header-committed) flush:
+     * entries with a newer epoch belong to the unsealed tail a crash
+     * may legitimately have torn.
+     */
+    std::uint64_t lastSealedEpoch = 0;
 };
 
 /** Models the reload of one region's pages from the SSD. */
@@ -76,7 +141,17 @@ class RecoveryManager
                     std::uint32_t region_id, std::uint64_t page_count,
                     std::uint64_t page_size, RestoreStrategy strategy,
                     unsigned max_outstanding_reads = 16,
-                    unsigned max_read_retries = 8);
+                    unsigned max_read_retries = 8,
+                    unsigned max_revisit_passes = 3);
+
+    /**
+     * Attach expected checksums: every reloaded page is then verified
+     * against its manifest entry, mismatches are classified (torn run
+     * tail / stale epoch / silent corruption) and enter the same
+     * retry-then-quarantine policy as device read errors.  Must be
+     * called before begin().
+     */
+    void attachManifest(RecoveryManifest manifest);
 
     /** Start restoring (begins the background/eager sweep). */
     void begin();
@@ -88,7 +163,7 @@ class RecoveryManager
      */
     Tick access(PageNum page);
 
-    /** True when every page is resident. */
+    /** True when every page settled (resident or quarantined). */
     bool fullyResident() const
     {
         return residentCount_ == pageCount_;
@@ -101,6 +176,17 @@ class RecoveryManager
 
     std::uint64_t residentPages() const { return residentCount_; }
 
+    /** True when `page` settled as known-bad (caller must not trust
+     *  its contents: re-create, restore from elsewhere, or fail the
+     *  object that owns it). */
+    bool isQuarantined(PageNum page) const
+    {
+        return resident_[page] == kQuarantined;
+    }
+
+    /** All quarantined pages, ascending. */
+    std::vector<PageNum> quarantinedPages() const;
+
   private:
     /** Launch background reads up to the queue depth. */
     void pumpBackground();
@@ -108,8 +194,9 @@ class RecoveryManager
     /**
      * Issue read attempt `attempt` (1-based) for `page`; returns its
      * completion time.  Failed demand attempts retry after a backoff
-     * up to max_read_retries, then escalate to fatal(); failed
-     * background attempts are skipped and revisited after the sweep.
+     * up to max_read_retries, then escalate to quarantine; failed
+     * background attempts are skipped and revisited after the sweep,
+     * up to max_revisit_passes, then quarantined too.
      */
     Tick issueRead(PageNum page, unsigned attempt, bool background);
 
@@ -119,6 +206,21 @@ class RecoveryManager
 
     void markResident(PageNum page);
 
+    /** Settle `page` as known-bad (terminal; counts as resident). */
+    void quarantine(PageNum page);
+
+    /**
+     * Verify a successfully read page against the manifest; on
+     * mismatch, classify it (torn / stale / silent) and return false
+     * so the caller treats the read as failed.
+     */
+    bool checksumOk(PageNum page);
+
+    /** Residency states in resident_. */
+    static constexpr std::uint8_t kAbsent = 0;
+    static constexpr std::uint8_t kResident = 1;
+    static constexpr std::uint8_t kQuarantined = 2;
+
     sim::SimContext &ctx_;
     storage::Ssd &ssd_;
     std::uint32_t regionId_;
@@ -127,9 +229,16 @@ class RecoveryManager
     RestoreStrategy strategy_;
     unsigned maxOutstandingReads_;
     unsigned maxReadRetries_;
+    unsigned maxRevisitPasses_;
+
+    RecoveryManifest manifest_;
+    bool manifestAttached_ = false;
 
     std::vector<std::uint8_t> resident_;
     std::uint64_t residentCount_ = 0;
+
+    /** Background failure count per page (bounds revisit passes). */
+    std::unordered_map<PageNum, unsigned> sweepFailures_;
 
     /** In-flight reads: page -> next state-change tick (completion
      *  or retry resubmit). */

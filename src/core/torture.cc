@@ -31,15 +31,31 @@ sizeBattery(const TortureConfig &torture, const storage::SsdConfig &ssd,
             const SafeModeConfig &safe, const battery::PowerModel &power,
             std::uint64_t page_size)
 {
-    const double attempts = 1.0 / (1.0 - torture.writeErrorProb);
+    // Mirror FaultModel::expectedWriteAttempts: silent faults retry
+    // through the read-back verify exactly like status-visible
+    // errors, so they amplify the flush payload the same way.
+    const double intact = (1.0 - torture.silentBitFlipProb) *
+                          (1.0 - torture.droppedWriteProb) *
+                          (1.0 - torture.misdirectedWriteProb);
+    const double attempts =
+        1.0 / ((1.0 - torture.writeErrorProb) * intact);
     const double flush_rate =
         ssd.writeBandwidth * safe.bandwidthSafetyFactor / attempts;
     const double payload_seconds =
         static_cast<double>(torture.dirtyBudgetPages * page_size) /
         flush_rate;
+    // The attempt amplification above covers the MEAN retry payload
+    // as amortized bandwidth.  Verify-retries do not amortize: the
+    // failed page is split out of its coalesced run and re-serviced
+    // alone — serialized behind a retry backoff, paying the per-IO
+    // latency its run had amortized away.  Corruption-mode runs
+    // therefore carry extra headroom for that serialized retry tail;
+    // this is the battery cost of end-to-end verification, paid in
+    // provisioning rather than in silently accepted wrong data.
+    const double headroom = intact < 1.0 ? 1.45 : 1.3;
     const double window_seconds =
         ticksToSeconds(safe.flushOverheadReserve) +
-        payload_seconds * 1.3;
+        payload_seconds * headroom;
 
     battery::BatteryConfig config;
     config.nominalJoules = window_seconds * power.flushWatts() /
@@ -84,8 +100,14 @@ runShardedTorture(const TortureConfig &torture)
     fault_config.writeErrorProb = torture.writeErrorProb;
     fault_config.readErrorProb = torture.readErrorProb;
     fault_config.tailLatencyProb = torture.tailLatencyProb;
+    fault_config.silentBitFlipProb = torture.silentBitFlipProb;
+    fault_config.droppedWriteProb = torture.droppedWriteProb;
+    fault_config.misdirectedWriteProb = torture.misdirectedWriteProb;
     ssd.setFaultModel(
         std::make_unique<storage::FaultModel>(fault_config));
+    const bool corruption = torture.silentBitFlipProb > 0.0 ||
+                            torture.droppedWriteProb > 0.0 ||
+                            torture.misdirectedWriteProb > 0.0;
 
     // Per-shard quota split mirrors the runtime: roughly half the
     // budget starts in the pool as migration headroom.
@@ -202,6 +224,16 @@ runShardedTorture(const TortureConfig &torture)
             battery.setFailedCellFraction(0.0);
             battery.setAgeYears(0.0);
         }
+        if (torture.scrubPagesPerRound > 0) {
+            for (auto &manager : managers) {
+                const ScrubReport scrub = manager->scrubPass(
+                    torture.scrubPagesPerRound);
+                result.scrubScanned += scrub.scanned;
+                result.scrubMismatches += scrub.mismatches;
+                result.scrubRepairs += scrub.repaired;
+                result.scrubRepairFailures += scrub.repairFailures;
+            }
+        }
 
         ctx.events().runSteps(rng.nextBounded(50));
 
@@ -269,9 +301,30 @@ runShardedTorture(const TortureConfig &torture)
             fail(cut, oss.str());
             break;
         }
+        // The checked audit runs after EVERY cut: each settled-image
+        // mismatch must be attributable to an injected silent fault,
+        // an aborted copy, or an unsettled page.  Without corruption
+        // the audit must additionally come back pristine — the
+        // pre-sidecar verifyDurability() contract.
         bool verified = true;
-        for (auto &manager : managers)
-            verified = verified && manager->verifyDurability();
+        std::uint64_t unattributed = 0;
+        for (auto &manager : managers) {
+            const DurabilityAuditReport audit =
+                manager->verifyDurabilityChecked();
+            result.auditMismatches += audit.mismatchedPages;
+            unattributed += audit.unattributedPages;
+            if (!corruption)
+                verified = verified && audit.clean();
+        }
+        result.auditUnattributed += unattributed;
+        if (unattributed > 0) {
+            std::ostringstream oss;
+            oss << unattributed << " unattributed settled-image "
+                << "mismatch(es) after sharded cut " << cut
+                << ": silent wrong-data acceptance";
+            fail(cut, oss.str());
+            break;
+        }
         if (!verified) {
             std::ostringstream oss;
             oss << "SSD image failed verification after sharded cut "
@@ -295,12 +348,15 @@ runShardedTorture(const TortureConfig &torture)
         result.runSubmits += io.runSubmits;
         result.runPagesCoalesced += io.runPagesCoalesced;
         result.runSplits += io.runSplits;
+        result.verifyFailures += io.verifyFailures;
         const ControllerStats &cs = manager->controller().stats();
         result.quotaBorrowedPages += cs.quotaBorrowedPages;
         result.quotaReturnedPages += cs.quotaReturnedPages;
     }
     result.injectedWriteErrors =
         ssd.faultModel()->injectedWriteErrors();
+    result.injectedSilentFaults =
+        ssd.faultModel()->injectedSilentFaults();
     result.safeModeEntries = governor.stats().safeModeEntries;
     result.budgetShrinks = governor.stats().budgetShrinks;
     result.batteryCellFailures =
@@ -338,8 +394,14 @@ runTorture(const TortureConfig &torture)
     fault_config.writeErrorProb = torture.writeErrorProb;
     fault_config.readErrorProb = torture.readErrorProb;
     fault_config.tailLatencyProb = torture.tailLatencyProb;
+    fault_config.silentBitFlipProb = torture.silentBitFlipProb;
+    fault_config.droppedWriteProb = torture.droppedWriteProb;
+    fault_config.misdirectedWriteProb = torture.misdirectedWriteProb;
     ssd.setFaultModel(
         std::make_unique<storage::FaultModel>(fault_config));
+    const bool corruption = torture.silentBitFlipProb > 0.0 ||
+                            torture.droppedWriteProb > 0.0 ||
+                            torture.misdirectedWriteProb > 0.0;
 
     ViyojitConfig config;
     config.dirtyBudgetPages = torture.dirtyBudgetPages;
@@ -399,11 +461,17 @@ runTorture(const TortureConfig &torture)
 
     // Debug invariant: a settled (clean, idle) written page must match
     // the durable image — anything else would survive a cut wrong.
+    // Pages the injector's corruption ledger owns are exempt: their
+    // divergence is attributed, and the audit/scrub machinery is what
+    // must catch them.
     auto paranoidCheck = [&](std::uint64_t cut, std::uint64_t op) {
         for (PageNum p = 0; p < manager.mappedPages(); ++p) {
             if (manager.pageVersion(p) == 0 ||
                 manager.controller().tracker().isDirty(p) ||
                 manager.controller().isInFlight(p))
+                continue;
+            if (ssd.corruptionKind(storage::StorageKey{0, p}) !=
+                storage::SilentFaultKind::none)
                 continue;
             if (ssd.durableHash(storage::StorageKey{0, p}) ==
                 manager.pageContentHash(p))
@@ -461,6 +529,14 @@ runTorture(const TortureConfig &torture)
             battery.setFailedCellFraction(0.0);
             battery.setAgeYears(0.0);
         }
+        if (torture.scrubPagesPerRound > 0) {
+            const ScrubReport scrub =
+                manager.scrubPass(torture.scrubPagesPerRound);
+            result.scrubScanned += scrub.scanned;
+            result.scrubMismatches += scrub.mismatches;
+            result.scrubRepairs += scrub.repaired;
+            result.scrubRepairFailures += scrub.repairFailures;
+        }
 
         // Land the cut at an arbitrary point in the event stream —
         // possibly mid-transfer or inside a retry backoff.
@@ -484,8 +560,10 @@ runTorture(const TortureConfig &torture)
             break;
         }
 
+        const IoFaultStats pre_flush = manager.ioFaultStats();
         const FailureReport report = cutter.inject();
         if (!report.survived) {
+            const IoFaultStats post = manager.ioFaultStats();
             std::ostringstream oss;
             oss << "flush exceeded the battery at cut " << cut
                 << ": needed " << report.joulesNeeded
@@ -493,11 +571,21 @@ runTorture(const TortureConfig &torture)
                 << " J (" << report.dirtyPages << " dirty pages, "
                 << "flush took "
                 << ticksToSeconds(report.flushDuration) * 1e3
-                << " ms)";
+                << " ms)"
+                << " [flush deltas: retries "
+                << post.retries - pre_flush.retries << ", verifyFail "
+                << post.verifyFailures - pre_flush.verifyFailures
+                << ", runSubmits "
+                << post.runSubmits - pre_flush.runSubmits
+                << ", runPages "
+                << post.runPagesCoalesced - pre_flush.runPagesCoalesced
+                << ", splits " << post.runSplits - pre_flush.runSplits
+                << ", wear "
+                << ssd.faultModel()->bandwidthFactor() << "]";
             fail(cut, oss.str());
             break;
         }
-        if (!report.contentVerified) {
+        if (!corruption && !report.contentVerified) {
             std::ostringstream oss;
             oss << "SSD image failed verification after cut " << cut
                 << " reverify=" << manager.verifyDurability()
@@ -520,6 +608,27 @@ runTorture(const TortureConfig &torture)
             fail(cut, oss.str());
             break;
         }
+
+        // Checked audit after every cut: every settled-image
+        // mismatch must be attributed (injector ledger, aborted
+        // copy, or unsettled page).  One unattributed mismatch is
+        // silent wrong-data acceptance, corruption mode or not.
+        const DurabilityAuditReport audit =
+            manager.verifyDurabilityChecked();
+        result.auditMismatches += audit.mismatchedPages;
+        result.auditUnattributed += audit.unattributedPages;
+        if (audit.unattributedPages > 0) {
+            std::ostringstream oss;
+            oss << audit.unattributedPages
+                << " unattributed settled-image mismatch(es) after "
+                << "cut " << cut
+                << ": silent wrong-data acceptance (mismatched="
+                << audit.mismatchedPages << " torn="
+                << audit.tornPages << " silent="
+                << audit.silentCorruptPages << ")";
+            fail(cut, oss.str());
+            break;
+        }
         ++result.cutsRun;
 
         // Power restored: resume epochs and keep going.
@@ -535,8 +644,11 @@ runTorture(const TortureConfig &torture)
     result.runSubmits = io.runSubmits;
     result.runPagesCoalesced = io.runPagesCoalesced;
     result.runSplits = io.runSplits;
+    result.verifyFailures = io.verifyFailures;
     result.injectedWriteErrors =
         ssd.faultModel()->injectedWriteErrors();
+    result.injectedSilentFaults =
+        ssd.faultModel()->injectedSilentFaults();
     result.safeModeEntries = governor.stats().safeModeEntries;
     result.budgetShrinks = governor.stats().budgetShrinks;
     result.batteryCellFailures =

@@ -100,6 +100,32 @@ struct TortureConfig
      * op (debugging aid; quadratic, keep off for big runs).
      */
     bool paranoid = false;
+
+    // Corruption torture: silent-fault injection (storage::FaultModel)
+    // plus the verified-durability machinery that must catch it.
+    // With any of these probabilities nonzero the per-cut check
+    // changes shape: instead of demanding a pristine image (silent
+    // faults make that impossible by construction), every settled
+    // mismatch found by the checked audit MUST be attributed to an
+    // injected fault, an aborted copy, or an unsettled page — one
+    // unattributed mismatch is silent wrong-data acceptance and fails
+    // the run.
+
+    /** Probability an acknowledged write lands with a flipped bit. */
+    double silentBitFlipProb = 0.0;
+
+    /** Probability an acknowledged write never reaches the media. */
+    double droppedWriteProb = 0.0;
+
+    /** Probability an acknowledged write lands on the wrong page. */
+    double misdirectedWriteProb = 0.0;
+
+    /**
+     * Pages the background scrubber verifies per round (pre-cut);
+     * 0 disables.  With silent faults on, scrubbing repairs rotted
+     * durable copies from the still-clean DRAM copy between cuts.
+     */
+    std::uint64_t scrubPagesPerRound = 0;
 };
 
 /** Outcome and exercised-path evidence of one torture run. */
@@ -177,6 +203,33 @@ struct TortureResult
     /** Quota pages shards borrowed from / returned to the pool. */
     std::uint64_t quotaBorrowedPages = 0;
     std::uint64_t quotaReturnedPages = 0;
+
+    // Corruption-torture evidence (meaningful when a silent-fault
+    // probability is nonzero).
+
+    /** Silent faults the SSD model injected (flips/drops/misdirects). */
+    std::uint64_t injectedSilentFaults = 0;
+
+    /** Flush completions whose read-back verify caught wrong durable
+     *  content and re-entered the retry chain. */
+    std::uint64_t verifyFailures = 0;
+
+    /** Settled-image mismatches across all post-cut checked audits. */
+    std::uint64_t auditMismatches = 0;
+
+    /**
+     * Audit mismatches nothing could explain — not in the injector's
+     * corruption ledger, not an aborted copy, not an unsettled page.
+     * MUST stay zero: each one is silent wrong-data acceptance.
+     */
+    std::uint64_t auditUnattributed = 0;
+
+    /** Scrub progress: pages verified, rotted durable copies found,
+     *  and repairs from the DRAM copy. */
+    std::uint64_t scrubScanned = 0;
+    std::uint64_t scrubMismatches = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t scrubRepairFailures = 0;
 };
 
 /** Run the torture loop; deterministic in `config` (same seed, same

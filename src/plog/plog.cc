@@ -3,6 +3,7 @@
 #include <cstring>
 #include <functional>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
 
 namespace viyojit::plog
@@ -52,12 +53,11 @@ PersistentLog::storeHeader(const Header &h)
 std::uint64_t
 PersistentLog::checksumOf(SequenceNum seq, std::string_view payload)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL ^ seq;
-    for (unsigned char c : payload) {
-        hash ^= c;
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
+    // CRC32C shared with the flush-commit sidecars and the scrubber
+    // (common/checksum.hh), chained over the sequence number so a
+    // payload replayed under the wrong sequence still fails.
+    return common::crc32c(payload.data(), payload.size(),
+                          common::crc32cU64(seq));
 }
 
 PersistentLog
@@ -68,7 +68,7 @@ PersistentLog::create(pheap::NvSpace &space)
     PersistentLog log(space);
     Header h{};
     h.magic = magicValue;
-    h.version = 1;
+    h.version = formatVersion;
     h.capacity = (space.size() - headerReserve) & ~std::uint64_t{15};
     h.headOff = 0;
     h.tailOff = 0;
@@ -86,9 +86,21 @@ PersistentLog::attach(pheap::NvSpace &space)
     const Header h = log.loadHeader();
     if (h.magic != magicValue)
         fatal("attach to an unformatted log region");
+    if (h.version != formatVersion)
+        fatal("log format version mismatch (found ", h.version,
+              ", need ", formatVersion,
+              ") — v2 switched record checksums to CRC32C");
     if (h.capacity !=
         ((space.size() - headerReserve) & ~std::uint64_t{15}))
         fatal("log was formatted with a different region size");
+    // Re-attach happens exactly where corruption would: after the
+    // region's backing image was recovered from a power cycle.  Scan
+    // every live record before handing the log out, so a torn or
+    // rotted record surfaces at attach time instead of at some later
+    // read.
+    if (!log.validate())
+        fatal("log integrity scan failed at attach: a live record's "
+              "CRC32C does not match its payload");
     return log;
 }
 

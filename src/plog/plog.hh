@@ -49,7 +49,12 @@ class PersistentLog
     /** Format a fresh log over the whole space. */
     static PersistentLog create(pheap::NvSpace &space);
 
-    /** Re-attach after a power cycle (header is authoritative). */
+    /**
+     * Re-attach after a power cycle (header is authoritative).  Runs
+     * the validate() integrity scan before returning; a live record
+     * whose CRC32C fails the scan is fatal — a recovered image with a
+     * corrupt log must not be silently served.
+     */
     static PersistentLog attach(pheap::NvSpace &space);
 
     /**
@@ -112,6 +117,11 @@ class PersistentLog
     };
 
     static constexpr std::uint32_t magicValue = 0x564c4f47; // "VLOG"
+
+    /** v2: record checksums switched from 64-bit FNV-1a to the shared
+     *  CRC32C (common/checksum.hh); attach rejects other versions. */
+    static constexpr std::uint32_t formatVersion = 2;
+
     static constexpr std::uint32_t wrapMark = 0xffffffff;
 
     explicit PersistentLog(pheap::NvSpace &space);

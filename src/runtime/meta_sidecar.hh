@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Durable flush-commit metadata for the mprotect runtime: a sidecar
+ * file (`<backing>.meta`) holding a per-page CRC32C commit record
+ * plus a double-buffered sealed header, so recovery can verify every
+ * reloaded page and classify mismatches (torn flush tail vs. silent
+ * corruption vs. stale epoch) instead of trusting the image blindly.
+ *
+ * On-disk layout (little-endian, fixed offsets):
+ *
+ *   [0, 64)      header slot 0
+ *   [512, 576)   header slot 1
+ *   [4096, ...)  32-byte per-page entries, indexed by page number
+ *
+ * Header slots alternate by generation (even -> slot 0, odd -> slot
+ * 1); each carries its own CRC32C, and the reader picks the highest
+ * valid generation, so a torn header write can never destroy the
+ * previous seal.
+ *
+ * Commit protocol (ordering is the whole point):
+ *
+ *   1. recordPage()    entry rewritten as PENDING (before the data
+ *                      write: a crash from here on is detectable as
+ *                      a torn flush, not silent corruption);
+ *   2. data pwrite     (the caller's persist path);
+ *   3. markWritten()   the page joins the pending-promotion set —
+ *                      only AFTER its data write returned;
+ *   4. commitPending() snapshot the set, fdatasync the DATA file,
+ *                      then rewrite the snapshotted entries as
+ *                      COMMITTED and fdatasync the sidecar.  An
+ *                      entry can therefore only read COMMITTED if
+ *                      its data was durable first.
+ *   5. seal()          (off the fault path) stamps the header with
+ *                      the epoch/run high-water mark, closing the
+ *                      torn-tail classification window.
+ *
+ * Every step reachable from the SIGSEGV admission path (1-4) is
+ * allocation-free and lock-free: fixed preallocated buffers, atomic
+ * bitmap words, and a single-promoter claim flag instead of a mutex
+ * (a contended commitPending still makes the data durable; its pages
+ * simply stay PENDING until the next barrier, which is safe — only
+ * COMMITTED claims durability).  tools/sigsafe_lint.py walks this
+ * TU.
+ */
+
+#ifndef VIYOJIT_RUNTIME_META_SIDECAR_HH
+#define VIYOJIT_RUNTIME_META_SIDECAR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace viyojit::runtime
+{
+
+/** One page's commit record as stored on disk (32 bytes). */
+struct MetaEntry
+{
+    /** CRC32C of the page content the flush carried. */
+    std::uint32_t crc = 0;
+
+    /** MetaSidecar::kInvalid / kPending / kCommitted. */
+    std::uint32_t flags = 0;
+
+    /** Flush epoch the persist belonged to. */
+    std::uint64_t epoch = 0;
+
+    /** Id of the flush submission (shared by a coalesced run). */
+    std::uint64_t runId = 0;
+
+    /** CRC32C of the 24 bytes above; a torn entry write fails it. */
+    std::uint32_t entryCrc = 0;
+
+    std::uint32_t reserved = 0;
+};
+
+static_assert(sizeof(MetaEntry) == 32, "on-disk entry layout");
+
+/** Recovery-time summary of what open() found. */
+struct MetaLoadStats
+{
+    /** Entries whose self-CRC failed (torn/rotted metadata). */
+    std::uint64_t badEntries = 0;
+
+    /** Highest valid header generation found (0 = none). */
+    std::uint64_t generation = 0;
+};
+
+/** The durable sidecar; one instance per NvRegion. */
+class MetaSidecar
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x3154454D4F594956ULL;
+    static constexpr std::uint32_t kVersion = 1;
+
+    /** Entry states (MetaEntry::flags). */
+    static constexpr std::uint32_t kInvalid = 0;
+    static constexpr std::uint32_t kPending = 1;
+    static constexpr std::uint32_t kCommitted = 2;
+
+    static constexpr std::uint64_t kSlotOffset[2] = {0, 512};
+    static constexpr std::uint64_t kEntriesOffset = 4096;
+
+    /**
+     * Create (or truncate) a sidecar for a fresh region: all entries
+     * invalid, header sealed at generation 1 / epoch 0.  Fatal on IO
+     * errors — creation is setup, not the fault path.
+     */
+    static std::unique_ptr<MetaSidecar> create(
+        const std::string &path, std::uint64_t page_count,
+        std::uint64_t page_size);
+
+    /**
+     * Open an existing sidecar for recovery.  Returns nullptr when
+     * the file is missing or no header slot validates (legacy image:
+     * the caller recovers unverified and starts a fresh sidecar).
+     * Entries failing their self-CRC load as kInvalid and are
+     * counted in loadStats().
+     */
+    static std::unique_ptr<MetaSidecar> open(
+        const std::string &path, std::uint64_t page_count,
+        std::uint64_t page_size);
+
+    ~MetaSidecar();
+
+    MetaSidecar(const MetaSidecar &) = delete;
+    MetaSidecar &operator=(const MetaSidecar &) = delete;
+
+    // ---- fault-path interface (allocation/lock-free) ---- //
+
+    /**
+     * Step 1: rewrite the page's entry as PENDING with the CRC the
+     * flush is about to make durable.  Call BEFORE the data write.
+     * IO errors are counted (entryWriteErrors()), not raised — the
+     * fault path cannot log, and a missing pending record only
+     * degrades a future mismatch's classification.
+     */
+    void recordPage(PageNum page, std::uint32_t crc,
+                    std::uint64_t epoch, std::uint64_t run_id);
+
+    /** Step 3: the page's data pwrite returned; it may now be
+     *  promoted by the next barrier. */
+    void markWritten(PageNum page);
+
+    /**
+     * Step 4, the group durability barrier: fdatasync `data_fd`,
+     * then promote every page whose markWritten() preceded this
+     * call.  Lock-free: if another barrier is mid-promotion, the
+     * data fdatasync still runs (that is the caller's contract) and
+     * the pages stay PENDING for the next barrier.  Returns 0 or
+     * the first errno.
+     */
+    int commitPending(int data_fd);
+
+    /**
+     * Step 5: seal the header (alternating slot, generation + 1)
+     * recording the epoch/run high-water mark.  Not fault-path.
+     * Returns 0 or errno.
+     */
+    int seal(std::uint64_t epoch, std::uint64_t run_id);
+
+    // ---- recovery / inspection ---- //
+
+    /** In-memory view of a page's entry (coherent snapshot). */
+    MetaEntry entry(PageNum page) const;
+
+    std::uint64_t pageCount() const { return pageCount_; }
+
+    /** Epoch high-water mark of the last durable seal. */
+    std::uint64_t lastSealedEpoch() const { return lastSealedEpoch_; }
+
+    /** Run-id high-water mark of the last durable seal. */
+    std::uint64_t lastSealedRunId() const { return lastSealedRunId_; }
+
+    const MetaLoadStats &loadStats() const { return loadStats_; }
+
+    /** Pending-entry pwrites that failed on the fault path. */
+    std::uint64_t entryWriteErrors() const
+    {
+        return entryWriteErrors_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    MetaSidecar(int fd, std::uint64_t page_count,
+                std::uint64_t page_size);
+
+    /** Serialize + pwrite one entry at its fixed slot. */
+    int writeEntry(PageNum page, std::uint32_t crc,
+                   std::uint32_t flags, std::uint64_t epoch,
+                   std::uint64_t run_id);
+
+    int fd_ = -1;
+    std::uint64_t pageCount_ = 0;
+    std::uint64_t pageSize_ = 0;
+
+    /** Shadow of the on-disk entries; per-field atomics so the
+     *  scrubber can read while copier threads record. */
+    struct Shadow
+    {
+        std::atomic<std::uint32_t> crc{0};
+        std::atomic<std::uint32_t> flags{0};
+        std::atomic<std::uint64_t> epoch{0};
+        std::atomic<std::uint64_t> runId{0};
+    };
+    std::unique_ptr<Shadow[]> shadow_;
+
+    /** Pages written-but-unpromoted, one bit each. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> pending_;
+
+    /** Promotion scratch (guarded by promoting_). */
+    std::unique_ptr<std::uint64_t[]> snapshot_;
+    std::uint64_t words_ = 0;
+
+    /** Single-promoter claim for commitPending's promotion phase. */
+    std::atomic<bool> promoting_{false};
+
+    std::atomic<std::uint64_t> entryWriteErrors_{0};
+
+    std::uint64_t generation_ = 0;
+    std::uint64_t lastSealedEpoch_ = 0;
+    std::uint64_t lastSealedRunId_ = 0;
+
+    MetaLoadStats loadStats_;
+};
+
+} // namespace viyojit::runtime
+
+#endif // VIYOJIT_RUNTIME_META_SIDECAR_HH

@@ -13,10 +13,13 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <unordered_set>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
 #include "runtime/copier_pool.hh"
 #include "runtime/fault_dispatch.hh"
+#include "runtime/meta_sidecar.hh"
 
 // ThreadSanitizer cannot see mprotect ordering: a page is always
 // write-protected before its image is read for persistence (the
@@ -119,6 +122,33 @@ pwritevFullyWithRetry(int fd, struct iovec *iov, unsigned iovcnt,
                                  static_cast<std::uint64_t>(n));
             continue;
         }
+        const int error = n < 0 ? errno : EIO;
+        if (error != EINTR && error != EAGAIN && n < 0)
+            return error;
+        if (++failures >= attempts)
+            return error;
+    }
+    return 0;
+}
+
+int
+preadFullyWithRetry(int fd, void *buf, std::uint64_t len,
+                    std::uint64_t offset, unsigned attempts)
+{
+    char *dst = static_cast<char *>(buf);
+    std::uint64_t done = 0;
+    unsigned failures = 0;
+    while (done < len) {
+        const ssize_t n =
+            ::pread(fd, dst + done, len - done,
+                    static_cast<off_t>(offset + done));
+        if (n > 0) {
+            done += static_cast<std::uint64_t>(n);
+            continue;
+        }
+        // n == 0 is EOF short of `len`: the image is shorter than
+        // the caller was promised — persistent, but still bounded by
+        // the retry budget so a racing ftruncate cannot loop forever.
         const int error = n < 0 ? errno : EIO;
         if (error != EINTR && error != EAGAIN && n < 0)
             return error;
@@ -350,8 +380,14 @@ class NvRegion::ShardBackend : public core::PagingBackend,
     void
     copierSync() override
     {
-        if (const int error = fdatasyncWithRetry(region_.fd_);
-            error != 0)
+        // With a sidecar the barrier also promotes this batch's
+        // commit records (data fdatasync first, then the records:
+        // COMMITTED can never outrun its data).
+        const int error =
+            region_.meta_
+                ? region_.meta_->commitPending(region_.fd_)
+                : fdatasyncWithRetry(region_.fd_);
+        if (error != 0)
             fatal("group sync to backing file failed after bounded "
                   "retries: ", std::strerror(error));
     }
@@ -406,13 +442,28 @@ class NvRegion::ShardBackend : public core::PagingBackend,
     {
         const std::uint64_t ps = region_.pageSize_;
         const char *src = region_.mem_ + global * ps;
+        MetaSidecar *const meta = region_.meta_.get();
         VIYOJIT_IGNORE_READS_BEGIN();
+        if (meta) {
+            // Commit protocol step 1: the PENDING record lands
+            // before the data write, so a crash between here and the
+            // group sync reads back as a torn flush, never as silent
+            // corruption.  The page is write-protected for the whole
+            // persist, so the CRC and the write see the same bytes.
+            meta->recordPage(
+                global, common::crc32c(src, ps),
+                region_.flushEpoch_.load(std::memory_order_relaxed),
+                region_.nextRunId_.fetch_add(
+                    1, std::memory_order_relaxed));
+        }
         const int error =
             pwriteFullyWithRetry(region_.fd_, src, ps, global * ps);
         VIYOJIT_IGNORE_READS_END();
         if (error != 0)
             fatal("page persist to backing file failed after bounded "
                   "retries: ", std::strerror(error));
+        if (meta)
+            meta->markWritten(global);
         region_.bytesPersisted_.fetch_add(ps,
                                           std::memory_order_relaxed);
     }
@@ -427,23 +478,38 @@ class NvRegion::ShardBackend : public core::PagingBackend,
     persistRunGlobal(PageNum global_first, unsigned count)
     {
         const std::uint64_t ps = region_.pageSize_;
+        MetaSidecar *const meta = region_.meta_.get();
+        const std::uint64_t run_id =
+            meta ? region_.nextRunId_.fetch_add(
+                       1, std::memory_order_relaxed)
+                 : 0;
+        const std::uint64_t epoch =
+            meta ? region_.flushEpoch_.load(std::memory_order_relaxed)
+                 : 0;
         constexpr unsigned kChunk = 64;
         struct iovec iov[kChunk];
         unsigned done = 0;
         while (done < count) {
             const unsigned n = std::min(count - done, kChunk);
-            for (unsigned i = 0; i < n; ++i) {
-                iov[i].iov_base =
-                    region_.mem_ + (global_first + done + i) * ps;
-                iov[i].iov_len = ps;
-            }
             VIYOJIT_IGNORE_READS_BEGIN();
+            for (unsigned i = 0; i < n; ++i) {
+                const PageNum g = global_first + done + i;
+                iov[i].iov_base = region_.mem_ + g * ps;
+                iov[i].iov_len = ps;
+                if (meta)
+                    meta->recordPage(
+                        g, common::crc32c(region_.mem_ + g * ps, ps),
+                        epoch, run_id);
+            }
             const int error = pwritevFullyWithRetry(
                 region_.fd_, iov, n, (global_first + done) * ps);
             VIYOJIT_IGNORE_READS_END();
             if (error != 0)
                 fatal("run persist to backing file failed after "
                       "bounded retries: ", std::strerror(error));
+            if (meta)
+                for (unsigned i = 0; i < n; ++i)
+                    meta->markWritten(global_first + done + i);
             done += n;
         }
         region_.bytesPersisted_.fetch_add(
@@ -546,21 +612,31 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
         fatal("mmap failed: ", std::strerror(errno));
     mem_ = static_cast<char *>(mem);
 
+    const std::string meta_path = backing_path + ".meta";
+    if (config.checksumCommits && !recover_contents)
+        meta_ = MetaSidecar::create(meta_path, pageCount_, pageSize_);
+
     if (recover_contents) {
-        std::uint64_t done = 0;
-        while (done < bytes_) {
-            const ssize_t n =
-                ::pread(fd_, mem_ + done, bytes_ - done,
-                        static_cast<off_t>(done));
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                fatal("pread during recovery failed: ",
-                      std::strerror(errno));
-            }
-            if (n == 0)
-                break;
-            done += static_cast<std::uint64_t>(n);
+        if (config.checksumCommits)
+            meta_ =
+                MetaSidecar::open(meta_path, pageCount_, pageSize_);
+        loadImage();
+        if (meta_) {
+            recoveryReport_.sidecarFound = true;
+            recoveryReport_.badEntries =
+                meta_->loadStats().badEntries;
+            verifyImage();
+            // New commits must sort after everything the old
+            // incarnation sealed.
+            flushEpoch_.store(meta_->lastSealedEpoch() + 1,
+                              std::memory_order_relaxed);
+            nextRunId_.store(meta_->lastSealedRunId() + 1,
+                             std::memory_order_relaxed);
+        } else if (config.checksumCommits) {
+            warn("no valid sidecar for '", backing_path,
+                 "': legacy image, contents load unverified");
+            meta_ = MetaSidecar::create(meta_path, pageCount_,
+                                        pageSize_);
         }
     }
 
@@ -685,9 +761,21 @@ NvRegion::~NvRegion()
     copiers_.reset();
     // Destructor: best effort only — cannot throw, so a sync failure
     // is reported but not escalated.
-    if (const int error = fdatasyncWithRetry(fd_); error != 0)
+    if (meta_) {
+        if (const int error = meta_->commitPending(fd_); error != 0)
+            warn("commit barrier during region teardown failed: ",
+                 std::strerror(error));
+        else if (const int error2 = meta_->seal(
+                     flushEpoch_.load(std::memory_order_relaxed),
+                     nextRunId_.load(std::memory_order_relaxed));
+                 error2 != 0)
+            warn("sidecar seal during region teardown failed: ",
+                 std::strerror(error2));
+    } else if (const int error = fdatasyncWithRetry(fd_);
+               error != 0) {
         warn("fdatasync during region teardown failed: ",
              std::strerror(error));
+    }
     unregisterRegion(this);
     if (mem_)
         ::munmap(mem_, bytes_);
@@ -757,6 +845,132 @@ NvRegion::epochTick()
         common::MutexLock guard(shard->lock);
         shard->controller->onEpochBoundary();
     }
+    flushEpoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+NvRegion::loadImage()
+{
+    constexpr std::uint64_t kChunk = 1ULL << 20;
+    for (std::uint64_t off = 0; off < bytes_; off += kChunk) {
+        const std::uint64_t n = std::min(kChunk, bytes_ - off);
+        if (preadFullyWithRetry(fd_, mem_ + off, n, off) == 0)
+            continue;
+        // Bulk read failed even with bounded retries: isolate the
+        // damage page-by-page instead of killing recovery.  Pages
+        // that stay unreadable are zero-filled and quarantined; the
+        // rest of the image still loads.
+        for (std::uint64_t po = off; po < off + n;
+             po += pageSize_) {
+            const int error =
+                preadFullyWithRetry(fd_, mem_ + po, pageSize_, po);
+            if (error == 0)
+                continue;
+            const PageNum page = po / pageSize_;
+            std::memset(mem_ + po, 0, pageSize_);
+            recoveryReport_.quarantined.push_back(page);
+            warn("recovery: page ", page, " unreadable (",
+                 std::strerror(error),
+                 "); zero-filled and quarantined");
+        }
+    }
+}
+
+void
+NvRegion::verifyImage()
+{
+    const std::unordered_set<PageNum> unreadable(
+        recoveryReport_.quarantined.begin(),
+        recoveryReport_.quarantined.end());
+    const std::uint64_t sealed = meta_->lastSealedEpoch();
+    for (PageNum p = 0; p < pageCount_; ++p) {
+        if (unreadable.contains(p))
+            continue; // already settled as bad by loadImage()
+        const MetaEntry e = meta_->entry(p);
+        if (e.flags == MetaSidecar::kInvalid) {
+            ++recoveryReport_.unverifiedPages;
+            continue;
+        }
+        if (common::crc32c(mem_ + p * pageSize_, pageSize_) ==
+            e.crc) {
+            ++recoveryReport_.verifiedPages;
+            continue;
+        }
+        ++recoveryReport_.checksumMismatches;
+        const char *cls;
+        if (e.flags == MetaSidecar::kPending || e.epoch > sealed) {
+            // An unpromoted record, or a commit newer than the last
+            // seal: the torn tail of a flush the crash interrupted.
+            ++recoveryReport_.tornRunPages;
+            cls = "torn flush tail";
+        } else if (e.epoch == sealed) {
+            ++recoveryReport_.staleEpochPages;
+            cls = "stale epoch";
+        } else {
+            ++recoveryReport_.silentCorruptPages;
+            cls = "silent corruption";
+        }
+        recoveryReport_.quarantined.push_back(p);
+        warn("recovery: page ", p,
+             " failed checksum verification (", cls,
+             "); quarantined");
+    }
+}
+
+void
+NvRegion::scrubTick(std::uint64_t max_pages)
+{
+    if (!meta_ || max_pages == 0 || pageCount_ == 0)
+        return;
+    std::vector<char> buf(pageSize_);
+    std::uint64_t scanned = 0;
+    for (std::uint64_t step = 0;
+         step < pageCount_ && scanned < max_pages; ++step) {
+        const PageNum page = scrubCursor_;
+        scrubCursor_ = (scrubCursor_ + 1) % pageCount_;
+        // Cheap unlocked pre-filter; re-read authoritatively under
+        // the shard lock below.
+        if (meta_->entry(page).flags != MetaSidecar::kCommitted)
+            continue;
+        Shard &shard = *shards_[shardOf(page)];
+        const PageNum local = page - shard.firstPage;
+        common::MutexLock guard(shard.lock);
+        // Budget-aware: stay out of a shard under dirty pressure,
+        // and only check settled pages (clean, no IO in flight) so
+        // the commit record is the page's current durable truth.
+        if (shard.controller->tracker().count() + 2 >=
+                shard.controller->dirtyBudget() ||
+            shard.controller->tracker().isDirty(local) ||
+            shard.controller->isInFlight(local)) {
+            scrubSkippedBusy_.fetch_add(1,
+                                        std::memory_order_relaxed);
+            continue;
+        }
+        const MetaEntry e = meta_->entry(page);
+        if (e.flags != MetaSidecar::kCommitted)
+            continue;
+        ++scanned;
+        scrubScanned_.fetch_add(1, std::memory_order_relaxed);
+        if (preadFullyWithRetry(fd_, buf.data(), pageSize_,
+                                page * pageSize_) == 0 &&
+            common::crc32c(buf.data(), pageSize_) == e.crc)
+            continue;
+        scrubMismatches_.fetch_add(1, std::memory_order_relaxed);
+        warn("scrub: durable copy of page ", page,
+             " diverged from its commit record; repairing from the "
+             "DRAM copy");
+        // The page is clean, so DRAM still holds exactly what the
+        // commit record described: re-persist and re-commit it.
+        core::PagingBackend &pb = *shard.backend;
+        pb.persistPageBlocking(local);
+        if (const int error = meta_->commitPending(fd_);
+            error != 0) {
+            warn("scrub: repair commit failed: ",
+                 std::strerror(error));
+            continue;
+        }
+        scrubRepaired_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 std::uint64_t
@@ -767,9 +981,22 @@ NvRegion::flushAll()
         common::MutexLock guard(shard->lock);
         flushed += shard->controller->flushAllDirty();
     }
-    if (const int error = fdatasyncWithRetry(fd_); error != 0)
+    if (meta_) {
+        if (const int error = meta_->commitPending(fd_); error != 0)
+            fatal("commit barrier failed after bounded retries: ",
+                  std::strerror(error));
+        // Every dirty page is now durably committed: seal the
+        // header so recovery classifies older commits as stable.
+        if (const int error = meta_->seal(
+                flushEpoch_.load(std::memory_order_relaxed),
+                nextRunId_.load(std::memory_order_relaxed));
+            error != 0)
+            fatal("sidecar seal failed: ", std::strerror(error));
+    } else if (const int error = fdatasyncWithRetry(fd_);
+               error != 0) {
         fatal("fdatasync failed after bounded retries: ",
               std::strerror(error));
+    }
     return flushed;
 }
 
@@ -859,6 +1086,14 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
         bytesPersisted_.load(std::memory_order_relaxed);
     out.quotaSteals = quotaSteals_.load(std::memory_order_relaxed);
     out.runFallbacks = runFallbacks_.load(std::memory_order_relaxed);
+    out.scrubScanned = scrubScanned_.load(std::memory_order_relaxed);
+    out.scrubSkippedBusy =
+        scrubSkippedBusy_.load(std::memory_order_relaxed);
+    out.scrubMismatches =
+        scrubMismatches_.load(std::memory_order_relaxed);
+    out.scrubRepaired =
+        scrubRepaired_.load(std::memory_order_relaxed);
+    out.metaEntryWriteErrors = meta_ ? meta_->entryWriteErrors() : 0;
     if (pool_) {
         out.poolAvailablePages = pool_->available();
         out.dirtyBudgetPages = pool_->totalPages();
@@ -884,6 +1119,9 @@ NvRegion::startEpochThread()
                 common::MutexLock guard(shard->lock);
                 shard->controller->onEpochBoundary();
             }
+            flushEpoch_.fetch_add(1, std::memory_order_relaxed);
+            if (config_.scrubPagesPerEpoch > 0)
+                scrubTick(config_.scrubPagesPerEpoch);
         }
     });
 }

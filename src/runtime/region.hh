@@ -98,6 +98,7 @@ namespace viyojit::runtime
 {
 
 class CopierPool;
+class MetaSidecar;
 
 /**
  * fdatasync with bounded retry: EINTR/EAGAIN are retried up to
@@ -138,6 +139,16 @@ unsigned advanceIovecs(struct iovec *iov, unsigned iovcnt,
  */
 int pwritevFullyWithRetry(int fd, struct iovec *iov, unsigned iovcnt,
                           std::uint64_t offset, unsigned attempts = 8);
+
+/**
+ * pread the whole buffer with bounded retry on EINTR/EAGAIN and on
+ * short reads.  Hitting EOF before `len` bytes is an error (EIO):
+ * recovery sizes its reads from the file, so a short image means the
+ * file shrank or the device lied.  Returns 0 on success or the last
+ * errno — the read-side mirror of pwriteFullyWithRetry.
+ */
+int preadFullyWithRetry(int fd, void *buf, std::uint64_t len,
+                        std::uint64_t offset, unsigned attempts = 8);
 
 /** Runtime tunables. */
 struct RuntimeConfig
@@ -205,6 +216,23 @@ struct RuntimeConfig
      * (core::ViyojitConfig::extentShift); 0 disables.
      */
     unsigned extentShift = 0;
+
+    /**
+     * Maintain the durable metadata sidecar (`<backing>.meta`):
+     * every flushed page carries a CRC32C commit record, group syncs
+     * promote records to COMMITTED after the data fdatasync, and
+     * recovery verifies reloaded contents against them.  Off
+     * reproduces the unverified pre-sidecar runtime.
+     */
+    bool checksumCommits = true;
+
+    /**
+     * Pages the background scrubber verifies against the durable
+     * image per epoch boundary (epoch thread only; epochTick() never
+     * scrubs).  0 — the default — disables scrubbing; tests drive
+     * scrubTick() directly.
+     */
+    std::uint64_t scrubPagesPerEpoch = 0;
 };
 
 /** Runtime statistics snapshot (coherent across shards). */
@@ -239,6 +267,51 @@ struct RegionStats
 
     /** Summed per-shard quotas plus the pool (== battery budget). */
     std::uint64_t dirtyBudgetPages = 0;
+
+    /** Scrub progress: durable pages checked against their commit
+     *  records, mismatches found, and repairs (re-persisted from the
+     *  still-clean DRAM copy). */
+    std::uint64_t scrubScanned = 0;
+    std::uint64_t scrubSkippedBusy = 0;
+    std::uint64_t scrubMismatches = 0;
+    std::uint64_t scrubRepaired = 0;
+
+    /** Sidecar commit-record writes that failed on the flush path
+     *  (degrades recovery classification, never durability). */
+    std::uint64_t metaEntryWriteErrors = 0;
+};
+
+/** What recovery found while reloading and verifying the image. */
+struct RuntimeRecoveryReport
+{
+    /** A valid sidecar header was found and used for verification.
+     *  False = legacy image: contents load unverified. */
+    bool sidecarFound = false;
+
+    /** Pages whose content matched their commit record. */
+    std::uint64_t verifiedPages = 0;
+
+    /** Pages with no (valid) commit record — nothing to check. */
+    std::uint64_t unverifiedPages = 0;
+
+    /** Pages whose content failed their commit record's CRC. */
+    std::uint64_t checksumMismatches = 0;
+
+    /** Mismatch classes (see DESIGN.md §10): torn flush tail,
+     *  data-ahead-of-sealed-metadata, silent media corruption. */
+    std::uint64_t tornRunPages = 0;
+    std::uint64_t staleEpochPages = 0;
+    std::uint64_t silentCorruptPages = 0;
+
+    /** Sidecar entries whose own CRC failed (torn metadata). */
+    std::uint64_t badEntries = 0;
+
+    /**
+     * Pages settled as known-bad: unreadable after bounded retries
+     * (zero-filled) or failed checksum verification (content kept,
+     * but untrustworthy).  The caller must not trust these pages.
+     */
+    std::vector<PageNum> quarantined;
 };
 
 /** A battery-bounded non-volatile memory region over real pages. */
@@ -310,6 +383,26 @@ class NvRegion
     /** Handle a fault at `addr` if it belongs to this region. */
     bool handleFault(void *addr);
 
+    /** True when the durable metadata sidecar is active. */
+    bool hasSidecar() const { return meta_ != nullptr; }
+
+    /** What recover() found (empty report for create()). */
+    const RuntimeRecoveryReport &recoveryReport() const
+    {
+        return recoveryReport_;
+    }
+
+    /**
+     * One pass of the background scrubber: verify up to `max_pages`
+     * settled (clean, no IO in flight) committed pages against the
+     * durable image and re-persist any whose durable copy diverged —
+     * repairing silent corruption from the still-clean DRAM copy.
+     * Budget-aware: shards under dirty pressure are skipped.  The
+     * epoch thread drives this when scrubPagesPerEpoch > 0; tests
+     * call it directly.
+     */
+    void scrubTick(std::uint64_t max_pages);
+
   private:
     class ShardBackend;
     struct Shard;
@@ -319,6 +412,17 @@ class NvRegion
 
     void startEpochThread();
     void stopEpochThread();
+
+    /**
+     * Reload the image from the backing file: chunked bulk reads
+     * with bounded retry, falling back page-by-page on failure and
+     * quarantining (zero-filling) pages that stay unreadable.
+     */
+    void loadImage();
+
+    /** Verify the reloaded image against the sidecar and classify
+     *  mismatches into recoveryReport_. */
+    void verifyImage();
 
     unsigned shardOf(PageNum page) const
     {
@@ -361,6 +465,27 @@ class NvRegion
     std::atomic<std::uint64_t> bytesPersisted_{0};
     std::atomic<std::uint64_t> quotaSteals_{0};
     std::atomic<std::uint64_t> runFallbacks_{0};
+
+    /** Durable commit-record sidecar; null when checksumCommits is
+     *  off.  Its fault-path interface is lock-free, so persist paths
+     *  use it without extra synchronization. */
+    std::unique_ptr<MetaSidecar> meta_;
+
+    RuntimeRecoveryReport recoveryReport_;
+
+    /** Flush epoch stamped into commit records; advances at each
+     *  epoch boundary and seeds from the recovered seal. */
+    std::atomic<std::uint64_t> flushEpoch_{1};
+
+    /** Id handed to each persist submission (runs share one). */
+    std::atomic<std::uint64_t> nextRunId_{1};
+
+    /** Background scrub state (cursor is epoch-thread-only). */
+    PageNum scrubCursor_ = 0;
+    std::atomic<std::uint64_t> scrubScanned_{0};
+    std::atomic<std::uint64_t> scrubSkippedBusy_{0};
+    std::atomic<std::uint64_t> scrubMismatches_{0};
+    std::atomic<std::uint64_t> scrubRepaired_{0};
 
     /**
      * Serializes whole-region retunes (lock-ordering rule 1: taken

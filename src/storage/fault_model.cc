@@ -22,6 +22,15 @@ FaultModel::FaultModel(const FaultModelConfig &config)
                    "tail latency probability out of [0, 1)");
     VIYOJIT_ASSERT(config.tailLatencyMultiplier >= 1.0,
                    "tail latency multiplier below 1");
+    VIYOJIT_ASSERT(config.silentBitFlipProb >= 0.0 &&
+                       config.silentBitFlipProb < 1.0,
+                   "silent bit-flip probability out of [0, 1)");
+    VIYOJIT_ASSERT(config.droppedWriteProb >= 0.0 &&
+                       config.droppedWriteProb < 1.0,
+                   "dropped-write probability out of [0, 1)");
+    VIYOJIT_ASSERT(config.misdirectedWriteProb >= 0.0 &&
+                       config.misdirectedWriteProb < 1.0,
+                   "misdirected-write probability out of [0, 1)");
 }
 
 FaultModel::Decision
@@ -52,6 +61,26 @@ FaultModel::onWriteSubmit(std::uint32_t region, PageNum page)
             decision.status = IoStatus::hardError;
         } else {
             decision.status = IoStatus::transientError;
+        }
+    }
+
+    // Silent faults ride only on attempts the device acknowledges as
+    // ok: the status channel stays clean while the medium lies.  The
+    // enablement guard matters beyond speed: every nextBool consumes a
+    // draw, so drawing for zero-probability faults would shift the
+    // seeded stream and change the replay of every pre-existing seed.
+    if (silentFaultsEnabled() && decision.status == IoStatus::ok) {
+        if (rng_.nextBool(config_.silentBitFlipProb)) {
+            ++bitFlips_;
+            decision.silentFault = SilentFaultKind::bitFlip;
+            decision.silentFaultRaw = rng_.next();
+        } else if (rng_.nextBool(config_.droppedWriteProb)) {
+            ++droppedWrites_;
+            decision.silentFault = SilentFaultKind::droppedWrite;
+        } else if (rng_.nextBool(config_.misdirectedWriteProb)) {
+            ++misdirectedWrites_;
+            decision.silentFault = SilentFaultKind::misdirectedWrite;
+            decision.silentFaultRaw = rng_.next();
         }
     }
     return decision;
@@ -88,7 +117,18 @@ FaultModel::setBandwidthDegradation(double factor)
 double
 FaultModel::expectedWriteAttempts() const
 {
-    return 1.0 / (1.0 - config_.writeErrorProb);
+    // A durable write must both be acknowledged AND land intact:
+    // under verified durability a silently corrupted acknowledgement
+    // fails the read-back verify and is retried just like an error,
+    // so the silent-fault classes amplify the expected attempt count
+    // the same way the status-visible error probability does.  The
+    // safe-mode governor divides the flush-bandwidth model by this,
+    // which is what keeps the emergency flush inside the battery
+    // window when the device is lying.
+    const double intact = (1.0 - config_.silentBitFlipProb) *
+                          (1.0 - config_.droppedWriteProb) *
+                          (1.0 - config_.misdirectedWriteProb);
+    return 1.0 / ((1.0 - config_.writeErrorProb) * intact);
 }
 
 bool

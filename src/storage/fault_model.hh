@@ -70,6 +70,32 @@ struct FaultModelConfig
 
     /** Extra service latency for the write that remaps a bad page. */
     Tick remapLatency = 200_us;
+
+    // Silent fault classes (Mutlu et al., arXiv:1805.09127): the
+    // device reports IoStatus::ok but the durable image is wrong.
+    // Only end-to-end verification (read-back, checksum sidecar,
+    // scrub) can catch these — the status channel never will.
+
+    /** Per-ok-write probability the stored content is bit-flipped. */
+    double silentBitFlipProb = 0.0;
+
+    /** Per-ok-write probability the write is acknowledged but never
+     *  reaches the medium (old content survives). */
+    double droppedWriteProb = 0.0;
+
+    /** Per-ok-write probability the data lands on the WRONG page:
+     *  the target keeps its old content and a victim page is
+     *  clobbered with this write's data. */
+    double misdirectedWriteProb = 0.0;
+};
+
+/** Kind of silent fault a durable page is suffering from. */
+enum class SilentFaultKind
+{
+    none,
+    bitFlip,
+    droppedWrite,
+    misdirectedWrite,
 };
 
 /**
@@ -89,6 +115,13 @@ class FaultModel
 
         /** Additive service latency (bad-page remap cost). */
         Tick extraLatency = 0;
+
+        /** Silent fault riding on an ok status (writes only). */
+        SilentFaultKind silentFault = SilentFaultKind::none;
+
+        /** Raw entropy for the fault's effect: bit index for a flip,
+         *  victim selector for a misdirected write. */
+        std::uint64_t silentFaultRaw = 0;
     };
 
     explicit FaultModel(const FaultModelConfig &config);
@@ -114,6 +147,18 @@ class FaultModel
     /** Runtime retuning (torture phases, tests). */
     void setWriteErrorProb(double p) { config_.writeErrorProb = p; }
     void setReadErrorProb(double p) { config_.readErrorProb = p; }
+    void setSilentBitFlipProb(double p)
+    {
+        config_.silentBitFlipProb = p;
+    }
+    void setDroppedWriteProb(double p)
+    {
+        config_.droppedWriteProb = p;
+    }
+    void setMisdirectedWriteProb(double p)
+    {
+        config_.misdirectedWriteProb = p;
+    }
 
     /**
      * Expected write attempts per successful write under the current
@@ -127,6 +172,34 @@ class FaultModel
     std::uint64_t hardErrors() const { return hardErrors_; }
     std::uint64_t badPageRemaps() const { return remaps_; }
     std::uint64_t tailLatencySpikes() const { return tailSpikes_; }
+    std::uint64_t injectedBitFlips() const { return bitFlips_; }
+    std::uint64_t injectedDroppedWrites() const
+    {
+        return droppedWrites_;
+    }
+    std::uint64_t injectedMisdirectedWrites() const
+    {
+        return misdirectedWrites_;
+    }
+
+    /** All silent faults injected so far (flips + drops + misdirects). */
+    std::uint64_t injectedSilentFaults() const
+    {
+        return bitFlips_ + droppedWrites_ + misdirectedWrites_;
+    }
+
+    /**
+     * True when any silent-fault class can fire.  Gates the per-write
+     * silent-fault draws: with all probabilities zero no entropy is
+     * consumed, so configs predating the silent-fault classes replay
+     * their seeds bit-for-bit.
+     */
+    bool silentFaultsEnabled() const
+    {
+        return config_.silentBitFlipProb > 0.0 ||
+               config_.droppedWriteProb > 0.0 ||
+               config_.misdirectedWriteProb > 0.0;
+    }
 
     /** True while `page` awaits a remap (its last write hard-failed). */
     bool isBad(std::uint32_t region, PageNum page) const;
@@ -150,6 +223,9 @@ class FaultModel
     std::uint64_t hardErrors_ = 0;
     std::uint64_t remaps_ = 0;
     std::uint64_t tailSpikes_ = 0;
+    std::uint64_t bitFlips_ = 0;
+    std::uint64_t droppedWrites_ = 0;
+    std::uint64_t misdirectedWrites_ = 0;
 };
 
 } // namespace viyojit::storage

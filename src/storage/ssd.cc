@@ -90,6 +90,8 @@ Ssd::submitWrite(StorageKey key, std::uint64_t content_hash,
 
     FaultModel::Decision decision;
     if (faultModel_) {
+        maxPage_[key.regionId] =
+            std::max(maxPage_[key.regionId], key.page);
         decision = faultModel_->onWriteSubmit(key.regionId, key.page);
         if (decision.status != IoStatus::ok)
             ctx_.stats().counter("ssd.injected_write_errors").increment();
@@ -99,6 +101,8 @@ Ssd::submitWrite(StorageKey key, std::uint64_t content_hash,
             ctx_.stats().counter("ssd.tail_latency_spikes").increment();
         if (decision.extraLatency > 0)
             ctx_.stats().counter("ssd.bad_page_remaps").increment();
+        if (decision.silentFault != SilentFaultKind::none)
+            ctx_.stats().counter("ssd.injected_silent_faults").increment();
     }
 
     ++outstanding_;
@@ -112,10 +116,13 @@ Ssd::submitWrite(StorageKey key, std::uint64_t content_hash,
     ctx_.stats().counter("ssd.page_writes").increment();
 
     const IoStatus status = decision.status;
+    const SilentFaultKind fault = decision.silentFault;
+    const std::uint64_t raw = decision.silentFaultRaw;
     ctx_.events().schedule(done, [this, key, content_hash, status,
+                                  fault, raw,
                                   cb = std::move(on_complete)]() {
         if (status == IoStatus::ok)
-            image_[key] = content_hash;
+            applyDurableWrite(key, content_hash, fault, raw);
         --outstanding_;
         if (cb)
             cb(status);
@@ -132,15 +139,17 @@ Ssd::submitWriteRun(StorageKey first, unsigned count,
     VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
     VIYOJIT_ASSERT(count > 0, "empty run write");
 
-    std::vector<IoStatus> statuses(count, IoStatus::ok);
+    std::vector<FaultModel::Decision> decisions(count);
     double latency_multiplier = 1.0;
     Tick extra_latency = 0;
     if (faultModel_) {
+        maxPage_[first.regionId] = std::max(
+            maxPage_[first.regionId], first.page + count - 1);
         for (unsigned i = 0; i < count; ++i) {
             const FaultModel::Decision decision =
                 faultModel_->onWriteSubmit(first.regionId,
                                            first.page + i);
-            statuses[i] = decision.status;
+            decisions[i] = decision;
             if (decision.status != IoStatus::ok)
                 ctx_.stats()
                     .counter("ssd.injected_write_errors")
@@ -155,6 +164,10 @@ Ssd::submitWriteRun(StorageKey first, unsigned count,
                     .increment();
             if (decision.extraLatency > 0)
                 ctx_.stats().counter("ssd.bad_page_remaps").increment();
+            if (decision.silentFault != SilentFaultKind::none)
+                ctx_.stats()
+                    .counter("ssd.injected_silent_faults")
+                    .increment();
             latency_multiplier =
                 std::max(latency_multiplier, decision.latencyMultiplier);
             extra_latency += decision.extraLatency;
@@ -177,22 +190,24 @@ Ssd::submitWriteRun(StorageKey first, unsigned count,
     std::vector<std::uint64_t> hashes(content_hashes,
                                       content_hashes + count);
     ctx_.events().schedule(
-        done, [this, first, statuses = std::move(statuses),
+        done, [this, first, decisions = std::move(decisions),
                hashes = std::move(hashes),
                cb = std::move(on_page_complete)]() {
             // Durability is granted page-by-page at the single
             // completion instant: a cut before this event persists
             // nothing of the run, and a page whose slice failed keeps
             // its previous durable image.
-            for (unsigned i = 0; i < statuses.size(); ++i)
-                if (statuses[i] == IoStatus::ok)
-                    image_[StorageKey{first.regionId,
-                                      first.page + i}] = hashes[i];
+            for (unsigned i = 0; i < decisions.size(); ++i)
+                if (decisions[i].status == IoStatus::ok)
+                    applyDurableWrite(
+                        StorageKey{first.regionId, first.page + i},
+                        hashes[i], decisions[i].silentFault,
+                        decisions[i].silentFaultRaw);
             --outstanding_;
             --outstandingRuns_;
             if (cb)
-                for (unsigned i = 0; i < statuses.size(); ++i)
-                    cb(i, statuses[i]);
+                for (unsigned i = 0; i < decisions.size(); ++i)
+                    cb(i, decisions[i].status);
         });
     return done;
 }
@@ -269,6 +284,68 @@ Ssd::readPage(StorageKey key, std::uint64_t bytes, Callback on_complete)
                       });
 }
 
+void
+Ssd::applyDurableWrite(StorageKey key, std::uint64_t content_hash,
+                       SilentFaultKind fault, std::uint64_t raw)
+{
+    switch (fault) {
+    case SilentFaultKind::none:
+        image_[key] = content_hash;
+        corrupted_.erase(key);
+        return;
+    case SilentFaultKind::bitFlip:
+        // The medium stored different bits than it was handed: model
+        // as a perturbed content hash (the image keeps hashes, not
+        // bytes, so any perturbation stands in for any flip).
+        image_[key] = content_hash ^ (1ULL << (raw & 63u));
+        corrupted_[key] = SilentFaultKind::bitFlip;
+        return;
+    case SilentFaultKind::droppedWrite:
+        // Acknowledged but never reached the medium: old content
+        // survives.  Only corrupt if the old image actually differs
+        // (a re-write of identical content drops harmlessly).
+        if (durableHash(key) != content_hash)
+            corrupted_[key] = SilentFaultKind::droppedWrite;
+        else
+            corrupted_.erase(key);
+        return;
+    case SilentFaultKind::misdirectedWrite: {
+        // The data landed on the wrong page: the target keeps its old
+        // (now stale) content and a victim page is clobbered.
+        const PageNum span = maxPage_[key.regionId] + 1;
+        const StorageKey victim{key.regionId, raw % span};
+        if (victim == key) {
+            // Misdirected onto itself: lands correctly after all.
+            image_[key] = content_hash;
+            corrupted_.erase(key);
+            return;
+        }
+        image_[victim] = content_hash;
+        corrupted_[victim] = SilentFaultKind::misdirectedWrite;
+        if (durableHash(key) != content_hash)
+            corrupted_[key] = SilentFaultKind::droppedWrite;
+        else
+            corrupted_.erase(key);
+        return;
+    }
+    }
+}
+
+SilentFaultKind
+Ssd::corruptionKind(StorageKey key) const
+{
+    auto it = corrupted_.find(key);
+    return it == corrupted_.end() ? SilentFaultKind::none : it->second;
+}
+
+void
+Ssd::forEachCorruption(
+    const std::function<void(StorageKey, SilentFaultKind)> &fn) const
+{
+    for (const auto &[key, kind] : corrupted_)
+        fn(key, kind);
+}
+
 std::uint64_t
 Ssd::durableHash(StorageKey key) const
 {
@@ -294,6 +371,8 @@ Ssd::reset()
     pageWrites_ = 0;
     dedupHits_ = 0;
     image_.clear();
+    corrupted_.clear();
+    maxPage_.clear();
 }
 
 } // namespace viyojit::storage

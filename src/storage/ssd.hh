@@ -202,6 +202,22 @@ class Ssd
     /** True if the page has ever been persisted. */
     bool hasPage(StorageKey key) const;
 
+    /**
+     * Ground-truth silent-corruption ledger.  A silent fault on an
+     * acknowledged write records the page here; a later good write to
+     * the same page clears it.  The torture harness cross-checks this
+     * against what the checksum path *detected* — the ledger is
+     * oracle state, never visible to the system under test.
+     */
+    SilentFaultKind corruptionKind(StorageKey key) const;
+    std::uint64_t corruptedPageCount() const
+    {
+        return corrupted_.size();
+    }
+    void forEachCorruption(
+        const std::function<void(StorageKey, SilentFaultKind)> &fn)
+        const;
+
     /** Number of IOs submitted but not yet completed. */
     unsigned outstanding() const { return outstanding_; }
 
@@ -232,6 +248,15 @@ class Ssd
                     double latency_multiplier = 1.0,
                     Tick extra_latency = 0);
 
+    /**
+     * Land one acknowledged page write on the durable image, applying
+     * any silent fault the decision carries (flip the stored hash,
+     * drop the update, or clobber a victim page), and keep the
+     * corruption ledger in sync.
+     */
+    void applyDurableWrite(StorageKey key, std::uint64_t content_hash,
+                           SilentFaultKind fault, std::uint64_t raw);
+
     sim::SimContext &ctx_;
     SsdConfig config_;
     std::unique_ptr<FaultModel> faultModel_;
@@ -250,6 +275,13 @@ class Ssd
     std::uint64_t dedupHits_ = 0;
 
     std::unordered_map<StorageKey, std::uint64_t, StorageKeyHash> image_;
+
+    /** Oracle ledger of silently corrupted durable pages. */
+    std::unordered_map<StorageKey, SilentFaultKind, StorageKeyHash>
+        corrupted_;
+
+    /** Highest page number written per region (misdirect victims). */
+    std::unordered_map<std::uint32_t, PageNum> maxPage_;
 };
 
 } // namespace viyojit::storage

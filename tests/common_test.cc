@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/checksum.hh"
 #include "common/distributions.hh"
 #include "common/histogram.hh"
 #include "common/rng.hh"
@@ -515,6 +520,71 @@ TEST_P(ZipfThetaSweep, HeadMassIncreasesWithTheta)
 
 INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
                          ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+// ---------------------------------------------------------------------
+// CRC32C (the shared durability checksum)
+// ---------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswerVectors)
+{
+    // The canonical Castagnoli check value (RFC 3720 appendix, and
+    // every hardware CRC32C implementation).
+    EXPECT_EQ(common::crc32c("123456789", 9), 0xE3069283u);
+    EXPECT_EQ(common::crc32c("", 0), 0u);
+    // 32 zero bytes — the iSCSI test vector.
+    const std::array<unsigned char, 32> zeros{};
+    EXPECT_EQ(common::crc32c(zeros.data(), zeros.size()),
+              0x8A9136AAu);
+    std::array<unsigned char, 32> ones;
+    ones.fill(0xFF);
+    EXPECT_EQ(common::crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementalComputation)
+{
+    const std::string data = "decoupled battery and DRAM capacities";
+    const std::uint32_t whole =
+        common::crc32c(data.data(), data.size());
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        const std::uint32_t head =
+            common::crc32c(data.data(), split);
+        EXPECT_EQ(common::crc32c(data.data() + split,
+                                 data.size() - split, head),
+                  whole);
+    }
+}
+
+TEST(Crc32cTest, SingleBitFlipsChangeTheSum)
+{
+    std::vector<unsigned char> page(4096, 0xA5);
+    const std::uint32_t clean =
+        common::crc32c(page.data(), page.size());
+    for (const std::size_t at : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{2048},
+                                 std::size_t{4095}}) {
+        for (int bit = 0; bit < 8; ++bit) {
+            page[at] ^= static_cast<unsigned char>(1 << bit);
+            EXPECT_NE(common::crc32c(page.data(), page.size()), clean)
+                << "missed flip of bit " << bit << " at byte " << at;
+            page[at] ^= static_cast<unsigned char>(1 << bit);
+        }
+    }
+    EXPECT_EQ(common::crc32c(page.data(), page.size()), clean);
+}
+
+TEST(Crc32cTest, U64MatchesLittleEndianBytes)
+{
+    const std::uint64_t value = 0x0123456789ABCDEFULL;
+    std::array<unsigned char, 8> bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<unsigned char>(value >> (8 * i));
+    EXPECT_EQ(common::crc32cU64(value),
+              common::crc32c(bytes.data(), bytes.size()));
+    EXPECT_EQ(common::crc32cU64(value, 0xDEADBEEFu),
+              common::crc32c(bytes.data(), bytes.size(),
+                             0xDEADBEEFu));
+}
 
 } // namespace
 } // namespace viyojit

@@ -680,7 +680,7 @@ TEST_F(FaultedRecoveryFixture, EagerRestoreSurvivesReadErrors)
     EXPECT_GT(recovery.stats().fullyResidentAt, 0u);
 }
 
-TEST_F(FaultedRecoveryFixture, DemandRetryExhaustionEscalates)
+TEST_F(FaultedRecoveryFixture, DemandRetryExhaustionQuarantines)
 {
     injectReadErrors(0.999);
     RecoveryManager recovery(ctx, ssd, 0, pages, pageSize,
@@ -688,7 +688,88 @@ TEST_F(FaultedRecoveryFixture, DemandRetryExhaustionEscalates)
                              /*max_outstanding_reads=*/16,
                              /*max_read_retries=*/3);
     recovery.begin();
-    EXPECT_THROW(recovery.access(0), FatalError);
+    // Exhausting the demand-read retry budget quarantines the page
+    // instead of killing the process: access returns (the caller gets
+    // a zero/stale page plus a quarantine record) and recovery keeps
+    // making progress.
+    recovery.access(0);
+    EXPECT_TRUE(recovery.isQuarantined(0));
+    EXPECT_EQ(recovery.stats().demandRetryExhausted, 1u);
+    EXPECT_EQ(recovery.stats().quarantinedPages, 1u);
+    EXPECT_EQ(recovery.quarantinedPages(),
+              std::vector<PageNum>{0});
+}
+
+TEST_F(FaultedRecoveryFixture, SweepRevisitExhaustionQuarantines)
+{
+    injectReadErrors(0.95);
+    RecoveryManager recovery(ctx, ssd, 0, pages, pageSize,
+                             RestoreStrategy::demandPlusBackground,
+                             /*max_outstanding_reads=*/8,
+                             /*max_read_retries=*/8,
+                             /*max_revisit_passes=*/2);
+    recovery.begin();
+    // No foreground accesses: every page settles through the sweep.
+    // At this error rate most pages burn through their revisit passes
+    // and must be quarantined — the restore still has to terminate
+    // with every page settled one way or the other.
+    recovery.waitUntilFullyResident();
+    EXPECT_TRUE(recovery.fullyResident());
+    EXPECT_EQ(recovery.residentPages(), pages);
+    const RecoveryStats &stats = recovery.stats();
+    EXPECT_GT(stats.sweepSkips, 0u);
+    EXPECT_GT(stats.sweepRevisitExhausted, 0u);
+    EXPECT_EQ(stats.quarantinedPages, stats.sweepRevisitExhausted);
+    EXPECT_EQ(recovery.quarantinedPages().size(),
+              stats.quarantinedPages);
+    // Quarantined pages count as settled for the availability clock.
+    EXPECT_GT(stats.fullyResidentAt, 0u);
+}
+
+TEST_F(FaultedRecoveryFixture, ManifestMismatchesClassifyByEpoch)
+{
+    // No device faults: every failure below comes from checksum
+    // verification.  The image holds hash p+1 per page; three
+    // manifest entries lie, each on a different side of the sealed
+    // epoch boundary.
+    RecoveryManifest manifest;
+    manifest.lastSealedEpoch = 5;
+    manifest.pages.resize(pages);
+    for (PageNum p = 0; p < pages; ++p) {
+        manifest.pages[p].crc = p + 1;
+        manifest.pages[p].epoch = 4;
+        manifest.pages[p].valid = true;
+    }
+    manifest.pages[7].crc = 0xBAD;
+    manifest.pages[7].epoch = 6; // newer than the seal: torn tail
+    manifest.pages[8].crc = 0xBAD;
+    manifest.pages[8].epoch = 5; // at the seal: stale epoch
+    manifest.pages[9].crc = 0xBAD;
+    manifest.pages[9].epoch = 3; // long sealed: silent corruption
+
+    RecoveryManager recovery(ctx, ssd, 0, pages, pageSize,
+                             RestoreStrategy::demandOnly,
+                             /*max_outstanding_reads=*/16,
+                             /*max_read_retries=*/1);
+    recovery.attachManifest(std::move(manifest));
+    recovery.begin();
+    for (PageNum p = 0; p < pages; ++p)
+        recovery.access(p);
+
+    const RecoveryStats &stats = recovery.stats();
+    EXPECT_EQ(stats.checksumMismatches, 3u);
+    EXPECT_EQ(stats.tornRunPages, 1u);
+    EXPECT_EQ(stats.staleEpochPages, 1u);
+    EXPECT_EQ(stats.silentCorruptPages, 1u);
+    EXPECT_EQ(stats.demandRetryExhausted, 3u);
+    EXPECT_EQ(recovery.quarantinedPages(),
+              (std::vector<PageNum>{7, 8, 9}));
+    // The clean majority verified and loaded normally.
+    EXPECT_FALSE(recovery.isQuarantined(0));
+    EXPECT_TRUE(recovery.fullyResident());
+    // Settlement includes the quarantined trio: the availability
+    // clock stops when the last page is DECIDED, not perfect.
+    EXPECT_GT(stats.fullyResidentAt, 0u);
 }
 
 } // namespace

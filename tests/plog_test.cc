@@ -185,6 +185,25 @@ TEST_F(PlogFixture, ValidateDetectsCorruption)
     EXPECT_TRUE(corrupted);
 }
 
+TEST_F(PlogFixture, AttachRejectsCorruptRecords)
+{
+    PersistentLog log = PersistentLog::create(space);
+    log.append("soon to rot");
+    // Find a byte whose flip the integrity scan catches (the hunt
+    // ValidateDetectsCorruption uses) and leave it flipped: attach()
+    // runs the same scan and must refuse the log instead of handing
+    // back silently corrupt records.
+    bool corrupted = false;
+    for (std::size_t i = 64; i < 400 && !corrupted; ++i) {
+        buffer[i] ^= 1;
+        corrupted = !log.validate();
+        if (!corrupted)
+            buffer[i] ^= 1;
+    }
+    ASSERT_TRUE(corrupted);
+    EXPECT_THROW(PersistentLog::attach(space), FatalError);
+}
+
 /** Property: log agrees with a reference deque under random ops. */
 TEST_F(PlogFixture, MatchesReferenceDeque)
 {

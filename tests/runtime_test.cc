@@ -21,6 +21,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "runtime/meta_sidecar.hh"
 #include "runtime/region.hh"
 
 namespace viyojit::runtime
@@ -434,6 +435,208 @@ TEST(SyscallRetryTest, PwritevFullyWritesMultipleIovecsAndReportsErrors)
     std::array<struct iovec, 1> bad{{{a.data(), a.size()}}};
     EXPECT_EQ(pwritevFullyWithRetry(fd, bad.data(), 1, 0), EBADF);
     ::unlink(path.c_str());
+}
+
+TEST(SyscallRetryTest, PreadFullyReadsAndReportsErrors)
+{
+    const std::string path = tempPath("pread");
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC,
+                          0600);
+    ASSERT_GE(fd, 0);
+    const std::string payload = "recovered bytes";
+    ASSERT_EQ(::pwrite(fd, payload.data(), payload.size(), 4096),
+              static_cast<ssize_t>(payload.size()));
+
+    std::vector<char> back(payload.size());
+    EXPECT_EQ(preadFullyWithRetry(fd, back.data(), back.size(), 4096),
+              0);
+    EXPECT_EQ(std::string(back.begin(), back.end()), payload);
+
+    // EOF before the requested length is an error, not a short
+    // success: recovery sizes reads from the file, so a short image
+    // means the file shrank or the device lied.
+    std::vector<char> over(payload.size() + 16);
+    EXPECT_EQ(preadFullyWithRetry(fd, over.data(), over.size(), 4096),
+              EIO);
+    // Reading entirely past the end is the same truncated-image case.
+    EXPECT_EQ(preadFullyWithRetry(fd, back.data(), back.size(),
+                                  1_MiB),
+              EIO);
+    ::close(fd);
+
+    // A closed descriptor is a hard error, returned not retried.
+    EXPECT_EQ(preadFullyWithRetry(fd, back.data(), back.size(), 4096),
+              EBADF);
+    ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Verified durability: the commit sidecar, recovery classification,
+// and the background scrubber (DESIGN.md §10).
+// ---------------------------------------------------------------------
+
+TEST_F(RegionFixture, SidecarVerifiesCleanRecovery)
+{
+    const std::string path = makePath("sidecar");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    {
+        auto region = NvRegion::create(path, 64_KiB, manualConfig(8));
+        ASSERT_TRUE(region->hasSidecar());
+        char *data = static_cast<char *>(region->base());
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps, 'A' + static_cast<int>(p), ps);
+        region->flushAll();
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_TRUE(report.sidecarFound);
+    EXPECT_EQ(report.verifiedPages, region->pageCount());
+    EXPECT_EQ(report.checksumMismatches, 0u);
+    EXPECT_EQ(report.badEntries, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    const char *data = static_cast<const char *>(region->base());
+    for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+        EXPECT_EQ(data[p * ps], 'A' + static_cast<int>(p));
+}
+
+TEST_F(RegionFixture, CorruptBackingPageIsQuarantinedNotTrusted)
+{
+    const std::string path = makePath("rot");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    {
+        auto region = NvRegion::create(path, 64_KiB, manualConfig(8));
+        char *data = static_cast<char *>(region->base());
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps, 'A' + static_cast<int>(p), ps);
+        region->flushAll();
+    }
+    // Rot one byte of page 3 behind the runtime's back.
+    {
+        const int fd = ::open(path.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        char byte;
+        ASSERT_EQ(::pread(fd, &byte, 1, 3 * ps + 17), 1);
+        byte ^= 0x40;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, 3 * ps + 17), 1);
+        ::close(fd);
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_TRUE(report.sidecarFound);
+    EXPECT_EQ(report.checksumMismatches, 1u);
+    EXPECT_EQ(report.tornRunPages + report.staleEpochPages +
+                  report.silentCorruptPages,
+              1u);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0], 3u);
+    EXPECT_EQ(report.verifiedPages, region->pageCount() - 1);
+}
+
+TEST_F(RegionFixture, TornSidecarEntryLoadsPageUnverified)
+{
+    const std::string path = makePath("tornmeta");
+    const std::string meta_path = path + ".meta";
+    cleanup.push_back(meta_path);
+    const std::uint64_t ps = 4096;
+    {
+        auto region = NvRegion::create(path, 64_KiB, manualConfig(8));
+        char *data = static_cast<char *>(region->base());
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps, 'A' + static_cast<int>(p), ps);
+        region->flushAll();
+    }
+    // Tear page 2's commit record: its self-CRC must fail, so the
+    // page loads unverified (no record to check against) instead of
+    // being condemned by garbage metadata.
+    {
+        const int fd = ::open(meta_path.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        const off_t at =
+            static_cast<off_t>(MetaSidecar::kEntriesOffset + 2 * 32);
+        char byte;
+        ASSERT_EQ(::pread(fd, &byte, 1, at), 1);
+        byte ^= 0xFF;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, at), 1);
+        ::close(fd);
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_TRUE(report.sidecarFound);
+    EXPECT_EQ(report.badEntries, 1u);
+    EXPECT_EQ(report.unverifiedPages, 1u);
+    EXPECT_EQ(report.verifiedPages, region->pageCount() - 1);
+    EXPECT_EQ(report.checksumMismatches, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    // Content still loads — it just carries no durability claim.
+    const char *data = static_cast<const char *>(region->base());
+    EXPECT_EQ(data[2 * ps], 'C');
+}
+
+TEST_F(RegionFixture, LegacyImageWithoutSidecarLoadsUnverified)
+{
+    const std::string path = makePath("legacy");
+    cleanup.push_back(path + ".meta");
+    {
+        RuntimeConfig cfg = manualConfig(8);
+        cfg.checksumCommits = false; // pre-sidecar writer
+        auto region = NvRegion::create(path, 64_KiB, cfg);
+        ASSERT_FALSE(region->hasSidecar());
+        char *data = static_cast<char *>(region->base());
+        std::strcpy(data, "legacy but intact");
+        region->flushAll();
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_FALSE(report.sidecarFound);
+    EXPECT_TRUE(report.quarantined.empty());
+    // A fresh sidecar starts so future flushes are verified.
+    EXPECT_TRUE(region->hasSidecar());
+    EXPECT_STREQ(static_cast<const char *>(region->base()),
+                 "legacy but intact");
+}
+
+TEST_F(RegionFixture, ScrubTickRepairsRottedDurableCopy)
+{
+    const std::string path = makePath("scrub");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    auto region = NvRegion::create(path, 64_KiB, manualConfig(8));
+    char *data = static_cast<char *>(region->base());
+    for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+        std::memset(data + p * ps, 'A' + static_cast<int>(p), ps);
+    region->flushAll();
+
+    // Rot page 5's durable copy while the region is live; DRAM still
+    // holds the committed content.
+    {
+        const int fd = ::open(path.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        char byte;
+        ASSERT_EQ(::pread(fd, &byte, 1, 5 * ps + 100), 1);
+        byte ^= 0x08;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, 5 * ps + 100), 1);
+        ::close(fd);
+    }
+
+    region->scrubTick(region->pageCount());
+    const RegionStats stats = region->stats();
+    EXPECT_EQ(stats.scrubMismatches, 1u);
+    EXPECT_EQ(stats.scrubRepaired, 1u);
+    EXPECT_GT(stats.scrubScanned, 0u);
+
+    // The durable image matches memory again.
+    std::ifstream file(path, std::ios::binary);
+    std::vector<char> file_bytes(region->size());
+    file.read(file_bytes.data(),
+              static_cast<std::streamsize>(file_bytes.size()));
+    EXPECT_EQ(std::memcmp(file_bytes.data(), data, region->size()),
+              0);
+
+    // A second pass finds nothing new to repair.
+    region->scrubTick(region->pageCount());
+    EXPECT_EQ(region->stats().scrubMismatches, 1u);
 }
 
 } // namespace

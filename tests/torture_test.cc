@@ -203,6 +203,132 @@ TEST(TortureTest, SameSeedReplaysIdentically)
                      second.minHeadroomJoules);
 }
 
+// ---------------------------------------------------------------------
+// Corruption torture: silent faults on, verified durability must
+// catch every one.  `passed` in these runs means zero silent
+// wrong-data acceptance — every settled-image mismatch the post-cut
+// audit finds is attributed to an injected fault, an aborted copy, or
+// an unsettled page.  One unattributed mismatch fails the run.
+// ---------------------------------------------------------------------
+
+TortureConfig
+corruptionConfig(std::uint64_t seed)
+{
+    TortureConfig config;
+    config.seed = seed;
+    config.cuts = 120;
+    config.silentBitFlipProb = 0.01;
+    config.droppedWriteProb = 0.005;
+    config.misdirectedWriteProb = 0.002;
+    config.scrubPagesPerRound = 32;
+    return config;
+}
+
+TEST(CorruptionTortureTest, ZeroSilentAcceptanceAcrossSeeds)
+{
+    // Three trajectories derived from the (CI-randomized) master
+    // seed: every run must hold the zero-silent-acceptance bar.
+    const std::uint64_t master = tortureSeed();
+    for (std::uint64_t salt : {0x0ULL, 0xc0fefeULL, 0x5c4bbedULL}) {
+        const TortureConfig config = corruptionConfig(master ^ salt);
+        const TortureResult result = runTorture(config);
+        EXPECT_TRUE(result.passed)
+            << result.failureDetail << "\n  seed: " << config.seed
+            << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+            << " ./torture_test";
+        EXPECT_EQ(result.auditUnattributed, 0u)
+            << "seed " << config.seed;
+
+        // Evidence the verified-durability machinery was genuinely
+        // exercised: the injector lied, the read-back verify caught
+        // flushes, and the scrubber scanned settled pages.
+        EXPECT_GT(result.injectedSilentFaults, 0u)
+            << "seed " << config.seed;
+        EXPECT_GT(result.verifyFailures, 0u) << "seed " << config.seed;
+        EXPECT_GT(result.scrubScanned, 0u) << "seed " << config.seed;
+    }
+}
+
+TEST(CorruptionTortureTest, BatchedFlushPowerCutWithCorruption)
+{
+    // The acceptance-critical composition: cuts landing inside
+    // coalesced run writes WHILE the device is silently corrupting
+    // acknowledged IO.  A torn run must classify as torn, a rotted
+    // page as injected — never as silently accepted wrong data.
+    TortureConfig config = corruptionConfig(tortureSeed() ^ 0xba7c4);
+    config.cuts = 150;
+    config.coalesceRuns = true;
+    config.maxRunPages = 16;
+    config.extentShift = 2;
+    config.maxBridgePages = 4;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed
+        << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+        << " ./torture_test";
+    EXPECT_EQ(result.auditUnattributed, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.injectedSilentFaults, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.runSubmits, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.cutsMidRun, 0u) << "seed " << config.seed;
+}
+
+TEST(CorruptionTortureTest, ShardedCorruptionSurvives)
+{
+    TortureConfig config = corruptionConfig(tortureSeed() ^ 0x54a7d);
+    config.shards = 4;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed
+        << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+        << " ./torture_test";
+    EXPECT_EQ(result.auditUnattributed, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.injectedSilentFaults, 0u) << "seed " << config.seed;
+    EXPECT_LE(result.maxSummedDirtyPages, config.dirtyBudgetPages);
+}
+
+TEST(CorruptionTortureTest, ScrubRepairsRottedDurableCopies)
+{
+    // Higher fault pressure and an aggressive scrub cadence: the
+    // scrubber must actually find rotted durable copies and repair
+    // them from the still-clean DRAM copy.
+    TortureConfig config = corruptionConfig(tortureSeed() ^ 0x5c4b);
+    config.cuts = 80;
+    config.silentBitFlipProb = 0.03;
+    config.droppedWriteProb = 0.02;
+    config.scrubPagesPerRound = 128;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed;
+    EXPECT_EQ(result.auditUnattributed, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.scrubScanned, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.scrubMismatches, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.scrubRepairs, 0u) << "seed " << config.seed;
+}
+
+TEST(CorruptionTortureTest, SameSeedReplaysIdentically)
+{
+    TortureConfig config = corruptionConfig(101);
+    config.cuts = 40;
+
+    const TortureResult first = runTorture(config);
+    const TortureResult second = runTorture(config);
+
+    EXPECT_EQ(first.passed, second.passed);
+    EXPECT_EQ(first.injectedSilentFaults, second.injectedSilentFaults);
+    EXPECT_EQ(first.verifyFailures, second.verifyFailures);
+    EXPECT_EQ(first.auditMismatches, second.auditMismatches);
+    EXPECT_EQ(first.auditUnattributed, second.auditUnattributed);
+    EXPECT_EQ(first.scrubScanned, second.scrubScanned);
+    EXPECT_EQ(first.scrubMismatches, second.scrubMismatches);
+    EXPECT_EQ(first.scrubRepairs, second.scrubRepairs);
+}
+
 TEST(TortureTest, DistinctSeedsExploreDistinctTrajectories)
 {
     TortureConfig a;

@@ -54,11 +54,13 @@ FAULT_PATH_SOURCES = [
     "src/runtime/fault_dispatch.cc",
     "src/runtime/region.cc",
     "src/runtime/copier_pool.cc",
+    "src/runtime/meta_sidecar.cc",
     "src/core/controller.cc",
     "src/core/recency.cc",
     "src/core/dirty_tracker.cc",
     "src/core/budget_pool.cc",
     "src/common/logging.cc",
+    "src/common/checksum.cc",
 ]
 
 COMPILE_FLAGS = ["-std=c++20", "-O2", "-Wall", "-S", "-o", "-"]
