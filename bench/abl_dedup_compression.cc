@@ -5,7 +5,7 @@
  *
  * The SSD model supports both: dedup elides page writes whose
  * content already matches the durable image; compression transfers
- * a run-length-estimated size instead of the raw page.  This bench
+ * the measured pagezip size instead of the raw page.  This bench
  * measures the proactive-copy traffic of YCSB-A under each setting.
  */
 

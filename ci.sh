@@ -115,6 +115,13 @@ echo "=== Concurrency smoke (sharded vs unsharded, 1 thread) ==="
 echo "=== IO-batching smoke (per-page vs coalesced flush) ==="
 ./build-release/bench/abl_io_batching --smoke
 
+# Copy-out compression gate: the measured-ratio budget multiplier
+# must hold on compressible records and cost nothing measurable on
+# incompressible data (bench/abl_compression.cc; bars relaxed under
+# --smoke).
+echo "=== Compression smoke (effective-budget multiplier) ==="
+./build-release/bench/abl_compression --smoke
+
 echo "=== ASan/UBSan build (-Werror) ==="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DVIYOJIT_SANITIZE=ON -DVIYOJIT_WERROR=ON
@@ -129,7 +136,7 @@ TORTURE_SEED=${VIYOJIT_TORTURE_SEED:-$(( $(date +%s) ^ $$ ))}
 echo "=== Randomized torture run (VIYOJIT_TORTURE_SEED=${TORTURE_SEED}) ==="
 if ! VIYOJIT_TORTURE_SEED="${TORTURE_SEED}" \
      ./build-sanitize/tests/torture_test \
-     --gtest_filter='TortureTest.SurvivesSeededPowerCutsUnderFaultInjection:TortureTest.SurvivesPowerCutsDuringBatchedFlush'
+     --gtest_filter='TortureTest.SurvivesSeededPowerCutsUnderFaultInjection:TortureTest.SurvivesPowerCutsDuringBatchedFlush:TortureTest.SurvivesPowerCutsDuringCompressedFlush'
 then
     echo "torture run FAILED; replay with:" >&2
     echo "  VIYOJIT_TORTURE_SEED=${TORTURE_SEED} ./build-sanitize/tests/torture_test" >&2

@@ -98,6 +98,14 @@ DirtyBudgetCalculator::setMeasuredFlushBandwidth(double bytes_per_sec)
     measured_ = bytes_per_sec;
 }
 
+void
+DirtyBudgetCalculator::setAchievedCompression(double ratio)
+{
+    VIYOJIT_ASSERT(ratio >= 1.0,
+                   "compression ratio below 1 would shrink the data");
+    compression_ = ratio;
+}
+
 double
 DirtyBudgetCalculator::conservativeBandwidth() const
 {
@@ -109,8 +117,12 @@ DirtyBudgetCalculator::conservativeBandwidth() const
 std::uint64_t
 DirtyBudgetCalculator::budgetBytes(double effective_joules) const
 {
+    // The channel moves stored bytes; an achieved ratio r means each
+    // channel byte retires r raw bytes, so the raw-byte budget scales
+    // by r while the energy term is untouched.
     const double seconds = effective_joules / power_.flushWatts();
-    return static_cast<std::uint64_t>(seconds * conservativeBandwidth());
+    return static_cast<std::uint64_t>(
+        seconds * conservativeBandwidth() * compression_);
 }
 
 std::uint64_t
@@ -129,7 +141,9 @@ DirtyBudgetCalculator::requiredJoules(std::uint64_t bytes) const
 double
 DirtyBudgetCalculator::flushSeconds(std::uint64_t bytes) const
 {
-    return static_cast<double>(bytes) / conservativeBandwidth();
+    // `bytes` is raw; compression shrinks what the channel carries.
+    return static_cast<double>(bytes) /
+           (conservativeBandwidth() * compression_);
 }
 
 } // namespace viyojit::battery

@@ -141,11 +141,26 @@ class DirtyBudgetCalculator
     /** The measured override, or 0 when the nameplate is in use. */
     double measuredFlushBandwidth() const { return measured_; }
 
+    /**
+     * Fold an achieved copy-out compression ratio (raw/stored, >= 1)
+     * into the conversion: the battery pays for STORED bytes, the
+     * budget counts RAW pages, so an achieved ratio r lets the same
+     * joules cover r times the raw bytes.  Callers must pass a
+     * conservative figure — the flush-window floor
+     * (DirtyPageTracker::floorRatio), never a point estimate; the
+     * EWMA is for reporting (DESIGN.md §11).  Pass 1 to disable.
+     */
+    void setAchievedCompression(double ratio);
+
+    /** The compression multiplier in effect (1 = off). */
+    double achievedCompression() const { return compression_; }
+
   private:
     PowerModel power_;
     double ssdWriteBandwidth_;
     double bandwidthSafetyFactor_;
     double measured_ = 0.0;
+    double compression_ = 1.0;
 };
 
 } // namespace viyojit::battery

@@ -1,0 +1,204 @@
+#include "common/pagezip.hh"
+
+#include <cstring>
+
+namespace viyojit::common
+{
+
+namespace
+{
+
+constexpr unsigned kHashLog = 12;
+constexpr std::size_t kMinMatch = 4;
+
+/** Matches never start inside the final tail: the 4-byte hash load
+ *  needs kMinMatch bytes and the extension loop stops short of the
+ *  end, so the last bytes of a page are always literals. */
+constexpr std::size_t kMatchTail = 12;
+
+/** Bypass threshold: accept the encoding only when
+ *  stored * 21 <= raw * 20, i.e. a ratio of at least 1.05. */
+constexpr std::size_t kBypassNum = 21;
+constexpr std::size_t kBypassDen = 20;
+
+inline std::uint32_t
+load32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash32(std::uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+} // namespace
+
+std::size_t
+pagezipCompress(const void *src_v, std::size_t len, void *dst_v,
+                std::size_t dst_cap)
+{
+    const auto *src = static_cast<const std::uint8_t *>(src_v);
+    auto *dst = static_cast<std::uint8_t *>(dst_v);
+    if (len < 32 || dst_cap < pagezipBound(len))
+        return 0;
+
+    // Position-plus-one per hash bucket; 0 marks an empty bucket, so
+    // no separate initialization sentinel is needed.
+    std::uint32_t table[1u << kHashLog];
+    std::memset(table, 0, sizeof(table));
+
+    const std::uint8_t *ip = src;
+    const std::uint8_t *anchor = src;
+    const std::uint8_t *const iend = src + len;
+    const std::uint8_t *const mflimit = iend - kMatchTail;
+    std::uint8_t *op = dst;
+    std::uint8_t *const oend = dst + dst_cap;
+
+    const auto emitLength = [&](std::size_t extra) {
+        while (extra >= 255) {
+            *op++ = 255;
+            extra -= 255;
+        }
+        *op++ = static_cast<std::uint8_t>(extra);
+    };
+
+    while (ip < mflimit) {
+        const std::uint32_t h = hash32(load32(ip));
+        const std::uint32_t prev = table[h];
+        table[h] = static_cast<std::uint32_t>(ip - src) + 1;
+        const std::uint8_t *ref = src + prev - 1;
+        if (prev == 0 ||
+            static_cast<std::size_t>(ip - ref) > 0xFFFF ||
+            load32(ref) != load32(ip)) {
+            ++ip;
+            continue;
+        }
+
+        // Extend the match, keeping the final bytes literal so the
+        // closing sequence always exists.
+        std::size_t mlen = kMinMatch;
+        const std::uint8_t *const mend = iend - 5;
+        while (ip + mlen < mend && ref[mlen] == ip[mlen])
+            ++mlen;
+
+        const std::size_t lit =
+            static_cast<std::size_t>(ip - anchor);
+        const std::size_t dist = static_cast<std::size_t>(ip - ref);
+
+        // Worst-case sequence size; bail to bypass rather than
+        // overrun (cannot happen inside the bound, kept as a guard).
+        if (op + 1 + lit + lit / 255 + 1 + 2 + mlen / 255 + 1 > oend)
+            return 0;
+
+        const std::uint8_t lit_nibble =
+            static_cast<std::uint8_t>(lit < 15 ? lit : 15);
+        const std::size_t mcode = mlen - kMinMatch;
+        const std::uint8_t match_nibble =
+            static_cast<std::uint8_t>(mcode < 15 ? mcode : 15);
+        *op++ = static_cast<std::uint8_t>((lit_nibble << 4) |
+                                          match_nibble);
+        if (lit >= 15)
+            emitLength(lit - 15);
+        std::memcpy(op, anchor, lit);
+        op += lit;
+        *op++ = static_cast<std::uint8_t>(dist & 0xFF);
+        *op++ = static_cast<std::uint8_t>(dist >> 8);
+        if (mcode >= 15)
+            emitLength(mcode - 15);
+
+        ip += mlen;
+        anchor = ip;
+        if (ip < mflimit)
+            table[hash32(load32(ip - 2))] =
+                static_cast<std::uint32_t>(ip - 2 - src) + 1;
+    }
+
+    // Final sequence: remaining literals, match nibble 0, no offset.
+    const std::size_t lit = static_cast<std::size_t>(iend - anchor);
+    if (op + 1 + lit + lit / 255 + 1 > oend)
+        return 0;
+    *op++ = static_cast<std::uint8_t>((lit < 15 ? lit : 15) << 4);
+    if (lit >= 15)
+        emitLength(lit - 15);
+    std::memcpy(op, anchor, lit);
+    op += lit;
+
+    const std::size_t out = static_cast<std::size_t>(op - dst);
+    if (out * kBypassNum > len * kBypassDen)
+        return 0;
+    return out;
+}
+
+bool
+pagezipDecompress(const void *src_v, std::size_t stored_len,
+                  void *dst_v, std::size_t raw_len)
+{
+    const auto *ip = static_cast<const std::uint8_t *>(src_v);
+    auto *dst = static_cast<std::uint8_t *>(dst_v);
+    const std::uint8_t *const iend = ip + stored_len;
+    std::uint8_t *op = dst;
+    std::uint8_t *const oend = dst + raw_len;
+    if (stored_len == 0)
+        return false;
+
+    for (;;) {
+        if (ip >= iend)
+            return false;
+        const unsigned token = *ip++;
+
+        std::size_t lit = token >> 4;
+        if (lit == 15) {
+            unsigned b;
+            do {
+                if (ip >= iend)
+                    return false;
+                b = *ip++;
+                lit += b;
+            } while (b == 255);
+        }
+        if (lit > static_cast<std::size_t>(iend - ip) ||
+            lit > static_cast<std::size_t>(oend - op))
+            return false;
+        std::memcpy(op, ip, lit);
+        op += lit;
+        ip += lit;
+
+        if (ip == iend)
+            return (token & 0xF) == 0 && op == oend;
+
+        if (iend - ip < 2)
+            return false;
+        const std::size_t dist =
+            static_cast<std::size_t>(ip[0]) |
+            (static_cast<std::size_t>(ip[1]) << 8);
+        ip += 2;
+        if (dist == 0 || dist > static_cast<std::size_t>(op - dst))
+            return false;
+
+        std::size_t mlen = (token & 0xF) + kMinMatch;
+        if ((token & 0xF) == 15) {
+            unsigned b;
+            do {
+                if (ip >= iend)
+                    return false;
+                b = *ip++;
+                mlen += b;
+            } while (b == 255);
+        }
+        if (mlen > static_cast<std::size_t>(oend - op))
+            return false;
+
+        // Byte-wise copy: distances shorter than the match length
+        // are legal (run replication) and must replicate in order.
+        const std::uint8_t *match = op - dist;
+        for (std::size_t i = 0; i < mlen; ++i)
+            op[i] = match[i];
+        op += mlen;
+    }
+}
+
+} // namespace viyojit::common

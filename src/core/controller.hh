@@ -189,6 +189,19 @@ class DirtyBudgetController : public PersistClient
     /** Current proactive-copy threshold. */
     std::uint64_t currentThreshold() const;
 
+    /**
+     * Record a measured copy-out compression result (the substrate's
+     * flush path calls this with the stored size it actually shipped;
+     * bypassed pages pass stored == raw).  Forwards to the tracker's
+     * compressibility metadata, which ewmaRatio()/floorRatio() — and
+     * through them the budget arithmetic — aggregate.
+     */
+    void notePageCompression(PageNum page, std::uint64_t stored,
+                             std::uint64_t raw)
+    {
+        tracker_.recordCompressibility(page, stored, raw);
+    }
+
     const DirtyPageTracker &tracker() const { return tracker_; }
     const EpochRecencyTracker &recency() const { return recency_; }
     const DirtyPagePressure &pressure() const { return pressure_; }

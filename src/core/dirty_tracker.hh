@@ -12,6 +12,7 @@
 #define VIYOJIT_CORE_DIRTY_TRACKER_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -82,15 +83,72 @@ class DirtyPageTracker
 
     std::uint64_t pageCount() const { return position_.size(); }
 
+    /**
+     * Record a measured copy-out compression result for a page:
+     * `stored` bytes actually shipped for a `raw`-byte page (bypass
+     * callers pass stored == raw).  Feeds the per-page metadata and
+     * the two aggregates the budget arithmetic consumes, ewmaRatio()
+     * and floorRatio().  Allocation-free (fault/flush path safe).
+     */
+    void recordCompressibility(PageNum page, std::uint64_t stored,
+                               std::uint64_t raw);
+
+    /**
+     * Last measured stored-fraction of a page, scaled to [1, 255]
+     * (ceil(stored*255/raw)); 0 = never measured.  Lower compresses
+     * better — victim selection may prefer high values (pages that
+     * barely compress buy the least budget by staying dirty).
+     */
+    std::uint8_t compressibility(PageNum page) const
+    {
+        return compressFrac_[page];
+    }
+
+    /**
+     * Exponentially-weighted average achieved compression ratio
+     * (raw/stored, alpha 1/16) across recorded copy-outs; >= 1.0,
+     * exactly 1.0 before any sample.
+     */
+    double ewmaRatio() const;
+
+    /**
+     * Conservative floor of the achieved ratio: the WORST (smallest)
+     * ratio over the last kRecentWindow recorded copy-outs, clamped
+     * to [1.0, ewmaRatio()].  The emergency path budgets with this,
+     * never the EWMA: one burst of incompressible pages must not be
+     * flattered by a rosy average (DESIGN.md §11).
+     */
+    double floorRatio() const;
+
+    /** Copy-out compression samples recorded (lifetime). */
+    std::uint64_t compressionSamples() const
+    {
+        return compressSamples_;
+    }
+
   private:
     /** position_[p] == npos when clean, else index into dirtyList_. */
     static constexpr std::uint32_t npos = ~0u;
+
+    /** Samples the floor ratio looks back over. */
+    static constexpr std::size_t kRecentWindow = 64;
 
     std::vector<std::uint32_t> position_;
     std::vector<PageNum> dirtyList_;
     std::uint64_t highWatermark_ = 0;
     std::uint64_t newThisEpoch_ = 0;
     std::uint64_t lifetimeEvents_ = 0;
+
+    /** Per-page scaled stored-fraction; 0 = never measured. */
+    std::vector<std::uint8_t> compressFrac_;
+
+    /** EWMA of the stored fraction (stored/raw) over samples. */
+    double ewmaFrac_ = 1.0;
+
+    /** Ring of the most recent scaled fractions (floor window). */
+    std::array<std::uint8_t, kRecentWindow> recentFrac_{};
+    std::size_t recentHead_ = 0;
+    std::uint64_t compressSamples_ = 0;
 };
 
 } // namespace viyojit::core

@@ -6,6 +6,7 @@
 
 #include "common/checksum.hh"
 #include "common/logging.hh"
+#include "common/pagezip.hh"
 
 namespace viyojit::core
 {
@@ -89,13 +90,14 @@ ViyojitManager::SimBackend::submitAttempt(PageNum page)
     ++io.attempts;
     const std::uint64_t generation = io.generation;
     io.submittedHash = mgr_.pageContentHash(page);
+    io.submittedStored = mgr_.measuredStoredSize(page);
     const Tick done = mgr_.ssd_.submitWrite(
         mgr_.key(page), io.submittedHash,
         mgr_.config_.pageSize,
         [this, page, generation](storage::IoStatus status) {
             onAttemptComplete(page, generation, status);
         },
-        mgr_.compressedSizeEstimate(page));
+        io.submittedStored);
     io.nextEvent = done;
     io.completion = done;
 
@@ -149,9 +151,10 @@ ViyojitManager::SimBackend::onAttemptComplete(PageNum page,
             retryOrAbort(page);
             return;
         }
+        const std::uint64_t stored = it->second.submittedStored;
         inFlight_.erase(it);
         abortedPages_.erase(page);
-        mgr_.commitSidecar(page, expected);
+        mgr_.commitSidecar(page, expected, stored);
         VIYOJIT_ASSERT(client_, "persist completion without client");
         client_->onPersistComplete(page);
         return;
@@ -300,6 +303,7 @@ ViyojitManager::SimBackend::submitRunAttempt(PageNum first,
 
     std::vector<std::uint64_t> generations(count);
     std::vector<std::uint64_t> hashes(count);
+    std::vector<std::uint64_t> stored(count);
     for (unsigned i = 0; i < count; ++i) {
         auto it = inFlight_.find(first + i);
         VIYOJIT_ASSERT(it != inFlight_.end(),
@@ -308,6 +312,8 @@ ViyojitManager::SimBackend::submitRunAttempt(PageNum first,
         generations[i] = it->second.generation;
         hashes[i] = mgr_.pageContentHash(first + i);
         it->second.submittedHash = hashes[i];
+        stored[i] = mgr_.measuredStoredSize(first + i);
+        it->second.submittedStored = stored[i];
     }
     ++faultStats_.runSubmits;
     faultStats_.runPagesCoalesced.fetch_add(count,
@@ -321,7 +327,8 @@ ViyojitManager::SimBackend::submitRunAttempt(PageNum first,
                                    storage::IoStatus status) {
             onAttemptComplete(first + i, generations[i], status,
                               /*from_run=*/true);
-        });
+        },
+        stored.data());
 
     // Per-IO deadline applies to the whole group: a page that blows
     // it is invalidated (generation bump) and retried alone, and the
@@ -356,13 +363,14 @@ ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
         bool ok = false;
         bool settled = false;
         const std::uint64_t expected = mgr_.pageContentHash(page);
+        const std::uint64_t stored = mgr_.measuredStoredSize(page);
         const Tick done = mgr_.ssd_.submitWrite(
             mgr_.key(page), expected, mgr_.config_.pageSize,
             [&ok, &settled](storage::IoStatus status) {
                 ok = status == storage::IoStatus::ok;
                 settled = true;
             },
-            mgr_.compressedSizeEstimate(page));
+            stored);
         mgr_.ctx_.events().runUntil(done);
         VIYOJIT_ASSERT(settled, "blocking write did not complete");
         // Read-back verify, same contract as the async path: ok from
@@ -375,7 +383,7 @@ ViyojitManager::SimBackend::persistPageBlocking(PageNum page)
         }
         if (ok) {
             abortedPages_.erase(page);
-            mgr_.commitSidecar(page, expected);
+            mgr_.commitSidecar(page, expected, stored);
             return;
         }
         ++faultStats_.retries;
@@ -473,6 +481,7 @@ ViyojitManager::ViyojitManager(sim::SimContext &ctx, storage::Ssd &ssd,
     data_.assign(capacity_pages * config_.pageSize, 0);
     versions_.assign(capacity_pages, 0);
     sidecar_.assign(capacity_pages, SidecarEntry{});
+    zipScratch_.resize(common::pagezipBound(config_.pageSize));
 
     if (config_.enforceBudget) {
         controller_ =
@@ -699,8 +708,9 @@ ViyojitManager::powerFailureFlush()
                     p = pages[submitted++];
                 }
                 const std::uint64_t expected = pageContentHash(p);
+                const std::uint64_t stored = measuredStoredSize(p);
                 ssd_.submitWrite(key(p), expected, config_.pageSize,
-                                 [this, p, expected,
+                                 [this, p, expected, stored,
                                   &redo](storage::IoStatus status) {
                                      // Same read-back verify as the
                                      // budgeted path: an ok with a
@@ -710,12 +720,13 @@ ViyojitManager::powerFailureFlush()
                                          ssd_.durableHash(key(p)) ==
                                              expected) {
                                          baselineDirty_->markClean(p);
-                                         commitSidecar(p, expected);
+                                         commitSidecar(p, expected,
+                                                       stored);
                                      } else {
                                          redo.push_back(p);
                                      }
                                  },
-                                 compressedSizeEstimate(p));
+                                 stored);
             }
             if (ssd_.outstanding() > 0) {
                 if (!ctx_.events().runOne())
@@ -744,10 +755,12 @@ ViyojitManager::verifyDurability() const
 }
 
 void
-ViyojitManager::commitSidecar(PageNum page, std::uint64_t crc)
+ViyojitManager::commitSidecar(PageNum page, std::uint64_t crc,
+                              std::uint64_t stored_len)
 {
     VIYOJIT_ASSERT(page < sidecar_.size(), "page out of range");
-    sidecar_[page] = SidecarEntry{crc, ++nextCommitSeq_, true};
+    sidecar_[page] =
+        SidecarEntry{crc, ++nextCommitSeq_, stored_len, true};
 }
 
 const ViyojitManager::SidecarEntry &
@@ -823,15 +836,16 @@ ViyojitManager::repairPageBlocking(PageNum page)
         }
         bool ok = false;
         const std::uint64_t expected = pageContentHash(page);
+        const std::uint64_t stored = measuredStoredSize(page);
         const Tick done = ssd_.submitWrite(
             key(page), expected, config_.pageSize,
             [&ok](storage::IoStatus status) {
                 ok = status == storage::IoStatus::ok;
             },
-            compressedSizeEstimate(page));
+            stored);
         ctx_.events().runUntil(done);
         if (ok && ssd_.durableHash(key(page)) == expected) {
-            commitSidecar(page, expected);
+            commitSidecar(page, expected, stored);
             return true;
         }
     }
@@ -940,22 +954,23 @@ ViyojitManager::pageContentHash(PageNum page) const
 }
 
 std::uint64_t
-ViyojitManager::compressedSizeEstimate(PageNum page) const
+ViyojitManager::measuredStoredSize(PageNum page)
 {
     VIYOJIT_ASSERT(page < capacityPages_, "page out of range");
-    const char *bytes = data_.data() + page * config_.pageSize;
-    // Run-length proxy: bytes equal to their predecessor compress
-    // away; everything else is copied.  A fixed header covers the
-    // run table.  This tracks real fast compressors (lz4-style)
-    // closely enough for a traffic model.
-    std::uint64_t repeats = 0;
-    for (std::uint64_t i = 1; i < config_.pageSize; ++i)
-        repeats += bytes[i] == bytes[i - 1];
-    const std::uint64_t estimate =
-        64 + (config_.pageSize - 1 - repeats) + repeats / 32;
-    return std::min<std::uint64_t>(std::max<std::uint64_t>(estimate,
-                                                           64),
-                                   config_.pageSize);
+    if (!ssd_.config().enableCompression)
+        return 0;
+    const std::uint64_t ps = config_.pageSize;
+    const char *bytes = data_.data() + page * ps;
+    const std::uint64_t stored = common::pagezipCompress(
+        bytes, ps, zipScratch_.data(), zipScratch_.size());
+    // Record what the flush path actually ships (bypass = raw) so
+    // the budget EWMA never sees a rosier ratio than the device.
+    const std::uint64_t shipped = stored != 0 ? stored : ps;
+    if (config_.enforceBudget)
+        controller_->notePageCompression(page, shipped, ps);
+    else
+        baselineDirty_->recordCompressibility(page, shipped, ps);
+    return stored;
 }
 
 } // namespace viyojit::core

@@ -269,6 +269,14 @@ class ViyojitManager
         /** Global commit sequence number (monotonic). */
         std::uint64_t commitSeq = 0;
 
+        /**
+         * Stored (compressed) size of the committed image in bytes;
+         * 0 means the page landed raw.  The CRC above stays over the
+         * RAW page either way — recovery decompresses first, then
+         * verifies (DESIGN.md §11).
+         */
+        std::uint64_t storedLength = 0;
+
         /** True once the page has had at least one verified commit. */
         bool valid = false;
     };
@@ -316,10 +324,16 @@ class ViyojitManager
     std::uint64_t pageContentHash(PageNum page) const;
 
     /**
-     * Run-length-based compressed-size estimate of a page, used by
-     * the SSD's transparent-compression model (section 7 extension).
+     * Measured stored size of a page under the pagezip codec
+     * (common/pagezip.hh), used by the SSD's transparent-compression
+     * model (section 7 extension).  Returns 0 — store raw — when
+     * compression is disabled on the SSD or the page trips the
+     * incompressible bypass; otherwise the exact compressed byte
+     * count (< pageSize).  When compression is enabled the measured
+     * ratio is also recorded as per-page compressibility metadata in
+     * the dirty tracker, which feeds the budget-scaling EWMA.
      */
-    std::uint64_t compressedSizeEstimate(PageNum page) const;
+    std::uint64_t measuredStoredSize(PageNum page);
 
   private:
     /**
@@ -410,6 +424,13 @@ class ViyojitManager
              * verify failure.
              */
             std::uint64_t submittedHash = 0;
+
+            /**
+             * Stored (compressed) size the current attempt carries;
+             * 0 = raw.  Committed to the sidecar alongside the hash
+             * so recovery knows how to read the durable image.
+             */
+            std::uint64_t submittedStored = 0;
         };
 
         /** Launch the next submit attempt for `page`. */
@@ -460,10 +481,12 @@ class ViyojitManager
     void scheduleNextEpoch();
     storage::StorageKey key(PageNum page) const;
 
-    /** Record a verified flush commit for `page` (checksum `crc`).
-     *  Ordered after durability: called only from completion paths
-     *  that have already read the durable image back. */
-    void commitSidecar(PageNum page, std::uint64_t crc);
+    /** Record a verified flush commit for `page` (checksum `crc`,
+     *  stored length `stored_len`; 0 = raw).  Ordered after
+     *  durability: called only from completion paths that have
+     *  already read the durable image back. */
+    void commitSidecar(PageNum page, std::uint64_t crc,
+                       std::uint64_t stored_len);
 
     /** True when `page` is neither dirty nor mid-copy (scrub/audit
      *  may trust its DRAM copy to match the durable image). */
@@ -495,6 +518,10 @@ class ViyojitManager
     /** Per-page flush-commit metadata (the sim's sidecar). */
     std::vector<SidecarEntry> sidecar_;
     std::uint64_t nextCommitSeq_ = 0;
+
+    /** Codec output scratch (pagezipBound(pageSize); reused, never
+     *  grown — the copy-out path stays allocation-free). */
+    std::vector<std::uint8_t> zipScratch_;
 
     /** Resume point of the incremental background scrub sweep. */
     PageNum scrubCursor_ = 0;

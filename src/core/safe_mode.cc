@@ -57,6 +57,17 @@ ShardedBudgetDomain::applyBudget(std::uint64_t pages)
                        /*floor_per_shard=*/2);
 }
 
+double
+ShardedBudgetDomain::compressionFloorRatio() const
+{
+    double floor = shards_.front()
+                       ->controller().tracker().floorRatio();
+    for (const ViyojitManager *shard : shards_)
+        floor = std::min(floor,
+                         shard->controller().tracker().floorRatio());
+    return floor;
+}
+
 std::uint64_t
 ShardedBudgetDomain::summedDirtyPages() const
 {
@@ -152,7 +163,14 @@ SafeModeGovernor::deriveBudgetPages() const
     if (const auto *fm = domain_.ssd().faultModel())
         bandwidth /= fm->expectedWriteAttempts();
 
-    const double bytes = seconds * bandwidth;
+    // Copy-out compression: the channel rate above is stored bytes;
+    // each stored byte retires floor-ratio raw bytes.  The FLOOR of
+    // the recent window, never the EWMA — the emergency flush must
+    // survive its worst recent burst, not its average page.
+    const double raw_rate =
+        bandwidth * std::max(1.0, domain_.compressionFloorRatio());
+
+    const double bytes = seconds * raw_rate;
     return static_cast<std::uint64_t>(
         bytes / static_cast<double>(domain_.pageSize()));
 }
@@ -170,7 +188,17 @@ SafeModeGovernor::reevaluate()
 
     derivedPages_ = deriveBudgetPages();
 
-    std::uint64_t target = std::min(derivedPages_, nominalPages_);
+    // The nominal cap scales with the compression floor: the battery
+    // was sized for nominalPages_ of RAW flush, and a sustained floor
+    // ratio r means the same joules cover r times the raw pages — so
+    // compression may raise the admitted dirty set above the
+    // configured nominal, which is the whole point of compressing the
+    // copy-out path.  The cap collapses back to nominalPages_ as soon
+    // as incompressible pages drag the floor to 1.
+    const auto cap = static_cast<std::uint64_t>(
+        static_cast<double>(nominalPages_) *
+        std::max(1.0, domain_.compressionFloorRatio()));
+    std::uint64_t target = std::min(derivedPages_, cap);
     SafeMode mode = SafeMode::normal;
     if (derivedPages_ <= config_.writeThroughFloorPages) {
         // Too degraded to buffer: pin at the floor so every further

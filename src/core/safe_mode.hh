@@ -14,7 +14,11 @@
  *                    - overhead_reserve            (latency tails,
  *                                                   one retry chain)
  *   flush_rate     = effective_ssd_bw * safety / expected_attempts
- *   budget_pages   = usable_seconds * flush_rate / page_size
+ *   raw_rate       = flush_rate * compression_floor (copy-out codec:
+ *                                                   each stored byte
+ *                                                   retires floor raw
+ *                                                   bytes)
+ *   budget_pages   = usable_seconds * raw_rate / page_size
  *
  * and applies it through a BudgetDomain (which synchronously evicts
  * down to the new budget).  Below a floor the governor gives up on
@@ -76,6 +80,16 @@ class BudgetDomain
      * count is within `pages`.
      */
     virtual void applyBudget(std::uint64_t pages) = 0;
+
+    /**
+     * Conservative floor of the copy-out compression ratio achieved
+     * over the recent flush window (raw/stored, >= 1; see
+     * DirtyPageTracker::floorRatio).  The governor budgets the
+     * emergency flush with THIS — never the EWMA — so one burst of
+     * incompressible pages cannot oversubscribe the battery.
+     * Domains without compression measurements return 1.
+     */
+    virtual double compressionFloorRatio() const { return 1.0; }
 };
 
 /** BudgetDomain over a single manager (the unsharded case). */
@@ -103,6 +117,11 @@ class ManagerBudgetDomain : public BudgetDomain
     void applyBudget(std::uint64_t pages) override
     {
         manager_.setDirtyBudget(pages);
+    }
+
+    double compressionFloorRatio() const override
+    {
+        return manager_.controller().tracker().floorRatio();
     }
 
   private:
@@ -140,6 +159,10 @@ class ShardedBudgetDomain : public BudgetDomain
      */
     void applyBudget(std::uint64_t pages)
         EXCLUDES(pool_.retuneLock()) override;
+
+    /** Most conservative floor across the shard set: the battery
+     *  backs the sum, so the worst shard's burst bounds them all. */
+    double compressionFloorRatio() const override;
 
     /** Summed dirty pages across the shard set. */
     std::uint64_t summedDirtyPages() const;

@@ -65,6 +65,28 @@ sizeBattery(const TortureConfig &torture, const storage::SsdConfig &ssd,
 }
 
 /**
+ * Fill `len` bytes of workload payload.  Compressed-flush mode
+ * writes record-style data — short random keys padded with a
+ * constant filler, the shape the paper's copy-out compression is
+ * meant to exploit (~4x) — so the codec path actually engages;
+ * otherwise pure random bytes, which the codec bypasses.
+ */
+void
+fillPayload(Rng &rng, std::vector<char> &payload, std::uint64_t len,
+            bool compressible)
+{
+    if (!compressible) {
+        for (std::uint64_t i = 0; i < len; ++i)
+            payload[i] = static_cast<char>(rng.next());
+        return;
+    }
+    for (std::uint64_t i = 0; i < len; ++i)
+        payload[i] = i % 100 < 20
+                         ? static_cast<char>(rng.next())
+                         : static_cast<char>(0x20);
+}
+
+/**
  * Multi-shard torture: N managers share the SSD, the battery, and
  * one BudgetPool; the governor retunes the pool total through a
  * ShardedBudgetDomain.  On top of the classic per-cut checks, every
@@ -93,6 +115,7 @@ runShardedTorture(const TortureConfig &torture)
     ssd_config.writeBandwidth = 50.0e6;
     ssd_config.readBandwidth = 100.0e6;
     ssd_config.perIoLatency = 80_us;
+    ssd_config.enableCompression = torture.compressFlush;
     storage::Ssd ssd(ctx, ssd_config);
 
     storage::FaultModelConfig fault_config;
@@ -199,8 +222,8 @@ runShardedTorture(const TortureConfig &torture)
                     1 + rng.nextBounded(config.pageSize);
                 const Addr addr =
                     bases[si] + rng.nextBounded(shard_bytes - len);
-                for (std::uint64_t i = 0; i < len; ++i)
-                    payload[i] = static_cast<char>(rng.next());
+                fillPayload(rng, payload, len,
+                            torture.compressFlush);
                 shard.memWrite(addr, payload.data(), len);
             } else {
                 const std::uint64_t len =
@@ -260,9 +283,23 @@ runShardedTorture(const TortureConfig &torture)
         }
 
         // Pre-cut energy headroom against the summed dirty set.
+        // With compressed copy-out, credit the WORST per-shard
+        // compression floor — the bound the governor budgets with —
+        // since the serialized flush ships stored bytes, not raw.
+        double floor_ratio = 1.0;
+        if (torture.compressFlush) {
+            double worst = std::numeric_limits<double>::max();
+            for (const auto &manager : managers)
+                worst = std::min(
+                    worst,
+                    manager->controller().tracker().floorRatio());
+            if (worst > 1.0 &&
+                worst < std::numeric_limits<double>::max())
+                floor_ratio = worst;
+        }
         const double flush_seconds =
             static_cast<double>(summed_dirty * config.pageSize) /
-            ssd.effectiveWriteBandwidth();
+            floor_ratio / ssd.effectiveWriteBandwidth();
         const double headroom = battery.effectiveJoules() -
                                 flush_seconds * power.flushWatts();
         result.minHeadroomJoules =
@@ -364,6 +401,8 @@ runShardedTorture(const TortureConfig &torture)
     result.batteryRecoveries =
         battery_injector.stats().recoveryEvents;
     result.budgetPoolPages = pool.totalPages();
+    result.ssdBytesWritten = ssd.bytesWritten();
+    result.ssdLogicalBytesWritten = ssd.logicalBytesWritten();
     return result;
 }
 
@@ -387,6 +426,7 @@ runTorture(const TortureConfig &torture)
     ssd_config.writeBandwidth = 50.0e6;
     ssd_config.readBandwidth = 100.0e6;
     ssd_config.perIoLatency = 80_us;
+    ssd_config.enableCompression = torture.compressFlush;
     storage::Ssd ssd(ctx, ssd_config);
 
     storage::FaultModelConfig fault_config;
@@ -499,8 +539,8 @@ runTorture(const TortureConfig &torture)
                     1 + rng.nextBounded(config.pageSize);
                 const Addr addr =
                     base + rng.nextBounded(region_bytes - len);
-                for (std::uint64_t i = 0; i < len; ++i)
-                    payload[i] = static_cast<char>(rng.next());
+                fillPayload(rng, payload, len,
+                            torture.compressFlush);
                 manager.memWrite(addr, payload.data(), len);
             } else {
                 const std::uint64_t len =
@@ -655,6 +695,8 @@ runTorture(const TortureConfig &torture)
         battery_injector.stats().cellFailureEvents;
     result.batteryRecoveries =
         battery_injector.stats().recoveryEvents;
+    result.ssdBytesWritten = ssd.bytesWritten();
+    result.ssdLogicalBytesWritten = ssd.logicalBytesWritten();
     return result;
 }
 

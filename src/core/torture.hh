@@ -84,6 +84,18 @@ struct TortureConfig
     /** Run-length cap when coalesceRuns is set. */
     unsigned maxRunPages = 16;
 
+    /**
+     * Torture the compressed copy-out path
+     * (storage::SsdConfig::enableCompression): the workload writes
+     * record-style compressible payloads, every flush ships the
+     * codec's measured stored size (cuts land mid-compressed-
+     * transfer), and the measured ratios feed the governor's
+     * compression-scaled budget.  The audit still verifies RAW
+     * content, so a torn or wrong compressed transfer surfaces as
+     * an (unattributed) mismatch exactly like a raw one.
+     */
+    bool compressFlush = false;
+
     /** Extent shift for locality-aware victim selection (0 = off). */
     unsigned extentShift = 0;
 
@@ -230,6 +242,13 @@ struct TortureResult
     std::uint64_t scrubMismatches = 0;
     std::uint64_t scrubRepairs = 0;
     std::uint64_t scrubRepairFailures = 0;
+
+    // Compressed-flush evidence (meaningful when
+    // config.compressFlush): the wire bytes the SSD actually
+    // transferred vs the raw bytes those transfers retired.  A run
+    // that exercised compression shows wire < raw.
+    std::uint64_t ssdBytesWritten = 0;
+    std::uint64_t ssdLogicalBytesWritten = 0;
 };
 
 /** Run the torture loop; deterministic in `config` (same seed, same

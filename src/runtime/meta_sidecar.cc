@@ -152,7 +152,7 @@ MetaSidecar::open(const std::string &path, std::uint64_t page_count,
     for (std::uint64_t p = 0; p < page_count; ++p) {
         const MetaEntry &e = entries[p];
         if (e.flags == kInvalid && e.crc == 0 && e.epoch == 0 &&
-            e.runId == 0 && e.entryCrc == 0)
+            e.runId == 0 && e.storedLen == 0 && e.entryCrc == 0)
             continue; // never written — legitimately invalid
         if (e.entryCrc != entryCrcOf(e) ||
             (e.flags != kPending && e.flags != kCommitted)) {
@@ -163,6 +163,7 @@ MetaSidecar::open(const std::string &path, std::uint64_t page_count,
         s.crc.store(e.crc, std::memory_order_relaxed);
         s.epoch.store(e.epoch, std::memory_order_relaxed);
         s.runId.store(e.runId, std::memory_order_relaxed);
+        s.storedLen.store(e.storedLen, std::memory_order_relaxed);
         s.flags.store(e.flags, std::memory_order_relaxed);
     }
     return sidecar;
@@ -171,13 +172,15 @@ MetaSidecar::open(const std::string &path, std::uint64_t page_count,
 int
 MetaSidecar::writeEntry(PageNum page, std::uint32_t crc,
                         std::uint32_t flags, std::uint64_t epoch,
-                        std::uint64_t run_id)
+                        std::uint64_t run_id,
+                        std::uint32_t stored_len)
 {
     MetaEntry e;
     e.crc = crc;
     e.flags = flags;
     e.epoch = epoch;
     e.runId = run_id;
+    e.storedLen = stored_len;
     e.entryCrc = entryCrcOf(e);
     return pwriteFullyWithRetry(
         fd_, &e, sizeof(e), kEntriesOffset + page * sizeof(MetaEntry));
@@ -185,14 +188,17 @@ MetaSidecar::writeEntry(PageNum page, std::uint32_t crc,
 
 void
 MetaSidecar::recordPage(PageNum page, std::uint32_t crc,
-                        std::uint64_t epoch, std::uint64_t run_id)
+                        std::uint64_t epoch, std::uint64_t run_id,
+                        std::uint32_t stored_len)
 {
     Shadow &s = shadow_[page];
     s.crc.store(crc, std::memory_order_relaxed);
     s.epoch.store(epoch, std::memory_order_relaxed);
     s.runId.store(run_id, std::memory_order_relaxed);
+    s.storedLen.store(stored_len, std::memory_order_relaxed);
     s.flags.store(kPending, std::memory_order_relaxed);
-    if (writeEntry(page, crc, kPending, epoch, run_id) != 0)
+    if (writeEntry(page, crc, kPending, epoch, run_id, stored_len) !=
+        0)
         entryWriteErrors_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -262,8 +268,10 @@ MetaSidecar::commitPending(int data_fd)
                 s.epoch.load(std::memory_order_relaxed);
             const std::uint64_t run_id =
                 s.runId.load(std::memory_order_relaxed);
-            if (const int e =
-                    writeEntry(page, crc, kCommitted, epoch, run_id);
+            const std::uint32_t stored_len =
+                s.storedLen.load(std::memory_order_relaxed);
+            if (const int e = writeEntry(page, crc, kCommitted,
+                                         epoch, run_id, stored_len);
                 e != 0) {
                 if (error == 0)
                     error = e;
@@ -313,6 +321,7 @@ MetaSidecar::entry(PageNum page) const
     e.crc = s.crc.load(std::memory_order_relaxed);
     e.epoch = s.epoch.load(std::memory_order_relaxed);
     e.runId = s.runId.load(std::memory_order_relaxed);
+    e.storedLen = s.storedLen.load(std::memory_order_relaxed);
     return e;
 }
 

@@ -56,10 +56,15 @@
 namespace viyojit::runtime
 {
 
-/** One page's commit record as stored on disk (32 bytes). */
+/** One page's commit record as stored on disk (32 bytes, v2). */
 struct MetaEntry
 {
-    /** CRC32C of the page content the flush carried. */
+    /**
+     * CRC32C of the RAW page content the flush carried — never the
+     * compressed stream.  Recovery decompresses first (when
+     * storedLen != 0), then verifies, so the codec and the checksum
+     * stay independent failure domains (DESIGN.md §11).
+     */
     std::uint32_t crc = 0;
 
     /** MetaSidecar::kInvalid / kPending / kCommitted. */
@@ -71,10 +76,15 @@ struct MetaEntry
     /** Id of the flush submission (shared by a coalesced run). */
     std::uint64_t runId = 0;
 
-    /** CRC32C of the 24 bytes above; a torn entry write fails it. */
-    std::uint32_t entryCrc = 0;
+    /**
+     * Stored length of the durable image in the page's slot: 0 = the
+     * full raw page; otherwise the pagezip stream's byte count (the
+     * slot's remainder is stale garbage, ignored by recovery).
+     */
+    std::uint32_t storedLen = 0;
 
-    std::uint32_t reserved = 0;
+    /** CRC32C of the 28 bytes above; a torn entry write fails it. */
+    std::uint32_t entryCrc = 0;
 };
 
 static_assert(sizeof(MetaEntry) == 32, "on-disk entry layout");
@@ -94,7 +104,14 @@ class MetaSidecar
 {
   public:
     static constexpr std::uint64_t kMagic = 0x3154454D4F594956ULL;
-    static constexpr std::uint32_t kVersion = 1;
+
+    /**
+     * v2 added MetaEntry::storedLen (compressed flush images).  v1
+     * files fail the header check and recover on the legacy
+     * unverified path, exactly like a missing sidecar — acceptable
+     * because the sidecar is an integrity cache, not data.
+     */
+    static constexpr std::uint32_t kVersion = 2;
 
     /** Entry states (MetaEntry::flags). */
     static constexpr std::uint32_t kInvalid = 0;
@@ -132,14 +149,17 @@ class MetaSidecar
     // ---- fault-path interface (allocation/lock-free) ---- //
 
     /**
-     * Step 1: rewrite the page's entry as PENDING with the CRC the
-     * flush is about to make durable.  Call BEFORE the data write.
-     * IO errors are counted (entryWriteErrors()), not raised — the
-     * fault path cannot log, and a missing pending record only
-     * degrades a future mismatch's classification.
+     * Step 1: rewrite the page's entry as PENDING with the CRC (of
+     * the RAW page) and stored length the flush is about to make
+     * durable (`stored_len` 0 = raw).  Call BEFORE the data write —
+     * a crash mid-write then reads as torn, never silent.  IO errors
+     * are counted (entryWriteErrors()), not raised — the fault path
+     * cannot log, and a missing pending record only degrades a
+     * future mismatch's classification.
      */
     void recordPage(PageNum page, std::uint32_t crc,
-                    std::uint64_t epoch, std::uint64_t run_id);
+                    std::uint64_t epoch, std::uint64_t run_id,
+                    std::uint32_t stored_len = 0);
 
     /** Step 3: the page's data pwrite returned; it may now be
      *  promoted by the next barrier. */
@@ -190,7 +210,7 @@ class MetaSidecar
     /** Serialize + pwrite one entry at its fixed slot. */
     int writeEntry(PageNum page, std::uint32_t crc,
                    std::uint32_t flags, std::uint64_t epoch,
-                   std::uint64_t run_id);
+                   std::uint64_t run_id, std::uint32_t stored_len);
 
     int fd_ = -1;
     std::uint64_t pageCount_ = 0;
@@ -204,6 +224,7 @@ class MetaSidecar
         std::atomic<std::uint32_t> flags{0};
         std::atomic<std::uint64_t> epoch{0};
         std::atomic<std::uint64_t> runId{0};
+        std::atomic<std::uint32_t> storedLen{0};
     };
     std::unique_ptr<Shadow[]> shadow_;
 

@@ -17,6 +17,7 @@
 
 #include "common/checksum.hh"
 #include "common/logging.hh"
+#include "common/pagezip.hh"
 #include "runtime/copier_pool.hh"
 #include "runtime/fault_dispatch.hh"
 #include "runtime/meta_sidecar.hh"
@@ -363,14 +364,29 @@ class NvRegion::ShardBackend : public core::PagingBackend,
         persistGlobal(shard_.firstPage + page);
     }
 
-    /** Copier phase 1: the device write, no locks held. */
+    /**
+     * Copier phase 1: the device write, no locks held.  This is the
+     * ONLY caller of the compressed persist variants: copier threads
+     * run outside signal context, so the codec stays off the SIGSEGV
+     * handler's call graph (tools/sigsafe_lint.py hard-fails if any
+     * pagezip symbol becomes reachable from it).
+     */
     void
     copierPersist(PageNum first, unsigned count) override
     {
-        if (count <= 1)
-            persistGlobal(shard_.firstPage + first);
-        else
-            persistRunGlobal(shard_.firstPage + first, count);
+        const bool compress = region_.config_.compressFlush;
+        if (count <= 1) {
+            if (compress)
+                persistGlobalCompressed(shard_.firstPage + first);
+            else
+                persistGlobal(shard_.firstPage + first);
+        } else {
+            if (compress)
+                persistRunGlobalCompressed(shard_.firstPage + first,
+                                           count);
+            else
+                persistRunGlobal(shard_.firstPage + first, count);
+        }
     }
 
     /**
@@ -517,6 +533,133 @@ class NvRegion::ShardBackend : public core::PagingBackend,
             std::memory_order_relaxed);
     }
 
+    /**
+     * Per-copier-thread codec scratch, sized to pagezipBound(page
+     * size) on first use.  thread_local because copier workers from
+     * the shared pool can run persists for the same shard
+     * concurrently; never touched in signal context.
+     */
+    std::uint8_t *
+    compressScratch()
+    {
+        static thread_local std::vector<std::uint8_t> scratch;
+        const std::size_t bound =
+            common::pagezipBound(region_.pageSize_);
+        if (scratch.size() < bound)
+            scratch.resize(bound);
+        return scratch.data();
+    }
+
+    /**
+     * Compressed single-page persist (copier threads only).  Same
+     * commit protocol as persistGlobal, with the stored length in
+     * the PENDING record BEFORE the data write: a crash mid-write
+     * reads back as a torn compressed flush, never as silent
+     * corruption.  The codec's bypass (pagezipCompress == 0) ships
+     * the raw page instead, so incompressible data costs only the
+     * size probe.
+     */
+    void
+    persistGlobalCompressed(PageNum global)
+    {
+        const std::uint64_t ps = region_.pageSize_;
+        const char *src = region_.mem_ + global * ps;
+        // compressFlush requires the sidecar (checked at create).
+        MetaSidecar *const meta = region_.meta_.get();
+        std::uint8_t *const scratch = compressScratch();
+        VIYOJIT_IGNORE_READS_BEGIN();
+        const std::uint64_t stored = common::pagezipCompress(
+            src, ps, scratch, common::pagezipBound(ps));
+        meta->recordPage(
+            global, common::crc32c(src, ps),
+            region_.flushEpoch_.load(std::memory_order_relaxed),
+            region_.nextRunId_.fetch_add(1,
+                                         std::memory_order_relaxed),
+            static_cast<std::uint32_t>(stored));
+        const int error =
+            stored != 0 ? pwriteFullyWithRetry(region_.fd_, scratch,
+                                               stored, global * ps)
+                        : pwriteFullyWithRetry(region_.fd_, src, ps,
+                                               global * ps);
+        VIYOJIT_IGNORE_READS_END();
+        if (error != 0)
+            fatal("compressed page persist to backing file failed "
+                  "after bounded retries: ", std::strerror(error));
+        meta->markWritten(global);
+        region_.noteCompressedShip(stored, ps);
+        region_.bytesPersisted_.fetch_add(ps,
+                                          std::memory_order_relaxed);
+    }
+
+    /**
+     * Compressed run persist (copier threads only).  Bypassed (raw)
+     * pages still coalesce into vectored stretches; a compressed
+     * page breaks the stretch and lands its stream at the page's own
+     * slot offset — the slot remainder stays stale, which is fine
+     * because recovery reads only storedLen bytes.  markWritten for
+     * raw pages happens after the pwritev that covered them.
+     */
+    void
+    persistRunGlobalCompressed(PageNum global_first, unsigned count)
+    {
+        const std::uint64_t ps = region_.pageSize_;
+        MetaSidecar *const meta = region_.meta_.get();
+        const std::uint64_t run_id = region_.nextRunId_.fetch_add(
+            1, std::memory_order_relaxed);
+        const std::uint64_t epoch =
+            region_.flushEpoch_.load(std::memory_order_relaxed);
+        std::uint8_t *const scratch = compressScratch();
+        constexpr unsigned kChunk = 64;
+        struct iovec iov[kChunk];
+        PageNum raw_first = 0;
+        unsigned raw_n = 0;
+        const auto flush_raw = [&]() {
+            if (raw_n == 0)
+                return;
+            const int error = pwritevFullyWithRetry(
+                region_.fd_, iov, raw_n, raw_first * ps);
+            if (error != 0)
+                fatal("run persist to backing file failed after "
+                      "bounded retries: ", std::strerror(error));
+            for (unsigned i = 0; i < raw_n; ++i)
+                meta->markWritten(raw_first + i);
+            raw_n = 0;
+        };
+        VIYOJIT_IGNORE_READS_BEGIN();
+        for (unsigned i = 0; i < count; ++i) {
+            const PageNum g = global_first + i;
+            const char *src = region_.mem_ + g * ps;
+            const std::uint64_t stored = common::pagezipCompress(
+                src, ps, scratch, common::pagezipBound(ps));
+            meta->recordPage(g, common::crc32c(src, ps), epoch,
+                             run_id,
+                             static_cast<std::uint32_t>(stored));
+            region_.noteCompressedShip(stored, ps);
+            if (stored != 0) {
+                flush_raw();
+                if (const int error = pwriteFullyWithRetry(
+                        region_.fd_, scratch, stored, g * ps);
+                    error != 0)
+                    fatal("compressed run persist to backing file "
+                          "failed after bounded retries: ",
+                          std::strerror(error));
+                meta->markWritten(g);
+                continue;
+            }
+            if (raw_n == 0)
+                raw_first = g;
+            iov[raw_n].iov_base = region_.mem_ + g * ps;
+            iov[raw_n].iov_len = ps;
+            if (++raw_n == kChunk)
+                flush_raw();
+        }
+        flush_raw();
+        VIYOJIT_IGNORE_READS_END();
+        region_.bytesPersisted_.fetch_add(
+            static_cast<std::uint64_t>(count) * ps,
+            std::memory_order_relaxed);
+    }
+
     void
     setWritableBit(PageNum page, bool v) REQUIRES(shard_.lock)
     {
@@ -584,6 +727,13 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     pageSize_ = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
     if (config.dirtyBudgetPages == 0)
         fatal("runtime requires a dirty budget of at least one page");
+    if (config.compressFlush && !config.checksumCommits)
+        fatal("compressFlush requires checksumCommits: the stored "
+              "length lives in the sidecar commit record");
+    if (config.compressFlush && config.copierThreads == 0)
+        fatal("compressFlush requires copier threads: inline "
+              "persists run on the SIGSEGV admission path, which "
+              "must never reach the codec");
 
     const int flags = recover_contents ? O_RDWR : (O_RDWR | O_CREAT |
                                                    O_TRUNC);
@@ -883,6 +1033,7 @@ NvRegion::verifyImage()
         recoveryReport_.quarantined.begin(),
         recoveryReport_.quarantined.end());
     const std::uint64_t sealed = meta_->lastSealedEpoch();
+    std::vector<char> raw(pageSize_);
     for (PageNum p = 0; p < pageCount_; ++p) {
         if (unreadable.contains(p))
             continue; // already settled as bad by loadImage()
@@ -891,8 +1042,28 @@ NvRegion::verifyImage()
             ++recoveryReport_.unverifiedPages;
             continue;
         }
-        if (common::crc32c(mem_ + p * pageSize_, pageSize_) ==
-            e.crc) {
+        bool match;
+        if (e.storedLen != 0) {
+            // The slot holds a pagezip stream (loadImage read it
+            // into mem_ verbatim): decode into scratch, then verify
+            // the RAW-page CRC.  A codec failure is just another
+            // mismatch — the classification below decides torn vs
+            // stale vs silent, same as an uncompressed page.
+            match = e.storedLen <= pageSize_ &&
+                    common::pagezipDecompress(mem_ + p * pageSize_,
+                                              e.storedLen, raw.data(),
+                                              pageSize_) &&
+                    common::crc32c(raw.data(), pageSize_) == e.crc;
+            if (match) {
+                std::memcpy(mem_ + p * pageSize_, raw.data(),
+                            pageSize_);
+                ++recoveryReport_.compressedPages;
+            }
+        } else {
+            match = common::crc32c(mem_ + p * pageSize_,
+                                   pageSize_) == e.crc;
+        }
+        if (match) {
             ++recoveryReport_.verifiedPages;
             continue;
         }
@@ -923,6 +1094,7 @@ NvRegion::scrubTick(std::uint64_t max_pages)
     if (!meta_ || max_pages == 0 || pageCount_ == 0)
         return;
     std::vector<char> buf(pageSize_);
+    std::vector<char> raw(pageSize_);
     std::uint64_t scanned = 0;
     for (std::uint64_t step = 0;
          step < pageCount_ && scanned < max_pages; ++step) {
@@ -951,9 +1123,21 @@ NvRegion::scrubTick(std::uint64_t max_pages)
             continue;
         ++scanned;
         scrubScanned_.fetch_add(1, std::memory_order_relaxed);
-        if (preadFullyWithRetry(fd_, buf.data(), pageSize_,
-                                page * pageSize_) == 0 &&
-            common::crc32c(buf.data(), pageSize_) == e.crc)
+        bool ok = false;
+        if (e.storedLen == 0) {
+            ok = preadFullyWithRetry(fd_, buf.data(), pageSize_,
+                                     page * pageSize_) == 0 &&
+                 common::crc32c(buf.data(), pageSize_) == e.crc;
+        } else if (e.storedLen <= pageSize_) {
+            // Compressed slot: read only the stream, decode, then
+            // check the RAW-page CRC (the slot remainder is stale).
+            ok = preadFullyWithRetry(fd_, buf.data(), e.storedLen,
+                                     page * pageSize_) == 0 &&
+                 common::pagezipDecompress(buf.data(), e.storedLen,
+                                           raw.data(), pageSize_) &&
+                 common::crc32c(raw.data(), pageSize_) == e.crc;
+        }
+        if (ok)
             continue;
         scrubMismatches_.fetch_add(1, std::memory_order_relaxed);
         warn("scrub: durable copy of page ", page,
@@ -1094,6 +1278,12 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
     out.scrubRepaired =
         scrubRepaired_.load(std::memory_order_relaxed);
     out.metaEntryWriteErrors = meta_ ? meta_->entryWriteErrors() : 0;
+    out.compressedPersists =
+        compressedPersists_.load(std::memory_order_relaxed);
+    out.compressBypasses =
+        compressBypasses_.load(std::memory_order_relaxed);
+    out.storedBytesPersisted =
+        storedBytesPersisted_.load(std::memory_order_relaxed);
     if (pool_) {
         out.poolAvailablePages = pool_->available();
         out.dirtyBudgetPages = pool_->totalPages();

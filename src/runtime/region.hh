@@ -233,6 +233,26 @@ struct RuntimeConfig
      * scrubTick() directly.
      */
     std::uint64_t scrubPagesPerEpoch = 0;
+
+    /**
+     * Compress page images on the copy-out path (common/pagezip):
+     * copier threads compress each victim page, ship the smaller
+     * stream to the page's slot in the backing file, and record the
+     * stored length in the sidecar commit record so recovery
+     * decompresses before verifying the RAW-page CRC (DESIGN.md
+     * §11).  Incompressible pages bypass to raw automatically.
+     *
+     * Requires checksumCommits (the stored length lives in the
+     * commit record — without it a compressed slot is
+     * indistinguishable from raw data at recovery) and
+     * copierThreads > 0 (inline persists run on the SIGSEGV
+     * admission path, which must never reach the codec —
+     * tools/sigsafe_lint.py hard-fails if it does); create() rejects
+     * other combinations.  Fault-path blocking persists (synchronous
+     * evictions, scrub repairs) still write raw, which is safe: a
+     * raw write covers the whole slot and records storedLen = 0.
+     */
+    bool compressFlush = false;
 };
 
 /** Runtime statistics snapshot (coherent across shards). */
@@ -279,6 +299,15 @@ struct RegionStats
     /** Sidecar commit-record writes that failed on the flush path
      *  (degrades recovery classification, never durability). */
     std::uint64_t metaEntryWriteErrors = 0;
+
+    /** Copy-out compression (compressFlush): pages shipped as a
+     *  pagezip stream, pages the codec bypassed to raw, and the
+     *  bytes the compressed path actually put on the wire
+     *  (bytesPersisted stays in RAW bytes — the ratio between the
+     *  two is the achieved compression). */
+    std::uint64_t compressedPersists = 0;
+    std::uint64_t compressBypasses = 0;
+    std::uint64_t storedBytesPersisted = 0;
 };
 
 /** What recovery found while reloading and verifying the image. */
@@ -305,6 +334,10 @@ struct RuntimeRecoveryReport
 
     /** Sidecar entries whose own CRC failed (torn metadata). */
     std::uint64_t badEntries = 0;
+
+    /** Pages whose durable image was a pagezip stream that decoded
+     *  and verified cleanly (a subset of verifiedPages). */
+    std::uint64_t compressedPages = 0;
 
     /**
      * Pages settled as known-bad: unreadable after bounded retries
@@ -465,6 +498,28 @@ class NvRegion
     std::atomic<std::uint64_t> bytesPersisted_{0};
     std::atomic<std::uint64_t> quotaSteals_{0};
     std::atomic<std::uint64_t> runFallbacks_{0};
+
+    /** Compressed copy-out accounting (copier threads only). */
+    std::atomic<std::uint64_t> compressedPersists_{0};
+    std::atomic<std::uint64_t> compressBypasses_{0};
+    std::atomic<std::uint64_t> storedBytesPersisted_{0};
+
+    /** Record one page shipped by the compressed persist path
+     *  (stored == 0 means the codec bypassed to raw). */
+    void noteCompressedShip(std::uint64_t stored, std::uint64_t raw)
+    {
+        if (stored != 0) {
+            compressedPersists_.fetch_add(
+                1, std::memory_order_relaxed);
+            storedBytesPersisted_.fetch_add(
+                stored, std::memory_order_relaxed);
+        } else {
+            compressBypasses_.fetch_add(1,
+                                        std::memory_order_relaxed);
+            storedBytesPersisted_.fetch_add(
+                raw, std::memory_order_relaxed);
+        }
+    }
 
     /** Durable commit-record sidecar; null when checksumCommits is
      *  off.  Its fault-path interface is lock-free, so persist paths

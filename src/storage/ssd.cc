@@ -134,7 +134,8 @@ Tick
 Ssd::submitWriteRun(StorageKey first, unsigned count,
                     const std::uint64_t *content_hashes,
                     std::uint64_t bytes_per_page,
-                    RunCallback on_page_complete)
+                    RunCallback on_page_complete,
+                    const std::uint64_t *compressed_bytes)
 {
     VIYOJIT_ASSERT(canAccept(), "SSD queue depth exceeded");
     VIYOJIT_ASSERT(count > 0, "empty run write");
@@ -176,11 +177,22 @@ Ssd::submitWriteRun(StorageKey first, unsigned count,
 
     ++outstanding_;
     ++outstandingRuns_;
-    const std::uint64_t transfer = bytes_per_page * count;
+    // Per-page transfer sizes mirror submitWrite: the compressed
+    // size rides when compression is on and the page shrank.
+    std::uint64_t transfer = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        std::uint64_t page_transfer = bytes_per_page;
+        if (config_.enableCompression && compressed_bytes != nullptr &&
+            compressed_bytes[i] > 0 &&
+            compressed_bytes[i] < bytes_per_page) {
+            page_transfer = compressed_bytes[i];
+        }
+        transfer += page_transfer;
+    }
     const Tick done = scheduleIo(transfer, config_.writeBandwidth,
                                  latency_multiplier, extra_latency);
     bytesWritten_ += transfer;
-    logicalBytesWritten_ += transfer;
+    logicalBytesWritten_ += bytes_per_page * count;
     pageWrites_ += count;
     ctx_.stats().counter("ssd.bytes_written").increment(transfer);
     ctx_.stats().counter("ssd.page_writes").increment(count);

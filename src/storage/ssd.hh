@@ -137,14 +137,18 @@ class Ssd
      * at the run's completion event — a power cut before then leaves
      * the whole run non-durable, never a torn prefix.
      *
-     * The run path models raw transfers (no dedup/compression): it
-     * exists for the emergency/proactive flush, which streams whole
-     * pages.
+     * With `enableCompression`, `compressed_bytes` (nullable; one
+     * entry per page, 0 = incompressible) sets each page's transfer
+     * size exactly as submitWrite does, so single-page and run
+     * submissions account identical SSD bytes.  Dedup stays
+     * single-page-only: a run is one device IO and is transferred
+     * whole.
      */
     Tick submitWriteRun(StorageKey first, unsigned count,
                         const std::uint64_t *content_hashes,
                         std::uint64_t bytes_per_page,
-                        RunCallback on_page_complete);
+                        RunCallback on_page_complete,
+                        const std::uint64_t *compressed_bytes = nullptr);
 
     /** Submit one page-read attempt (status-aware). */
     Tick submitRead(StorageKey key, std::uint64_t bytes,

@@ -181,6 +181,28 @@ TEST(BudgetCalcTest, MeasuredFlushRateOverridesNameplate)
     EXPECT_EQ(calc.budgetBytes(3000.0), nameplate);
 }
 
+TEST(BudgetCalcTest, AchievedCompressionMultipliesRawBudget)
+{
+    // The channel carries stored bytes; an achieved ratio r retires
+    // r raw bytes per channel byte, so the raw-byte budget scales by
+    // r and the raw-byte flush time divides by it.  Energy math
+    // stays consistent: requiredJoules(budgetBytes(J)) == J.
+    DirtyBudgetCalculator calc(watts300(), 4.0e9, 0.8);
+    const std::uint64_t raw = calc.budgetBytes(3000.0);
+
+    calc.setAchievedCompression(2.0);
+    EXPECT_DOUBLE_EQ(calc.achievedCompression(), 2.0);
+    EXPECT_EQ(calc.budgetBytes(3000.0), 2 * raw);
+    EXPECT_EQ(calc.budgetPages(3000.0, 4096), 2 * raw / 4096);
+    // 3.2 GB/s stored * 2 = 6.4 GB/s raw.
+    EXPECT_DOUBLE_EQ(calc.flushSeconds(6'400'000'000ull), 1.0);
+    EXPECT_NEAR(calc.requiredJoules(calc.budgetBytes(3000.0)),
+                3000.0, 1e-6);
+
+    calc.setAchievedCompression(1.0);
+    EXPECT_EQ(calc.budgetBytes(3000.0), raw);
+}
+
 // ---------------------------------------------------------------------
 // ScalingModel (fig 1)
 // ---------------------------------------------------------------------

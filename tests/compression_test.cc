@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Codec property suite for the pagezip page compressor: round-trip
+ * fidelity across page populations (random, zero, run-heavy, text-
+ * like, incompressible), the worst-case output bound, the
+ * incompressible bypass, and — most importantly — the failure
+ * contract: truncated or corrupted streams must fail cleanly or be
+ * caught by the raw-page CRC the durability surfaces layer on top;
+ * silent wrong-data acceptance is the one outcome that must never
+ * happen (DESIGN.md §11).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.hh"
+#include "common/pagezip.hh"
+#include "common/rng.hh"
+
+using namespace viyojit;
+using common::crc32c;
+using common::pagezipBound;
+using common::pagezipCompress;
+using common::pagezipDecompress;
+
+namespace
+{
+
+constexpr std::size_t kPage = 4096;
+
+enum class Population
+{
+    zero,
+    runHeavy,
+    textLike,
+    record,
+    random,
+};
+
+std::vector<std::uint8_t>
+makePage(Population pop, Rng &rng, std::size_t len = kPage)
+{
+    std::vector<std::uint8_t> page(len);
+    switch (pop) {
+    case Population::zero:
+        break;
+    case Population::runHeavy:
+        // Alternating runs of a repeated byte and short noise.
+        for (std::size_t i = 0; i < len;) {
+            const std::size_t run =
+                1 + rng.nextBounded(96);
+            const auto b =
+                static_cast<std::uint8_t>(rng.nextBounded(4));
+            for (std::size_t j = 0; j < run && i < len; ++j, ++i)
+                page[i] = b;
+            const std::size_t noise = rng.nextBounded(5);
+            for (std::size_t j = 0; j < noise && i < len; ++j, ++i)
+                page[i] =
+                    static_cast<std::uint8_t>(rng.next() & 0xFF);
+        }
+        break;
+    case Population::textLike: {
+        static const char words[] =
+            "the quick brown fox jumps over the lazy dog and then "
+            "writes another page of dirty bytes to the backing ssd ";
+        for (std::size_t i = 0; i < len; ++i)
+            page[i] = static_cast<std::uint8_t>(
+                words[(i + rng.nextBounded(4)) %
+                      (sizeof(words) - 1)]);
+        break;
+    }
+    case Population::record:
+        // KV-store-ish records: a short random key, padded value.
+        for (std::size_t i = 0; i < len; ++i) {
+            const std::size_t off = i % 100;
+            page[i] = off < 20 ? static_cast<std::uint8_t>(
+                                     rng.next() & 0xFF)
+                               : static_cast<std::uint8_t>(0x20);
+        }
+        break;
+    case Population::random:
+        for (auto &b : page)
+            b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        break;
+    }
+    return page;
+}
+
+/** Compress, asserting the bound; empty result means bypass. */
+std::vector<std::uint8_t>
+compressed(const std::vector<std::uint8_t> &page)
+{
+    std::vector<std::uint8_t> out(pagezipBound(page.size()));
+    const std::size_t stored = pagezipCompress(
+        page.data(), page.size(), out.data(), out.size());
+    EXPECT_LE(stored, pagezipBound(page.size()));
+    out.resize(stored);
+    return out;
+}
+
+} // namespace
+
+TEST(PagezipTest, RoundTripAcrossPopulations)
+{
+    Rng rng(0xC0DEC);
+    for (const Population pop :
+         {Population::zero, Population::runHeavy,
+          Population::textLike, Population::record}) {
+        for (int iter = 0; iter < 16; ++iter) {
+            const auto page = makePage(pop, rng);
+            const auto enc = compressed(page);
+            ASSERT_FALSE(enc.empty())
+                << "compressible population bypassed";
+            // The bypass bar: accepted encodings beat 1.05x.
+            EXPECT_LE(enc.size() * 21, page.size() * 20);
+            std::vector<std::uint8_t> dec(page.size(), 0xAA);
+            ASSERT_TRUE(pagezipDecompress(enc.data(), enc.size(),
+                                          dec.data(), dec.size()));
+            EXPECT_EQ(page, dec);
+        }
+    }
+}
+
+TEST(PagezipTest, RoundTripOddSizes)
+{
+    Rng rng(0x51235);
+    for (const std::size_t len :
+         {std::size_t{32}, std::size_t{33}, std::size_t{100},
+          std::size_t{511}, std::size_t{4095}, std::size_t{4097},
+          std::size_t{16384}}) {
+        const auto page = makePage(Population::runHeavy, rng, len);
+        const auto enc = compressed(page);
+        if (enc.empty())
+            continue; // tiny inputs may legitimately bypass
+        std::vector<std::uint8_t> dec(len);
+        ASSERT_TRUE(pagezipDecompress(enc.data(), enc.size(),
+                                      dec.data(), dec.size()));
+        EXPECT_EQ(page, dec);
+    }
+}
+
+TEST(PagezipTest, IncompressiblePagesBypass)
+{
+    Rng rng(0xBAD5EED);
+    for (int iter = 0; iter < 8; ++iter) {
+        const auto page = makePage(Population::random, rng);
+        std::vector<std::uint8_t> out(pagezipBound(kPage));
+        EXPECT_EQ(0u, pagezipCompress(page.data(), page.size(),
+                                      out.data(), out.size()));
+    }
+    // Inputs under the minimum size always bypass.
+    const auto tiny = makePage(Population::zero, rng, 16);
+    std::vector<std::uint8_t> out(pagezipBound(16));
+    EXPECT_EQ(0u, pagezipCompress(tiny.data(), tiny.size(),
+                                  out.data(), out.size()));
+}
+
+TEST(PagezipTest, UndersizedDestinationBypasses)
+{
+    Rng rng(0x1DE5);
+    const auto page = makePage(Population::zero, rng);
+    std::vector<std::uint8_t> out(pagezipBound(kPage) - 1);
+    EXPECT_EQ(0u, pagezipCompress(page.data(), page.size(),
+                                  out.data(), out.size()));
+}
+
+TEST(PagezipTest, TruncatedStreamsFailCleanly)
+{
+    Rng rng(0x7126);
+    const auto page = makePage(Population::record, rng);
+    const auto enc = compressed(page);
+    ASSERT_FALSE(enc.empty());
+    std::vector<std::uint8_t> dec(kPage);
+    // Every truncation point: never crash, never accept — a prefix
+    // either fails to parse or stops short of the raw length.
+    for (std::size_t cut = 0; cut < enc.size(); ++cut)
+        EXPECT_FALSE(pagezipDecompress(enc.data(), cut, dec.data(),
+                                       dec.size()))
+            << "accepted a " << cut << "-byte prefix of "
+            << enc.size();
+}
+
+TEST(PagezipTest, TrailingGarbageRejected)
+{
+    Rng rng(0x7433);
+    const auto page = makePage(Population::textLike, rng);
+    auto enc = compressed(page);
+    ASSERT_FALSE(enc.empty());
+    enc.push_back(0x00);
+    std::vector<std::uint8_t> dec(kPage);
+    EXPECT_FALSE(pagezipDecompress(enc.data(), enc.size(),
+                                   dec.data(), dec.size()));
+}
+
+TEST(PagezipTest, WrongRawLengthRejected)
+{
+    Rng rng(0x9e37);
+    const auto page = makePage(Population::runHeavy, rng);
+    const auto enc = compressed(page);
+    ASSERT_FALSE(enc.empty());
+    std::vector<std::uint8_t> small(kPage - 1);
+    EXPECT_FALSE(pagezipDecompress(enc.data(), enc.size(),
+                                   small.data(), small.size()));
+    std::vector<std::uint8_t> big(kPage + 1);
+    EXPECT_FALSE(pagezipDecompress(enc.data(), enc.size(),
+                                   big.data(), big.size()));
+}
+
+/**
+ * The verified-durability pipeline: decompress, then CRC the raw
+ * output against the commit record.  A corrupted stream must end in
+ * decoder failure or a CRC mismatch (both quarantine the page); the
+ * only way it may pass the CRC is by reproducing the original bytes
+ * exactly, which is not wrong data.
+ */
+TEST(PagezipTest, CorruptedStreamsNeverAcceptedSilently)
+{
+    Rng rng(0xF1A9);
+    for (const Population pop :
+         {Population::zero, Population::runHeavy,
+          Population::textLike, Population::record}) {
+        const auto page = makePage(pop, rng);
+        const auto enc = compressed(page);
+        ASSERT_FALSE(enc.empty());
+        const std::uint32_t raw_crc =
+            crc32c(page.data(), page.size());
+        for (int iter = 0; iter < 256; ++iter) {
+            auto bad = enc;
+            // 1-3 corruptions: bit flips and byte rewrites.
+            const int hits = 1 + static_cast<int>(rng.nextBounded(3));
+            for (int h = 0; h < hits; ++h) {
+                const std::size_t at = rng.nextBounded(bad.size());
+                if (rng.next() & 1)
+                    bad[at] ^= static_cast<std::uint8_t>(
+                        1u << rng.nextBounded(8));
+                else
+                    bad[at] = static_cast<std::uint8_t>(
+                        rng.next() & 0xFF);
+            }
+            if (bad == enc)
+                continue;
+            std::vector<std::uint8_t> dec(kPage, 0x55);
+            const bool ok = pagezipDecompress(
+                bad.data(), bad.size(), dec.data(), dec.size());
+            if (!ok)
+                continue; // decoder caught it: quarantined
+            if (crc32c(dec.data(), dec.size()) != raw_crc)
+                continue; // CRC caught it: quarantined
+            // CRC passed: the bytes must actually be the original.
+            EXPECT_EQ(0, std::memcmp(dec.data(), page.data(), kPage))
+                << "silent wrong-data acceptance";
+        }
+    }
+}
+
+TEST(PagezipTest, RandomStreamsNeverCrashDecoder)
+{
+    Rng rng(0xDECDEC);
+    std::vector<std::uint8_t> dec(kPage);
+    for (int iter = 0; iter < 512; ++iter) {
+        const std::size_t len = 1 + rng.nextBounded(512);
+        std::vector<std::uint8_t> junk(len);
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+        // Must return, in bounds, with either verdict.
+        (void)pagezipDecompress(junk.data(), junk.size(), dec.data(),
+                                dec.size());
+    }
+}

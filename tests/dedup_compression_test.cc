@@ -2,7 +2,7 @@
  * @file
  * Tests for the section-7 SSD traffic reducers: content-hash
  * de-duplication and transparent compression, plus the manager's
- * content hashing and compressed-size estimator.
+ * content hashing and measured (pagezip) copy-out sizes.
  */
 
 #include <gtest/gtest.h>
@@ -147,22 +147,76 @@ TEST_F(HashFixture, IdenticalPagesHashEqual)
     EXPECT_EQ(manager.pageContentHash(0), manager.pageContentHash(1));
 }
 
-TEST_F(HashFixture, ZeroPageCompressesHard)
+TEST_F(HashFixture, MeasurementOffWithoutSsdCompression)
 {
-    const std::uint64_t estimate = manager.compressedSizeEstimate(0);
-    EXPECT_LT(estimate, defaultPageSize / 4);
-    EXPECT_GE(estimate, 64u);
+    // HashFixture's SSD has compression disabled: every page stores
+    // raw (0) no matter how compressible.
+    EXPECT_EQ(manager.measuredStoredSize(0), 0u);
 }
 
-TEST_F(HashFixture, RandomPageBarelyCompresses)
+/** Same manager over a compression-enabled SSD. */
+struct ZipFixture : public ::testing::Test
+{
+    static storage::SsdConfig
+    zipConfig()
+    {
+        storage::SsdConfig cfg;
+        cfg.enableCompression = true;
+        return cfg;
+    }
+
+    ZipFixture()
+        : ssd(ctx, zipConfig()),
+          manager(ctx, ssd, HashFixture::makeConfig(),
+                  mmu::MmuCostModel{}, 16)
+    {
+        base = manager.vmmap(8 * defaultPageSize);
+    }
+
+    sim::SimContext ctx;
+    storage::Ssd ssd;
+    core::ViyojitManager manager;
+    Addr base = 0;
+};
+
+TEST_F(ZipFixture, ZeroPageCompressesHard)
+{
+    const std::uint64_t stored = manager.measuredStoredSize(0);
+    ASSERT_GT(stored, 0u);
+    EXPECT_LT(stored, defaultPageSize / 4);
+}
+
+TEST_F(ZipFixture, RandomPageBypassesToRaw)
 {
     Rng rng(11);
     std::vector<char> noise(defaultPageSize);
     for (char &c : noise)
         c = static_cast<char>(rng.nextBounded(256));
     manager.memWrite(base, noise.data(), noise.size());
-    EXPECT_GT(manager.compressedSizeEstimate(0),
-              defaultPageSize * 3 / 4);
+    EXPECT_EQ(manager.measuredStoredSize(0), 0u);
+}
+
+TEST_F(ZipFixture, MeasuredRatioFeedsTracker)
+{
+    manager.memWrite(base, "compress me", 11);
+    (void)manager.measuredStoredSize(0);
+    const auto &tracker = manager.controller().tracker();
+    EXPECT_EQ(tracker.compressionSamples(), 1u);
+    EXPECT_GT(tracker.ewmaRatio(), 2.0);
+    EXPECT_NE(tracker.compressibility(0), 0);
+}
+
+TEST_F(ZipFixture, CompressedFlushCommitsStoredLength)
+{
+    manager.memWrite(base, "abcabcabc", 9);
+    manager.powerFailureFlush();
+    ASSERT_TRUE(manager.verifyDurability());
+    const auto &meta = manager.sidecarEntry(0);
+    ASSERT_TRUE(meta.valid);
+    EXPECT_GT(meta.storedLength, 0u);
+    EXPECT_LT(meta.storedLength, defaultPageSize);
+    // The device transferred the compressed size, not the raw page.
+    EXPECT_LT(ssd.bytesWritten(), ssd.logicalBytesWritten());
 }
 
 TEST_F(HashFixture, DurabilityIsContentBased)

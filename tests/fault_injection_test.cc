@@ -15,6 +15,7 @@
 #include "battery/battery.hh"
 #include "battery/fault_injector.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "core/broker.hh"
 #include "core/failure.hh"
 #include "core/manager.hh"
@@ -466,6 +467,87 @@ TEST_F(GovernorFixture, MeasuredRateStillDeratesWithLaterSsdWear)
     governor.reevaluate();
     EXPECT_EQ(governor.derivedBudgetPages(), measured_healthy);
     EXPECT_EQ(governor.mode(), SafeMode::normal);
+}
+
+TEST(GovernorCompressionTest, MeasuredRatioRaisesAdmittedBudget)
+{
+    // The tentpole arithmetic end to end: compressible copy-outs
+    // record a measured ratio, the governor scales the admissible
+    // dirty budget by the flush-window FLOOR of that ratio — above
+    // the configured nominal — and a later incompressible burst
+    // drags it straight back down.
+    sim::SimContext ctx;
+    storage::SsdConfig ssd_config;
+    ssd_config.writeBandwidth = 50.0e6;
+    ssd_config.enableCompression = true;
+    storage::Ssd ssd(ctx, ssd_config);
+
+    ViyojitConfig config;
+    config.dirtyBudgetPages = 16;
+    ViyojitManager manager(ctx, ssd, config, mmu::MmuCostModel{}, 64);
+    const Addr base = manager.vmmap(64 * config.pageSize);
+    manager.start();
+
+    battery::PowerModel power;
+    SafeModeConfig safe_config;
+    safe_config.flushOverheadReserve = 2_ms;
+    safe_config.writeThroughFloorPages = 4;
+    // Same sizing rule as GovernorFixture: the healthy raw-flush
+    // derivation clears the nominal budget with ~30% margin.
+    const double payload_seconds =
+        static_cast<double>(config.dirtyBudgetPages *
+                            config.pageSize) /
+        (ssd_config.writeBandwidth *
+         safe_config.bandwidthSafetyFactor);
+    battery::BatteryConfig battery_config;
+    battery_config.nominalJoules =
+        (ticksToSeconds(safe_config.flushOverheadReserve) +
+         payload_seconds * 1.3) *
+        power.flushWatts() /
+        (battery_config.chemistryDerate *
+         battery_config.depthOfDischarge);
+    battery::Battery battery(battery_config);
+
+    SafeModeGovernor governor(manager, battery, power, safe_config);
+    EXPECT_EQ(governor.appliedBudgetPages(), 16u);
+
+    // Phase 1: record-style compressible pages through a real flush,
+    // so the copy-out path measures real codec output.
+    std::vector<char> page(config.pageSize);
+    Rng rng(0x600D);
+    for (PageNum p = 0; p < 12; ++p) {
+        for (std::uint64_t i = 0; i < config.pageSize; ++i)
+            page[i] = i % 100 < 20
+                          ? static_cast<char>(rng.next() & 0xFF)
+                          : static_cast<char>(0x20);
+        manager.memWrite(base + p * config.pageSize, page.data(),
+                         page.size());
+    }
+    manager.powerFailureFlush();
+    ASSERT_TRUE(manager.verifyDurability());
+    const double floor =
+        manager.controller().tracker().floorRatio();
+    ASSERT_GE(floor, 1.3) << "record payload should clear 1.3x";
+
+    governor.reevaluate();
+    EXPECT_GT(governor.appliedBudgetPages(), 16u)
+        << "measured compression must raise admitted dirty pages";
+    EXPECT_EQ(governor.mode(), SafeMode::normal);
+
+    // Phase 2: an incompressible burst floors the ratio back to 1,
+    // and with it the cap back to the configured nominal.
+    manager.start();
+    for (PageNum p = 0; p < 12; ++p) {
+        for (char &c : page)
+            c = static_cast<char>(rng.next() & 0xFF);
+        manager.memWrite(base + p * config.pageSize, page.data(),
+                         page.size());
+    }
+    manager.powerFailureFlush();
+    EXPECT_DOUBLE_EQ(manager.controller().tracker().floorRatio(),
+                     1.0);
+    governor.reevaluate();
+    EXPECT_EQ(governor.appliedBudgetPages(), 16u);
 }
 
 // ---------------------------------------------------------------------

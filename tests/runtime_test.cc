@@ -639,5 +639,185 @@ TEST_F(RegionFixture, ScrubTickRepairsRottedDurableCopy)
     EXPECT_EQ(region->stats().scrubMismatches, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Compressed copy-out path (RuntimeConfig::compressFlush)
+// ---------------------------------------------------------------------
+
+RuntimeConfig
+compressConfig(std::uint64_t budget)
+{
+    RuntimeConfig cfg = manualConfig(budget);
+    cfg.copierThreads = 2; // the codec runs on copier threads only
+    cfg.compressFlush = true;
+    return cfg;
+}
+
+TEST_F(RegionFixture, CompressFlushRejectsUnsupportedConfigs)
+{
+    // No sidecar: the stored length would have nowhere to live, and
+    // recovery could not tell a compressed slot from raw data.
+    RuntimeConfig no_meta = compressConfig(4);
+    no_meta.checksumCommits = false;
+    EXPECT_THROW(NvRegion::create(makePath("cz_nm"), 64_KiB, no_meta),
+                 FatalError);
+    // No copiers: inline persists run on the SIGSEGV admission path,
+    // which must never reach the codec.
+    RuntimeConfig no_copiers = compressConfig(4);
+    no_copiers.copierThreads = 0;
+    EXPECT_THROW(
+        NvRegion::create(makePath("cz_nc"), 64_KiB, no_copiers),
+        FatalError);
+}
+
+TEST_F(RegionFixture, CompressedFlushShipsFewerBytesAndRecovers)
+{
+    const std::string path = makePath("cz_rt");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    std::vector<char> expected;
+    {
+        auto region =
+            NvRegion::create(path, 64_KiB, compressConfig(8));
+        char *data = static_cast<char *>(region->base());
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps, 'A' + static_cast<int>(p),
+                        ps);
+        expected.assign(data, data + region->size());
+        region->flushAll();
+        const RegionStats stats = region->stats();
+        EXPECT_GT(stats.compressedPersists, 0u);
+        // Constant-fill pages compress hard: the wire carried far
+        // fewer bytes than the raw pages it retired.
+        EXPECT_LT(stats.storedBytesPersisted,
+                  stats.bytesPersisted / 4);
+    }
+    // Recovery needs no compressFlush of its own: the stored length
+    // rides in the commit record, so a plain config decodes and
+    // verifies the compressed image.
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_TRUE(report.sidecarFound);
+    EXPECT_GT(report.compressedPages, 0u);
+    EXPECT_EQ(report.verifiedPages, region->pageCount());
+    EXPECT_EQ(report.checksumMismatches, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_EQ(std::memcmp(region->base(), expected.data(),
+                          expected.size()),
+              0);
+}
+
+TEST_F(RegionFixture, IncompressiblePagesBypassToRawAndRecover)
+{
+    const std::string path = makePath("cz_rand");
+    cleanup.push_back(path + ".meta");
+    std::vector<char> expected;
+    {
+        auto region =
+            NvRegion::create(path, 64_KiB, compressConfig(8));
+        char *data = static_cast<char *>(region->base());
+        Rng rng(0x5eed);
+        for (std::uint64_t i = 0; i < region->size(); ++i)
+            data[i] = static_cast<char>(rng.next());
+        expected.assign(data, data + region->size());
+        region->flushAll();
+        const RegionStats stats = region->stats();
+        // Random pages never clear the codec's ~1.05 gate: every
+        // copier persist bypassed to raw.
+        EXPECT_GT(stats.compressBypasses, 0u);
+        EXPECT_EQ(stats.compressedPersists, 0u);
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_EQ(report.compressedPages, 0u);
+    EXPECT_EQ(report.verifiedPages, region->pageCount());
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_EQ(std::memcmp(region->base(), expected.data(),
+                          expected.size()),
+              0);
+}
+
+TEST_F(RegionFixture, CorruptCompressedSlotIsQuarantined)
+{
+    const std::string path = makePath("cz_rot");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    {
+        auto region =
+            NvRegion::create(path, 64_KiB, compressConfig(8));
+        char *data = static_cast<char *>(region->base());
+        for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+            std::memset(data + p * ps, 'A' + static_cast<int>(p),
+                        ps);
+        region->flushAll();
+        ASSERT_GT(region->stats().compressedPersists, 0u);
+    }
+    // Rot a byte INSIDE page 3's stored stream (constant-fill pages
+    // encode to well under 64 bytes, so offset 5 is inside it).
+    {
+        const int fd = ::open(path.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        char byte;
+        ASSERT_EQ(::pread(fd, &byte, 1, 3 * ps + 5), 1);
+        byte ^= 0x40;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, 3 * ps + 5), 1);
+        ::close(fd);
+    }
+    auto region = NvRegion::recover(path, manualConfig(8));
+    const RuntimeRecoveryReport &report = region->recoveryReport();
+    EXPECT_TRUE(report.sidecarFound);
+    // Decode failure or raw-CRC mismatch — either way the page is
+    // condemned, classified, and quarantined like any other
+    // corruption.
+    EXPECT_EQ(report.checksumMismatches, 1u);
+    EXPECT_EQ(report.tornRunPages + report.staleEpochPages +
+                  report.silentCorruptPages,
+              1u);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0], 3u);
+    EXPECT_EQ(report.verifiedPages, region->pageCount() - 1);
+}
+
+TEST_F(RegionFixture, ScrubRepairsRottedCompressedSlot)
+{
+    const std::string path = makePath("cz_scrub");
+    cleanup.push_back(path + ".meta");
+    const std::uint64_t ps = 4096;
+    auto region = NvRegion::create(path, 64_KiB, compressConfig(8));
+    char *data = static_cast<char *>(region->base());
+    for (std::uint64_t p = 0; p < region->pageCount(); ++p)
+        std::memset(data + p * ps, 'A' + static_cast<int>(p), ps);
+    region->flushAll();
+    ASSERT_GT(region->stats().compressedPersists, 0u);
+
+    // Rot page 5's stored stream while the region is live.
+    {
+        const int fd = ::open(path.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        char byte;
+        ASSERT_EQ(::pread(fd, &byte, 1, 5 * ps + 5), 1);
+        byte ^= 0x08;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, 5 * ps + 5), 1);
+        ::close(fd);
+    }
+
+    region->scrubTick(region->pageCount());
+    const RegionStats stats = region->stats();
+    EXPECT_EQ(stats.scrubMismatches, 1u);
+    EXPECT_EQ(stats.scrubRepaired, 1u);
+
+    // A second pass is clean (the repair rewrote the slot raw with a
+    // fresh commit record), and recovery round-trips the content.
+    region->scrubTick(region->pageCount());
+    EXPECT_EQ(region->stats().scrubMismatches, 1u);
+    std::vector<char> expected(data, data + region->size());
+    region.reset();
+    auto recovered = NvRegion::recover(path, manualConfig(8));
+    EXPECT_EQ(recovered->recoveryReport().checksumMismatches, 0u);
+    EXPECT_TRUE(recovered->recoveryReport().quarantined.empty());
+    EXPECT_EQ(std::memcmp(recovered->base(), expected.data(),
+                          expected.size()),
+              0);
+}
+
 } // namespace
 } // namespace viyojit::runtime

@@ -89,6 +89,40 @@ TEST(TortureTest, SurvivesPowerCutsDuringBatchedFlush)
     EXPECT_GE(result.minHeadroomJoules, 0.0) << "seed " << config.seed;
 }
 
+TEST(TortureTest, SurvivesPowerCutsDuringCompressedFlush)
+{
+    // Compressed copy-out on top of the coalesced path: every flush
+    // ships the codec's measured stored size, so cuts land in the
+    // middle of shortened transfers and the recovery audit verifies
+    // RAW content against what those transfers claimed to persist.
+    TortureConfig config;
+    config.seed = tortureSeed() ^ 0xc0dec;
+    config.cuts = 300;
+    config.coalesceRuns = true;
+    config.maxRunPages = 16;
+    config.extentShift = 2;
+    config.compressFlush = true;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed
+        << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+        << " ./torture_test";
+    EXPECT_EQ(result.cutsRun, config.cuts);
+    EXPECT_EQ(result.auditUnattributed, 0u) << "seed " << config.seed;
+
+    // Evidence the compressed path was genuinely tortured: cuts
+    // landed mid-flush, and the SSD moved measurably fewer wire
+    // bytes than the raw bytes those transfers retired.
+    EXPECT_GT(result.cutsMidFlight, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.ssdLogicalBytesWritten, 0u) << "seed " << config.seed;
+    EXPECT_LT(result.ssdBytesWritten,
+              result.ssdLogicalBytesWritten / 2)
+        << "seed " << config.seed;
+    EXPECT_GE(result.minHeadroomJoules, 0.0) << "seed " << config.seed;
+}
+
 TEST(TortureTest, BatchedFlushSameSeedReplaysIdentically)
 {
     TortureConfig config;
@@ -272,6 +306,31 @@ TEST(CorruptionTortureTest, BatchedFlushPowerCutWithCorruption)
     EXPECT_GT(result.injectedSilentFaults, 0u) << "seed " << config.seed;
     EXPECT_GT(result.runSubmits, 0u) << "seed " << config.seed;
     EXPECT_GT(result.cutsMidRun, 0u) << "seed " << config.seed;
+}
+
+TEST(CorruptionTortureTest, CompressedFlushPowerCutWithCorruption)
+{
+    // Compression composed with silent corruption: a transfer that
+    // is both shortened by the codec and lied about by the device
+    // must still classify as injected — never as silently accepted
+    // wrong data.  The audit compares RAW content hashes, so a
+    // corrupted compressed stream surfaces exactly like a raw one.
+    TortureConfig config = corruptionConfig(tortureSeed() ^ 0xc03dec);
+    config.cuts = 150;
+    config.coalesceRuns = true;
+    config.maxRunPages = 16;
+    config.compressFlush = true;
+
+    const TortureResult result = runTorture(config);
+
+    EXPECT_TRUE(result.passed)
+        << result.failureDetail << "\n  seed: " << config.seed
+        << "\n  replay: VIYOJIT_TORTURE_SEED=" << config.seed
+        << " ./torture_test";
+    EXPECT_EQ(result.auditUnattributed, 0u) << "seed " << config.seed;
+    EXPECT_GT(result.injectedSilentFaults, 0u) << "seed " << config.seed;
+    EXPECT_LT(result.ssdBytesWritten, result.ssdLogicalBytesWritten)
+        << "seed " << config.seed;
 }
 
 TEST(CorruptionTortureTest, ShardedCorruptionSurvives)

@@ -61,11 +61,20 @@ FAULT_PATH_SOURCES = [
     "src/core/budget_pool.cc",
     "src/common/logging.cc",
     "src/common/checksum.cc",
+    "src/common/pagezip.cc",
 ]
 
 COMPILE_FLAGS = ["-std=c++20", "-O2", "-Wall", "-S", "-o", "-"]
 
 ROOT_PATTERN = "segvHandler"
+
+# The copy-out codec is flush-path-only BY DESIGN: compressed persists
+# are confined to the copier threads, never the SIGSEGV admission
+# path (DESIGN.md §11).  Any pagezip symbol reachable from the
+# handler is reported as a hard failure with NO allowlist escape —
+# unlike the unsafe-libc findings below, this one cannot be argued
+# into sigsafe_allowlist.txt.
+CODEC_PATTERN = "pagezip"
 
 # Known async-signal-UNSAFE callees, matched against the raw (mangled
 # or C) symbol name.  Prefixes cover mangling families (operator
@@ -304,6 +313,7 @@ def main():
     parent = {r: None for r in roots}
     queue = list(roots)
     violations = []
+    codec_violations = []
     allowed_edges = []
     unresolved_indirect = []
     while queue:
@@ -315,12 +325,18 @@ def main():
             if not matched:
                 unresolved_indirect.append((fn, indirect))
             for t in targets:
+                if CODEC_PATTERN in names.get(t, t):
+                    codec_violations.append((fn, t))
+                    continue
                 if t not in parent:
                     parent[t] = fn
                     queue.append(t)
         for callee in callees:
             callee_dem = names.get(callee) or demangle(
                 {callee})[callee]
+            if CODEC_PATTERN in callee_dem:
+                codec_violations.append((fn, callee))
+                continue
             reason = classify_unsafe(callee)
             if reason:
                 why = allowlist.allowed(fn_dem, callee_dem)
@@ -351,6 +367,23 @@ def main():
                   f"      :: {why}")
 
     failed = False
+    if codec_violations:
+        failed = True
+        print(f"\n{len(codec_violations)} copy-out codec call(s) "
+              "reachable from the SIGSEGV handler — HARD failure, "
+              "no allowlist escape:")
+        for fn, callee in codec_violations:
+            callee_dem = names.get(callee) or demangle(
+                {callee})[callee]
+            print(f"\n  {names.get(fn, fn)}")
+            print(f"      calls {callee_dem}")
+            print("      [pagezip is flush-path-only; the admission "
+                  "path must never compress]")
+            print("      reachable via: "
+                  + "\n                 -> ".join(path_to(fn)))
+        print("\nMove the call off the fault path; this finding "
+              "cannot be allowlisted.")
+
     if violations:
         failed = True
         print(f"\n{len(violations)} async-signal-UNSAFE call(s) on "
