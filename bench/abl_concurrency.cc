@@ -16,11 +16,29 @@
  * container every configuration time-slices one core and the sweep
  * degenerates to an overhead (not scaling) measurement.
  *
- * --smoke: median-of-3 single-thread parity check — sharded (8
- * shards) throughput must stay within 5% of the unsharded baseline,
- * exit 1 otherwise.  This is the regression gate ci.sh runs; it
- * deliberately uses inline persistence (no copier threads) on both
- * sides so it compares the fault path alone.
+ * --smoke: two gates, exit 1 on either failing.  (1) Median-of-5
+ * single-thread parity — sharded (8 shards) throughput must stay
+ * within 5% of the unsharded baseline; deliberately inline
+ * persistence (no copier threads) on both sides so it compares the
+ * fault path alone.  (2) Multicore scaling — on a host with more
+ * than one CPU, 4-thread/4-shard throughput must reach 1.5x the
+ * 1-thread/1-shard baseline with p99 no worse than 2x; on a 1-CPU
+ * host the scaling gate is SKIPPED with a loud warning, because
+ * every configuration time-slices one core and the ratio measures
+ * scheduler fairness, not scaling.  This is the gate ci.sh runs.
+ *
+ * A note on the low p50 at high thread counts (e.g. ~67 ns at 8
+ * threads / 1 shard): it is genuine, not a timer bug.  Records are
+ * partitioned per thread, so 8 threads draw their zipfian keys from
+ * 1024-record partitions — the hot set tightens, most updates land
+ * on pages that are already writable (admitted earlier, not yet
+ * re-protected by the epoch scan), and a non-faulting update costs
+ * only the 100-byte memset plus two steady_clock reads.  Past 50%
+ * non-faulting updates, p50 IS that cost.  The timed pattern's
+ * minimum measurable cost is calibrated at startup and every run's
+ * p50 is sanity-checked against it, so a real histogram/timer bug
+ * (mis-binned percentile, dropped samples) fails loudly instead of
+ * producing a plausible-looking small number.
  */
 
 #include <algorithm>
@@ -82,7 +100,43 @@ struct RunOutcome
     std::uint64_t proactiveCopies = 0;
     std::uint64_t bytesPersisted = 0;
     std::uint64_t epochs = 0;
+    std::uint64_t watermarkRefills = 0;
+    std::uint64_t proactiveDonations = 0;
+    std::uint64_t shedEvictions = 0;
+    std::uint64_t backoffRetries = 0;
+    std::uint64_t starvedFaults = 0;
+    std::vector<runtime::RegionStats::ShardCounters> perShard;
 };
+
+/**
+ * Minimum measurable cost of the timed update pattern: one field
+ * memset into always-writable scratch bracketed by the same two
+ * steady_clock reads the worker uses.  Calibrated once (min of 4096
+ * samples — min, not median, because the floor must be a true lower
+ * bound for any real update, which does at least this much work).
+ */
+std::uint64_t
+timerFloorNs()
+{
+    static const std::uint64_t floor_ns = [] {
+        alignas(64) static char scratch[kFieldSize];
+        std::uint64_t lo = ~0ULL;
+        for (int i = 0; i < 4096; ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            std::memset(scratch, static_cast<char>('a' + (i % 26)),
+                        kFieldSize);
+            const auto ns = std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            g_sink = g_sink +
+                     static_cast<unsigned char>(scratch[i % kFieldSize]);
+            lo = std::min(lo, static_cast<std::uint64_t>(ns));
+        }
+        return lo;
+    }();
+    return floor_ns;
+}
 
 std::string
 scratchPath()
@@ -195,6 +249,26 @@ runOnce(const RunConfig &rc)
     out.proactiveCopies = stats.proactiveCopies;
     out.bytesPersisted = stats.bytesPersisted;
     out.epochs = stats.epochs;
+    out.watermarkRefills = stats.watermarkRefills;
+    out.proactiveDonations = stats.proactiveDonations;
+    out.shedEvictions = stats.shedEvictions;
+    out.backoffRetries = stats.backoffRetries;
+    out.starvedFaults = stats.starvedFaults;
+    out.perShard = stats.perShard;
+
+    // Sanity gate on the latency path: a p50 below the calibrated
+    // cost of the bare timed pattern cannot come from real updates —
+    // it means the histogram or timer path is broken (mis-binned
+    // percentile, dropped samples, wrong clock).  Fail the whole
+    // bench rather than emit a plausible-looking wrong number.
+    if (updateLatency.count() > 0 &&
+        out.updateP50Ns < timerFloorNs()) {
+        std::cerr << "FAIL: update_p50_ns " << out.updateP50Ns
+                  << " below the calibrated timed-pattern floor of "
+                  << timerFloorNs()
+                  << " ns — histogram/timer path is broken\n";
+        std::exit(1);
+    }
     return out;
 }
 
@@ -203,6 +277,22 @@ median(std::vector<double> xs)
 {
     std::sort(xs.begin(), xs.end());
     return xs[xs.size() / 2];
+}
+
+/** Render one per-shard counter as a JSON array. */
+template <typename Get>
+std::string
+shardArray(const std::vector<runtime::RegionStats::ShardCounters> &ps,
+           Get get)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(get(ps[i]));
+    }
+    out += "]";
+    return out;
 }
 
 /**
@@ -222,13 +312,78 @@ reportHostCpus(const char *context)
     return host_cpus;
 }
 
+/**
+ * Multicore scaling gate: 4 threads over 4 shards (copiers draining)
+ * must beat the 1-thread/1-shard baseline by 1.5x in throughput
+ * without more than doubling the update p99.  Only meaningful when
+ * the host actually has cores to scale onto — on a 1-CPU container
+ * every configuration time-slices one core, the ratio measures
+ * scheduler fairness, and the gate is skipped NON-FATALLY with a
+ * warning loud enough to notice in a CI log.
+ */
+int
+runMulticoreGate(unsigned host_cpus)
+{
+    if (host_cpus <= 1) {
+        std::cout
+            << "\n"
+            << "=====================================================\n"
+            << "WARN: host_cpus == 1 — SKIPPING the multicore scaling\n"
+            << "WARN: gate (4t/4s vs 1t/1s needs real cores).  This\n"
+            << "WARN: host cannot validate multicore scaling; run the\n"
+            << "WARN: gate on a multi-core machine before trusting\n"
+            << "WARN: concurrency changes.\n"
+            << "=====================================================\n";
+        return 0;
+    }
+
+    RunConfig baseline;
+    baseline.threads = 1;
+    baseline.shards = 1;
+    baseline.opsPerThread = 30000;
+
+    RunConfig multi;
+    multi.threads = 4;
+    multi.shards = 4;
+    multi.copierThreads = 2;
+    multi.opsPerThread = 30000;
+
+    constexpr int kRuns = 3;
+    std::vector<double> baseTput, multiTput, baseP99, multiP99;
+    for (int i = 0; i < kRuns; ++i) {
+        RunConfig a = baseline, b = multi;
+        a.seed += static_cast<std::uint64_t>(i);
+        b.seed += static_cast<std::uint64_t>(i);
+        const RunOutcome oa = runOnce(a);
+        const RunOutcome ob = runOnce(b);
+        baseTput.push_back(oa.opsPerSec);
+        multiTput.push_back(ob.opsPerSec);
+        baseP99.push_back(static_cast<double>(oa.updateP99Ns));
+        multiP99.push_back(static_cast<double>(ob.updateP99Ns));
+    }
+    const double speedup = median(baseTput) > 0.0
+                               ? median(multiTput) / median(baseTput)
+                               : 0.0;
+    const double p99_ratio = median(baseP99) > 0.0
+                                 ? median(multiP99) / median(baseP99)
+                                 : 0.0;
+
+    std::cout << "multicore: 4t/4s vs 1t/1s speedup " << speedup
+              << " (need >= 1.5), p99 ratio " << p99_ratio
+              << " (need <= 2.0)\n";
+    const bool ok = speedup >= 1.5 && p99_ratio <= 2.0;
+    std::cout << (ok ? "PASS" : "FAIL")
+              << ": multicore scaling gate\n";
+    return ok ? 0 : 1;
+}
+
 int
 runSmoke()
 {
     // The 1-thread parity gate is valid on any CPU count (both sides
     // time-slice identically), but record the environment so a CI log
     // reader can judge the absolute numbers.
-    reportHostCpus("smoke");
+    const unsigned host_cpus = reportHostCpus("smoke");
 
     // Fault path alone: inline persistence on both sides.
     RunConfig unsharded;
@@ -261,7 +416,9 @@ runSmoke()
     std::cout << (ok ? "PASS" : "FAIL")
               << ": 1-thread sharded throughput within 5% of the "
                  "unsharded baseline\n";
-    return ok ? 0 : 1;
+    if (!ok)
+        return 1;
+    return runMulticoreGate(host_cpus);
 }
 
 } // namespace
@@ -292,7 +449,12 @@ main(int argc, char **argv)
                       << ", evict " << out.blockedEvictions
                       << ", proact " << out.proactiveCopies
                       << ", epochs " << out.epochs << ", steals "
-                      << out.quotaSteals << "\n";
+                      << out.quotaSteals << ", refills "
+                      << out.watermarkRefills << ", donates "
+                      << out.proactiveDonations << ", shed "
+                      << out.shedEvictions << ", backoff "
+                      << out.backoffRetries << ", starved "
+                      << out.starvedFaults << "\n";
             return 0;
         }
     }
@@ -305,7 +467,8 @@ main(int argc, char **argv)
                 "(host cpus: " + std::to_string(hostCpus) + ")");
     table.setHeader({"Threads", "Shards", "Copiers", "Ops",
                      "Kops/s", "Upd p50 (us)", "Upd p99 (us)",
-                     "Faults", "Steals", "Evict", "Proact",
+                     "Faults", "Steals", "Refills", "Donates",
+                     "Shed", "Backoff", "Evict", "Proact",
                      "MiB", "Epochs"});
 
     struct Row
@@ -336,6 +499,10 @@ main(int argc, char **argv)
                             1000.0, 1),
                  std::to_string(out.writeFaults),
                  std::to_string(out.quotaSteals),
+                 std::to_string(out.watermarkRefills),
+                 std::to_string(out.proactiveDonations),
+                 std::to_string(out.shedEvictions),
+                 std::to_string(out.backoffRetries),
                  std::to_string(out.blockedEvictions),
                  std::to_string(out.proactiveCopies),
                  Table::fmt(static_cast<double>(out.bytesPersisted) /
@@ -359,6 +526,25 @@ main(int argc, char **argv)
              << ", \"update_p99_ns\": " << r.out.updateP99Ns
              << ", \"write_faults\": " << r.out.writeFaults
              << ", \"quota_steals\": " << r.out.quotaSteals
+             << ", \"watermark_refills\": " << r.out.watermarkRefills
+             << ", \"proactive_donations\": "
+             << r.out.proactiveDonations
+             << ", \"shed_evictions\": " << r.out.shedEvictions
+             << ", \"backoff_retries\": " << r.out.backoffRetries
+             << ", \"starved_faults\": " << r.out.starvedFaults
+             << ", \"per_shard\": {"
+             << "\"steals\": " << shardArray(r.out.perShard,
+                    [](const auto &s) { return s.steals; })
+             << ", \"watermark_refills\": "
+             << shardArray(r.out.perShard,
+                    [](const auto &s) { return s.watermarkRefills; })
+             << ", \"proactive_donations\": "
+             << shardArray(r.out.perShard,
+                    [](const auto &s) { return s.proactiveDonations; })
+             << ", \"backoff_retries\": "
+             << shardArray(r.out.perShard,
+                    [](const auto &s) { return s.backoffRetries; })
+             << "}"
              << ", \"host_cpus\": " << hostCpus
              << ", \"single_cpu_warning\": "
              << (hostCpus == 1 ? "true" : "false") << "}"

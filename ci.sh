@@ -103,10 +103,15 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 
-# Sharding overhead gate: one thread over a sharded region must run
-# within 5% of the unsharded baseline (interleaved median-of-5; see
-# bench/abl_concurrency.cc).
-echo "=== Concurrency smoke (sharded vs unsharded, 1 thread) ==="
+# Concurrency gates (bench/abl_concurrency.cc):
+#  1. Sharding overhead: one thread over a sharded region must run
+#     within 5% of the unsharded baseline (interleaved median-of-5).
+#  2. Multicore scaling: 4 threads over 4 shards must reach >= 1.5x
+#     the 1-thread throughput with fault p99 <= 2x (interleaved
+#     median-of-3).  On a single-CPU host the scaling leg cannot
+#     mean anything, so it prints a loud warning and passes — the
+#     gate only has teeth where parallelism exists.
+echo "=== Concurrency smoke (parity + multicore scaling) ==="
 ./build-release/bench/abl_concurrency --smoke
 
 # Coalesced-IO gate: batched run writeback must beat the per-page

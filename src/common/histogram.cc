@@ -37,10 +37,19 @@ LogHistogram::bucketIndex(std::uint64_t value) const
 std::uint64_t
 LogHistogram::bucketUpperBound(std::size_t index) const
 {
+    // The direct-indexed range is values < 2^subBucketBits — i.e.
+    // INDICES below 2^subBucketBits, not tiers.  (Testing the tier
+    // here used to cover indices up to subBucketBits * 2^subBucketBits,
+    // a range bucketIndex never produces: its log arm always yields
+    // tier >= subBucketBits.  For those phantom indices the log
+    // formula below would shift by a negative count — UB — so the
+    // guard must match the encoder's split exactly.)
+    if (index < (1ULL << subBucketBits_))
+        return index;
     const auto tier = static_cast<int>(index >> subBucketBits_);
+    VIYOJIT_ASSERT(tier >= subBucketBits_,
+                   "index not produced by bucketIndex");
     const std::uint64_t sub = index & ((1ULL << subBucketBits_) - 1);
-    if (tier < subBucketBits_)
-        return index; // direct-indexed small values
     const std::uint64_t base = 1ULL << tier;
     const std::uint64_t step = 1ULL << (tier - subBucketBits_);
     return base + (sub + 1) * step - 1;

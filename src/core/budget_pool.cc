@@ -106,20 +106,31 @@ redistributeBudget(BudgetPool &pool,
     // Shrinks first: claw back quota above target into the pool so
     // the grows below never oversubscribe the (possibly smaller)
     // total.  releaseQuota evicts synchronously when the shard's
-    // dirty count exceeds its shrunken quota.
-    for (DirtyBudgetController *shard : shards) {
-        const std::uint64_t quota = shard->dirtyBudget();
-        if (quota > target)
-            pool.deposit(shard->releaseQuota(quota - target, target));
-    }
-
-    if (new_total < old_total) {
-        const std::uint64_t destroyed =
-            pool.confiscate(old_total - new_total);
-        // Shrinking every shard to `target <= new_total / n` frees at
-        // least old_total - new_total into the pool.
-        VIYOJIT_ASSERT(destroyed == old_total - new_total,
+    // dirty count exceeds its shrunken quota — and those evictions
+    // can re-enter the quota machinery (in the simulator they
+    // advance time, firing epoch boundaries whose hysteretic refills
+    // borrow just-deposited pages back out of the pool), so the
+    // sweep retries until the full difference is destroyed, exactly
+    // like the runtime's incremental retune.
+    std::uint64_t to_destroy =
+        new_total < old_total ? old_total - new_total : 0;
+    for (;;) {
+        for (DirtyBudgetController *shard : shards) {
+            const std::uint64_t quota = shard->dirtyBudget();
+            if (quota > target)
+                pool.deposit(
+                    shard->releaseQuota(quota - target, target));
+        }
+        if (to_destroy == 0)
+            break;
+        const std::uint64_t destroyed = pool.confiscate(to_destroy);
+        // Progress is guaranteed: while total > new_total, the pool
+        // invariant (sum(quotas) + available == total, with
+        // sum(targets) <= new_total) puts reclaimable quota either
+        // above some shard's target or in available().
+        VIYOJIT_ASSERT(destroyed > 0,
                        "budget shrink could not reclaim enough quota");
+        to_destroy -= destroyed;
     }
 
     // Grows after the total settles: top shards up to the target.

@@ -161,6 +161,33 @@ struct ViyojitConfig
      * (bench/abl_epoch_scan).
      */
     bool legacyEpochScan = false;
+
+    /**
+     * Shed fault-path blocking evictions to the async copy pipeline:
+     * when the backend has submission capacity, a budget-limited
+     * fault starts an async copy of the victim (filling the pipe
+     * with more victims on subsequent passes) and blocks only until
+     * the FIRST completion lands, instead of paying one full
+     * synchronous device write per eviction.  With an inline backend
+     * (no copier threads) the async submit degenerates to the same
+     * blocking write, so the knob only changes behaviour when copies
+     * genuinely overlap.  Off by default: the synchronous path is
+     * the paper's prototype and the A/B baseline.
+     */
+    bool shedBlockedEvictions = false;
+
+    /**
+     * Latency-SLO admission headroom in pages (0 = off).  The
+     * proactive-copy threshold is additionally clamped to
+     * `reachable - headroom`, so background copying keeps at least
+     * this many admission slots free even when the pressure EWMA
+     * lags a burst — bounding how often a faulting thread meets a
+     * full budget and has to evict (or wait) on the fault path.
+     * Pooled shards clamp the effective headroom to half their fair
+     * share at watermark (re-)derivation so a degraded total cannot
+     * be consumed whole by the reserve.
+     */
+    std::uint64_t sloHeadroomPages = 0;
 };
 
 } // namespace viyojit::core

@@ -31,6 +31,10 @@ DirtyBudgetController::DirtyBudgetController(PagingBackend &backend,
     recency_.reserveStaging(config.maxOutstandingIos);
     recency_.reserveDirtyBound(budget_);
     tracker_.reserve(budget_);
+    // Standalone share == the whole budget; attachBudgetPool and the
+    // retune paths re-derive for pooled shards.
+    effectiveHeadroom_ =
+        std::min(config_.sloHeadroomPages, budget_ / 2);
     backend_.setPersistClient(*this);
 }
 
@@ -46,20 +50,84 @@ DirtyBudgetController::attachBudgetPool(BudgetPool *pool,
 {
     pool_ = pool;
     borrowBatch_ = std::max<std::uint64_t>(borrow_batch, 1);
+    // Identity derivation until the owner states the per-shard fair
+    // share (2 * batch leaves the batch unclamped); the sharded
+    // runtime and the retune paths re-derive with the real share.
+    deriveQuotaWatermarks(2 * borrowBatch_);
     // A pooled shard's quota can grow to the whole battery budget
     // via borrows; re-reserve to the pool total so those borrows
     // never push a fault-path insert into a reallocation.
     tracker_.reserve(pool->totalPages());
     recency_.reserveDirtyBound(pool->totalPages());
+    updateSpareGauge();
+}
+
+void
+DirtyBudgetController::deriveQuotaWatermarks(
+    std::uint64_t per_shard_share)
+{
+    const std::uint64_t batch = std::min<std::uint64_t>(
+        borrowBatch_,
+        std::max<std::uint64_t>(1, per_shard_share / 2));
+    quotaLow_ = std::max<std::uint64_t>(1, batch / 2);
+    quotaMid_ = std::max(quotaLow_, batch);
+    quotaHigh_ = 2 * quotaMid_;
+    effectiveHeadroom_ =
+        std::min(config_.sloHeadroomPages, per_shard_share / 2);
+    // The donatable gauge measures spare from quotaMid_, so moved
+    // watermarks shift what steal sweeps may see.
+    updateSpareGauge();
 }
 
 bool
-DirtyBudgetController::borrowQuota()
+DirtyBudgetController::refillQuota(std::uint64_t min_take)
 {
-    const std::uint64_t got = pool_->tryBorrow(borrowBatch_);
+    const std::uint64_t used = tracker_.count();
+    const std::uint64_t spare = budget_ > used ? budget_ - used : 0;
+    const std::uint64_t want = std::max(
+        spare < quotaMid_ ? quotaMid_ - spare : 0, min_take);
+    if (want == 0)
+        return false;
+    const std::uint64_t got = pool_->tryBorrow(want);
     budget_ += got;
     stats_.quotaBorrowedPages += got;
+    if (got) {
+        ++stats_.watermarkRefills;
+        updateSpareGauge();
+    }
     return got > 0;
+}
+
+bool
+DirtyBudgetController::maybeDonateSurplus()
+{
+    // No donation while an emergency drain runs: every shard is
+    // flushing (the budget is about to be redistributed or the
+    // region torn down), so parking transient spare in the pool is
+    // CAS churn nobody will borrow against.  The post-drain surplus
+    // stays local and steal-visible instead — the drain's caller
+    // decides what happens to it.
+    if (!pool_ || emergencyFlush_)
+        return false;
+    const std::uint64_t used = tracker_.count();
+    const std::uint64_t spare = budget_ > used ? budget_ - used : 0;
+    if (spare < quotaHigh_)
+        return false;
+    // Reaching the high watermark donates immediately — a shard is
+    // never left *resting* at the band edge, so the steal sweep's
+    // gauge scan finds donors only in the completion-to-donation
+    // race window (or after a donation-suppressed drain).  Donate
+    // down to the mid target, not to the low watermark: landing
+    // mid-band means the next refill needs mid - low more admissions
+    // than a donate-to-low would, which is the hysteresis that stops
+    // boundary ping-pong.
+    const std::uint64_t give = spare - quotaMid_;
+    budget_ -= give;
+    stats_.quotaReturnedPages += give;
+    ++stats_.proactiveDonations;
+    pool_->deposit(give);
+    updateSpareGauge();
+    return true;
 }
 
 void
@@ -67,13 +135,12 @@ DirtyBudgetController::rebalanceQuota()
 {
     if (!pool_)
         return;
-    const std::uint64_t keep = tracker_.count() + borrowBatch_;
-    if (budget_ > keep) {
-        const std::uint64_t give = budget_ - keep;
-        budget_ = keep;
-        stats_.quotaReturnedPages += give;
-        pool_->deposit(give);
-    }
+    if (maybeDonateSurplus())
+        return;
+    const std::uint64_t used = tracker_.count();
+    const std::uint64_t spare = budget_ > used ? budget_ - used : 0;
+    if (spare < quotaLow_)
+        refillQuota(0);
 }
 
 bool
@@ -82,7 +149,7 @@ DirtyBudgetController::makeRoomForAdmission(bool allow_evict)
     while (tracker_.count() >= budget_) {
         // Prefer growing the quota over evicting: a burst should
         // consume global battery slack before it costs SSD writes.
-        if (pool_ && borrowQuota())
+        if (pool_ && refillQuota(1))
             continue;
         if (budget_ == 0 || !allow_evict)
             return false; // need external quota before evicting
@@ -130,6 +197,15 @@ DirtyBudgetController::onWriteFault(PageNum page, bool allow_evict)
     backend_.unprotectPage(page);
     tracker_.markDirty(page);
     recency_.recordUpdate(page);
+    updateSpareGauge();
+
+    // Hysteretic refill: crossing the low watermark tops spare quota
+    // back up to the mid target in one batched borrow, so steady
+    // admission never reaches the spare == 0 slow path (and the
+    // donor-sweep steal behind it) while the pool has pages.  One
+    // branch in the common case; the CAS only fires on a crossing.
+    if (pool_ && budget_ - tracker_.count() < quotaLow_)
+        refillQuota(0);
 
     // Crossing the threshold triggers background flushes immediately
     // (section 5.3's trigger is the threshold, not the epoch tick);
@@ -155,6 +231,9 @@ DirtyBudgetController::onHardwareDirty(PageNum page, bool allow_evict)
         return false;
     tracker_.markDirty(page);
     recency_.recordUpdate(page);
+    updateSpareGauge();
+    if (pool_ && budget_ - tracker_.count() < quotaLow_)
+        refillQuota(0);
     if (config_.continuousCopyTrigger)
         pumpProactiveCopies(page);
     lastAdmitted_ = page;
@@ -201,6 +280,27 @@ DirtyBudgetController::evictOneBlocking()
         backend_.waitForAnyPersist();
         return;
     }
+    // Copier back-pressure shedding: while the async pipe has
+    // capacity, hand the victim to it instead of paying a whole
+    // synchronous device write on the fault path.  The admission
+    // loop comes straight back here (the in-flight page still counts
+    // against the budget), so successive passes fill the pipe with
+    // more victims until either a completion lands (count drops,
+    // admission proceeds) or the cap is hit and the invalidPage
+    // branch above waits for the FIRST completion — the faulting
+    // thread's stall shrinks from one full write to the head of a
+    // batch the copier pool drains in parallel.
+    if (config_.shedBlockedEvictions &&
+        backend_.outstandingIos() + runPages_ <
+            config_.maxOutstandingIos &&
+        backend_.canSubmit()) {
+        if (maxRunLen() > 1)
+            stageCopy(victim, /*proactive=*/false);
+        else
+            startCopy(victim, /*proactive=*/false);
+        ++stats_.shedEvictions;
+        return;
+    }
     // Write protect before copying so a concurrent update cannot be
     // lost (section 5.1).
     backend_.protectPage(victim);
@@ -212,6 +312,7 @@ DirtyBudgetController::evictOneBlocking()
         backend_.unprotectPage(victim);
     }
     ++stats_.blockedEvictions;
+    updateSpareGauge();
 }
 
 void
@@ -264,7 +365,10 @@ DirtyBudgetController::currentThreshold() const
     // dry), exactly when an unsharded controller would start copying.
     const std::uint64_t reachable =
         pool_ ? budget_ + pool_->available() : budget_;
-    return pressure_.threshold(reachable);
+    // SLO mode: effectiveHeadroom_ admission slots stay free below
+    // whatever the pressure EWMA predicts (clamped to the fair share
+    // at derivation, and to reachable/2 inside threshold()).
+    return pressure_.threshold(reachable, effectiveHeadroom_);
 }
 
 void
@@ -472,6 +576,12 @@ DirtyBudgetController::onPersistComplete(PageNum page)
     inFlight_[page] = 0;
     --inFlightCount_;
     tracker_.markClean(page);
+    updateSpareGauge();
+    // Completions are where spare accumulates mid-epoch; pushing the
+    // surplus to the pool HERE (not only at the boundary) means a
+    // starving sibling finds it by a lock-free borrow instead of a
+    // donor-lock steal.
+    maybeDonateSurplus();
     if (config_.hardwareAssist)
         backend_.unprotectPage(page);
     // Keep the pipeline full between epochs.
@@ -517,10 +627,13 @@ DirtyBudgetController::setDirtyBudget(std::uint64_t pages)
     // the fault path so faults still never allocate.
     tracker_.reserve(budget_);
     recency_.reserveDirtyBound(budget_);
+    effectiveHeadroom_ =
+        std::min(config_.sloHeadroomPages, budget_ / 2);
     // Shrinking below the current dirty count: evict synchronously
     // until we fit (battery fade handling, section 8).
     while (tracker_.count() > budget_)
         evictOneBlocking();
+    updateSpareGauge();
 }
 
 std::uint64_t
@@ -537,18 +650,26 @@ DirtyBudgetController::releaseQuota(std::uint64_t want,
     // dirty count fits what it keeps.
     while (tracker_.count() > budget_)
         evictOneBlocking();
+    updateSpareGauge();
     return give;
 }
 
 std::uint64_t
-DirtyBudgetController::releaseSpareQuota(std::uint64_t want)
+DirtyBudgetController::releaseDonatableQuota()
 {
     const std::uint64_t used = tracker_.count();
-    if (budget_ <= used)
+    const std::uint64_t spare = budget_ > used ? budget_ - used : 0;
+    // Only donors at/above the high (donation) watermark give, and
+    // they give down to mid — the same movement an epoch-boundary
+    // donation would make, just demand-driven.  In-band spare is the
+    // donor's working headroom: stealing it would push the donor
+    // across its own low watermark and cascade refills.
+    if (spare < quotaHigh_)
         return 0;
-    const std::uint64_t give = std::min(want, budget_ - used);
+    const std::uint64_t give = spare - quotaMid_;
     budget_ -= give;
     stats_.quotaReturnedPages += give;
+    updateSpareGauge();
     return give;
 }
 
@@ -566,6 +687,7 @@ DirtyBudgetController::flushPageBlocking(PageNum page)
     backend_.protectPage(page);
     backend_.persistPageBlocking(page);
     tracker_.markClean(page);
+    updateSpareGauge();
 }
 
 std::uint64_t
@@ -628,6 +750,7 @@ DirtyBudgetController::flushAllDirty()
         backend_.waitForAnyPersist();
     }
     emergencyFlush_ = false;
+    updateSpareGauge();
     return flushed;
 }
 

@@ -20,6 +20,7 @@
 #ifndef VIYOJIT_CORE_CONTROLLER_HH
 #define VIYOJIT_CORE_CONTROLLER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -60,6 +61,18 @@ struct ControllerStats
 
     /** Clean pages written to bridge gaps between merged sub-runs. */
     std::uint64_t runPagesBridged = 0;
+
+    /** Low-watermark batched refills from the budget pool (each one
+     *  is a tryBorrow that restored spare quota to the mid target). */
+    std::uint64_t watermarkRefills = 0;
+
+    /** High-watermark epoch-boundary donations of surplus spare
+     *  quota back to the pool. */
+    std::uint64_t proactiveDonations = 0;
+
+    /** Fault-path evictions shed to the async copy pipeline instead
+     *  of a synchronous device write (shedBlockedEvictions). */
+    std::uint64_t shedEvictions = 0;
 };
 
 /**
@@ -93,6 +106,51 @@ class DirtyBudgetController : public PersistClient
     BudgetPool *budgetPool() const { return pool_; }
 
     /**
+     * (Re-)derive the spare-quota hysteresis watermarks from this
+     * shard's fair share of the current total (DESIGN.md §14).  The
+     * migration batch B is the borrow batch clamped to half the
+     * share (so a degraded total still leaves a usable band):
+     *
+     *     low  = max(1, B/2)    refill trigger
+     *     mid  = max(low, B)    restore target after either crossing
+     *     high = 2 * mid        donation trigger
+     *
+     * Both triggers restore spare to `mid`, so after any migration
+     * the spare sits at least `mid - low` (= high - mid) away from
+     * BOTH watermarks — two shards at a boundary cannot ping-pong a
+     * batch between them.  The effective SLO headroom
+     * (ViyojitConfig::sloHeadroomPages) is re-clamped to share/2
+     * here too.  Called at attach, and again by retune paths
+     * (NvRegion::setDirtyBudget, safe-mode applyBudget) whenever the
+     * total — and with it the fair share — moves.
+     */
+    void deriveQuotaWatermarks(std::uint64_t per_shard_share);
+
+    /**
+     * Donatable-quota gauge — spare (quota minus dirty count) ABOVE
+     * the mid watermark — readable without the owner's lock: a
+     * relaxed atomic the owning thread refreshes whenever quota, the
+     * dirty count, or the watermarks move.  Cross-shard steal sweeps
+     * use it to skip donors with nothing to give without taking
+     * their locks; staleness only costs a skipped donor or a wasted
+     * lock, never correctness (the authoritative value is re-read
+     * under the donor's lock by releaseDonatableQuota).
+     *
+     * Gating on the HIGH watermark — not zero spare — is what makes
+     * steals rare and cascade-free: spare inside the hysteresis band
+     * is the donor's working headroom, and stealing it would push
+     * the donor under its own low watermark, whose refill dries the
+     * pool for the next shard — the quota-thrash loop hysteresis
+     * exists to break.  In-band siblings therefore read 0 here and
+     * the thief evicts locally (cheap once evictions shed to the
+     * copiers) instead of churning quota.
+     */
+    std::uint64_t donatableQuotaGauge() const
+    {
+        return spareGauge_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * Handle a write-protection fault on `page` (figure 6 steps 3-8).
      * On success the page is writable and accounted dirty, and the
      * dirty count is within the (local) budget.
@@ -108,7 +166,7 @@ class DirtyBudgetController : public PersistClient
      *         eviction the caller disallowed (or, with allow_evict,
      *         when the quota is zero outright).  Nothing was changed;
      *         the caller must acquire quota (steal via
-     *         releaseSpareQuota/the pool) and retry.  Standalone
+     *         releaseDonatableQuota/the pool) and retry.  Standalone
      *         controllers (no pool) always return true.
      */
     bool onWriteFault(PageNum page, bool allow_evict = true);
@@ -161,16 +219,22 @@ class DirtyBudgetController : public PersistClient
     std::uint64_t releaseQuota(std::uint64_t want, std::uint64_t floor);
 
     /**
-     * Give up to `want` pages of UNUSED quota — the slack above the
-     * current dirty count.  Never evicts; returns 0 when the quota
-     * is fully occupied.  This is the donor side of a cross-shard
-     * steal: clawing back idle quota is free, where releaseQuota
-     * would charge the donor SSD writes.
+     * Give up all spare quota above the mid watermark — a
+     * demand-driven early donation, the donor side of a cross-shard
+     * steal.  Never evicts; leaves the donor exactly at its restore
+     * target, so the steal cannot push it across its own low
+     * watermark and trigger a compensating refill (no cascade).
+     * Returns 0 when spare is inside the hysteresis band — the
+     * caller should then evict locally rather than churn quota.
      */
-    std::uint64_t releaseSpareQuota(std::uint64_t want);
+    std::uint64_t releaseDonatableQuota();
 
     /** Add quota pages taken from the pool or a sibling shard. */
-    void grantQuota(std::uint64_t pages) { budget_ += pages; }
+    void grantQuota(std::uint64_t pages)
+    {
+        budget_ += pages;
+        updateSpareGauge();
+    }
 
     std::uint64_t dirtyBudget() const { return budget_; }
 
@@ -235,15 +299,44 @@ class DirtyBudgetController : public PersistClient
      */
     bool makeRoomForAdmission(bool allow_evict);
 
-    /** Borrow a batch of quota from the pool; true if any granted. */
-    bool borrowQuota();
+    /**
+     * Low-watermark refill: borrow enough from the pool to restore
+     * spare quota to the mid target (at least `min_take` pages).
+     * The batched grant is what keeps pool CAS traffic off the
+     * per-fault path; true if anything was granted.
+     */
+    bool refillQuota(std::uint64_t min_take);
 
     /**
-     * Epoch-boundary quota rebalance: return quota beyond the dirty
-     * count plus one borrow batch of slack to the pool, so idle
-     * shards fund bursting ones without fault-path ping-pong.
+     * Donate spare above the high watermark back to the pool,
+     * restoring spare to mid; no-op in-band.  Runs at epoch
+     * boundaries AND on copy completions — completions are where
+     * spare accumulates mid-epoch, and parking it in the pool lets a
+     * starving sibling take it with a lock-free borrow instead of a
+     * donor-lock steal.  True if anything was donated.
+     */
+    bool maybeDonateSurplus();
+
+    /**
+     * Epoch-boundary hysteresis: donate surplus spare above the high
+     * watermark back to the pool (restoring spare to mid), or refill
+     * when spare has sagged below the low watermark.  Inside the
+     * [low, high] band the quota is left alone — the band is what
+     * prevents two shards from ping-ponging a batch at a boundary.
      */
     void rebalanceQuota();
+
+    /** Refresh the lock-free donatable-quota gauge (relaxed store):
+     *  what a steal could harvest — spare down to the mid restore
+     *  target, but only once spare has reached the high (donation)
+     *  watermark; 0 for in-band spare, which is working headroom. */
+    void updateSpareGauge()
+    {
+        const std::uint64_t used = tracker_.count();
+        const std::uint64_t spare = budget_ > used ? budget_ - used : 0;
+        spareGauge_.store(spare >= quotaHigh_ ? spare - quotaMid_ : 0,
+                          std::memory_order_relaxed);
+    }
 
     /**
      * Launch async copies until threshold or IO-cap reached.
@@ -295,6 +388,17 @@ class DirtyBudgetController : public PersistClient
     /** Shared quota pool (sharded runtimes); null when standalone. */
     BudgetPool *pool_ = nullptr;
     std::uint64_t borrowBatch_ = 1;
+
+    /** Spare-quota hysteresis band (deriveQuotaWatermarks). */
+    std::uint64_t quotaLow_ = 0;
+    std::uint64_t quotaMid_ = 1;
+    std::uint64_t quotaHigh_ = 2;
+
+    /** SLO admission reserve, clamped to half the fair share. */
+    std::uint64_t effectiveHeadroom_ = 0;
+
+    /** Lock-free spare-quota gauge for donor pre-filtering. */
+    std::atomic<std::uint64_t> spareGauge_{0};
 
     DirtyPageTracker tracker_;
     EpochRecencyTracker recency_;

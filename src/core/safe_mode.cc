@@ -55,6 +55,14 @@ ShardedBudgetDomain::applyBudget(std::uint64_t pages)
     // domain is 2 x shards, so in practice it always can).
     redistributeBudget(pool_, controllers, pages,
                        /*floor_per_shard=*/2);
+    // A degraded (or restored) total changes the fair share the
+    // hysteresis band and SLO headroom hang off: re-derive per shard
+    // so safe-mode shards neither donate a faded budget away against
+    // stale high watermarks nor refill in stale oversized batches.
+    const std::uint64_t share = std::max<std::uint64_t>(
+        1, pages / controllers.size());
+    for (DirtyBudgetController *controller : controllers)
+        controller->deriveQuotaWatermarks(share);
 }
 
 double

@@ -2,9 +2,11 @@
 
 #include <fcntl.h>
 #include <limits.h>
+#include <sched.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/uio.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -188,6 +190,26 @@ struct NvRegion::Shard
     std::unique_ptr<ShardBackend> backend PT_GUARDED_BY(lock);
     std::unique_ptr<core::DirtyBudgetController> controller
         PT_GUARDED_BY(lock);
+
+    /**
+     * Lock-free view of the controller for its donatable-quota
+     * gauge: the steal sweep pre-filters donors through this WITHOUT
+     * the shard lock.  The pointer is written once at construction,
+     * before the shard is published to the fault dispatcher, and
+     * donatableQuotaGauge() is a relaxed atomic load — a stale reading
+     * costs one wasted lock acquisition or one skipped donor, never
+     * correctness (the authoritative spare is re-read under the
+     * donor's lock before quota moves).
+     */
+    const core::DirtyBudgetController *gaugeView = nullptr;
+
+    /** Fault-path migration/backoff counters, written WITHOUT the
+     *  shard lock (the steal sweep and the admission backoff run
+     *  lock-free), so they live here as relaxed atomics rather than
+     *  in the lock-guarded ControllerStats. */
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> backoffRetries{0};
+    std::atomic<std::uint64_t> starvedFaults{0};
 };
 
 /**
@@ -842,6 +864,12 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
     core_config.coalesceRuns = config.coalesceRuns;
     core_config.maxRunPages = config.maxRunPages;
     core_config.extentShift = config.extentShift;
+    // Inline persists make the async shed degenerate to the same
+    // blocking write; gate on copiers so copiers-off regions stay
+    // bit-identical (including the shedEvictions counter).
+    core_config.shedBlockedEvictions =
+        config.shedBlockedEvictions && config.copierThreads > 0;
+    core_config.sloHeadroomPages = config.sloHeadroomPages;
 
     if (config.copierThreads > 0) {
         // Ring capacity = the per-shard outstanding-IO cap the
@@ -871,9 +899,16 @@ NvRegion::NvRegion(const std::string &backing_path, std::uint64_t bytes,
         shard->controller =
             std::make_unique<core::DirtyBudgetController>(
                 *shard->backend, core_config);
-        if (pool_)
+        if (pool_) {
             shard->controller->attachBudgetPool(pool_.get(),
                                                 quotaBatch_);
+            // Watermarks hang off the FAIR share (budget / shards),
+            // not the deliberately-low initial quota, so a shard
+            // that warms up migrates toward its share in batches.
+            shard->controller->deriveQuotaWatermarks(
+                budget / shard_count);
+        }
+        shard->gaugeView = shard->controller.get();
         shards_.push_back(std::move(shard));
     }
 
@@ -933,6 +968,55 @@ NvRegion::~NvRegion()
         ::close(fd_);
 }
 
+namespace
+{
+
+/** One CPU relax in a spin loop (no syscall, no memory traffic). */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    asm volatile("" ::: "memory");
+#endif
+}
+
+/**
+ * Capped exponential backoff for fault-path admission retries.  Runs
+ * inside the SIGSEGV handler, so only async-signal-safe waits:
+ * attempts 0-3 spin on a CPU relax (contention usually resolves in
+ * nanoseconds), 4-7 cede the core with sched_yield (useful when the
+ * holder is preempted, and the only option on a single-CPU host),
+ * and 8+ sleep 1us << (attempt - 8), capped at 256us — long enough
+ * for a device write to complete, short enough that a freed quota
+ * batch is picked up promptly.
+ */
+void
+faultBackoff(unsigned attempt)
+{
+    if (attempt < 4) {
+        for (unsigned i = 0; i < (16u << attempt); ++i)
+            cpuRelax();
+        return;
+    }
+    if (attempt < 8) {
+        ::sched_yield();
+        return;
+    }
+    const unsigned shift = std::min(attempt - 8, 8u);
+    struct timespec ts = {0, 1000L << shift};
+    ::nanosleep(&ts, nullptr);
+}
+
+/** Attempt index at which faultBackoff first hits its 256us cap; a
+ *  fault still unadmitted after the whole ladder is starving. */
+constexpr unsigned kBackoffLadder = 16;
+
+} // namespace
+
 bool
 NvRegion::handleFault(void *addr)
 {
@@ -947,8 +1031,10 @@ NvRegion::handleFault(void *addr)
     // idling in a sibling is free, an eviction costs an SSD write.
     // Only once a full donor sweep finds no spare does the retry
     // permit a local eviction.  Standalone (shards=1, no pool) always
-    // evicts directly — onWriteFault never fails there.
+    // evicts directly — onWriteFault never fails there, so the retry
+    // loop (and its counters) is dead code unsharded.
     bool allow_evict = pool_ == nullptr;
+    unsigned attempt = 0;
     for (;;) {
         {
             common::MutexLock guard(shard.lock);
@@ -957,8 +1043,29 @@ NvRegion::handleFault(void *addr)
         }
         // Quota starved: pull spare quota out of a sibling
         // (lock-ordering rule 3) and retry the fault.  If no sibling
-        // had any, fall back to evicting our own coldest page.
-        allow_evict = !stealQuotaFor(shard.index);
+        // had any, fall back to evicting our own coldest page.  The
+        // sweep runs on the first retry and then every fourth one:
+        // once an immediate steal has failed, surplus usually arrives
+        // via the pool (a sibling's boundary donation) or a local
+        // eviction completes first, so re-sweeping the gauges every
+        // lap just reheats donor cache lines.
+        if (attempt % 4 == 0)
+            allow_evict = !stealQuotaFor(shard.index);
+        else
+            allow_evict = true;
+        // Capped exponential backoff between retries.  The retry can
+        // lose the deposited quota to a racing thread's borrow, so
+        // N starving threads on one shard would otherwise convoy —
+        // re-sweeping every donor lock per lap (the old bare yield()
+        // spin).  Backing off lets the winner finish and keeps the
+        // donor locks cool; the cap bounds added fault latency.
+        shard.backoffRetries.fetch_add(1, std::memory_order_relaxed);
+        if (attempt + 1 == kBackoffLadder)
+            shard.starvedFaults.fetch_add(1,
+                                          std::memory_order_relaxed);
+        faultBackoff(attempt);
+        if (attempt < kBackoffLadder)
+            ++attempt;
     }
 }
 
@@ -968,23 +1075,37 @@ NvRegion::stealQuotaFor(unsigned thief)
     for (std::size_t step = 1; step < shards_.size(); ++step) {
         const std::size_t di = (thief + step) % shards_.size();
         Shard &donor = *shards_[di];
+        // A steal only harvests spare ABOVE a donor's mid watermark
+        // (a demand-driven early donation): taking in-band spare
+        // would push the donor under its own low watermark, whose
+        // compensating refill dries the pool for the next shard —
+        // the quota-thrash cascade that made the old scheme take
+        // every donor's lock on every starving fault.  The lock-free
+        // gauge pre-filters in-band donors without touching their
+        // lock; when every sibling is in-band the thief evicts
+        // locally instead (cheap now that evictions shed to the
+        // copier pipeline).
+        if (donor.gaugeView->donatableQuotaGauge() == 0)
+            continue;
         common::MutexLock guard(donor.lock);
         // Deposit while still holding the donor lock: quota is then
         // always either inside a shard or in the pool, so a thread
         // holding every shard lock (setDirtyBudget) observes
         // sum(quotas) + pool == total with nothing in transit.
         const std::uint64_t got =
-            donor.controller->releaseSpareQuota(quotaBatch_);
+            donor.controller->releaseDonatableQuota();
         if (got) {
             pool_->deposit(got);
             quotaSteals_.fetch_add(1, std::memory_order_relaxed);
+            shards_[thief]->steals.fetch_add(
+                1, std::memory_order_relaxed);
             return true;
         }
     }
     // Every donor's quota is fully occupied by dirty pages (or the
     // budget is momentarily in transit to another starving shard);
-    // let the faulting shard evict locally.
-    std::this_thread::yield();
+    // let the faulting shard evict locally.  The caller's backoff
+    // replaces the bare yield() that used to sit here.
     return false;
 }
 
@@ -1209,6 +1330,7 @@ NvRegion::setDirtyBudget(std::uint64_t pages)
     const std::uint64_t old_total = pool_->totalPages();
     if (pages >= old_total) {
         pool_->grow(pages - old_total);
+        rederiveWatermarks(pages);
         return;
     }
 
@@ -1235,6 +1357,25 @@ NvRegion::setDirtyBudget(std::uint64_t pages)
         // above its floor or the pool has available quota.
         to_destroy -= pool_->confiscate(to_destroy);
     }
+    rederiveWatermarks(pages);
+}
+
+void
+NvRegion::rederiveWatermarks(std::uint64_t total_pages)
+{
+    // Watermarks and the SLO headroom scale with the fair share, so
+    // a retuned total must re-derive them: stale high watermarks
+    // after a shrink would donate a degraded budget away, stale low
+    // watermarks after a grow would leave shards refilling in
+    // too-small batches.  One shard lock at a time under the retune
+    // mutex — same discipline (and same no-new-edges argument) as
+    // the quota sweep above.
+    const std::uint64_t share =
+        std::max<std::uint64_t>(1, total_pages / shards_.size());
+    for (auto &shard : shards_) {
+        common::MutexLock guard(shard->lock);
+        shard->controller->deriveQuotaWatermarks(share);
+    }
 }
 
 // The ascending sweep over ALL shard locks is a dynamic lock set the
@@ -1251,9 +1392,12 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
 
     RegionStats out;
     out.shards = shards_.size();
+    if (pool_)
+        out.perShard.resize(shards_.size());
     std::uint64_t quotas = 0;
-    for (auto &shard : shards_) {
-        const core::ControllerStats &cs = shard->controller->stats();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard &shard = *shards_[i];
+        const core::ControllerStats &cs = shard.controller->stats();
         out.writeFaults += cs.writeFaults;
         out.blockedEvictions += cs.blockedEvictions;
         out.proactiveCopies += cs.proactiveCopies;
@@ -1261,8 +1405,25 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
         out.quotaReturnedPages += cs.quotaReturnedPages;
         out.runSubmits += cs.runSubmits;
         out.runPagesCoalesced += cs.runPagesCoalesced;
-        out.dirtyPages += shard->controller->tracker().count();
-        quotas += shard->controller->dirtyBudget();
+        out.watermarkRefills += cs.watermarkRefills;
+        out.proactiveDonations += cs.proactiveDonations;
+        out.shedEvictions += cs.shedEvictions;
+        const std::uint64_t steals =
+            shard.steals.load(std::memory_order_relaxed);
+        const std::uint64_t backoffs =
+            shard.backoffRetries.load(std::memory_order_relaxed);
+        out.backoffRetries += backoffs;
+        out.starvedFaults +=
+            shard.starvedFaults.load(std::memory_order_relaxed);
+        out.dirtyPages += shard.controller->tracker().count();
+        quotas += shard.controller->dirtyBudget();
+        if (pool_) {
+            RegionStats::ShardCounters &ps = out.perShard[i];
+            ps.steals = steals;
+            ps.watermarkRefills = cs.watermarkRefills;
+            ps.proactiveDonations = cs.proactiveDonations;
+            ps.backoffRetries = backoffs;
+        }
     }
     // Epochs advance in lockstep across shards; report one, not n.
     out.epochs = shards_[0]->controller->stats().epochs;

@@ -253,6 +253,29 @@ struct RuntimeConfig
      * raw write covers the whole slot and records storedLen = 0.
      */
     bool compressFlush = false;
+
+    /**
+     * Shed fault-path blocking evictions to the copier pipeline
+     * (core::ViyojitConfig::shedBlockedEvictions): a budget-limited
+     * fault fills the async pipe with victims and blocks only until
+     * the FIRST completion, instead of paying one synchronous device
+     * write per eviction.  Enabled by default but effective only
+     * when copierThreads > 0 — with inline persists the async submit
+     * degenerates to the same blocking write, so the runtime maps it
+     * to false and copiers-off regions stay bit-identical to the
+     * pre-shedding runtime (including stats).
+     */
+    bool shedBlockedEvictions = true;
+
+    /**
+     * Latency-SLO admission headroom in pages per shard
+     * (core::ViyojitConfig::sloHeadroomPages, 0 = off): proactive
+     * copying keeps at least this many admission slots free even
+     * when the pressure EWMA lags, bounding fault-path p99 during
+     * bursts and retunes.  Clamped to half a shard's fair share at
+     * watermark derivation.
+     */
+    std::uint64_t sloHeadroomPages = 0;
 };
 
 /** Runtime statistics snapshot (coherent across shards). */
@@ -274,6 +297,24 @@ struct RegionStats
 
     /** Cross-shard quota steals (fault path found the pool dry). */
     std::uint64_t quotaSteals = 0;
+
+    /** Hysteretic quota migration: batched refills taken when spare
+     *  quota crossed the low watermark, and proactive donations made
+     *  above the high watermark at epoch boundaries.  Healthy
+     *  multicore runs migrate through these; steals are the rare
+     *  slow path. */
+    std::uint64_t watermarkRefills = 0;
+    std::uint64_t proactiveDonations = 0;
+
+    /** Budget-limited faults shed to the async copier pipeline
+     *  instead of paying a synchronous device write. */
+    std::uint64_t shedEvictions = 0;
+
+    /** Fault-path admission retries that entered the capped
+     *  exponential backoff, and faults that exhausted a full backoff
+     *  ladder without admitting (starvation signal). */
+    std::uint64_t backoffRetries = 0;
+    std::uint64_t starvedFaults = 0;
 
     /** Coalesced run IOs submitted and the pages they carried. */
     std::uint64_t runSubmits = 0;
@@ -308,6 +349,18 @@ struct RegionStats
     std::uint64_t compressedPersists = 0;
     std::uint64_t compressBypasses = 0;
     std::uint64_t storedBytesPersisted = 0;
+
+    /** Per-shard migration/backoff counters (empty when unsharded):
+     *  where the aggregates above came from, so a skewed workload's
+     *  hot shard is visible instead of averaged away. */
+    struct ShardCounters
+    {
+        std::uint64_t steals = 0;
+        std::uint64_t watermarkRefills = 0;
+        std::uint64_t proactiveDonations = 0;
+        std::uint64_t backoffRetries = 0;
+    };
+    std::vector<ShardCounters> perShard;
 };
 
 /** What recovery found while reloading and verifying the image. */
@@ -469,8 +522,27 @@ class NvRegion
      * never evicting donor pages) into the pool for the thief's
      * retry to borrow.  Returns false when no sibling had any to
      * give, signalling the thief to evict locally instead.
+     *
+     * With hysteretic watermark migration this is the rare slow
+     * path: donors advertise spare above their mid watermark in a
+     * lock-free gauge (DirtyBudgetController::donatableQuotaGauge),
+     * and the sweep skips donors whose gauge reads zero WITHOUT
+     * taking their lock — a stale gauge costs one wasted lock
+     * acquisition or one skipped donor, never correctness, because
+     * the authoritative value is re-read under the donor's lock
+     * before any quota moves.  In-band spare is never stolen (it
+     * would cascade into compensating refills); when every sibling
+     * is in-band the thief evicts locally instead.
      */
     bool stealQuotaFor(unsigned thief);
+
+    /**
+     * Re-derive every shard's quota watermarks and SLO headroom from
+     * a retuned pool total (fair share = total / shards).  Called
+     * under the retune mutex, locking one shard at a time — no
+     * all-shards lock set, no new lock-order edges.
+     */
+    void rederiveWatermarks(std::uint64_t total_pages);
 
     RuntimeConfig config_;
     std::uint64_t pageSize_;

@@ -343,6 +343,50 @@ TEST(LogHistogramTest, RecordWithCount)
     EXPECT_EQ(h.sum(), 50u);
 }
 
+TEST(LogHistogramTest, BucketDecodeMatchesEncodeAcrossTiers)
+{
+    // Encoder/decoder round-trip at the direct/log split and across
+    // log tiers.  The decoder used to accept "phantom" indices (the
+    // direct guard tested the tier, not the index), where the log
+    // formula shifts by a negative count; the guard now mirrors the
+    // encoder exactly, so every value's reported percentile must sit
+    // in [v, v + sub-bucket width).  A far-larger sentinel value
+    // keeps the max clamp from masking the decoded upper bound.
+    const std::uint64_t probes[] = {
+        1,       31,           32,           33,
+        63,      64,           100,          1000,
+        4095,    4096,         (1ULL << 20) - 1,
+        1ULL << 20,            (1ULL << 20) + 1,
+        (1ULL << 40) - 1,      1ULL << 40};
+    for (const std::uint64_t v : probes) {
+        LogHistogram h;
+        h.record(v, 10);
+        h.record(1ULL << 50);
+        const std::uint64_t p50 = h.percentile(50);
+        EXPECT_GE(p50, v) << "value " << v;
+        if (v < 32) {
+            // Direct-indexed range is exact.
+            EXPECT_EQ(p50, v) << "value " << v;
+        } else {
+            // One sub-bucket of slack: width 2^(tier-5) <= v/16.
+            EXPECT_LE(p50 - v, v / 16) << "value " << v;
+        }
+    }
+}
+
+TEST(LogHistogramTest, PercentileNeverBelowRecordedMin)
+{
+    // The timer-floor sanity gate in the concurrency bench depends
+    // on this: a p50 below every recorded sample would mean the
+    // histogram invents latencies the timer never measured.
+    LogHistogram h;
+    for (std::uint64_t v = 40; v <= 4000; v += 7)
+        h.record(v);
+    EXPECT_GE(h.percentile(1), 40u);
+    EXPECT_GE(h.percentile(50), 40u);
+    EXPECT_LE(h.percentile(99), h.maxValue());
+}
+
 TEST(LogHistogramTest, ZeroValue)
 {
     LogHistogram h;

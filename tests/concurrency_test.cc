@@ -28,6 +28,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "core/budget_pool.hh"
 #include "runtime/region.hh"
 
 namespace viyojit::runtime
@@ -334,6 +335,119 @@ TEST_F(ConcurrencyFixture, ConcurrentRetunesKeepInvariants)
     const RegionStats stats = region->stats();
     EXPECT_LE(stats.dirtyPages, stats.dirtyBudgetPages);
     EXPECT_GT(stats.writeFaults, 0u);
+}
+
+TEST_F(ConcurrencyFixture, WatermarkHysteresisDoesNotPingPong)
+{
+    // A shard whose spare quota sits inside the watermark band
+    // [low, high) must not migrate quota at epoch boundaries: the
+    // refill trigger (spare < low) and the donation trigger
+    // (spare >= high) both restore to mid, so a stable shard needs
+    // at least half a band of real demand change before either side
+    // fires again.  manualSharded(64, 4) derives low=1 mid=2 high=4
+    // from the fair share; 5 dirty pages against the initial quota
+    // of 8 parks spare at 3 — mid-band.
+    auto region = NvRegion::create(makePath("hysteresis"), 1_MiB,
+                                   manualSharded(64, 4));
+    char *base = static_cast<char *>(region->base());
+    const std::uint64_t page_size = region->pageSize();
+    const std::uint64_t pages_per_shard = region->pageCount() / 4;
+
+    for (unsigned shard = 0; shard < 4; ++shard) {
+        for (std::uint64_t i = 0; i < 5; ++i)
+            base[(shard * pages_per_shard + i) * page_size] = 'h';
+    }
+
+    const RegionStats before = region->stats();
+    EXPECT_EQ(before.dirtyPages, 20u);
+
+    for (int tick = 0; tick < 10; ++tick)
+        region->epochTick();
+
+    // Ten boundaries, zero migrations in either direction.
+    const RegionStats after = region->stats();
+    EXPECT_EQ(after.dirtyPages, before.dirtyPages);
+    EXPECT_EQ(after.watermarkRefills, before.watermarkRefills);
+    EXPECT_EQ(after.proactiveDonations, before.proactiveDonations);
+    EXPECT_EQ(after.quotaBorrowedPages, before.quotaBorrowedPages);
+    EXPECT_EQ(after.quotaReturnedPages, before.quotaReturnedPages);
+    EXPECT_EQ(after.quotaSteals, before.quotaSteals);
+}
+
+TEST(BudgetPoolFuzz, ConcurrentMigrationsPreserveInvariant)
+{
+    // Four "shards" fuzz the lock-free borrow/deposit paths with
+    // watermark-style migrations while a governor thread retunes the
+    // total through all three total-changing paths (grow, confiscate,
+    // borrow-then-destroyReclaimed).  Every operation conserves
+    // pages, so at each phase barrier the §4.1 accounting must hold:
+    // sum(shard quotas) + available() <= totalPages(), with equality
+    // once quiesced (no grant in transit).
+    core::BudgetPool pool(1024, 512);
+    constexpr unsigned kWorkers = 4;
+    constexpr std::uint64_t kInitialQuota = 128; // 4 x 128 = the 512
+    std::vector<std::uint64_t> local(kWorkers, kInitialQuota);
+
+    for (int phase = 0; phase < 3; ++phase) {
+        std::vector<std::thread> threads;
+        for (unsigned w = 0; w < kWorkers; ++w) {
+            threads.emplace_back([&pool, &local, phase, w]() {
+                Rng rng(131 * phase + w);
+                for (int op = 0; op < 8000; ++op) {
+                    switch (rng.nextBounded(4)) {
+                    case 0: // batched refill toward mid
+                        local[w] +=
+                            pool.tryBorrow(1 + rng.nextBounded(8));
+                        break;
+                    case 1: // proactive donation of surplus
+                        if (local[w] > 16) {
+                            const std::uint64_t give = local[w] - 16;
+                            local[w] -= give;
+                            pool.deposit(give);
+                        }
+                        break;
+                    case 2: // completion trickles one page back
+                        if (local[w] > 0) {
+                            --local[w];
+                            pool.deposit(1);
+                        }
+                        break;
+                    default: // churn: borrow and return immediately
+                        pool.deposit(pool.tryBorrow(4));
+                        break;
+                    }
+                }
+            });
+        }
+        threads.emplace_back([&pool, phase]() {
+            Rng rng(9000 + phase);
+            for (int op = 0; op < 1000; ++op) {
+                switch (rng.nextBounded(3)) {
+                case 0: // battery recovered
+                    pool.grow(8);
+                    break;
+                case 1: // governor destroys unassigned quota
+                    pool.confiscate(8);
+                    break;
+                default: { // claw-back: quota dies without ever
+                           // re-entering available()
+                    const std::uint64_t got = pool.tryBorrow(8);
+                    if (got > 0)
+                        pool.destroyReclaimed(got);
+                    break;
+                }
+                }
+            }
+        });
+        for (std::thread &t : threads)
+            t.join();
+
+        std::uint64_t assigned = 0;
+        for (std::uint64_t quota : local)
+            assigned += quota;
+        EXPECT_LE(assigned + pool.available(), pool.totalPages());
+        EXPECT_EQ(assigned + pool.available(), pool.totalPages());
+    }
 }
 
 TEST_F(ConcurrencyFixture, EpochThreadAdvancesUnderLoad)
