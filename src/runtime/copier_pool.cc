@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "runtime/fault_dispatch.hh"
 
 namespace viyojit::runtime
 {
@@ -62,6 +63,9 @@ CopierPool::submit(unsigned shard, Job job)
 void
 CopierPool::workerLoop()
 {
+    // Copier threads write through the region mapping and can fault;
+    // give them the bounded alt-stack envelope (DESIGN.md §15).
+    ensureFaultStackForThisThread();
     std::vector<Job> jobs;
     jobs.reserve(batch_);
     for (;;) {

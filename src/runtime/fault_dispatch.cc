@@ -58,6 +58,38 @@ struct sigaction previousAction GUARDED_BY(registryLock);
 bool handlerInstalled GUARDED_BY(registryLock) = false;
 
 /**
+ * Per-thread alternate fault stack (RAII).  The handler runs real
+ * admission work — budget control, copier hand-off, condvar
+ * throttling — so it must not depend on the faulting thread having
+ * stack headroom left.  SA_ONSTACK moves the handler onto this
+ * kFaultStackBytes block wherever one is registered; the pathlint
+ * stack-bound contract proves the handler's worst-case depth fits
+ * it (DESIGN.md §15).
+ *
+ * Destruction disarms the alt stack before freeing it so a fault
+ * during thread teardown cannot land on freed memory (it falls back
+ * to the dying thread's regular stack instead).
+ */
+struct FaultStack
+{
+    char *mem = nullptr;
+    bool installed = false;
+
+    ~FaultStack()
+    {
+        if (installed) {
+            stack_t off;
+            std::memset(&off, 0, sizeof(off));
+            off.ss_flags = SS_DISABLE;
+            sigaltstack(&off, nullptr);
+        }
+        delete[] mem;
+    }
+};
+
+thread_local FaultStack faultStack;
+
+/**
  * Async-signal context: must not take registryLock (the faulting
  * thread may already hold it, or any other lock) and must not
  * allocate — the registry is a fixed array of atomics for exactly
@@ -111,7 +143,10 @@ installHandler() REQUIRES(registryLock)
     struct sigaction action;
     std::memset(&action, 0, sizeof(action));
     action.sa_sigaction = segvHandler;
-    action.sa_flags = SA_SIGINFO;
+    // SA_ONSTACK is a no-op for threads without a registered alt
+    // stack (the kernel stays on the current stack), so it is safe
+    // to request unconditionally.
+    action.sa_flags = SA_SIGINFO | SA_ONSTACK;
     sigemptyset(&action.sa_mask);
     if (sigaction(SIGSEGV, &action, &previousAction) != 0)
         panic("failed to install SIGSEGV handler");
@@ -121,8 +156,37 @@ installHandler() REQUIRES(registryLock)
 } // namespace
 
 void
+ensureFaultStackForThisThread()
+{
+    if (faultStack.installed)
+        return;
+    // Respect an application-installed alt stack: replacing it could
+    // shrink an envelope the application sized for its own handlers.
+    stack_t current;
+    std::memset(&current, 0, sizeof(current));
+    if (sigaltstack(nullptr, &current) == 0 &&
+        !(current.ss_flags & SS_DISABLE) && current.ss_sp != nullptr)
+        return;
+    if (kFaultStackBytes <
+        static_cast<unsigned long long>(MINSIGSTKSZ))
+        panic("kFaultStackBytes below MINSIGSTKSZ");
+    faultStack.mem = new char[kFaultStackBytes];
+    stack_t ss;
+    std::memset(&ss, 0, sizeof(ss));
+    ss.ss_sp = faultStack.mem;
+    ss.ss_size = kFaultStackBytes;
+    if (sigaltstack(&ss, nullptr) != 0)
+        panic("failed to install the fault-path sigaltstack");
+    faultStack.installed = true;
+}
+
+void
 registerRegion(NvRegion *region, void *base, unsigned long long bytes)
 {
+    // The registering thread is about to fault into the region; give
+    // it the bounded alt-stack envelope before the first fault can
+    // arrive.
+    ensureFaultStackForThisThread();
     common::MutexLock guard(registryLock);
     if (!handlerInstalled)
         installHandler();

@@ -1457,9 +1457,14 @@ NvRegion::stats() const NO_THREAD_SAFETY_ANALYSIS
 void
 NvRegion::startEpochThread()
 {
-    if (epochRunning_.exchange(true))
+    // acq_rel: the winning exchange must observe a prior stop's
+    // teardown and publish this start to a concurrent stop.
+    if (epochRunning_.exchange(true, std::memory_order_acq_rel))
         return;
     epochThread_ = std::thread([this]() {
+        // The epoch thread takes shard locks and can fault while
+        // scrubbing; give it the bounded alt-stack envelope.
+        ensureFaultStackForThisThread();
         while (epochRunning_.load(std::memory_order_relaxed)) {
             std::this_thread::sleep_for(
                 std::chrono::microseconds(config_.epochMicros));
@@ -1480,7 +1485,7 @@ NvRegion::startEpochThread()
 void
 NvRegion::stopEpochThread()
 {
-    if (!epochRunning_.exchange(false))
+    if (!epochRunning_.exchange(false, std::memory_order_acq_rel))
         return;
     if (epochThread_.joinable())
         epochThread_.join();

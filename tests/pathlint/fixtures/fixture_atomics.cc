@@ -1,0 +1,24 @@
+// Negative fixture for the atomics contract: implicit-order atomic
+// operations (defaulting to seq_cst).  The textual scan must flag
+// the store and the load; the explicitCounter ops spell their order
+// and must NOT be flagged.  This file is scanned, never compiled —
+// it is deliberately absent from the fixture spec's [engine] sources.
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned> gImplicit{0};
+std::atomic<unsigned> gExplicit{0};
+
+unsigned bumpImplicit() {
+    gImplicit.store(1u);  // implicit seq_cst: must be flagged
+    return gImplicit.load();  // implicit seq_cst: must be flagged
+}
+
+unsigned bumpExplicit() {
+    gExplicit.store(1u, std::memory_order_release);
+    return gExplicit.load(std::memory_order_acquire);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Negative fixture for the lock-blocking contract: a durability
+// barrier issued while holding a pthread mutex.  The
+// @mutex-acquirers root selector must pick syncUnderLock up from the
+// assembly (it calls pthread_mutex_lock directly) and flag the
+// fdatasync with no sanctioned-wait entry.  This is the exact shape
+// DESIGN.md §8 forbids outside the audited persist paths.  The other
+// fixture TUs take no locks, so this TU must trip ONLY
+// lock-blocking.
+
+#include <pthread.h>
+#include <unistd.h>
+
+namespace fixture {
+
+namespace {
+pthread_mutex_t gMutex = PTHREAD_MUTEX_INITIALIZER;
+}  // namespace
+
+int syncUnderLock(int fd) {
+    pthread_mutex_lock(&gMutex);
+    int rc = fdatasync(fd);
+    pthread_mutex_unlock(&gMutex);
+    return rc;
+}
+
+}  // namespace fixture

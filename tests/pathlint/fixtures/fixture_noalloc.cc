@@ -1,0 +1,18 @@
+// Negative fixture for the no-alloc contract: operator new[] on a
+// fault-path-shaped function.  The contract's _Zna prefix deny must
+// flag it.  No stdio, no locks, small frame — this TU must trip
+// ONLY no-alloc.
+
+#include <cstddef>
+
+namespace fixture {
+
+int* allocOnFaultPath(std::size_t n) {
+    return new int[n];
+}
+
+void freeOnFaultPath(int* p) {
+    delete[] p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Negative fixture for the sigsafe contract: a handler-shaped
+// function that calls into stdio.  The contract must flag the
+// fprintf (or the fwrite gcc lowers it to) as an async-signal-unsafe
+// call with no allowlist entry.  No allocation, no locks, no
+// blocking syscalls — this TU must trip ONLY sigsafe.
+
+#include <cstdio>
+
+namespace fixture {
+
+void sigsafeViolator(int signo) {
+    std::fprintf(stderr, "fault %d\n", signo);
+}
+
+}  // namespace fixture

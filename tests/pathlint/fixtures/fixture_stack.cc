@@ -1,0 +1,21 @@
+// Negative fixture for the stack-bound contract: a 48 KiB frame
+// against the 16 KiB kFixtureStackBytes declared in
+// fixture_stack.hh.  The volatile buffer keeps -O2 from eliding the
+// array, and the volatile element accesses keep the init loop from
+// being recognized as memset (a memset call would add an extern
+// charge and muddy the single-frame arithmetic).  No denied calls,
+// no locks — this TU must trip ONLY stack-bound.
+
+#include "fixture_stack.hh"
+
+namespace fixture {
+
+unsigned char stackHog(unsigned idx) {
+    volatile unsigned char buf[3 * kFixtureStackBytes];
+    for (unsigned i = 0; i < sizeof buf; ++i) {
+        buf[i] = static_cast<unsigned char>(i);
+    }
+    return buf[idx % sizeof buf];
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Declared alt-stack size for the stack-bound negative fixture.
+// The initializer must stay in the `name = expr;` shape
+// parse_limit_source() reads, mirroring kFaultStackBytes in
+// src/runtime/fault_dispatch.hh.
+#pragma once
+
+namespace fixture {
+
+inline constexpr unsigned long long kFixtureStackBytes = 16ull * 1024;
+
+}  // namespace fixture

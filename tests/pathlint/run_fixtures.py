@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Negative-fixture suite for the pathlint contracts engine.
+
+Runs tools/pathlint against tests/pathlint/fixtures/ — four
+deliberately-violating translation units plus one implicit-order
+atomics file — and asserts from the JSON report that every fixture
+trips EXACTLY its own contract:
+
+  fixture_sigsafe.cc    sigsafe        flags the stdio call
+  fixture_stack.cc      stack-bound    48 KiB frame vs 16 KiB limit
+  fixture_noalloc.cc    no-alloc       flags operator new[]/delete[]
+  fixture_lockblock.cc  lock-blocking  flags fdatasync under a mutex
+  fixture_atomics.cc    atomics        flags the implicit-order ops
+
+"Exactly" is checked both ways: each contract must fail with its
+expected finding type against its own fixture's symbols, and must
+never report a finding that names another fixture's marker symbol.
+
+Exit 0 on success, 1 on assertion failure, 77 (ctest SKIP) when the
+toolchain cannot support the engine at all.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+# Marker symbols, one per fixture; used for the cross-contamination
+# assertion.
+MARKERS = {
+    "sigsafe": "sigsafeViolator",
+    "stack-bound": "stackHog",
+    "no-alloc": "allocOnFaultPath",
+    "lock-blocking": "syncUnderLock",
+}
+
+
+def fail(msg):
+    print(f"run_fixtures: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def finding_text(finding):
+    return json.dumps(finding, sort_keys=True)
+
+
+def assert_deny_contract(contract, name, marker, callee_re):
+    findings = contract["findings"]
+    if contract.get("status") != "fail":
+        fail(f"[{name}] expected status 'fail', got "
+             f"{contract.get('status')!r}")
+    if not findings:
+        fail(f"[{name}] no findings — the fixture was not flagged")
+    for f in findings:
+        if f["type"] != "deny":
+            fail(f"[{name}] unexpected finding type {f['type']!r}: "
+                 + finding_text(f))
+        if marker not in f["caller"]:
+            fail(f"[{name}] finding against a non-fixture caller: "
+                 + finding_text(f))
+        if not re.search(callee_re, f["callee"]):
+            fail(f"[{name}] unexpected denied callee "
+                 f"(wanted /{callee_re}/): " + finding_text(f))
+    print(f"  [{name}] {len(findings)} finding(s), all "
+          f"'{marker}' -> /{callee_re}/")
+
+
+def assert_no_cross_contamination(contracts):
+    for name, contract in contracts.items():
+        for f in contract["findings"]:
+            blob = finding_text(f)
+            for other, marker in MARKERS.items():
+                if other != name and marker in blob:
+                    fail(f"[{name}] finding references fixture "
+                         f"'{other}' marker {marker!r}: {blob}")
+    print("  no contract reports another fixture's symbols")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(HERE)))
+    ap.add_argument("--compiler",
+                    default=os.environ.get("CXX", "g++"))
+    args = ap.parse_args()
+    repo = os.path.abspath(args.repo)
+
+    for tool in (args.compiler, "c++filt", "python3"):
+        if shutil.which(tool) is None:
+            print(f"run_fixtures: SKIPPED — {tool} not installed "
+                  "(the pathlint engine needs the gcc toolchain)")
+            return SKIP
+
+    spec = os.path.join(HERE, "fixtures", "fixture_contracts.ini")
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "report.json")
+        cmd = [sys.executable,
+               os.path.join(repo, "tools", "pathlint"),
+               "--repo", repo, "--spec", spec,
+               "--compiler", args.compiler,
+               "--report", report_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode == 2:
+            fail("pathlint errored out (exit 2):\n" + proc.stderr)
+        if proc.returncode != 1:
+            fail(f"expected exit 1 (findings), got "
+                 f"{proc.returncode}:\n{proc.stdout}\n{proc.stderr}")
+        with open(report_path, encoding="utf-8") as fh:
+            report = json.load(fh)
+
+    contracts = {c["contract"]: c for c in report["contracts"]}
+    expected = {"sigsafe", "stack-bound", "no-alloc",
+                "lock-blocking", "atomics"}
+    if set(contracts) != expected:
+        fail(f"report covers {sorted(contracts)}, "
+             f"expected {sorted(expected)}")
+
+    # sigsafe: gcc may lower fprintf to fwrite; both are denied.
+    assert_deny_contract(contracts["sigsafe"], "sigsafe",
+                         MARKERS["sigsafe"], r"f(printf|write|puts)")
+    assert_deny_contract(contracts["no-alloc"], "no-alloc",
+                         r"OnFaultPath", r"operator (new|delete)")
+    assert_deny_contract(contracts["lock-blocking"], "lock-blocking",
+                         MARKERS["lock-blocking"], r"fdatasync")
+
+    stack = contracts["stack-bound"]
+    if stack.get("status") == "skipped":
+        # -fstack-usage unsupported: the engine must have said so in
+        # the report, and the other four contracts still ran.
+        if report.get("stack_usage_available"):
+            fail("[stack-bound] skipped although the report claims "
+                 "-fstack-usage is available")
+        print("  [stack-bound] SKIPPED — compiler lacks "
+              "-fstack-usage (other contracts still asserted)")
+    else:
+        if stack.get("status") != "fail":
+            fail(f"[stack-bound] expected status 'fail', got "
+                 f"{stack.get('status')!r}")
+        types = [f["type"] for f in stack["findings"]]
+        if types != ["stack-overflow"]:
+            fail(f"[stack-bound] expected exactly one "
+                 f"'stack-overflow' finding, got {types}: "
+                 + finding_text(stack["findings"]))
+        hog_frames = [f for f in stack["worst_chain"]
+                      if MARKERS["stack-bound"] in f["function"]]
+        if not hog_frames:
+            fail("[stack-bound] stackHog missing from the worst "
+                 "chain")
+        limit = stack["limit_bytes"]
+        if limit != 16 * 1024:
+            fail(f"[stack-bound] limit_source misread: got {limit}, "
+                 "expected 16384 from fixture_stack.hh")
+        if stack["stack_bound_bytes"] <= limit:
+            fail(f"[stack-bound] computed bound "
+                 f"{stack['stack_bound_bytes']} does not exceed the "
+                 f"{limit}-byte fixture limit")
+        print(f"  [stack-bound] bound {stack['stack_bound_bytes']} "
+              f"> limit {limit} - margin {stack['margin_bytes']}, "
+              "exactly one stack-overflow finding")
+
+    atomics = contracts["atomics"]
+    if atomics.get("status") != "fail":
+        fail(f"[atomics] expected status 'fail', got "
+             f"{atomics.get('status')!r}")
+    flagged = [(f["file"], f["op"]) for f in atomics["findings"]]
+    if len(flagged) != 2:
+        fail(f"[atomics] expected exactly the two implicit-order "
+             f"ops, got {flagged}")
+    for f in atomics["findings"]:
+        if "fixture_atomics.cc" not in f["file"]:
+            fail("[atomics] finding outside the fixture file: "
+                 + finding_text(f))
+        if "Explicit" in f["snippet"]:
+            fail("[atomics] explicit-order op wrongly flagged: "
+                 + finding_text(f))
+    print(f"  [atomics] both implicit-order ops flagged, "
+          "explicit-order ops clean")
+
+    assert_no_cross_contamination(contracts)
+    print("run_fixtures: OK — every fixture trips exactly its "
+          "contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

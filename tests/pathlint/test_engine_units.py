@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""Unit self-tests for the pathlint engine's pure layers.
+
+Covers the pieces whose failure modes are silent (a mismatched .su
+entry just loses a frame size; a wrong depth computation just prints
+a smaller bound): the .su parser, the four-tier pretty-name <->
+demangled-name matching keys, the allowlist grammar, the deny
+classifier, the assembly parser, and the worst-case stack-depth
+computation with extern charges, recursion bounds, and frame
+overrides.  Everything here is hermetic — no compiler, no
+subprocesses.
+
+Run directly or via ctest (pathlint_engine_units).
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "tools", "pathlint"))
+
+import engine  # noqa: E402
+from engine import (Allowlist, PathlintError, RET_ADDR_BYTES,  # noqa: E402
+                    aggressive_key, compute_stack_bound, frame_keys,
+                    normalize_typelist, parse_assembly, parse_su,
+                    strip_trailing_qualifiers)
+from contracts import DenyClassifier, \
+    strip_comments_and_strings  # noqa: E402
+
+
+class ParseSuTest(unittest.TestCase):
+    def test_static_entry(self):
+        entries = parse_su(
+            "src/a.cc:10:5:void viyojit::f(int)\t160\tstatic\n")
+        self.assertEqual(entries,
+                         [("void viyojit::f(int)", 160, "static")])
+
+    def test_dynamic_bounded_qualifier_preserved(self):
+        entries = parse_su(
+            "src/a.cc:4:1:int g()\t528\tdynamic,bounded\n")
+        self.assertEqual(entries[0][2], "dynamic,bounded")
+
+    def test_colons_inside_pretty_name(self):
+        entries = parse_su(
+            "src/a.cc:7:3:void ns::C::m(std::vector<int>)\t96\t"
+            "static\n")
+        self.assertEqual(entries[0][0],
+                         "void ns::C::m(std::vector<int>)")
+
+    def test_gcc12_truncated_variadic_entry(self):
+        # GCC 12 truncates variadic-template pretty names to just the
+        # close paren plus the [with ...] clause; the parser must
+        # carry it through for the pack-key matcher.
+        line = ("src/common/logging.hh:38:1:) "
+                "[with Args = {const char (&)[35]}]\t496\tstatic\n")
+        entries = parse_su(line)
+        self.assertEqual(entries[0][1], 496)
+        self.assertTrue(entries[0][0].startswith(")"))
+
+    def test_malformed_line_raises(self):
+        with self.assertRaises(PathlintError):
+            parse_su("not a stack-usage line\n")
+        with self.assertRaises(PathlintError):
+            parse_su("missing_location\t42\tstatic\n")
+
+
+class FrameKeyTest(unittest.TestCase):
+    """frame_keys() must give gcc .su pretty names and c++filt
+    output at least one key in common for the same function."""
+
+    def keys_intersect(self, su_pretty, demangled):
+        a = set(frame_keys(su_pretty))
+        b = set(frame_keys(demangled))
+        self.assertTrue(a & b,
+                        f"no shared key:\n  su  {sorted(a)}\n"
+                        f"  dem {sorted(b)}")
+
+    def test_plain_function(self):
+        self.keys_intersect(
+            "void viyojit::runtime::segvHandler(int, siginfo_t*, "
+            "void*)",
+            "viyojit::runtime::segvHandler(int, siginfo_t*, void*)")
+
+    def test_template_instantiation_bare_name_tier(self):
+        # gcc spells the instantiation '[with T = ...]', c++filt
+        # spells it 'f<...>': tier 2 (template-stripped) bridges.
+        self.keys_intersect(
+            "T viyojit::clampPow2(T) [with T = long unsigned int]",
+            "unsigned long viyojit::clampPow2<unsigned long>"
+            "(unsigned long)")
+
+    def test_truncated_variadic_pack_tier(self):
+        # The gcc 12 truncated entry has ONLY the pack as identity;
+        # normalize_typelist must bridge west-const 'const char
+        # (&)[35]' to east-const 'char const (&) [35]'.
+        self.keys_intersect(
+            ") [with Args = {const char (&)[35]}]",
+            "void viyojit::composeMessage<char const (&) [35]>"
+            "(char const (&) [35])")
+
+    def test_anonymous_namespace_spelling(self):
+        self.keys_intersect(
+            "void {anonymous}::helper(int)",
+            "(anonymous namespace)::helper(int)")
+
+    def test_const_member_function(self):
+        self.keys_intersect(
+            "uint64_t viyojit::core::BudgetPool::available() const",
+            "viyojit::core::BudgetPool::available() const")
+
+    def test_truncated_entry_without_with_clause_matches_nothing(self):
+        self.assertEqual(frame_keys(")"), [])
+
+
+class NormalizeTypelistTest(unittest.TestCase):
+    def test_integer_spellings_converge(self):
+        self.assertEqual(normalize_typelist("long unsigned int"),
+                         normalize_typelist("unsigned long"))
+
+    def test_west_east_const_converge(self):
+        self.assertEqual(normalize_typelist("const char (&)[35]"),
+                         normalize_typelist("char const (&) [35]"))
+
+    def test_distinct_packs_stay_distinct(self):
+        self.assertNotEqual(
+            normalize_typelist("const char (&)[35]"),
+            normalize_typelist("const char (&)[36]"))
+
+
+class StripQualifiersTest(unittest.TestCase):
+    def test_nested_brackets_in_with_clause(self):
+        self.assertEqual(
+            strip_trailing_qualifiers(
+                "void f(Args&& ...) [with Args = {char (&)[59]}]"),
+            "void f(Args&& ...)")
+
+    def test_clone_suffix_and_const(self):
+        self.assertEqual(
+            strip_trailing_qualifiers(
+                "int C::m() const [clone .isra.0]"),
+            "int C::m()")
+
+    def test_array_return_type_not_stripped(self):
+        # A trailing ']' that is NOT a with/clone/abi group must
+        # survive.
+        self.assertEqual(strip_trailing_qualifiers("f(int[3])"),
+                         "f(int[3])")
+
+
+class AggressiveKeyTest(unittest.TestCase):
+    def test_lambda_trampoline_scopes_converge(self):
+        # gcc pretty vs c++filt for a FunctionRef _FUN trampoline:
+        # typedefed parameter spellings and '#1' suffixes diverge,
+        # the scope skeleton does not.
+        gcc = ("viyojit::FunctionRef<void(long unsigned int)>::"
+               "FunctionRef<viyojit::f()::<lambda(viyojit::PageNum)>"
+               ">::_FUN")
+        filt = ("viyojit::FunctionRef<void (unsigned long)>::"
+                "FunctionRef<viyojit::f()::{lambda(unsigned long)#1}"
+                ">::_FUN")
+        self.assertEqual(aggressive_key(engine.normalize_lambda(gcc)),
+                         aggressive_key(engine.normalize_lambda(filt)))
+
+
+class ParseAssemblyTest(unittest.TestCase):
+    ASM = """\
+\t.type\tfoo, @function
+foo:
+\tpushq\t%rbp
+\tcall\tbar@PLT
+\tcall\t*%rax
+\tjmp\t.L3
+\tjmp\ttail_target
+\t.size\tfoo, .-foo
+\t.type\tbaz, @function
+baz:
+\tret
+\t.size\tbaz, .-baz
+"""
+
+    def test_calls_indirects_and_tail_jumps(self):
+        graph = parse_assembly(self.ASM)
+        callees, indirect = graph["foo"]
+        self.assertEqual(callees, ["bar", "tail_target"])
+        self.assertEqual(indirect, 1)
+        self.assertEqual(graph["baz"], ([], 0))
+
+
+class AllowlistTest(unittest.TestCase):
+    def load(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".txt", delete=False) as fh:
+            fh.write(text)
+            path = fh.name
+        try:
+            return Allowlist().load(path)
+        finally:
+            os.unlink(path)
+
+    def test_justification_mandatory(self):
+        with self.assertRaises(PathlintError):
+            self.load("allow: a -> b\n")
+
+    def test_unknown_directive_rejected(self):
+        with self.assertRaises(PathlintError):
+            self.load("permit: a -> b :: why\n")
+
+    def test_recurse_needs_integer(self):
+        with self.assertRaises(PathlintError):
+            self.load("recurse: f -> lots :: why\n")
+
+    def test_hit_tracking_and_stale(self):
+        al = self.load("allow: caller -> callee :: ok\n"
+                       "allow: never -> ever :: unused\n")
+        self.assertEqual(al.allowed("ns::caller(int)",
+                                    "ns::callee()"), "ok")
+        stale = al.stale_entries()
+        self.assertEqual(len(stale), 1)
+        self.assertIn("never", stale[0])
+
+    def test_recursion_and_frame_lookup(self):
+        al = self.load(
+            "recurse: __introsort_loop< -> 48 :: depth_limit\n"
+            "frame: ^extfn$ -> 4096 :: measured by hand\n")
+        self.assertEqual(
+            al.recursion_bound("void std::__introsort_loop<It>(It)"),
+            48)
+        self.assertIsNone(al.recursion_bound("plain_fn()"))
+        self.assertEqual(al.frame_override("extfn"), 4096)
+
+
+class DenyClassifierTest(unittest.TestCase):
+    def test_exact_prefix_substr(self):
+        d = DenyClassifier()
+        d.add_line("exact", "malloc free :: heap", "t")
+        d.add_line("prefix", "_Znw :: new", "t")
+        d.add_line("substr", "basic_string :: string", "t")
+        self.assertEqual(d.classify("malloc", "malloc"), "heap")
+        self.assertEqual(d.classify("_ZnwmPv", "..."), "new")
+        self.assertEqual(
+            d.classify("_ZNSt7basic_stringIcE5clearEv", "..."),
+            "string")
+        self.assertIsNone(d.classify("memcpy", "memcpy"))
+
+    def test_reason_mandatory(self):
+        d = DenyClassifier()
+        with self.assertRaises(PathlintError):
+            d.add_line("exact", "malloc", "t")
+
+
+class StripCommentsTest(unittest.TestCase):
+    def test_atomics_in_comments_and_strings_blanked(self):
+        src = ('x.store(1); // y.store(2)\n'
+               '/* z.load() */ s = "a.load()";\n')
+        out = strip_comments_and_strings(src)
+        self.assertIn("x.store(1)", out)
+        self.assertNotIn("y.store", out)
+        self.assertNotIn("z.load", out)
+        self.assertNotIn("a.load", out)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+
+
+class StackBoundTest(unittest.TestCase):
+    """compute_stack_bound over synthetic graphs; names are the
+    identity map so demangled == symbol."""
+
+    def bound(self, graph, frames, allow_text="", extern=2048):
+        names = {s: s for s in graph}
+        al = Allowlist()
+        if allow_text:
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".txt", delete=False) as fh:
+                fh.write(allow_text)
+                path = fh.name
+            try:
+                al.load(path)
+            finally:
+                os.unlink(path)
+        return compute_stack_bound(graph, names, "root", al, frames,
+                                   extern)
+
+    def test_linear_chain(self):
+        graph = {"root": (["mid"], 0), "mid": (["leaf"], 0),
+                 "leaf": ([], 0)}
+        res = self.bound(graph, {"root": 100, "mid": 200,
+                                 "leaf": 50})
+        self.assertEqual(res.bound, 100 + 200 + 50
+                         + 3 * RET_ADDR_BYTES)
+        self.assertEqual(res.chain, [("root", 100), ("mid", 200),
+                                     ("leaf", 50)])
+
+    def test_max_over_siblings(self):
+        graph = {"root": (["a", "b"], 0), "a": ([], 0),
+                 "b": ([], 0)}
+        res = self.bound(graph, {"root": 64, "a": 1000, "b": 8})
+        self.assertEqual(res.bound, 64 + 1000 + 2 * RET_ADDR_BYTES)
+        self.assertEqual([f for f, _ in res.chain], ["root", "a"])
+
+    def test_extern_flat_charge(self):
+        graph = {"root": (["pwritev"], 0)}
+        res = self.bound(graph, {"root": 96}, extern=2048)
+        self.assertEqual(res.bound, 96 + 2048 + 2 * RET_ADDR_BYTES)
+
+    def test_missing_frame_reported_not_guessed(self):
+        graph = {"root": (["mid"], 0), "mid": ([], 0)}
+        res = self.bound(graph, {"root": 100})
+        self.assertEqual(res.missing_frames, ["mid"])
+        self.assertEqual(res.bound, 100 + 0 + 2 * RET_ADDR_BYTES)
+
+    def test_unannotated_recursion_is_an_error(self):
+        graph = {"root": (["rec"], 0), "rec": (["rec"], 0)}
+        res = self.bound(graph, {"root": 32, "rec": 64})
+        self.assertEqual(len(res.recursion_errors), 1)
+        self.assertEqual(res.recursion_errors[0],
+                         ["rec", "rec"])
+
+    def test_recurse_bound_charges_cycle_segment(self):
+        # rec self-recurses with a declared depth of 3: the cycle
+        # segment (frame + return address) is charged twice more on
+        # top of the normal chain.
+        graph = {"root": (["rec"], 0), "rec": (["rec"], 0)}
+        res = self.bound(
+            graph, {"root": 32, "rec": 64},
+            allow_text="recurse: ^rec$ -> 3 :: test bound\n")
+        segment = 64 + RET_ADDR_BYTES
+        expected = (32 + RET_ADDR_BYTES) + (64 + RET_ADDR_BYTES) \
+            + 2 * segment
+        self.assertEqual(res.bound, expected)
+        self.assertEqual(res.recursion_errors, [])
+
+    def test_two_function_cycle_segment(self):
+        graph = {"root": (["a"], 0), "a": (["b"], 0),
+                 "b": (["a"], 0)}
+        res = self.bound(
+            graph, {"root": 16, "a": 100, "b": 200},
+            allow_text="recurse: ^a$ -> 2 :: test bound\n")
+        segment = (100 + RET_ADDR_BYTES) + (200 + RET_ADDR_BYTES)
+        expected = (16 + RET_ADDR_BYTES) + segment + 1 * segment
+        self.assertEqual(res.bound, expected)
+
+    def test_frame_override_wins_over_su(self):
+        graph = {"root": (["big"], 0), "big": ([], 0)}
+        res = self.bound(
+            graph, {"root": 10, "big": 999999},
+            allow_text="frame: ^big$ -> 128 :: hand-measured\n")
+        self.assertEqual(res.bound, 10 + 128 + 2 * RET_ADDR_BYTES)
+
+    def test_unresolved_indirect_reported(self):
+        graph = {"root": ([], 3)}
+        res = self.bound(graph, {"root": 40})
+        self.assertEqual(res.unresolved_indirect, [("root", 3)])
+
+    def test_virtual_resolution_feeds_depth(self):
+        graph = {"root": ([], 1), "impl": ([], 0)}
+        res = self.bound(
+            graph, {"root": 40, "impl": 600},
+            allow_text="virtual: ^root$ -> ^impl$ :: sole impl\n")
+        self.assertEqual(res.bound, 40 + 600 + 2 * RET_ADDR_BYTES)
+        self.assertEqual(res.unresolved_indirect, [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

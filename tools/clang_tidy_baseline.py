@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Full-tree clang-tidy with a committed ratchet baseline.
+
+The old CI tidy pass only checked files the branch changed, so
+pre-existing warnings in untouched files were invisible and a rebase
+could silently move the goalposts.  This runs clang-tidy (checks
+from .clang-tidy) over the WHOLE tree and compares per-(file, check)
+warning counts against tools/clang_tidy_baseline.txt:
+
+  compare (default)  any (file, check) pair whose count EXCEEDS the
+                     baseline fails, and the offending diagnostics
+                     are printed; counts below baseline print a
+                     ratchet hint.  New files start at zero.
+  --update           rewrite the baseline from the current tree
+                     (run after deliberately accepting or fixing
+                     warnings; commit the result).
+
+Baseline lines are '<count>\t<check>\t<file>', sorted, so diffs
+review cleanly.  Exit codes: 0 ok, 1 regressions, 77 when clang-tidy
+or the compile database cannot be had (ctest/CI SKIP convention —
+ci.sh prints the note and continues).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+
+SKIP = 77
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "tools", "clang_tidy_baseline.txt")
+
+# Same surface the rest of CI lints: first-party translation units.
+SOURCE_GLOBS = [
+    ("src", ".cc"), ("tests", ".cc"), ("bench", ".cc"),
+    ("examples", ".cpp"),
+]
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"warning: (?P<msg>.*) \[(?P<check>[\w.,-]+)\]$")
+
+BASELINE_HEADER = """\
+# clang-tidy ratchet baseline (tools/clang_tidy_baseline.py).
+#
+# One line per (file, check) pair with outstanding warnings:
+#     <count>\t<check>\t<file>
+# CI fails when any pair's count EXCEEDS its line here (absent pair
+# = zero).  Counts may only go down: fix warnings, then run
+#     python3 tools/clang_tidy_baseline.py --update
+# and commit the shrunken file.  Never hand-edit a count upward.
+"""
+
+
+def collect_sources():
+    out = []
+    for sub, ext in SOURCE_GLOBS:
+        root = os.path.join(REPO, sub)
+        for dirpath, _dirs, files in os.walk(root):
+            for f in sorted(files):
+                if f.endswith(ext):
+                    out.append(os.path.relpath(
+                        os.path.join(dirpath, f), REPO))
+    return sorted(out)
+
+
+def ensure_compile_db(build_dir):
+    db = os.path.join(build_dir, "compile_commands.json")
+    if os.path.exists(db):
+        return True
+    proc = subprocess.run(
+        ["cmake", "-B", build_dir, "-S", REPO,
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("clang_tidy_baseline: cmake configure failed:\n"
+              + proc.stderr, file=sys.stderr)
+        return False
+    return os.path.exists(db)
+
+
+def run_tidy(build_dir, sources, jobs):
+    """Per-(file, check) warning counts plus the raw diagnostics."""
+    counts = Counter()
+    diags = {}
+    # One clang-tidy process per chunk: a single invocation over
+    # hundreds of TUs serializes poorly, and per-file spawns pay the
+    # startup cost N times.
+    chunk = max(1, len(sources) // max(jobs, 1))
+    procs = []
+    for i in range(0, len(sources), chunk):
+        procs.append(subprocess.Popen(
+            ["clang-tidy", "-p", build_dir, "--quiet",
+             *sources[i:i + chunk]],
+            cwd=REPO, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True))
+    for proc in procs:
+        out, _ = proc.communicate()
+        for line in out.splitlines():
+            m = DIAG_RE.match(line)
+            if not m:
+                continue
+            path = os.path.relpath(
+                os.path.join(REPO, m.group("path")), REPO) \
+                if not os.path.isabs(m.group("path")) \
+                else os.path.relpath(m.group("path"), REPO)
+            if path.startswith(".."):
+                continue  # system/third-party header
+            key = (path, m.group("check"))
+            counts[key] += 1
+            diags.setdefault(key, []).append(line)
+    return counts, diags
+
+
+def load_baseline():
+    counts = Counter()
+    if not os.path.exists(BASELINE):
+        return counts
+    with open(BASELINE, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                sys.exit(f"{BASELINE}:{lineno}: malformed line "
+                         f"{line!r}")
+            counts[(parts[2], parts[1])] = int(parts[0])
+    return counts
+
+
+def write_baseline(counts):
+    with open(BASELINE, "w", encoding="utf-8") as fh:
+        fh.write(BASELINE_HEADER)
+        for (path, check), n in sorted(counts.items()):
+            fh.write(f"{n}\t{check}\t{path}\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default=os.path.join(
+        REPO, "build-lint"), help="build dir for the compile "
+        "database (configured on demand)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the committed baseline from the "
+                         "current tree")
+    ap.add_argument("--jobs", type=int,
+                    default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    if shutil.which("clang-tidy") is None:
+        print("clang_tidy_baseline: SKIPPED — clang-tidy not "
+              "installed")
+        return SKIP
+    if not ensure_compile_db(args.build):
+        print("clang_tidy_baseline: SKIPPED — no compile database")
+        return SKIP
+
+    sources = collect_sources()
+    print(f"clang_tidy_baseline: tidying {len(sources)} file(s) "
+          f"across the full tree")
+    current, diags = run_tidy(args.build, sources, args.jobs)
+
+    if args.update:
+        write_baseline(current)
+        total = sum(current.values())
+        print(f"clang_tidy_baseline: baseline rewritten "
+              f"({total} warning(s) across {len(current)} "
+              f"(file, check) pair(s)) — review and commit "
+              f"{os.path.relpath(BASELINE, REPO)}")
+        return 0
+
+    baseline = load_baseline()
+    regressions = []
+    improved = []
+    for key, n in sorted(current.items()):
+        allowed = baseline.get(key, 0)
+        if n > allowed:
+            regressions.append((key, n, allowed))
+        elif n < allowed:
+            improved.append((key, n, allowed))
+    gone = [k for k in baseline if k not in current
+            and baseline[k] > 0]
+
+    if regressions:
+        print(f"\nclang_tidy_baseline: {len(regressions)} "
+              "(file, check) pair(s) above baseline:")
+        for (path, check), n, allowed in regressions:
+            print(f"\n  {path} [{check}]: {n} > baseline {allowed}")
+            for d in diags[(path, check)]:
+                print(f"    {d}")
+        print("\nFix the new warnings (or, for a deliberate "
+              "accept, run --update and commit the diff).")
+        return 1
+    if improved or gone:
+        print(f"clang_tidy_baseline: OK — and {len(improved) + len(gone)} "
+              "pair(s) improved; tighten the ratchet with --update")
+    else:
+        print("clang_tidy_baseline: OK — tree matches the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""pathlint: multi-contract static path auditor for the fault path.
+
+Drives the shared gcc -S / -fstack-usage engine over the contract
+spec (tools/pathlint_contracts.ini by default) and checks every
+declared contract:
+
+  sigsafe         async-signal-safety of the SIGSEGV handler's
+                  transitive call graph (the PR 4 audit, engine-ized)
+  stack-bound     worst-case stack depth from segvHandler vs the
+                  installed sigaltstack size minus a margin
+  no-alloc        no malloc/operator-new family call reachable from
+                  the steady-state fault path or the emergency drain
+  lock-blocking   no blocking syscall (fdatasync, pwritev, condvar
+                  wait, sleeps) reachable from a mutex acquisition
+                  site outside the sanctioned wait sites
+  atomics         every atomic op in the hot-path files carries an
+                  explicit std::memory_order
+
+Exit status is 1 when any selected contract has findings (or, under
+--strict, stale allowlist entries).  --report writes the machine-
+readable pathlint_report.json for CI artifacts.
+
+Usage:
+    python3 tools/pathlint [--contract NAME]... [--strict]
+                           [--report FILE] [--verbose]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from contracts import Spec, check_atomics, check_deny_reach, \
+    check_stack_bound  # noqa: E402
+from engine import Engine, PathlintError  # noqa: E402
+
+
+def render_deny(result, verbose):
+    ok = True
+    print(f"pathlint[{result['contract']}]: {result['reachable']} "
+          f"functions reachable from {len(result['roots'])} root(s) "
+          f"across {result['tus']} TU(s)")
+    if verbose:
+        for edge in result["audited_edges"]:
+            print(f"  [allowed] {edge['caller']}\n"
+                  f"      -> {edge['callee']}\n"
+                  f"      :: {edge['why']}")
+    hard = [f for f in result["findings"] if f["type"] == "hard-deny"]
+    deny = [f for f in result["findings"] if f["type"] == "deny"]
+    indirect = [f for f in result["findings"]
+                if f["type"] == "unresolved-indirect"]
+    if hard:
+        ok = False
+        print(f"\n{len(hard)} hard-deny call(s) — no allowlist "
+              "escape:")
+        for f in hard:
+            print(f"\n  {f['caller']}\n      calls {f['callee']}\n"
+                  f"      [{f['reason']}]")
+            print("      reachable via: "
+                  + "\n                 -> ".join(f["path"]))
+    if deny:
+        ok = False
+        print(f"\n{len(deny)} denied call(s) with no allowlist "
+              "entry:")
+        for f in deny:
+            print(f"\n  {f['caller']}\n      calls {f['callee']}\n"
+                  f"      [{f['reason']}]")
+            print("      reachable via: "
+                  + "\n                 -> ".join(f["path"]))
+    if indirect:
+        ok = False
+        print(f"\n{len(indirect)} function(s) make indirect calls "
+              "with no 'virtual:' resolution:")
+        for f in indirect:
+            print(f"  {f['caller']}  ({f['count']} indirect "
+                  "call site(s))")
+            print("      reachable via: "
+                  + "\n                 -> ".join(f["path"]))
+    return ok
+
+
+def render_stack(result, verbose):
+    if result.get("status") == "skipped":
+        print(f"pathlint[{result['contract']}]: SKIPPED — "
+              f"{result['note']}")
+        return True
+    ok = not result["findings"]
+    print(f"pathlint[{result['contract']}]: worst-case depth "
+          f"{result['stack_bound_bytes']} bytes "
+          f"(signal frame {result['signal_frame_bytes']} + handler "
+          f"chain {result['handler_depth_bytes']}) vs limit "
+          f"{result['limit_bytes']} - margin "
+          f"{result['margin_bytes']} => headroom "
+          f"{result['headroom_bytes']} bytes")
+    if verbose or not ok:
+        print("  deepest chain:")
+        for frame in result["worst_chain"]:
+            print(f"    {frame['frame_bytes']:>6}  "
+                  f"{frame['function']}")
+    for f in result["findings"]:
+        if f["type"] == "recursion":
+            print(f"  RECURSION: {' -> '.join(f['cycle'])}")
+        elif f["type"] == "unresolved-indirect":
+            print(f"  UNRESOLVED INDIRECT: {f['caller']} "
+                  f"({f['count']} site(s))")
+        else:
+            name = f.get("function", "")
+            print(f"  {f['type'].upper()}: {name} — {f['reason']}")
+    return ok
+
+
+def render_atomics(result, _verbose):
+    ok = not result["findings"]
+    print(f"pathlint[{result['contract']}]: "
+          f"{len(result['files'])} file(s) scanned for implicit-order "
+          "atomics")
+    for f in result["findings"]:
+        print(f"  {f['file']}:{f['line']}: .{f['op']}(...) — "
+              f"{f['reason']}\n      {f['snippet']}")
+    return ok
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--spec", default=None,
+                    help="contract spec file (default: "
+                         "tools/pathlint_contracts.ini)")
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    ap.add_argument("--contract", action="append", default=None,
+                    help="run only the named contract(s)")
+    ap.add_argument("--strict", action="store_true",
+                    help="stale allowlist entries fail the lint "
+                         "(CI mode)")
+    ap.add_argument("--report", default=None,
+                    help="write a JSON report to this path")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    tools_dir = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    repo = args.repo or os.path.dirname(tools_dir)
+    spec_path = args.spec or os.path.join(
+        repo, "tools", "pathlint_contracts.ini")
+
+    try:
+        spec = Spec(spec_path, repo)
+        eng = Engine(repo, compiler=args.compiler, flags=spec.flags,
+                     verbose=args.verbose)
+
+        selected = spec.contracts
+        if args.contract:
+            wanted = set(args.contract)
+            selected = [c for c in spec.contracts
+                        if c.name in wanted]
+            unknown = wanted - {c.name for c in spec.contracts}
+            if unknown:
+                raise PathlintError(
+                    "pathlint: unknown contract(s): "
+                    + ", ".join(sorted(unknown)))
+
+        results = []
+        failed = []
+        for contract in selected:
+            if contract.kind == "deny-reach":
+                result = check_deny_reach(contract, eng)
+                ok = render_deny(result, args.verbose)
+            elif contract.kind == "stack-bound":
+                result = check_stack_bound(
+                    contract, eng, spec.extern_frame_bytes,
+                    spec.signal_frame_bytes)
+                ok = render_stack(result, args.verbose)
+            elif contract.kind == "atomics-order":
+                result = check_atomics(contract, repo)
+                ok = render_atomics(result, args.verbose)
+            else:
+                raise PathlintError(
+                    f"pathlint: unknown contract kind "
+                    f"'{contract.kind}'")
+            stale = result.get("stale", [])
+            if stale:
+                print(f"\npathlint[{contract.name}]: {len(stale)} "
+                      f"stale allowlist entr"
+                      f"{'y' if len(stale) == 1 else 'ies'} "
+                      "(matched nothing — prune them):")
+                for entry in stale:
+                    print(f"  {entry}")
+                if args.strict:
+                    ok = False
+            status = result.get("status")
+            if status != "skipped":
+                result["status"] = "ok" if ok else "fail"
+            if not ok:
+                failed.append(contract.name)
+            results.append(result)
+            print()
+
+        if args.report:
+            report = {
+                "tool": "pathlint",
+                "spec": os.path.relpath(spec_path, repo),
+                "compiler": args.compiler,
+                "strict": args.strict,
+                "stack_usage_available": eng.stack_usage_ok,
+                "contracts": results,
+                "overall": "fail" if failed else "ok",
+            }
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"pathlint: report written to {args.report}")
+
+        if failed:
+            print("pathlint: FAILED contract(s): "
+                  + ", ".join(failed))
+            return 1
+        print(f"pathlint: OK ({len(results)} contract(s) green)")
+        return 0
+    except PathlintError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

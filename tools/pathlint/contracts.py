@@ -1,0 +1,504 @@
+"""Contract definitions and checkers for pathlint.
+
+A contract spec file (INI; see tools/pathlint_contracts.ini) declares
+each contract's root symbols, TU set, deny set, and allowlist.  Three
+contract kinds exist:
+
+* ``deny-reach``   — BFS the post-inlining call graph from the roots;
+                     any call matching the deny set fails unless a
+                     justified ``allow:`` entry covers the edge
+                     (sigsafe, no-alloc, blocking-under-lock).
+* ``stack-bound``  — combine -fstack-usage frame sizes with the call
+                     graph to compute the worst-case stack depth from
+                     the root, and gate it against the installed
+                     sigaltstack size minus a margin.
+* ``atomics-order``— textual check over named files: every atomic
+                     load/store/RMW must carry an explicit
+                     std::memory_order argument.
+
+Every checker returns a plain-dict result that the CLI renders and
+serializes into pathlint_report.json.
+"""
+
+import configparser
+import os
+import re
+
+from engine import (Allowlist, PathlintError, compute_stack_bound,
+                    walk_deny)
+
+
+class DenyClassifier:
+    """Deny set: exact symbols, symbol prefixes, symbol substrings.
+
+    Matching runs against the RAW (mangled or C) symbol name, which
+    is what the assembly gives us and what the historic sigsafe
+    tables matched.
+    """
+
+    def __init__(self):
+        self.exact = {}    # symbol -> reason
+        self.prefixes = []  # (prefix, reason)
+        self.substrings = []  # (needle, reason)
+
+    def add_line(self, kind, line, where):
+        names, sep, reason = line.partition(" :: ")
+        if not sep or not reason.strip():
+            raise PathlintError(
+                f"{where}: deny entry needs ' :: reason': {line!r}")
+        for name in names.split():
+            if kind == "exact":
+                self.exact[name] = reason.strip()
+            elif kind == "prefix":
+                self.prefixes.append((name, reason.strip()))
+            else:
+                self.substrings.append((name, reason.strip()))
+
+    def classify(self, symbol, _demangled):
+        if symbol in self.exact:
+            return self.exact[symbol]
+        for prefix, reason in self.prefixes:
+            if symbol.startswith(prefix):
+                return reason
+        for needle, reason in self.substrings:
+            if needle in symbol:
+                return reason
+        return None
+
+    def empty(self):
+        return not (self.exact or self.prefixes or self.substrings)
+
+
+class Contract:
+    def __init__(self, name, section, repo, engine_sources):
+        self.name = name
+        self.kind = section.get("kind", "deny-reach").strip()
+        self.repo = repo
+        sources = section.get("sources", "@engine").split()
+        self.sources = []
+        for s in sources:
+            if s == "@engine":
+                self.sources.extend(engine_sources)
+            else:
+                self.sources.append(s)
+        self.roots = section.get("roots", "").split()
+        self.allowlist_path = section.get("allowlist", "").strip()
+        self.virtuals_paths = section.get("virtuals", "").split()
+        self.files = section.get("files", "").split()
+        self.margin_bytes = section.getint("margin_bytes", fallback=0)
+        self.limit_source = section.get("limit_source", "").strip()
+        self.deny = DenyClassifier()
+        for kind in ("exact", "prefix", "substr"):
+            raw = section.get(f"deny_{kind}", "")
+            for line in raw.splitlines():
+                line = line.strip()
+                if line:
+                    self.deny.add_line(kind, line,
+                                       f"[contract:{name}] deny_{kind}")
+        self.hard_deny = []
+        raw = section.get("hard_deny_substr", "")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            needle, sep, reason = line.partition(" :: ")
+            if not sep or not reason.strip():
+                raise PathlintError(
+                    f"[contract:{name}] hard_deny_substr entry needs "
+                    f"' :: reason': {line!r}")
+            self.hard_deny.append((needle.strip(), reason.strip()))
+
+    def build_allowlist(self):
+        """Own allowlist (stale-tracked) + borrowed virtual seams."""
+        allowlist = Allowlist()
+        for path in self.virtuals_paths:
+            allowlist.load(os.path.join(self.repo, path),
+                           kinds=("virtual",), track_stale=False)
+        if self.allowlist_path:
+            allowlist.load(os.path.join(self.repo, self.allowlist_path),
+                           track_stale=True)
+        return allowlist
+
+
+class Spec:
+    def __init__(self, path, repo):
+        parser = configparser.ConfigParser(delimiters=("=",),
+                                           interpolation=None)
+        read = parser.read(path)
+        if not read:
+            raise PathlintError(f"pathlint: cannot read spec {path}")
+        if "engine" not in parser:
+            raise PathlintError(f"{path}: missing [engine] section")
+        eng = parser["engine"]
+        self.sources = eng.get("sources", "").split()
+        if not self.sources:
+            raise PathlintError(f"{path}: [engine] sources is empty")
+        self.flags = eng.get("flags", "-std=c++20 -O2 -Wall").split()
+        self.extern_frame_bytes = eng.getint("extern_frame_bytes",
+                                             fallback=2048)
+        self.signal_frame_bytes = eng.getint("signal_frame_bytes",
+                                             fallback=6144)
+        self.contracts = []
+        for section in parser.sections():
+            if not section.startswith("contract:"):
+                continue
+            name = section.partition(":")[2]
+            self.contracts.append(
+                Contract(name, parser[section], repo, self.sources))
+        if not self.contracts:
+            raise PathlintError(f"{path}: no [contract:*] sections")
+
+
+def find_roots(contract, graph, names):
+    """Resolve a contract's root symbols.
+
+    Plain root tokens are substring patterns over demangled names
+    (the historic ROOT_PATTERN semantics).  The special token
+    ``@mutex-acquirers`` selects every function that directly calls
+    pthread_mutex_lock/trylock — i.e. every lock acquisition site
+    the assembly shows after inlining.
+    """
+    roots = []
+    for token in contract.roots:
+        if token == "@mutex-acquirers":
+            for sym, (callees, _ind) in graph.items():
+                if any(c in ("pthread_mutex_lock",
+                             "pthread_mutex_trylock")
+                       for c in callees):
+                    roots.append(sym)
+        else:
+            matched = [s for s in graph
+                       if token in names.get(s, s)]
+            if not matched:
+                raise PathlintError(
+                    f"pathlint[{contract.name}]: no function matching "
+                    f"'{token}' found — did the root move?")
+            roots.extend(matched)
+    # Deterministic order, no duplicates.
+    seen = set()
+    out = []
+    for r in roots:
+        if r not in seen:
+            seen.add(r)
+            out.append(r)
+    return out
+
+
+def check_deny_reach(contract, eng):
+    graph = eng.merged_graph(contract.sources)
+    names = eng.names_for(graph)
+    roots = find_roots(contract, graph, names)
+    allowlist = contract.build_allowlist()
+    hard_substr = [n for n, _r in contract.hard_deny]
+    res = walk_deny(graph, names, roots, contract.deny.classify,
+                    allowlist, eng.demangle_one,
+                    hard_deny_substr=hard_substr)
+
+    findings = []
+    for fn, callee in res.hard_violations:
+        callee_dem = names.get(callee) or eng.demangle_one(callee)
+        reason = next((r for n, r in contract.hard_deny
+                       if n in callee_dem), contract.hard_deny[0][1])
+        findings.append({
+            "type": "hard-deny",
+            "caller": names.get(fn, fn),
+            "callee": callee_dem,
+            "reason": reason,
+            "path": res.path_to(fn, names),
+        })
+    # One finding per (caller, callee) edge: the assembly walk records
+    # every call instruction, and -O2 duplicates denied calls freely
+    # (loop rotation, cold splits).
+    seen_edges = set()
+    for fn, callee, reason in res.violations:
+        if (fn, callee) in seen_edges:
+            continue
+        seen_edges.add((fn, callee))
+        callee_dem = names.get(callee) or eng.demangle_one(callee)
+        findings.append({
+            "type": "deny",
+            "caller": names.get(fn, fn),
+            "callee": callee_dem,
+            "reason": reason,
+            "path": res.path_to(fn, names),
+        })
+    for fn, count in res.unresolved_indirect:
+        findings.append({
+            "type": "unresolved-indirect",
+            "caller": names.get(fn, fn),
+            "count": count,
+            "path": res.path_to(fn, names),
+        })
+    return {
+        "contract": contract.name,
+        "kind": contract.kind,
+        "roots": [names.get(r, r) for r in roots],
+        "reachable": len(res.parent),
+        "tus": len(contract.sources),
+        "audited_edges": [
+            {"caller": names.get(fn, fn),
+             "callee": names.get(c) or eng.demangle_one(c),
+             "why": why}
+            for fn, c, why in res.allowed_edges
+        ],
+        "findings": findings,
+        "stale": allowlist.stale_entries(),
+    }
+
+
+_INT_SUFFIX_RE = re.compile(r"(?<=[0-9])\s*[uUlL]+")
+_SAFE_EXPR_RE = re.compile(r"^[\d\s()*+\-xX<]+$")
+
+
+def parse_limit_source(repo, limit_source):
+    """'path :: symbol' — read an integer constant out of a header.
+
+    Understands simple constant expressions (``64ull * 1024``,
+    ``1 << 16``), so the gate can read the SAME constant the runtime
+    installs, with no copy to drift.
+    """
+    path, sep, symbol = limit_source.partition(" :: ")
+    if not sep or not symbol.strip():
+        raise PathlintError(
+            f"pathlint: limit_source needs 'path :: symbol', got "
+            f"{limit_source!r}")
+    path = path.strip()
+    symbol = symbol.strip()
+    full = os.path.join(repo, path)
+    with open(full, encoding="utf-8") as fh:
+        text = fh.read()
+    m = re.search(re.escape(symbol) + r"\s*=\s*([^;]+);", text)
+    if not m:
+        raise PathlintError(
+            f"pathlint: '{symbol}' not found in {path}")
+    expr = _INT_SUFFIX_RE.sub("", m.group(1))
+    expr = expr.replace("'", "").strip()
+    if not _SAFE_EXPR_RE.match(expr):
+        raise PathlintError(
+            f"pathlint: cannot evaluate '{symbol}' initializer "
+            f"{m.group(1).strip()!r}")
+    try:
+        value = int(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:
+        raise PathlintError(
+            f"pathlint: bad '{symbol}' initializer: {exc}") from exc
+    return value, path
+
+
+def check_stack_bound(contract, eng, extern_frame_bytes,
+                      signal_frame_bytes):
+    if not eng.stack_usage_ok:
+        return {
+            "contract": contract.name,
+            "kind": contract.kind,
+            "status": "skipped",
+            "note": "compiler does not support -fstack-usage",
+            "findings": [],
+            "stale": [],
+        }
+    graph = eng.merged_graph(contract.sources)
+    names = eng.names_for(graph)
+    roots = find_roots(contract, graph, names)
+    allowlist = contract.build_allowlist()
+    frame_sizes, dynamic = eng.frame_sizes(contract.sources, graph,
+                                           names)
+    limit, limit_file = parse_limit_source(eng.repo,
+                                           contract.limit_source)
+
+    worst = None
+    per_root = {}
+    for root in roots:
+        res = compute_stack_bound(graph, names, root, allowlist,
+                                  frame_sizes, extern_frame_bytes)
+        per_root[names.get(root, root)] = res
+        if worst is None or res.bound > worst[1].bound:
+            worst = (root, res)
+
+    root_sym, res = worst
+    findings = []
+    # Reachability for frame/dynamic complaints: only functions the
+    # bound computation actually visited matter.
+    for sym in res.missing_frames:
+        findings.append({
+            "type": "missing-frame",
+            "function": names.get(sym, sym),
+            "reason": "reachable function has no matched .su entry "
+                      "and no 'frame:' override",
+        })
+    reachable = {s for r in per_root.values()
+                 for s, _b in r.chain}
+    # 'dynamic,bounded' frames report an upper bound in the bytes
+    # column — usable as-is.  Only plain 'dynamic' (unbounded
+    # alloca/VLA) defeats the computation.
+    for sym, qualifier in dynamic:
+        if qualifier != "dynamic":
+            continue
+        dem = names.get(sym, sym)
+        if allowlist.frame_override(dem) is not None:
+            continue
+        findings.append({
+            "type": "dynamic-frame",
+            "function": dem,
+            "reason": f"-fstack-usage reports '{qualifier}' "
+                      "(alloca/VLA): unbounded without a 'frame:' "
+                      "override",
+        })
+    for cycle in res.recursion_errors:
+        findings.append({
+            "type": "recursion",
+            "cycle": cycle,
+            "reason": "unannotated recursion on the fault path "
+                      "(no 'recurse:' bound)",
+        })
+    for sym, count in res.unresolved_indirect:
+        findings.append({
+            "type": "unresolved-indirect",
+            "caller": names.get(sym, sym),
+            "count": count,
+        })
+
+    bound = signal_frame_bytes + res.bound
+    budget = limit - contract.margin_bytes
+    if bound > budget:
+        findings.append({
+            "type": "stack-overflow",
+            "reason": f"worst-case depth {bound} bytes exceeds "
+                      f"{limit} ({limit_file}) minus the "
+                      f"{contract.margin_bytes}-byte margin",
+        })
+    return {
+        "contract": contract.name,
+        "kind": contract.kind,
+        "roots": [names.get(r, r) for r in roots],
+        "tus": len(contract.sources),
+        "stack_bound_bytes": bound,
+        "handler_depth_bytes": res.bound,
+        "signal_frame_bytes": signal_frame_bytes,
+        "extern_frame_bytes": extern_frame_bytes,
+        "limit_bytes": limit,
+        "limit_source": contract.limit_source,
+        "margin_bytes": contract.margin_bytes,
+        "headroom_bytes": budget - bound,
+        "worst_chain": [
+            {"function": fn, "frame_bytes": fb}
+            for fn, fb in res.chain
+        ],
+        "findings": findings,
+        "stale": allowlist.stale_entries(),
+        "matched_frames": len(frame_sizes),
+    }
+
+
+# --------------------------------------------------------------- #
+# Atomics explicit-order check (textual)                          #
+# --------------------------------------------------------------- #
+
+_ATOMIC_OPS = (
+    ".load(", ".store(", ".exchange(", ".fetch_add(", ".fetch_sub(",
+    ".fetch_and(", ".fetch_or(", ".fetch_xor(",
+    ".compare_exchange_weak(", ".compare_exchange_strong(",
+    ".test_and_set(", ".clear(",
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving
+    newlines so line numbers survive."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def check_atomics(contract, repo):
+    """Every atomic op in the named files must spell its order.
+
+    `.clear(` and `.test_and_set(` are included for atomic_flag;
+    `.clear(` on non-atomic containers is filtered by requiring the
+    call to have no memory_order only when the receiver expression
+    ends in a known atomic member — too clever to get right textually,
+    so instead: a `.clear()` with empty args on a container is
+    indistinguishable, and we only flag `.clear(` when the file
+    declares atomic_flag members.  Everything else flags directly.
+    """
+    findings = []
+    scanned = []
+    for rel in contract.files:
+        path = os.path.join(repo, rel)
+        if not os.path.exists(path):
+            raise PathlintError(f"pathlint[{contract.name}]: missing "
+                                f"file {rel}")
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        text = strip_comments_and_strings(raw)
+        scanned.append(rel)
+        has_atomic_flag = "atomic_flag" in text
+        for op in _ATOMIC_OPS:
+            if op in (".clear(", ".test_and_set(") and \
+                    not has_atomic_flag:
+                continue
+            start = 0
+            while True:
+                idx = text.find(op, start)
+                if idx < 0:
+                    break
+                start = idx + len(op)
+                # Find the matching close paren and look for an
+                # explicit memory_order inside the argument list.
+                depth = 0
+                j = idx + len(op) - 1
+                while j < len(text):
+                    if text[j] == "(":
+                        depth += 1
+                    elif text[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                args = text[idx + len(op):j]
+                if "memory_order" in args:
+                    continue
+                # Heuristic receiver check: the op must hang off an
+                # identifier (skip e.g. `ring.count` arithmetic hits
+                # — those never textually end in these suffixes).
+                line = text.count("\n", 0, idx) + 1
+                snippet = raw.splitlines()[line - 1].strip()
+                findings.append({
+                    "type": "implicit-order-atomic",
+                    "file": rel,
+                    "line": line,
+                    "op": op.strip(".("),
+                    "snippet": snippet,
+                    "reason": "atomic operation without an explicit "
+                              "std::memory_order (defaults to "
+                              "seq_cst on the hot path)",
+                })
+    return {
+        "contract": contract.name,
+        "kind": contract.kind,
+        "files": scanned,
+        "findings": findings,
+        "stale": [],
+    }

@@ -1,0 +1,797 @@
+"""Shared static-analysis engine for the pathlint contracts.
+
+One compile pass per translation unit (`g++ -S -fstack-usage` at the
+release optimization level) yields two artifacts the contracts share:
+
+* the assembly, from which `.type`/`.size` brackets and `call`/tail-
+  `jmp` instructions give the post-inlining call graph (the graph of
+  what the fault path *actually executes*, not what the source
+  suggests);
+* the `.su` stack-usage table, giving each emitted function's frame
+  size for the worst-case-depth computation.
+
+The `.su` file names functions in GCC's pretty form (`uint64_t
+ns::f(uint64_t)`) while the assembly names them mangled; the matcher
+in this module bridges the two via a normalized qualified-name key
+(return types dropped, operators masked, lambdas canonicalized,
+template arguments optionally stripped).  Anything it cannot match is
+reported, never silently guessed.
+
+Allowlist files use the sigsafe_allowlist.txt grammar, extended:
+
+    allow:   <caller-re> -> <callee-re> :: <justification>
+    virtual: <caller-re> -> <impl-re>   :: <why this target set>
+    recurse: <fn-re>     -> <depth>     :: <why bounded>
+    frame:   <fn-re>     -> <bytes>     :: <why this size>
+
+`recurse` and `frame` are consumed only by the stack-bound contract.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+CALL_RE = re.compile(r"^\s+call\s+([^\s]+)")
+JMP_RE = re.compile(r"^\s+jmp\s+([^\s*]+)")
+TYPE_RE = re.compile(r'^\s+\.type\s+([^\s,]+),\s*@function')
+SIZE_RE = re.compile(r"^\s+\.size\s+([^\s,]+),")
+
+# Return-address push per frame: the call instruction's 8 bytes on
+# x86-64, which -fstack-usage does not count.
+RET_ADDR_BYTES = 8
+
+
+class PathlintError(SystemExit):
+    """Configuration / environment error (not a contract finding)."""
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, check=True, capture_output=True,
+                          text=True, **kw)
+
+
+def demangle(symbols):
+    """Map raw symbol -> demangled name (identity for C symbols)."""
+    if not symbols:
+        return {}
+    ordered = sorted(symbols)
+    out = run(["c++filt"], input="\n".join(ordered) + "\n").stdout
+    return dict(zip(ordered, out.splitlines()))
+
+
+def strip_plt(sym):
+    return sym[:-4] if sym.endswith("@PLT") else sym
+
+
+def parse_assembly(asm_text):
+    """Return {function_symbol: ([callee, ...], indirect_count)}."""
+    graph = {}
+    current = None
+    pending_types = set()
+    for line in asm_text.splitlines():
+        m = TYPE_RE.match(line)
+        if m:
+            pending_types.add(m.group(1))
+            continue
+        if current is None:
+            # A function body begins at its label.
+            label = line.split(":")[0].strip()
+            if label in pending_types:
+                current = label
+                graph.setdefault(current, ([], 0))
+            continue
+        m = SIZE_RE.match(line)
+        if m and m.group(1) == current:
+            current = None
+            continue
+        m = CALL_RE.match(line)
+        if not m:
+            m = JMP_RE.match(line)
+            # Only symbolic tail jumps count; local labels (.L*) and
+            # computed jumps are control flow inside the function.
+            if m and m.group(1).startswith(".L"):
+                m = None
+        if m:
+            target = strip_plt(m.group(1))
+            callees, indirect = graph[current]
+            if target.startswith("*"):
+                graph[current] = (callees, indirect + 1)
+            else:
+                callees.append(target)
+    return graph
+
+
+def parse_su(su_text):
+    """Parse a -fstack-usage table.
+
+    Returns [(pretty_name, bytes, qualifier)] where qualifier is
+    'static', 'dynamic' or 'dynamic,bounded'.
+    """
+    entries = []
+    for raw in su_text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        cols = line.split("\t")
+        if len(cols) < 3:
+            # A name containing a tab would break this; gcc does not
+            # emit one, so treat it as table corruption.
+            raise PathlintError(f"pathlint: unparsable .su line: {raw!r}")
+        loc_and_name = "\t".join(cols[:-2])
+        bytes_str, qualifier = cols[-2], cols[-1]
+        # file:line:col:pretty — the pretty name itself contains
+        # colons (C++ scope), so split exactly three times.
+        parts = loc_and_name.split(":", 3)
+        if len(parts) < 4:
+            raise PathlintError(f"pathlint: unparsable .su line: {raw!r}")
+        entries.append((parts[3], int(bytes_str), qualifier))
+    return entries
+
+
+# --------------------------------------------------------------- #
+# Pretty-name <-> demangled-name matching                         #
+# --------------------------------------------------------------- #
+
+# Every C++ operator token, longest first so e.g. '<<=' wins over
+# '<<' and '<'.  Masking them keeps the bracket-depth scanners below
+# honest: an un-masked 'operator<' would desynchronize template-depth
+# tracking.
+_OPERATOR_TOKENS = [
+    "<<=", ">>=", "<=>", "->*", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "++", "--", "->", "()", "[]", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=", "+", "-", "*", "/", "%", "^", "&", "|",
+    "~", "!", "=", "<", ">", ",",
+]
+
+_OPERATOR_WORD_RE = re.compile(
+    r"operator\s*(new\s*\[\]|delete\s*\[\]|new|delete|co_await|"
+    r'""\s*_\w+)')
+
+_LAMBDA_RE = re.compile(r"\{lambda(\([^{}]*\))?#\d+\}")
+
+
+def mask_operators(s):
+    """Replace operator tokens with bracket-free placeholders."""
+    s = _OPERATOR_WORD_RE.sub(
+        lambda m: "operator." + re.sub(r"\W", ".", m.group(1)), s)
+    out = []
+    i = 0
+    while True:
+        j = s.find("operator", i)
+        if j < 0:
+            out.append(s[i:])
+            break
+        out.append(s[i:j])
+        k = j + len("operator")
+        while k < len(s) and s[k] == " ":
+            k += 1
+        for tok in _OPERATOR_TOKENS:
+            if s.startswith(tok, k):
+                out.append("operator." + str(len(tok)) + "."
+                           + "".join(f"{ord(c):02x}" for c in tok))
+                i = k + len(tok)
+                break
+        else:
+            # 'operator' as a plain identifier substring.
+            out.append(s[j:k])
+            i = k
+    return "".join(out)
+
+
+def normalize_lambda(s):
+    """Canonicalize c++filt's '{lambda(T)#1}' to gcc's '<lambda(T)>'
+    and gcc's '{anonymous}' to c++filt's '(anonymous namespace)'."""
+    s = _LAMBDA_RE.sub(
+        lambda m: "<lambda" + (m.group(1) or "") + ">", s)
+    return s.replace("{anonymous}", "(anonymous namespace)")
+
+
+_TRAIL_WORD_RE = re.compile(r"\s*(const|volatile|noexcept|&&|&)$")
+
+
+def _strip_bracket_suffix(s):
+    """Strip one trailing '[with ...]' / '[clone ...]' group,
+    bracket-matched (the contents may nest brackets: array types in
+    template-argument dumps like '[with Args = {char (&)[59]}]')."""
+    if not s.endswith("]"):
+        return s
+    depth = 0
+    for i in range(len(s) - 1, -1, -1):
+        if s[i] == "]":
+            depth += 1
+        elif s[i] == "[":
+            depth -= 1
+            if depth == 0:
+                inner = s[i + 1:-1].lstrip()
+                if inner.startswith(("with", "clone", "abi:")):
+                    return s[:i].rstrip()
+                return s
+    return s
+
+
+def strip_trailing_qualifiers(s):
+    s = s.strip()
+    while True:
+        s2 = _strip_bracket_suffix(s)
+        s2 = _TRAIL_WORD_RE.sub("", s2)
+        if s2 == s:
+            return s
+        s = s2
+
+
+def split_params(masked):
+    """Split 'prefix(params)' at the top-level parameter list.
+
+    Expects a masked (operator-free) name with trailing qualifiers
+    stripped.  Returns (prefix, params) or (masked, None) when there
+    is no parameter list (plain C symbols).
+    """
+    s = strip_trailing_qualifiers(masked)
+    if not s.endswith(")"):
+        return s, None
+    depth = 0
+    for i in range(len(s) - 1, -1, -1):
+        c = s[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            depth -= 1
+            if depth == 0:
+                return s[:i], s[i:]
+    return s, None
+
+
+def qualified_name(prefix):
+    """Last whitespace-separated token at bracket depth zero.
+
+    Drops return types and decl-specifiers ('virtual int', 'static
+    uint64_t') while surviving spaces inside template argument lists
+    ('vector<pair<int, long>>::f').
+    """
+    depth = 0
+    cut = 0
+    for i, c in enumerate(prefix):
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == " " and depth == 0:
+            cut = i + 1
+    return prefix[cut:]
+
+
+def strip_template_args(name):
+    """Remove top-level <...> groups: 'ns::f<long>' -> 'ns::f'."""
+    out = []
+    depth = 0
+    for c in name:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+        elif depth == 0:
+            out.append(c)
+    return "".join(out)
+
+
+_WORD_RUN_RE = re.compile(
+    r"[A-Za-z_][\w:]*(?:[ \t]+[A-Za-z_][\w:]*)*")
+_INT_MODIFIERS = ("long", "short", "unsigned", "signed")
+
+
+def normalize_typelist(s):
+    """Canonicalize a comma-separated type list for pack matching.
+
+    Bridges gcc's west-const spelling ('const char (&)[35]',
+    'long unsigned int') and c++filt's east-const spelling
+    ('char const (&) [35]', 'unsigned long'): cv-qualifiers are
+    dropped, multi-word integer spellings are sorted with the
+    redundant 'int' removed, and all whitespace is squeezed out.
+    """
+    def canon_words(m):
+        words = [w for w in re.split(r"\s+", m.group(0))
+                 if w not in ("const", "volatile")]
+        if len(words) > 1 and "int" in words and \
+                any(w in _INT_MODIFIERS for w in words):
+            words = [w for w in words if w != "int"]
+        return " ".join(sorted(words))
+    s = _WORD_RUN_RE.sub(canon_words, s)
+    return re.sub(r"\s+", "", s)
+
+
+_TRUNCATED_WITH_RE = re.compile(r"\[with\b(.*)\]\s*$", re.S)
+
+
+def _pack_key(with_content):
+    """Matching key from a '[with Args = {...}]' clause's content."""
+    i = with_content.find("{")
+    if i >= 0:
+        inner = with_content[i + 1:with_content.rfind("}")]
+    else:
+        parts = []
+        for piece in with_content.split(";"):
+            eq = piece.find("=")
+            parts.append(piece[eq + 1:] if eq >= 0 else piece)
+        inner = ",".join(parts)
+    return "pack:" + normalize_typelist(inner)
+
+
+def aggressive_key(name):
+    """Structure-only key: all (...) and <...> groups removed.
+
+    Local-lambda scopes and template arguments diverge hopelessly
+    between gcc pretty names and c++filt output (typedefs, elided
+    default arguments, '#1' suffixes); for names like FunctionRef's
+    '::_FUN' trampolines only the scope skeleton is stable.  Lookup
+    ambiguity is resolved by max-bytes, so collapsing instantiations
+    onto one key errs conservative.
+    """
+    out = []
+    depth = 0
+    for c in name:
+        if c in "<({":
+            depth += 1
+        elif c in ">)}":
+            depth -= 1
+        elif depth == 0:
+            out.append(c)
+    skeleton = re.sub(r":{2,}", "::", "".join(out)).strip(": ")
+    return "agg:" + skeleton
+
+
+def frame_keys(pretty):
+    """Candidate matching keys for a function name, either side.
+
+    Works on both gcc .su pretty names (return type present,
+    templates as 'T f(T) [with T = long]') and c++filt output
+    (no return type, templates as 'long f<long>(long)').
+
+    Keys are tiered, most precise first; ambiguity at any tier is
+    resolved by taking the max frame size:
+      1. qualified name with template arguments,
+      2. qualified name, template arguments stripped,
+      3. 'agg:' structural skeleton (lambda trampolines),
+      4. 'pack:' template-argument pack (gcc 12 truncates variadic
+         instantiation pretty names to ') [with Args = {...}]',
+         leaving the pack as the only identity).
+    """
+    s = mask_operators(normalize_lambda(pretty))
+    if s.lstrip().startswith(")"):
+        m = _TRUNCATED_WITH_RE.search(s)
+        if m:
+            return [_pack_key(m.group(1))]
+        return []
+    s = strip_trailing_qualifiers(s)
+    prefix, _params = split_params(s)
+    name = qualified_name(prefix)
+    keys = [name]
+    bare = strip_template_args(name)
+    if bare != name:
+        keys.append(bare)
+    agg = aggressive_key(name)
+    if agg[4:] != bare:
+        keys.append(agg)
+    if name.endswith(">"):
+        depth = 0
+        for i in range(len(name) - 1, -1, -1):
+            if name[i] == ">":
+                depth += 1
+            elif name[i] == "<":
+                depth -= 1
+                if depth == 0:
+                    keys.append(
+                        "pack:" + normalize_typelist(name[i + 1:-1]))
+                    break
+    return keys
+
+
+# --------------------------------------------------------------- #
+# Allowlists                                                       #
+# --------------------------------------------------------------- #
+
+class Allowlist:
+    """Parsed allowlist file (see module docstring for the grammar).
+
+    `kinds` restricts which directives are honored (e.g. a contract
+    borrowing only the `virtual:` seam resolutions from another
+    contract's file).  `track_stale` controls whether unhit entries
+    are reported stale — borrowed entries are audited by their owning
+    contract, not the borrower.
+    """
+
+    DIRECTIVES = ("allow", "virtual", "recurse", "frame")
+
+    def __init__(self):
+        self.allows = []    # (caller_re, callee_re, why, [hits], origin)
+        self.virtuals = []  # (caller_re, target_re, why, [hits], origin)
+        self.recursions = []  # (fn_re, depth, why, [hits], origin)
+        self.frames = []    # (fn_re, bytes, why, [hits], origin)
+        self._stale_pools = []
+
+    def load(self, path, kinds=None, track_stale=True):
+        kinds = kinds or self.DIRECTIVES
+        loaded = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                kind, _, rest = line.partition(":")
+                kind = kind.strip()
+                if kind not in self.DIRECTIVES:
+                    raise PathlintError(
+                        f"{path}:{lineno}: unknown directive '{kind}'")
+                # Separators need surrounding spaces: the name regexes
+                # themselves contain '::' (C++ scope) and may contain
+                # '->'.
+                spec, sep, why = rest.partition(" :: ")
+                if not sep or not why.strip():
+                    raise PathlintError(
+                        f"{path}:{lineno}: entry needs a "
+                        "' :: justification'")
+                left, sep, right = spec.partition(" -> ")
+                if not sep:
+                    raise PathlintError(
+                        f"{path}:{lineno}: entry needs "
+                        "'left -> right'")
+                origin = f"{os.path.basename(path)}:{lineno}"
+                try:
+                    left_re = re.compile(left.strip())
+                except re.error as exc:
+                    raise PathlintError(
+                        f"{path}:{lineno}: bad regex: {exc}") from exc
+                if kind not in kinds:
+                    continue
+                entry = None
+                if kind in ("allow", "virtual"):
+                    try:
+                        right_re = re.compile(right.strip())
+                    except re.error as exc:
+                        raise PathlintError(
+                            f"{path}:{lineno}: bad regex: {exc}") from exc
+                    entry = (left_re, right_re, why.strip(), [0], origin)
+                    (self.allows if kind == "allow"
+                     else self.virtuals).append(entry)
+                else:
+                    try:
+                        value = int(right.strip())
+                    except ValueError as exc:
+                        raise PathlintError(
+                            f"{path}:{lineno}: '{kind}' needs an "
+                            f"integer, got {right.strip()!r}") from exc
+                    entry = (left_re, value, why.strip(), [0], origin)
+                    (self.recursions if kind == "recurse"
+                     else self.frames).append(entry)
+                loaded.append((kind, entry))
+        if track_stale:
+            self._stale_pools.extend(loaded)
+        return self
+
+    def allowed(self, caller_dem, callee_dem):
+        for caller, callee, why, hits, _origin in self.allows:
+            if caller.search(caller_dem) and callee.search(callee_dem):
+                hits[0] += 1
+                return why
+        return None
+
+    def resolve_virtual(self, caller_dem, all_functions):
+        """Symbols of resolver targets for `caller_dem`."""
+        targets = []
+        matched = False
+        for caller, target, _why, hits, _origin in self.virtuals:
+            if not caller.search(caller_dem):
+                continue
+            matched = True
+            for sym, dem in all_functions.items():
+                if target.search(dem):
+                    targets.append(sym)
+                    hits[0] += 1
+        return matched, targets
+
+    def recursion_bound(self, fn_dem):
+        for fn_re, depth, _why, hits, _origin in self.recursions:
+            if fn_re.search(fn_dem):
+                hits[0] += 1
+                return depth
+        return None
+
+    def frame_override(self, fn_dem):
+        for fn_re, nbytes, _why, hits, _origin in self.frames:
+            if fn_re.search(fn_dem):
+                hits[0] += 1
+                return nbytes
+        return None
+
+    def stale_entries(self):
+        out = []
+        for kind, entry in self._stale_pools:
+            left_re, right, _why, hits, _origin = entry
+            if hits[0] == 0:
+                right_s = right.pattern if hasattr(right, "pattern") \
+                    else str(right)
+                out.append(f"{kind}: {left_re.pattern} -> {right_s}")
+        return out
+
+
+# --------------------------------------------------------------- #
+# Compilation cache                                                #
+# --------------------------------------------------------------- #
+
+class TuData:
+    """One translation unit's compiled artifacts."""
+
+    def __init__(self, rel, graph, su_entries):
+        self.rel = rel
+        self.graph = graph          # {sym: ([callees], indirect)}
+        self.su_entries = su_entries  # [(pretty, bytes, qualifier)]
+
+
+class Engine:
+    """Compiles TUs once and serves merged graphs to contracts."""
+
+    def __init__(self, repo, compiler="g++",
+                 flags=("-std=c++20", "-O2", "-Wall"),
+                 verbose=False):
+        self.repo = repo
+        self.compiler = compiler
+        self.flags = list(flags)
+        self.verbose = verbose
+        self.stack_usage_ok = self._probe_stack_usage()
+        self._cache = {}
+        self._names = {}
+
+    def _probe_stack_usage(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            probe = os.path.join(tmp, "probe.cc")
+            with open(probe, "w", encoding="utf-8") as fh:
+                fh.write("int probe() { return 0; }\n")
+            proc = subprocess.run(
+                [self.compiler, "-S", "-fstack-usage", "-o",
+                 os.path.join(tmp, "probe.s"), probe],
+                capture_output=True, text=True)
+            return proc.returncode == 0 and \
+                os.path.exists(os.path.join(tmp, "probe.su"))
+
+    def compile_tu(self, rel):
+        if rel in self._cache:
+            return self._cache[rel]
+        src = os.path.join(self.repo, rel)
+        if not os.path.exists(src):
+            raise PathlintError(f"pathlint: missing source {rel}")
+        include = os.path.join(self.repo, "src")
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.splitext(os.path.basename(rel))[0]
+            out_s = os.path.join(tmp, base + ".s")
+            cmd = [self.compiler, *self.flags, "-S"]
+            if self.stack_usage_ok:
+                cmd.append("-fstack-usage")
+            cmd += ["-o", out_s, "-I", include, src]
+            if self.verbose:
+                print("  [compile]", " ".join(cmd), file=sys.stderr)
+            run(cmd)
+            with open(out_s, encoding="utf-8") as fh:
+                graph = parse_assembly(fh.read())
+            su_entries = []
+            su_path = os.path.join(tmp, base + ".su")
+            if self.stack_usage_ok and os.path.exists(su_path):
+                with open(su_path, encoding="utf-8") as fh:
+                    su_entries = parse_su(fh.read())
+        data = TuData(rel, graph, su_entries)
+        self._cache[rel] = data
+        return data
+
+    def merged_graph(self, tus):
+        """Union call graph over `tus` (comdat bodies concatenated)."""
+        graph = {}
+        for rel in tus:
+            for sym, (callees, indirect) in \
+                    self.compile_tu(rel).graph.items():
+                old_callees, old_indirect = graph.get(sym, ([], 0))
+                graph[sym] = (old_callees + callees,
+                              old_indirect + indirect)
+        return graph
+
+    def names_for(self, graph):
+        missing = set(graph) - set(self._names)
+        if missing:
+            self._names.update(demangle(missing))
+        return {s: self._names[s] for s in graph}
+
+    def demangle_one(self, sym):
+        if sym not in self._names:
+            self._names.update(demangle({sym}))
+        return self._names[sym]
+
+    def frame_sizes(self, tus, graph, names):
+        """Match .su entries to graph symbols.
+
+        Returns ({sym: max_bytes}, [(sym, qualifier)] dynamic-frame
+        symbols).  A symbol absent from the map has no measured
+        frame; callers decide whether that matters (only reachable
+        functions need sizes).
+        """
+        key_to_syms = {}
+        for sym, dem in names.items():
+            for key in frame_keys(dem):
+                key_to_syms.setdefault(key, set()).add(sym)
+        sizes = {}
+        dynamic = []
+        for rel in tus:
+            for pretty, nbytes, qualifier in \
+                    self.compile_tu(rel).su_entries:
+                syms = set()
+                for key in frame_keys(pretty):
+                    syms |= key_to_syms.get(key, set())
+                for sym in syms:
+                    sizes[sym] = max(sizes.get(sym, 0), nbytes)
+                    if "dynamic" in qualifier:
+                        dynamic.append((sym, qualifier))
+        return sizes, dynamic
+
+
+# --------------------------------------------------------------- #
+# Graph walks                                                      #
+# --------------------------------------------------------------- #
+
+class WalkResult:
+    def __init__(self):
+        self.parent = {}
+        self.violations = []         # (fn, callee, reason)
+        self.hard_violations = []    # (fn, callee)
+        self.allowed_edges = []      # (fn, callee, why)
+        self.unresolved_indirect = []  # (fn, count)
+
+    def path_to(self, fn, names):
+        chain = []
+        node = fn
+        while node is not None:
+            chain.append(names.get(node, node))
+            node = self.parent.get(node)
+        return list(reversed(chain))
+
+
+def walk_deny(graph, names, roots, classify, allowlist,
+              demangle_one, hard_deny_substr=()):
+    """BFS from `roots`; classify() returns a reason for deny hits.
+
+    `hard_deny_substr` names symbols that fail with NO allowlist
+    escape (the pagezip rule).  Returns a WalkResult; the BFS stops
+    at denied callees (they are findings, not traversal frontier).
+    """
+    res = WalkResult()
+    res.parent = {r: None for r in roots}
+    queue = list(roots)
+    while queue:
+        fn = queue.pop(0)
+        fn_dem = names.get(fn, fn)
+        callees, indirect = graph.get(fn, ([], 0))
+        if indirect:
+            matched, targets = allowlist.resolve_virtual(fn_dem, names)
+            if not matched:
+                res.unresolved_indirect.append((fn, indirect))
+            for t in targets:
+                if any(s in names.get(t, t) for s in hard_deny_substr):
+                    res.hard_violations.append((fn, t))
+                    continue
+                if t not in res.parent:
+                    res.parent[t] = fn
+                    queue.append(t)
+        for callee in callees:
+            callee_dem = names.get(callee) or demangle_one(callee)
+            if any(s in callee_dem for s in hard_deny_substr):
+                res.hard_violations.append((fn, callee))
+                continue
+            reason = classify(callee, callee_dem)
+            if reason:
+                why = allowlist.allowed(fn_dem, callee_dem)
+                if why:
+                    res.allowed_edges.append((fn, callee, why))
+                else:
+                    res.violations.append((fn, callee, reason))
+                continue
+            if callee in graph and callee not in res.parent:
+                res.parent[callee] = fn
+                queue.append(callee)
+    return res
+
+
+class StackBoundResult:
+    def __init__(self):
+        self.bound = 0               # deepest chain, bytes
+        self.chain = []              # [(demangled, frame_bytes)]
+        self.missing_frames = []     # reachable syms with no .su match
+        self.dynamic_frames = []     # (sym, qualifier) unbounded
+        self.recursion_errors = []   # cycle paths (list of demangled)
+        self.unresolved_indirect = []
+
+
+def compute_stack_bound(graph, names, root, allowlist, frame_sizes,
+                        extern_frame_bytes):
+    """Worst-case stack depth from `root` over the post-inlining
+    call graph.
+
+    depth(f) = frame(f) + RET_ADDR_BYTES + max over children, where
+    an extern (out-of-graph) callee is charged `extern_frame_bytes`
+    flat and indirect calls go through the allowlist's `virtual:`
+    resolutions.  Cycles are rejected unless a `recurse:` entry
+    bounds them, in which case the cycle segment is charged
+    (bound - 1) extra times.
+    """
+    res = StackBoundResult()
+    memo = {}
+    on_stack = []
+    on_stack_set = set()
+    seen_missing = set()
+    seen_indirect = set()
+
+    def frame_of(sym):
+        dem = names.get(sym, sym)
+        override = allowlist.frame_override(dem)
+        if override is not None:
+            return override
+        if sym in frame_sizes:
+            return frame_sizes[sym]
+        if sym not in seen_missing:
+            seen_missing.add(sym)
+            res.missing_frames.append(sym)
+        return 0
+
+    def depth(sym):
+        if sym in memo:
+            return memo[sym]
+        if sym in on_stack_set:
+            # Back edge: bounded recursion or an error.
+            dem = names.get(sym, sym)
+            bound = allowlist.recursion_bound(dem)
+            idx = on_stack.index(sym)
+            segment = on_stack[idx:]
+            if bound is None:
+                res.recursion_errors.append(
+                    [names.get(s, s) for s in segment] + [dem])
+                return 0, []
+            extra = sum(frame_of(s) + RET_ADDR_BYTES
+                        for s in segment)
+            return (bound - 1) * extra, []
+        on_stack.append(sym)
+        on_stack_set.add(sym)
+        try:
+            callees, indirect = graph.get(sym, ([], 0))
+            children = []
+            for c in callees:
+                children.append(c)
+            if indirect:
+                dem = names.get(sym, sym)
+                matched, targets = allowlist.resolve_virtual(dem, names)
+                if not matched and sym not in seen_indirect:
+                    seen_indirect.add(sym)
+                    res.unresolved_indirect.append((sym, indirect))
+                children.extend(targets)
+            best = 0
+            best_chain = []
+            for c in children:
+                if c in graph:
+                    d, chain = depth(c)
+                else:
+                    # Extern call (libc/pthread/kernel wrapper):
+                    # charged a flat, documented budget.
+                    d = extern_frame_bytes + RET_ADDR_BYTES
+                    chain = [(names.get(c, c), extern_frame_bytes)]
+                if d > best:
+                    best = d
+                    best_chain = chain
+            my_frame = frame_of(sym)
+            total = my_frame + RET_ADDR_BYTES + best
+            result = (total,
+                      [(names.get(sym, sym), my_frame)] + best_chain)
+            memo[sym] = result
+            return result
+        finally:
+            on_stack.pop()
+            on_stack_set.discard(sym)
+
+    total, chain = depth(root)
+    res.bound = total
+    res.chain = chain
+    return res

@@ -1,429 +1,78 @@
 #!/usr/bin/env python3
-"""Async-signal-safety lint for the SIGSEGV fault path.
+"""Back-compat entry point for the fault-path async-signal-safety
+lint.
 
-The runtime's SIGSEGV handler (src/runtime/fault_dispatch.cc) IS the
-write-admission path: it runs the dirty-budget controller, enqueues
-copier work, and may block on a condition variable.  POSIX allows
-almost none of libc in a signal handler, so every call the handler
-can transitively reach must be either async-signal-safe, or a
-deliberate, documented exception (the paper's runtime design accepts
-taking the shard lock in the handler; see DESIGN.md §8).
+The assembly-walking linter that used to live here is now the
+`sigsafe` contract of the general path-contracts engine in
+tools/pathlint/, which additionally proves the fault path's stack
+bound, allocation-freedom and blocking discipline (see
+tools/pathlint_contracts.ini and DESIGN.md §15).  This shim keeps
+the historical CLI working:
 
-This linter builds the handler's transitive call graph from compiler
-assembly output (`g++ -S`, no clang needed) and fails when it finds a
-call to a known async-signal-unsafe function that is not covered by
-an entry in tools/sigsafe_allowlist.txt.  The allowlist is per call
-site (caller -> callee) and every entry carries a written
-justification, so the audited surface can only shrink deliberately:
-a new malloc/lock/IO call on the fault path fails CI until someone
-either removes it or argues for it in the allowlist.
-
-Mechanics
----------
-* Each listed translation unit is compiled with the release flags to
-  assembly; `.type sym, @function` / `.size` brackets delimit
-  functions, `call`/tail-`jmp` instructions provide edges.  Compiling
-  at -O2 matters: the graph reflects what actually remains after
-  inlining, which is the code the handler really executes.
-* Virtual calls compile to indirect `call *...` instructions that
-  name no symbol.  The allowlist's `virtual:` lines resolve the known
-  interface seams (PagingBackend, CopierClient, PersistClient,
-  FunctionRef) to their runtime implementations so the walk continues
-  through them; any indirect call in a function with no `virtual:`
-  entry is itself reported, so a new virtual seam cannot slip through
-  unaudited.
-* Allowlist entries that no longer match anything are reported as
-  stale (exit status 1 under --strict, the CI mode) so dead
-  exceptions get pruned instead of accumulating.
-
-Usage:
     tools/sigsafe_lint.py [--repo DIR] [--strict] [--verbose]
+
+and runs exactly the sigsafe contract against the same
+tools/sigsafe_allowlist.txt, with the same exit codes.  New callers
+should invoke the engine directly:
+
+    python3 tools/pathlint --strict            # all contracts
+    python3 tools/pathlint --contract sigsafe  # just this one
 """
 
 import argparse
+import importlib.util
 import os
-import re
-import subprocess
 import sys
-import tempfile
 
-# Translation units that can contain code reachable from the SIGSEGV
-# handler.  common/logging is included so fatal()/panic() bodies are
-# walked rather than treated as opaque externals.
-FAULT_PATH_SOURCES = [
-    "src/runtime/fault_dispatch.cc",
-    "src/runtime/region.cc",
-    "src/runtime/copier_pool.cc",
-    "src/runtime/meta_sidecar.cc",
-    "src/core/controller.cc",
-    "src/core/recency.cc",
-    "src/core/dirty_tracker.cc",
-    "src/core/budget_pool.cc",
-    "src/common/logging.cc",
-    "src/common/checksum.cc",
-    "src/common/pagezip.cc",
-]
-
-COMPILE_FLAGS = ["-std=c++20", "-O2", "-Wall", "-S", "-o", "-"]
-
-ROOT_PATTERN = "segvHandler"
-
-# The copy-out codec is flush-path-only BY DESIGN: compressed persists
-# are confined to the copier threads, never the SIGSEGV admission
-# path (DESIGN.md §11).  Any pagezip symbol reachable from the
-# handler is reported as a hard failure with NO allowlist escape —
-# unlike the unsafe-libc findings below, this one cannot be argued
-# into sigsafe_allowlist.txt.
-CODEC_PATTERN = "pagezip"
-
-# Known async-signal-UNSAFE callees, matched against the raw (mangled
-# or C) symbol name.  Prefixes cover mangling families (operator
-# new/delete with/without alignment or nothrow).  Note what is NOT
-# here: pwrite/pread/mprotect/fdatasync/sigaction/raise/abort and
-# sched_yield are all on the POSIX async-signal-safe list.
-UNSAFE_PREFIXES = [
-    "_Znw",  # operator new
-    "_Zna",  # operator new[]
-    "_Zdl",  # operator delete
-    "_Zda",  # operator delete[]
-]
-
-UNSAFE_EXACT = {
-    "malloc", "calloc", "realloc", "free",
-    "posix_memalign", "aligned_alloc",
-    "pthread_mutex_lock", "pthread_mutex_trylock",
-    "pthread_mutex_unlock",
-    "pthread_cond_wait", "pthread_cond_timedwait",
-    "pthread_cond_signal", "pthread_cond_broadcast",
-    "printf", "fprintf", "vfprintf", "vsnprintf", "snprintf",
-    "puts", "fputs", "fwrite", "fflush", "fputc",
-    "exit", "atexit", "getenv",
-    "__cxa_throw", "__cxa_allocate_exception", "__cxa_rethrow",
-    "__cxa_guard_acquire", "__cxa_guard_release",
-    "syslog",
-}
-
-# Mangled-substring classes: anything calling out-of-line into
-# std::string or ostream machinery may allocate or take libio locks.
-UNSAFE_SUBSTRINGS = [
-    ("basic_string", "std::string call (may allocate)"),
-    ("basic_ostream", "iostream call (locks/allocates)"),
-    ("_ZSt4cerr", "iostream global"),
-    ("_ZSt4cout", "iostream global"),
-    ("__throw_", "libstdc++ throw helper (allocates)"),
-    ("condition_variable",
-     "std::condition_variable call (pthread_cond under the hood)"),
-]
-
-CALL_RE = re.compile(r"^\s+call\s+([^\s]+)")
-JMP_RE = re.compile(r"^\s+jmp\s+([^\s*]+)")
-TYPE_RE = re.compile(r'^\s+\.type\s+([^\s,]+),\s*@function')
-SIZE_RE = re.compile(r"^\s+\.size\s+([^\s,]+),")
+_TOOLS = os.path.dirname(os.path.abspath(__file__))
 
 
-def run(cmd, **kw):
-    return subprocess.run(cmd, check=True, capture_output=True,
-                          text=True, **kw)
-
-
-def demangle(symbols):
-    """Map raw symbol -> demangled name (identity for C symbols)."""
-    if not symbols:
-        return {}
-    ordered = sorted(symbols)
-    out = run(["c++filt"], input="\n".join(ordered) + "\n").stdout
-    return dict(zip(ordered, out.splitlines()))
-
-
-def strip_plt(sym):
-    return sym[:-4] if sym.endswith("@PLT") else sym
-
-
-def parse_assembly(asm_text):
-    """Return {function_symbol: ([callee, ...], indirect_count)}."""
-    graph = {}
-    current = None
-    pending_types = set()
-    for line in asm_text.splitlines():
-        m = TYPE_RE.match(line)
-        if m:
-            pending_types.add(m.group(1))
-            continue
-        if current is None:
-            # A function body begins at its label.
-            label = line.split(":")[0].strip()
-            if label in pending_types:
-                current = label
-                graph.setdefault(current, ([], 0))
-            continue
-        m = SIZE_RE.match(line)
-        if m and m.group(1) == current:
-            current = None
-            continue
-        m = CALL_RE.match(line)
-        if not m:
-            m = JMP_RE.match(line)
-            # Only symbolic tail jumps count; local labels (.L*) and
-            # computed jumps are control flow inside the function.
-            if m and m.group(1).startswith(".L"):
-                m = None
-        if m:
-            target = strip_plt(m.group(1))
-            callees, indirect = graph[current]
-            if target.startswith("*"):
-                graph[current] = (callees, indirect + 1)
-            else:
-                callees.append(target)
-    return graph
-
-
-def classify_unsafe(symbol):
-    """Return a reason string if `symbol` is async-signal-unsafe."""
-    if symbol in UNSAFE_EXACT:
-        return "async-signal-unsafe libc/pthread call"
-    for prefix in UNSAFE_PREFIXES:
-        if symbol.startswith(prefix):
-            return "heap allocation (operator new/delete)"
-    for needle, reason in UNSAFE_SUBSTRINGS:
-        if needle in symbol:
-            return reason
-    return None
-
-
-class Allowlist:
-    """tools/sigsafe_allowlist.txt:
-
-    allow: <caller-re> -> <callee-re> :: <justification>
-    virtual: <caller-re> -> <impl-re> :: <why this target set>
-
-    Both sides are Python regexes searched against demangled names
-    (or raw names for C symbols) — escape literal parens.
-    """
-
-    def __init__(self, path):
-        self.allows = []   # (caller_re, callee_re, why, [hits])
-        self.virtuals = []  # (caller_re, target_re, why, [hits])
-        with open(path, encoding="utf-8") as fh:
-            for lineno, raw in enumerate(fh, 1):
-                line = raw.strip()
-                if not line or line.startswith("#"):
-                    continue
-                kind, _, rest = line.partition(":")
-                kind = kind.strip()
-                if kind not in ("allow", "virtual"):
-                    sys.exit(f"{path}:{lineno}: unknown directive "
-                             f"'{kind}'")
-# Separators need surrounding spaces: the name regexes
-                # themselves contain '::' (C++ scope) and may contain
-                # '->'.
-                spec, sep, why = rest.partition(" :: ")
-                if not sep or not why.strip():
-                    sys.exit(f"{path}:{lineno}: entry needs a "
-                             "' :: justification'")
-                caller, sep, target = spec.partition(" -> ")
-                if not sep:
-                    sys.exit(f"{path}:{lineno}: entry needs "
-                             "'caller -> callee'")
-                try:
-                    entry = (re.compile(caller.strip()),
-                             re.compile(target.strip()),
-                             why.strip(), [0])
-                except re.error as exc:
-                    sys.exit(f"{path}:{lineno}: bad regex: {exc}")
-                (self.allows if kind == "allow"
-                 else self.virtuals).append(entry)
-
-    def allowed(self, caller_dem, callee_dem):
-        for caller, callee, why, hits in self.allows:
-            if caller.search(caller_dem) and \
-                    callee.search(callee_dem):
-                hits[0] += 1
-                return why
-        return None
-
-    def resolve_virtual(self, caller_dem, all_functions):
-        """Symbols of resolver targets for `caller_dem`."""
-        targets = []
-        matched = False
-        for caller, target, _why, hits in self.virtuals:
-            if not caller.search(caller_dem):
-                continue
-            matched = True
-            for sym, dem in all_functions.items():
-                if target.search(dem):
-                    targets.append(sym)
-                    hits[0] += 1
-        return matched, targets
-
-    def stale_entries(self):
-        out = []
-        for kind, entries in (("allow", self.allows),
-                              ("virtual", self.virtuals)):
-            for caller, target, _why, hits in entries:
-                if hits[0] == 0:
-                    out.append(f"{kind}: {caller.pattern} -> "
-                               f"{target.pattern}")
-        return out
-
-
-def build_graph(repo, compiler, verbose):
-    graph = {}
-    include = os.path.join(repo, "src")
-    for rel in FAULT_PATH_SOURCES:
-        src = os.path.join(repo, rel)
-        cmd = [compiler, *COMPILE_FLAGS, "-I", include, src]
-        if verbose:
-            print("  [compile]", " ".join(cmd), file=sys.stderr)
-        asm = run(cmd).stdout
-        for sym, (callees, indirect) in parse_assembly(asm).items():
-            old_callees, old_indirect = graph.get(sym, ([], 0))
-            graph[sym] = (old_callees + callees,
-                          old_indirect + indirect)
-    return graph
+def _load_engine_cli():
+    # This file runs as a script (module name "__main__"), so the
+    # engine's tools/pathlint/__main__.py must be loaded under a
+    # distinct name rather than imported.
+    spec = importlib.util.spec_from_file_location(
+        "pathlint_cli",
+        os.path.join(_TOOLS, "pathlint", "__main__.py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--repo", default=None,
+    ap = argparse.ArgumentParser(
+        description="Async-signal-safety lint for the SIGSEGV fault "
+                    "path (thin wrapper over tools/pathlint).")
+    ap.add_argument("--repo", default=os.path.dirname(_TOOLS),
                     help="repository root (default: parent of tools/)")
-    ap.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
-    ap.add_argument("--allowlist", default=None)
+    ap.add_argument("--compiler",
+                    default=os.environ.get("CXX", "g++"))
+    ap.add_argument("--allowlist", default=None,
+                    help="must equal the contract's configured "
+                         "allowlist if given")
     ap.add_argument("--strict", action="store_true",
                     help="stale allowlist entries fail the lint "
                          "(CI mode)")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args()
 
-    repo = args.repo or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    allowlist_path = args.allowlist or os.path.join(
-        repo, "tools", "sigsafe_allowlist.txt")
-    allowlist = Allowlist(allowlist_path)
+    if args.allowlist is not None:
+        configured = os.path.join(args.repo, "tools",
+                                  "sigsafe_allowlist.txt")
+        if os.path.abspath(args.allowlist) != \
+                os.path.abspath(configured):
+            sys.exit("sigsafe_lint: --allowlist is fixed to "
+                     "tools/sigsafe_allowlist.txt by the sigsafe "
+                     "contract; edit tools/pathlint_contracts.ini "
+                     "to point elsewhere")
 
-    graph = build_graph(repo, args.compiler, args.verbose)
-    names = demangle(set(graph))
-
-    roots = [s for s in graph if ROOT_PATTERN in names.get(s, s)]
-    if not roots:
-        sys.exit(f"sigsafe_lint: no function matching "
-                 f"'{ROOT_PATTERN}' found — did the handler move?")
-
-    # BFS from the handler; record a parent per function so findings
-    # can print the path that makes them reachable.
-    parent = {r: None for r in roots}
-    queue = list(roots)
-    violations = []
-    codec_violations = []
-    allowed_edges = []
-    unresolved_indirect = []
-    while queue:
-        fn = queue.pop(0)
-        fn_dem = names.get(fn, fn)
-        callees, indirect = graph.get(fn, ([], 0))
-        if indirect:
-            matched, targets = allowlist.resolve_virtual(fn_dem, names)
-            if not matched:
-                unresolved_indirect.append((fn, indirect))
-            for t in targets:
-                if CODEC_PATTERN in names.get(t, t):
-                    codec_violations.append((fn, t))
-                    continue
-                if t not in parent:
-                    parent[t] = fn
-                    queue.append(t)
-        for callee in callees:
-            callee_dem = names.get(callee) or demangle(
-                {callee})[callee]
-            if CODEC_PATTERN in callee_dem:
-                codec_violations.append((fn, callee))
-                continue
-            reason = classify_unsafe(callee)
-            if reason:
-                why = allowlist.allowed(fn_dem, callee_dem)
-                if why:
-                    allowed_edges.append((fn, callee, why))
-                else:
-                    violations.append((fn, callee, reason))
-                continue
-            if callee in graph and callee not in parent:
-                parent[callee] = fn
-                queue.append(callee)
-
-    def path_to(fn):
-        chain = []
-        node = fn
-        while node is not None:
-            chain.append(names.get(node, node))
-            node = parent.get(node)
-        return list(reversed(chain))
-
-    reachable = len(parent)
-    print(f"sigsafe_lint: {reachable} functions reachable from the "
-          f"SIGSEGV handler across {len(FAULT_PATH_SOURCES)} TUs")
+    argv = ["--repo", args.repo, "--compiler", args.compiler,
+            "--contract", "sigsafe"]
+    if args.strict:
+        argv.append("--strict")
     if args.verbose:
-        for fn, callee, why in allowed_edges:
-            print(f"  [allowed] {names.get(fn, fn)}\n"
-                  f"      -> {names.get(callee, callee)}\n"
-                  f"      :: {why}")
-
-    failed = False
-    if codec_violations:
-        failed = True
-        print(f"\n{len(codec_violations)} copy-out codec call(s) "
-              "reachable from the SIGSEGV handler — HARD failure, "
-              "no allowlist escape:")
-        for fn, callee in codec_violations:
-            callee_dem = names.get(callee) or demangle(
-                {callee})[callee]
-            print(f"\n  {names.get(fn, fn)}")
-            print(f"      calls {callee_dem}")
-            print("      [pagezip is flush-path-only; the admission "
-                  "path must never compress]")
-            print("      reachable via: "
-                  + "\n                 -> ".join(path_to(fn)))
-        print("\nMove the call off the fault path; this finding "
-              "cannot be allowlisted.")
-
-    if violations:
-        failed = True
-        print(f"\n{len(violations)} async-signal-UNSAFE call(s) on "
-              "the fault path with no allowlist entry:")
-        for fn, callee, reason in violations:
-            callee_dem = names.get(callee) or demangle(
-                {callee})[callee]
-            print(f"\n  {names.get(fn, fn)}")
-            print(f"      calls {callee_dem}")
-            print(f"      [{reason}]")
-            print("      reachable via: "
-                  + "\n                 -> ".join(path_to(fn)))
-        print("\nEither remove the call or add a justified entry to "
-              f"{os.path.relpath(allowlist_path, repo)}")
-
-    if unresolved_indirect:
-        failed = True
-        print(f"\n{len(unresolved_indirect)} function(s) make "
-              "indirect calls with no 'virtual:' resolution — the "
-              "walk cannot see through them:")
-        for fn, count in unresolved_indirect:
-            print(f"  {names.get(fn, fn)}  ({count} indirect "
-                  "call site(s))")
-            print("      reachable via: "
-                  + "\n                 -> ".join(path_to(fn)))
-
-    stale = allowlist.stale_entries()
-    if stale:
-        print(f"\n{len(stale)} stale allowlist entr"
-              f"{'y' if len(stale) == 1 else 'ies'} (matched "
-              "nothing — prune them):")
-        for entry in stale:
-            print(f"  {entry}")
-        if args.strict:
-            failed = True
-
-    if not failed:
-        print(f"OK: every unsafe call is allowlisted "
-              f"({len(allowed_edges)} audited edge(s), 0 stale)")
-    return 1 if failed else 0
+        argv.append("--verbose")
+    return _load_engine_cli().main(argv)
 
 
 if __name__ == "__main__":
